@@ -1,0 +1,204 @@
+//! The attack × defense matrix driver (paper §V-E).
+
+use core::fmt;
+
+use ptstore_core::MIB;
+use ptstore_kernel::{DefenseMode, Kernel, KernelConfig};
+use serde::{Deserialize, Serialize};
+
+use crate::outcome::AttackOutcome;
+use crate::scenarios::{run, AttackKind};
+
+/// One cell of the security matrix.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttackReport {
+    /// Which attack ran.
+    pub attack: AttackKind,
+    /// Against which defense.
+    pub defense: DefenseMode,
+    /// Whether the token layer was enabled (ablation).
+    pub tokens: bool,
+    /// What happened.
+    pub outcome: AttackOutcome,
+}
+
+impl fmt::Display for AttackReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<20} vs {:<18} -> {}",
+            self.attack.to_string(),
+            self.defense.to_string(),
+            self.outcome
+        )
+    }
+}
+
+fn attack_config(defense: DefenseMode, tokens: bool) -> KernelConfig {
+    let mut cfg = KernelConfig::baseline()
+        .with_defense(defense)
+        .with_mem_size(256 * MIB)
+        .with_initial_secure_size(16 * MIB);
+    cfg.cfi = true; // the threat model deploys CFI
+    cfg.token_checks = tokens;
+    cfg
+}
+
+/// Boots a fresh kernel and runs one attack against one defense.
+pub fn run_attack(kind: AttackKind, defense: DefenseMode, tokens: bool) -> AttackReport {
+    let mut k = Kernel::boot(attack_config(defense, tokens)).expect("kernel boots");
+    let outcome = run(kind, &mut k);
+    AttackReport {
+        attack: kind,
+        defense,
+        tokens,
+        outcome,
+    }
+}
+
+/// The full §V-E matrix: every attack against every defense (fresh kernel
+/// per cell), plus the tokens-off PTStore ablation rows.
+pub fn security_matrix() -> Vec<AttackReport> {
+    let mut out = Vec::new();
+    for defense in [
+        DefenseMode::None,
+        DefenseMode::PtRand,
+        DefenseMode::VirtualIsolation,
+        DefenseMode::PtStore,
+    ] {
+        for kind in AttackKind::ALL {
+            out.push(run_attack(kind, defense, true));
+        }
+    }
+    // Ablation: PTStore with the token layer disabled — shows which attacks
+    // the secure region + PTW check alone cannot stop.
+    for kind in AttackKind::ALL {
+        let mut r = run_attack(kind, DefenseMode::PtStore, false);
+        r.tokens = false;
+        out.push(r);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outcome::BlockedBy;
+
+    #[test]
+    fn undefended_kernel_falls_to_everything_harmful() {
+        for kind in [
+            AttackKind::PtTampering,
+            AttackKind::PtInjection,
+            AttackKind::PtReuse,
+            AttackKind::AllocatorMetadata,
+            AttackKind::TlbInconsistency,
+        ] {
+            let r = run_attack(kind, DefenseMode::None, true);
+            assert!(
+                r.outcome.attacker_won(),
+                "{kind} should succeed without defenses, got {}",
+                r.outcome
+            );
+        }
+    }
+
+    #[test]
+    fn ptstore_blocks_all_attacks() {
+        for kind in AttackKind::ALL {
+            let r = run_attack(kind, DefenseMode::PtStore, true);
+            assert!(
+                !r.outcome.attacker_won(),
+                "PTStore must stop {kind}, got {}",
+                r.outcome
+            );
+        }
+    }
+
+    #[test]
+    fn ptstore_layers_match_paper() {
+        assert_eq!(
+            run_attack(AttackKind::PtTampering, DefenseMode::PtStore, true).outcome,
+            AttackOutcome::Blocked(BlockedBy::SecureRegionPmp)
+        );
+        // With tokens on, the credential check fires before the walker even
+        // sees the fake table.
+        assert_eq!(
+            run_attack(AttackKind::PtInjection, DefenseMode::PtStore, true).outcome,
+            AttackOutcome::Blocked(BlockedBy::TokenCheck)
+        );
+        // With tokens off, the PTW origin check is the backstop.
+        assert_eq!(
+            run_attack(AttackKind::PtInjection, DefenseMode::PtStore, false).outcome,
+            AttackOutcome::Blocked(BlockedBy::PtwOriginCheck)
+        );
+        assert_eq!(
+            run_attack(AttackKind::PtReuse, DefenseMode::PtStore, true).outcome,
+            AttackOutcome::Blocked(BlockedBy::TokenCheck)
+        );
+        assert_eq!(
+            run_attack(AttackKind::AllocatorMetadata, DefenseMode::PtStore, true).outcome,
+            AttackOutcome::Blocked(BlockedBy::ZeroCheck)
+        );
+        assert_eq!(
+            run_attack(AttackKind::TlbInconsistency, DefenseMode::PtStore, true).outcome,
+            AttackOutcome::Blocked(BlockedBy::SecureRegionPmp)
+        );
+    }
+
+    #[test]
+    fn reuse_defeats_ptstore_without_tokens() {
+        // The ablation that justifies the token mechanism: secure region +
+        // PTW check alone cannot stop PT-Reuse (the reused table is a real
+        // secure-region page table).
+        let r = run_attack(AttackKind::PtReuse, DefenseMode::PtStore, false);
+        assert!(r.outcome.attacker_won());
+    }
+
+    #[test]
+    fn pt_rand_falls_via_leak() {
+        let r = run_attack(AttackKind::PtTampering, DefenseMode::PtRand, true);
+        assert_eq!(r.outcome, AttackOutcome::SucceededViaLeak);
+    }
+
+    #[test]
+    fn virtual_isolation_partial_coverage() {
+        // Blocks direct tampering...
+        assert_eq!(
+            run_attack(AttackKind::PtTampering, DefenseMode::VirtualIsolation, true).outcome,
+            AttackOutcome::Blocked(BlockedBy::PagePermissions)
+        );
+        // ...but not injection, reuse, or TLB-inconsistency.
+        for kind in [
+            AttackKind::PtInjection,
+            AttackKind::PtReuse,
+            AttackKind::TlbInconsistency,
+        ] {
+            let r = run_attack(kind, DefenseMode::VirtualIsolation, true);
+            assert!(
+                r.outcome.attacker_won(),
+                "virtual isolation should fall to {kind}, got {}",
+                r.outcome
+            );
+        }
+    }
+
+    #[test]
+    fn vm_metadata_is_kernel_harmless_everywhere() {
+        for defense in [DefenseMode::None, DefenseMode::PtStore] {
+            let r = run_attack(AttackKind::VmMetadata, defense, true);
+            assert_eq!(r.outcome, AttackOutcome::HarmlessToKernel);
+        }
+    }
+
+    #[test]
+    fn matrix_covers_all_cells() {
+        let m = security_matrix();
+        assert_eq!(m.len(), 8 * 4 + 8);
+        // PTStore full-design rows never lose.
+        assert!(m
+            .iter()
+            .filter(|r| r.defense == DefenseMode::PtStore && r.tokens)
+            .all(|r| !r.outcome.attacker_won()));
+    }
+}

@@ -1,0 +1,95 @@
+//! Attack outcome classification.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Which defense layer stopped an attack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BlockedBy {
+    /// The PMP S-bit: a regular instruction faulted inside the secure region
+    /// (paper Fig. 1 ②).
+    SecureRegionPmp,
+    /// The page-table walker refused a table outside the secure region
+    /// (paper Fig. 1 ⑤).
+    PtwOriginCheck,
+    /// Token validation rejected a page-table pointer (paper §III-C3).
+    TokenCheck,
+    /// The zero-check caught a non-free page-table page (paper §V-E3).
+    ZeroCheck,
+    /// Virtual-isolation page permissions (the baseline's defense).
+    PagePermissions,
+    /// The target had no mapping (PT-Rand's hidden placement, pre-leak).
+    UnmappedTarget,
+    /// The reused secure-region data was not valid as PTEs — all fields are
+    /// 8-byte-aligned pointers, so their present bits are clear (§V-E2).
+    InvalidAsPte,
+}
+
+impl fmt::Display for BlockedBy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BlockedBy::SecureRegionPmp => "secure-region PMP (S-bit)",
+            BlockedBy::PtwOriginCheck => "PTW origin check (satp.S)",
+            BlockedBy::TokenCheck => "token mechanism",
+            BlockedBy::ZeroCheck => "zero-check on PT pages",
+            BlockedBy::PagePermissions => "page permissions (virtual isolation)",
+            BlockedBy::UnmappedTarget => "unmapped target (randomisation)",
+            BlockedBy::InvalidAsPte => "aligned pointers are invalid PTEs",
+        })
+    }
+}
+
+/// How an attack run ended.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttackOutcome {
+    /// The attack achieved its goal directly.
+    Succeeded,
+    /// The attack achieved its goal after an information-disclosure step
+    /// (how randomisation-based defenses fall, §VI-1).
+    SucceededViaLeak,
+    /// A defense layer stopped it.
+    Blocked(BlockedBy),
+    /// The attack "worked" but gained nothing the defense cares about
+    /// (the VM-metadata case of §V-E4: only user-space mappings moved).
+    HarmlessToKernel,
+}
+
+impl AttackOutcome {
+    /// True when the attacker reached their goal (leak-assisted counts).
+    pub fn attacker_won(&self) -> bool {
+        matches!(self, AttackOutcome::Succeeded | AttackOutcome::SucceededViaLeak)
+    }
+}
+
+impl fmt::Display for AttackOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackOutcome::Succeeded => f.write_str("SUCCEEDED"),
+            AttackOutcome::SucceededViaLeak => f.write_str("SUCCEEDED (via info leak)"),
+            AttackOutcome::Blocked(by) => write!(f, "blocked by {by}"),
+            AttackOutcome::HarmlessToKernel => f.write_str("no kernel impact"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attacker_won_classification() {
+        assert!(AttackOutcome::Succeeded.attacker_won());
+        assert!(AttackOutcome::SucceededViaLeak.attacker_won());
+        assert!(!AttackOutcome::Blocked(BlockedBy::TokenCheck).attacker_won());
+        assert!(!AttackOutcome::HarmlessToKernel.attacker_won());
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(AttackOutcome::Blocked(BlockedBy::ZeroCheck)
+            .to_string()
+            .contains("zero-check"));
+        assert!(AttackOutcome::SucceededViaLeak.to_string().contains("leak"));
+    }
+}

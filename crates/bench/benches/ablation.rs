@@ -1,0 +1,104 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! token mechanism on/off, initial secure-region size sweep, and the
+//! virtual-isolation baseline's write-window cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ptstore_core::MIB;
+use ptstore_kernel::{DefenseMode, Kernel, KernelConfig};
+use ptstore_workloads::fork_stress::run_fork_stress;
+use ptstore_workloads::lmbench;
+use ptstore_workloads::report::overhead_pct;
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10);
+
+    // Tokens on/off: context-switch cost delta.
+    for tokens in [true, false] {
+        let mut cfg = KernelConfig::cfi_ptstore()
+            .with_mem_size(256 * MIB)
+            .with_initial_secure_size(16 * MIB);
+        cfg.token_checks = tokens;
+        g.bench_with_input(
+            BenchmarkId::new("ctx_switch_tokens", tokens),
+            &cfg,
+            |b, cfg| {
+                let mut k = Kernel::boot(*cfg).expect("boot");
+                b.iter(|| black_box(lmbench::lat_ctx(&mut k, 4, 64)));
+            },
+        );
+    }
+
+    // Defense-mode comparison on the PT-write-heavy fork path.
+    for defense in [
+        DefenseMode::None,
+        DefenseMode::PtRand,
+        DefenseMode::VirtualIsolation,
+        DefenseMode::PtStore,
+    ] {
+        let cfg = KernelConfig::cfi()
+            .with_defense(defense)
+            .with_mem_size(256 * MIB)
+            .with_initial_secure_size(16 * MIB);
+        g.bench_with_input(
+            BenchmarkId::new("fork_defense", defense),
+            &cfg,
+            |b, cfg| {
+                let mut k = Kernel::boot(*cfg).expect("boot");
+                b.iter(|| black_box(lmbench::lat_fork_exit(&mut k, 20)));
+            },
+        );
+    }
+    g.finish();
+
+    // Cycle-model ablations, printed once.
+    eprintln!("\n-- Ablation: initial secure-region size sweep (300-process stress) --");
+    let base_cycles = {
+        let mut k = Kernel::boot(KernelConfig::cfi().with_mem_size(512 * MIB)).expect("boot");
+        run_fork_stress(&mut k, 300).expect("stress").cycles
+    };
+    for initial_mib in [1u64, 2, 4, 8, 16, 64] {
+        let mut k = Kernel::boot(
+            KernelConfig::cfi_ptstore()
+                .with_mem_size(512 * MIB)
+                .with_initial_secure_size(initial_mib * MIB),
+        )
+        .expect("boot");
+        let r = run_fork_stress(&mut k, 300).expect("stress");
+        eprintln!(
+            "initial {initial_mib:>3} MiB: overhead {:>6.2}%  adjustments {:>2}",
+            overhead_pct(r.cycles, base_cycles),
+            r.adjustments
+        );
+    }
+
+    eprintln!("\n-- Ablation: defense-mode fork cost (cycle model) --");
+    let mut base = 0u64;
+    for defense in [
+        DefenseMode::None,
+        DefenseMode::PtRand,
+        DefenseMode::VirtualIsolation,
+        DefenseMode::PtStore,
+    ] {
+        let mut k = Kernel::boot(
+            KernelConfig::cfi()
+                .with_defense(defense)
+                .with_mem_size(256 * MIB)
+                .with_initial_secure_size(16 * MIB),
+        )
+        .expect("boot");
+        let cycles = lmbench::lat_fork_exit(&mut k, 100);
+        if defense == DefenseMode::None {
+            base = cycles;
+        }
+        eprintln!(
+            "{defense:<20} fork+exit overhead {:>7.2}%",
+            overhead_pct(cycles, base)
+        );
+    }
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! §V-D1 bench: the fork stress that drives secure-region adjustment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ptstore_bench::{run_stress, Scale};
+use ptstore_core::MIB;
+use ptstore_kernel::{Kernel, KernelConfig};
+use ptstore_workloads::fork_stress::run_fork_stress;
+
+fn bench_fork_stress(c: &mut Criterion) {
+    let mut g = c.benchmark_group("forkstress");
+    g.sample_size(10);
+    let configs = [
+        ("cfi", KernelConfig::cfi().with_mem_size(512 * MIB)),
+        (
+            "cfi_ptstore_adjusting",
+            KernelConfig::cfi_ptstore()
+                .with_mem_size(512 * MIB)
+                .with_initial_secure_size(2 * MIB),
+        ),
+        (
+            "cfi_ptstore_no_adjust",
+            KernelConfig::cfi_ptstore_no_adjust()
+                .with_mem_size(512 * MIB)
+                .with_initial_secure_size(64 * MIB),
+        ),
+    ];
+    for (label, cfg) in configs {
+        g.bench_with_input(BenchmarkId::new("create_teardown_300", label), &cfg, |b, cfg| {
+            b.iter(|| {
+                let mut k = Kernel::boot(*cfg).expect("boot");
+                black_box(run_fork_stress(&mut k, 300).expect("stress"))
+            });
+        });
+    }
+    g.finish();
+
+    eprintln!("\n-- §V-D1 fork stress (cycle model, quick scale) --");
+    for row in run_stress(&Scale::quick()) {
+        eprintln!(
+            "{:<18} overhead {:>6.2}%  adjustments {:>3}  region {:?} MiB",
+            row.label,
+            row.overhead_pct,
+            row.result.adjustments,
+            row.result.final_region_size.map(|s| s >> 20)
+        );
+    }
+}
+
+criterion_group!(benches, bench_fork_stress);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Table III bench: synthesis + timing model, with/without PTStore.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use ptstore_hwcost::{table3, BoomConfig, SystemCost, TimingModel};
+
+fn bench_hwcost(c: &mut Criterion) {
+    let cfg = BoomConfig::small_boom();
+    let mut g = c.benchmark_group("table3_hwcost");
+    g.bench_function("synthesise_baseline", |b| {
+        b.iter(|| SystemCost::synthesise(black_box(&cfg), false))
+    });
+    g.bench_function("synthesise_ptstore", |b| {
+        b.iter(|| SystemCost::synthesise(black_box(&cfg), true))
+    });
+    g.bench_function("implement_timing", |b| {
+        b.iter(|| TimingModel::implement(black_box(&cfg), true))
+    });
+    g.bench_function("full_table3", |b| b.iter(|| table3(black_box(&cfg))));
+    g.finish();
+
+    // Print the regenerated table once per bench run.
+    eprintln!("\n-- Table III (regenerated) --");
+    for row in table3(&cfg) {
+        eprintln!("{row}");
+    }
+}
+
+criterion_group!(benches, bench_hwcost);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Figure 4 bench: LMBench microbenchmarks on baseline/CFI/CFI+PTStore
+//! kernels. Criterion measures the simulator's host time; the cycle-model
+//! overheads (the paper's metric) are printed at the end.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ptstore_bench::{average_overhead, run_fig4, Scale};
+use ptstore_kernel::{Kernel, KernelConfig};
+use ptstore_workloads::lmbench;
+use ptstore_core::MIB;
+
+fn boot(cfg: KernelConfig) -> Kernel {
+    Kernel::boot(
+        cfg.with_mem_size(256 * MIB)
+            .with_initial_secure_size(16 * MIB),
+    )
+    .expect("boot")
+}
+
+fn bench_lmbench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_lmbench");
+    g.sample_size(10);
+    for name in ["null call", "open/close", "pipe", "fork+exit", "page fault"] {
+        for (label, cfg) in [
+            ("baseline", KernelConfig::baseline()),
+            ("cfi_ptstore", KernelConfig::cfi_ptstore()),
+        ] {
+            g.bench_with_input(
+                BenchmarkId::new(name.replace(['/', ' '], "_"), label),
+                &cfg,
+                |b, cfg| {
+                    let mut k = boot(*cfg);
+                    b.iter(|| black_box(lmbench::run(name, &mut k, 20)));
+                },
+            );
+        }
+    }
+    g.finish();
+
+    let series = run_fig4(&Scale::quick());
+    eprintln!("\n-- Figure 4 overheads (cycle model, quick scale) --");
+    for s in &series {
+        eprintln!("{s}");
+    }
+    eprintln!(
+        "avg CFI {:.2}% | avg CFI+PTStore {:.2}%",
+        average_overhead(&series, "CFI"),
+        average_overhead(&series, "CFI+PTStore")
+    );
+}
+
+criterion_group!(benches, bench_lmbench);
+criterion_main!(benches);

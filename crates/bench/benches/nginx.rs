@@ -1,0 +1,51 @@
+//! Figure 6 bench: NGINX static-file serving.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use ptstore_bench::{average_overhead, run_fig6, Scale};
+use ptstore_core::MIB;
+use ptstore_kernel::{Kernel, KernelConfig};
+use ptstore_workloads::nginx::{run_nginx, NginxParams};
+
+fn bench_nginx(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_nginx");
+    g.sample_size(10);
+    for size_kib in [4u64, 64] {
+        let params = NginxParams {
+            requests: 200,
+            concurrency: 50,
+            ..NginxParams::paper(size_kib << 10)
+        };
+        g.throughput(Throughput::Elements(params.requests));
+        for (label, cfg) in [
+            ("baseline", KernelConfig::baseline()),
+            ("cfi_ptstore", KernelConfig::cfi_ptstore()),
+        ] {
+            let cfg = cfg.with_mem_size(256 * MIB).with_initial_secure_size(16 * MIB);
+            g.bench_with_input(
+                BenchmarkId::new(format!("{size_kib}KiB"), label),
+                &cfg,
+                |b, cfg| {
+                    let mut k = Kernel::boot(*cfg).expect("boot");
+                    b.iter(|| black_box(run_nginx(&mut k, &params)));
+                },
+            );
+        }
+    }
+    g.finish();
+
+    let series = run_fig6(&Scale::quick());
+    eprintln!("\n-- Figure 6 overheads (cycle model) --");
+    for s in &series {
+        eprintln!("{s}");
+    }
+    eprintln!(
+        "avg CFI+PTStore {:.2}% (paper <8.18% incl. CFI); PTStore-only {:.2}% (paper <0.86%)",
+        average_overhead(&series, "CFI+PTStore"),
+        average_overhead(&series, "CFI+PTStore") - average_overhead(&series, "CFI")
+    );
+}
+
+criterion_group!(benches, bench_nginx);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Figure 7 bench: the redis-benchmark command mix.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use ptstore_bench::{average_overhead, run_fig7, Scale};
+use ptstore_core::MIB;
+use ptstore_kernel::{Kernel, KernelConfig};
+use ptstore_workloads::redis::{run_redis_test, RedisParams, REDIS_TESTS};
+
+fn bench_redis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_redis");
+    g.sample_size(10);
+    let params = RedisParams {
+        requests: 500,
+        connections: 50,
+    };
+    // GET (short) and LRANGE_100 (bulk) span the figure's range.
+    for test in [&REDIS_TESTS[3], &REDIS_TESTS[12]] {
+        g.throughput(Throughput::Elements(params.requests));
+        for (label, cfg) in [
+            ("baseline", KernelConfig::baseline()),
+            ("cfi_ptstore", KernelConfig::cfi_ptstore()),
+        ] {
+            let cfg = cfg.with_mem_size(256 * MIB).with_initial_secure_size(16 * MIB);
+            g.bench_with_input(BenchmarkId::new(test.name, label), &cfg, |b, cfg| {
+                let mut k = Kernel::boot(*cfg).expect("boot");
+                b.iter(|| black_box(run_redis_test(&mut k, test, &params)));
+            });
+        }
+    }
+    g.finish();
+
+    let series = run_fig7(&Scale::quick());
+    eprintln!("\n-- Figure 7 overheads (cycle model) --");
+    for s in &series {
+        eprintln!("{s}");
+    }
+    eprintln!(
+        "avg CFI+PTStore {:.2}%; PTStore-only {:.2}% (paper <0.86%)",
+        average_overhead(&series, "CFI+PTStore"),
+        average_overhead(&series, "CFI+PTStore") - average_overhead(&series, "CFI")
+    );
+}
+
+criterion_group!(benches, bench_redis);
+criterion_main!(benches);

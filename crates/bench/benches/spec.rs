@@ -1,0 +1,42 @@
+//! Figure 5 bench: SPEC CINT2006-shaped workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ptstore_bench::{average_overhead, run_fig5, Scale};
+use ptstore_core::MIB;
+use ptstore_kernel::{Kernel, KernelConfig};
+use ptstore_workloads::spec::{run_spec, SPEC_CINT2006};
+
+fn bench_spec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_spec");
+    g.sample_size(10);
+    // Host-time benches over a representative pair (CPU-bound vs page-heavy).
+    for p in [&SPEC_CINT2006[6] /* libquantum */, &SPEC_CINT2006[2] /* mcf */] {
+        for (label, cfg) in [
+            ("baseline", KernelConfig::baseline()),
+            ("cfi_ptstore", KernelConfig::cfi_ptstore()),
+        ] {
+            let cfg = cfg.with_mem_size(512 * MIB).with_initial_secure_size(16 * MIB);
+            g.bench_with_input(BenchmarkId::new(p.name, label), &cfg, |b, cfg| {
+                let mut k = Kernel::boot(*cfg).expect("boot");
+                b.iter(|| black_box(run_spec(&mut k, p)));
+            });
+        }
+    }
+    g.finish();
+
+    let series = run_fig5(&Scale::quick());
+    eprintln!("\n-- Figure 5 overheads (cycle model) --");
+    for s in &series {
+        eprintln!("{s}");
+    }
+    eprintln!(
+        "avg CFI+PTStore {:.3}% (paper <0.91%); PTStore-only {:.3}% (paper <0.29%)",
+        average_overhead(&series, "CFI+PTStore"),
+        average_overhead(&series, "CFI+PTStore") - average_overhead(&series, "CFI")
+    );
+}
+
+criterion_group!(benches, bench_spec);
+criterion_main!(benches);

@@ -1,0 +1,163 @@
+//! Property-based tests for the PTStore core invariants.
+
+use proptest::prelude::*;
+use ptstore_core::prelude::*;
+use ptstore_core::{check_access, AccessDecision, PmpEntry};
+
+const PAGE: u64 = PAGE_SIZE;
+
+prop_compose! {
+    /// An arbitrary page-aligned secure region inside a 4 GiB address space.
+    fn arb_region()(base_page in 1u64..1_000_000, pages in 1u64..10_000) -> SecureRegion {
+        SecureRegion::new(PhysAddr::new(base_page * PAGE), pages * PAGE).unwrap()
+    }
+}
+
+proptest! {
+    /// The PMP check and the distilled policy function always agree about
+    /// PTStore-specific denials.
+    #[test]
+    fn pmp_matches_policy(region in arb_region(), addr in 0u64..(1u64 << 42), satp_s in any::<bool>()) {
+        let mut pmp = PmpUnit::new();
+        pmp.install_secure_region(&region).unwrap();
+        let pa = PhysAddr::new(addr);
+        let in_region = region.contains(pa);
+        let ctx = AccessContext::supervisor(satp_s);
+        for channel in [Channel::Regular, Channel::SecurePt, Channel::Ptw] {
+            let decision = check_access(channel, in_region, satp_s);
+            let hw = pmp.check(pa, AccessKind::Read, channel, ctx);
+            prop_assert_eq!(
+                decision.is_allow(),
+                hw.is_ok(),
+                "channel={} addr={:#x} in_region={} satp_s={}",
+                channel, addr, in_region, satp_s
+            );
+            if let Err(e) = hw {
+                let want = match decision {
+                    AccessDecision::DenyRegularInSecure =>
+                        matches!(e, AccessError::SecureRegionDenied { .. }),
+                    AccessDecision::DenySecureInstructionOutside =>
+                        matches!(e, AccessError::SecureInstructionOutsideRegion { .. }),
+                    AccessDecision::DenyPtwOutside =>
+                        matches!(e, AccessError::PtwOutsideRegion { .. }),
+                    AccessDecision::Allow => false,
+                };
+                prop_assert!(want, "error kind mismatch: {:?} vs {:?}", decision, e);
+            }
+        }
+    }
+
+    /// Growing the secure region downward preserves the end boundary, keeps
+    /// the region contiguous, and never *shrinks* coverage: every address
+    /// secure before stays secure after.
+    #[test]
+    fn grow_down_is_monotone(region in arb_region(), extra_pages in 1u64..1_000, probe in 0u64..(1u64 << 42)) {
+        prop_assume!(region.base().as_u64() >= extra_pages * PAGE);
+        let grown = region.grow_down(extra_pages * PAGE).unwrap();
+        prop_assert_eq!(grown.end(), region.end());
+        prop_assert_eq!(grown.size(), region.size() + extra_pages * PAGE);
+        let pa = PhysAddr::new(probe);
+        if region.contains(pa) {
+            prop_assert!(grown.contains(pa));
+        }
+    }
+
+    /// Token serialisation round-trips, and validation accepts exactly the
+    /// (pt, slot) pair the token was issued for.
+    #[test]
+    fn token_round_trip_and_binding(
+        pt in (1u64..u64::MAX / 16).prop_map(|x| x * 8),
+        slot in (1u64..u64::MAX / 16).prop_map(|x| x * 8),
+        other_pt in (1u64..u64::MAX / 16).prop_map(|x| x * 8),
+        other_slot in (1u64..u64::MAX / 16).prop_map(|x| x * 8),
+    ) {
+        let t = Token::new(PhysAddr::new(pt), PhysAddr::new(slot));
+        prop_assert_eq!(Token::from_bytes(&t.to_bytes()), t);
+        prop_assert!(t.fields_invalid_as_ptes());
+        prop_assert!(t.validate(PhysAddr::new(pt), PhysAddr::new(slot)).is_ok());
+        if other_slot != slot {
+            prop_assert!(t.validate(PhysAddr::new(pt), PhysAddr::new(other_slot)).is_err());
+        }
+        if other_pt != pt {
+            prop_assert!(t.validate(PhysAddr::new(other_pt), PhysAddr::new(slot)).is_err());
+        }
+    }
+
+    /// pmpaddr encoding round-trips for 4-byte-aligned addresses.
+    #[test]
+    fn pmpaddr_round_trip(addr in (0u64..(1u64 << 54)).prop_map(|x| x & !0b11)) {
+        let pa = PhysAddr::new(addr);
+        prop_assert_eq!(PmpEntry::decode_addr(PmpEntry::encode_addr(pa)), pa);
+    }
+
+    /// Page alignment helpers are idempotent and ordered.
+    #[test]
+    fn alignment_laws(addr in 0u64..(u64::MAX - PAGE)) {
+        let pa = PhysAddr::new(addr);
+        let down = pa.page_align_down();
+        let up = pa.page_align_up();
+        prop_assert!(down <= pa && pa <= up);
+        prop_assert_eq!(down.page_align_down(), down);
+        prop_assert_eq!(up.page_align_up(), up);
+        prop_assert!(up.as_u64() - down.as_u64() <= PAGE);
+    }
+}
+
+proptest! {
+    /// For naturally aligned power-of-two regions, a NAPOT encoding and a
+    /// TOR pair must produce identical PMP matching decisions — the two
+    /// address modes are interchangeable representations.
+    #[test]
+    fn napot_and_tor_agree(
+        size_log2 in 3u32..24,
+        base_mult in 1u64..1000,
+        probe in 0u64..(1u64 << 36),
+    ) {
+        use ptstore_core::{PmpAddressMode, PmpEntry, PmpPermissions};
+        let size = 1u64 << size_log2;
+        let base = base_mult * size; // naturally aligned
+        // NAPOT unit.
+        let mut napot = PmpUnit::new();
+        napot.set_entry(
+            0,
+            PmpEntry {
+                cfg: PmpPermissions::new()
+                    .with_read()
+                    .with_write()
+                    .with_secure()
+                    .with_mode(PmpAddressMode::Napot),
+                addr: (base >> 2) | ((size >> 3) - 1),
+            },
+        );
+        // TOR pair.
+        let mut tor = PmpUnit::new();
+        tor.set_entry(0, PmpEntry {
+            cfg: PmpPermissions::new(),
+            addr: base >> 2,
+        });
+        tor.set_entry(
+            1,
+            PmpEntry {
+                cfg: PmpPermissions::new()
+                    .with_read()
+                    .with_write()
+                    .with_secure()
+                    .with_mode(PmpAddressMode::Tor),
+                addr: (base + size) >> 2,
+            },
+        );
+        let pa = PhysAddr::new(probe & !0b111);
+        let ctx = AccessContext::supervisor(true);
+        for channel in [Channel::Regular, Channel::SecurePt, Channel::Ptw] {
+            let a = napot.check(pa, AccessKind::Write, channel, ctx).is_ok();
+            let b = tor.check(pa, AccessKind::Write, channel, ctx).is_ok();
+            prop_assert_eq!(
+                a, b,
+                "napot/tor disagree at {:#x} (region {:#x}+{:#x}, {})",
+                pa.as_u64(), base, size, channel
+            );
+        }
+        // And both agree on secure-region membership.
+        prop_assert_eq!(napot.is_secure(pa), tor.is_secure(pa));
+    }
+}

@@ -1,0 +1,220 @@
+//! The control-and-status-register file.
+//!
+//! PTStore touches two CSRs: each `pmpcfg` entry gains the **S-bit** (bit 5
+//! of its configuration byte) and `satp` gains an **S-bit** arming the
+//! walker's secure-region check (paper §IV-A1). Both are plain bits here; the
+//! semantics live in [`ptstore_core::PmpUnit`] and
+//! [`ptstore_mmu::Satp`], which the CPU synchronises after CSR writes.
+
+use std::collections::HashMap;
+
+use ptstore_core::PrivilegeMode;
+
+/// Well-known CSR addresses used by the model.
+pub mod addr {
+    /// Supervisor status.
+    pub const SSTATUS: u16 = 0x100;
+    /// Supervisor trap vector.
+    pub const STVEC: u16 = 0x105;
+    /// Supervisor scratch.
+    pub const SSCRATCH: u16 = 0x140;
+    /// Supervisor exception PC.
+    pub const SEPC: u16 = 0x141;
+    /// Supervisor trap cause.
+    pub const SCAUSE: u16 = 0x142;
+    /// Supervisor trap value.
+    pub const STVAL: u16 = 0x143;
+    /// Supervisor interrupt enable.
+    pub const SIE: u16 = 0x104;
+    /// Supervisor interrupt pending.
+    pub const SIP: u16 = 0x144;
+    /// Supervisor timer compare (the Sstc extension; 0 = disarmed in this
+    /// model, as the reset value is unspecified by the spec).
+    pub const STIMECMP: u16 = 0x14D;
+    /// Address translation and protection — carries the PTStore S-bit.
+    pub const SATP: u16 = 0x180;
+    /// Machine status.
+    pub const MSTATUS: u16 = 0x300;
+    /// Machine ISA.
+    pub const MISA: u16 = 0x301;
+    /// Machine exception delegation.
+    pub const MEDELEG: u16 = 0x302;
+    /// Machine interrupt delegation.
+    pub const MIDELEG: u16 = 0x303;
+    /// Machine trap vector.
+    pub const MTVEC: u16 = 0x305;
+    /// Machine scratch.
+    pub const MSCRATCH: u16 = 0x340;
+    /// Machine exception PC.
+    pub const MEPC: u16 = 0x341;
+    /// Machine trap cause.
+    pub const MCAUSE: u16 = 0x342;
+    /// Machine trap value.
+    pub const MTVAL: u16 = 0x343;
+    /// PMP configuration 0 (packs 8 entry bytes, each with the PTStore
+    /// S-bit at bit 5).
+    pub const PMPCFG0: u16 = 0x3A0;
+    /// First PMP address register (entries 0–7 follow consecutively).
+    pub const PMPADDR0: u16 = 0x3B0;
+    /// Cycle counter (read-only shadow).
+    pub const CYCLE: u16 = 0xC00;
+    /// Timer (read-only shadow).
+    pub const TIME: u16 = 0xC01;
+    /// Instructions-retired counter (read-only shadow).
+    pub const INSTRET: u16 = 0xC02;
+}
+
+/// `mstatus`/`sstatus` bit positions used by the trap logic.
+pub mod status {
+    /// Supervisor interrupt enable.
+    pub const SIE: u64 = 1 << 1;
+    /// Machine interrupt enable.
+    pub const MIE: u64 = 1 << 3;
+    /// Supervisor previous interrupt enable.
+    pub const SPIE: u64 = 1 << 5;
+    /// Machine previous interrupt enable.
+    pub const MPIE: u64 = 1 << 7;
+    /// Supervisor previous privilege (1 bit).
+    pub const SPP: u64 = 1 << 8;
+    /// Machine previous privilege (2 bits).
+    pub const MPP_SHIFT: u64 = 11;
+    /// Machine previous privilege mask.
+    pub const MPP_MASK: u64 = 0b11 << MPP_SHIFT;
+}
+
+/// `sie`/`sip` bit positions.
+pub mod interrupt {
+    /// Supervisor timer interrupt (STIE/STIP).
+    pub const STI: u64 = 1 << 5;
+    /// The interrupt bit of `scause`.
+    pub const CAUSE_INTERRUPT: u64 = 1 << 63;
+    /// Supervisor timer interrupt cause code.
+    pub const CAUSE_S_TIMER: u64 = 5;
+}
+
+/// Why a CSR access was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CsrError {
+    /// The CSR address requires a higher privilege mode.
+    InsufficientPrivilege,
+    /// Write to a read-only CSR.
+    ReadOnly,
+}
+
+/// A simple CSR file: raw 64-bit storage with privilege checking. Side
+/// effects of `satp`/PMP writes are applied by the CPU after the raw write.
+#[derive(Debug, Clone, Default)]
+pub struct CsrFile {
+    values: HashMap<u16, u64>,
+}
+
+impl CsrFile {
+    /// An empty (all-zero) CSR file.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Minimum privilege required to touch `csr` (address bits 9:8).
+    pub fn required_privilege(csr: u16) -> PrivilegeMode {
+        match (csr >> 8) & 0b11 {
+            0b00 => PrivilegeMode::User,
+            0b01 | 0b10 => PrivilegeMode::Supervisor,
+            _ => PrivilegeMode::Machine,
+        }
+    }
+
+    /// True for the read-only counter shadows (address top bits `11`).
+    pub fn is_read_only(csr: u16) -> bool {
+        (csr >> 10) == 0b11
+    }
+
+    /// Raw read without privilege checks (trap handlers, tests).
+    pub fn read_raw(&self, csr: u16) -> u64 {
+        self.values.get(&csr).copied().unwrap_or(0)
+    }
+
+    /// Raw write without privilege checks (trap handlers, tests).
+    pub fn write_raw(&mut self, csr: u16, value: u64) {
+        self.values.insert(csr, value);
+    }
+
+    /// Privilege-checked read.
+    ///
+    /// # Errors
+    /// [`CsrError::InsufficientPrivilege`] when `mode` is too low.
+    pub fn read(&self, csr: u16, mode: PrivilegeMode) -> Result<u64, CsrError> {
+        if mode < Self::required_privilege(csr) {
+            return Err(CsrError::InsufficientPrivilege);
+        }
+        Ok(self.read_raw(csr))
+    }
+
+    /// Privilege-checked write.
+    ///
+    /// # Errors
+    /// [`CsrError::InsufficientPrivilege`] or [`CsrError::ReadOnly`].
+    pub fn write(&mut self, csr: u16, value: u64, mode: PrivilegeMode) -> Result<(), CsrError> {
+        if mode < Self::required_privilege(csr) {
+            return Err(CsrError::InsufficientPrivilege);
+        }
+        if Self::is_read_only(csr) {
+            return Err(CsrError::ReadOnly);
+        }
+        self.write_raw(csr, value);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn privilege_levels() {
+        assert_eq!(CsrFile::required_privilege(addr::SATP), PrivilegeMode::Supervisor);
+        assert_eq!(CsrFile::required_privilege(addr::MSTATUS), PrivilegeMode::Machine);
+        assert_eq!(CsrFile::required_privilege(addr::PMPCFG0), PrivilegeMode::Machine);
+        assert_eq!(CsrFile::required_privilege(addr::CYCLE), PrivilegeMode::User);
+    }
+
+    #[test]
+    fn user_cannot_touch_satp() {
+        let mut f = CsrFile::new();
+        assert_eq!(
+            f.read(addr::SATP, PrivilegeMode::User),
+            Err(CsrError::InsufficientPrivilege)
+        );
+        assert_eq!(
+            f.write(addr::SATP, 1, PrivilegeMode::User),
+            Err(CsrError::InsufficientPrivilege)
+        );
+        // Supervisor can.
+        f.write(addr::SATP, 0x42, PrivilegeMode::Supervisor).unwrap();
+        assert_eq!(f.read(addr::SATP, PrivilegeMode::Supervisor).unwrap(), 0x42);
+    }
+
+    #[test]
+    fn only_machine_configures_pmp() {
+        // Paper §IV-B: only M-mode can access the pmpcfg CSRs, hence the SBI.
+        let mut f = CsrFile::new();
+        assert!(f.write(addr::PMPCFG0, 1, PrivilegeMode::Supervisor).is_err());
+        f.write(addr::PMPCFG0, 1, PrivilegeMode::Machine).unwrap();
+    }
+
+    #[test]
+    fn counters_are_read_only() {
+        let mut f = CsrFile::new();
+        assert_eq!(
+            f.write(addr::CYCLE, 5, PrivilegeMode::Machine),
+            Err(CsrError::ReadOnly)
+        );
+        assert!(CsrFile::is_read_only(addr::INSTRET));
+        assert!(!CsrFile::is_read_only(addr::SATP));
+    }
+
+    #[test]
+    fn unwritten_reads_zero() {
+        let f = CsrFile::new();
+        assert_eq!(f.read_raw(addr::MEPC), 0);
+    }
+}

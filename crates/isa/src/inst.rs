@@ -1,0 +1,446 @@
+//! The decoded instruction representation.
+
+use core::fmt;
+
+/// Register ABI names for disassembly.
+pub const REG_NAMES: [&str; 32] = [
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3", "a4",
+    "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11", "t3", "t4",
+    "t5", "t6",
+];
+
+/// Conditional branch comparisons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchOp {
+    /// `beq`
+    Eq,
+    /// `bne`
+    Ne,
+    /// `blt`
+    Lt,
+    /// `bge`
+    Ge,
+    /// `bltu`
+    Ltu,
+    /// `bgeu`
+    Geu,
+}
+
+/// Load widths/signedness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LoadOp {
+    /// `lb`
+    B,
+    /// `lh`
+    H,
+    /// `lw`
+    W,
+    /// `ld`
+    D,
+    /// `lbu`
+    Bu,
+    /// `lhu`
+    Hu,
+    /// `lwu`
+    Wu,
+}
+
+impl LoadOp {
+    /// Access width in bytes.
+    pub const fn width(self) -> u64 {
+        match self {
+            LoadOp::B | LoadOp::Bu => 1,
+            LoadOp::H | LoadOp::Hu => 2,
+            LoadOp::W | LoadOp::Wu => 4,
+            LoadOp::D => 8,
+        }
+    }
+}
+
+/// Store widths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StoreOp {
+    /// `sb`
+    B,
+    /// `sh`
+    H,
+    /// `sw`
+    W,
+    /// `sd`
+    D,
+}
+
+impl StoreOp {
+    /// Access width in bytes.
+    pub const fn width(self) -> u64 {
+        match self {
+            StoreOp::B => 1,
+            StoreOp::H => 2,
+            StoreOp::W => 4,
+            StoreOp::D => 8,
+        }
+    }
+}
+
+/// Integer ALU operations (register and immediate forms share this set; the
+/// M extension's multiply/divide family is included).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Addition (`add`/`addi`).
+    Add,
+    /// Subtraction (`sub`).
+    Sub,
+    /// Logical left shift.
+    Sll,
+    /// Signed set-less-than.
+    Slt,
+    /// Unsigned set-less-than.
+    Sltu,
+    /// Exclusive or.
+    Xor,
+    /// Logical right shift.
+    Srl,
+    /// Arithmetic right shift.
+    Sra,
+    /// Inclusive or.
+    Or,
+    /// And.
+    And,
+    /// Multiply (M extension).
+    Mul,
+    /// Signed divide (M extension).
+    Div,
+    /// Unsigned divide (M extension).
+    Divu,
+    /// Signed remainder (M extension).
+    Rem,
+    /// Unsigned remainder (M extension).
+    Remu,
+}
+
+/// RV64A atomic-memory operations (plus LR/SC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AmoOp {
+    /// `lr` — load-reserved.
+    Lr,
+    /// `sc` — store-conditional.
+    Sc,
+    /// `amoswap`
+    Swap,
+    /// `amoadd`
+    Add,
+    /// `amoxor`
+    Xor,
+    /// `amoand`
+    And,
+    /// `amoor`
+    Or,
+    /// `amomin` (signed)
+    Min,
+    /// `amomax` (signed)
+    Max,
+    /// `amominu`
+    Minu,
+    /// `amomaxu`
+    Maxu,
+}
+
+impl AmoOp {
+    /// The funct5 field encoding.
+    pub const fn funct5(self) -> u32 {
+        match self {
+            AmoOp::Add => 0b00000,
+            AmoOp::Swap => 0b00001,
+            AmoOp::Lr => 0b00010,
+            AmoOp::Sc => 0b00011,
+            AmoOp::Xor => 0b00100,
+            AmoOp::Or => 0b01000,
+            AmoOp::And => 0b01100,
+            AmoOp::Min => 0b10000,
+            AmoOp::Max => 0b10100,
+            AmoOp::Minu => 0b11000,
+            AmoOp::Maxu => 0b11100,
+        }
+    }
+
+    /// Decodes the funct5 field.
+    pub const fn from_funct5(bits: u32) -> Option<Self> {
+        match bits {
+            0b00000 => Some(AmoOp::Add),
+            0b00001 => Some(AmoOp::Swap),
+            0b00010 => Some(AmoOp::Lr),
+            0b00011 => Some(AmoOp::Sc),
+            0b00100 => Some(AmoOp::Xor),
+            0b01000 => Some(AmoOp::Or),
+            0b01100 => Some(AmoOp::And),
+            0b10000 => Some(AmoOp::Min),
+            0b10100 => Some(AmoOp::Max),
+            0b11000 => Some(AmoOp::Minu),
+            0b11100 => Some(AmoOp::Maxu),
+            _ => None,
+        }
+    }
+}
+
+/// CSR access operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CsrOp {
+    /// `csrrw`
+    ReadWrite,
+    /// `csrrs`
+    ReadSet,
+    /// `csrrc`
+    ReadClear,
+}
+
+/// A decoded RV64 instruction, including the PTStore extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Inst {
+    /// `lui rd, imm`
+    Lui { rd: u8, imm: i64 },
+    /// `auipc rd, imm`
+    Auipc { rd: u8, imm: i64 },
+    /// `jal rd, offset`
+    Jal { rd: u8, offset: i64 },
+    /// `jalr rd, offset(rs1)`
+    Jalr { rd: u8, rs1: u8, offset: i64 },
+    /// Conditional branch.
+    Branch {
+        op: BranchOp,
+        rs1: u8,
+        rs2: u8,
+        offset: i64,
+    },
+    /// Regular load.
+    Load {
+        op: LoadOp,
+        rd: u8,
+        rs1: u8,
+        offset: i64,
+    },
+    /// Regular store.
+    Store {
+        op: StoreOp,
+        rs1: u8,
+        rs2: u8,
+        offset: i64,
+    },
+    /// Register-immediate ALU (`word` = 32-bit `*.w` form).
+    OpImm {
+        op: AluOp,
+        rd: u8,
+        rs1: u8,
+        imm: i64,
+        word: bool,
+    },
+    /// Register-register ALU (`word` = 32-bit `*.w` form).
+    Op {
+        op: AluOp,
+        rd: u8,
+        rs1: u8,
+        rs2: u8,
+        word: bool,
+    },
+    /// RV64A atomic: `amo* rd, rs2, (rs1)` / `lr rd, (rs1)` /
+    /// `sc rd, rs2, (rs1)`; `word` selects the `.w` form.
+    Amo {
+        op: AmoOp,
+        rd: u8,
+        rs1: u8,
+        rs2: u8,
+        word: bool,
+    },
+    /// **PTStore** `ld.pt rd, offset(rs1)` — 64-bit load through the
+    /// secure-region channel (paper §IV-A1).
+    LdPt { rd: u8, rs1: u8, offset: i64 },
+    /// **PTStore** `sd.pt rs2, offset(rs1)` — 64-bit store through the
+    /// secure-region channel (paper §IV-A1).
+    SdPt { rs1: u8, rs2: u8, offset: i64 },
+    /// CSR read-modify-write; `imm_form` uses `rs1` as a 5-bit immediate.
+    Csr {
+        op: CsrOp,
+        rd: u8,
+        rs1: u8,
+        csr: u16,
+        imm_form: bool,
+    },
+    /// `ecall`
+    Ecall,
+    /// `ebreak`
+    Ebreak,
+    /// `mret`
+    Mret,
+    /// `sret`
+    Sret,
+    /// `wfi`
+    Wfi,
+    /// `fence` (a no-op in this model).
+    Fence,
+    /// `sfence.vma rs1, rs2`
+    SfenceVma { rs1: u8, rs2: u8 },
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let r = |i: u8| REG_NAMES[i as usize];
+        match *self {
+            Inst::Lui { rd, imm } => write!(f, "lui {}, {:#x}", r(rd), imm >> 12),
+            Inst::Auipc { rd, imm } => write!(f, "auipc {}, {:#x}", r(rd), imm >> 12),
+            Inst::Jal { rd, offset } => write!(f, "jal {}, {}", r(rd), offset),
+            Inst::Jalr { rd, rs1, offset } => write!(f, "jalr {}, {}({})", r(rd), offset, r(rs1)),
+            Inst::Branch { op, rs1, rs2, offset } => {
+                let name = match op {
+                    BranchOp::Eq => "beq",
+                    BranchOp::Ne => "bne",
+                    BranchOp::Lt => "blt",
+                    BranchOp::Ge => "bge",
+                    BranchOp::Ltu => "bltu",
+                    BranchOp::Geu => "bgeu",
+                };
+                write!(f, "{} {}, {}, {}", name, r(rs1), r(rs2), offset)
+            }
+            Inst::Load { op, rd, rs1, offset } => {
+                let name = match op {
+                    LoadOp::B => "lb",
+                    LoadOp::H => "lh",
+                    LoadOp::W => "lw",
+                    LoadOp::D => "ld",
+                    LoadOp::Bu => "lbu",
+                    LoadOp::Hu => "lhu",
+                    LoadOp::Wu => "lwu",
+                };
+                write!(f, "{} {}, {}({})", name, r(rd), offset, r(rs1))
+            }
+            Inst::Store { op, rs1, rs2, offset } => {
+                let name = match op {
+                    StoreOp::B => "sb",
+                    StoreOp::H => "sh",
+                    StoreOp::W => "sw",
+                    StoreOp::D => "sd",
+                };
+                write!(f, "{} {}, {}({})", name, r(rs2), offset, r(rs1))
+            }
+            Inst::OpImm { op, rd, rs1, imm, word } => {
+                let suffix = if word { "w" } else { "" };
+                let name = match op {
+                    AluOp::Add => "addi",
+                    AluOp::Slt => "slti",
+                    AluOp::Sltu => "sltiu",
+                    AluOp::Xor => "xori",
+                    AluOp::Or => "ori",
+                    AluOp::And => "andi",
+                    AluOp::Sll => "slli",
+                    AluOp::Srl => "srli",
+                    AluOp::Sra => "srai",
+                    _ => "op-imm?",
+                };
+                write!(f, "{name}{suffix} {}, {}, {}", r(rd), r(rs1), imm)
+            }
+            Inst::Op { op, rd, rs1, rs2, word } => {
+                let suffix = if word { "w" } else { "" };
+                let name = match op {
+                    AluOp::Add => "add",
+                    AluOp::Sub => "sub",
+                    AluOp::Sll => "sll",
+                    AluOp::Slt => "slt",
+                    AluOp::Sltu => "sltu",
+                    AluOp::Xor => "xor",
+                    AluOp::Srl => "srl",
+                    AluOp::Sra => "sra",
+                    AluOp::Or => "or",
+                    AluOp::And => "and",
+                    AluOp::Mul => "mul",
+                    AluOp::Div => "div",
+                    AluOp::Divu => "divu",
+                    AluOp::Rem => "rem",
+                    AluOp::Remu => "remu",
+                };
+                write!(f, "{name}{suffix} {}, {}, {}", r(rd), r(rs1), r(rs2))
+            }
+            Inst::Amo { op, rd, rs1, rs2, word } => {
+                let suffix = if word { "w" } else { "d" };
+                let name = match op {
+                    AmoOp::Lr => "lr",
+                    AmoOp::Sc => "sc",
+                    AmoOp::Swap => "amoswap",
+                    AmoOp::Add => "amoadd",
+                    AmoOp::Xor => "amoxor",
+                    AmoOp::And => "amoand",
+                    AmoOp::Or => "amoor",
+                    AmoOp::Min => "amomin",
+                    AmoOp::Max => "amomax",
+                    AmoOp::Minu => "amominu",
+                    AmoOp::Maxu => "amomaxu",
+                };
+                if op == AmoOp::Lr {
+                    write!(f, "{name}.{suffix} {}, ({})", r(rd), r(rs1))
+                } else {
+                    write!(f, "{name}.{suffix} {}, {}, ({})", r(rd), r(rs2), r(rs1))
+                }
+            }
+            Inst::LdPt { rd, rs1, offset } => {
+                write!(f, "ld.pt {}, {}({})", r(rd), offset, r(rs1))
+            }
+            Inst::SdPt { rs1, rs2, offset } => {
+                write!(f, "sd.pt {}, {}({})", r(rs2), offset, r(rs1))
+            }
+            Inst::Csr { op, rd, rs1, csr, imm_form } => {
+                let name = match (op, imm_form) {
+                    (CsrOp::ReadWrite, false) => "csrrw",
+                    (CsrOp::ReadSet, false) => "csrrs",
+                    (CsrOp::ReadClear, false) => "csrrc",
+                    (CsrOp::ReadWrite, true) => "csrrwi",
+                    (CsrOp::ReadSet, true) => "csrrsi",
+                    (CsrOp::ReadClear, true) => "csrrci",
+                };
+                if imm_form {
+                    write!(f, "{name} {}, {:#x}, {}", r(rd), csr, rs1)
+                } else {
+                    write!(f, "{name} {}, {:#x}, {}", r(rd), csr, r(rs1))
+                }
+            }
+            Inst::Ecall => f.write_str("ecall"),
+            Inst::Ebreak => f.write_str("ebreak"),
+            Inst::Mret => f.write_str("mret"),
+            Inst::Sret => f.write_str("sret"),
+            Inst::Wfi => f.write_str("wfi"),
+            Inst::Fence => f.write_str("fence"),
+            Inst::SfenceVma { rs1, rs2 } => write!(f, "sfence.vma {}, {}", r(rs1), r(rs2)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths() {
+        assert_eq!(LoadOp::B.width(), 1);
+        assert_eq!(LoadOp::Hu.width(), 2);
+        assert_eq!(LoadOp::Wu.width(), 4);
+        assert_eq!(LoadOp::D.width(), 8);
+        assert_eq!(StoreOp::W.width(), 4);
+    }
+
+    #[test]
+    fn display_ptstore_instructions() {
+        let ld = Inst::LdPt { rd: 10, rs1: 11, offset: 16 };
+        assert_eq!(ld.to_string(), "ld.pt a0, 16(a1)");
+        let sd = Inst::SdPt { rs1: 11, rs2: 10, offset: -8 };
+        assert_eq!(sd.to_string(), "sd.pt a0, -8(a1)");
+    }
+
+    #[test]
+    fn display_regular_instructions() {
+        assert_eq!(
+            Inst::Load { op: LoadOp::D, rd: 1, rs1: 2, offset: 0 }.to_string(),
+            "ld ra, 0(sp)"
+        );
+        assert_eq!(
+            Inst::Op { op: AluOp::Add, rd: 10, rs1: 10, rs2: 11, word: false }.to_string(),
+            "add a0, a0, a1"
+        );
+        assert_eq!(Inst::Ecall.to_string(), "ecall");
+    }
+}

@@ -1,0 +1,214 @@
+//! Property tests: encode/decode is a bijection over the supported
+//! instruction space, and the ALU implements RV64 semantics.
+
+use proptest::prelude::*;
+use ptstore_isa::inst::AmoOp;
+use ptstore_isa::{decode, encode, AluOp, BranchOp, Inst, LoadOp, StoreOp};
+
+fn arb_reg() -> impl Strategy<Value = u8> {
+    0u8..32
+}
+
+fn arb_i_imm() -> impl Strategy<Value = i64> {
+    -2048i64..=2047
+}
+
+fn arb_b_off() -> impl Strategy<Value = i64> {
+    (-2048i64..=2046).prop_map(|x| x * 2)
+}
+
+fn arb_j_off() -> impl Strategy<Value = i64> {
+    (-(1i64 << 19)..(1i64 << 19) - 1).prop_map(|x| x * 2)
+}
+
+fn arb_load_op() -> impl Strategy<Value = LoadOp> {
+    prop_oneof![
+        Just(LoadOp::B),
+        Just(LoadOp::H),
+        Just(LoadOp::W),
+        Just(LoadOp::D),
+        Just(LoadOp::Bu),
+        Just(LoadOp::Hu),
+        Just(LoadOp::Wu),
+    ]
+}
+
+fn arb_store_op() -> impl Strategy<Value = StoreOp> {
+    prop_oneof![
+        Just(StoreOp::B),
+        Just(StoreOp::H),
+        Just(StoreOp::W),
+        Just(StoreOp::D)
+    ]
+}
+
+fn arb_branch_op() -> impl Strategy<Value = BranchOp> {
+    prop_oneof![
+        Just(BranchOp::Eq),
+        Just(BranchOp::Ne),
+        Just(BranchOp::Lt),
+        Just(BranchOp::Ge),
+        Just(BranchOp::Ltu),
+        Just(BranchOp::Geu),
+    ]
+}
+
+fn arb_alu_rr() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::Sll),
+        Just(AluOp::Slt),
+        Just(AluOp::Sltu),
+        Just(AluOp::Xor),
+        Just(AluOp::Srl),
+        Just(AluOp::Sra),
+        Just(AluOp::Or),
+        Just(AluOp::And),
+        Just(AluOp::Mul),
+        Just(AluOp::Div),
+        Just(AluOp::Divu),
+        Just(AluOp::Rem),
+        Just(AluOp::Remu),
+    ]
+}
+
+fn arb_inst() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        (arb_reg(), (-(1i64 << 19)..(1i64 << 19)).prop_map(|x| x << 12))
+            .prop_map(|(rd, imm)| Inst::Lui { rd, imm }),
+        (arb_reg(), arb_j_off()).prop_map(|(rd, offset)| Inst::Jal { rd, offset }),
+        (arb_reg(), arb_reg(), arb_i_imm())
+            .prop_map(|(rd, rs1, offset)| Inst::Jalr { rd, rs1, offset }),
+        (arb_branch_op(), arb_reg(), arb_reg(), arb_b_off())
+            .prop_map(|(op, rs1, rs2, offset)| Inst::Branch { op, rs1, rs2, offset }),
+        (arb_load_op(), arb_reg(), arb_reg(), arb_i_imm())
+            .prop_map(|(op, rd, rs1, offset)| Inst::Load { op, rd, rs1, offset }),
+        (arb_store_op(), arb_reg(), arb_reg(), arb_i_imm())
+            .prop_map(|(op, rs1, rs2, offset)| Inst::Store { op, rs1, rs2, offset }),
+        (arb_reg(), arb_reg(), arb_i_imm())
+            .prop_map(|(rd, rs1, offset)| Inst::LdPt { rd, rs1, offset }),
+        (arb_reg(), arb_reg(), arb_i_imm())
+            .prop_map(|(rs1, rs2, offset)| Inst::SdPt { rs1, rs2, offset }),
+        (arb_alu_rr(), arb_reg(), arb_reg(), arb_reg(), any::<bool>())
+            .prop_map(|(op, rd, rs1, rs2, word)| Inst::Op { op, rd, rs1, rs2, word }),
+        (arb_amo_op(), arb_reg(), arb_reg(), arb_reg(), any::<bool>()).prop_map(
+            |(op, rd, rs1, rs2, word)| Inst::Amo {
+                op,
+                rd,
+                rs1,
+                rs2: if op == AmoOp::Lr { 0 } else { rs2 },
+                word,
+            },
+        ),
+    ]
+}
+
+fn arb_amo_op() -> impl Strategy<Value = AmoOp> {
+    prop_oneof![
+        Just(AmoOp::Lr),
+        Just(AmoOp::Sc),
+        Just(AmoOp::Swap),
+        Just(AmoOp::Add),
+        Just(AmoOp::Xor),
+        Just(AmoOp::And),
+        Just(AmoOp::Or),
+        Just(AmoOp::Min),
+        Just(AmoOp::Max),
+        Just(AmoOp::Minu),
+        Just(AmoOp::Maxu),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// decode(encode(i)) == i for the whole supported space, including the
+    /// PTStore custom instructions.
+    #[test]
+    fn encode_decode_bijection(inst in arb_inst()) {
+        let word = encode(inst);
+        prop_assert_eq!(decode(word), Some(inst), "word {:#010x}", word);
+    }
+
+    /// No regular RV64 opcode decodes to a PTStore instruction and vice
+    /// versa — the custom-opcode space is disjoint (§IV-A1: "they have
+    /// different opcodes").
+    #[test]
+    fn ptstore_opcodes_are_disjoint(inst in arb_inst()) {
+        let word = encode(inst);
+        let is_custom = matches!(inst, Inst::LdPt { .. } | Inst::SdPt { .. });
+        let opcode = word & 0x7f;
+        if is_custom {
+            prop_assert!(opcode == 0b000_1011 || opcode == 0b010_1011);
+        } else {
+            prop_assert!(opcode != 0b000_1011 && opcode != 0b010_1011);
+        }
+    }
+}
+
+mod alu_semantics {
+    use super::*;
+    use ptstore_core::MIB;
+    use ptstore_isa::SimMachine;
+
+    /// Runs `op rd, rs1, rs2` on the interpreter and returns rd.
+    fn run_alu(op: AluOp, a: u64, b: u64, word: bool) -> u64 {
+        let mut m = SimMachine::new(16 * MIB);
+        m.load_program(
+            0x1000,
+            &[
+                Inst::Op { op, rd: 10, rs1: 5, rs2: 6, word },
+                Inst::Wfi,
+            ],
+        );
+        m.cpu.set_reg(5, a);
+        m.cpu.set_reg(6, b);
+        m.cpu.pc = 0x1000;
+        m.run(10).expect("runs");
+        m.cpu.reg(10)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// The interpreter's ALU matches Rust's own 64-bit semantics.
+        #[test]
+        fn alu_matches_reference(a in any::<u64>(), b in any::<u64>()) {
+            prop_assert_eq!(run_alu(AluOp::Add, a, b, false), a.wrapping_add(b));
+            prop_assert_eq!(run_alu(AluOp::Sub, a, b, false), a.wrapping_sub(b));
+            prop_assert_eq!(run_alu(AluOp::Xor, a, b, false), a ^ b);
+            prop_assert_eq!(run_alu(AluOp::Or, a, b, false), a | b);
+            prop_assert_eq!(run_alu(AluOp::And, a, b, false), a & b);
+            prop_assert_eq!(run_alu(AluOp::Sll, a, b, false), a << (b & 0x3f));
+            prop_assert_eq!(run_alu(AluOp::Srl, a, b, false), a >> (b & 0x3f));
+            prop_assert_eq!(
+                run_alu(AluOp::Sra, a, b, false),
+                ((a as i64) >> (b & 0x3f)) as u64
+            );
+            prop_assert_eq!(run_alu(AluOp::Slt, a, b, false), ((a as i64) < (b as i64)) as u64);
+            prop_assert_eq!(run_alu(AluOp::Sltu, a, b, false), (a < b) as u64);
+            prop_assert_eq!(run_alu(AluOp::Mul, a, b, false), a.wrapping_mul(b));
+        }
+
+        /// Word-form ops sign-extend their 32-bit results (RV64 `*w`).
+        #[test]
+        fn word_ops_sign_extend(a in any::<u64>(), b in any::<u64>()) {
+            let addw = run_alu(AluOp::Add, a, b, true);
+            prop_assert_eq!(addw, (a.wrapping_add(b) as u32) as i32 as i64 as u64);
+            let subw = run_alu(AluOp::Sub, a, b, true);
+            prop_assert_eq!(subw, (a.wrapping_sub(b) as u32) as i32 as i64 as u64);
+            let sllw = run_alu(AluOp::Sll, a, b, true);
+            prop_assert_eq!(sllw, (((a as u32) << (b & 0x1f)) as i32) as i64 as u64);
+        }
+
+        /// RISC-V division edge semantics: x/0 = -1, x%0 = x.
+        #[test]
+        fn division_by_zero(a in any::<u64>()) {
+            prop_assert_eq!(run_alu(AluOp::Div, a, 0, false), u64::MAX);
+            prop_assert_eq!(run_alu(AluOp::Divu, a, 0, false), u64::MAX);
+            prop_assert_eq!(run_alu(AluOp::Rem, a, 0, false), a);
+            prop_assert_eq!(run_alu(AluOp::Remu, a, 0, false), a);
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Kernel and machine configuration.
+
+use core::fmt;
+
+use ptstore_core::{GIB, MIB};
+use serde::{Deserialize, Serialize};
+
+/// Which page-table defense the kernel deploys. The paper's related-work
+/// taxonomy (§VI) maps onto these baselines; PTStore is the contribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum DefenseMode {
+    /// No page-table protection (the unmodified kernel).
+    #[default]
+    None,
+    /// PT-Rand-style randomisation of page-table virtual addresses (§VI-1):
+    /// page tables are reachable only through a randomised offset and the
+    /// direct-map alias is removed.
+    PtRand,
+    /// Virtual isolation (§VI-3): page-table pages are mapped read-only in
+    /// the kernel address space; legitimate writers briefly lift the
+    /// protection through a trampoline.
+    VirtualIsolation,
+    /// PTStore: PMP secure region + `ld.pt`/`sd.pt` + PTW origin check +
+    /// tokens.
+    PtStore,
+}
+
+impl DefenseMode {
+    /// True when the kernel stores page tables in the PMP secure region.
+    pub const fn is_ptstore(self) -> bool {
+        matches!(self, DefenseMode::PtStore)
+    }
+}
+
+impl fmt::Display for DefenseMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DefenseMode::None => "none",
+            DefenseMode::PtRand => "pt-rand",
+            DefenseMode::VirtualIsolation => "virtual-isolation",
+            DefenseMode::PtStore => "ptstore",
+        })
+    }
+}
+
+/// Full kernel configuration (the model's `defconfig`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelConfig {
+    /// Deployed page-table defense.
+    pub defense: DefenseMode,
+    /// Clang CFI instrumentation on the kernel (the paper's threat model
+    /// requires it; benchmarks compare with and without).
+    pub cfi: bool,
+    /// Physical memory size in bytes (prototype: 4 GiB DDR3, Table II).
+    pub mem_size: u64,
+    /// Initial secure-region / PTStore-zone size (paper §IV-C1: 64 MiB).
+    pub initial_secure_size: u64,
+    /// Granule by which the secure region grows during dynamic adjustment.
+    pub adjust_chunk: u64,
+    /// Disable dynamic adjustment (the paper's `CFI+PTStore-Adj`
+    /// configuration boots with a 1 GiB region instead).
+    pub adjustment_enabled: bool,
+    /// Ablation switch: disable the token mechanism while keeping the secure
+    /// region and PTW origin check (isolates which layer stops which attack;
+    /// always true in the paper's full design).
+    pub token_checks: bool,
+}
+
+impl KernelConfig {
+    /// The baseline kernel: no defense, no CFI.
+    pub fn baseline() -> Self {
+        Self {
+            defense: DefenseMode::None,
+            cfi: false,
+            mem_size: 4 * GIB,
+            initial_secure_size: 64 * MIB,
+            adjust_chunk: 16 * MIB,
+            adjustment_enabled: true,
+            token_checks: true,
+        }
+    }
+
+    /// The paper's `CFI` configuration: original kernel + Clang CFI.
+    pub fn cfi() -> Self {
+        Self {
+            cfi: true,
+            ..Self::baseline()
+        }
+    }
+
+    /// The paper's `CFI+PTStore` configuration.
+    pub fn cfi_ptstore() -> Self {
+        Self {
+            defense: DefenseMode::PtStore,
+            cfi: true,
+            ..Self::baseline()
+        }
+    }
+
+    /// The paper's `CFI+PTStore-Adj` configuration: a 1 GiB region so the
+    /// dynamic adjustment never triggers.
+    pub fn cfi_ptstore_no_adjust() -> Self {
+        Self {
+            defense: DefenseMode::PtStore,
+            cfi: true,
+            initial_secure_size: GIB,
+            adjustment_enabled: false,
+            ..Self::baseline()
+        }
+    }
+
+    /// PTStore without CFI (used to isolate PTStore's own overhead).
+    pub fn ptstore_only() -> Self {
+        Self {
+            defense: DefenseMode::PtStore,
+            ..Self::baseline()
+        }
+    }
+
+    /// Returns a copy with a different memory size (tests use small
+    /// machines).
+    pub fn with_mem_size(mut self, bytes: u64) -> Self {
+        self.mem_size = bytes;
+        self
+    }
+
+    /// Returns a copy with a different initial secure-region size.
+    pub fn with_initial_secure_size(mut self, bytes: u64) -> Self {
+        self.initial_secure_size = bytes;
+        self
+    }
+
+    /// Returns a copy with a different defense mode.
+    pub fn with_defense(mut self, defense: DefenseMode) -> Self {
+        self.defense = defense;
+        self
+    }
+
+    /// A human-readable tag matching the paper's figure legends.
+    pub fn label(&self) -> String {
+        let base = match (self.cfi, self.defense) {
+            (false, DefenseMode::None) => "baseline".to_string(),
+            (true, DefenseMode::None) => "CFI".to_string(),
+            (true, DefenseMode::PtStore) => "CFI+PTStore".to_string(),
+            (false, DefenseMode::PtStore) => "PTStore".to_string(),
+            (cfi, d) => format!("{}{}", if cfi { "CFI+" } else { "" }, d),
+        };
+        if self.defense.is_ptstore() && !self.adjustment_enabled {
+            format!("{base}-Adj")
+        } else {
+            base
+        }
+    }
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        Self::baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper() {
+        assert_eq!(KernelConfig::baseline().label(), "baseline");
+        assert_eq!(KernelConfig::cfi().label(), "CFI");
+        assert_eq!(KernelConfig::cfi_ptstore().label(), "CFI+PTStore");
+        assert_eq!(
+            KernelConfig::cfi_ptstore_no_adjust().label(),
+            "CFI+PTStore-Adj"
+        );
+        assert_eq!(KernelConfig::cfi_ptstore().initial_secure_size, 64 * MIB);
+        assert_eq!(KernelConfig::cfi_ptstore_no_adjust().initial_secure_size, GIB);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = KernelConfig::baseline()
+            .with_mem_size(256 * MIB)
+            .with_initial_secure_size(16 * MIB)
+            .with_defense(DefenseMode::VirtualIsolation);
+        assert_eq!(c.mem_size, 256 * MIB);
+        assert_eq!(c.initial_secure_size, 16 * MIB);
+        assert_eq!(c.defense, DefenseMode::VirtualIsolation);
+    }
+}

@@ -1,0 +1,930 @@
+//! The kernel model: boot, physical memory management, the PTStore secure
+//! region with dynamic adjustment, page-table manipulation through the
+//! defense-appropriate channel, and the token mechanism.
+//!
+//! This file is the software half of the co-design (paper §IV-B/§IV-C); the
+//! hardware half lives in `ptstore-core`/`ptstore-mem`/`ptstore-mmu`.
+
+use std::collections::{HashMap, VecDeque};
+
+use ptstore_core::{
+    AccessContext, Channel, PhysAddr, PhysPageNum, SecureRegion, Token, TokenError, VirtAddr,
+    MIB, PAGE_SHIFT, PAGE_SIZE,
+};
+use ptstore_mem::Bus;
+use ptstore_mmu::{Mmu, Pte, PteFlags, Satp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::{DefenseMode, KernelConfig};
+use crate::cycles::{cost, CostKind, CycleCounter};
+use crate::error::KernelError;
+use crate::fs::{PipeTable, RamFs};
+use crate::pagetable::{direct_map_va, pte_slot, DIRECT_MAP_BASE};
+use crate::process::{Pid, ProcessTable};
+use crate::sbi::{SbiCall, SbiFirmware, SbiResult};
+use crate::slab::SlabCache;
+use crate::stats::{KernelStats, SecurityEvent};
+use crate::zones::{AllocError, BuddyZone, GfpFlags};
+
+/// Physical bytes reserved at the bottom of memory for the kernel image
+/// (text + static data; never enters the page allocator).
+pub const KERNEL_IMAGE_SIZE: u64 = 2 * MIB;
+
+/// A simple model of one connected network socket.
+#[derive(Debug, Clone, Default)]
+pub struct Socket {
+    /// Bytes queued for the application to read.
+    pub rx: u64,
+    /// Bytes the application has sent.
+    pub tx: u64,
+}
+
+/// The kernel model.
+///
+/// See the crate docs for the subsystem map. All public experiment surfaces
+/// (workloads, attacks, benchmarks) drive the kernel through syscalls and
+/// the introspection API; nothing reaches around the access-checked paths.
+#[derive(Debug)]
+pub struct Kernel {
+    /// Static configuration.
+    pub cfg: KernelConfig,
+    /// The memory bus (physical memory behind the PMP).
+    pub bus: Bus,
+    /// The (single) hart's MMU.
+    pub mmu: Mmu,
+    /// Cycle accounting.
+    pub cycles: CycleCounter,
+    /// Event counters.
+    pub stats: KernelStats,
+    /// The ramfs.
+    pub fs: RamFs,
+
+    pub(crate) normal_zone: BuddyZone,
+    /// The PTStore zone (also used as the "pt area" by the PT-Rand and
+    /// virtual-isolation baselines); `None` when page tables come from the
+    /// normal zone.
+    pub(crate) pt_zone: Option<BuddyZone>,
+    pub(crate) secure_region: Option<SecureRegion>,
+    /// The M-mode firmware backing the PTStore SBI extension (§IV-B).
+    pub(crate) sbi: SbiFirmware,
+    pub(crate) pcb_slab: SlabCache,
+    pub(crate) token_slab: Option<SlabCache>,
+    /// Process table.
+    pub procs: ProcessTable,
+    pub(crate) next_pid: Pid,
+    pub(crate) next_asid: u16,
+    pub(crate) current: Pid,
+    pub(crate) run_queue: VecDeque<Pid>,
+    pub(crate) kernel_root: PhysPageNum,
+    pub(crate) kernel_pt_pages: Vec<PhysPageNum>,
+    /// Shared user text page (all model programs run the same "binary").
+    pub(crate) shared_text_ppn: PhysPageNum,
+    /// Reference counts of user data pages.
+    pub(crate) page_refs: HashMap<u64, u32>,
+    /// Reverse map: user page → (pid, vpn) mappings.
+    pub(crate) rmap: HashMap<u64, Vec<(Pid, u64)>>,
+    pub(crate) pipes: PipeTable,
+    pub(crate) sockets: HashMap<u32, Socket>,
+    pub(crate) next_socket: u32,
+    /// PT-Rand: the secret offset of the randomised page-table window, also
+    /// materialised at a fixed kernel global address (leakable, §VI-1).
+    pub(crate) pt_rand_offset: u64,
+    /// Fault-injection hook for the allocator-metadata attack (§V-E3): the
+    /// next page-table allocation returns this (in-use) page.
+    pub(crate) injected_overlap: Option<PhysPageNum>,
+    /// Defense firings.
+    pub security_log: Vec<SecurityEvent>,
+    /// True once boot completed and the PTW origin check is armed.
+    pub(crate) ptw_check_armed: bool,
+}
+
+/// Kernel virtual address where the PT-Rand secret offset global lives
+/// (inside the kernel image; readable with an arbitrary-read primitive).
+pub const PT_RAND_GLOBAL_PA: u64 = 0x10_0000;
+
+/// Base of the PT-Rand randomised mapping window (upper half, disjoint from
+/// the direct map).
+pub const PT_RAND_WINDOW_BASE: u64 = 0xFFFF_FFD0_0000_0000;
+
+impl Kernel {
+    /// Boots a kernel with `cfg`. This performs the PTStore boot protocol of
+    /// paper §IV: install the secure region via the SBI, move every page
+    /// table into it using `sd.pt`, then arm the walker check (`satp.S`).
+    ///
+    /// # Errors
+    /// Propagates allocation and region errors; a too-small `mem_size`
+    /// panics.
+    pub fn boot(cfg: KernelConfig) -> Result<Self, KernelError> {
+        assert!(
+            cfg.mem_size >= 64 * MIB && cfg.mem_size.is_multiple_of(PAGE_SIZE),
+            "machine needs at least 64 MiB"
+        );
+        assert!(
+            cfg.initial_secure_size < cfg.mem_size / 2,
+            "secure region must leave room for the normal zone"
+        );
+        let mut bus = Bus::new(cfg.mem_size);
+        let mut cycles = CycleCounter::new();
+
+        // Zone layout: [image | normal zone | pt area/PTStore zone].
+        let uses_pt_area = cfg.defense != DefenseMode::None;
+        let pt_area_size = if uses_pt_area { cfg.initial_secure_size } else { 0 };
+        let normal_pages = (cfg.mem_size - KERNEL_IMAGE_SIZE - pt_area_size) / PAGE_SIZE;
+        let normal_zone = BuddyZone::new(
+            "normal",
+            PhysPageNum::new(KERNEL_IMAGE_SIZE / PAGE_SIZE),
+            normal_pages,
+        );
+        let pt_zone = uses_pt_area.then(|| {
+            BuddyZone::new(
+                "ptstore",
+                PhysPageNum::new((cfg.mem_size - pt_area_size) / PAGE_SIZE),
+                pt_area_size / PAGE_SIZE,
+            )
+        });
+
+        // SBI: initialise the secure region and set the S-bit PMP entry
+        // (paper §IV-B). Only in PTStore mode does the PMP know about it.
+        let mut sbi = SbiFirmware::new();
+        let secure_region = if cfg.defense.is_ptstore() {
+            let base = PhysAddr::new(cfg.mem_size - cfg.initial_secure_size);
+            match sbi.handle(
+                &mut bus,
+                SbiCall::SecureRegionInit {
+                    base,
+                    size: cfg.initial_secure_size,
+                },
+            ) {
+                SbiResult::Ok => {}
+                SbiResult::Err(e) => panic!("sbi init rejected: {e}"),
+                SbiResult::Region { .. } => unreachable!("init returns Ok"),
+            }
+            cycles.charge(CostKind::Sbi, cost::SBI_CALL);
+            Some(SecureRegion::new(base, cfg.initial_secure_size)?)
+        } else {
+            None
+        };
+
+        let mut rng = StdRng::seed_from_u64(0x7057_0e5e);
+        let pt_rand_offset: u64 = if cfg.defense == DefenseMode::PtRand {
+            (rng.random::<u64>() & 0x0000_000F_FFFF_F000) | 0x1000
+        } else {
+            0
+        };
+
+        let mut kernel = Self {
+            cfg,
+            bus,
+            mmu: Mmu::new(),
+            cycles,
+            stats: KernelStats::default(),
+            fs: RamFs::new(),
+            normal_zone,
+            pt_zone,
+            secure_region,
+            sbi,
+            pcb_slab: SlabCache::new("pcb", crate::process::PCB_SIZE, GfpFlags::KERNEL),
+            token_slab: cfg
+                .defense
+                .is_ptstore()
+                .then(|| SlabCache::new("ptstore_token", 16, GfpFlags::PTSTORE)),
+            procs: ProcessTable::new(),
+            next_pid: 1,
+            next_asid: 1,
+            current: 0,
+            run_queue: VecDeque::new(),
+            kernel_root: PhysPageNum::new(0),
+            kernel_pt_pages: Vec::new(),
+            shared_text_ppn: PhysPageNum::new(0),
+            page_refs: HashMap::new(),
+            rmap: HashMap::new(),
+            pipes: PipeTable::new(),
+            sockets: HashMap::new(),
+            next_socket: 1,
+            pt_rand_offset,
+            injected_overlap: None,
+            security_log: Vec::new(),
+            ptw_check_armed: false,
+        };
+
+        // Materialise the PT-Rand secret in kernel memory (it must exist
+        // somewhere for the kernel to use it — that is the §VI-1 weakness).
+        kernel
+            .bus
+            .mem_unchecked()
+            .write_u64(PhysAddr::new(PT_RAND_GLOBAL_PA), kernel.pt_rand_offset)
+            .expect("kernel image in range");
+
+        kernel.build_kernel_address_space()?;
+        kernel.ptw_check_armed = kernel.cfg.defense.is_ptstore();
+
+        // Shared user text page.
+        let text = kernel.alloc_page(GfpFlags::ZERO)?;
+        kernel.shared_text_ppn = text;
+        *kernel.page_refs.entry(text.as_u64()).or_insert(0) += 1;
+
+        // Standard files the microbenchmarks use.
+        kernel.fs.create("/etc/passwd", b"root:x:0:0:root:/root:/bin/sh\n".to_vec());
+        kernel.fs.create("/dev/zero", vec![0u8; 4096]);
+        kernel.fs.create("/tmp/XXX", vec![0u8; 1024]);
+
+        // Init process.
+        let init = kernel.spawn_init()?;
+        kernel.current = init;
+        kernel.activate_address_space(init)?;
+        Ok(kernel)
+    }
+
+    // ------------------------------------------------------------------
+    // Access-context helpers
+    // ------------------------------------------------------------------
+
+    /// The supervisor access context with the current `satp.S` state.
+    pub(crate) fn kctx(&self) -> AccessContext {
+        AccessContext::supervisor(self.ptw_check_armed)
+    }
+
+    /// The channel the kernel's page-table manipulation code uses — the
+    /// `set_pXd()` augmentation of paper §IV-C2.
+    pub(crate) fn pt_channel(&self) -> Channel {
+        if self.cfg.defense.is_ptstore() {
+            Channel::SecurePt
+        } else {
+            Channel::Regular
+        }
+    }
+
+    /// A checked regular-channel 8-byte read (kernel data structures).
+    pub(crate) fn mem_read(&mut self, pa: PhysAddr) -> Result<u64, KernelError> {
+        self.cycles.charge(CostKind::MemAccess, cost::MEM_ACCESS);
+        Ok(self.bus.read_u64(pa, Channel::Regular, self.kctx())?)
+    }
+
+    /// A checked regular-channel 8-byte write (kernel data structures).
+    pub(crate) fn mem_write(&mut self, pa: PhysAddr, v: u64) -> Result<(), KernelError> {
+        self.cycles.charge(CostKind::MemAccess, cost::MEM_ACCESS);
+        Ok(self.bus.write_u64(pa, v, Channel::Regular, self.kctx())?)
+    }
+
+    /// A page-table read via the defense channel (`ld.pt` under PTStore).
+    pub(crate) fn pt_read(&mut self, pa: PhysAddr) -> Result<u64, KernelError> {
+        self.cycles.charge(CostKind::MemAccess, cost::MEM_ACCESS);
+        let ch = self.pt_channel();
+        Ok(self.bus.read_u64(pa, ch, self.kctx())?)
+    }
+
+    /// A page-table write via the defense channel (`sd.pt` under PTStore).
+    /// The virtual-isolation baseline pays its write-window toll here.
+    pub(crate) fn pt_write(&mut self, pa: PhysAddr, v: u64) -> Result<(), KernelError> {
+        self.cycles.charge(CostKind::PtWrite, cost::MEM_ACCESS);
+        if self.cfg.defense == DefenseMode::VirtualIsolation {
+            self.cycles
+                .charge(CostKind::VirtIsolationSwitch, cost::VIRT_ISO_WINDOW);
+        }
+        let ch = self.pt_channel();
+        Ok(self.bus.write_u64(pa, v, ch, self.kctx())?)
+    }
+
+    // ------------------------------------------------------------------
+    // Page allocation
+    // ------------------------------------------------------------------
+
+    /// Allocates one page per `gfp`, retrying through secure-region
+    /// adjustment for `GFP_PTSTORE` requests (paper §IV-C1).
+    ///
+    /// # Errors
+    /// [`KernelError::OutOfMemory`] when the zones (and adjustment) cannot
+    /// satisfy the request.
+    pub fn alloc_page(&mut self, gfp: GfpFlags) -> Result<PhysPageNum, KernelError> {
+        self.cycles.charge(CostKind::PageAlloc, cost::PAGE_ALLOC);
+        let ppn = if gfp.contains(GfpFlags::PTSTORE) {
+            self.cycles
+                .charge(CostKind::PageAlloc, cost::PTSTORE_ZONE_EXTRA);
+            loop {
+                let zone = self.pt_zone.as_mut().ok_or(KernelError::OutOfMemory)?;
+                match zone.alloc(0, false) {
+                    Ok(p) => break p,
+                    Err(AllocError::OutOfMemory) => self.adjust_secure_region()?,
+                    Err(e) => return Err(e.into()),
+                }
+            }
+        } else {
+            self.normal_zone
+                .alloc(0, gfp.contains(GfpFlags::MOVABLE))?
+        };
+        if gfp.contains(GfpFlags::ZERO) {
+            self.zero_page(ppn, gfp.contains(GfpFlags::PTSTORE))?;
+        }
+        Ok(ppn)
+    }
+
+    /// Frees a page back to its zone.
+    ///
+    /// # Errors
+    /// Allocator errors on double frees.
+    pub fn free_page(&mut self, ppn: PhysPageNum) -> Result<(), KernelError> {
+        self.cycles.charge(CostKind::PageAlloc, cost::PAGE_FREE);
+        if let Some(z) = self.pt_zone.as_mut() {
+            if z.contains(ppn) {
+                z.free(ppn)?;
+                return Ok(());
+            }
+        }
+        self.normal_zone.free(ppn)?;
+        Ok(())
+    }
+
+    /// Zeroes a page through the appropriate channel; `secure` selects the
+    /// `sd.pt` path.
+    fn zero_page(&mut self, ppn: PhysPageNum, secure: bool) -> Result<(), KernelError> {
+        self.cycles.charge(CostKind::MemAccess, cost::ZERO_PAGE);
+        // One checked store validates the channel is actually permitted...
+        let ch = if secure { Channel::SecurePt } else { Channel::Regular };
+        self.bus
+            .write_u64(ppn.base_addr(), 0, ch, self.kctx())?;
+        // ...then the rest of the page is cleared in bulk.
+        self.bus.mem_unchecked().zero_page(ppn);
+        Ok(())
+    }
+
+    /// Allocates a page-table page: `GFP_PTSTORE` routing plus the zero-check
+    /// defense (paper §V-E3). The fault-injection hook models a successful
+    /// allocator-metadata corruption.
+    pub(crate) fn alloc_pt_page(&mut self) -> Result<PhysPageNum, KernelError> {
+        let from_pt_area = self.pt_zone.is_some();
+        let ppn = if let Some(injected) = self.injected_overlap.take() {
+            injected
+        } else if from_pt_area {
+            self.alloc_page(GfpFlags::PTSTORE)?
+        } else {
+            self.alloc_page(GfpFlags::KERNEL)?
+        };
+        if self.cfg.defense.is_ptstore() {
+            // Pages in the secure region are zeroed on free, so a non-zero
+            // "fresh" page means the allocator handed out an in-use page.
+            self.stats.zero_checks += 1;
+            self.cycles
+                .charge(CostKind::MemAccess, cost::ZERO_CHECK_RESIDUAL);
+            let clean = self
+                .bus
+                .secure_page_is_zero(ppn, self.kctx())?;
+            if !clean {
+                self.stats.zero_check_failures += 1;
+                self.security_log.push(SecurityEvent::PtPageNotZero { ppn });
+                return Err(KernelError::PageNotZero);
+            }
+        }
+        self.stats.pt_pages_live += 1;
+        self.stats.pt_pages_peak = self.stats.pt_pages_peak.max(self.stats.pt_pages_live);
+        Ok(ppn)
+    }
+
+    /// Frees a page-table page. Every kernel configuration zeroes page-table
+    /// pages at free time (an init-on-free policy — stale PTEs never linger
+    /// in the allocator): under PTStore this is also what makes the
+    /// alloc-side zero-check sound (pages are zero iff actually free,
+    /// §V-E3). Keeping the policy uniform keeps the per-page lifecycle cost
+    /// identical across configurations, so measured deltas isolate PTStore's
+    /// own additions — as the paper's <1 % overheads require.
+    pub(crate) fn free_pt_page(&mut self, ppn: PhysPageNum) -> Result<(), KernelError> {
+        self.zero_page(ppn, self.cfg.defense.is_ptstore())?;
+        self.stats.pt_pages_live = self.stats.pt_pages_live.saturating_sub(1);
+        self.free_page(ppn)
+    }
+
+    /// Releases empty slab backing pages (the kernel's memory-pressure
+    /// shrinker). Returns how many pages went back to the zones.
+    ///
+    /// # Errors
+    /// Propagates allocator errors.
+    pub fn reclaim_slabs(&mut self) -> Result<u64, KernelError> {
+        let mut released: Vec<PhysPageNum> = Vec::new();
+        self.pcb_slab.shrink(|p| released.push(p));
+        let mut secure_released: Vec<PhysPageNum> = Vec::new();
+        if let Some(slab) = self.token_slab.as_mut() {
+            slab.shrink(|p| secure_released.push(p));
+        }
+        let total = (released.len() + secure_released.len()) as u64;
+        for p in released {
+            self.free_page(p)?;
+        }
+        for p in secure_released {
+            // Keep the pages-are-zero-when-free invariant for the zone.
+            self.zero_page(p, true)?;
+            self.free_page(p)?;
+        }
+        Ok(total)
+    }
+
+    // ------------------------------------------------------------------
+    // Secure-region dynamic adjustment (paper §IV-C1)
+    // ------------------------------------------------------------------
+
+    /// Grows the secure region by one chunk: reserve contiguous pages
+    /// adjacent to the boundary from the normal zone, migrate movable
+    /// occupants, hand the range to the PTStore zone, and move the PMP
+    /// boundary via the SBI.
+    ///
+    /// # Errors
+    /// [`KernelError::OutOfMemory`] when adjustment is disabled or blocked by
+    /// pinned pages.
+    pub fn adjust_secure_region(&mut self) -> Result<(), KernelError> {
+        if !self.cfg.adjustment_enabled || !self.cfg.defense.is_ptstore() {
+            return Err(KernelError::OutOfMemory);
+        }
+        let chunk_pages = self.cfg.adjust_chunk / PAGE_SIZE;
+        let boundary = self
+            .pt_zone
+            .as_ref()
+            .expect("ptstore mode has a pt zone")
+            .base();
+        let start = PhysPageNum::new(boundary.as_u64() - chunk_pages);
+        self.cycles.charge(
+            CostKind::Adjustment,
+            cost::ADJUST_BASE + cost::ADJUST_SCAN_PAGE * chunk_pages,
+        );
+
+        // alloc_contig_range on the normal zone.
+        let reservation = self
+            .normal_zone
+            .reserve_range(start, chunk_pages)
+            .map_err(|e| match e {
+                AllocError::Unmovable { .. } | AllocError::OutOfZone => KernelError::OutOfMemory,
+                other => KernelError::from(other),
+            })?;
+        let to_migrate = reservation.to_migrate.clone();
+        for (block, info) in to_migrate {
+            self.migrate_block(block, info.order)?;
+        }
+
+        // Release the contiguous pages to the PTStore zone.
+        self.normal_zone.shrink_top(chunk_pages)?;
+        self.pt_zone
+            .as_mut()
+            .expect("checked above")
+            .grow_bottom(chunk_pages);
+
+        // Update the secure region boundary via the SBI (the firmware
+        // validates that the boundary only moves downward, §IV-B).
+        self.cycles.charge(CostKind::Sbi, cost::SBI_CALL);
+        let region = self.secure_region.expect("ptstore mode has a region");
+        let grown = region.grow_down(self.cfg.adjust_chunk)?;
+        match self.sbi.handle(
+            &mut self.bus,
+            SbiCall::SecureRegionSet {
+                new_base: grown.base(),
+            },
+        ) {
+            SbiResult::Ok => {}
+            SbiResult::Err(e) => panic!("sbi set rejected during adjustment: {e}"),
+            SbiResult::Region { .. } => unreachable!("set returns Ok"),
+        }
+        self.secure_region = Some(grown);
+        self.stats.adjustments += 1;
+        Ok(())
+    }
+
+    /// Migrates one movable block out of an adjustment range.
+    fn migrate_block(&mut self, block: PhysPageNum, order: u8) -> Result<(), KernelError> {
+        let pages = 1u64 << order;
+        for i in 0..pages {
+            let old = block + i;
+            let new = self.normal_zone.alloc(0, true)?;
+            self.cycles
+                .charge(CostKind::Adjustment, cost::ADJUST_MIGRATE_PAGE);
+            self.bus.mem_unchecked().copy_page(old, new)?;
+            // Re-point every mapping of the old page.
+            if let Some(users) = self.rmap.remove(&old.as_u64()) {
+                for &(pid, vpn) in &users {
+                    self.repoint_mapping(pid, vpn, new)?;
+                }
+                self.rmap.insert(new.as_u64(), users);
+            }
+            if let Some(refs) = self.page_refs.remove(&old.as_u64()) {
+                self.page_refs.insert(new.as_u64(), refs);
+            }
+            self.stats.migrated_pages += 1;
+            self.bus.mem_unchecked().zero_page(old);
+        }
+        self.normal_zone.complete_migration(block)?;
+        Ok(())
+    }
+
+    /// Rewrites the leaf PTE of (pid, vpn) to point at `new`, preserving
+    /// flags, and flushes the stale translation.
+    fn repoint_mapping(&mut self, pid: Pid, vpn: u64, new: PhysPageNum) -> Result<(), KernelError> {
+        let va = VirtAddr::new(vpn << PAGE_SHIFT);
+        let (root, asid, flags) = {
+            let p = self.procs.get(pid).ok_or(KernelError::NoSuchProcess)?;
+            let m = p.aspace.mapping(va).ok_or(KernelError::BadAddress)?;
+            (p.aspace.root, p.aspace.asid, m.flags)
+        };
+        let slot = self.leaf_slot(root, va)?.ok_or(KernelError::BadAddress)?;
+        self.pt_write(slot, Pte::leaf(new, flags).bits())?;
+        self.mmu.sfence_page(va, asid);
+        self.stats.sfences += 1;
+        self.cycles.charge(CostKind::TlbFlush, cost::SFENCE_PAGE);
+        if let Some(p) = self.procs.get_mut(pid) {
+            if let Some(m) = p.aspace.user.get_mut(&vpn) {
+                m.ppn = new;
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Page-table construction
+    // ------------------------------------------------------------------
+
+    /// Builds the kernel address space: a direct map of all physical memory
+    /// with 2 MiB superpages, with the pt-area's mapping adjusted per
+    /// defense (read-only under virtual isolation, absent under PT-Rand).
+    fn build_kernel_address_space(&mut self) -> Result<(), KernelError> {
+        let root = self.alloc_pt_page()?;
+        self.kernel_root = root;
+        self.kernel_pt_pages.push(root);
+        let gib_count = self.cfg.mem_size.div_ceil(ptstore_core::GIB);
+        for g in 0..gib_count {
+            let l1 = self.alloc_pt_page()?;
+            self.kernel_pt_pages.push(l1);
+            let va = VirtAddr::new(DIRECT_MAP_BASE + g * ptstore_core::GIB);
+            let root_slot = pte_slot(root, va, 2);
+            self.pt_write(root_slot, Pte::table(l1).bits())?;
+            // 512 2-MiB leaves per GiB (bounded by mem_size).
+            for i in 0..512u64 {
+                let pa = g * ptstore_core::GIB + i * 2 * MIB;
+                if pa >= self.cfg.mem_size {
+                    break;
+                }
+                let leaf_ppn = PhysPageNum::new(pa >> PAGE_SHIFT);
+                let flags = self.direct_map_flags(pa);
+                let slot = PhysAddr::new(l1.base_addr().as_u64() + i * 8);
+                match flags {
+                    Some(f) => self.pt_write(slot, Pte::leaf(leaf_ppn, f.with(PteFlags::G)).bits())?,
+                    None => { /* PT-Rand: hole over the pt area */ }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Direct-map permissions for the 2 MiB page at `pa`, per defense mode.
+    fn direct_map_flags(&self, pa: u64) -> Option<PteFlags> {
+        let in_pt_area = self
+            .pt_zone
+            .as_ref()
+            .is_some_and(|z| pa >= z.base().base_addr().as_u64());
+        match (self.cfg.defense, in_pt_area) {
+            (DefenseMode::PtRand, true) => None,
+            (DefenseMode::VirtualIsolation, true) => Some(
+                PteFlags::from_bits(PteFlags::V | PteFlags::R | PteFlags::A | PteFlags::D),
+            ),
+            _ => Some(PteFlags::kernel_rw()),
+        }
+    }
+
+    /// Finds the physical address of the leaf PTE slot for `va` under
+    /// `root`, returning `None` when an intermediate level is missing.
+    pub(crate) fn leaf_slot(
+        &mut self,
+        root: PhysPageNum,
+        va: VirtAddr,
+    ) -> Result<Option<PhysAddr>, KernelError> {
+        let mut table = root;
+        for level in (1..=2usize).rev() {
+            let slot = pte_slot(table, va, level);
+            let pte = Pte::from_bits(self.pt_read(slot)?);
+            if !pte.is_table() {
+                return Ok(None);
+            }
+            table = pte.ppn();
+        }
+        Ok(Some(pte_slot(table, va, 0)))
+    }
+
+    /// Ensures intermediate tables exist for `va` in the address space of
+    /// `pid`, allocating them as needed; returns the leaf slot address.
+    pub(crate) fn ensure_leaf_slot(
+        &mut self,
+        pid: Pid,
+        va: VirtAddr,
+    ) -> Result<PhysAddr, KernelError> {
+        let pid = self.mm_owner_of(pid);
+        let root = self
+            .procs
+            .get(pid)
+            .ok_or(KernelError::NoSuchProcess)?
+            .aspace
+            .root;
+        let mut new_pages: Vec<PhysPageNum> = Vec::new();
+        let mut table = root;
+        for level in (1..=2usize).rev() {
+            let slot = pte_slot(table, va, level);
+            let pte = Pte::from_bits(self.pt_read(slot)?);
+            table = if pte.is_table() {
+                pte.ppn()
+            } else {
+                let fresh = self.alloc_pt_page()?;
+                self.pt_write(slot, Pte::table(fresh).bits())?;
+                new_pages.push(fresh);
+                fresh
+            };
+        }
+        if !new_pages.is_empty() {
+            let p = self
+                .procs
+                .get_mut(pid)
+                .ok_or(KernelError::NoSuchProcess)?;
+            p.aspace.pt_pages.extend(new_pages);
+        }
+        Ok(pte_slot(table, va, 0))
+    }
+
+    /// Maps one user page into `pid`'s address space (the `set_pte` path).
+    pub(crate) fn map_user_page(
+        &mut self,
+        pid: Pid,
+        va: VirtAddr,
+        ppn: PhysPageNum,
+        flags: PteFlags,
+        cow: bool,
+    ) -> Result<(), KernelError> {
+        let pid = self.mm_owner_of(pid);
+        let slot = self.ensure_leaf_slot(pid, va)?;
+        self.pt_write(slot, Pte::leaf(ppn, flags).bits())?;
+        let vpn = va.as_u64() >> PAGE_SHIFT;
+        let p = self
+            .procs
+            .get_mut(pid)
+            .ok_or(KernelError::NoSuchProcess)?;
+        p.aspace.user.insert(
+            vpn,
+            crate::pagetable::UserMapping { ppn, flags, cow },
+        );
+        self.rmap.entry(ppn.as_u64()).or_default().push((pid, vpn));
+        Ok(())
+    }
+
+    /// Unmaps one user page; returns the page it pointed at.
+    pub(crate) fn unmap_user_page(
+        &mut self,
+        pid: Pid,
+        va: VirtAddr,
+    ) -> Result<PhysPageNum, KernelError> {
+        let pid = self.mm_owner_of(pid);
+        let vpn = va.as_u64() >> PAGE_SHIFT;
+        let (root, asid, ppn) = {
+            let p = self.procs.get(pid).ok_or(KernelError::NoSuchProcess)?;
+            let m = p.aspace.mapping(va).ok_or(KernelError::BadAddress)?;
+            (p.aspace.root, p.aspace.asid, m.ppn)
+        };
+        let slot = self
+            .leaf_slot(root, va)?
+            .ok_or(KernelError::BadAddress)?;
+        self.pt_write(slot, Pte::invalid().bits())?;
+        self.mmu.sfence_page(va, asid);
+        self.stats.sfences += 1;
+        self.cycles.charge(CostKind::TlbFlush, cost::SFENCE_PAGE);
+        if let Some(p) = self.procs.get_mut(pid) {
+            p.aspace.user.remove(&vpn);
+        }
+        if let Some(users) = self.rmap.get_mut(&ppn.as_u64()) {
+            users.retain(|&(up, uv)| !(up == pid && uv == vpn));
+            if users.is_empty() {
+                self.rmap.remove(&ppn.as_u64());
+            }
+        }
+        Ok(ppn)
+    }
+
+    /// Drops one reference to a user data page, freeing it at zero.
+    pub(crate) fn put_user_page(&mut self, ppn: PhysPageNum) -> Result<(), KernelError> {
+        let refs = self
+            .page_refs
+            .get_mut(&ppn.as_u64())
+            .expect("put of untracked user page");
+        *refs -= 1;
+        if *refs == 0 {
+            self.page_refs.remove(&ppn.as_u64());
+            self.bus.mem_unchecked().zero_page(ppn);
+            self.free_page(ppn)?;
+        }
+        Ok(())
+    }
+
+    /// Resolves the pid owning `pid`'s address space (threads share their
+    /// owner's mm; everyone else owns their own).
+    pub fn mm_owner_of(&self, pid: Pid) -> Pid {
+        self.procs
+            .get(pid)
+            .and_then(|p| p.mm_owner)
+            .unwrap_or(pid)
+    }
+
+    // ------------------------------------------------------------------
+    // Tokens (paper §III-C3, Fig. 3)
+    // ------------------------------------------------------------------
+
+    /// Issues a token binding `pid`'s page-table pointer to its PCB; writes
+    /// the token into the secure region with `sd.pt` and the token pointer
+    /// into the PCB with a regular store.
+    pub(crate) fn token_issue(&mut self, pid: Pid) -> Result<(), KernelError> {
+        let Some(slab) = self.token_slab.as_mut() else {
+            return Ok(()); // tokens only exist under PTStore
+        };
+        // Route the slab's page source through the zones manually to avoid
+        // double borrows: take the slab, allocate, put it back.
+        let mut slab_taken = std::mem::replace(slab, SlabCache::new("x", 16, GfpFlags::PTSTORE));
+        let result = slab_taken.alloc(|gfp| -> Result<PhysPageNum, KernelError> {
+            let ppn = self.alloc_page(gfp | GfpFlags::ZERO)?;
+            Ok(ppn)
+        });
+        *self.token_slab.as_mut().expect("present") = slab_taken;
+        let (token_addr, _grew) = result?;
+
+        let mm = self.mm_owner_of(pid);
+        let (pt_ptr, token_slot_field) = {
+            let root = self
+                .procs
+                .get(mm)
+                .ok_or(KernelError::NoSuchProcess)?
+                .aspace
+                .root;
+            let p = self.procs.get(pid).ok_or(KernelError::NoSuchProcess)?;
+            (root.base_addr(), p.token_slot())
+        };
+        let token = Token::new(pt_ptr, token_slot_field);
+        self.cycles.charge(CostKind::Token, cost::TOKEN_ISSUE);
+        let ch = Channel::SecurePt;
+        self.bus
+            .write_u64(token_addr, token.pt_ptr.as_u64(), ch, self.kctx())?;
+        self.bus
+            .write_u64(token_addr + 8, token.user_ptr.as_u64(), ch, self.kctx())?;
+        // PCB fields (normal memory; regular stores).
+        self.mem_write(token_slot_field, token_addr.as_u64())?;
+        let pt_slot = {
+            let p = self.procs.get(pid).expect("checked");
+            p.pt_ptr_slot()
+        };
+        self.mem_write(pt_slot, pt_ptr.as_u64())?;
+        Ok(())
+    }
+
+    /// Clears and frees `pid`'s token at process destruction.
+    pub(crate) fn token_clear(&mut self, pid: Pid) -> Result<(), KernelError> {
+        if self.token_slab.is_none() {
+            return Ok(());
+        }
+        let token_slot = {
+            let p = self.procs.get(pid).ok_or(KernelError::NoSuchProcess)?;
+            p.token_slot()
+        };
+        let token_addr = PhysAddr::new(self.mem_read(token_slot)?);
+        self.cycles.charge(CostKind::Token, cost::TOKEN_CLEAR);
+        if self
+            .token_slab
+            .as_ref()
+            .expect("checked")
+            .contains(token_addr)
+        {
+            let ch = Channel::SecurePt;
+            self.bus.write_u64(token_addr, 0, ch, self.kctx())?;
+            self.bus.write_u64(token_addr + 8, 0, ch, self.kctx())?;
+            self.token_slab.as_mut().expect("checked").free(token_addr);
+        }
+        self.mem_write(token_slot, 0)?;
+        Ok(())
+    }
+
+    /// Validates `pid`'s page-table pointer against its token before it is
+    /// used (the `switch_mm`/`satp`-update check). Returns the *validated*
+    /// page-table pointer read from the PCB.
+    ///
+    /// # Errors
+    /// [`KernelError::TokenInvalid`] when the credential does not bind; the
+    /// event is recorded in the security log.
+    pub(crate) fn token_validate(&mut self, pid: Pid) -> Result<PhysAddr, KernelError> {
+        let (pt_slot, token_slot) = {
+            let p = self.procs.get(pid).ok_or(KernelError::NoSuchProcess)?;
+            (p.pt_ptr_slot(), p.token_slot())
+        };
+        // Both reads hit attacker-writable memory.
+        let pcb_pt_ptr = PhysAddr::new(self.mem_read(pt_slot)?);
+        let token_ptr = PhysAddr::new(self.mem_read(token_slot)?);
+        self.stats.token_validations += 1;
+        self.cycles.charge(CostKind::Token, cost::TOKEN_VALIDATE);
+        let region = self.secure_region.expect("tokens imply ptstore");
+        if !region.contains_range(token_ptr, 16) {
+            self.stats.token_failures += 1;
+            self.security_log.push(SecurityEvent::TokenPointerOutsideRegion {
+                pid,
+                ptr: token_ptr,
+            });
+            return Err(TokenError::TokenOutsideSecureRegion.into());
+        }
+        // Token fields are read back with ld.pt — unforgeable by regular
+        // stores.
+        let t_pt = self.bus.read_u64(token_ptr, Channel::SecurePt, self.kctx())?;
+        let t_user = self
+            .bus
+            .read_u64(token_ptr + 8, Channel::SecurePt, self.kctx())?;
+        let token = Token::new(PhysAddr::new(t_pt), PhysAddr::new(t_user));
+        match token.validate(pcb_pt_ptr, token_slot) {
+            Ok(()) => Ok(pcb_pt_ptr),
+            Err(e) => {
+                self.stats.token_failures += 1;
+                self.security_log
+                    .push(SecurityEvent::TokenRejected { pid, err: e });
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Loads `pid`'s address space into the MMU (`switch_mm`): under PTStore
+    /// this validates the token and then writes `satp` (with the S-bit).
+    ///
+    /// # Errors
+    /// Token validation failures abort the switch — the PT-Reuse defense.
+    pub fn activate_address_space(&mut self, pid: Pid) -> Result<(), KernelError> {
+        let asid = self
+            .procs
+            .get(pid)
+            .ok_or(KernelError::NoSuchProcess)?
+            .aspace
+            .asid;
+        let pt_ptr = if self.cfg.defense.is_ptstore() && self.cfg.token_checks {
+            self.token_validate(pid)?
+        } else {
+            // Baselines trust the PCB field as-is.
+            let slot = self
+                .procs
+                .get(pid)
+                .expect("checked")
+                .pt_ptr_slot();
+            PhysAddr::new(self.mem_read(slot)?)
+        };
+        self.mmu.satp = Satp::sv39(
+            PhysPageNum::new(pt_ptr.as_u64() >> PAGE_SHIFT),
+            asid,
+            self.cfg.defense.is_ptstore(),
+        );
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection used by experiments
+    // ------------------------------------------------------------------
+
+    /// The current secure region (PTStore mode only).
+    pub fn secure_region(&self) -> Option<SecureRegion> {
+        self.secure_region
+    }
+
+    /// Free pages in the normal zone.
+    pub fn normal_free_pages(&self) -> u64 {
+        self.normal_zone.free_pages()
+    }
+
+    /// Free pages in the PTStore zone / pt area.
+    pub fn pt_area_free_pages(&self) -> Option<u64> {
+        self.pt_zone.as_ref().map(BuddyZone::free_pages)
+    }
+
+    /// The currently running pid.
+    pub fn current_pid(&self) -> Pid {
+        self.current
+    }
+
+    /// The kernel root page table (the template for process kernel halves).
+    pub fn kernel_root(&self) -> PhysPageNum {
+        self.kernel_root
+    }
+
+    /// Direct-map virtual address of `pa` (what kernel code would use).
+    pub fn direct_map(&self, pa: PhysAddr) -> VirtAddr {
+        direct_map_va(pa)
+    }
+
+    /// Fault-injection hook for the allocator-metadata attack of §V-E3: the
+    /// next page-table allocation will return `ppn` (an in-use page),
+    /// modelling corrupted allocator freelists.
+    pub fn inject_allocator_overlap(&mut self, ppn: PhysPageNum) {
+        self.injected_overlap = Some(ppn);
+    }
+
+    /// The PT-Rand window base + secret offset (tests/attacks compute
+    /// randomised addresses with this after "leaking" the global).
+    pub fn pt_rand_window(&self) -> Option<u64> {
+        (self.cfg.defense == DefenseMode::PtRand)
+            .then_some(PT_RAND_WINDOW_BASE + self.pt_rand_offset)
+    }
+
+    /// Queues `bytes` of incoming data on socket `id` (the benchmark
+    /// client / NIC side of the network model).
+    pub fn socket_push_rx(&mut self, id: u32, bytes: u64) {
+        if let Some(s) = self.sockets.get_mut(&id) {
+            s.rx += bytes;
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Address-space bookkeeping and the kernel virtual-memory layout.
+//!
+//! The authoritative page tables live in simulated physical memory and are
+//! read by the hardware walker; [`AddressSpace`] additionally keeps a
+//! Rust-side shadow of the *user* mappings so fork/exit can iterate them
+//! without re-walking (the Linux analogue is the mm rmap/vma machinery).
+
+use std::collections::BTreeMap;
+
+use ptstore_core::{PhysAddr, PhysPageNum, VirtAddr};
+use ptstore_mmu::PteFlags;
+use serde::{Deserialize, Serialize};
+
+/// Base of the kernel's direct map of all physical memory
+/// (`va = DIRECT_MAP_BASE + pa`), in the upper Sv39 half.
+pub const DIRECT_MAP_BASE: u64 = 0xFFFF_FFC0_0000_0000;
+
+/// Base virtual address of user program text.
+pub const USER_TEXT_BASE: u64 = 0x0000_0000_0001_0000;
+
+/// Base of the user heap (`brk` starts here).
+pub const USER_HEAP_BASE: u64 = 0x0000_0000_2000_0000;
+
+/// Base of the user mmap area.
+pub const USER_MMAP_BASE: u64 = 0x0000_0000_4000_0000;
+
+/// Top of the user stack (grows down).
+pub const USER_STACK_TOP: u64 = 0x0000_0000_7FFF_F000;
+
+/// Default number of stack pages mapped eagerly at exec.
+pub const USER_STACK_PAGES: u64 = 2;
+
+/// Translates a physical address through the kernel direct map.
+#[inline]
+pub fn direct_map_va(pa: PhysAddr) -> VirtAddr {
+    VirtAddr::new(DIRECT_MAP_BASE + pa.as_u64())
+}
+
+/// Inverts [`direct_map_va`]; `None` when `va` is not a direct-map address.
+#[inline]
+pub fn direct_map_pa(va: VirtAddr) -> Option<PhysAddr> {
+    va.as_u64()
+        .checked_sub(DIRECT_MAP_BASE)
+        .map(PhysAddr::new)
+}
+
+/// The physical address of the PTE slot for `va` at `level` within the page
+/// table rooted/paged at `table`.
+#[inline]
+pub fn pte_slot(table: PhysPageNum, va: VirtAddr, level: usize) -> PhysAddr {
+    PhysAddr::new(table.base_addr().as_u64() + va.vpn_slice(level) * 8)
+}
+
+/// One user-page mapping in the Rust-side shadow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UserMapping {
+    /// Mapped physical page.
+    pub ppn: PhysPageNum,
+    /// Leaf flags currently installed.
+    pub flags: PteFlags,
+    /// True when this mapping is copy-on-write-shared.
+    pub cow: bool,
+}
+
+/// One process address space: the Sv39 root, its ASID, the page-table pages
+/// backing it, and the shadow of user mappings.
+#[derive(Debug, Clone, Default)]
+pub struct AddressSpace {
+    /// Root page-table page.
+    pub root: PhysPageNum,
+    /// Address-space identifier (15-bit in this model).
+    pub asid: u16,
+    /// Every page-table page owned by this address space (root included);
+    /// freed on destruction.
+    pub pt_pages: Vec<PhysPageNum>,
+    /// Shadow of user leaf mappings: vpn → mapping.
+    pub user: BTreeMap<u64, UserMapping>,
+}
+
+impl AddressSpace {
+    /// Number of page-table pages (the secure-region footprint that the
+    /// fork-stress experiment cares about).
+    pub fn pt_page_count(&self) -> usize {
+        self.pt_pages.len()
+    }
+
+    /// Number of user pages mapped.
+    pub fn user_page_count(&self) -> usize {
+        self.user.len()
+    }
+
+    /// Looks up the shadow mapping of `va`'s page.
+    pub fn mapping(&self, va: VirtAddr) -> Option<UserMapping> {
+        self.user
+            .get(&(va.as_u64() >> ptstore_core::PAGE_SHIFT))
+            .copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_map_round_trip() {
+        let pa = PhysAddr::new(0x8000_1234);
+        let va = direct_map_va(pa);
+        assert_eq!(direct_map_pa(va), Some(pa));
+        assert!(va.is_canonical_sv39());
+        assert_eq!(direct_map_pa(VirtAddr::new(0x1000)), None);
+    }
+
+    #[test]
+    fn pte_slot_computation() {
+        let table = PhysPageNum::new(0x100);
+        let va = VirtAddr::new(0x4000_1000);
+        let slot = pte_slot(table, va, 0);
+        assert_eq!(slot.as_u64(), (0x100 << 12) + va.vpn_slice(0) * 8);
+        assert!(slot.is_aligned(8));
+    }
+
+    #[test]
+    fn layout_is_disjoint_and_ordered() {
+        assert!(USER_TEXT_BASE < USER_HEAP_BASE);
+        assert!(USER_HEAP_BASE < USER_MMAP_BASE);
+        assert!(USER_MMAP_BASE < USER_STACK_TOP);
+        // Direct map is in the canonical upper half.
+        assert!(VirtAddr::new(DIRECT_MAP_BASE).is_canonical_sv39());
+    }
+
+    #[test]
+    fn shadow_bookkeeping() {
+        let mut aspace = AddressSpace {
+            root: PhysPageNum::new(1),
+            asid: 7,
+            ..Default::default()
+        };
+        let va = VirtAddr::new(USER_TEXT_BASE);
+        aspace.user.insert(
+            va.as_u64() >> 12,
+            UserMapping {
+                ppn: PhysPageNum::new(0x55),
+                flags: PteFlags::user_rx(),
+                cow: false,
+            },
+        );
+        assert_eq!(aspace.user_page_count(), 1);
+        let m = aspace.mapping(VirtAddr::new(USER_TEXT_BASE + 0x123)).unwrap();
+        assert_eq!(m.ppn, PhysPageNum::new(0x55));
+        assert!(aspace.mapping(VirtAddr::new(USER_TEXT_BASE + 0x1000)).is_none());
+    }
+}

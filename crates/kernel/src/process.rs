@@ -1,0 +1,392 @@
+//! Processes, PCBs materialised in simulated memory, and VM areas.
+//!
+//! The fields PTStore cares about — the **page-table pointer** and the
+//! **token pointer** — live at fixed offsets inside a PCB object in *normal*
+//! (attackable) physical memory, exactly as `task_struct`/`mm_struct` fields
+//! do in Linux. The attacker's arbitrary-write primitive can corrupt them;
+//! the token in the secure region is what catches it (paper §III-C3, Fig. 3).
+
+use std::collections::BTreeMap;
+
+use ptstore_core::{PhysAddr, VirtAddr};
+use serde::{Deserialize, Serialize};
+
+use crate::pagetable::AddressSpace;
+
+/// Process identifier.
+pub type Pid = u32;
+
+/// PCB object size in the PCB slab (bytes).
+pub const PCB_SIZE: u64 = 256;
+
+/// Byte offset of the page-table (root) pointer field in a PCB.
+pub const PCB_OFF_PT_PTR: u64 = 0x08;
+
+/// Byte offset of the token pointer field in a PCB.
+pub const PCB_OFF_TOKEN_PTR: u64 = 0x10;
+
+/// Byte offset of the pid field in a PCB.
+pub const PCB_OFF_PID: u64 = 0x00;
+
+/// Byte offset of the saved user program counter.
+pub const PCB_OFF_UPC: u64 = 0x18;
+
+/// Scheduling state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProcState {
+    /// Currently on the (single) hart.
+    Running,
+    /// Runnable, waiting in the queue.
+    Ready,
+    /// Blocked (pipe/select/wait).
+    Blocked,
+    /// Exited, awaiting `wait()` by the parent.
+    Zombie,
+}
+
+/// Per-VMA permissions (the VM metadata the §V-E4 attack targets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VmPerms {
+    /// Readable.
+    pub read: bool,
+    /// Writable.
+    pub write: bool,
+    /// Executable.
+    pub exec: bool,
+}
+
+impl VmPerms {
+    /// Read/write data.
+    pub const RW: VmPerms = VmPerms {
+        read: true,
+        write: true,
+        exec: false,
+    };
+    /// Read/execute text.
+    pub const RX: VmPerms = VmPerms {
+        read: true,
+        write: false,
+        exec: true,
+    };
+    /// Read-only.
+    pub const RO: VmPerms = VmPerms {
+        read: true,
+        write: false,
+        exec: false,
+    };
+}
+
+/// A user virtual memory area (demand-paged).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VmArea {
+    /// Inclusive page-aligned start.
+    pub start: u64,
+    /// Exclusive end.
+    pub end: u64,
+    /// Area permissions.
+    pub perms: VmPerms,
+}
+
+impl VmArea {
+    /// True when `va` lies inside the area.
+    pub fn contains(&self, va: VirtAddr) -> bool {
+        (self.start..self.end).contains(&va.as_u64())
+    }
+}
+
+/// An open file description.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FdEntry {
+    /// Regular file in the ramfs.
+    File {
+        /// File name (ramfs key).
+        name: String,
+        /// Current offset.
+        offset: u64,
+    },
+    /// Read end of a pipe.
+    PipeRead {
+        /// Pipe id.
+        id: u32,
+    },
+    /// Write end of a pipe.
+    PipeWrite {
+        /// Pipe id.
+        id: u32,
+    },
+    /// The console (stdout/stderr model).
+    Console,
+    /// A connected network socket (NGINX/Redis workload model).
+    Socket {
+        /// Socket id in the kernel socket table.
+        id: u32,
+    },
+}
+
+/// A per-process descriptor table.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FdTable {
+    entries: Vec<Option<FdEntry>>,
+}
+
+impl FdTable {
+    /// An empty table with stdin/stdout/stderr wired to the console.
+    pub fn with_std() -> Self {
+        Self {
+            entries: vec![
+                Some(FdEntry::Console),
+                Some(FdEntry::Console),
+                Some(FdEntry::Console),
+            ],
+        }
+    }
+
+    /// Installs `entry` in the lowest free slot, returning the fd.
+    pub fn insert(&mut self, entry: FdEntry) -> i32 {
+        for (i, e) in self.entries.iter_mut().enumerate() {
+            if e.is_none() {
+                *e = Some(entry);
+                return i as i32;
+            }
+        }
+        self.entries.push(Some(entry));
+        (self.entries.len() - 1) as i32
+    }
+
+    /// Looks up an fd.
+    pub fn get(&self, fd: i32) -> Option<&FdEntry> {
+        usize::try_from(fd)
+            .ok()
+            .and_then(|i| self.entries.get(i))
+            .and_then(Option::as_ref)
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, fd: i32) -> Option<&mut FdEntry> {
+        usize::try_from(fd)
+            .ok()
+            .and_then(|i| self.entries.get_mut(i))
+            .and_then(Option::as_mut)
+    }
+
+    /// Removes an fd, returning its entry.
+    pub fn remove(&mut self, fd: i32) -> Option<FdEntry> {
+        usize::try_from(fd)
+            .ok()
+            .and_then(|i| self.entries.get_mut(i))
+            .and_then(Option::take)
+    }
+
+    /// Number of open descriptors.
+    pub fn open_count(&self) -> usize {
+        self.entries.iter().flatten().count()
+    }
+}
+
+/// Signal disposition (install/catch latency is what LMBench measures).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SigAction {
+    /// Default disposition.
+    #[default]
+    Default,
+    /// Ignored.
+    Ignore,
+    /// A user handler is installed (the model stores only the fact).
+    Handler,
+}
+
+/// Per-process signal state.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SignalTable {
+    /// Dispositions for signals 1–31.
+    pub actions: [SigAction; 32],
+    /// Pending signal bitmap.
+    pub pending: u32,
+    /// Number of signals delivered to handlers (catch-latency accounting).
+    pub caught: u64,
+}
+
+/// One process.
+#[derive(Debug, Clone)]
+pub struct Process {
+    /// Process id.
+    pub pid: Pid,
+    /// Parent pid (pid 1 has none).
+    pub parent: Option<Pid>,
+    /// Scheduling state.
+    pub state: ProcState,
+    /// Physical address of the PCB object in the PCB slab.
+    pub pcb_addr: PhysAddr,
+    /// The address space.
+    pub aspace: AddressSpace,
+    /// VM areas (text/heap/stack/mmap).
+    pub vmas: Vec<VmArea>,
+    /// Current `brk`.
+    pub brk: u64,
+    /// Next mmap allocation cursor.
+    pub mmap_cursor: u64,
+    /// Open files.
+    pub fds: FdTable,
+    /// Signal state.
+    pub signals: SignalTable,
+    /// Exit code once zombie.
+    pub exit_code: i32,
+    /// Children pids.
+    pub children: Vec<Pid>,
+    /// For a thread: the pid owning the shared address space (`None` for
+    /// the mm owner itself). The thread's PCB carries the *same* page-table
+    /// pointer, bound by its own **copied token** (paper §III-C3: "copy the
+    /// token whenever the page table pointer ... is legitimately copied").
+    pub mm_owner: Option<Pid>,
+    /// Threads sharing this process's address space.
+    pub threads: Vec<Pid>,
+}
+
+impl Process {
+    /// Physical address of this PCB's page-table-pointer field.
+    pub fn pt_ptr_slot(&self) -> PhysAddr {
+        self.pcb_addr + PCB_OFF_PT_PTR
+    }
+
+    /// Physical address of this PCB's token-pointer field — the address a
+    /// valid token's user pointer must point back to (paper Fig. 3).
+    pub fn token_slot(&self) -> PhysAddr {
+        self.pcb_addr + PCB_OFF_TOKEN_PTR
+    }
+
+    /// Finds the VMA containing `va`.
+    pub fn vma_for(&self, va: VirtAddr) -> Option<&VmArea> {
+        self.vmas.iter().find(|v| v.contains(va))
+    }
+
+    /// Mutable VMA lookup (the §V-E4 attack mutates these).
+    pub fn vma_for_mut(&mut self, va: VirtAddr) -> Option<&mut VmArea> {
+        self.vmas.iter_mut().find(|v| v.contains(va))
+    }
+}
+
+/// The process table.
+#[derive(Debug, Clone, Default)]
+pub struct ProcessTable {
+    procs: BTreeMap<Pid, Process>,
+}
+
+impl ProcessTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a process.
+    ///
+    /// # Panics
+    /// Panics on duplicate pid.
+    pub fn insert(&mut self, p: Process) {
+        let pid = p.pid;
+        let prev = self.procs.insert(pid, p);
+        assert!(prev.is_none(), "duplicate pid {pid}");
+    }
+
+    /// Immutable lookup.
+    pub fn get(&self, pid: Pid) -> Option<&Process> {
+        self.procs.get(&pid)
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, pid: Pid) -> Option<&mut Process> {
+        self.procs.get_mut(&pid)
+    }
+
+    /// Removes a process (final reap).
+    pub fn remove(&mut self, pid: Pid) -> Option<Process> {
+        self.procs.remove(&pid)
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.procs.is_empty()
+    }
+
+    /// Iterates pids in order.
+    pub fn pids(&self) -> impl Iterator<Item = Pid> + '_ {
+        self.procs.keys().copied()
+    }
+
+    /// Iterates processes.
+    pub fn iter(&self) -> impl Iterator<Item = &Process> {
+        self.procs.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pcb_field_offsets_are_pointer_aligned() {
+        // §V-E2 relies on PCB/token fields being 8-byte aligned.
+        assert_eq!(PCB_OFF_PT_PTR % 8, 0);
+        assert_eq!(PCB_OFF_TOKEN_PTR % 8, 0);
+        assert!(PCB_OFF_TOKEN_PTR < PCB_SIZE);
+    }
+
+    #[test]
+    fn fd_table_reuses_lowest_slot() {
+        let mut t = FdTable::with_std();
+        let a = t.insert(FdEntry::Console);
+        assert_eq!(a, 3);
+        let b = t.insert(FdEntry::Console);
+        assert_eq!(b, 4);
+        t.remove(a);
+        let c = t.insert(FdEntry::Console);
+        assert_eq!(c, 3, "lowest free slot is reused");
+        assert_eq!(t.open_count(), 5);
+        assert!(t.get(99).is_none());
+        assert!(t.get(-1).is_none());
+    }
+
+    #[test]
+    fn vma_lookup() {
+        let vma = VmArea {
+            start: 0x1000,
+            end: 0x3000,
+            perms: VmPerms::RW,
+        };
+        assert!(vma.contains(VirtAddr::new(0x1000)));
+        assert!(vma.contains(VirtAddr::new(0x2fff)));
+        assert!(!vma.contains(VirtAddr::new(0x3000)));
+    }
+
+    #[test]
+    fn process_table_basics() {
+        let mut t = ProcessTable::new();
+        assert!(t.is_empty());
+        t.insert(Process {
+            pid: 1,
+            parent: None,
+            state: ProcState::Running,
+            pcb_addr: PhysAddr::new(0x1000),
+            aspace: AddressSpace::default(),
+            vmas: Vec::new(),
+            brk: 0,
+            mmap_cursor: 0,
+            fds: FdTable::with_std(),
+            signals: SignalTable::default(),
+            exit_code: 0,
+            children: Vec::new(),
+            mm_owner: None,
+            threads: Vec::new(),
+        });
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(1).unwrap().pid, 1);
+        let slot = t.get(1).unwrap().token_slot();
+        assert_eq!(slot, PhysAddr::new(0x1000 + PCB_OFF_TOKEN_PTR));
+        assert!(t.remove(1).is_some());
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,703 @@
+//! The syscall layer: dispatch costs, Clang-CFI indirect-call accounting,
+//! and the syscalls the LMBench/NGINX/Redis workloads exercise.
+//!
+//! Each syscall carries a profile: a base kernel-work cost plus the number of
+//! indirect calls on its hot path. When the kernel is built with Clang CFI
+//! (the paper's threat-model prerequisite), every indirect call pays a check
+//! — that is the `CFI` series of Figures 4–7.
+
+use ptstore_core::{AccessKind, VirtAddr, PAGE_SIZE};
+
+use crate::cycles::{cost, CostKind};
+use crate::error::KernelError;
+use crate::fs::FileStat;
+use crate::kernel::{Kernel, Socket};
+use crate::process::{FdEntry, Pid, SigAction, VmArea, VmPerms};
+
+/// Static per-syscall cost profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyscallProfile {
+    /// Fixed kernel-path work (cycles) beyond entry/exit.
+    pub base_cycles: u64,
+    /// Indirect calls on the hot path (CFI-checked when CFI is on).
+    pub indirect_calls: u64,
+}
+
+/// Profiles roughly shaped after Linux hot paths: VFS-heavy calls make more
+/// indirect calls (file_operations dispatch), process-management calls make
+/// many (security hooks, scheduler class methods).
+pub mod profile {
+    use super::SyscallProfile;
+
+    /// `getppid` — LMBench's "null" syscall.
+    pub const NULL: SyscallProfile = SyscallProfile { base_cycles: 30, indirect_calls: 1 };
+    /// `read` from /dev/zero (LMBench read).
+    pub const READ: SyscallProfile = SyscallProfile { base_cycles: 180, indirect_calls: 8 };
+    /// `write` to /dev/null-ish console (LMBench write).
+    pub const WRITE: SyscallProfile = SyscallProfile { base_cycles: 170, indirect_calls: 8 };
+    /// `stat`.
+    pub const STAT: SyscallProfile = SyscallProfile { base_cycles: 420, indirect_calls: 6 };
+    /// `fstat`.
+    pub const FSTAT: SyscallProfile = SyscallProfile { base_cycles: 230, indirect_calls: 4 };
+    /// `open`+`close`.
+    pub const OPEN_CLOSE: SyscallProfile = SyscallProfile { base_cycles: 700, indirect_calls: 14 };
+    /// `select` on 10 fds.
+    pub const SELECT_10: SyscallProfile = SyscallProfile { base_cycles: 520, indirect_calls: 18 };
+    /// Signal handler installation.
+    pub const SIG_INSTALL: SyscallProfile = SyscallProfile { base_cycles: 190, indirect_calls: 3 };
+    /// Signal delivery/catch.
+    pub const SIG_CATCH: SyscallProfile = SyscallProfile { base_cycles: 680, indirect_calls: 5 };
+    /// `pipe` round trip.
+    pub const PIPE: SyscallProfile = SyscallProfile { base_cycles: 520, indirect_calls: 6 };
+    /// `fork`(+exit+wait measured by the driver).
+    pub const FORK: SyscallProfile = SyscallProfile { base_cycles: 0, indirect_calls: 29 };
+    /// `execve`.
+    pub const EXEC: SyscallProfile = SyscallProfile { base_cycles: 0, indirect_calls: 28 };
+    /// `exit`.
+    pub const EXIT: SyscallProfile = SyscallProfile { base_cycles: 0, indirect_calls: 14 };
+    /// `wait`.
+    pub const WAIT: SyscallProfile = SyscallProfile { base_cycles: 240, indirect_calls: 6 };
+    /// `mmap`/`munmap`.
+    pub const MMAP: SyscallProfile = SyscallProfile { base_cycles: 480, indirect_calls: 7 };
+    /// `brk`.
+    pub const BRK: SyscallProfile = SyscallProfile { base_cycles: 260, indirect_calls: 4 };
+    /// `sched_yield` (context-switch driver).
+    pub const YIELD: SyscallProfile = SyscallProfile { base_cycles: 120, indirect_calls: 6 };
+    /// Socket accept (NGINX/Redis model).
+    pub const ACCEPT: SyscallProfile = SyscallProfile { base_cycles: 900, indirect_calls: 22 };
+    /// Socket recv.
+    pub const RECV: SyscallProfile = SyscallProfile { base_cycles: 420, indirect_calls: 16 };
+    /// Socket send.
+    pub const SEND: SyscallProfile = SyscallProfile { base_cycles: 460, indirect_calls: 18 };
+    /// Socket close.
+    pub const SOCK_CLOSE: SyscallProfile = SyscallProfile { base_cycles: 380, indirect_calls: 12 };
+}
+
+impl Kernel {
+    /// Common syscall entry: trap cost + CFI checks for the path's indirect
+    /// calls.
+    pub(crate) fn syscall_enter(&mut self, p: SyscallProfile) {
+        self.stats.syscalls += 1;
+        self.cycles.charge(CostKind::Kernel, cost::SYSCALL_ENTRY + p.base_cycles);
+        self.charge_indirect_calls(p.indirect_calls);
+    }
+
+    /// Common syscall exit.
+    pub(crate) fn syscall_exit(&mut self) {
+        self.cycles.charge(CostKind::Kernel, cost::SYSCALL_EXIT);
+    }
+
+    /// Charges CFI checks when the kernel is CFI-instrumented.
+    pub(crate) fn charge_indirect_calls(&mut self, n: u64) {
+        if self.cfg.cfi {
+            self.cycles.charge(CostKind::CfiCheck, n * cost::CFI_CHECK);
+        }
+    }
+
+    /// Charges the user↔kernel copy cost for `bytes`.
+    fn charge_copy(&mut self, bytes: u64) {
+        self.cycles
+            .charge(CostKind::MemAccess, bytes.div_ceil(8) * cost::COPY_BYTE_X8);
+    }
+
+    // ------------------------------------------------------------------
+    // Trivial syscalls
+    // ------------------------------------------------------------------
+
+    /// `getppid` — the LMBench null syscall.
+    pub fn sys_null(&mut self) -> Result<Pid, KernelError> {
+        self.syscall_enter(profile::NULL);
+        let r = self
+            .procs
+            .get(self.current)
+            .ok_or(KernelError::NoSuchProcess)?
+            .parent
+            .unwrap_or(0);
+        self.syscall_exit();
+        Ok(r)
+    }
+
+    // ------------------------------------------------------------------
+    // Files
+    // ------------------------------------------------------------------
+
+    /// `open()`.
+    pub fn sys_open(&mut self, name: &str) -> Result<i32, KernelError> {
+        self.syscall_enter(profile::OPEN_CLOSE);
+        let exists = self.fs.exists(name);
+        let r = if exists {
+            let p = self
+                .procs
+                .get_mut(self.current)
+                .ok_or(KernelError::NoSuchProcess)?;
+            Ok(p.fds.insert(FdEntry::File {
+                name: name.to_string(),
+                offset: 0,
+            }))
+        } else {
+            Err(KernelError::NoSuchFile)
+        };
+        self.syscall_exit();
+        r
+    }
+
+    /// `close()`.
+    pub fn sys_close(&mut self, fd: i32) -> Result<(), KernelError> {
+        self.syscall_enter(profile::OPEN_CLOSE);
+        let entry = {
+            let p = self
+                .procs
+                .get_mut(self.current)
+                .ok_or(KernelError::NoSuchProcess)?;
+            p.fds.remove(fd).ok_or(KernelError::BadFd)
+        };
+        let r = entry.map(|e| match e {
+            FdEntry::PipeRead { id } => self.pipes.close_end(id, false),
+            FdEntry::PipeWrite { id } => self.pipes.close_end(id, true),
+            FdEntry::Socket { id } => {
+                self.sockets.remove(&id);
+            }
+            _ => {}
+        });
+        self.syscall_exit();
+        r
+    }
+
+    /// `read()` — files, pipes, and sockets.
+    pub fn sys_read(&mut self, fd: i32, len: u64) -> Result<Vec<u8>, KernelError> {
+        self.syscall_enter(profile::READ);
+        let r = self.do_read(fd, len);
+        if let Ok(data) = &r {
+            self.charge_copy(data.len() as u64);
+        }
+        self.syscall_exit();
+        r
+    }
+
+    fn do_read(&mut self, fd: i32, len: u64) -> Result<Vec<u8>, KernelError> {
+        let entry = {
+            let p = self
+                .procs
+                .get(self.current)
+                .ok_or(KernelError::NoSuchProcess)?;
+            p.fds.get(fd).cloned().ok_or(KernelError::BadFd)?
+        };
+        match entry {
+            FdEntry::File { name, offset } => {
+                let data = self
+                    .fs
+                    .read(&name, offset, len)
+                    .ok_or(KernelError::NoSuchFile)?
+                    .to_vec();
+                let p = self.procs.get_mut(self.current).expect("exists");
+                if let Some(FdEntry::File { offset, .. }) = p.fds.get_mut(fd) {
+                    *offset += data.len() as u64;
+                }
+                Ok(data)
+            }
+            FdEntry::PipeRead { id } => {
+                let pipe = self.pipes.get_mut(id).ok_or(KernelError::BadFd)?;
+                if pipe.is_empty() && !pipe.at_eof() {
+                    return Err(KernelError::WouldBlock);
+                }
+                Ok(pipe.read(len as usize))
+            }
+            FdEntry::Socket { id } => {
+                let s = self.sockets.get_mut(&id).ok_or(KernelError::BadFd)?;
+                let n = s.rx.min(len);
+                s.rx -= n;
+                Ok(vec![0u8; n as usize])
+            }
+            FdEntry::Console => Ok(Vec::new()),
+            FdEntry::PipeWrite { .. } => Err(KernelError::BadFd),
+        }
+    }
+
+    /// `write()`.
+    pub fn sys_write(&mut self, fd: i32, data: &[u8]) -> Result<u64, KernelError> {
+        self.syscall_enter(profile::WRITE);
+        self.charge_copy(data.len() as u64);
+        let r = self.do_write(fd, data);
+        self.syscall_exit();
+        r
+    }
+
+    fn do_write(&mut self, fd: i32, data: &[u8]) -> Result<u64, KernelError> {
+        let entry = {
+            let p = self
+                .procs
+                .get(self.current)
+                .ok_or(KernelError::NoSuchProcess)?;
+            p.fds.get(fd).cloned().ok_or(KernelError::BadFd)?
+        };
+        match entry {
+            FdEntry::File { name, offset } => {
+                let new_size = self
+                    .fs
+                    .write(&name, offset, data)
+                    .ok_or(KernelError::NoSuchFile)?;
+                let p = self.procs.get_mut(self.current).expect("exists");
+                if let Some(FdEntry::File { offset, .. }) = p.fds.get_mut(fd) {
+                    *offset += data.len() as u64;
+                }
+                let _ = new_size;
+                Ok(data.len() as u64)
+            }
+            FdEntry::PipeWrite { id } => {
+                let pipe = self.pipes.get_mut(id).ok_or(KernelError::BadFd)?;
+                let n = pipe.write(data);
+                if n == 0 {
+                    Err(KernelError::WouldBlock)
+                } else {
+                    Ok(n as u64)
+                }
+            }
+            FdEntry::Socket { id } => {
+                let s = self.sockets.get_mut(&id).ok_or(KernelError::BadFd)?;
+                s.tx += data.len() as u64;
+                self.cycles.charge(CostKind::Io, data.len() as u64 / 16);
+                Ok(data.len() as u64)
+            }
+            FdEntry::Console => {
+                self.cycles.charge(CostKind::Io, 200);
+                Ok(data.len() as u64)
+            }
+            FdEntry::PipeRead { .. } => Err(KernelError::BadFd),
+        }
+    }
+
+    /// `stat()`.
+    pub fn sys_stat(&mut self, name: &str) -> Result<FileStat, KernelError> {
+        self.syscall_enter(profile::STAT);
+        let r = self.fs.stat(name).ok_or(KernelError::NoSuchFile);
+        self.syscall_exit();
+        r
+    }
+
+    /// `fstat()`.
+    pub fn sys_fstat(&mut self, fd: i32) -> Result<FileStat, KernelError> {
+        self.syscall_enter(profile::FSTAT);
+        let r = {
+            let p = self
+                .procs
+                .get(self.current)
+                .ok_or(KernelError::NoSuchProcess)?;
+            match p.fds.get(fd) {
+                Some(FdEntry::File { name, .. }) => {
+                    let name = name.clone();
+                    self.fs.stat(&name).ok_or(KernelError::NoSuchFile)
+                }
+                Some(_) => Ok(FileStat {
+                    size: 0,
+                    mode: 0o600,
+                    ino: 0,
+                }),
+                None => Err(KernelError::BadFd),
+            }
+        };
+        self.syscall_exit();
+        r
+    }
+
+    /// `select()` over `nfds` descriptors (latency scales mildly with n).
+    pub fn sys_select(&mut self, nfds: u64) -> Result<u64, KernelError> {
+        self.syscall_enter(profile::SELECT_10);
+        self.cycles.charge(CostKind::Kernel, 14 * nfds);
+        self.charge_indirect_calls(nfds / 4);
+        self.syscall_exit();
+        Ok(nfds)
+    }
+
+    /// `pipe()` — returns (read fd, write fd).
+    pub fn sys_pipe(&mut self) -> Result<(i32, i32), KernelError> {
+        self.syscall_enter(profile::PIPE);
+        let id = self.pipes.create();
+        let p = self
+            .procs
+            .get_mut(self.current)
+            .ok_or(KernelError::NoSuchProcess)?;
+        let r = p.fds.insert(FdEntry::PipeRead { id });
+        let w = p.fds.insert(FdEntry::PipeWrite { id });
+        self.syscall_exit();
+        Ok((r, w))
+    }
+
+    // ------------------------------------------------------------------
+    // Signals
+    // ------------------------------------------------------------------
+
+    /// `sigaction()` — install a handler.
+    pub fn sys_signal_install(&mut self, signum: usize) -> Result<(), KernelError> {
+        self.syscall_enter(profile::SIG_INSTALL);
+        let r = {
+            let p = self
+                .procs
+                .get_mut(self.current)
+                .ok_or(KernelError::NoSuchProcess)?;
+            if signum == 0 || signum >= 32 {
+                Err(KernelError::BadAddress)
+            } else {
+                p.signals.actions[signum] = SigAction::Handler;
+                Ok(())
+            }
+        };
+        self.syscall_exit();
+        r
+    }
+
+    /// `kill()` + immediate delivery to self (the LMBench catch test).
+    pub fn sys_signal_catch(&mut self, signum: usize) -> Result<(), KernelError> {
+        self.syscall_enter(profile::SIG_CATCH);
+        let r = {
+            let p = self
+                .procs
+                .get_mut(self.current)
+                .ok_or(KernelError::NoSuchProcess)?;
+            if signum == 0 || signum >= 32 {
+                Err(KernelError::BadAddress)
+            } else if p.signals.actions[signum] == SigAction::Handler {
+                p.signals.caught += 1;
+                Ok(())
+            } else {
+                p.signals.pending |= 1 << signum;
+                Ok(())
+            }
+        };
+        self.syscall_exit();
+        r
+    }
+
+    // ------------------------------------------------------------------
+    // Processes
+    // ------------------------------------------------------------------
+
+    /// `fork()`.
+    pub fn sys_fork(&mut self) -> Result<Pid, KernelError> {
+        self.syscall_enter(profile::FORK);
+        let r = self.do_fork();
+        self.syscall_exit();
+        r
+    }
+
+    /// `clone(CLONE_VM)` — spawn a thread sharing the address space.
+    pub fn sys_clone_thread(&mut self) -> Result<Pid, KernelError> {
+        self.syscall_enter(profile::FORK);
+        let r = self.do_clone_thread();
+        self.syscall_exit();
+        r
+    }
+
+    /// `execve()`.
+    pub fn sys_exec(&mut self) -> Result<(), KernelError> {
+        self.syscall_enter(profile::EXEC);
+        let r = self.do_exec();
+        self.syscall_exit();
+        r
+    }
+
+    /// `exit()`.
+    pub fn sys_exit(&mut self, code: i32) -> Result<(), KernelError> {
+        self.syscall_enter(profile::EXIT);
+        let r = self.do_exit(code);
+        self.syscall_exit();
+        r
+    }
+
+    /// `wait()`.
+    pub fn sys_wait(&mut self) -> Result<(Pid, i32), KernelError> {
+        self.syscall_enter(profile::WAIT);
+        let r = self.do_wait();
+        self.syscall_exit();
+        r
+    }
+
+    /// `sched_yield()`.
+    pub fn sys_yield(&mut self) -> Result<(), KernelError> {
+        self.syscall_enter(profile::YIELD);
+        let r = self.do_yield();
+        self.syscall_exit();
+        r
+    }
+
+    // ------------------------------------------------------------------
+    // Memory
+    // ------------------------------------------------------------------
+
+    /// `mmap()` anonymous memory; returns the mapped address. Placement is
+    /// bump-allocated from the mmap cursor and falls back to a first-fit
+    /// search of the mmap window when the cursor reaches the stack guard —
+    /// so unmap/remap churn can run indefinitely.
+    pub fn sys_mmap(&mut self, len: u64) -> Result<VirtAddr, KernelError> {
+        self.syscall_enter(profile::MMAP);
+        let len = len.div_ceil(PAGE_SIZE) * PAGE_SIZE;
+        let mm = self.mm_owner_of(self.current);
+        let r = {
+            let p = self
+                .procs
+                .get_mut(mm)
+                .ok_or(KernelError::NoSuchProcess)?;
+            let stack_guard = crate::pagetable::USER_STACK_TOP - 64 * PAGE_SIZE;
+            let start = if p.mmap_cursor + len <= stack_guard {
+                let s = p.mmap_cursor;
+                p.mmap_cursor += len;
+                Some(s)
+            } else {
+                // First-fit over the mmap window.
+                let mut vmas: Vec<(u64, u64)> = p
+                    .vmas
+                    .iter()
+                    .filter(|v| v.end > crate::pagetable::USER_MMAP_BASE && v.start < stack_guard)
+                    .map(|v| (v.start, v.end))
+                    .collect();
+                vmas.sort_unstable();
+                let mut candidate = crate::pagetable::USER_MMAP_BASE;
+                let mut found = None;
+                for (vs, ve) in vmas {
+                    if candidate + len <= vs {
+                        found = Some(candidate);
+                        break;
+                    }
+                    candidate = candidate.max(ve);
+                }
+                if found.is_none() && candidate + len <= stack_guard {
+                    found = Some(candidate);
+                }
+                found
+            };
+            match start {
+                Some(start) => {
+                    p.vmas.push(VmArea {
+                        start,
+                        end: start + len,
+                        perms: VmPerms::RW,
+                    });
+                    Ok(VirtAddr::new(start))
+                }
+                None => Err(KernelError::OutOfMemory),
+            }
+        };
+        self.syscall_exit();
+        r
+    }
+
+    /// `munmap()`: unmaps the area starting at `addr`.
+    pub fn sys_munmap(&mut self, addr: VirtAddr, len: u64) -> Result<(), KernelError> {
+        self.syscall_enter(profile::MMAP);
+        let len = len.div_ceil(PAGE_SIZE) * PAGE_SIZE;
+        let pid = self.current;
+        // Unmap any resident pages.
+        let mut va = addr;
+        let end = addr + len;
+        let mut r = Ok(());
+        while va < end {
+            let mapped = {
+                let p = self.procs.get(pid).ok_or(KernelError::NoSuchProcess)?;
+                p.aspace.mapping(va).is_some()
+            };
+            if mapped {
+                match self.unmap_user_page(pid, va) {
+                    Ok(ppn) => {
+                        if let Err(e) = self.put_user_page(ppn) {
+                            r = Err(e);
+                            break;
+                        }
+                    }
+                    Err(e) => {
+                        r = Err(e);
+                        break;
+                    }
+                }
+            }
+            va += PAGE_SIZE;
+        }
+        if r.is_ok() {
+            let p = self
+                .procs
+                .get_mut(pid)
+                .ok_or(KernelError::NoSuchProcess)?;
+            p.vmas
+                .retain(|v| !(v.start == addr.as_u64() && v.end == addr.as_u64() + len));
+        }
+        self.syscall_exit();
+        r
+    }
+
+    /// `brk()`: grows (or shrinks) the heap; returns the new break.
+    pub fn sys_brk(&mut self, new_brk: u64) -> Result<u64, KernelError> {
+        self.syscall_enter(profile::BRK);
+        let r = {
+            let p = self
+                .procs
+                .get_mut(self.current)
+                .ok_or(KernelError::NoSuchProcess)?;
+            if !(crate::pagetable::USER_HEAP_BASE..crate::pagetable::USER_MMAP_BASE).contains(&new_brk)
+            {
+                Err(KernelError::BadAddress)
+            } else {
+                p.brk = new_brk;
+                if let Some(heap) = p
+                    .vmas
+                    .iter_mut()
+                    .find(|v| v.start == crate::pagetable::USER_HEAP_BASE)
+                {
+                    heap.end = new_brk.div_ceil(PAGE_SIZE) * PAGE_SIZE;
+                }
+                Ok(new_brk)
+            }
+        };
+        self.syscall_exit();
+        r
+    }
+
+    /// `mprotect()`: changes a VMA's permissions and downgrades any resident
+    /// PTEs — the page-table update path W^X policies exercise. Resident
+    /// pages are rewritten through the defense channel and the stale
+    /// translations flushed.
+    pub fn sys_mprotect(
+        &mut self,
+        addr: VirtAddr,
+        len: u64,
+        perms: VmPerms,
+    ) -> Result<(), KernelError> {
+        self.syscall_enter(profile::MMAP);
+        let r = self.do_mprotect(addr, len, perms);
+        self.syscall_exit();
+        r
+    }
+
+    fn do_mprotect(
+        &mut self,
+        addr: VirtAddr,
+        len: u64,
+        perms: VmPerms,
+    ) -> Result<(), KernelError> {
+        let len = len.div_ceil(PAGE_SIZE) * PAGE_SIZE;
+        let mm = self.mm_owner_of(self.current);
+        // Update the VMA (split handling kept simple: exact or inner range
+        // updates the whole containing VMA's overlap by splitting).
+        {
+            let p = self.procs.get_mut(mm).ok_or(KernelError::NoSuchProcess)?;
+            let vma = p
+                .vmas
+                .iter_mut()
+                .find(|v| v.start <= addr.as_u64() && addr.as_u64() + len <= v.end)
+                .ok_or(KernelError::BadAddress)?;
+            if vma.start == addr.as_u64() && vma.end == addr.as_u64() + len {
+                vma.perms = perms;
+            } else {
+                // Split: [start, addr) keeps old perms; [addr, addr+len) new;
+                // [addr+len, end) keeps old.
+                let old = *vma;
+                vma.end = addr.as_u64();
+                let mut tail = Vec::new();
+                tail.push(VmArea {
+                    start: addr.as_u64(),
+                    end: addr.as_u64() + len,
+                    perms,
+                });
+                if addr.as_u64() + len < old.end {
+                    tail.push(VmArea {
+                        start: addr.as_u64() + len,
+                        end: old.end,
+                        perms: old.perms,
+                    });
+                }
+                if vma.start == vma.end {
+                    // Fully replaced head.
+                    *vma = tail.remove(0);
+                }
+                p.vmas.extend(tail);
+            }
+        }
+        // Rewrite resident leaf PTEs to the new permissions.
+        let resident: Vec<(u64, ptstore_core::PhysPageNum, bool)> = {
+            let p = self.procs.get(mm).ok_or(KernelError::NoSuchProcess)?;
+            p.aspace
+                .user
+                .range((addr.as_u64() >> 12)..((addr.as_u64() + len) >> 12))
+                .map(|(&vpn, m)| (vpn, m.ppn, m.cow))
+                .collect()
+        };
+        let asid = self
+            .procs
+            .get(mm)
+            .ok_or(KernelError::NoSuchProcess)?
+            .aspace
+            .asid;
+        for (vpn, ppn, cow) in resident {
+            let va = VirtAddr::new(vpn << 12);
+            let root = self.procs.get(mm).expect("exists").aspace.root;
+            let slot = self.leaf_slot(root, va)?.ok_or(KernelError::BadAddress)?;
+            let mut bits = ptstore_mmu::PteFlags::V | ptstore_mmu::PteFlags::U | ptstore_mmu::PteFlags::A;
+            if perms.read {
+                bits |= ptstore_mmu::PteFlags::R;
+            }
+            if perms.write && !cow {
+                bits |= ptstore_mmu::PteFlags::W | ptstore_mmu::PteFlags::D;
+            }
+            if perms.exec {
+                bits |= ptstore_mmu::PteFlags::X;
+            }
+            let flags = ptstore_mmu::PteFlags::from_bits(bits);
+            self.pt_write(slot, ptstore_mmu::Pte::leaf(ppn, flags).bits())?;
+            self.mmu.sfence_page(va, asid);
+            self.stats.sfences += 1;
+            self.cycles.charge(CostKind::TlbFlush, cost::SFENCE_PAGE);
+            if let Some(p) = self.procs.get_mut(mm) {
+                if let Some(m) = p.aspace.user.get_mut(&vpn) {
+                    m.flags = flags;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// A user-space memory touch as a syscall-free event (page faults charge
+    /// through the fault path). Exposed for the LMBench page-fault and mmap
+    /// latency drivers.
+    pub fn sys_touch(&mut self, va: VirtAddr, write: bool) -> Result<(), KernelError> {
+        let kind = if write { AccessKind::Write } else { AccessKind::Read };
+        self.touch_user(va, kind)?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Sockets (NGINX/Redis workload model)
+    // ------------------------------------------------------------------
+
+    /// `accept()` a connection with `rx_bytes` of request data queued.
+    pub fn sys_accept(&mut self, rx_bytes: u64) -> Result<i32, KernelError> {
+        self.syscall_enter(profile::ACCEPT);
+        let id = self.next_socket;
+        self.next_socket += 1;
+        self.sockets.insert(id, Socket { rx: rx_bytes, tx: 0 });
+        let r = {
+            let p = self
+                .procs
+                .get_mut(self.current)
+                .ok_or(KernelError::NoSuchProcess)?;
+            Ok(p.fds.insert(FdEntry::Socket { id }))
+        };
+        self.syscall_exit();
+        r
+    }
+
+    /// `recv()` on a socket fd.
+    pub fn sys_recv(&mut self, fd: i32, len: u64) -> Result<u64, KernelError> {
+        self.syscall_enter(profile::RECV);
+        self.charge_copy(len);
+        let r = self.do_read(fd, len).map(|d| d.len() as u64);
+        self.syscall_exit();
+        r
+    }
+
+    /// `send()` on a socket fd.
+    pub fn sys_send(&mut self, fd: i32, bytes: u64) -> Result<u64, KernelError> {
+        self.syscall_enter(profile::SEND);
+        self.charge_copy(bytes);
+        let data = vec![0u8; bytes as usize];
+        let r = self.do_write(fd, &data);
+        self.syscall_exit();
+        r
+    }
+}

@@ -1,0 +1,591 @@
+//! The buddy allocator and memory zones.
+//!
+//! The Linux kernel manages physical pages per zone with a buddy system and
+//! routes allocation requests via GFP flags. PTStore adds a **PTStore zone**
+//! at the high physical addresses plus a **`GFP_PTSTORE`** flag requesting
+//! pages from only that zone (paper §IV-C1). The zone is backed by the PMP
+//! secure region, so both must stay contiguous; dynamic adjustment reserves
+//! contiguous pages adjacent to the boundary from the normal zone
+//! (`alloc_contig_range`), migrates any movable occupants, and hands the
+//! range over.
+
+use std::collections::{BTreeSet, HashMap};
+
+use core::fmt;
+
+use ptstore_core::PhysPageNum;
+use serde::{Deserialize, Serialize};
+
+/// Largest buddy order (2^10 pages = 4 MiB blocks, as in Linux).
+pub const MAX_ORDER: u8 = 10;
+
+/// GFP-style allocation flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct GfpFlags(u8);
+
+impl GfpFlags {
+    /// Plain kernel allocation from the normal zone.
+    pub const KERNEL: GfpFlags = GfpFlags(0);
+    /// Allocate from the PTStore zone only (paper §IV-C1).
+    pub const PTSTORE: GfpFlags = GfpFlags(1 << 0);
+    /// Zero the page before returning it.
+    pub const ZERO: GfpFlags = GfpFlags(1 << 1);
+    /// The allocation is movable (user data; migration candidates).
+    pub const MOVABLE: GfpFlags = GfpFlags(1 << 2);
+
+    /// Flag union.
+    pub const fn union(self, other: GfpFlags) -> GfpFlags {
+        GfpFlags(self.0 | other.0)
+    }
+
+    /// True when `other`'s bits are all set.
+    pub const fn contains(self, other: GfpFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+}
+
+impl core::ops::BitOr for GfpFlags {
+    type Output = GfpFlags;
+    fn bitor(self, rhs: GfpFlags) -> GfpFlags {
+        self.union(rhs)
+    }
+}
+
+/// Bookkeeping for an allocated block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AllocInfo {
+    /// Buddy order of the block.
+    pub order: u8,
+    /// True when the block may be migrated (user data pages).
+    pub movable: bool,
+}
+
+/// Errors from the buddy allocator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AllocError {
+    /// No block of the requested order (after splitting) is available.
+    OutOfMemory,
+    /// `reserve_range` hit an immovable allocation.
+    Unmovable {
+        /// The pinned page.
+        ppn: PhysPageNum,
+    },
+    /// Range arguments fall outside the zone.
+    OutOfZone,
+    /// Double free or free of an unallocated page.
+    BadFree {
+        /// The offending page.
+        ppn: PhysPageNum,
+    },
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::OutOfMemory => f.write_str("zone out of memory"),
+            AllocError::Unmovable { ppn } => write!(f, "unmovable page {ppn} in range"),
+            AllocError::OutOfZone => f.write_str("range outside zone"),
+            AllocError::BadFree { ppn } => write!(f, "bad free of page {ppn}"),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// Result of `reserve_range`: the pages now held for the caller plus the
+/// occupants that must be migrated before the range is truly empty.
+#[derive(Debug, Clone)]
+pub struct RangeReservation {
+    /// First page of the range.
+    pub start: PhysPageNum,
+    /// Page count.
+    pub count: u64,
+    /// Allocated blocks inside the range that need migration
+    /// (block start page and its info).
+    pub to_migrate: Vec<(PhysPageNum, AllocInfo)>,
+    /// How many pages were free and claimed directly.
+    pub claimed_free: u64,
+}
+
+/// One buddy-managed zone covering the contiguous page interval
+/// `[base_ppn, end_ppn)`.
+#[derive(Debug, Clone)]
+pub struct BuddyZone {
+    name: &'static str,
+    base_ppn: u64,
+    end_ppn: u64,
+    /// `free_lists[order]` holds start pages of free blocks of that order.
+    free_lists: Vec<BTreeSet<u64>>,
+    allocated: HashMap<u64, AllocInfo>,
+    free_pages: u64,
+}
+
+impl BuddyZone {
+    /// A zone over `pages` pages starting at `base`.
+    ///
+    /// # Panics
+    /// Panics on an empty zone.
+    pub fn new(name: &'static str, base: PhysPageNum, pages: u64) -> Self {
+        assert!(pages > 0, "zone must be non-empty");
+        let mut zone = Self {
+            name,
+            base_ppn: base.as_u64(),
+            end_ppn: base.as_u64() + pages,
+            free_lists: vec![BTreeSet::new(); MAX_ORDER as usize + 1],
+            allocated: HashMap::new(),
+            free_pages: 0,
+        };
+        zone.insert_free_run(base.as_u64(), pages);
+        zone
+    }
+
+    /// Zone name (diagnostics).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// First page of the zone.
+    pub fn base(&self) -> PhysPageNum {
+        PhysPageNum::new(self.base_ppn)
+    }
+
+    /// One past the last page of the zone.
+    pub fn end(&self) -> PhysPageNum {
+        PhysPageNum::new(self.end_ppn)
+    }
+
+    /// Pages currently free.
+    pub fn free_pages(&self) -> u64 {
+        self.free_pages
+    }
+
+    /// Total pages spanned.
+    pub fn total_pages(&self) -> u64 {
+        self.end_ppn - self.base_ppn
+    }
+
+    /// True when `ppn` lies inside the zone interval.
+    pub fn contains(&self, ppn: PhysPageNum) -> bool {
+        (self.base_ppn..self.end_ppn).contains(&ppn.as_u64())
+    }
+
+    fn insert_free_run(&mut self, mut start: u64, mut len: u64) {
+        // Greedy decomposition into maximal naturally aligned buddy blocks.
+        while len > 0 {
+            let align_order = start.trailing_zeros().min(MAX_ORDER as u32) as u8;
+            let len_order = (63 - len.leading_zeros()).min(MAX_ORDER as u32) as u8;
+            let order = align_order.min(len_order);
+            self.free_lists[order as usize].insert(start);
+            let block = 1u64 << order;
+            start += block;
+            len -= block;
+            self.free_pages += block;
+        }
+    }
+
+    /// Allocates a block of `2^order` pages.
+    ///
+    /// # Errors
+    /// [`AllocError::OutOfMemory`] when no block can satisfy the request.
+    pub fn alloc(&mut self, order: u8, movable: bool) -> Result<PhysPageNum, AllocError> {
+        assert!(order <= MAX_ORDER);
+        // Prefer the lowest-address eligible block across all orders. This
+        // keeps the top of the zone free, which is where secure-region
+        // adjustment reserves its contiguous ranges (the Linux analogue is
+        // steering unmovable allocations away from CMA/movable pageblocks).
+        let mut best: Option<(u8, u64)> = None;
+        for o in order..=MAX_ORDER {
+            if let Some(&s) = self.free_lists[o as usize].iter().next() {
+                if best.is_none_or(|(_, bs)| s < bs) {
+                    best = Some((o, s));
+                }
+            }
+        }
+        let Some((mut o, start)) = best else {
+            return Err(AllocError::OutOfMemory);
+        };
+        self.free_lists[o as usize].remove(&start);
+        // Split down to the requested order.
+        while o > order {
+            o -= 1;
+            let buddy = start + (1u64 << o);
+            self.free_lists[o as usize].insert(buddy);
+        }
+        self.free_pages -= 1u64 << order;
+        self.allocated.insert(start, AllocInfo { order, movable });
+        Ok(PhysPageNum::new(start))
+    }
+
+    /// Frees a previously allocated block, coalescing with free buddies.
+    ///
+    /// # Errors
+    /// [`AllocError::BadFree`] when `ppn` is not an allocated block start.
+    pub fn free(&mut self, ppn: PhysPageNum) -> Result<(), AllocError> {
+        let start = ppn.as_u64();
+        let Some(info) = self.allocated.remove(&start) else {
+            return Err(AllocError::BadFree { ppn });
+        };
+        self.free_pages += 1u64 << info.order;
+        let mut start = start;
+        let mut order = info.order;
+        while order < MAX_ORDER {
+            let buddy = start ^ (1u64 << order);
+            // Buddy must be wholly inside the zone and free at this order.
+            if buddy < self.base_ppn
+                || buddy + (1u64 << order) > self.end_ppn
+                || !self.free_lists[order as usize].remove(&buddy)
+            {
+                break;
+            }
+            start = start.min(buddy);
+            order += 1;
+        }
+        self.free_lists[order as usize].insert(start);
+        Ok(())
+    }
+
+    /// Looks up allocation info of a block start.
+    pub fn alloc_info(&self, ppn: PhysPageNum) -> Option<AllocInfo> {
+        self.allocated.get(&ppn.as_u64()).copied()
+    }
+
+    /// The Linux `alloc_contig_range` model: reserves the exact page range
+    /// `[start, start + count)`, claiming free pages and reporting allocated
+    /// *movable* blocks for the caller to migrate (then
+    /// [`Self::complete_migration`] each). Fails without side effects when an
+    /// immovable block overlaps the range.
+    ///
+    /// # Errors
+    /// [`AllocError::OutOfZone`] or [`AllocError::Unmovable`].
+    pub fn reserve_range(
+        &mut self,
+        start: PhysPageNum,
+        count: u64,
+    ) -> Result<RangeReservation, AllocError> {
+        let s = start.as_u64();
+        let e = s + count;
+        if s < self.base_ppn || e > self.end_ppn {
+            return Err(AllocError::OutOfZone);
+        }
+        // Pass 1: every page must be free, or inside a movable allocated
+        // block. Collect the overlapping allocated block starts.
+        let mut to_migrate: Vec<(PhysPageNum, AllocInfo)> = Vec::new();
+        {
+            let mut p = s;
+            while p < e {
+                if let Some((block, info)) = self.find_block_containing(p) {
+                    if !info.movable {
+                        return Err(AllocError::Unmovable {
+                            ppn: PhysPageNum::new(p),
+                        });
+                    }
+                    to_migrate.push((PhysPageNum::new(block), info));
+                    p = block + (1u64 << info.order);
+                } else if let Some((fstart, forder)) = self.find_free_block_containing(p) {
+                    p = fstart + (1u64 << forder);
+                } else {
+                    // Page belongs to neither a free nor an allocated block:
+                    // inconsistent state.
+                    unreachable!("page {p:#x} untracked in zone {}", self.name);
+                }
+            }
+        }
+        // Pass 2: claim the free blocks overlapping the range. Blocks that
+        // straddle the boundary are split so the outside part stays free.
+        let mut claimed_free = 0u64;
+        let mut p = s;
+        while p < e {
+            if let Some((block, info)) = self.find_block_containing(p) {
+                p = block + (1u64 << info.order);
+                continue;
+            }
+            let (fstart, forder) = self
+                .find_free_block_containing(p)
+                .expect("verified in pass 1");
+            self.free_lists[forder as usize].remove(&fstart);
+            let fend = fstart + (1u64 << forder);
+            // Keep the parts outside [s, e) free.
+            if fstart < s {
+                self.insert_free_run_nocount(fstart, s - fstart);
+            }
+            if fend > e {
+                self.insert_free_run_nocount(e, fend - e);
+            }
+            let inside = fend.min(e) - fstart.max(s);
+            self.free_pages -= inside;
+            claimed_free += inside;
+            p = fend;
+        }
+        Ok(RangeReservation {
+            start,
+            count,
+            to_migrate,
+            claimed_free,
+        })
+    }
+
+    fn insert_free_run_nocount(&mut self, mut start: u64, mut len: u64) {
+        while len > 0 {
+            let align_order = start.trailing_zeros().min(MAX_ORDER as u32) as u8;
+            let len_order = (63 - len.leading_zeros()).min(MAX_ORDER as u32) as u8;
+            let order = align_order.min(len_order);
+            self.free_lists[order as usize].insert(start);
+            let block = 1u64 << order;
+            start += block;
+            len -= block;
+        }
+    }
+
+    /// Marks a migrated block as vacated (its pages join the reservation).
+    ///
+    /// # Errors
+    /// [`AllocError::BadFree`] when `block` was not an allocated block.
+    pub fn complete_migration(&mut self, block: PhysPageNum) -> Result<AllocInfo, AllocError> {
+        self.allocated
+            .remove(&block.as_u64())
+            .ok_or(AllocError::BadFree { ppn: block })
+    }
+
+    /// Shrinks the zone by removing `count` pages from its top edge. The
+    /// pages must have been reserved (they are no longer tracked).
+    ///
+    /// # Errors
+    /// [`AllocError::OutOfZone`] when the zone is smaller than `count`.
+    pub fn shrink_top(&mut self, count: u64) -> Result<PhysPageNum, AllocError> {
+        if self.total_pages() <= count {
+            return Err(AllocError::OutOfZone);
+        }
+        self.end_ppn -= count;
+        Ok(PhysPageNum::new(self.end_ppn))
+    }
+
+    /// Grows the zone downward by `count` pages (the PTStore zone absorbing
+    /// an adjusted range) and marks them free.
+    ///
+    /// # Panics
+    /// Panics if the new range is not adjacent below the current base.
+    pub fn grow_bottom(&mut self, count: u64) {
+        assert!(count <= self.base_ppn, "grow_bottom underflow");
+        let new_base = self.base_ppn - count;
+        self.base_ppn = new_base;
+        self.insert_free_run(new_base, count);
+    }
+
+    fn find_block_containing(&self, p: u64) -> Option<(u64, AllocInfo)> {
+        // Allocated block starts are aligned to their order; scan candidate
+        // alignments (MAX_ORDER+1 lookups).
+        for order in 0..=MAX_ORDER {
+            let cand = p & !((1u64 << order) - 1);
+            if let Some(info) = self.allocated.get(&cand) {
+                if info.order >= order && p < cand + (1u64 << info.order) {
+                    return Some((cand, *info));
+                }
+            }
+        }
+        None
+    }
+
+    fn find_free_block_containing(&self, p: u64) -> Option<(u64, u8)> {
+        for order in 0..=MAX_ORDER {
+            let cand = p & !((1u64 << order) - 1);
+            if self.free_lists[order as usize].contains(&cand) {
+                return Some((cand, order));
+            }
+        }
+        None
+    }
+
+    /// Verifies internal invariants (used by property tests): free + allocated
+    /// page counts add up to the zone span, and no block overlaps another.
+    pub fn check_invariants(&self) -> bool {
+        let mut covered: Vec<(u64, u64)> = Vec::new();
+        for (o, list) in self.free_lists.iter().enumerate() {
+            for &s in list {
+                covered.push((s, s + (1u64 << o)));
+            }
+        }
+        let free_sum: u64 = covered.iter().map(|(a, b)| b - a).sum();
+        if free_sum != self.free_pages {
+            return false;
+        }
+        for (&s, info) in &self.allocated {
+            covered.push((s, s + (1u64 << info.order)));
+        }
+        covered.sort_unstable();
+        covered
+            .windows(2)
+            .all(|w| w[0].1 <= w[1].0)
+            && covered
+                .iter()
+                .all(|&(a, b)| a >= self.base_ppn && b <= self.end_ppn)
+    }
+}
+
+impl fmt::Display for BuddyZone {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "zone {} [{:#x}, {:#x}) free {}/{} pages",
+            self.name,
+            self.base_ppn,
+            self.end_ppn,
+            self.free_pages,
+            self.total_pages()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn zone(pages: u64) -> BuddyZone {
+        BuddyZone::new("test", PhysPageNum::new(0x100), pages)
+    }
+
+    #[test]
+    fn alloc_free_round_trip() {
+        let mut z = zone(64);
+        assert_eq!(z.free_pages(), 64);
+        let a = z.alloc(0, false).unwrap();
+        let b = z.alloc(0, false).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(z.free_pages(), 62);
+        z.free(a).unwrap();
+        z.free(b).unwrap();
+        assert_eq!(z.free_pages(), 64);
+        assert!(z.check_invariants());
+    }
+
+    #[test]
+    fn coalescing_restores_large_blocks() {
+        let mut z = zone(64);
+        let pages: Vec<_> = (0..64).map(|_| z.alloc(0, false).unwrap()).collect();
+        assert_eq!(z.free_pages(), 0);
+        assert!(z.alloc(0, false).is_err());
+        for p in pages {
+            z.free(p).unwrap();
+        }
+        // After freeing everything, a max-order allocation must succeed.
+        assert!(z.alloc(6, false).is_ok());
+        assert!(z.check_invariants());
+    }
+
+    #[test]
+    fn higher_order_allocations() {
+        let mut z = zone(64);
+        let big = z.alloc(4, false).unwrap(); // 16 pages
+        assert_eq!(z.free_pages(), 48);
+        assert!(big.as_u64() % 16 == 0, "buddy blocks are naturally aligned");
+        z.free(big).unwrap();
+        assert_eq!(z.free_pages(), 64);
+    }
+
+    #[test]
+    fn double_free_is_error() {
+        let mut z = zone(16);
+        let a = z.alloc(0, false).unwrap();
+        z.free(a).unwrap();
+        assert!(matches!(z.free(a), Err(AllocError::BadFree { .. })));
+    }
+
+    #[test]
+    fn reserve_range_on_free_zone() {
+        let mut z = zone(64);
+        let r = z.reserve_range(PhysPageNum::new(0x120), 16).unwrap();
+        assert_eq!(r.claimed_free, 16);
+        assert!(r.to_migrate.is_empty());
+        assert_eq!(z.free_pages(), 48);
+        // The reserved pages are gone from the free lists: allocating all
+        // remaining pages gives exactly 48.
+        let mut got = 0;
+        while z.alloc(0, false).is_ok() {
+            got += 1;
+        }
+        assert_eq!(got, 48);
+    }
+
+    #[test]
+    fn reserve_range_reports_movable_occupants() {
+        let mut z = zone(64);
+        // Occupy some pages as movable.
+        let m = z.alloc(0, true).unwrap();
+        let r = z.reserve_range(m, 1).unwrap();
+        assert_eq!(r.to_migrate.len(), 1);
+        assert_eq!(r.to_migrate[0].0, m);
+        assert_eq!(r.claimed_free, 0);
+        z.complete_migration(m).unwrap();
+        assert!(z.check_invariants());
+    }
+
+    #[test]
+    fn reserve_range_rejects_pinned_pages() {
+        let mut z = zone(64);
+        let pinned = z.alloc(0, false).unwrap();
+        let err = z.reserve_range(pinned, 1).unwrap_err();
+        assert!(matches!(err, AllocError::Unmovable { .. }));
+        // No side effects: free count unchanged.
+        assert_eq!(z.free_pages(), 63);
+    }
+
+    #[test]
+    fn reserve_range_out_of_zone() {
+        let mut z = zone(16);
+        assert!(matches!(
+            z.reserve_range(PhysPageNum::new(0x100), 32),
+            Err(AllocError::OutOfZone)
+        ));
+        assert!(matches!(
+            z.reserve_range(PhysPageNum::new(0x0), 4),
+            Err(AllocError::OutOfZone)
+        ));
+    }
+
+    #[test]
+    fn shrink_and_grow_move_the_boundary() {
+        // Normal zone gives its top pages to the PTStore zone below it...
+        // (modelling direction: ptstore zone sits above normal zone).
+        let mut normal = BuddyZone::new("normal", PhysPageNum::new(0x100), 64);
+        let mut secure = BuddyZone::new("ptstore", PhysPageNum::new(0x140), 16);
+        let chunk = 8;
+        let boundary = PhysPageNum::new(0x140 - chunk);
+        let r = normal.reserve_range(boundary, chunk).unwrap();
+        assert_eq!(r.claimed_free, chunk);
+        normal.shrink_top(chunk).unwrap();
+        secure.grow_bottom(chunk);
+        assert_eq!(normal.end(), boundary);
+        assert_eq!(secure.base(), boundary);
+        assert_eq!(secure.free_pages(), 16 + chunk);
+        assert!(normal.check_invariants());
+        assert!(secure.check_invariants());
+    }
+
+    #[test]
+    fn allocations_prefer_low_addresses() {
+        let mut z = zone(64);
+        let first = z.alloc(0, false).unwrap();
+        assert_eq!(first, PhysPageNum::new(0x100));
+    }
+
+    #[test]
+    fn gfp_flags_compose() {
+        let f = GfpFlags::PTSTORE | GfpFlags::ZERO;
+        assert!(f.contains(GfpFlags::PTSTORE));
+        assert!(f.contains(GfpFlags::ZERO));
+        assert!(!f.contains(GfpFlags::MOVABLE));
+        assert!(GfpFlags::KERNEL.contains(GfpFlags::KERNEL));
+    }
+
+    #[test]
+    fn unaligned_zone_base_still_works() {
+        // A zone whose base is not max-order aligned.
+        let mut z = BuddyZone::new("odd", PhysPageNum::new(0x103), 37);
+        assert_eq!(z.free_pages(), 37);
+        let mut got = 0;
+        while z.alloc(0, false).is_ok() {
+            got += 1;
+        }
+        assert_eq!(got, 37);
+        assert!(z.check_invariants());
+    }
+}

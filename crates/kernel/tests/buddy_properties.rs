@@ -1,0 +1,136 @@
+//! Property-based tests for the buddy allocator: random operation sequences
+//! must preserve the zone invariants, never double-allocate, and always
+//! coalesce back to the initial free count.
+
+use proptest::prelude::*;
+use ptstore_core::PhysPageNum;
+use ptstore_kernel::zones::{AllocError, BuddyZone, MAX_ORDER};
+use std::collections::HashSet;
+
+/// An operation in a random allocator workload.
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc { order: u8, movable: bool },
+    /// Free the i-th live allocation (modulo the live set size).
+    Free { index: usize },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..=4, any::<bool>()).prop_map(|(order, movable)| Op::Alloc { order, movable }),
+        (0usize..64).prop_map(|index| Op::Free { index }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random alloc/free sequences: blocks never overlap, invariants hold
+    /// throughout, and freeing everything restores the zone.
+    #[test]
+    fn random_workload_preserves_invariants(
+        base in 1u64..10_000,
+        pages in 32u64..512,
+        ops in proptest::collection::vec(arb_op(), 1..200),
+    ) {
+        let mut zone = BuddyZone::new("prop", PhysPageNum::new(base), pages);
+        let initial_free = zone.free_pages();
+        prop_assert_eq!(initial_free, pages);
+
+        let mut live: Vec<(PhysPageNum, u8)> = Vec::new();
+        let mut owned_pages: HashSet<u64> = HashSet::new();
+
+        for op in ops {
+            match op {
+                Op::Alloc { order, movable } => {
+                    match zone.alloc(order, movable) {
+                        Ok(start) => {
+                            // Claimed pages must be fresh and inside the zone.
+                            for p in start.as_u64()..start.as_u64() + (1 << order) {
+                                prop_assert!(
+                                    owned_pages.insert(p),
+                                    "page {p:#x} double-allocated"
+                                );
+                                prop_assert!(zone.contains(PhysPageNum::new(p)));
+                            }
+                            // Natural alignment of buddy blocks.
+                            prop_assert_eq!(start.as_u64() % (1 << order), 0);
+                            live.push((start, order));
+                        }
+                        Err(AllocError::OutOfMemory) => {
+                            // Acceptable: the zone may genuinely be full for
+                            // this order.
+                        }
+                        Err(e) => prop_assert!(false, "unexpected alloc error {e:?}"),
+                    }
+                }
+                Op::Free { index } => {
+                    if !live.is_empty() {
+                        let (start, order) = live.swap_remove(index % live.len());
+                        zone.free(start).expect("free of live block");
+                        for p in start.as_u64()..start.as_u64() + (1 << order) {
+                            owned_pages.remove(&p);
+                        }
+                    }
+                }
+            }
+            prop_assert!(zone.check_invariants(), "invariants violated mid-run");
+            prop_assert_eq!(
+                zone.free_pages(),
+                pages - owned_pages.len() as u64,
+                "free-page accounting drifted"
+            );
+        }
+
+        // Drain: free everything, the zone must fully coalesce.
+        for (start, _) in live {
+            zone.free(start).expect("final free");
+        }
+        prop_assert_eq!(zone.free_pages(), initial_free);
+        prop_assert!(zone.check_invariants());
+    }
+
+    /// reserve_range on ranges of free pages always claims exactly the range
+    /// and never disturbs surrounding allocations.
+    #[test]
+    fn reserve_range_is_exact(
+        pages in 64u64..512,
+        pre_allocs in 0usize..20,
+        range_len in 1u64..32,
+    ) {
+        let base = 0x100u64;
+        let mut zone = BuddyZone::new("prop", PhysPageNum::new(base), pages);
+        // Pin some low allocations (they must survive untouched).
+        let mut pinned = Vec::new();
+        for _ in 0..pre_allocs {
+            if let Ok(p) = zone.alloc(0, false) {
+                pinned.push(p);
+            }
+        }
+        let range_len = range_len.min(pages / 4);
+        let start = PhysPageNum::new(base + pages - range_len);
+        // Top of the zone stays free under low-first allocation.
+        let before_free = zone.free_pages();
+        let r = zone.reserve_range(start, range_len).expect("top range free");
+        prop_assert_eq!(r.claimed_free, range_len);
+        prop_assert!(r.to_migrate.is_empty());
+        prop_assert_eq!(zone.free_pages(), before_free - range_len);
+        // Pinned allocations still free cleanly.
+        for p in pinned {
+            zone.free(p).expect("pinned free");
+        }
+        prop_assert!(zone.check_invariants());
+    }
+
+    /// Orders beyond MAX_ORDER are rejected by construction (panic = bug),
+    /// and alloc at MAX_ORDER works when the zone is big enough.
+    #[test]
+    fn max_order_allocations(extra in 0u64..3) {
+        let pages = (1u64 << MAX_ORDER) * (1 + extra);
+        let mut zone = BuddyZone::new("prop", PhysPageNum::new(0), pages);
+        let got = zone.alloc(MAX_ORDER, false).expect("fits");
+        prop_assert_eq!(got.as_u64() % (1 << MAX_ORDER), 0);
+        zone.free(got).expect("free");
+        prop_assert_eq!(zone.free_pages(), pages);
+    }
+}

@@ -1,0 +1,434 @@
+//! Integration tests across the kernel's subsystems.
+
+use ptstore_core::{AccessKind, VirtAddr, MIB, PAGE_SIZE};
+use ptstore_kernel::pagetable::{USER_MMAP_BASE, USER_TEXT_BASE};
+use ptstore_kernel::{DefenseMode, Kernel, KernelConfig, KernelError};
+
+fn boot(cfg: KernelConfig) -> Kernel {
+    Kernel::boot(cfg.with_mem_size(256 * MIB).with_initial_secure_size(16 * MIB))
+        .expect("kernel boots")
+}
+
+fn boot_small_region(chunk: u64) -> Kernel {
+    let mut cfg = KernelConfig::cfi_ptstore()
+        .with_mem_size(256 * MIB)
+        .with_initial_secure_size(MIB);
+    cfg.adjust_chunk = chunk;
+    Kernel::boot(cfg).expect("kernel boots")
+}
+
+#[test]
+fn boots_in_every_defense_mode() {
+    for defense in [
+        DefenseMode::None,
+        DefenseMode::PtRand,
+        DefenseMode::VirtualIsolation,
+        DefenseMode::PtStore,
+    ] {
+        let k = boot(KernelConfig::baseline().with_defense(defense));
+        assert_eq!(k.current_pid(), 1, "{defense}: init is current");
+        assert_eq!(
+            k.secure_region().is_some(),
+            defense.is_ptstore(),
+            "{defense}: secure region present iff ptstore"
+        );
+    }
+}
+
+#[test]
+fn ptstore_kernel_issues_secure_channel_traffic() {
+    let k = boot(KernelConfig::cfi_ptstore());
+    let stats = k.bus.stats();
+    assert!(
+        stats.secure_writes > 100,
+        "boot builds the direct map with sd.pt: {stats}"
+    );
+    assert_eq!(stats.faults, 0, "no PTStore faults during legitimate boot");
+}
+
+#[test]
+fn baseline_kernel_never_touches_secure_channel() {
+    let k = boot(KernelConfig::cfi());
+    assert_eq!(k.bus.stats().secure_total(), 0);
+}
+
+#[test]
+fn fork_wait_exit_lifecycle() {
+    let mut k = boot(KernelConfig::cfi_ptstore());
+    let child = k.sys_fork().expect("fork");
+    assert_ne!(child, 1);
+    // Switch to the child and have it exit; exit schedules back to init.
+    k.do_switch_to(child).expect("switch to child");
+    assert_eq!(k.current_pid(), child);
+    k.sys_exit(42).expect("exit");
+    assert_eq!(k.current_pid(), 1);
+    let (reaped, code) = k.sys_wait().expect("wait");
+    assert_eq!(reaped, child);
+    assert_eq!(code, 42);
+    assert!(k.procs.get(child).is_none(), "child fully reaped");
+}
+
+#[test]
+fn fork_exit_cycle_leaks_nothing() {
+    let mut k = boot(KernelConfig::cfi_ptstore());
+    let free_before = k.pt_area_free_pages().unwrap();
+    let normal_before = k.normal_free_pages();
+    for _ in 0..50 {
+        let child = k.sys_fork().expect("fork");
+        k.do_switch_to(child).expect("switch");
+        k.sys_exit(0).expect("exit");
+        k.sys_wait().expect("wait");
+    }
+    assert_eq!(
+        k.pt_area_free_pages().unwrap(),
+        free_before,
+        "secure pages all returned"
+    );
+    assert_eq!(k.normal_free_pages(), normal_before, "normal pages all returned");
+    assert_eq!(k.stats.forks, 50);
+    assert_eq!(k.stats.exits, 50);
+}
+
+#[test]
+fn cow_sharing_and_break() {
+    let mut k = boot(KernelConfig::cfi_ptstore());
+    // Touch a heap page in init: demand map.
+    k.sys_brk(ptstore_kernel::pagetable::USER_HEAP_BASE + PAGE_SIZE)
+        .expect("brk");
+    let heap_va = VirtAddr::new(ptstore_kernel::pagetable::USER_HEAP_BASE);
+    k.sys_touch(heap_va, true).expect("demand map heap");
+    let faults_before = k.stats.page_faults;
+
+    let child = k.sys_fork().expect("fork");
+    // Parent writes the shared heap page: CoW break.
+    k.sys_touch(heap_va, true).expect("cow break");
+    assert_eq!(k.stats.cow_faults, 1);
+    assert!(k.stats.page_faults > faults_before);
+    // Child's mapping is untouched and still read-only shared.
+    k.do_switch_to(child).expect("switch");
+    k.sys_touch(heap_va, false).expect("child reads fine");
+}
+
+#[test]
+fn demand_paging_via_mmap() {
+    let mut k = boot(KernelConfig::cfi_ptstore());
+    let addr = k.sys_mmap(4 * PAGE_SIZE).expect("mmap");
+    assert_eq!(addr.as_u64(), USER_MMAP_BASE);
+    let faults_before = k.stats.demand_faults;
+    for i in 0..4 {
+        k.sys_touch(VirtAddr::new(addr.as_u64() + i * PAGE_SIZE), true)
+            .expect("touch");
+    }
+    assert_eq!(k.stats.demand_faults, faults_before + 4);
+    // Second touches hit the TLB / existing mappings: no new faults.
+    for i in 0..4 {
+        k.sys_touch(VirtAddr::new(addr.as_u64() + i * PAGE_SIZE), true)
+            .expect("retouch");
+    }
+    assert_eq!(k.stats.demand_faults, faults_before + 4);
+    k.sys_munmap(addr, 4 * PAGE_SIZE).expect("munmap");
+    // After munmap the pages are gone; touching again demand-maps anew
+    // only if a VMA still covers it — it does not.
+    assert!(matches!(
+        k.sys_touch(addr, true),
+        Err(KernelError::SegFault)
+    ));
+}
+
+#[test]
+fn secure_region_adjustment_triggers_and_grows() {
+    let mut k = boot_small_region(MIB);
+    let region0 = k.secure_region().unwrap();
+    // Burn through the 1 MiB region with forks (each needs several PT pages).
+    let mut children = Vec::new();
+    for _ in 0..200 {
+        children.push(k.sys_fork().expect("fork under adjustment"));
+    }
+    assert!(k.stats.adjustments > 0, "adjustment must have triggered");
+    let region1 = k.secure_region().unwrap();
+    assert!(region1.size() > region0.size());
+    assert_eq!(region1.end(), region0.end(), "grows downward");
+    // The PMP sees the same region the kernel does.
+    assert_eq!(k.bus.secure_region(), Some(region1));
+    // Everything still works: new PT pages in the grown range are usable.
+    for c in children {
+        k.do_switch_to(c).expect("switch");
+        k.sys_exit(0).expect("exit");
+    }
+}
+
+#[test]
+fn adjustment_disabled_runs_out_of_memory() {
+    let mut cfg = KernelConfig::cfi_ptstore_no_adjust()
+        .with_mem_size(256 * MIB)
+        .with_initial_secure_size(MIB);
+    cfg.adjustment_enabled = false;
+    let mut k = Kernel::boot(cfg).expect("boot");
+    let mut result = Ok(0);
+    for _ in 0..2000 {
+        result = k.sys_fork();
+        if result.is_err() {
+            break;
+        }
+    }
+    assert_eq!(result.unwrap_err(), KernelError::OutOfMemory);
+}
+
+#[test]
+fn token_validation_passes_for_legitimate_switches() {
+    let mut k = boot(KernelConfig::cfi_ptstore());
+    let a = k.sys_fork().expect("fork");
+    let b = k.sys_fork().expect("fork");
+    for _ in 0..10 {
+        k.do_switch_to(a).expect("switch a");
+        k.do_switch_to(b).expect("switch b");
+        k.do_switch_to(1).expect("switch init");
+    }
+    assert_eq!(k.stats.token_failures, 0);
+    assert!(k.stats.token_validations >= 30);
+}
+
+#[test]
+fn syscall_battery_behaves() {
+    let mut k = boot(KernelConfig::cfi_ptstore());
+    // null
+    assert_eq!(k.sys_null().expect("null"), 0);
+    // open/read/close
+    let fd = k.sys_open("/etc/passwd").expect("open");
+    let data = k.sys_read(fd, 4).expect("read");
+    assert_eq!(&data, b"root");
+    k.sys_close(fd).expect("close");
+    assert!(matches!(k.sys_open("/nonexistent"), Err(KernelError::NoSuchFile)));
+    // stat/fstat
+    let st = k.sys_stat("/etc/passwd").expect("stat");
+    assert_eq!(st.size, 30);
+    // write to a file
+    let fd = k.sys_open("/tmp/XXX").expect("open tmp");
+    assert_eq!(k.sys_write(fd, b"hello").expect("write"), 5);
+    k.sys_close(fd).expect("close");
+    assert_eq!(k.fs.read("/tmp/XXX", 0, 5).unwrap(), b"hello");
+    // pipes
+    let (r, w) = k.sys_pipe().expect("pipe");
+    assert_eq!(k.sys_write(w, b"ping").expect("pipe write"), 4);
+    assert_eq!(k.sys_read(r, 16).expect("pipe read"), b"ping");
+    assert!(matches!(k.sys_read(r, 1), Err(KernelError::WouldBlock)));
+    // signals
+    k.sys_signal_install(10).expect("install");
+    k.sys_signal_catch(10).expect("catch");
+    assert_eq!(k.procs.get(1).unwrap().signals.caught, 1);
+    // select
+    assert_eq!(k.sys_select(10).expect("select"), 10);
+    // sockets
+    let sfd = k.sys_accept(128).expect("accept");
+    assert_eq!(k.sys_recv(sfd, 128).expect("recv"), 128);
+    assert_eq!(k.sys_send(sfd, 1024).expect("send"), 1024);
+    k.sys_close(sfd).expect("close sock");
+}
+
+#[test]
+fn exec_replaces_address_space() {
+    let mut k = boot(KernelConfig::cfi_ptstore());
+    let addr = k.sys_mmap(2 * PAGE_SIZE).expect("mmap");
+    k.sys_touch(addr, true).expect("touch");
+    let pages_before = k.procs.get(1).unwrap().aspace.user_page_count();
+    assert!(pages_before >= 4); // text + 2 stack + mmap page
+    k.sys_exec().expect("exec");
+    let p = k.procs.get(1).unwrap();
+    assert_eq!(p.aspace.user_page_count(), 3, "text + 2 stack only");
+    assert!(p.vma_for(addr).is_none(), "mmap vma gone");
+    // Text is mapped and executable again.
+    k.sys_touch(VirtAddr::new(USER_TEXT_BASE), false).expect("text readable");
+}
+
+#[test]
+fn cfi_costs_are_visible() {
+    let mut with = boot(KernelConfig::cfi());
+    let mut without = boot(KernelConfig::baseline());
+    for k in [&mut with, &mut without] {
+        for _ in 0..100 {
+            k.sys_null().expect("null");
+        }
+    }
+    let cfi_cycles = with.cycles.of(ptstore_kernel::CostKind::CfiCheck);
+    assert!(cfi_cycles > 0);
+    assert_eq!(without.cycles.of(ptstore_kernel::CostKind::CfiCheck), 0);
+    assert!(with.cycles.total() > without.cycles.total());
+}
+
+#[test]
+fn user_read_write_round_trip() {
+    let mut k = boot(KernelConfig::cfi_ptstore());
+    let addr = k.sys_mmap(PAGE_SIZE).expect("mmap");
+    k.user_write_u64(addr, 0xfeed_f00d).expect("write");
+    assert_eq!(k.user_read_u64(addr).expect("read"), 0xfeed_f00d);
+}
+
+#[test]
+fn touch_charges_tlb_misses() {
+    let mut k = boot(KernelConfig::cfi_ptstore());
+    let addr = k.sys_mmap(PAGE_SIZE).expect("mmap");
+    k.sys_touch(addr, true).expect("fault in");
+    let tlb_cycles = k.cycles.of(ptstore_kernel::CostKind::TlbMiss);
+    assert!(tlb_cycles > 0, "walks charge TLB-miss cycles");
+}
+
+#[test]
+fn secure_region_objects_are_physically_inside_region() {
+    let mut k = boot(KernelConfig::cfi_ptstore());
+    let region = k.secure_region().unwrap();
+    // Every process root PT must be inside the region.
+    let child = k.sys_fork().expect("fork");
+    for pid in [1, child] {
+        let root = k.process_root(pid).unwrap();
+        assert!(
+            region.contains(root.base_addr()),
+            "pid {pid} root {root} inside secure region"
+        );
+    }
+    // And a translated user access still works end to end.
+    k.sys_touch(VirtAddr::new(USER_TEXT_BASE), false)
+        .expect("PTW fetches from secure region succeed");
+}
+
+#[test]
+fn page_fault_on_unmapped_address_is_segfault() {
+    let mut k = boot(KernelConfig::cfi_ptstore());
+    assert!(matches!(
+        k.sys_touch(VirtAddr::new(0x6000_0000), true),
+        Err(KernelError::SegFault)
+    ));
+}
+
+#[test]
+fn threads_share_memory_with_copied_tokens() {
+    let mut k = boot(KernelConfig::cfi_ptstore());
+    // Owner maps and stamps a page.
+    let addr = k.sys_mmap(PAGE_SIZE).expect("mmap");
+    k.user_write_u64(addr, 0xBEEF).expect("stamp");
+
+    let t1 = k.sys_clone_thread().expect("clone");
+    let t2 = k.sys_clone_thread().expect("clone");
+    assert_ne!(t1, t2);
+
+    // Each thread has its own PCB and its own token, but the same pt ptr.
+    let owner_pt = k.pcb_pt_ptr_slot(1).unwrap();
+    let t1_pt = k.pcb_pt_ptr_slot(t1).unwrap();
+    let owner_root = k.mem_read_public(owner_pt).expect("read");
+    let t1_root = k.mem_read_public(t1_pt).expect("read");
+    assert_eq!(owner_root, t1_root, "shared page-table pointer");
+    let owner_token = k.mem_read_public(k.pcb_token_slot(1).unwrap()).expect("read");
+    let t1_token = k.mem_read_public(k.pcb_token_slot(t1).unwrap()).expect("read");
+    assert_ne!(owner_token, t1_token, "distinct (copied) tokens");
+
+    // Token validation passes when switching to threads (the copied token
+    // binds the shared pt ptr to the thread's own PCB slot).
+    k.do_switch_to(t1).expect("switch to t1");
+    assert_eq!(k.stats.token_failures, 0);
+    // The thread sees the owner's memory and can write it.
+    assert_eq!(k.user_read_u64(addr).expect("read"), 0xBEEF);
+    k.user_write_u64(addr, 0xCAFE).expect("write");
+    // Visible from the other thread and the owner (no CoW between threads).
+    k.do_switch_to(t2).expect("switch to t2");
+    assert_eq!(k.user_read_u64(addr).expect("read"), 0xCAFE);
+    k.do_switch_to(1).expect("switch to owner");
+    assert_eq!(k.user_read_u64(addr).expect("read"), 0xCAFE);
+
+    // Owner cannot exit while threads are alive.
+    assert_eq!(k.sys_exit(0).unwrap_err(), KernelError::InvalidState);
+
+    // Threads exit; their tokens are cleared, the mm survives.
+    for t in [t1, t2] {
+        k.do_switch_to(t).expect("switch");
+        k.sys_exit(0).expect("thread exit");
+    }
+    k.do_switch_to(1).expect("switch owner");
+    assert_eq!(k.user_read_u64(addr).expect("mm intact"), 0xCAFE);
+    k.sys_wait().expect("reap t1");
+    k.sys_wait().expect("reap t2");
+    assert_eq!(k.stats.token_failures, 0);
+}
+
+#[test]
+fn thread_token_is_not_transferable() {
+    // A thread's copied token binds the shared pt pointer to THAT thread's
+    // PCB: planting it in another PCB still fails validation.
+    let mut k = boot(KernelConfig::cfi_ptstore());
+    let t1 = k.sys_clone_thread().expect("clone");
+    let victim = k.sys_fork().expect("fork victim");
+    // Attacker copies the thread's pt_ptr AND token_ptr into the victim.
+    let t1_pt = k.mem_read_public(k.pcb_pt_ptr_slot(t1).unwrap()).expect("read");
+    let t1_token = k.mem_read_public(k.pcb_token_slot(t1).unwrap()).expect("read");
+    let vic_pt_slot = k.pcb_pt_ptr_slot(victim).unwrap();
+    let vic_token_slot = k.pcb_token_slot(victim).unwrap();
+    let dm_pt = k.direct_map(vic_pt_slot);
+    let dm_tok = k.direct_map(vic_token_slot);
+    k.attacker_write_u64(dm_pt, t1_pt).expect("pcb writable");
+    k.attacker_write_u64(dm_tok, t1_token).expect("pcb writable");
+    let err = k.do_switch_to(victim).unwrap_err();
+    assert!(matches!(err, KernelError::TokenInvalid(_)));
+    assert!(k.stats.token_failures >= 1);
+}
+
+#[test]
+fn mprotect_downgrades_and_restores() {
+    use ptstore_kernel::process::VmPerms;
+    let mut k = boot(KernelConfig::cfi_ptstore());
+    let addr = k.sys_mmap(2 * PAGE_SIZE).expect("mmap");
+    k.sys_touch(addr, true).expect("fault in rw");
+    k.user_write_u64(addr, 7).expect("writable");
+
+    // Downgrade to read-only: writes now fault as protection violations.
+    k.sys_mprotect(addr, 2 * PAGE_SIZE, VmPerms::RO).expect("mprotect ro");
+    assert_eq!(k.user_read_u64(addr).expect("still readable"), 7);
+    assert!(matches!(
+        k.sys_touch(addr, true),
+        Err(KernelError::SegFault)
+    ));
+
+    // Restore RW: writes work again (fresh PTE via the defense channel).
+    k.sys_mprotect(addr, 2 * PAGE_SIZE, VmPerms::RW).expect("mprotect rw");
+    k.user_write_u64(addr, 9).expect("writable again");
+    assert_eq!(k.user_read_u64(addr).expect("read"), 9);
+}
+
+#[test]
+fn mprotect_inner_range_splits_vma() {
+    use ptstore_kernel::process::VmPerms;
+    let mut k = boot(KernelConfig::cfi_ptstore());
+    let addr = k.sys_mmap(4 * PAGE_SIZE).expect("mmap");
+    for i in 0..4 {
+        k.sys_touch(VirtAddr::new(addr.as_u64() + i * PAGE_SIZE), true).expect("touch");
+    }
+    // Protect only the middle two pages.
+    let mid = VirtAddr::new(addr.as_u64() + PAGE_SIZE);
+    k.sys_mprotect(mid, 2 * PAGE_SIZE, VmPerms::RO).expect("mprotect");
+    // Outer pages stay writable, inner pages do not.
+    k.sys_touch(addr, true).expect("first page rw");
+    k.sys_touch(VirtAddr::new(addr.as_u64() + 3 * PAGE_SIZE), true).expect("last page rw");
+    assert!(matches!(k.sys_touch(mid, true), Err(KernelError::SegFault)));
+    assert!(matches!(
+        k.sys_touch(VirtAddr::new(addr.as_u64() + 2 * PAGE_SIZE), true),
+        Err(KernelError::SegFault)
+    ));
+    // VMA count grew by the split.
+    let p = k.procs.get(1).unwrap();
+    assert!(p.vmas.len() >= 5, "split produced extra vmas: {}", p.vmas.len());
+}
+
+#[test]
+fn mmap_churn_recycles_va_space() {
+    let mut k = boot(KernelConfig::cfi_ptstore());
+    // Far more map/unmap cycles than the mmap window could hold without
+    // recycling (window ~1 GiB; 20k × 16 MiB = 320 GiB of cumulative VA).
+    for _ in 0..20_000 {
+        let a = k.sys_mmap(4096 * PAGE_SIZE).expect("mmap keeps working");
+        k.sys_munmap(a, 4096 * PAGE_SIZE).expect("munmap");
+    }
+    // And mapping while fragmented still works.
+    let pinned = k.sys_mmap(PAGE_SIZE).expect("pin");
+    for _ in 0..1_000 {
+        let a = k.sys_mmap(64 * PAGE_SIZE).expect("mmap");
+        k.sys_munmap(a, 64 * PAGE_SIZE).expect("munmap");
+    }
+    k.sys_touch(pinned, true).expect("pinned region intact");
+}

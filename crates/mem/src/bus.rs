@@ -1,0 +1,332 @@
+//! The PMP-checked memory bus.
+//!
+//! Every access names its originating [`Channel`]; the bus consults the
+//! [`PmpUnit`] (with the PTStore S-bit rules) *before* touching memory and
+//! raises the access fault the modified core would raise (paper §IV-A1).
+
+use ptstore_core::{
+    AccessContext, AccessError, AccessKind, Channel, PhysAddr, PhysPageNum, PmpUnit, SecureRegion,
+};
+
+use crate::phys::PhysMem;
+use crate::stats::AccessStats;
+
+/// Physical memory behind a PMP with the PTStore extension.
+///
+/// ```
+/// use ptstore_core::prelude::*;
+/// use ptstore_mem::Bus;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut bus = Bus::new(256 * MIB);
+/// let region = SecureRegion::new(PhysAddr::new(192 * MIB), 64 * MIB)?;
+/// bus.install_secure_region(&region)?;
+/// let ctx = AccessContext::supervisor(true);
+///
+/// // The kernel writes a PTE with sd.pt...
+/// bus.write_u64(PhysAddr::new(192 * MIB), 0x1234, Channel::SecurePt, ctx)?;
+/// // ...while an attacker-controlled regular store faults.
+/// assert!(bus
+///     .write_u64(PhysAddr::new(192 * MIB), 0, Channel::Regular, ctx)
+///     .is_err());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Bus {
+    mem: PhysMem,
+    pmp: PmpUnit,
+    stats: AccessStats,
+}
+
+impl Bus {
+    /// A bus over `size` bytes of fresh memory and a clear PMP.
+    ///
+    /// # Panics
+    /// Panics unless `size` is a non-zero multiple of the page size.
+    pub fn new(size: u64) -> Self {
+        Self {
+            mem: PhysMem::new(size),
+            pmp: PmpUnit::new(),
+            stats: AccessStats::new(),
+        }
+    }
+
+    /// Installs the secure region into the PMP (the boot-time SBI call).
+    ///
+    /// # Errors
+    /// See [`PmpUnit::install_secure_region`].
+    pub fn install_secure_region(
+        &mut self,
+        region: &SecureRegion,
+    ) -> Result<(), ptstore_core::RegionError> {
+        self.pmp.install_secure_region(region)
+    }
+
+    /// Moves the secure region boundary (the SBI `set` call used by dynamic
+    /// adjustment).
+    ///
+    /// # Errors
+    /// See [`PmpUnit::update_secure_region`].
+    pub fn update_secure_region(
+        &mut self,
+        region: &SecureRegion,
+    ) -> Result<(), ptstore_core::RegionError> {
+        self.pmp.update_secure_region(region)
+    }
+
+    /// The installed secure region, if any.
+    pub fn secure_region(&self) -> Option<SecureRegion> {
+        self.pmp.secure_region()
+    }
+
+    /// Direct access to the PMP unit (M-mode CSR interface).
+    pub fn pmp(&self) -> &PmpUnit {
+        &self.pmp
+    }
+
+    /// Mutable access to the PMP unit (M-mode CSR interface).
+    pub fn pmp_mut(&mut self) -> &mut PmpUnit {
+        &mut self.pmp
+    }
+
+    /// Accumulated access statistics.
+    pub fn stats(&self) -> &AccessStats {
+        &self.stats
+    }
+
+    /// Resets the access statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = AccessStats::new();
+    }
+
+    /// Raw physical memory, bypassing the PMP.
+    ///
+    /// This is the *DRAM's-eye view* used by the simulator infrastructure
+    /// itself (loading programs at boot, assertions in tests). Kernel and
+    /// attacker code must go through the checked accessors instead.
+    pub fn mem_unchecked(&mut self) -> &mut PhysMem {
+        &mut self.mem
+    }
+
+    /// Read-only raw view of physical memory, bypassing the PMP.
+    pub fn mem(&self) -> &PhysMem {
+        &self.mem
+    }
+
+    fn guard(
+        &mut self,
+        addr: PhysAddr,
+        kind: AccessKind,
+        channel: Channel,
+        ctx: AccessContext,
+    ) -> Result<(), AccessError> {
+        match self.pmp.check(addr, kind, channel, ctx) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.stats.record_fault();
+                Err(e)
+            }
+        }
+    }
+
+    /// Checked aligned 8-byte read.
+    ///
+    /// # Errors
+    /// PMP/PTStore denials, misalignment, or out-of-range access.
+    pub fn read_u64(
+        &mut self,
+        addr: PhysAddr,
+        channel: Channel,
+        ctx: AccessContext,
+    ) -> Result<u64, AccessError> {
+        self.guard(addr, AccessKind::Read, channel, ctx)?;
+        let v = self.mem.read_u64(addr)?;
+        self.stats.record(channel, AccessKind::Read);
+        Ok(v)
+    }
+
+    /// Checked aligned 8-byte write.
+    ///
+    /// # Errors
+    /// PMP/PTStore denials, misalignment, or out-of-range access.
+    pub fn write_u64(
+        &mut self,
+        addr: PhysAddr,
+        value: u64,
+        channel: Channel,
+        ctx: AccessContext,
+    ) -> Result<(), AccessError> {
+        self.guard(addr, AccessKind::Write, channel, ctx)?;
+        self.mem.write_u64(addr, value)?;
+        self.stats.record(channel, AccessKind::Write);
+        Ok(())
+    }
+
+    /// Checked byte read.
+    ///
+    /// # Errors
+    /// PMP/PTStore denials or out-of-range access.
+    pub fn read_u8(
+        &mut self,
+        addr: PhysAddr,
+        channel: Channel,
+        ctx: AccessContext,
+    ) -> Result<u8, AccessError> {
+        self.guard(addr, AccessKind::Read, channel, ctx)?;
+        let v = self.mem.read_u8(addr)?;
+        self.stats.record(channel, AccessKind::Read);
+        Ok(v)
+    }
+
+    /// Checked byte write.
+    ///
+    /// # Errors
+    /// PMP/PTStore denials or out-of-range access.
+    pub fn write_u8(
+        &mut self,
+        addr: PhysAddr,
+        value: u8,
+        channel: Channel,
+        ctx: AccessContext,
+    ) -> Result<(), AccessError> {
+        self.guard(addr, AccessKind::Write, channel, ctx)?;
+        self.mem.write_u8(addr, value)?;
+        self.stats.record(channel, AccessKind::Write);
+        Ok(())
+    }
+
+    /// Checked instruction-fetch parcel (16-bit, for the C extension).
+    ///
+    /// # Errors
+    /// PMP/PTStore denials, misalignment, or out-of-range access.
+    pub fn fetch_u16(&mut self, addr: PhysAddr, ctx: AccessContext) -> Result<u16, AccessError> {
+        self.guard(addr, AccessKind::Execute, Channel::Regular, ctx)?;
+        let v = self.mem.read_u16(addr)?;
+        self.stats.record(Channel::Regular, AccessKind::Execute);
+        Ok(v)
+    }
+
+    /// Checked instruction fetch (32-bit).
+    ///
+    /// # Errors
+    /// PMP/PTStore denials, misalignment, or out-of-range access.
+    pub fn fetch_u32(&mut self, addr: PhysAddr, ctx: AccessContext) -> Result<u32, AccessError> {
+        self.guard(addr, AccessKind::Execute, Channel::Regular, ctx)?;
+        let v = self.mem.read_u32(addr)?;
+        self.stats.record(Channel::Regular, AccessKind::Execute);
+        Ok(v)
+    }
+
+    /// Checked u32 write (used by program loaders running in M-mode).
+    ///
+    /// # Errors
+    /// PMP/PTStore denials, misalignment, or out-of-range access.
+    pub fn write_u32(
+        &mut self,
+        addr: PhysAddr,
+        value: u32,
+        channel: Channel,
+        ctx: AccessContext,
+    ) -> Result<(), AccessError> {
+        self.guard(addr, AccessKind::Write, channel, ctx)?;
+        self.mem.write_u32(addr, value)?;
+        self.stats.record(channel, AccessKind::Write);
+        Ok(())
+    }
+
+    /// Checked whole-page zero test (reads via `ld.pt`, so only meaningful
+    /// for secure-region pages). Counts as a single read burst.
+    ///
+    /// # Errors
+    /// PMP/PTStore denials or out-of-range access.
+    pub fn secure_page_is_zero(
+        &mut self,
+        ppn: PhysPageNum,
+        ctx: AccessContext,
+    ) -> Result<bool, AccessError> {
+        self.guard(ppn.base_addr(), AccessKind::Read, Channel::SecurePt, ctx)?;
+        self.stats.record(Channel::SecurePt, AccessKind::Read);
+        Ok(self.mem.page_is_zero(ppn))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptstore_core::{MIB, PAGE_SIZE};
+
+    fn secured_bus() -> (Bus, SecureRegion) {
+        let mut bus = Bus::new(256 * MIB);
+        let region = SecureRegion::new(PhysAddr::new(192 * MIB), 64 * MIB).unwrap();
+        bus.install_secure_region(&region).unwrap();
+        (bus, region)
+    }
+
+    #[test]
+    fn channel_rules_enforced_end_to_end() {
+        let (mut bus, region) = secured_bus();
+        let ctx = AccessContext::supervisor(true);
+        let inside = region.base() + 0x40;
+        let outside = PhysAddr::new(MIB);
+
+        bus.write_u64(inside, 7, Channel::SecurePt, ctx).unwrap();
+        assert_eq!(bus.read_u64(inside, Channel::SecurePt, ctx).unwrap(), 7);
+        assert!(bus.read_u64(inside, Channel::Regular, ctx).is_err());
+        assert!(bus.write_u64(inside, 0, Channel::Regular, ctx).is_err());
+        assert!(bus.read_u64(outside, Channel::SecurePt, ctx).is_err());
+        assert!(bus.read_u64(outside, Channel::Regular, ctx).is_ok());
+        // Stats: 2 secure ok (w+r), faults 3.
+        assert_eq!(bus.stats().secure_total(), 2);
+        assert_eq!(bus.stats().faults, 3);
+    }
+
+    #[test]
+    fn ptw_channel_respects_satp_s() {
+        let (mut bus, region) = secured_bus();
+        let inside = region.base();
+        let outside = PhysAddr::new(2 * MIB);
+        assert!(bus
+            .read_u64(inside, Channel::Ptw, AccessContext::supervisor(true))
+            .is_ok());
+        assert!(bus
+            .read_u64(outside, Channel::Ptw, AccessContext::supervisor(true))
+            .is_err());
+        assert!(bus
+            .read_u64(outside, Channel::Ptw, AccessContext::supervisor(false))
+            .is_ok());
+    }
+
+    #[test]
+    fn boundary_update_takes_effect_immediately() {
+        let (mut bus, region) = secured_bus();
+        let ctx = AccessContext::supervisor(true);
+        let new_page = region.base() - PAGE_SIZE;
+        // Before adjustment the page is normal memory.
+        bus.write_u64(new_page, 1, Channel::Regular, ctx).unwrap();
+        let grown = region.grow_down(PAGE_SIZE).unwrap();
+        bus.update_secure_region(&grown).unwrap();
+        assert!(bus.write_u64(new_page, 2, Channel::Regular, ctx).is_err());
+        assert!(bus.write_u64(new_page, 2, Channel::SecurePt, ctx).is_ok());
+        assert_eq!(bus.secure_region(), Some(grown));
+    }
+
+    #[test]
+    fn secure_page_zero_check() {
+        let (mut bus, region) = secured_bus();
+        let ctx = AccessContext::supervisor(true);
+        let ppn = PhysPageNum::from(region.base());
+        assert!(bus.secure_page_is_zero(ppn, ctx).unwrap());
+        bus.write_u64(region.base() + 8, 3, Channel::SecurePt, ctx).unwrap();
+        assert!(!bus.secure_page_is_zero(ppn, ctx).unwrap());
+        // Zero check on a normal page faults (it reads via ld.pt).
+        assert!(bus.secure_page_is_zero(PhysPageNum::new(1), ctx).is_err());
+    }
+
+    #[test]
+    fn fetch_from_secure_region_denied() {
+        let (mut bus, region) = secured_bus();
+        let ctx = AccessContext::supervisor(true);
+        assert!(bus.fetch_u32(region.base(), ctx).is_err());
+        assert!(bus.fetch_u32(PhysAddr::new(0x1000), ctx).is_ok());
+    }
+}

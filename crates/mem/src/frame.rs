@@ -1,0 +1,238 @@
+//! One 4 KiB physical frame with adaptive backing.
+//!
+//! Page tables are sparse: a typical page-table page holds a handful of live
+//! PTEs out of 512 slots. Backing every touched frame with 4 KiB would make
+//! the 30 000-process fork-stress experiment (paper §V-D1) cost gigabytes of
+//! host memory, so a frame starts as all-zero, is promoted to a sparse
+//! 8-byte-word map on first write, and only becomes a dense byte array when
+//! it accumulates enough distinct words (or sees sub-word writes that don't
+//! fit the word map cleanly).
+
+use std::collections::HashMap;
+
+use ptstore_core::PAGE_SIZE;
+
+/// Number of distinct 8-byte words after which a sparse frame is promoted to
+/// dense backing.
+const DENSE_PROMOTION_WORDS: usize = 96;
+
+/// A 4 KiB physical frame.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum Frame {
+    /// Never written: reads as zero.
+    #[default]
+    Zero,
+    /// Sparse backing: 8-byte words keyed by word index within the page.
+    /// Absent words read as zero.
+    Words(HashMap<u16, u64>),
+    /// Dense backing: the full page.
+    Dense(Box<[u8; PAGE_SIZE as usize]>),
+}
+
+impl Frame {
+    /// A fresh all-zero frame.
+    pub fn new() -> Self {
+        Frame::Zero
+    }
+
+    /// Reads an aligned 8-byte word. `word_index` is the offset divided by 8.
+    ///
+    /// # Panics
+    /// Panics if `word_index >= 512`.
+    pub fn read_word(&self, word_index: u16) -> u64 {
+        assert!((word_index as u64) < PAGE_SIZE / 8);
+        match self {
+            Frame::Zero => 0,
+            Frame::Words(map) => map.get(&word_index).copied().unwrap_or(0),
+            Frame::Dense(bytes) => {
+                let off = word_index as usize * 8;
+                u64::from_le_bytes(bytes[off..off + 8].try_into().expect("8 bytes"))
+            }
+        }
+    }
+
+    /// Writes an aligned 8-byte word, promoting the backing as needed.
+    ///
+    /// # Panics
+    /// Panics if `word_index >= 512`.
+    pub fn write_word(&mut self, word_index: u16, value: u64) {
+        assert!((word_index as u64) < PAGE_SIZE / 8);
+        match self {
+            Frame::Zero => {
+                if value != 0 {
+                    let mut map = HashMap::new();
+                    map.insert(word_index, value);
+                    *self = Frame::Words(map);
+                }
+            }
+            Frame::Words(map) => {
+                if value == 0 {
+                    map.remove(&word_index);
+                } else {
+                    map.insert(word_index, value);
+                    if map.len() > DENSE_PROMOTION_WORDS {
+                        self.promote_to_dense();
+                    }
+                }
+            }
+            Frame::Dense(bytes) => {
+                let off = word_index as usize * 8;
+                bytes[off..off + 8].copy_from_slice(&value.to_le_bytes());
+            }
+        }
+    }
+
+    /// Reads a single byte at `offset`.
+    ///
+    /// # Panics
+    /// Panics if `offset >= PAGE_SIZE`.
+    pub fn read_byte(&self, offset: u16) -> u8 {
+        assert!((offset as u64) < PAGE_SIZE);
+        match self {
+            Frame::Zero => 0,
+            Frame::Words(_) => {
+                let word = self.read_word(offset / 8);
+                word.to_le_bytes()[(offset % 8) as usize]
+            }
+            Frame::Dense(bytes) => bytes[offset as usize],
+        }
+    }
+
+    /// Writes a single byte at `offset`, promoting sparse backing through the
+    /// word map (read-modify-write of the containing word).
+    ///
+    /// # Panics
+    /// Panics if `offset >= PAGE_SIZE`.
+    pub fn write_byte(&mut self, offset: u16, value: u8) {
+        assert!((offset as u64) < PAGE_SIZE);
+        match self {
+            Frame::Dense(bytes) => bytes[offset as usize] = value,
+            _ => {
+                let wi = offset / 8;
+                let mut word = self.read_word(wi).to_le_bytes();
+                word[(offset % 8) as usize] = value;
+                self.write_word(wi, u64::from_le_bytes(word));
+            }
+        }
+    }
+
+    /// True when every byte of the frame is zero. Used by the kernel's
+    /// zero-check defense against allocator-metadata attacks (paper §V-E3).
+    pub fn is_zero(&self) -> bool {
+        match self {
+            Frame::Zero => true,
+            Frame::Words(map) => map.values().all(|&v| v == 0),
+            Frame::Dense(bytes) => bytes.iter().all(|&b| b == 0),
+        }
+    }
+
+    /// Resets the frame to all-zero, releasing its backing.
+    pub fn clear(&mut self) {
+        *self = Frame::Zero;
+    }
+
+    /// Approximate host-memory footprint of the backing, for diagnostics.
+    pub fn backing_bytes(&self) -> usize {
+        match self {
+            Frame::Zero => 0,
+            Frame::Words(map) => map.len() * 16,
+            Frame::Dense(_) => PAGE_SIZE as usize,
+        }
+    }
+
+    fn promote_to_dense(&mut self) {
+        if let Frame::Words(map) = self {
+            let mut bytes = Box::new([0u8; PAGE_SIZE as usize]);
+            for (&wi, &v) in map.iter() {
+                let off = wi as usize * 8;
+                bytes[off..off + 8].copy_from_slice(&v.to_le_bytes());
+            }
+            *self = Frame::Dense(bytes);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_frame_reads_zero() {
+        let f = Frame::new();
+        assert_eq!(f.read_word(0), 0);
+        assert_eq!(f.read_word(511), 0);
+        assert_eq!(f.read_byte(4095), 0);
+        assert!(f.is_zero());
+        assert_eq!(f.backing_bytes(), 0);
+    }
+
+    #[test]
+    fn word_write_read_round_trip() {
+        let mut f = Frame::new();
+        f.write_word(3, 0xdead_beef_cafe_f00d);
+        assert_eq!(f.read_word(3), 0xdead_beef_cafe_f00d);
+        assert_eq!(f.read_word(2), 0);
+        assert!(!f.is_zero());
+        assert!(matches!(f, Frame::Words(_)));
+    }
+
+    #[test]
+    fn writing_zero_to_zero_frame_stays_zero() {
+        let mut f = Frame::new();
+        f.write_word(0, 0);
+        assert!(matches!(f, Frame::Zero));
+    }
+
+    #[test]
+    fn zeroing_last_word_makes_frame_zero_again() {
+        let mut f = Frame::new();
+        f.write_word(7, 42);
+        f.write_word(7, 0);
+        assert!(f.is_zero());
+    }
+
+    #[test]
+    fn byte_access_within_words() {
+        let mut f = Frame::new();
+        f.write_byte(10, 0xAB);
+        assert_eq!(f.read_byte(10), 0xAB);
+        // Byte 10 lives in word 1 at lane 2.
+        assert_eq!(f.read_word(1), (0xAB as u64) << 16);
+        f.write_byte(10, 0);
+        assert!(f.is_zero());
+    }
+
+    #[test]
+    fn promotion_to_dense_preserves_content() {
+        let mut f = Frame::new();
+        for i in 0..(DENSE_PROMOTION_WORDS as u16 + 8) {
+            f.write_word(i, i as u64 + 1);
+        }
+        assert!(matches!(f, Frame::Dense(_)));
+        for i in 0..(DENSE_PROMOTION_WORDS as u16 + 8) {
+            assert_eq!(f.read_word(i), i as u64 + 1);
+        }
+        assert_eq!(f.read_word(500), 0);
+    }
+
+    #[test]
+    fn dense_byte_ops() {
+        let mut f = Frame::new();
+        for i in 0..(DENSE_PROMOTION_WORDS as u16 + 8) {
+            f.write_word(i, u64::MAX);
+        }
+        assert!(matches!(f, Frame::Dense(_)));
+        f.write_byte(4095, 0x7f);
+        assert_eq!(f.read_byte(4095), 0x7f);
+        assert!(!f.is_zero());
+        f.clear();
+        assert!(f.is_zero());
+        assert!(matches!(f, Frame::Zero));
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_word_panics() {
+        Frame::new().read_word(512);
+    }
+}

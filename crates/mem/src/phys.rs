@@ -1,0 +1,298 @@
+//! The physical frame store.
+
+use std::collections::HashMap;
+
+use ptstore_core::{AccessError, PhysAddr, PhysPageNum, GIB, PAGE_SIZE};
+
+use crate::frame::Frame;
+
+/// Simulated physical memory: a bounded, sparse map from physical page number
+/// to [`Frame`]. The prototype system carries a 4 GiB DDR3 SO-DIMM (paper
+/// Table II); untouched pages cost nothing.
+#[derive(Debug, Clone, Default)]
+pub struct PhysMem {
+    frames: HashMap<u64, Frame>,
+    size: u64,
+}
+
+impl PhysMem {
+    /// Memory of `size` bytes starting at physical address zero.
+    ///
+    /// # Panics
+    /// Panics unless `size` is a non-zero multiple of the page size.
+    pub fn new(size: u64) -> Self {
+        assert!(size > 0 && size.is_multiple_of(PAGE_SIZE), "size must be page-aligned");
+        Self {
+            frames: HashMap::new(),
+            size,
+        }
+    }
+
+    /// The prototype configuration: 4 GiB.
+    pub fn new_4gib() -> Self {
+        Self::new(4 * GIB)
+    }
+
+    /// Total memory size in bytes.
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// Total memory size in pages.
+    pub fn page_count(&self) -> u64 {
+        self.size / PAGE_SIZE
+    }
+
+    /// Number of frames with live backing (diagnostics).
+    pub fn touched_frames(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Approximate host memory used by frame backings (diagnostics).
+    pub fn backing_bytes(&self) -> usize {
+        self.frames.values().map(Frame::backing_bytes).sum()
+    }
+
+    fn check_range(&self, addr: PhysAddr, len: u64) -> Result<(), AccessError> {
+        let end = addr
+            .as_u64()
+            .checked_add(len)
+            .ok_or(AccessError::OutOfRange { addr })?;
+        if end > self.size {
+            return Err(AccessError::OutOfRange { addr });
+        }
+        Ok(())
+    }
+
+    /// Reads an aligned u64.
+    ///
+    /// # Errors
+    /// [`AccessError::Misaligned`] or [`AccessError::OutOfRange`].
+    pub fn read_u64(&self, addr: PhysAddr) -> Result<u64, AccessError> {
+        if !addr.is_aligned(8) {
+            return Err(AccessError::Misaligned { addr, required: 8 });
+        }
+        self.check_range(addr, 8)?;
+        let ppn = addr.as_u64() >> 12;
+        let word = (addr.page_offset() / 8) as u16;
+        Ok(self
+            .frames
+            .get(&ppn)
+            .map(|f| f.read_word(word))
+            .unwrap_or(0))
+    }
+
+    /// Writes an aligned u64.
+    ///
+    /// # Errors
+    /// [`AccessError::Misaligned`] or [`AccessError::OutOfRange`].
+    pub fn write_u64(&mut self, addr: PhysAddr, value: u64) -> Result<(), AccessError> {
+        if !addr.is_aligned(8) {
+            return Err(AccessError::Misaligned { addr, required: 8 });
+        }
+        self.check_range(addr, 8)?;
+        let ppn = addr.as_u64() >> 12;
+        let word = (addr.page_offset() / 8) as u16;
+        self.frames
+            .entry(ppn)
+            .or_default()
+            .write_word(word, value);
+        Ok(())
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    /// [`AccessError::OutOfRange`].
+    pub fn read_u8(&self, addr: PhysAddr) -> Result<u8, AccessError> {
+        self.check_range(addr, 1)?;
+        let ppn = addr.as_u64() >> 12;
+        Ok(self
+            .frames
+            .get(&ppn)
+            .map(|f| f.read_byte(addr.page_offset() as u16))
+            .unwrap_or(0))
+    }
+
+    /// Writes one byte.
+    ///
+    /// # Errors
+    /// [`AccessError::OutOfRange`].
+    pub fn write_u8(&mut self, addr: PhysAddr, value: u8) -> Result<(), AccessError> {
+        self.check_range(addr, 1)?;
+        let ppn = addr.as_u64() >> 12;
+        self.frames
+            .entry(ppn)
+            .or_default()
+            .write_byte(addr.page_offset() as u16, value);
+        Ok(())
+    }
+
+    /// Reads an aligned u16 (compressed-instruction fetch parcel).
+    ///
+    /// # Errors
+    /// [`AccessError::Misaligned`] or [`AccessError::OutOfRange`].
+    pub fn read_u16(&self, addr: PhysAddr) -> Result<u16, AccessError> {
+        if !addr.is_aligned(2) {
+            return Err(AccessError::Misaligned { addr, required: 2 });
+        }
+        self.check_range(addr, 2)?;
+        let lo = self.read_u8(addr)? as u16;
+        let hi = self.read_u8(addr + 1)? as u16;
+        Ok(lo | (hi << 8))
+    }
+
+    /// Reads an aligned u32 (instruction fetch granularity).
+    ///
+    /// # Errors
+    /// [`AccessError::Misaligned`] or [`AccessError::OutOfRange`].
+    pub fn read_u32(&self, addr: PhysAddr) -> Result<u32, AccessError> {
+        if !addr.is_aligned(4) {
+            return Err(AccessError::Misaligned { addr, required: 4 });
+        }
+        self.check_range(addr, 4)?;
+        let word = self.read_u64(addr.page_align_down() + (addr.page_offset() & !7))?;
+        Ok(if addr.page_offset() % 8 < 4 {
+            word as u32
+        } else {
+            (word >> 32) as u32
+        })
+    }
+
+    /// Writes an aligned u32.
+    ///
+    /// # Errors
+    /// [`AccessError::Misaligned`] or [`AccessError::OutOfRange`].
+    pub fn write_u32(&mut self, addr: PhysAddr, value: u32) -> Result<(), AccessError> {
+        if !addr.is_aligned(4) {
+            return Err(AccessError::Misaligned { addr, required: 4 });
+        }
+        self.check_range(addr, 4)?;
+        let base = addr.page_align_down() + (addr.page_offset() & !7);
+        let word = self.read_u64(base)?;
+        let new = if addr.page_offset() % 8 < 4 {
+            (word & 0xffff_ffff_0000_0000) | value as u64
+        } else {
+            (word & 0x0000_0000_ffff_ffff) | ((value as u64) << 32)
+        };
+        self.write_u64(base, new)
+    }
+
+    /// True when the whole page is zero — the kernel's allocator-metadata
+    /// defense checks this before using a page as a page table (paper §V-E3).
+    pub fn page_is_zero(&self, ppn: PhysPageNum) -> bool {
+        self.frames
+            .get(&ppn.as_u64())
+            .map(Frame::is_zero)
+            .unwrap_or(true)
+    }
+
+    /// Zeroes a whole page (releases its backing).
+    pub fn zero_page(&mut self, ppn: PhysPageNum) {
+        self.frames.remove(&ppn.as_u64());
+    }
+
+    /// Copies a whole page (used by fork's eager page-table copy).
+    ///
+    /// # Errors
+    /// [`AccessError::OutOfRange`] when either page is outside memory.
+    pub fn copy_page(&mut self, src: PhysPageNum, dst: PhysPageNum) -> Result<(), AccessError> {
+        self.check_range(src.base_addr(), PAGE_SIZE)?;
+        self.check_range(dst.base_addr(), PAGE_SIZE)?;
+        match self.frames.get(&src.as_u64()).cloned() {
+            Some(f) => {
+                self.frames.insert(dst.as_u64(), f);
+            }
+            None => {
+                self.frames.remove(&dst.as_u64());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_round_trip_and_default_zero() {
+        let mut m = PhysMem::new(16 * PAGE_SIZE);
+        assert_eq!(m.read_u64(PhysAddr::new(0x100)).unwrap(), 0);
+        m.write_u64(PhysAddr::new(0x100), 77).unwrap();
+        assert_eq!(m.read_u64(PhysAddr::new(0x100)).unwrap(), 77);
+    }
+
+    #[test]
+    fn alignment_enforced() {
+        let mut m = PhysMem::new(16 * PAGE_SIZE);
+        assert!(matches!(
+            m.read_u64(PhysAddr::new(0x101)),
+            Err(AccessError::Misaligned { .. })
+        ));
+        assert!(matches!(
+            m.write_u32(PhysAddr::new(0x102), 1),
+            Err(AccessError::Misaligned { .. })
+        ));
+    }
+
+    #[test]
+    fn range_enforced() {
+        let m = PhysMem::new(PAGE_SIZE);
+        assert!(m.read_u64(PhysAddr::new(PAGE_SIZE - 8)).is_ok());
+        assert!(matches!(
+            m.read_u64(PhysAddr::new(PAGE_SIZE)),
+            Err(AccessError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            m.read_u8(PhysAddr::new(u64::MAX)),
+            Err(AccessError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn u32_halves_of_a_word() {
+        let mut m = PhysMem::new(PAGE_SIZE);
+        m.write_u64(PhysAddr::new(0x8), 0x1111_2222_3333_4444).unwrap();
+        assert_eq!(m.read_u32(PhysAddr::new(0x8)).unwrap(), 0x3333_4444);
+        assert_eq!(m.read_u32(PhysAddr::new(0xc)).unwrap(), 0x1111_2222);
+        m.write_u32(PhysAddr::new(0xc), 0xdead_beef).unwrap();
+        assert_eq!(m.read_u64(PhysAddr::new(0x8)).unwrap(), 0xdead_beef_3333_4444);
+    }
+
+    #[test]
+    fn zero_page_check_and_clear() {
+        let mut m = PhysMem::new(16 * PAGE_SIZE);
+        let ppn = PhysPageNum::new(2);
+        assert!(m.page_is_zero(ppn));
+        m.write_u64(ppn.base_addr() + 8, 5).unwrap();
+        assert!(!m.page_is_zero(ppn));
+        m.zero_page(ppn);
+        assert!(m.page_is_zero(ppn));
+        assert_eq!(m.read_u64(ppn.base_addr() + 8).unwrap(), 0);
+    }
+
+    #[test]
+    fn copy_page_copies_and_clears() {
+        let mut m = PhysMem::new(16 * PAGE_SIZE);
+        let a = PhysPageNum::new(1);
+        let b = PhysPageNum::new(2);
+        m.write_u64(a.base_addr() + 16, 99).unwrap();
+        m.copy_page(a, b).unwrap();
+        assert_eq!(m.read_u64(b.base_addr() + 16).unwrap(), 99);
+        // Copying a zero page over b clears it.
+        m.copy_page(PhysPageNum::new(3), b).unwrap();
+        assert!(m.page_is_zero(b));
+    }
+
+    #[test]
+    fn sparse_backing_is_cheap() {
+        let mut m = PhysMem::new(4 * GIB);
+        for i in 0..1000u64 {
+            m.write_u64(PhysAddr::new(i * PAGE_SIZE + 8), i + 1).unwrap();
+        }
+        assert_eq!(m.touched_frames(), 1000);
+        // 1000 single-word sparse frames are far below dense cost.
+        assert!(m.backing_bytes() < 1000 * 64);
+    }
+}

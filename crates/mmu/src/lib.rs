@@ -1,0 +1,39 @@
+//! # ptstore-mmu
+//!
+//! The Sv39 memory-management unit of the PTStore machine model:
+//!
+//! * [`pte::Pte`] — RV64 Sv39 page-table entries;
+//! * [`satp::Satp`] — the `satp` CSR extended with PTStore's **S-bit**
+//!   (paper §IV-A1) that arms the walker's secure-region origin check;
+//! * [`walker::PageTableWalker`] — the hardware page-table walker. Every
+//!   page-table fetch goes through the memory bus on the
+//!   [`Channel::Ptw`](ptstore_core::Channel) channel, so when `satp.S` is
+//!   set, a fetch outside the secure region raises an access fault — this is
+//!   what defeats PT-Injection;
+//! * [`tlb::Tlb`] — the I/D TLBs (32-/8-entry per paper Table II). TLB hits
+//!   use *cached* permissions, faithfully reproducing the TLB-inconsistency
+//!   attack surface of §V-E5; PTStore still blocks those attacks because the
+//!   PMP check happens on the physical access itself.
+//! * [`mmu::Mmu`] — TLBs + walker behind one `translate` entry point with
+//!   hit/miss statistics.
+//!
+//! ```
+//! use ptstore_mmu::Satp;
+//! use ptstore_core::PhysPageNum;
+//!
+//! // The satp CSR round-trips with the PTStore S-bit intact.
+//! let satp = Satp::sv39(PhysPageNum::new(0x80000), 3, true);
+//! assert!(Satp::from_bits(satp.to_bits()).s_bit);
+//! ```
+
+pub mod mmu;
+pub mod pte;
+pub mod satp;
+pub mod tlb;
+pub mod walker;
+
+pub use mmu::{Mmu, TranslationOutcome};
+pub use pte::{Pte, PteFlags};
+pub use satp::Satp;
+pub use tlb::{Tlb, TlbEntry, TlbStats};
+pub use walker::{PageTableWalker, TranslateError, WalkOutcome};

@@ -1,0 +1,138 @@
+//! The `satp` CSR with PTStore's S-bit extension.
+//!
+//! Standard RV64 `satp` layout: `MODE[63:60] | ASID[59:44] | PPN[43:0]`.
+//! PTStore adds an **S-bit** telling the walker whether the secure-region
+//! origin check is armed (paper §IV-A1): it is off during early boot (the
+//! region does not exist yet) and switched on once the kernel has moved all
+//! page tables into the secure region. The paper does not pin down which bit
+//! encodes S; this model repurposes the top ASID bit (bit 59), shrinking the
+//! usable ASID space to 15 bits — documented as a model choice.
+
+use core::fmt;
+
+use ptstore_core::{PhysAddr, PhysPageNum};
+use serde::{Deserialize, Serialize};
+
+const MODE_SHIFT: u64 = 60;
+const MODE_BARE: u64 = 0;
+const MODE_SV39: u64 = 8;
+const S_BIT: u64 = 1 << 59;
+const ASID_SHIFT: u64 = 44;
+const ASID_MASK: u64 = 0x7fff; // 15 bits after the S-bit carve-out
+const PPN_MASK: u64 = (1 << 44) - 1;
+
+/// A decoded `satp` value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Satp {
+    /// Sv39 translation enabled (false = Bare mode).
+    pub sv39: bool,
+    /// PTStore: the walker secure-region check is armed.
+    pub s_bit: bool,
+    /// Address-space identifier (15 bits in this model).
+    pub asid: u16,
+    /// Root page-table physical page number.
+    pub root_ppn: PhysPageNum,
+}
+
+impl Satp {
+    /// Bare mode: no translation (M-mode boot state).
+    pub const fn bare() -> Self {
+        Self {
+            sv39: false,
+            s_bit: false,
+            asid: 0,
+            root_ppn: PhysPageNum::new(0),
+        }
+    }
+
+    /// Sv39 translation rooted at `root_ppn`.
+    pub const fn sv39(root_ppn: PhysPageNum, asid: u16, s_bit: bool) -> Self {
+        Self {
+            sv39: true,
+            s_bit,
+            asid,
+            root_ppn,
+        }
+    }
+
+    /// Physical address of the root page table.
+    pub const fn root_addr(&self) -> PhysAddr {
+        self.root_ppn.base_addr()
+    }
+
+    /// Encodes to the raw CSR value.
+    pub fn to_bits(self) -> u64 {
+        let mode = if self.sv39 { MODE_SV39 } else { MODE_BARE };
+        (mode << MODE_SHIFT)
+            | (if self.s_bit { S_BIT } else { 0 })
+            | (((self.asid as u64) & ASID_MASK) << ASID_SHIFT)
+            | (self.root_ppn.as_u64() & PPN_MASK)
+    }
+
+    /// Decodes from the raw CSR value. Unknown modes decode as Bare.
+    pub fn from_bits(bits: u64) -> Self {
+        let mode = bits >> MODE_SHIFT;
+        Self {
+            sv39: mode == MODE_SV39,
+            s_bit: bits & S_BIT != 0,
+            asid: ((bits >> ASID_SHIFT) & ASID_MASK) as u16,
+            root_ppn: PhysPageNum::new(bits & PPN_MASK),
+        }
+    }
+}
+
+impl fmt::Display for Satp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.sv39 {
+            write!(
+                f,
+                "sv39 root={} asid={} s={}",
+                self.root_ppn,
+                self.asid,
+                if self.s_bit { 1 } else { 0 }
+            )
+        } else {
+            f.write_str("bare")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let s = Satp::sv39(PhysPageNum::new(0xFC123), 0x1abc, true);
+        let decoded = Satp::from_bits(s.to_bits());
+        assert_eq!(decoded, s);
+        assert!(decoded.s_bit);
+        assert_eq!(decoded.asid, 0x1abc);
+    }
+
+    #[test]
+    fn bare_round_trip() {
+        assert_eq!(Satp::from_bits(Satp::bare().to_bits()), Satp::bare());
+    }
+
+    #[test]
+    fn s_bit_independent_of_asid() {
+        let without = Satp::sv39(PhysPageNum::new(1), 0x7fff, false);
+        let with = Satp::sv39(PhysPageNum::new(1), 0x7fff, true);
+        assert_ne!(without.to_bits(), with.to_bits());
+        assert_eq!(Satp::from_bits(without.to_bits()).asid, 0x7fff);
+        assert_eq!(Satp::from_bits(with.to_bits()).asid, 0x7fff);
+    }
+
+    #[test]
+    fn root_addr() {
+        let s = Satp::sv39(PhysPageNum::new(0x1000), 0, false);
+        assert_eq!(s.root_addr(), PhysAddr::new(0x1000 << 12));
+    }
+
+    #[test]
+    fn unknown_mode_is_bare() {
+        let bits = 5u64 << MODE_SHIFT;
+        assert!(!Satp::from_bits(bits).sv39);
+    }
+}

@@ -1,0 +1,299 @@
+//! Translation lookaside buffers.
+//!
+//! The prototype core has a 32-entry I-TLB and an 8-entry D-TLB (paper
+//! Table II). Entries cache the leaf PTE's physical page and *permissions*;
+//! a hit is validated against the cached permissions only. That is exactly
+//! the surface the TLB-inconsistency attack of §V-E5 exploits — a stale
+//! writable entry lets software keep writing a page whose PTE was already
+//! tightened — and the reason PTStore's physical-address PMP check matters:
+//! it still intercepts the access after the (stale) translation.
+
+use ptstore_core::{AccessKind, PhysPageNum, PrivilegeMode, VirtPageNum};
+use serde::{Deserialize, Serialize};
+
+use crate::pte::PteFlags;
+
+/// One cached translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TlbEntry {
+    /// Virtual page.
+    pub vpn: VirtPageNum,
+    /// Address-space identifier the entry belongs to.
+    pub asid: u16,
+    /// Cached physical page.
+    pub ppn: PhysPageNum,
+    /// Cached leaf permissions.
+    pub flags: PteFlags,
+}
+
+/// Hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TlbStats {
+    /// Lookups that hit.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries evicted by capacity replacement.
+    pub evictions: u64,
+    /// Flush operations served.
+    pub flushes: u64,
+}
+
+/// A fully associative TLB with round-robin replacement.
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    entries: Vec<Option<TlbEntry>>,
+    next_victim: usize,
+    stats: TlbStats,
+}
+
+impl Tlb {
+    /// A TLB with `capacity` entries.
+    ///
+    /// # Panics
+    /// Panics when `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "tlb capacity must be non-zero");
+        Self {
+            entries: vec![None; capacity],
+            next_victim: 0,
+            stats: TlbStats::default(),
+        }
+    }
+
+    /// Capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> TlbStats {
+        self.stats
+    }
+
+    /// Resets the counters (not the contents).
+    pub fn reset_stats(&mut self) {
+        self.stats = TlbStats::default();
+    }
+
+    /// Looks up `vpn` for `asid`; on a hit, validates `kind`/`mode` against
+    /// the *cached* flags and returns the entry. Global entries match any
+    /// ASID. A permission mismatch on a hit reports the entry anyway — the
+    /// caller decides whether that is a page fault (hardware re-walks on
+    /// permission faults; the model treats cached-deny as a miss so the
+    /// walker gives the authoritative answer).
+    pub fn lookup(
+        &mut self,
+        vpn: VirtPageNum,
+        asid: u16,
+        kind: AccessKind,
+        mode: PrivilegeMode,
+    ) -> Option<TlbEntry> {
+        let found = self.entries.iter().flatten().copied().find(|e| {
+            e.vpn == vpn && (e.asid == asid || e.flags.global())
+        });
+        match found {
+            Some(e) if Self::permits(e.flags, kind, mode) => {
+                self.stats.hits += 1;
+                Some(e)
+            }
+            _ => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn permits(flags: PteFlags, kind: AccessKind, mode: PrivilegeMode) -> bool {
+        let rwx = match kind {
+            AccessKind::Read => flags.readable(),
+            AccessKind::Write => flags.writable(),
+            AccessKind::Execute => flags.executable(),
+        };
+        let priv_ok = match mode {
+            PrivilegeMode::User => flags.user(),
+            PrivilegeMode::Supervisor => !(flags.user() && kind == AccessKind::Execute),
+            PrivilegeMode::Machine => true,
+        };
+        rwx && priv_ok
+    }
+
+    /// Inserts (or replaces) a translation.
+    pub fn insert(&mut self, entry: TlbEntry) {
+        // Replace an existing mapping of the same (vpn, asid) first.
+        if let Some(slot) = self
+            .entries
+            .iter_mut()
+            .find(|s| matches!(s, Some(e) if e.vpn == entry.vpn && e.asid == entry.asid))
+        {
+            *slot = Some(entry);
+            return;
+        }
+        if let Some(slot) = self.entries.iter_mut().find(|s| s.is_none()) {
+            *slot = Some(entry);
+            return;
+        }
+        // Round-robin eviction.
+        self.entries[self.next_victim] = Some(entry);
+        self.next_victim = (self.next_victim + 1) % self.entries.len();
+        self.stats.evictions += 1;
+    }
+
+    /// `sfence.vma x0, x0`: flush everything.
+    pub fn flush_all(&mut self) {
+        self.entries.iter_mut().for_each(|e| *e = None);
+        self.stats.flushes += 1;
+    }
+
+    /// `sfence.vma va, asid`: flush one page of one address space.
+    pub fn flush_page(&mut self, vpn: VirtPageNum, asid: u16) {
+        for slot in self.entries.iter_mut() {
+            if matches!(slot, Some(e) if e.vpn == vpn && e.asid == asid) {
+                *slot = None;
+            }
+        }
+        self.stats.flushes += 1;
+    }
+
+    /// `sfence.vma x0, asid`: flush one address space (non-global entries).
+    pub fn flush_asid(&mut self, asid: u16) {
+        for slot in self.entries.iter_mut() {
+            if matches!(slot, Some(e) if e.asid == asid && !e.flags.global()) {
+                *slot = None;
+            }
+        }
+        self.stats.flushes += 1;
+    }
+
+    /// Number of live entries (diagnostics).
+    pub fn occupancy(&self) -> usize {
+        self.entries.iter().flatten().count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(vpn: u64, asid: u16, ppn: u64, flags: PteFlags) -> TlbEntry {
+        TlbEntry {
+            vpn: VirtPageNum::new(vpn),
+            asid,
+            ppn: PhysPageNum::new(ppn),
+            flags,
+        }
+    }
+
+    #[test]
+    fn hit_and_miss() {
+        let mut tlb = Tlb::new(4);
+        tlb.insert(entry(5, 1, 100, PteFlags::user_rw()));
+        let hit = tlb
+            .lookup(VirtPageNum::new(5), 1, AccessKind::Read, PrivilegeMode::User)
+            .unwrap();
+        assert_eq!(hit.ppn, PhysPageNum::new(100));
+        assert!(tlb
+            .lookup(VirtPageNum::new(6), 1, AccessKind::Read, PrivilegeMode::User)
+            .is_none());
+        assert_eq!(tlb.stats().hits, 1);
+        assert_eq!(tlb.stats().misses, 1);
+    }
+
+    #[test]
+    fn asid_isolation_and_global() {
+        let mut tlb = Tlb::new(4);
+        tlb.insert(entry(5, 1, 100, PteFlags::user_rw()));
+        tlb.insert(entry(
+            7,
+            1,
+            200,
+            PteFlags::kernel_rw().with(PteFlags::G),
+        ));
+        // Other ASID misses the private entry...
+        assert!(tlb
+            .lookup(VirtPageNum::new(5), 2, AccessKind::Read, PrivilegeMode::User)
+            .is_none());
+        // ...but hits the global one.
+        assert!(tlb
+            .lookup(VirtPageNum::new(7), 2, AccessKind::Read, PrivilegeMode::Supervisor)
+            .is_some());
+    }
+
+    #[test]
+    fn permission_mismatch_is_miss() {
+        let mut tlb = Tlb::new(4);
+        tlb.insert(entry(5, 1, 100, PteFlags::user_ro()));
+        assert!(tlb
+            .lookup(VirtPageNum::new(5), 1, AccessKind::Write, PrivilegeMode::User)
+            .is_none());
+        // Kernel page invisible to user.
+        tlb.insert(entry(6, 1, 101, PteFlags::kernel_rw()));
+        assert!(tlb
+            .lookup(VirtPageNum::new(6), 1, AccessKind::Read, PrivilegeMode::User)
+            .is_none());
+        // Supervisor cannot execute user pages.
+        tlb.insert(entry(7, 1, 102, PteFlags::user_rx()));
+        assert!(tlb
+            .lookup(VirtPageNum::new(7), 1, AccessKind::Execute, PrivilegeMode::Supervisor)
+            .is_none());
+    }
+
+    #[test]
+    fn stale_entry_survives_without_flush() {
+        // The TLB-inconsistency surface: the PTE was tightened but no
+        // sfence.vma was issued, so writes keep hitting.
+        let mut tlb = Tlb::new(4);
+        tlb.insert(entry(5, 1, 100, PteFlags::user_rw()));
+        // (PTE in memory now changed to read-only — TLB does not know.)
+        assert!(tlb
+            .lookup(VirtPageNum::new(5), 1, AccessKind::Write, PrivilegeMode::User)
+            .is_some());
+        // After the fence the stale entry is gone.
+        tlb.flush_page(VirtPageNum::new(5), 1);
+        assert!(tlb
+            .lookup(VirtPageNum::new(5), 1, AccessKind::Write, PrivilegeMode::User)
+            .is_none());
+    }
+
+    #[test]
+    fn replacement_is_bounded() {
+        let mut tlb = Tlb::new(2);
+        for i in 0..10 {
+            tlb.insert(entry(i, 1, i + 100, PteFlags::user_rw()));
+        }
+        assert_eq!(tlb.occupancy(), 2);
+        assert_eq!(tlb.stats().evictions, 8);
+    }
+
+    #[test]
+    fn insert_replaces_same_vpn() {
+        let mut tlb = Tlb::new(4);
+        tlb.insert(entry(5, 1, 100, PteFlags::user_rw()));
+        tlb.insert(entry(5, 1, 999, PteFlags::user_rw()));
+        assert_eq!(tlb.occupancy(), 1);
+        let hit = tlb
+            .lookup(VirtPageNum::new(5), 1, AccessKind::Read, PrivilegeMode::User)
+            .unwrap();
+        assert_eq!(hit.ppn, PhysPageNum::new(999));
+    }
+
+    #[test]
+    fn flush_asid_spares_globals() {
+        let mut tlb = Tlb::new(4);
+        tlb.insert(entry(1, 1, 100, PteFlags::user_rw()));
+        tlb.insert(entry(2, 1, 200, PteFlags::kernel_rw().with(PteFlags::G)));
+        tlb.flush_asid(1);
+        assert_eq!(tlb.occupancy(), 1);
+        assert!(tlb
+            .lookup(VirtPageNum::new(2), 1, AccessKind::Read, PrivilegeMode::Supervisor)
+            .is_some());
+    }
+
+    #[test]
+    fn flush_all_empties() {
+        let mut tlb = Tlb::new(4);
+        tlb.insert(entry(1, 1, 100, PteFlags::user_rw()));
+        tlb.flush_all();
+        assert_eq!(tlb.occupancy(), 0);
+    }
+}

@@ -1,0 +1,435 @@
+//! The hardware page-table walker with the PTStore origin check.
+//!
+//! Every page-table fetch is a bus access on [`ptstore_core::Channel::Ptw`]. When the
+//! `satp.S` bit is armed, the PMP refuses walker fetches outside the secure
+//! region, so an attacker who redirects a page-table pointer at a crafted
+//! table in normal memory gets an access fault instead of a translation —
+//! the PT-Injection defense (paper Fig. 1 ⑤, §III-C2).
+
+use core::fmt;
+
+use ptstore_core::{
+    AccessContext, AccessError, AccessKind, PhysAddr, PrivilegeMode, VirtAddr, PAGE_SIZE,
+};
+use ptstore_mem::Bus;
+use serde::{Deserialize, Serialize};
+
+use crate::pte::{Pte, PteFlags};
+use crate::satp::Satp;
+
+/// Why a translation failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TranslateError {
+    /// The classic page fault: invalid entry, permission mismatch, or
+    /// malformed superpage.
+    PageFault {
+        /// Faulting virtual address.
+        va: VirtAddr,
+        /// The kind of access that faulted.
+        kind: AccessKind,
+    },
+    /// The walk itself was refused by the PMP — with `satp.S` armed this is
+    /// PTStore rejecting a page table outside the secure region.
+    AccessFault(AccessError),
+}
+
+impl fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TranslateError::PageFault { va, kind } => write!(f, "page fault on {kind} at {va}"),
+            TranslateError::AccessFault(e) => write!(f, "walker access fault: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TranslateError {}
+
+impl From<AccessError> for TranslateError {
+    fn from(e: AccessError) -> Self {
+        TranslateError::AccessFault(e)
+    }
+}
+
+/// A successful walk: the physical address plus what the walk cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WalkOutcome {
+    /// Translated physical address.
+    pub pa: PhysAddr,
+    /// Flags of the leaf PTE (cached into the TLB).
+    pub flags: PteFlags,
+    /// Number of page-table fetches performed (1–3 for Sv39).
+    pub fetches: u32,
+    /// Page size of the leaf (4 KiB, 2 MiB, or 1 GiB).
+    pub page_size: u64,
+}
+
+/// The stateless Sv39 walker. The model runs with `SUM=1` (supervisor may
+/// read/write user pages — the kernel copies syscall buffers directly) and
+/// without `MXR`; both simplifications are noted here for fidelity.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PageTableWalker;
+
+impl PageTableWalker {
+    /// A new walker.
+    pub const fn new() -> Self {
+        Self
+    }
+
+    /// Translates `va` for an access of `kind` in `mode`, updating PTE A/D
+    /// bits as real hardware does.
+    ///
+    /// # Errors
+    /// [`TranslateError::PageFault`] on invalid/insufficient mappings;
+    /// [`TranslateError::AccessFault`] when a page-table fetch is denied by
+    /// the PMP (the PTStore origin check).
+    pub fn translate(
+        &self,
+        bus: &mut Bus,
+        satp: Satp,
+        va: VirtAddr,
+        kind: AccessKind,
+        mode: PrivilegeMode,
+    ) -> Result<WalkOutcome, TranslateError> {
+        if !satp.sv39 || mode == PrivilegeMode::Machine {
+            // Bare: identity mapping.
+            return Ok(WalkOutcome {
+                pa: PhysAddr::new(va.as_u64()),
+                flags: PteFlags::from_bits(0xff),
+                fetches: 0,
+                page_size: PAGE_SIZE,
+            });
+        }
+        if !va.is_canonical_sv39() {
+            return Err(TranslateError::PageFault { va, kind });
+        }
+
+        let ctx = AccessContext {
+            mode,
+            satp_s: satp.s_bit,
+        };
+        let mut table = satp.root_addr();
+        let mut fetches = 0u32;
+        #[allow(clippy::explicit_counter_loop)] // `fetches` counts bus ops, not iterations
+        for level in (0..=2usize).rev() {
+            let pte_addr = table + va.vpn_slice(level) * 8;
+            let raw = bus.read_u64(pte_addr, ptstore_core::Channel::Ptw, ctx)?;
+            fetches += 1;
+            let pte = Pte::from_bits(raw);
+            if !pte.is_valid() {
+                return Err(TranslateError::PageFault { va, kind });
+            }
+            if pte.is_leaf() {
+                Self::check_leaf_perms(pte.flags(), kind, mode, va)?;
+                // Superpage PPN alignment check.
+                let span_pages = 1u64 << (9 * level);
+                if !pte.ppn().as_u64().is_multiple_of(span_pages) {
+                    return Err(TranslateError::PageFault { va, kind });
+                }
+                // A/D update through the walker's own (checked) channel.
+                let mut new_flags = PteFlags::A;
+                if kind == AccessKind::Write {
+                    new_flags |= PteFlags::D;
+                }
+                if pte.flags().bits() & new_flags != new_flags {
+                    bus.write_u64(
+                        pte_addr,
+                        pte.with_flags(new_flags).bits(),
+                        ptstore_core::Channel::Ptw,
+                        ctx,
+                    )?;
+                }
+                let page_size = PAGE_SIZE * span_pages;
+                let offset = va.as_u64() & (page_size - 1);
+                return Ok(WalkOutcome {
+                    pa: PhysAddr::new(pte.phys_addr().as_u64() + offset),
+                    flags: pte.flags(),
+                    fetches,
+                    page_size,
+                });
+            }
+            // Non-leaf: descend.
+            if level == 0 {
+                return Err(TranslateError::PageFault { va, kind });
+            }
+            table = pte.phys_addr();
+        }
+        unreachable!("loop always returns");
+    }
+
+    fn check_leaf_perms(
+        flags: PteFlags,
+        kind: AccessKind,
+        mode: PrivilegeMode,
+        va: VirtAddr,
+    ) -> Result<(), TranslateError> {
+        let fault = || TranslateError::PageFault { va, kind };
+        let allowed = match kind {
+            AccessKind::Read => flags.readable(),
+            AccessKind::Write => flags.writable(),
+            AccessKind::Execute => flags.executable(),
+        };
+        if !allowed {
+            return Err(fault());
+        }
+        match mode {
+            PrivilegeMode::User => {
+                if !flags.user() {
+                    return Err(fault());
+                }
+            }
+            PrivilegeMode::Supervisor => {
+                // SUM=1 for data; supervisor never executes user pages.
+                if flags.user() && kind == AccessKind::Execute {
+                    return Err(fault());
+                }
+            }
+            PrivilegeMode::Machine => {}
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptstore_core::{Channel, PhysPageNum, SecureRegion, MIB};
+
+    /// Builds a 3-level table mapping `va -> data_ppn` inside `table_base`,
+    /// writing PTEs through the given channel.
+    fn build_mapping(
+        bus: &mut Bus,
+        root: PhysAddr,
+        l1: PhysAddr,
+        l0: PhysAddr,
+        va: VirtAddr,
+        data_ppn: PhysPageNum,
+        flags: PteFlags,
+        channel: Channel,
+        ctx: AccessContext,
+    ) {
+        let root_slot = root + va.vpn_slice(2) * 8;
+        let l1_slot = l1 + va.vpn_slice(1) * 8;
+        let l0_slot = l0 + va.vpn_slice(0) * 8;
+        bus.write_u64(root_slot, Pte::table(PhysPageNum::from(l1)).bits(), channel, ctx)
+            .unwrap();
+        bus.write_u64(l1_slot, Pte::table(PhysPageNum::from(l0)).bits(), channel, ctx)
+            .unwrap();
+        bus.write_u64(l0_slot, Pte::leaf(data_ppn, flags).bits(), channel, ctx)
+            .unwrap();
+    }
+
+    fn secured_bus() -> (Bus, SecureRegion) {
+        let mut bus = Bus::new(256 * MIB);
+        let region = SecureRegion::new(PhysAddr::new(192 * MIB), 64 * MIB).unwrap();
+        bus.install_secure_region(&region).unwrap();
+        (bus, region)
+    }
+
+    #[test]
+    fn walk_inside_secure_region_succeeds() {
+        let (mut bus, region) = secured_bus();
+        let ctx = AccessContext::supervisor(true);
+        let root = region.base();
+        let l1 = region.base() + PAGE_SIZE;
+        let l0 = region.base() + 2 * PAGE_SIZE;
+        let va = VirtAddr::new(0x4000_1000);
+        let data = PhysPageNum::new(0x100);
+        build_mapping(&mut bus, root, l1, l0, va, data, PteFlags::user_rw(), Channel::SecurePt, ctx);
+
+        let satp = Satp::sv39(PhysPageNum::from(root), 1, true);
+        let out = PageTableWalker::new()
+            .translate(&mut bus, satp, va, AccessKind::Read, PrivilegeMode::User)
+            .unwrap();
+        assert_eq!(out.pa, PhysAddr::new((0x100 << 12) | 0x000));
+        assert_eq!(out.fetches, 3);
+        assert_eq!(out.page_size, PAGE_SIZE);
+    }
+
+    #[test]
+    fn injected_table_outside_region_is_refused() {
+        let (mut bus, _region) = secured_bus();
+        // Attacker crafts a "page table" in normal memory.
+        let fake_root = PhysAddr::new(4 * MIB);
+        let ctx_plain = AccessContext::supervisor(false);
+        bus.write_u64(
+            fake_root,
+            Pte::leaf(PhysPageNum::new(0), PteFlags::user_rw()).bits(),
+            Channel::Regular,
+            ctx_plain,
+        )
+        .unwrap();
+
+        let satp = Satp::sv39(PhysPageNum::from(fake_root), 1, true);
+        let err = PageTableWalker::new()
+            .translate(
+                &mut bus,
+                satp,
+                VirtAddr::new(0),
+                AccessKind::Read,
+                PrivilegeMode::User,
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            TranslateError::AccessFault(AccessError::PtwOutsideRegion { .. })
+        ));
+    }
+
+    #[test]
+    fn same_injection_succeeds_without_ptstore() {
+        // Baseline machine: no satp.S. The injected table is happily used —
+        // this is the attack PTStore closes.
+        let mut bus = Bus::new(64 * MIB);
+        let fake_root = PhysAddr::new(4 * MIB);
+        let ctx = AccessContext::supervisor(false);
+        // Identity-ish 1 GiB superpage leaf at VPN2=0: ppn must be 1GiB-aligned.
+        bus.write_u64(
+            fake_root,
+            Pte::leaf(PhysPageNum::new(0), PteFlags::user_rw()).bits(),
+            Channel::Regular,
+            ctx,
+        )
+        .unwrap();
+        let satp = Satp::sv39(PhysPageNum::from(fake_root), 1, false);
+        let out = PageTableWalker::new()
+            .translate(
+                &mut bus,
+                satp,
+                VirtAddr::new(0x1234),
+                AccessKind::Read,
+                PrivilegeMode::User,
+            )
+            .unwrap();
+        assert_eq!(out.pa, PhysAddr::new(0x1234));
+        assert_eq!(out.page_size, ptstore_core::GIB);
+    }
+
+    #[test]
+    fn permission_checks() {
+        let (mut bus, region) = secured_bus();
+        let ctx = AccessContext::supervisor(true);
+        let root = region.base();
+        let l1 = region.base() + PAGE_SIZE;
+        let l0 = region.base() + 2 * PAGE_SIZE;
+        let va = VirtAddr::new(0x4000_0000);
+        // Kernel-only RW page.
+        build_mapping(
+            &mut bus,
+            root,
+            l1,
+            l0,
+            va,
+            PhysPageNum::new(0x200),
+            PteFlags::kernel_rw(),
+            Channel::SecurePt,
+            ctx,
+        );
+        let satp = Satp::sv39(PhysPageNum::from(root), 1, true);
+        let w = PageTableWalker::new();
+        // User access to a kernel page faults.
+        assert!(matches!(
+            w.translate(&mut bus, satp, va, AccessKind::Read, PrivilegeMode::User),
+            Err(TranslateError::PageFault { .. })
+        ));
+        // Supervisor read/write fine; execute denied (no X).
+        w.translate(&mut bus, satp, va, AccessKind::Write, PrivilegeMode::Supervisor)
+            .unwrap();
+        assert!(w
+            .translate(&mut bus, satp, va, AccessKind::Execute, PrivilegeMode::Supervisor)
+            .is_err());
+    }
+
+    #[test]
+    fn ad_bits_are_set_by_hardware() {
+        let (mut bus, region) = secured_bus();
+        let ctx = AccessContext::supervisor(true);
+        let root = region.base();
+        let l1 = region.base() + PAGE_SIZE;
+        let l0 = region.base() + 2 * PAGE_SIZE;
+        let va = VirtAddr::new(0x4000_0000);
+        // Leaf without A/D.
+        let flags = PteFlags::from_bits(PteFlags::V | PteFlags::R | PteFlags::W | PteFlags::U);
+        build_mapping(&mut bus, root, l1, l0, va, PhysPageNum::new(0x300), flags, Channel::SecurePt, ctx);
+        let satp = Satp::sv39(PhysPageNum::from(root), 1, true);
+        PageTableWalker::new()
+            .translate(&mut bus, satp, va, AccessKind::Write, PrivilegeMode::User)
+            .unwrap();
+        let leaf_raw = bus
+            .read_u64(l0 + va.vpn_slice(0) * 8, Channel::SecurePt, ctx)
+            .unwrap();
+        let leaf = Pte::from_bits(leaf_raw);
+        assert!(leaf.flags().accessed());
+        assert!(leaf.flags().dirty());
+    }
+
+    #[test]
+    fn invalid_and_noncanonical_fault() {
+        let (mut bus, region) = secured_bus();
+        let satp = Satp::sv39(PhysPageNum::from(region.base()), 1, true);
+        let w = PageTableWalker::new();
+        // Empty root: invalid entry.
+        assert!(matches!(
+            w.translate(
+                &mut bus,
+                satp,
+                VirtAddr::new(0x1000),
+                AccessKind::Read,
+                PrivilegeMode::User
+            ),
+            Err(TranslateError::PageFault { .. })
+        ));
+        // Non-canonical address.
+        assert!(matches!(
+            w.translate(
+                &mut bus,
+                satp,
+                VirtAddr::new(0x0000_8000_0000_0000),
+                AccessKind::Read,
+                PrivilegeMode::User
+            ),
+            Err(TranslateError::PageFault { .. })
+        ));
+    }
+
+    #[test]
+    fn bare_mode_is_identity() {
+        let mut bus = Bus::new(16 * MIB);
+        let out = PageTableWalker::new()
+            .translate(
+                &mut bus,
+                Satp::bare(),
+                VirtAddr::new(0x1234),
+                AccessKind::Read,
+                PrivilegeMode::Machine,
+            )
+            .unwrap();
+        assert_eq!(out.pa, PhysAddr::new(0x1234));
+        assert_eq!(out.fetches, 0);
+    }
+
+    #[test]
+    fn misaligned_superpage_faults() {
+        let (mut bus, region) = secured_bus();
+        let ctx = AccessContext::supervisor(true);
+        let root = region.base();
+        // 1 GiB leaf at level 2 with a PPN that is not 512*512-aligned.
+        bus.write_u64(
+            root,
+            Pte::leaf(PhysPageNum::new(3), PteFlags::user_rw()).bits(),
+            Channel::SecurePt,
+            ctx,
+        )
+        .unwrap();
+        let satp = Satp::sv39(PhysPageNum::from(root), 1, true);
+        assert!(matches!(
+            PageTableWalker::new().translate(
+                &mut bus,
+                satp,
+                VirtAddr::new(0),
+                AccessKind::Read,
+                PrivilegeMode::User
+            ),
+            Err(TranslateError::PageFault { .. })
+        ));
+    }
+}

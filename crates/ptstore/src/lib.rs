@@ -1,0 +1,55 @@
+//! # ptstore
+//!
+//! The facade crate of the PTStore reproduction: one `use ptstore::...` away
+//! from the whole system. Re-exports every subsystem crate under a stable
+//! module name and provides a [`prelude`] for the common experiment surface.
+//!
+//! PTStore (*Lightweight Architectural Support for Page Table Isolation*,
+//! DAC 2023) protects kernel page tables with four co-designed pieces:
+//! a PMP-backed **secure region** (S-bit), dedicated **`ld.pt`/`sd.pt`**
+//! instructions, a **walker origin check** (`satp.S`), and a **token
+//! mechanism** binding page-table pointers to their PCBs. This workspace
+//! rebuilds the hardware (functional RV64 machine), the software (a
+//! miniature kernel), the attacks, and the entire evaluation harness.
+//!
+//! ```
+//! use ptstore::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Boot the CFI+PTStore kernel on a 256 MiB machine.
+//! let mut k = Kernel::boot(
+//!     KernelConfig::cfi_ptstore()
+//!         .with_mem_size(256 * MIB)
+//!         .with_initial_secure_size(16 * MIB),
+//! )?;
+//!
+//! // The attacker's arbitrary write cannot reach a page table:
+//! let pte = k.pte_phys_addr(1, VirtAddr::new(0x1_0000))?;
+//! let via_direct_map = k.direct_map(pte);
+//! assert!(k.attacker_write_u64(via_direct_map, 0xdead).is_err());
+//! # Ok(())
+//! # }
+//! ```
+
+pub use ptstore_attacks as attacks;
+pub use ptstore_core as core;
+pub use ptstore_hwcost as hwcost;
+pub use ptstore_isa as isa;
+pub use ptstore_kernel as kernel;
+pub use ptstore_mem as mem;
+pub use ptstore_mmu as mmu;
+pub use ptstore_workloads as workloads;
+
+/// The common experiment surface in one import.
+pub mod prelude {
+    pub use ptstore_attacks::{run_attack, security_matrix, AttackKind, AttackOutcome, BlockedBy};
+    pub use ptstore_core::prelude::*;
+    pub use ptstore_hwcost::{table3, BoomConfig};
+    pub use ptstore_isa::{Inst, SimMachine};
+    pub use ptstore_kernel::{
+        DefenseMode, Kernel, KernelConfig, KernelError, KernelStats, SecurityEvent,
+    };
+    pub use ptstore_mem::Bus;
+    pub use ptstore_mmu::{Mmu, Pte, PteFlags, Satp};
+    pub use ptstore_workloads::{measure, overhead_pct, OverheadSeries};
+}

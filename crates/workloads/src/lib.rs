@@ -1,0 +1,41 @@
+//! # ptstore-workloads
+//!
+//! Workload generators reproducing the paper's performance evaluation
+//! (§V-D) against the kernel model:
+//!
+//! * [`lmbench`] — the LMBench 3.0-a9 microbenchmark suite of Figure 4
+//!   (syscall/signal/process/VM latencies), 1 000 iterations each;
+//! * [`fork_stress`] — the 30 000-process stress of §V-D1 that exercises the
+//!   dynamic secure-region adjustment;
+//! * [`spec`] — SPEC CINT2006-shaped workloads (Figure 5): compute-bound
+//!   programs with per-benchmark kernel-interaction profiles;
+//! * [`nginx`] — the NGINX 1.20.1 static-file benchmark of Figure 6
+//!   (10 000 requests, 100 concurrent);
+//! * [`redis`] — the Redis 6.2.6 `redis-benchmark` command mix of Figure 7
+//!   (100 000 requests per test, 50 connections);
+//! * [`regression`] — an LTP-style functional suite whose outputs are diffed
+//!   between kernel configurations (§V-C);
+//! * [`report`] — measurement plumbing: run a workload across kernel
+//!   configurations and compute relative overheads.
+//!
+//! ```
+//! use ptstore_core::MIB;
+//! use ptstore_workloads::{lmbench, measure};
+//! use ptstore_workloads::report::standard_configs;
+//!
+//! let configs = standard_configs(256 * MIB, 16 * MIB);
+//! let series = measure("null call", &configs, |k| lmbench::lat_null(k, 50));
+//! assert_eq!(series.entries[0].overhead_pct, 0.0); // baseline
+//! assert!(series.overhead_of("CFI").unwrap() > 0.0);
+//! ```
+
+pub mod fork_stress;
+pub mod lmbench;
+pub mod nginx;
+pub mod redis;
+pub mod regression;
+pub mod report;
+pub mod spec;
+
+pub use fork_stress::{run_fork_stress, ForkStressResult};
+pub use report::{measure, overhead_pct, Measurement, OverheadSeries};

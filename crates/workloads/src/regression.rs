@@ -1,0 +1,393 @@
+//! An LTP-style functional regression suite (§V-C).
+//!
+//! The paper runs the Linux Test Project on the original and modified
+//! kernels and diffs the outputs ("we compare the outputs of the two runs
+//! and do not find any deviation"). This module does the same: a battery of
+//! named functional checks, each producing a deterministic output string.
+//! [`diff_outputs`] compares two kernels' runs; an empty diff means the
+//! PTStore modifications did not change observable kernel behaviour.
+
+use ptstore_core::{VirtAddr, PAGE_SIZE};
+use ptstore_kernel::pagetable::USER_HEAP_BASE;
+use ptstore_kernel::{Kernel, KernelError};
+
+/// One test's observable output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestOutput {
+    /// Test case name (LTP-style).
+    pub name: &'static str,
+    /// What the test observed, serialised deterministically.
+    pub output: String,
+}
+
+type TestFn = fn(&mut Kernel) -> String;
+
+fn fmt_res<T: std::fmt::Debug>(r: Result<T, KernelError>) -> String {
+    match r {
+        Ok(v) => format!("OK {v:?}"),
+        Err(e) => format!("ERR {e}"),
+    }
+}
+
+/// The test battery: each entry is (name, body). Bodies only use the public
+/// syscall surface, so they exercise the same paths LTP would.
+pub fn test_cases() -> Vec<(&'static str, TestFn)> {
+    vec![
+        ("getppid01", |k| fmt_res(k.sys_null())),
+        ("fork01", |k| {
+            let r = k.sys_fork();
+            let out = fmt_res(r);
+            if let Ok(child) = r {
+                let _ = k.do_switch_to(child);
+                let _ = k.sys_exit(0);
+                let _ = k.sys_wait();
+            }
+            out
+        }),
+        ("fork02_pids_increase", |k| {
+            let a = k.sys_fork().expect("fork a");
+            let b = k.sys_fork().expect("fork b");
+            let out = format!("b>a={}", b > a);
+            for c in [a, b] {
+                let _ = k.do_switch_to(c);
+                let _ = k.sys_exit(0);
+            }
+            let _ = k.sys_wait();
+            let _ = k.sys_wait();
+            out
+        }),
+        ("wait01_exit_code", |k| {
+            let child = k.sys_fork().expect("fork");
+            k.do_switch_to(child).expect("switch");
+            k.sys_exit(7).expect("exit");
+            fmt_res(k.sys_wait())
+        }),
+        ("wait02_no_children", |k| fmt_res(k.sys_wait())),
+        ("execve01", |k| fmt_res(k.sys_exec())),
+        ("open01", |k| fmt_res(k.sys_open("/etc/passwd"))),
+        ("open02_enoent", |k| fmt_res(k.sys_open("/does/not/exist"))),
+        ("close01_badf", |k| fmt_res(k.sys_close(99))),
+        ("read01", |k| {
+            let fd = k.sys_open("/etc/passwd").expect("open");
+            let out = fmt_res(k.sys_read(fd, 4));
+            let _ = k.sys_close(fd);
+            out
+        }),
+        ("read02_offset_advances", |k| {
+            let fd = k.sys_open("/etc/passwd").expect("open");
+            let a = k.sys_read(fd, 4).expect("read");
+            let b = k.sys_read(fd, 4).expect("read");
+            let _ = k.sys_close(fd);
+            format!("{:?}/{:?}", a, b)
+        }),
+        ("write01", |k| {
+            let fd = k.sys_open("/tmp/XXX").expect("open");
+            let out = fmt_res(k.sys_write(fd, b"regression"));
+            let _ = k.sys_close(fd);
+            out
+        }),
+        ("write02_read_back", |k| {
+            let fd = k.sys_open("/tmp/XXX").expect("open");
+            k.sys_write(fd, b"abcdef").expect("write");
+            let _ = k.sys_close(fd);
+            let fd = k.sys_open("/tmp/XXX").expect("open");
+            let out = fmt_res(k.sys_read(fd, 6));
+            let _ = k.sys_close(fd);
+            out
+        }),
+        ("stat01", |k| fmt_res(k.sys_stat("/etc/passwd"))),
+        ("stat02_enoent", |k| fmt_res(k.sys_stat("/missing"))),
+        ("fstat01", |k| {
+            let fd = k.sys_open("/etc/passwd").expect("open");
+            let out = fmt_res(k.sys_fstat(fd));
+            let _ = k.sys_close(fd);
+            out
+        }),
+        ("pipe01_fifo", |k| {
+            let (r, w) = k.sys_pipe().expect("pipe");
+            k.sys_write(w, b"first").expect("w");
+            k.sys_write(w, b"second").expect("w");
+            let a = k.sys_read(r, 5).expect("r");
+            let b = k.sys_read(r, 6).expect("r");
+            let _ = k.sys_close(r);
+            let _ = k.sys_close(w);
+            format!("{:?}|{:?}", a, b)
+        }),
+        ("pipe02_would_block", |k| {
+            let (r, w) = k.sys_pipe().expect("pipe");
+            let out = fmt_res(k.sys_read(r, 1));
+            let _ = k.sys_close(r);
+            let _ = k.sys_close(w);
+            out
+        }),
+        ("select01", |k| fmt_res(k.sys_select(10))),
+        ("signal01_install_catch", |k| {
+            k.sys_signal_install(12).expect("install");
+            k.sys_signal_catch(12).expect("catch");
+            format!(
+                "caught={}",
+                k.procs.get(k.current_pid()).expect("cur").signals.caught
+            )
+        }),
+        ("signal02_bad_signum", |k| fmt_res(k.sys_signal_install(0))),
+        ("signal03_pending_without_handler", |k| {
+            k.sys_signal_catch(9).expect("catch");
+            format!(
+                "pending={:#x}",
+                k.procs.get(k.current_pid()).expect("cur").signals.pending
+            )
+        }),
+        ("mmap01_zero_fill", |k| {
+            let a = k.sys_mmap(PAGE_SIZE).expect("mmap");
+            let v = k.user_read_u64(a).expect("read");
+            format!("zero={}", v == 0)
+        }),
+        ("mmap02_rw", |k| {
+            let a = k.sys_mmap(PAGE_SIZE).expect("mmap");
+            k.user_write_u64(a, 0x1234_5678).expect("write");
+            fmt_res(k.user_read_u64(a))
+        }),
+        ("munmap01_then_segv", |k| {
+            let a = k.sys_mmap(PAGE_SIZE).expect("mmap");
+            k.sys_touch(a, true).expect("touch");
+            k.sys_munmap(a, PAGE_SIZE).expect("munmap");
+            fmt_res(k.sys_touch(a, true))
+        }),
+        ("brk01_grow", |k| fmt_res(k.sys_brk(USER_HEAP_BASE + 4 * PAGE_SIZE))),
+        ("brk02_invalid", |k| fmt_res(k.sys_brk(0x1000))),
+        ("pagefault01_demand", |k| {
+            k.sys_brk(USER_HEAP_BASE + PAGE_SIZE).expect("brk");
+            let before = k.stats.demand_faults;
+            k.sys_touch(VirtAddr::new(USER_HEAP_BASE), true).expect("touch");
+            format!("faults+={}", k.stats.demand_faults - before)
+        }),
+        ("pagefault02_segv", |k| {
+            fmt_res(k.sys_touch(VirtAddr::new(0x6100_0000), false))
+        }),
+        ("cow01_fork_write", |k| {
+            k.sys_brk(USER_HEAP_BASE + PAGE_SIZE).expect("brk");
+            let heap = VirtAddr::new(USER_HEAP_BASE);
+            k.user_write_u64(heap, 0xAA).expect("write");
+            let child = k.sys_fork().expect("fork");
+            k.user_write_u64(heap, 0xBB).expect("parent write");
+            k.do_switch_to(child).expect("switch");
+            let child_sees = k.user_read_u64(heap).expect("child read");
+            k.sys_exit(0).expect("exit");
+            let _ = k.sys_wait();
+            format!("child_sees={child_sees:#x}")
+        }),
+        ("sched01_yield", |k| {
+            let child = k.sys_fork().expect("fork");
+            k.sys_yield().expect("yield");
+            let cur = k.current_pid();
+            let out = format!("switched={}", cur == child);
+            // Clean up regardless of who runs.
+            if cur == child {
+                k.sys_exit(0).expect("exit");
+                let _ = k.sys_wait();
+            } else {
+                k.do_switch_to(child).expect("switch");
+                k.sys_exit(0).expect("exit");
+                let _ = k.sys_wait();
+            }
+            out
+        }),
+        ("socket01_echo", |k| {
+            let s = k.sys_accept(64).expect("accept");
+            let got = k.sys_recv(s, 64).expect("recv");
+            let sent = k.sys_send(s, 32).expect("send");
+            let _ = k.sys_close(s);
+            format!("rx={got} tx={sent}")
+        }),
+        ("fd01_lowest_reuse", |k| {
+            let a = k.sys_open("/etc/passwd").expect("open");
+            let b = k.sys_open("/etc/passwd").expect("open");
+            k.sys_close(a).expect("close");
+            let c = k.sys_open("/etc/passwd").expect("open");
+            let out = format!("reused={}", a == c);
+            let _ = k.sys_close(b);
+            let _ = k.sys_close(c);
+            out
+        }),
+        ("mprotect01_ro_blocks_writes", |k| {
+            use ptstore_kernel::process::VmPerms;
+            let a = k.sys_mmap(PAGE_SIZE).expect("mmap");
+            k.sys_touch(a, true).expect("touch");
+            k.sys_mprotect(a, PAGE_SIZE, VmPerms::RO).expect("mprotect");
+            fmt_res(k.sys_touch(a, true))
+        }),
+        ("mprotect02_restore", |k| {
+            use ptstore_kernel::process::VmPerms;
+            let a = k.sys_mmap(PAGE_SIZE).expect("mmap");
+            k.sys_touch(a, true).expect("touch");
+            k.sys_mprotect(a, PAGE_SIZE, VmPerms::RO).expect("ro");
+            k.sys_mprotect(a, PAGE_SIZE, VmPerms::RW).expect("rw");
+            fmt_res(k.sys_touch(a, true))
+        }),
+        ("mprotect03_bad_range", |k| {
+            use ptstore_kernel::process::VmPerms;
+            fmt_res(k.sys_mprotect(VirtAddr::new(0x6600_0000), PAGE_SIZE, VmPerms::RO))
+        }),
+        ("clone01_shared_memory", |k| {
+            let a = k.sys_mmap(PAGE_SIZE).expect("mmap");
+            k.user_write_u64(a, 0x11).expect("write");
+            let t = k.sys_clone_thread().expect("clone");
+            k.do_switch_to(t).expect("switch");
+            k.user_write_u64(a, 0x22).expect("thread write");
+            k.sys_exit(0).expect("thread exit");
+            k.do_switch_to(1).expect("back");
+            let _ = k.sys_wait();
+            fmt_res(k.user_read_u64(a))
+        }),
+        ("clone02_owner_exit_blocked", |k| {
+            let _t = k.sys_clone_thread().expect("clone");
+            fmt_res(k.sys_exit(0))
+        }),
+        ("dupfd01_fork_inherits_pipe", |k| {
+            let (r, w) = k.sys_pipe().expect("pipe");
+            let child = k.sys_fork().expect("fork");
+            k.sys_write(w, b"x").expect("write");
+            k.do_switch_to(child).expect("switch");
+            let got = k.sys_read(r, 1).expect("child read");
+            k.sys_exit(0).expect("exit");
+            let _ = k.sys_wait();
+            format!("{:?}", got)
+        }),
+        ("munmap01_partial_untouched", |k| {
+            // munmap of a range that was never faulted in succeeds silently.
+            let a = k.sys_mmap(8 * PAGE_SIZE).expect("mmap");
+            fmt_res(k.sys_munmap(a, 8 * PAGE_SIZE))
+        }),
+        ("select02_scales", |k| {
+            let a = k.sys_select(1).expect("sel");
+            let b = k.sys_select(100).expect("sel");
+            format!("{a}/{b}")
+        }),
+        ("signal04_install_all", |k| {
+            let mut oks = 0;
+            for sig in 1..32 {
+                if k.sys_signal_install(sig).is_ok() {
+                    oks += 1;
+                }
+            }
+            format!("installed={oks}")
+        }),
+        ("sockets01_drain", |k| {
+            let s1 = k.sys_accept(100).expect("accept");
+            let first = k.sys_recv(s1, 60).expect("recv");
+            let second = k.sys_recv(s1, 60).expect("recv");
+            let third = k.sys_recv(s1, 60).expect("recv");
+            let _ = k.sys_close(s1);
+            format!("{first}/{second}/{third}")
+        }),
+        ("stat03_size_tracks_writes", |k| {
+            k.fs.create("/tmp/grow", vec![]);
+            let fd = k.sys_open("/tmp/grow").expect("open");
+            k.sys_write(fd, &[0u8; 100]).expect("write");
+            k.sys_write(fd, &[0u8; 100]).expect("write");
+            let _ = k.sys_close(fd);
+            fmt_res(k.sys_stat("/tmp/grow"))
+        }),
+        ("brk03_shrink_and_regrow", |k| {
+            let base = USER_HEAP_BASE;
+            k.sys_brk(base + 8 * PAGE_SIZE).expect("grow");
+            k.sys_brk(base + 2 * PAGE_SIZE).expect("shrink");
+            fmt_res(k.sys_brk(base + 4 * PAGE_SIZE))
+        }),
+        ("fork03_cow_refcounts", |k| {
+            // Grandchild chains stress CoW ref counting.
+            k.sys_brk(USER_HEAP_BASE + PAGE_SIZE).expect("brk");
+            let heap = VirtAddr::new(USER_HEAP_BASE);
+            k.user_write_u64(heap, 1).expect("w");
+            let c1 = k.sys_fork().expect("fork");
+            k.do_switch_to(c1).expect("switch");
+            let c2 = k.sys_fork().expect("fork");
+            k.do_switch_to(c2).expect("switch");
+            let seen = k.user_read_u64(heap).expect("r");
+            k.sys_exit(0).expect("exit c2");
+            k.do_switch_to(c1).expect("switch c1");
+            let _ = k.sys_wait();
+            k.sys_exit(0).expect("exit c1");
+            k.do_switch_to(1).expect("switch init");
+            let _ = k.sys_wait();
+            format!("grandchild_saw={seen}")
+        }),
+        ("exec02_resets_brk", |k| {
+            k.sys_brk(USER_HEAP_BASE + 4 * PAGE_SIZE).expect("grow");
+            k.sys_exec().expect("exec");
+            format!(
+                "brk_reset={}",
+                k.procs.get(k.current_pid()).expect("cur").brk == USER_HEAP_BASE
+            )
+        }),
+        ("pipe03_capacity_bound", |k| {
+            let (r, w) = k.sys_pipe().expect("pipe");
+            let big = vec![0u8; 70_000];
+            let n = k.sys_write(w, &big).expect("write");
+            let _ = k.sys_close(r);
+            let _ = k.sys_close(w);
+            format!("accepted={n}")
+        }),
+    ]
+}
+
+/// Runs the whole battery on a fresh kernel per test (LTP isolates cases).
+pub fn run_suite(mut fresh_kernel: impl FnMut() -> Kernel) -> Vec<TestOutput> {
+    test_cases()
+        .into_iter()
+        .map(|(name, f)| {
+            let mut k = fresh_kernel();
+            TestOutput {
+                name,
+                output: f(&mut k),
+            }
+        })
+        .collect()
+}
+
+/// Diffs two runs; returns the names whose outputs deviate.
+pub fn diff_outputs(a: &[TestOutput], b: &[TestOutput]) -> Vec<String> {
+    let mut deviations = Vec::new();
+    for (x, y) in a.iter().zip(b.iter()) {
+        assert_eq!(x.name, y.name, "suites must align");
+        if x.output != y.output {
+            deviations.push(format!("{}: {:?} != {:?}", x.name, x.output, y.output));
+        }
+    }
+    deviations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptstore_core::MIB;
+    use ptstore_kernel::KernelConfig;
+
+    fn kernel_with(cfg: KernelConfig) -> Kernel {
+        Kernel::boot(cfg.with_mem_size(256 * MIB).with_initial_secure_size(16 * MIB))
+            .expect("boot")
+    }
+
+    #[test]
+    fn suite_has_many_cases_and_runs() {
+        let outputs = run_suite(|| kernel_with(KernelConfig::cfi_ptstore()));
+        assert!(outputs.len() >= 30);
+        assert!(outputs.iter().all(|o| !o.output.is_empty()));
+    }
+
+    #[test]
+    fn no_deviation_between_original_and_ptstore_kernels() {
+        // The §V-C result: PTStore does not change observable behaviour.
+        let original = run_suite(|| kernel_with(KernelConfig::cfi()));
+        let modified = run_suite(|| kernel_with(KernelConfig::cfi_ptstore()));
+        let diff = diff_outputs(&original, &modified);
+        assert!(diff.is_empty(), "deviations found: {diff:#?}");
+    }
+
+    #[test]
+    fn diff_detects_real_deviations() {
+        let a = vec![TestOutput { name: "t", output: "1".into() }];
+        let b = vec![TestOutput { name: "t", output: "2".into() }];
+        assert_eq!(diff_outputs(&a, &b).len(), 1);
+    }
+}

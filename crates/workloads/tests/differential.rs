@@ -1,0 +1,205 @@
+//! Differential property testing: the §V-C claim, generalised. For *any*
+//! randomly generated syscall workload, every kernel configuration (baseline,
+//! CFI, PT-Rand, virtual isolation, PTStore) must produce byte-identical
+//! observable behaviour — the defenses may only change *cycles*, never
+//! *semantics*. Token validation must never fire on legitimate work.
+
+use proptest::prelude::*;
+use ptstore_core::{VirtAddr, MIB, PAGE_SIZE};
+use ptstore_kernel::{DefenseMode, Kernel, KernelConfig};
+
+/// One step of a random workload. Pid/fd/address operands are indices into
+/// the live sets, so any sequence is meaningful.
+#[derive(Debug, Clone)]
+enum Op {
+    Fork,
+    ExitCurrent { code: i32 },
+    SwitchTo { idx: usize },
+    Wait,
+    Clone,
+    Mmap { pages: u64 },
+    TouchMapped { region_idx: usize, page: u64, write: bool },
+    Munmap { region_idx: usize },
+    Brk { pages: u64 },
+    OpenRead { bytes: u64 },
+    WriteTmp { bytes: usize },
+    Pipe,
+    PipeRoundTrip { bytes: usize },
+    Signal { sig: usize },
+    Yield,
+    Exec,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => Just(Op::Fork),
+        2 => (0i32..100).prop_map(|code| Op::ExitCurrent { code }),
+        3 => (0usize..8).prop_map(|idx| Op::SwitchTo { idx }),
+        2 => Just(Op::Wait),
+        1 => Just(Op::Clone),
+        3 => (1u64..5).prop_map(|pages| Op::Mmap { pages }),
+        4 => ((0usize..4), (0u64..5), any::<bool>())
+            .prop_map(|(region_idx, page, write)| Op::TouchMapped { region_idx, page, write }),
+        1 => (0usize..4).prop_map(|region_idx| Op::Munmap { region_idx }),
+        2 => (1u64..6).prop_map(|pages| Op::Brk { pages }),
+        2 => (1u64..32).prop_map(|bytes| Op::OpenRead { bytes }),
+        2 => (1usize..64).prop_map(|bytes| Op::WriteTmp { bytes }),
+        1 => Just(Op::Pipe),
+        2 => (1usize..32).prop_map(|bytes| Op::PipeRoundTrip { bytes }),
+        1 => (1usize..31).prop_map(|sig| Op::Signal { sig }),
+        2 => Just(Op::Yield),
+        1 => Just(Op::Exec),
+    ]
+}
+
+/// Runs the workload on one kernel, producing a deterministic observation
+/// trace.
+fn run_workload(defense: DefenseMode, cfi: bool, ops: &[Op]) -> (Vec<String>, u64) {
+    let mut cfg = KernelConfig::baseline()
+        .with_defense(defense)
+        .with_mem_size(256 * MIB)
+        .with_initial_secure_size(8 * MIB);
+    cfg.cfi = cfi;
+    cfg.adjust_chunk = MIB;
+    let mut k = Kernel::boot(cfg).expect("boot");
+    let mut trace = Vec::new();
+    let mut live_pids = vec![1u32];
+    let mut regions: Vec<(u64 /*va*/, u64 /*pages*/)> = Vec::new();
+    let mut pipes: Vec<(i32, i32)> = Vec::new();
+
+    let obs = |r: Result<String, ptstore_kernel::KernelError>| match r {
+        Ok(s) => s,
+        Err(e) => format!("ERR {e}"),
+    };
+
+    for op in ops {
+        let line = match op {
+            Op::Fork => obs(k.sys_fork().map(|pid| {
+                live_pids.push(pid);
+                format!("fork={pid}")
+            })),
+            Op::ExitCurrent { code } => {
+                let cur = k.current_pid();
+                if cur == 1 {
+                    "skip-exit-init".to_string()
+                } else {
+                    live_pids.retain(|&p| p != cur);
+                    obs(k.sys_exit(*code).map(|()| format!("exit({code})")))
+                }
+            }
+            Op::SwitchTo { idx } => {
+                let target = live_pids[idx % live_pids.len()];
+                obs(k.do_switch_to(target).map(|()| format!("switch={target}")))
+            }
+            Op::Wait => obs(k.sys_wait().map(|(pid, code)| format!("wait={pid}/{code}"))),
+            Op::Clone => obs(k.sys_clone_thread().map(|tid| {
+                live_pids.push(tid);
+                format!("clone={tid}")
+            })),
+            Op::Mmap { pages } => obs(k.sys_mmap(pages * PAGE_SIZE).map(|va| {
+                regions.push((va.as_u64(), *pages));
+                format!("mmap={va}")
+            })),
+            Op::TouchMapped { region_idx, page, write } => {
+                if regions.is_empty() {
+                    "skip-touch".to_string()
+                } else {
+                    let (va, pages) = regions[region_idx % regions.len()];
+                    let target = VirtAddr::new(va + (page % pages) * PAGE_SIZE);
+                    obs(k.sys_touch(target, *write).map(|()| format!("touch={target}")))
+                }
+            }
+            Op::Munmap { region_idx } => {
+                if regions.is_empty() {
+                    "skip-munmap".to_string()
+                } else {
+                    let (va, pages) = regions.swap_remove(*region_idx % regions.len());
+                    obs(k
+                        .sys_munmap(VirtAddr::new(va), pages * PAGE_SIZE)
+                        .map(|()| format!("munmap={va:#x}")))
+                }
+            }
+            Op::Brk { pages } => {
+                let cur = k
+                    .procs
+                    .get(k.mm_owner_of(k.current_pid()))
+                    .expect("cur")
+                    .brk;
+                obs(k.sys_brk(cur + pages * PAGE_SIZE).map(|b| format!("brk={b:#x}")))
+            }
+            Op::OpenRead { bytes } => obs((|| {
+                let fd = k.sys_open("/etc/passwd")?;
+                let data = k.sys_read(fd, *bytes)?;
+                k.sys_close(fd)?;
+                Ok(format!("read={}", data.len()))
+            })()),
+            Op::WriteTmp { bytes } => obs((|| {
+                let fd = k.sys_open("/tmp/XXX")?;
+                let n = k.sys_write(fd, &vec![0xA5u8; *bytes])?;
+                k.sys_close(fd)?;
+                Ok(format!("wrote={n}"))
+            })()),
+            Op::Pipe => obs(k.sys_pipe().map(|(r, w)| {
+                pipes.push((r, w));
+                format!("pipe={r}/{w}")
+            })),
+            Op::PipeRoundTrip { bytes } => {
+                if pipes.is_empty() {
+                    "skip-pipe".to_string()
+                } else {
+                    let (r, w) = pipes[0];
+                    obs((|| {
+                        let sent = k.sys_write(w, &vec![1u8; *bytes])?;
+                        let got = k.sys_read(r, sent)?;
+                        Ok(format!("pipe-rt={}", got.len()))
+                    })())
+                }
+            }
+            Op::Signal { sig } => obs((|| {
+                k.sys_signal_install(*sig)?;
+                k.sys_signal_catch(*sig)?;
+                Ok(format!("sig={sig}"))
+            })()),
+            Op::Yield => obs(k.sys_yield().map(|()| "yield".to_string())),
+            Op::Exec => {
+                // Exec clears the mapped regions of the current mm.
+                let mm = k.mm_owner_of(k.current_pid());
+                if mm == k.current_pid() {
+                    regions.clear();
+                    obs(k.sys_exec().map(|()| "exec".to_string()))
+                } else {
+                    "skip-exec-thread".to_string()
+                }
+            }
+        };
+        trace.push(line);
+    }
+    (trace, k.stats.token_failures)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The flagship differential property: all five configurations observe
+    /// exactly the same behaviour on any random workload, and PTStore's
+    /// defenses never fire on legitimate work.
+    #[test]
+    fn all_defenses_are_semantically_transparent(
+        ops in proptest::collection::vec(arb_op(), 1..60),
+    ) {
+        let (reference, _) = run_workload(DefenseMode::None, false, &ops);
+        for (defense, cfi) in [
+            (DefenseMode::None, true),
+            (DefenseMode::PtRand, true),
+            (DefenseMode::VirtualIsolation, true),
+            (DefenseMode::PtStore, true),
+        ] {
+            let (trace, token_failures) = run_workload(defense, cfi, &ops);
+            prop_assert_eq!(
+                &trace, &reference,
+                "defense {} diverged from baseline", defense
+            );
+            prop_assert_eq!(token_failures, 0, "{}: token check fired on legitimate work", defense);
+        }
+    }
+}

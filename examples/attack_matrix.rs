@@ -1,0 +1,60 @@
+//! The §V-E security evaluation: every attack against every defense.
+//!
+//! ```sh
+//! cargo run -p ptstore --example attack_matrix
+//! ```
+
+use ptstore::attacks::{security_matrix, AttackKind};
+use ptstore::kernel::DefenseMode;
+
+fn main() {
+    println!("PTStore security matrix (paper §II-B, §V-E)");
+    println!("each cell: fresh kernel, attacker with arbitrary kernel R/W\n");
+
+    let matrix = security_matrix();
+    let defenses = [
+        DefenseMode::None,
+        DefenseMode::PtRand,
+        DefenseMode::VirtualIsolation,
+        DefenseMode::PtStore,
+    ];
+
+    print!("{:<22}", "attack \\ defense");
+    for d in defenses {
+        print!("{:<22}", d.to_string());
+    }
+    println!("{:<22}", "ptstore (no tokens)");
+
+    for kind in AttackKind::ALL {
+        print!("{:<22}", kind.to_string());
+        for d in defenses {
+            let cell = matrix
+                .iter()
+                .find(|r| r.attack == kind && r.defense == d && r.tokens)
+                .expect("cell exists");
+            print!("{:<22}", short(&cell.outcome.to_string()));
+        }
+        let ablation = matrix
+            .iter()
+            .find(|r| r.attack == kind && r.defense == DefenseMode::PtStore && !r.tokens)
+            .expect("ablation row");
+        println!("{:<22}", short(&ablation.outcome.to_string()));
+    }
+
+    println!("\nlegend: blocked-by reasons abbreviated; see `reproduce security` for full text");
+    let wins = matrix
+        .iter()
+        .filter(|r| r.defense == DefenseMode::PtStore && r.tokens && r.outcome.attacker_won())
+        .count();
+    println!("PTStore (full design) lost {wins} of {} attacks", AttackKind::ALL.len());
+}
+
+fn short(s: &str) -> String {
+    s.replace("blocked by ", "✗ ")
+        .replace("SUCCEEDED (via info leak)", "✓ via leak")
+        .replace("SUCCEEDED", "✓ pwned")
+        .replace("no kernel impact", "— harmless")
+        .chars()
+        .take(20)
+        .collect()
+}

@@ -1,0 +1,77 @@
+//! §V-F: "PTStore is general to isolate and protect other critical data" —
+//! here, a bare-metal application's watchdog-timer control block and a table
+//! of code pointers, placed in the secure region and manipulated only with
+//! `ld.pt`/`sd.pt`.
+//!
+//! ```sh
+//! cargo run -p ptstore --example generality
+//! ```
+
+use ptstore::prelude::*;
+
+/// A bare-metal "application" layout inside the secure region.
+struct CriticalData {
+    /// Watchdog control register shadow (paper §V-F's example).
+    watchdog_ctrl: PhysAddr,
+    /// A table of 8 code pointers (e.g. interrupt handlers).
+    handler_table: PhysAddr,
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A bare-metal machine: 64 MiB RAM, a 1 MiB secure region for critical
+    // data — no MMU, no kernel, just PMP + the new instructions.
+    let mut bus = Bus::new(64 * MIB);
+    let region = SecureRegion::new(PhysAddr::new(63 * MIB), MIB)?;
+    bus.install_secure_region(&region)?;
+    let ctx = AccessContext::machine();
+
+    let data = CriticalData {
+        watchdog_ctrl: region.base(),
+        handler_table: region.base() + 0x100,
+    };
+
+    // Firmware initialises the critical data through the dedicated channel.
+    println!("secure region for critical data: {region}");
+    bus.write_u64(data.watchdog_ctrl, 0x1 /* enabled */, Channel::SecurePt, ctx)?;
+    for i in 0..8u64 {
+        bus.write_u64(
+            data.handler_table + i * 8,
+            0x4000_0000 + i * 0x100, // legitimate handler entry points
+            Channel::SecurePt,
+            ctx,
+        )?;
+    }
+    println!("watchdog enabled, 8 handler pointers installed (via sd.pt)");
+
+    // The exploit attempt: a memory-corruption primitive (regular stores)
+    // tries to (1) disable the watchdog, (2) hijack a handler pointer.
+    let disable = bus.write_u64(data.watchdog_ctrl, 0, Channel::Regular, ctx);
+    println!("\nattack 1 — disable watchdog with a regular store:");
+    println!("  -> {:?}", disable.unwrap_err());
+
+    let hijack = bus.write_u64(
+        data.handler_table + 3 * 8,
+        0xdead_beef,
+        Channel::Regular,
+        ctx,
+    );
+    println!("attack 2 — hijack handler[3] with a regular store:");
+    println!("  -> {:?}", hijack.unwrap_err());
+
+    // Reads are blocked too: the table cannot even be disclosed.
+    let leak = bus.read_u64(data.handler_table, Channel::Regular, ctx);
+    println!("attack 3 — leak handler table with a regular load:");
+    println!("  -> {:?}", leak.unwrap_err());
+
+    // Meanwhile the firmware's legitimate paths still work.
+    let ctrl = bus.read_u64(data.watchdog_ctrl, Channel::SecurePt, ctx)?;
+    let h3 = bus.read_u64(data.handler_table + 3 * 8, Channel::SecurePt, ctx)?;
+    assert_eq!(ctrl, 1, "watchdog still enabled");
+    assert_eq!(h3, 0x4000_0300, "handler intact");
+    println!("\nfirmware view (via ld.pt): watchdog={ctrl:#x}, handler[3]={h3:#x} — intact ✓");
+    println!(
+        "faults recorded by the bus: {} (every attack, none of the firmware ops)",
+        bus.stats().faults
+    );
+    Ok(())
+}

@@ -1,0 +1,141 @@
+//! End-to-end dynamic secure-region adjustment (§IV-C1): growth under
+//! pressure, contiguity, PMP synchronisation, migration, and failure modes.
+
+use ptstore::kernel::{Kernel, KernelConfig, KernelError};
+use ptstore::prelude::*;
+
+fn boot(initial: u64, chunk: u64) -> Kernel {
+    let mut cfg = KernelConfig::cfi_ptstore()
+        .with_mem_size(512 * MIB)
+        .with_initial_secure_size(initial);
+    cfg.adjust_chunk = chunk;
+    Kernel::boot(cfg).expect("boot")
+}
+
+#[test]
+fn region_grows_contiguously_under_pressure() {
+    let mut k = boot(MIB, MIB);
+    let region0 = k.secure_region().expect("region");
+    let mut sizes = vec![region0.size()];
+    let mut children = Vec::new();
+    for _ in 0..800 {
+        children.push(k.sys_fork().expect("fork"));
+        let size = k.secure_region().expect("region").size();
+        if size != *sizes.last().expect("non-empty") {
+            sizes.push(size);
+        }
+    }
+    assert!(sizes.len() > 2, "multiple adjustments: {sizes:?}");
+    // Monotone growth, fixed end, PMP in sync.
+    assert!(sizes.windows(2).all(|w| w[1] > w[0]));
+    let now = k.secure_region().expect("region");
+    assert_eq!(now.end(), region0.end());
+    assert_eq!(k.bus.secure_region(), Some(now));
+    // Contiguity: the PTStore zone's span equals the region exactly.
+    assert_eq!(
+        k.pt_area_free_pages().expect("zone") <= now.page_count(),
+        true
+    );
+}
+
+#[test]
+fn adjustment_accounting_matches_region_growth() {
+    let mut k = boot(MIB, 2 * MIB);
+    for _ in 0..800 {
+        k.sys_fork().expect("fork");
+    }
+    let grown = k.secure_region().expect("region").size() - MIB;
+    assert_eq!(grown, k.stats.adjustments * 2 * MIB);
+}
+
+#[test]
+fn adjusted_pages_are_immediately_protected() {
+    let mut k = boot(MIB, MIB);
+    // Burn the initial region.
+    while k.stats.adjustments == 0 {
+        k.sys_fork().expect("fork");
+    }
+    let region = k.secure_region().expect("region");
+    // A page in the newly absorbed chunk (just above the new base).
+    let fresh = region.base() + 0x100;
+    let via = k.direct_map(fresh);
+    assert!(
+        k.attacker_write_u64(via, 0xbad).is_err(),
+        "adjusted pages must be PMP-protected immediately"
+    );
+}
+
+#[test]
+fn disabled_adjustment_fails_loudly_not_silently() {
+    let mut cfg = KernelConfig::cfi_ptstore_no_adjust()
+        .with_mem_size(512 * MIB)
+        .with_initial_secure_size(MIB);
+    cfg.adjustment_enabled = false;
+    let mut k = Kernel::boot(cfg).expect("boot");
+    let mut last = Ok(0);
+    for _ in 0..5_000 {
+        last = k.sys_fork();
+        if last.is_err() {
+            break;
+        }
+    }
+    assert_eq!(last.unwrap_err(), KernelError::OutOfMemory);
+    assert_eq!(k.stats.adjustments, 0);
+    // The kernel is still alive and consistent after OOM.
+    k.sys_null().expect("kernel survives OOM");
+    assert_eq!(k.secure_region().expect("region").size(), MIB);
+}
+
+#[test]
+fn migration_preserves_user_data() {
+    // Force migrations: fill the normal zone's top with movable user pages,
+    // then trigger adjustment.
+    let mut k = boot(MIB, MIB);
+    // Allocate a lot of user memory so some pages sit near the boundary.
+    let total_pages = 2000u64;
+    let addr = k.sys_mmap(total_pages * PAGE_SIZE).expect("mmap");
+    for i in 0..total_pages {
+        let va = VirtAddr::new(addr.as_u64() + i * PAGE_SIZE);
+        k.sys_touch(va, true).expect("touch");
+        k.user_write_u64(va, 0xC0FFEE00 + i).expect("stamp");
+    }
+    // Fork storm to force several adjustments.
+    for _ in 0..400 {
+        k.sys_fork().expect("fork");
+    }
+    assert!(k.stats.adjustments > 0);
+    // Every stamped value must still read back, wherever the pages went.
+    // (CoW made them read-only; reads are what must be stable.)
+    for i in 0..total_pages {
+        let va = VirtAddr::new(addr.as_u64() + i * PAGE_SIZE);
+        assert_eq!(
+            k.user_read_u64(va).expect("read"),
+            0xC0FFEE00 + i,
+            "page {i} lost its data (migrated={})",
+            k.stats.migrated_pages
+        );
+    }
+}
+
+#[test]
+fn stress_then_reuse_the_grown_region() {
+    let mut k = boot(MIB, MIB);
+    // Grow.
+    let children: Vec<_> = (0..500).map(|_| k.sys_fork().expect("fork")).collect();
+    let adjustments_after_growth = k.stats.adjustments;
+    assert!(adjustments_after_growth > 0);
+    // Shrink the population.
+    for &c in &children {
+        k.do_switch_to(c).expect("switch");
+        k.sys_exit(0).expect("exit");
+    }
+    while k.sys_wait().is_ok() {}
+    // Re-grow into the already-enlarged region: no new adjustments needed.
+    for _ in 0..500 {
+        k.sys_fork().expect("fork");
+    }
+    assert_eq!(
+        k.stats.adjustments, adjustments_after_growth,
+        "the grown region is reused without further adjustment"
+    );
+}

@@ -1,0 +1,166 @@
+//! End-to-end ISA-level checks: the machine, CSR plumbing, and the
+//! PTStore instruction semantics driven purely through executed RV64 code.
+
+use ptstore::isa::{csr, AluOp, CsrOp, Inst, LoadOp, SimMachine, StoreOp, TrapCause};
+use ptstore::prelude::*;
+
+#[test]
+fn secure_region_installed_by_executed_csr_writes() {
+    // An M-mode "SBI" program installs the secure region purely through
+    // pmpaddr/pmpcfg CSR writes, then proves both sides of the S-bit.
+    let mut m = SimMachine::new(128 * MIB);
+    let base: u64 = 64 * MIB;
+    let end: u64 = 65 * MIB;
+
+    let program = [
+        // pmpaddr0 = base >> 2 ; pmpaddr1 = end >> 2 ; pmpcfg0 = TOR|R|W|S @ entry 1
+        Inst::Csr { op: CsrOp::ReadWrite, rd: 0, rs1: 5, csr: csr::addr::PMPADDR0, imm_form: false },
+        Inst::Csr { op: CsrOp::ReadWrite, rd: 0, rs1: 6, csr: csr::addr::PMPADDR0 + 1, imm_form: false },
+        Inst::Csr { op: CsrOp::ReadWrite, rd: 0, rs1: 7, csr: csr::addr::PMPCFG0, imm_form: false },
+        // sd.pt into the region, ld.pt back out.
+        Inst::Lui { rd: 5, imm: base as i64 },
+        Inst::OpImm { op: AluOp::Add, rd: 6, rs1: 0, imm: 0x77, word: false },
+        Inst::SdPt { rs1: 5, rs2: 6, offset: 8 },
+        Inst::LdPt { rd: 10, rs1: 5, offset: 8 },
+        Inst::Wfi,
+    ];
+    m.load_program(0x1000, &program);
+    m.cpu.set_reg(5, base >> 2);
+    m.cpu.set_reg(6, end >> 2);
+    m.cpu.set_reg(7, 0b0010_1011 << 8); // S|TOR|W|R in entry 1's byte
+    m.cpu.pc = 0x1000;
+    assert_eq!(m.run(100).expect("runs"), None, "clean wfi stop");
+    assert_eq!(m.cpu.reg(10), 0x77);
+    assert_eq!(m.bus.stats().secure_writes, 1);
+    assert_eq!(m.bus.stats().secure_reads, 1);
+
+    // Now a regular load of the same address must trap.
+    let mut m2 = m.clone();
+    m2.load_program(0x2000, &[Inst::Load { op: LoadOp::D, rd: 11, rs1: 5, offset: 8 }]);
+    m2.cpu.pc = 0x2000;
+    let trap = m2.run(10).expect("runs").expect("trap");
+    assert_eq!(trap.cause, TrapCause::LoadAccessFault);
+}
+
+#[test]
+fn user_mode_cannot_use_the_new_instructions() {
+    let (mut m, _region) = SimMachine::with_secure_region(128 * MIB);
+    // Delegate illegal-instruction to S-mode to observe the cause there.
+    m.cpu.csrs.write_raw(csr::addr::MEDELEG, 1 << 2);
+    m.cpu.csrs.write_raw(csr::addr::STVEC, 0x8000);
+    m.load_program(0x1000, &[Inst::LdPt { rd: 10, rs1: 0, offset: 0 }]);
+    m.cpu.pc = 0x1000;
+    m.cpu.mode = ptstore::core::PrivilegeMode::User;
+    let trap = m.run(10).expect("runs").expect("trap");
+    assert_eq!(trap.cause, TrapCause::IllegalInstruction);
+    assert!(trap.delegated);
+    assert_eq!(m.cpu.csrs.read_raw(csr::addr::SCAUSE), 2);
+}
+
+#[test]
+fn executed_program_walks_secure_page_tables() {
+    // Build a 3-level mapping inside the secure region with sd.pt from
+    // M-mode, write satp (with the S-bit), drop to S-mode via mret, and
+    // access the mapped page — the PTW must fetch from the region.
+    let (mut m, region) = SimMachine::with_secure_region(256 * MIB);
+    let root = region.base();
+    let l1 = region.base() + PAGE_SIZE;
+    let l0 = region.base() + 2 * PAGE_SIZE;
+    let data_ppn = 0x2000u64; // pa 0x2000000
+    let va = 0x40_0000u64; // vpn2=0, vpn1=2, vpn0=0
+
+    // Precompute PTE values host-side; the guest writes them with sd.pt.
+    let pte_root = ptstore::mmu::Pte::table(ptstore::core::PhysPageNum::from(l1)).bits();
+    let pte_l1 = ptstore::mmu::Pte::table(ptstore::core::PhysPageNum::from(l0)).bits();
+    let pte_leaf = ptstore::mmu::Pte::leaf(
+        ptstore::core::PhysPageNum::new(data_ppn),
+        ptstore::mmu::PteFlags::kernel_rw().with(ptstore::mmu::PteFlags::G),
+    )
+    .bits();
+    let satp = ptstore::mmu::Satp::sv39(ptstore::core::PhysPageNum::from(root), 1, true);
+
+    // Registers seeded host-side; program does the stores + satp + mret.
+    let program = [
+        Inst::SdPt { rs1: 5, rs2: 6, offset: 0 },   // root[0] = l1
+        Inst::SdPt { rs1: 7, rs2: 28, offset: 16 }, // l1[2] = l0
+        Inst::SdPt { rs1: 29, rs2: 30, offset: 0 }, // l0[0] = leaf
+        Inst::Csr { op: CsrOp::ReadWrite, rd: 0, rs1: 31, csr: csr::addr::SATP, imm_form: false },
+        Inst::Mret,
+    ];
+    m.load_program(0x1000, &program);
+    m.cpu.set_reg(5, root.as_u64());
+    m.cpu.set_reg(6, pte_root);
+    m.cpu.set_reg(7, l1.as_u64());
+    m.cpu.set_reg(28, pte_l1);
+    m.cpu.set_reg(29, l0.as_u64());
+    m.cpu.set_reg(30, pte_leaf);
+    m.cpu.set_reg(31, satp.to_bits());
+    // mret returns to S-mode code at `va` + 0 ... but we need S-mode code
+    // mapped; instead return to an identity-mapped fetch? The S-mode fetch
+    // would be translated. Simplest: map the code page too — reuse the leaf
+    // trick by returning to `va` where we place a tiny program in the data
+    // page it maps.
+    m.cpu.csrs.write_raw(
+        csr::addr::MSTATUS,
+        ptstore::core::PrivilegeMode::Supervisor.encoding() << 11,
+    );
+    m.cpu.csrs.write_raw(csr::addr::MEPC, va);
+    // Guest S-mode program at pa data_ppn<<12 (what `va` maps to): load the
+    // word it previously stored... just wfi after a load through the mapping.
+    // Host-side we seed the data page via the raw loader.
+    let pa_code = data_ppn << 12;
+    // Make the leaf executable too.
+    let pte_leaf_x = ptstore::mmu::Pte::leaf(
+        ptstore::core::PhysPageNum::new(data_ppn),
+        ptstore::mmu::PteFlags::from_bits(
+            ptstore::mmu::PteFlags::V
+                | ptstore::mmu::PteFlags::R
+                | ptstore::mmu::PteFlags::W
+                | ptstore::mmu::PteFlags::X
+                | ptstore::mmu::PteFlags::A
+                | ptstore::mmu::PteFlags::D
+                | ptstore::mmu::PteFlags::G,
+        ),
+    )
+    .bits();
+    m.cpu.set_reg(30, pte_leaf_x);
+    m.load_program(pa_code, &[
+        Inst::OpImm { op: AluOp::Add, rd: 10, rs1: 0, imm: 0x123, word: false },
+        Inst::Wfi,
+    ]);
+    m.cpu.pc = 0x1000;
+    assert_eq!(m.run(100).expect("no cpu error"), None, "reached wfi in S-mode");
+    assert_eq!(m.cpu.reg(10), 0x123);
+    assert_eq!(m.cpu.mode, ptstore::core::PrivilegeMode::Supervisor);
+    // The fetches from `va` walked page tables inside the secure region.
+    assert!(m.bus.stats().ptw_reads >= 3);
+}
+
+#[test]
+fn kernel_and_isa_machine_share_one_truth() {
+    // The same PMP semantics protect both the functional kernel and the
+    // instruction-level machine: cross-check with identical regions.
+    let (mut m, region) = SimMachine::with_secure_region(256 * MIB);
+    let mut k = ptstore::kernel::Kernel::boot(
+        ptstore::kernel::KernelConfig::cfi_ptstore()
+            .with_mem_size(256 * MIB)
+            .with_initial_secure_size(64 * MIB),
+    )
+    .expect("boot");
+    let kregion = k.secure_region().expect("region");
+    assert_eq!(region.base(), kregion.base());
+    assert_eq!(region.end(), kregion.end());
+
+    // Both deny a regular store at the same address.
+    let target = region.base() + 0x40;
+    m.load_program(0x1000, &[
+        Inst::Lui { rd: 5, imm: target.as_u64() as i64 },
+        Inst::Store { op: StoreOp::D, rs1: 5, rs2: 0, offset: 0 },
+    ]);
+    m.cpu.pc = 0x1000;
+    let trap = m.run(10).expect("runs").expect("trap");
+    assert_eq!(trap.cause, TrapCause::StoreAccessFault);
+
+    let via = k.direct_map(target);
+    assert!(k.attacker_write_u64(via, 0).is_err());
+}

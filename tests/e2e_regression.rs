@@ -1,0 +1,52 @@
+//! End-to-end §V-C: the LTP-style regression diff across *all* kernel
+//! configurations — the modified kernels must behave exactly like the
+//! original.
+
+use ptstore::kernel::{DefenseMode, Kernel, KernelConfig};
+use ptstore::prelude::MIB;
+use ptstore::workloads::regression::{diff_outputs, run_suite};
+
+fn suite_for(cfg: KernelConfig) -> Vec<ptstore::workloads::regression::TestOutput> {
+    run_suite(move || {
+        Kernel::boot(
+            cfg.with_mem_size(256 * MIB)
+                .with_initial_secure_size(16 * MIB),
+        )
+        .expect("boot")
+    })
+}
+
+#[test]
+fn ptstore_kernel_has_no_behavioural_deviation() {
+    let original = suite_for(KernelConfig::cfi());
+    let ptstore = suite_for(KernelConfig::cfi_ptstore());
+    let diff = diff_outputs(&original, &ptstore);
+    assert!(
+        diff.is_empty(),
+        "PTStore changed observable behaviour: {diff:#?}"
+    );
+}
+
+#[test]
+fn cfi_itself_changes_nothing_observable() {
+    let plain = suite_for(KernelConfig::baseline());
+    let cfi = suite_for(KernelConfig::cfi());
+    assert!(diff_outputs(&plain, &cfi).is_empty());
+}
+
+#[test]
+fn baseline_defenses_also_preserve_behaviour() {
+    let original = suite_for(KernelConfig::cfi());
+    for defense in [DefenseMode::PtRand, DefenseMode::VirtualIsolation] {
+        let modified = suite_for(KernelConfig::cfi().with_defense(defense));
+        let diff = diff_outputs(&original, &modified);
+        assert!(diff.is_empty(), "{defense} deviated: {diff:#?}");
+    }
+}
+
+#[test]
+fn suite_is_reproducible_run_to_run() {
+    let a = suite_for(KernelConfig::cfi_ptstore());
+    let b = suite_for(KernelConfig::cfi_ptstore());
+    assert!(diff_outputs(&a, &b).is_empty(), "suite must be deterministic");
+}

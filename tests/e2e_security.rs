@@ -1,0 +1,90 @@
+//! End-to-end security: the full §V-E matrix through the facade crate.
+
+use ptstore::attacks::{run_attack, security_matrix, AttackKind, AttackOutcome, BlockedBy};
+use ptstore::kernel::DefenseMode;
+
+#[test]
+fn full_matrix_is_consistent() {
+    let matrix = security_matrix();
+    // 8 attacks × 4 defenses + 8 token-ablation rows.
+    assert_eq!(matrix.len(), 40);
+
+    // The paper's headline: PTStore (full design) defeats everything.
+    for r in matrix.iter().filter(|r| r.defense == DefenseMode::PtStore && r.tokens) {
+        assert!(
+            !r.outcome.attacker_won(),
+            "{} must not defeat full PTStore",
+            r.attack
+        );
+    }
+
+    // The undefended kernel falls to every harmful attack.
+    for r in matrix.iter().filter(|r| r.defense == DefenseMode::None) {
+        if r.attack != AttackKind::VmMetadata {
+            assert!(
+                r.outcome.attacker_won(),
+                "{} should succeed with no defense",
+                r.attack
+            );
+        }
+    }
+}
+
+#[test]
+fn each_layer_stops_its_designated_attack() {
+    // Secure region (S-bit) ⊢ PT-Tampering.
+    assert_eq!(
+        run_attack(AttackKind::PtTampering, DefenseMode::PtStore, true).outcome,
+        AttackOutcome::Blocked(BlockedBy::SecureRegionPmp)
+    );
+    // PTW origin check ⊢ PT-Injection (visible once tokens are ablated).
+    assert_eq!(
+        run_attack(AttackKind::PtInjection, DefenseMode::PtStore, false).outcome,
+        AttackOutcome::Blocked(BlockedBy::PtwOriginCheck)
+    );
+    // Tokens ⊢ PT-Reuse.
+    assert_eq!(
+        run_attack(AttackKind::PtReuse, DefenseMode::PtStore, true).outcome,
+        AttackOutcome::Blocked(BlockedBy::TokenCheck)
+    );
+    // Zero-check ⊢ allocator-metadata overlap.
+    assert_eq!(
+        run_attack(AttackKind::AllocatorMetadata, DefenseMode::PtStore, true).outcome,
+        AttackOutcome::Blocked(BlockedBy::ZeroCheck)
+    );
+    // Physical-address checking ⊢ TLB inconsistency.
+    assert_eq!(
+        run_attack(AttackKind::TlbInconsistency, DefenseMode::PtStore, true).outcome,
+        AttackOutcome::Blocked(BlockedBy::SecureRegionPmp)
+    );
+}
+
+#[test]
+fn related_work_weaknesses_reproduce() {
+    // §VI-1: randomisation falls to information disclosure.
+    assert_eq!(
+        run_attack(AttackKind::PtTampering, DefenseMode::PtRand, true).outcome,
+        AttackOutcome::SucceededViaLeak
+    );
+    // §VI-3 / §V-E5: virtual isolation cannot stop injection, reuse, or the
+    // TLB-inconsistency bypass.
+    for kind in [
+        AttackKind::PtInjection,
+        AttackKind::PtReuse,
+        AttackKind::TlbInconsistency,
+    ] {
+        assert!(
+            run_attack(kind, DefenseMode::VirtualIsolation, true)
+                .outcome
+                .attacker_won(),
+            "virtual isolation should fall to {kind}"
+        );
+    }
+    // The ablation that motivates tokens (§III-C3): without them, reuse wins
+    // even with the secure region + PTW check.
+    assert!(
+        run_attack(AttackKind::PtReuse, DefenseMode::PtStore, false)
+            .outcome
+            .attacker_won()
+    );
+}
