@@ -4,6 +4,8 @@ use core::fmt;
 
 use ptstore_core::MIB;
 use ptstore_kernel::{DefenseMode, Kernel, KernelConfig};
+use ptstore_trace::json::{array, JsonWriter};
+use ptstore_trace::{RejectingLayer, TraceCounters, TraceEvent, TraceSink};
 use serde::{Deserialize, Serialize};
 
 use crate::outcome::AttackOutcome;
@@ -44,6 +46,55 @@ fn attack_config(defense: DefenseMode, tokens: bool) -> KernelConfig {
     cfg
 }
 
+/// One matrix cell plus the event chain captured while the scenario ran.
+///
+/// The sink is attached *after* boot, so `events` is exactly the forensic
+/// record of the attack itself: the bus/PMP/walker/token decisions in
+/// program order, ending (for a denied attack) with the event whose
+/// [`rejecting_layer`](TraceEvent::rejecting_layer) names the check that
+/// stopped it.
+#[derive(Debug, Clone)]
+pub struct TracedAttackReport {
+    /// The cell verdict, identical to what [`run_attack`] returns.
+    pub report: AttackReport,
+    /// The scenario's event chain, oldest first.
+    pub events: Vec<TraceEvent>,
+    /// Per-layer totals over the whole scenario (survive ring eviction).
+    pub counters: TraceCounters,
+}
+
+impl TracedAttackReport {
+    /// The check that finally rejected the attack, per the trace: the last
+    /// denial event's attribution. `None` for attacks that succeeded (or
+    /// never tripped a check).
+    pub fn rejecting_layer(&self) -> Option<RejectingLayer> {
+        self.events
+            .iter()
+            .rev()
+            .find_map(TraceEvent::rejecting_layer)
+    }
+
+    /// Serialises the cell (verdict + attribution + counters + events) as
+    /// one JSON object.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.str_field("attack", &self.report.attack.to_string());
+        w.str_field("defense", &self.report.defense.to_string());
+        w.bool_field("tokens", self.report.tokens);
+        w.str_field("outcome", &self.report.outcome.to_string());
+        match self.rejecting_layer() {
+            Some(layer) => w.str_field("rejecting_layer", &layer.to_string()),
+            None => w.null_field("rejecting_layer"),
+        }
+        w.raw_field("counters", &self.counters.to_json());
+        w.raw_field(
+            "events",
+            &array(self.events.iter().map(TraceEvent::to_json)),
+        );
+        w.finish()
+    }
+}
+
 /// Boots a fresh kernel and runs one attack against one defense.
 pub fn run_attack(kind: AttackKind, defense: DefenseMode, tokens: bool) -> AttackReport {
     let mut k = Kernel::boot(attack_config(defense, tokens)).expect("kernel boots");
@@ -53,6 +104,31 @@ pub fn run_attack(kind: AttackKind, defense: DefenseMode, tokens: bool) -> Attac
         defense,
         tokens,
         outcome,
+    }
+}
+
+/// Like [`run_attack`], but with a [`TraceSink`] attached for the duration
+/// of the scenario, returning the captured event chain alongside the
+/// verdict.
+pub fn run_attack_traced(
+    kind: AttackKind,
+    defense: DefenseMode,
+    tokens: bool,
+) -> TracedAttackReport {
+    let mut k = Kernel::boot(attack_config(defense, tokens)).expect("kernel boots");
+    let sink = TraceSink::new();
+    k.set_trace_sink(Some(sink.clone()));
+    let outcome = run(kind, &mut k);
+    k.set_trace_sink(None);
+    TracedAttackReport {
+        report: AttackReport {
+            attack: kind,
+            defense,
+            tokens,
+            outcome,
+        },
+        events: sink.events(),
+        counters: sink.counters(),
     }
 }
 
@@ -76,6 +152,19 @@ pub fn security_matrix() -> Vec<AttackReport> {
         let mut r = run_attack(kind, DefenseMode::PtStore, false);
         r.tokens = false;
         out.push(r);
+    }
+    out
+}
+
+/// The PTStore rows of the matrix with a trace attached to every cell
+/// (full design and tokens-off ablation). Tracing the defended rows is
+/// what the forensic question needs: *which* check stopped each attack.
+pub fn security_matrix_traced() -> Vec<TracedAttackReport> {
+    let mut out = Vec::new();
+    for tokens in [true, false] {
+        for kind in AttackKind::ALL {
+            out.push(run_attack_traced(kind, DefenseMode::PtStore, tokens));
+        }
     }
     out
 }
@@ -188,6 +277,54 @@ mod tests {
         for defense in [DefenseMode::None, DefenseMode::PtStore] {
             let r = run_attack(AttackKind::VmMetadata, defense, true);
             assert_eq!(r.outcome, AttackOutcome::HarmlessToKernel);
+        }
+    }
+
+    #[test]
+    fn denied_pt_injection_trace_names_the_ptw_origin_check() {
+        // The §V-E2 ablation: with tokens off, the walker's `satp.S` origin
+        // check is the backstop — and the trace must say so. The final
+        // denial in the event chain is the check that actually fired.
+        let t = run_attack_traced(AttackKind::PtInjection, DefenseMode::PtStore, false);
+        assert_eq!(
+            t.report.outcome,
+            AttackOutcome::Blocked(BlockedBy::PtwOriginCheck)
+        );
+        assert_eq!(t.rejecting_layer(), Some(RejectingLayer::PtwOriginCheck));
+        assert!(t.counters.ptw_origin_rejections >= 1);
+        let j = t.to_json();
+        assert!(
+            j.contains("\"rejecting_layer\":\"ptw-origin-check\""),
+            "{j}"
+        );
+    }
+
+    #[test]
+    fn trace_attribution_matches_the_outcome_layer() {
+        // Full design: the trace's final denial and the scenario's reported
+        // blocking layer agree for the paper's three PTStore checks.
+        for (kind, layer) in [
+            (AttackKind::PtTampering, RejectingLayer::PmpSBit),
+            (AttackKind::PtInjection, RejectingLayer::TokenValidation),
+            (AttackKind::PtReuse, RejectingLayer::TokenValidation),
+        ] {
+            let t = run_attack_traced(kind, DefenseMode::PtStore, true);
+            assert!(!t.report.outcome.attacker_won(), "{kind} must be blocked");
+            assert_eq!(
+                t.rejecting_layer(),
+                Some(layer),
+                "{kind}: trace should attribute the denial to {layer}"
+            );
+        }
+    }
+
+    #[test]
+    fn traced_run_agrees_with_untraced_run() {
+        // Attaching a sink observes the machine without perturbing it.
+        for kind in AttackKind::ALL {
+            let plain = run_attack(kind, DefenseMode::PtStore, true);
+            let traced = run_attack_traced(kind, DefenseMode::PtStore, true);
+            assert_eq!(plain.outcome, traced.report.outcome, "{kind}");
         }
     }
 

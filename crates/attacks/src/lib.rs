@@ -28,6 +28,9 @@ pub mod battery;
 pub mod outcome;
 pub mod scenarios;
 
-pub use battery::{run_attack, security_matrix, AttackReport};
+pub use battery::{
+    run_attack, run_attack_traced, security_matrix, security_matrix_traced, AttackReport,
+    TracedAttackReport,
+};
 pub use outcome::{AttackOutcome, BlockedBy};
 pub use scenarios::AttackKind;

@@ -58,7 +58,10 @@ pub enum AttackOutcome {
 impl AttackOutcome {
     /// True when the attacker reached their goal (leak-assisted counts).
     pub fn attacker_won(&self) -> bool {
-        matches!(self, AttackOutcome::Succeeded | AttackOutcome::SucceededViaLeak)
+        matches!(
+            self,
+            AttackOutcome::Succeeded | AttackOutcome::SucceededViaLeak
+        )
     }
 }
 

@@ -297,11 +297,8 @@ pub fn secure_data_reuse(k: &mut Kernel) -> AttackOutcome {
         _ => return AttackOutcome::Blocked(BlockedBy::UnmappedTarget),
     };
     let fake_root_page = token_ptr.page_align_down();
-    k.attacker_write_u64(
-        k.direct_map(pcb + PCB_OFF_PT_PTR),
-        fake_root_page.as_u64(),
-    )
-    .expect("PCB fields are attackable in every mode");
+    k.attacker_write_u64(k.direct_map(pcb + PCB_OFF_PT_PTR), fake_root_page.as_u64())
+        .expect("PCB fields are attackable in every mode");
 
     match k.activate_address_space(victim) {
         Err(KernelError::TokenInvalid(_)) => return AttackOutcome::Blocked(BlockedBy::TokenCheck),

@@ -42,14 +42,10 @@ fn bench_ablation(c: &mut Criterion) {
             .with_defense(defense)
             .with_mem_size(256 * MIB)
             .with_initial_secure_size(16 * MIB);
-        g.bench_with_input(
-            BenchmarkId::new("fork_defense", defense),
-            &cfg,
-            |b, cfg| {
-                let mut k = Kernel::boot(*cfg).expect("boot");
-                b.iter(|| black_box(lmbench::lat_fork_exit(&mut k, 20)));
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("fork_defense", defense), &cfg, |b, cfg| {
+            let mut k = Kernel::boot(*cfg).expect("boot");
+            b.iter(|| black_box(lmbench::lat_fork_exit(&mut k, 20)));
+        });
     }
     g.finish();
 

@@ -27,12 +27,16 @@ fn bench_fork_stress(c: &mut Criterion) {
         ),
     ];
     for (label, cfg) in configs {
-        g.bench_with_input(BenchmarkId::new("create_teardown_300", label), &cfg, |b, cfg| {
-            b.iter(|| {
-                let mut k = Kernel::boot(*cfg).expect("boot");
-                black_box(run_fork_stress(&mut k, 300).expect("stress"))
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::new("create_teardown_300", label),
+            &cfg,
+            |b, cfg| {
+                b.iter(|| {
+                    let mut k = Kernel::boot(*cfg).expect("boot");
+                    black_box(run_fork_stress(&mut k, 300).expect("stress"))
+                });
+            },
+        );
     }
     g.finish();
 

@@ -6,9 +6,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use ptstore_bench::{average_overhead, run_fig4, Scale};
+use ptstore_core::MIB;
 use ptstore_kernel::{Kernel, KernelConfig};
 use ptstore_workloads::lmbench;
-use ptstore_core::MIB;
 
 fn boot(cfg: KernelConfig) -> Kernel {
     Kernel::boot(

@@ -22,7 +22,9 @@ fn bench_nginx(c: &mut Criterion) {
             ("baseline", KernelConfig::baseline()),
             ("cfi_ptstore", KernelConfig::cfi_ptstore()),
         ] {
-            let cfg = cfg.with_mem_size(256 * MIB).with_initial_secure_size(16 * MIB);
+            let cfg = cfg
+                .with_mem_size(256 * MIB)
+                .with_initial_secure_size(16 * MIB);
             g.bench_with_input(
                 BenchmarkId::new(format!("{size_kib}KiB"), label),
                 &cfg,

@@ -22,7 +22,9 @@ fn bench_redis(c: &mut Criterion) {
             ("baseline", KernelConfig::baseline()),
             ("cfi_ptstore", KernelConfig::cfi_ptstore()),
         ] {
-            let cfg = cfg.with_mem_size(256 * MIB).with_initial_secure_size(16 * MIB);
+            let cfg = cfg
+                .with_mem_size(256 * MIB)
+                .with_initial_secure_size(16 * MIB);
             g.bench_with_input(BenchmarkId::new(test.name, label), &cfg, |b, cfg| {
                 let mut k = Kernel::boot(*cfg).expect("boot");
                 b.iter(|| black_box(run_redis_test(&mut k, test, &params)));

@@ -12,12 +12,17 @@ fn bench_spec(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig5_spec");
     g.sample_size(10);
     // Host-time benches over a representative pair (CPU-bound vs page-heavy).
-    for p in [&SPEC_CINT2006[6] /* libquantum */, &SPEC_CINT2006[2] /* mcf */] {
+    for p in [
+        &SPEC_CINT2006[6], /* libquantum */
+        &SPEC_CINT2006[2], /* mcf */
+    ] {
         for (label, cfg) in [
             ("baseline", KernelConfig::baseline()),
             ("cfi_ptstore", KernelConfig::cfi_ptstore()),
         ] {
-            let cfg = cfg.with_mem_size(512 * MIB).with_initial_secure_size(16 * MIB);
+            let cfg = cfg
+                .with_mem_size(512 * MIB)
+                .with_initial_secure_size(16 * MIB);
             g.bench_with_input(BenchmarkId::new(p.name, label), &cfg, |b, cfg| {
                 let mut k = Kernel::boot(*cfg).expect("boot");
                 b.iter(|| black_box(run_spec(&mut k, p)));

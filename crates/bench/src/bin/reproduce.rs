@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the PTStore paper from the models.
 //!
 //! ```text
-//! reproduce [--quick] [--csv <dir>] \
+//! reproduce [--quick] [--csv <dir>] [--trace <file>] \
 //!     [table1|table2|table3|hwdetail|ltp|fig4|forkstress|fig5|fig6|fig7|security|all]
 //! ```
 //!
@@ -9,13 +9,21 @@
 //! paper's parameters (30 000 processes, 100 000 Redis requests, ...).
 //! `--csv <dir>` additionally writes each figure's data series as CSV for
 //! external plotting.
+//! `--trace <file>` re-runs the PTStore security rows with a trace sink
+//! attached and writes each cell's full event chain (JSON array, one
+//! object per cell with counters and per-event rejecting-layer
+//! attribution) to `file`.
 
 use ptstore_bench::*;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let scale = if quick { Scale::quick() } else { Scale::paper() };
+    let scale = if quick {
+        Scale::quick()
+    } else {
+        Scale::paper()
+    };
     let csv_dir = args
         .iter()
         .position(|a| a == "--csv")
@@ -25,6 +33,11 @@ fn main() {
         std::fs::create_dir_all(dir).expect("create csv dir");
     }
     set_csv_dir(csv_dir);
+    let trace_file = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from);
     let mut skip_next = false;
     let what = args
         .iter()
@@ -33,7 +46,7 @@ fn main() {
                 skip_next = false;
                 return false;
             }
-            if *a == "--csv" {
+            if *a == "--csv" || *a == "--trace" {
                 skip_next = true;
                 return false;
             }
@@ -74,17 +87,26 @@ fn main() {
         print_fig7(&scale);
     }
     if all || what == "security" {
-        print_security();
+        print_security(trace_file.as_deref());
     }
     if !all
         && ![
-            "table1", "table2", "table3", "hwdetail", "ltp", "fig4", "forkstress", "fig5",
-            "fig6", "fig7", "security",
+            "table1",
+            "table2",
+            "table3",
+            "hwdetail",
+            "ltp",
+            "fig4",
+            "forkstress",
+            "fig5",
+            "fig6",
+            "fig7",
+            "security",
         ]
         .contains(&what.as_str())
     {
         eprintln!("unknown experiment {what:?}");
-        eprintln!("usage: reproduce [--quick] [--csv <dir>] [table1|table2|table3|hwdetail|ltp|fig4|forkstress|fig5|fig6|fig7|security|all]");
+        eprintln!("usage: reproduce [--quick] [--csv <dir>] [--trace <file>] [table1|table2|table3|hwdetail|ltp|fig4|forkstress|fig5|fig6|fig7|security|all]");
         std::process::exit(2);
     }
 }
@@ -299,11 +321,53 @@ fn print_fig7(scale: &Scale) {
     );
 }
 
-fn print_security() {
+fn print_security(trace_file: Option<&std::path::Path>) {
     header("§V-E: security matrix (attack × defense; fresh kernel per cell)");
     for report in run_security() {
         let tokens = if report.tokens { "" } else { " [tokens off]" };
         println!("{report}{tokens}");
     }
     println!("=> PTStore (full design) blocks every attack; see EXPERIMENTS.md");
+
+    let Some(path) = trace_file else { return };
+    println!();
+    println!("-- traced PTStore rows (which check stopped each attack) --");
+    let cells = run_security_traced();
+    for cell in &cells {
+        let tokens = if cell.report.tokens {
+            ""
+        } else {
+            " [tokens off]"
+        };
+        let layer = cell
+            .rejecting_layer()
+            .map(|l| l.to_string())
+            .unwrap_or_else(|| "-".to_string());
+        let c = &cell.counters;
+        println!(
+            "{:<20}{:<14} -> {:<18} ({} events: {} pmp checks/{} denied, {} ptw steps/{} rejected, {} token ops/{} rejected)",
+            cell.report.attack.to_string(),
+            tokens,
+            layer,
+            cell.events.len(),
+            c.pmp_checks,
+            c.pmp_denials,
+            c.ptw_steps,
+            c.ptw_origin_rejections,
+            c.token_ops,
+            c.token_rejections,
+        );
+    }
+    let mut json = String::from("[");
+    for (i, cell) in cells.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&cell.to_json());
+    }
+    json.push(']');
+    match std::fs::write(path, json) {
+        Ok(()) => println!("(trace written to {})", path.display()),
+        Err(e) => eprintln!("error: cannot write trace file {}: {e}", path.display()),
+    }
 }

@@ -1,6 +1,6 @@
 //! Experiment drivers, one per paper table/figure.
 
-use ptstore_attacks::{security_matrix, AttackReport};
+use ptstore_attacks::{security_matrix, security_matrix_traced, AttackReport, TracedAttackReport};
 use ptstore_core::{GIB, MIB};
 use ptstore_hwcost::{table3, BoomConfig, Table3Row};
 use ptstore_kernel::{Kernel, KernelConfig};
@@ -139,12 +139,12 @@ pub fn table1() -> Vec<LocRow> {
 pub fn table2() -> Vec<(&'static str, String)> {
     let boom = BoomConfig::small_boom();
     vec![
-        ("ISA Extensions", "RV64IMAC with M, S, and U modes".to_string()),
-        ("BOOM Config", "SmallBooms".to_string()),
         (
-            "Caches",
-            "16KiB 4-way L1I$, 16KiB 4-way L1D$".to_string(),
+            "ISA Extensions",
+            "RV64IMAC with M, S, and U modes".to_string(),
         ),
+        ("BOOM Config", "SmallBooms".to_string()),
+        ("Caches", "16KiB 4-way L1I$, 16KiB 4-way L1D$".to_string()),
         (
             "TLBs",
             format!(
@@ -185,11 +185,13 @@ pub fn run_ltp(scale: &Scale) -> LtpResult {
     let mk = |cfg: KernelConfig| {
         let scale = *scale;
         move || {
-            Kernel::boot(
-                cfg.with_mem_size(scale.mem_size)
-                    .with_initial_secure_size(scale.secure_size.min(scale.mem_size / 4)),
-            )
-            .expect("boot")
+            let cfg = cfg
+                .to_builder()
+                .mem_size(scale.mem_size)
+                .initial_secure_size(scale.secure_size.min(scale.mem_size / 4))
+                .build()
+                .expect("valid scale geometry");
+            Kernel::boot(cfg).expect("boot")
         }
     };
     let original = run_suite(mk(KernelConfig::cfi()));
@@ -212,7 +214,9 @@ pub fn run_fig4(scale: &Scale) -> Vec<OverheadSeries> {
     lmbench::MICROBENCHMARKS
         .iter()
         .map(|name| {
-            measure(name, &configs, |k| lmbench::run(name, k, scale.lmbench_iters))
+            measure(name, &configs, |k| {
+                lmbench::run(name, k, scale.lmbench_iters)
+            })
         })
         .collect()
 }
@@ -318,6 +322,12 @@ pub fn run_security() -> Vec<AttackReport> {
     security_matrix()
 }
 
+/// Runs the PTStore rows (full design + tokens-off ablation) with a trace
+/// sink attached per cell, capturing each attack's event chain.
+pub fn run_security_traced() -> Vec<TracedAttackReport> {
+    security_matrix_traced()
+}
+
 // ---------------------------------------------------------------------
 // Summary helpers
 // ---------------------------------------------------------------------
@@ -325,10 +335,7 @@ pub fn run_security() -> Vec<AttackReport> {
 /// Geometric-mean-ish summary used in the paper's prose: the average
 /// overhead of `label` across a set of series.
 pub fn average_overhead(series: &[OverheadSeries], label: &str) -> f64 {
-    let values: Vec<f64> = series
-        .iter()
-        .filter_map(|s| s.overhead_of(label))
-        .collect();
+    let values: Vec<f64> = series.iter().filter_map(|s| s.overhead_of(label)).collect();
     if values.is_empty() {
         return 0.0;
     }
@@ -349,7 +356,11 @@ mod tests {
         let rows = table1();
         assert_eq!(rows.len(), 3);
         for r in &rows {
-            assert!(r.our_loc > r.paper_loc, "{}: full reimplementation is larger", r.component);
+            assert!(
+                r.our_loc > r.paper_loc,
+                "{}: full reimplementation is larger",
+                r.component
+            );
         }
     }
 

@@ -111,14 +111,22 @@ fn kernel_bound_macros_within_paper_bounds() {
         for s in &series {
             let both = s.overhead_of("CFI+PTStore").expect("both");
             let cfi = s.overhead_of("CFI").expect("cfi");
-            assert!(both < 12.0, "{}: {both:.2}% way past the paper's band", s.benchmark);
+            assert!(
+                both < 12.0,
+                "{}: {both:.2}% way past the paper's band",
+                s.benchmark
+            );
             let ptstore_only = both - cfi;
             assert!(
                 ptstore_only < 0.86,
                 "{}: PTStore alone {ptstore_only:.3}% (paper <0.86%)",
                 s.benchmark
             );
-            assert!(cfi > 0.5, "{}: kernel-bound workloads must show CFI", s.benchmark);
+            assert!(
+                cfi > 0.5,
+                "{}: kernel-bound workloads must show CFI",
+                s.benchmark
+            );
         }
     }
 }
@@ -131,7 +139,11 @@ fn security_matrix_headline() {
         .iter()
         .filter(|r| r.defense == DefenseMode::PtStore && r.tokens)
         .all(|r| !r.outcome.attacker_won()));
-    for defense in [DefenseMode::None, DefenseMode::PtRand, DefenseMode::VirtualIsolation] {
+    for defense in [
+        DefenseMode::None,
+        DefenseMode::PtRand,
+        DefenseMode::VirtualIsolation,
+    ] {
         assert!(
             matrix
                 .iter()

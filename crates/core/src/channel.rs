@@ -70,6 +70,26 @@ impl fmt::Display for Channel {
     }
 }
 
+impl From<Channel> for ptstore_trace::Chan {
+    fn from(c: Channel) -> Self {
+        match c {
+            Channel::Regular => ptstore_trace::Chan::Regular,
+            Channel::SecurePt => ptstore_trace::Chan::SecurePt,
+            Channel::Ptw => ptstore_trace::Chan::Ptw,
+        }
+    }
+}
+
+impl From<AccessKind> for ptstore_trace::Access {
+    fn from(k: AccessKind) -> Self {
+        match k {
+            AccessKind::Read => ptstore_trace::Access::Read,
+            AccessKind::Write => ptstore_trace::Access::Write,
+            AccessKind::Execute => ptstore_trace::Access::Execute,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -80,6 +80,22 @@ impl AccessError {
                 | AccessError::PtwOutsideRegion { .. }
         )
     }
+
+    /// The trace-layer verdict corresponding to this denial. Range and
+    /// alignment faults are model-level, not PMP decisions; they map to the
+    /// generic denial tag.
+    pub fn trace_verdict(&self) -> ptstore_trace::Verdict {
+        match self {
+            AccessError::SecureRegionDenied { .. } => ptstore_trace::Verdict::SecureRegionDenied,
+            AccessError::SecureInstructionOutsideRegion { .. } => {
+                ptstore_trace::Verdict::SecureInstructionOutsideRegion
+            }
+            AccessError::PtwOutsideRegion { .. } => ptstore_trace::Verdict::PtwOutsideRegion,
+            AccessError::PmpDenied { .. }
+            | AccessError::OutOfRange { .. }
+            | AccessError::Misaligned { .. } => ptstore_trace::Verdict::PmpDenied,
+        }
+    }
 }
 
 impl fmt::Display for AccessError {
@@ -103,7 +119,10 @@ impl fmt::Display for AccessError {
                 write!(f, "physical address {addr} out of range")
             }
             AccessError::Misaligned { addr, required } => {
-                write!(f, "misaligned access at {addr} (requires {required}-byte alignment)")
+                write!(
+                    f,
+                    "misaligned access at {addr} (requires {required}-byte alignment)"
+                )
             }
         }
     }
@@ -160,9 +179,7 @@ impl fmt::Display for TokenError {
         f.write_str(match self {
             TokenError::TokenOutsideSecureRegion => "token pointer outside secure region",
             TokenError::UserPointerMismatch => "token user pointer does not match pcb",
-            TokenError::PageTablePointerMismatch => {
-                "token page-table pointer does not match pcb"
-            }
+            TokenError::PageTablePointerMismatch => "token page-table pointer does not match pcb",
             TokenError::Cleared => "token has been cleared",
         })
     }

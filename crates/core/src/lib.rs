@@ -50,7 +50,9 @@ pub mod privilege;
 pub mod region;
 pub mod token;
 
-pub use addr::{PhysAddr, PhysPageNum, VirtAddr, VirtPageNum, GIB, KIB, MIB, PAGE_SHIFT, PAGE_SIZE};
+pub use addr::{
+    PhysAddr, PhysPageNum, VirtAddr, VirtPageNum, GIB, KIB, MIB, PAGE_SHIFT, PAGE_SIZE,
+};
 pub use channel::{AccessKind, Channel};
 pub use error::{AccessError, RegionError, TokenError};
 pub use pmp::{AccessContext, PmpAddressMode, PmpEntry, PmpPermissions, PmpUnit, PMP_ENTRY_COUNT};
@@ -61,9 +63,7 @@ pub use token::{Token, TOKEN_SIZE};
 
 /// Convenient glob import of the types needed to assemble a PTStore machine.
 pub mod prelude {
-    pub use crate::addr::{
-        PhysAddr, PhysPageNum, VirtAddr, VirtPageNum, GIB, KIB, MIB, PAGE_SIZE,
-    };
+    pub use crate::addr::{PhysAddr, PhysPageNum, VirtAddr, VirtPageNum, GIB, KIB, MIB, PAGE_SIZE};
     pub use crate::channel::{AccessKind, Channel};
     pub use crate::error::{AccessError, RegionError, TokenError};
     pub use crate::pmp::{AccessContext, PmpPermissions, PmpUnit};

@@ -24,6 +24,7 @@
 
 use core::fmt;
 
+use ptstore_trace::{TraceEvent, TraceSink, Verdict};
 use serde::{Deserialize, Serialize};
 
 use crate::addr::PhysAddr;
@@ -271,13 +272,26 @@ impl AccessContext {
 
 /// The PMP unit of the modelled core: [`PMP_ENTRY_COUNT`] prioritised entries
 /// plus helpers to install and resize the PTStore secure region as a TOR pair.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PmpUnit {
     entries: [PmpEntry; PMP_ENTRY_COUNT],
     /// Index of the TOR entry carrying the secure region's S-bit, when
     /// installed (its lower bound lives in the preceding entry).
     secure_tor_index: Option<usize>,
+    /// Optional decision-trace sink; not part of the architectural state.
+    #[serde(skip)]
+    trace: Option<TraceSink>,
 }
+
+/// Equality covers the architectural state only; an attached trace sink is
+/// an observer, not part of the unit.
+impl PartialEq for PmpUnit {
+    fn eq(&self, other: &Self) -> bool {
+        self.entries == other.entries && self.secure_tor_index == other.secure_tor_index
+    }
+}
+
+impl Eq for PmpUnit {}
 
 impl Default for PmpUnit {
     fn default() -> Self {
@@ -291,7 +305,20 @@ impl PmpUnit {
         Self {
             entries: [PmpEntry::default(); PMP_ENTRY_COUNT],
             secure_tor_index: None,
+            trace: None,
         }
+    }
+
+    /// Attaches (or detaches) a decision-trace sink. Every subsequent
+    /// [`check`](Self::check) emits one [`TraceEvent::PmpCheck`] naming the
+    /// matching entry and the verdict.
+    pub fn set_trace_sink(&mut self, sink: Option<TraceSink>) {
+        self.trace = sink;
+    }
+
+    /// The currently attached trace sink, if any.
+    pub fn trace_sink(&self) -> Option<&TraceSink> {
+        self.trace.as_ref()
     }
 
     /// Read-only view of the raw entries.
@@ -380,7 +407,11 @@ impl PmpUnit {
             let hit = match e.cfg.address_mode() {
                 PmpAddressMode::Off => false,
                 PmpAddressMode::Tor => {
-                    let lo = if i == 0 { 0 } else { self.entries[i - 1].addr << 2 };
+                    let lo = if i == 0 {
+                        0
+                    } else {
+                        self.entries[i - 1].addr << 2
+                    };
                     let hi = e.addr << 2;
                     a >= lo && a < hi
                 }
@@ -394,7 +425,10 @@ impl PmpUnit {
                 }
             };
             if hit {
-                return Some(MatchResult { index: i, cfg: e.cfg });
+                return Some(MatchResult {
+                    index: i,
+                    cfg: e.cfg,
+                });
             }
         }
         None
@@ -418,6 +452,31 @@ impl PmpUnit {
         ctx: AccessContext,
     ) -> Result<(), AccessError> {
         let matched = self.match_entry(addr);
+        let result = self.decide(addr, kind, channel, ctx, matched);
+        if let Some(sink) = &self.trace {
+            sink.emit(TraceEvent::PmpCheck {
+                addr: addr.as_u64(),
+                kind: kind.into(),
+                channel: channel.into(),
+                entry: matched.map(|m| m.index as u8),
+                verdict: match &result {
+                    Ok(()) => Verdict::Allowed,
+                    Err(e) => e.trace_verdict(),
+                },
+            });
+        }
+        result
+    }
+
+    /// The pure decision function behind [`check`](Self::check).
+    fn decide(
+        &self,
+        addr: PhysAddr,
+        kind: AccessKind,
+        channel: Channel,
+        ctx: AccessContext,
+        matched: Option<MatchResult>,
+    ) -> Result<(), AccessError> {
         let secure = matches!(matched, Some(m) if m.cfg.secure());
 
         if secure {
@@ -578,9 +637,12 @@ mod tests {
                 AccessContext::supervisor(true),
             )
             .unwrap_err();
-        assert_eq!(err, AccessError::PtwOutsideRegion {
-            addr: PhysAddr::new(0x8000_0000)
-        });
+        assert_eq!(
+            err,
+            AccessError::PtwOutsideRegion {
+                addr: PhysAddr::new(0x8000_0000)
+            }
+        );
     }
 
     #[test]
@@ -638,7 +700,9 @@ mod tests {
             pmp.set_entry(
                 i,
                 PmpEntry {
-                    cfg: PmpPermissions::new().with_read().with_mode(PmpAddressMode::Na4),
+                    cfg: PmpPermissions::new()
+                        .with_read()
+                        .with_mode(PmpAddressMode::Na4),
                     addr: (0x1000 + 4 * i as u64) >> 2,
                 },
             );
@@ -657,20 +721,37 @@ mod tests {
         pmp.set_entry(
             0,
             PmpEntry {
-                cfg: PmpPermissions::new().with_read().with_mode(PmpAddressMode::Napot),
+                cfg: PmpPermissions::new()
+                    .with_read()
+                    .with_mode(PmpAddressMode::Napot),
                 addr: (0x2000 >> 2) | ((8192 >> 3) - 1),
             },
         );
         let ctx = AccessContext::supervisor(false);
         // Read allowed, write denied by R-only perms.
-        pmp.check(PhysAddr::new(0x2000), AccessKind::Read, Channel::Regular, ctx)
-            .unwrap();
+        pmp.check(
+            PhysAddr::new(0x2000),
+            AccessKind::Read,
+            Channel::Regular,
+            ctx,
+        )
+        .unwrap();
         assert!(pmp
-            .check(PhysAddr::new(0x3ffc), AccessKind::Write, Channel::Regular, ctx)
+            .check(
+                PhysAddr::new(0x3ffc),
+                AccessKind::Write,
+                Channel::Regular,
+                ctx
+            )
             .is_err());
         // Outside the NAPOT range: unmatched -> allowed.
-        pmp.check(PhysAddr::new(0x4000), AccessKind::Write, Channel::Regular, ctx)
-            .unwrap();
+        pmp.check(
+            PhysAddr::new(0x4000),
+            AccessKind::Write,
+            Channel::Regular,
+            ctx,
+        )
+        .unwrap();
     }
 
     #[test]
@@ -685,8 +766,13 @@ mod tests {
         );
         let addr = PhysAddr::new(0x2000);
         // M-mode sails through an unlocked entry.
-        pmp.check(addr, AccessKind::Write, Channel::Regular, AccessContext::machine())
-            .unwrap();
+        pmp.check(
+            addr,
+            AccessKind::Write,
+            Channel::Regular,
+            AccessContext::machine(),
+        )
+        .unwrap();
         // Lock it: now M-mode is constrained too.
         let locked = PmpEntry {
             cfg: PmpPermissions::new()
@@ -696,7 +782,12 @@ mod tests {
         };
         pmp.set_entry(0, locked);
         assert!(pmp
-            .check(addr, AccessKind::Write, Channel::Regular, AccessContext::machine())
+            .check(
+                addr,
+                AccessKind::Write,
+                Channel::Regular,
+                AccessContext::machine()
+            )
             .is_err());
         // S-mode was always constrained.
         assert!(pmp

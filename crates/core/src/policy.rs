@@ -47,7 +47,11 @@ impl AccessDecision {
 ///     AccessDecision::DenyRegularInSecure
 /// );
 /// ```
-pub const fn check_access(channel: Channel, in_secure_region: bool, satp_s: bool) -> AccessDecision {
+pub const fn check_access(
+    channel: Channel,
+    in_secure_region: bool,
+    satp_s: bool,
+) -> AccessDecision {
     match (channel, in_secure_region) {
         (Channel::Regular, true) => AccessDecision::DenyRegularInSecure,
         (Channel::Regular, false) => AccessDecision::Allow,
@@ -88,7 +92,11 @@ mod tests {
             (Ptw, false, false, Allow),
         ];
         for (ch, sec, satp_s, want) in cases {
-            assert_eq!(check_access(ch, sec, satp_s), want, "{ch} sec={sec} s={satp_s}");
+            assert_eq!(
+                check_access(ch, sec, satp_s),
+                want,
+                "{ch} sec={sec} s={satp_s}"
+            );
         }
     }
 

@@ -120,7 +120,10 @@ mod tests {
     fn byte_round_trip() {
         let t = Token::new(PhysAddr::new(0xFC12_3000), PhysAddr::new(0x8000_0040));
         assert_eq!(Token::from_bytes(&t.to_bytes()), t);
-        assert_eq!(Token::from_bytes(&Token::cleared().to_bytes()), Token::cleared());
+        assert_eq!(
+            Token::from_bytes(&Token::cleared().to_bytes()),
+            Token::cleared()
+        );
     }
 
     #[test]

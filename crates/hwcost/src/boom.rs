@@ -87,16 +87,8 @@ impl BoomConfig {
             ),
             Component::new("l1i control", 3_050, 2_410),
             Component::new("l1d control", 4_180, 3_360),
-            Component::new(
-                "itlb",
-                88 * self.itlb_entries,
-                71 * self.itlb_entries,
-            ),
-            Component::new(
-                "dtlb",
-                88 * self.dtlb_entries,
-                71 * self.dtlb_entries,
-            ),
+            Component::new("itlb", 88 * self.itlb_entries, 71 * self.itlb_entries),
+            Component::new("dtlb", 88 * self.dtlb_entries, 71 * self.dtlb_entries),
             Component::new("ptw", 1_380, 760),
             Component::new("csr file", 2_150, 1_490),
             Component::new(

@@ -51,6 +51,8 @@ mod tests {
 
     #[test]
     fn display_contains_name() {
-        assert!(Component::new("decoder", 1, 2).to_string().contains("decoder"));
+        assert!(Component::new("decoder", 1, 2)
+            .to_string()
+            .contains("decoder"));
     }
 }

@@ -24,16 +24,16 @@
 //! ```
 
 pub mod boom;
-pub mod power;
 pub mod component;
+pub mod power;
 pub mod ptstore;
 pub mod report;
 pub mod system;
 pub mod timing;
 
 pub use boom::BoomConfig;
-pub use power::{dynamic_power, estimate, PowerEstimate};
 pub use component::Component;
+pub use power::{dynamic_power, estimate, PowerEstimate};
 pub use ptstore::ptstore_delta;
 pub use report::{table3, Table3Row};
 pub use system::{peripherals, SystemCost};

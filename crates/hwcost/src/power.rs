@@ -102,7 +102,11 @@ mod tests {
     #[test]
     fn baseline_is_normalised() {
         let e = estimate(&BoomConfig::small_boom());
-        assert!((e.baseline - 1.0).abs() < 0.02, "baseline {:.4}", e.baseline);
+        assert!(
+            (e.baseline - 1.0).abs() < 0.02,
+            "baseline {:.4}",
+            e.baseline
+        );
     }
 
     #[test]

@@ -46,7 +46,8 @@ impl TimingModel {
         let dcache_path = 7.9;
         let lsu_select = 1.6 + 0.01 * (cfg.ldq_entries + cfg.stq_entries) as f64;
         let rob_wakeup = 6.4 + 0.02 * cfg.rob_entries as f64;
-        let pmp_parallel = 3.1 + 0.05 * cfg.pmp_entries as f64 + if with_ptstore { 0.12 } else { 0.0 };
+        let pmp_parallel =
+            3.1 + 0.05 * cfg.pmp_entries as f64 + if with_ptstore { 0.12 } else { 0.0 };
         let critical = (dcache_path + lsu_select)
             .max(rob_wakeup)
             .max(pmp_parallel + 1.4 /* fault merge */);

@@ -7,6 +7,10 @@
 //! the rest of the pipeline never knows the difference (as in hardware,
 //! where the expander sits in fetch/decode).
 
+// Binary literals in this file are grouped by instruction *field*
+// (funct3 / imm / rs / op), not in even digit blocks.
+#![allow(clippy::unusual_byte_groupings)]
+
 use crate::inst::{AluOp, BranchOp, Inst, LoadOp, StoreOp};
 
 /// Stack pointer register number.
@@ -198,18 +202,35 @@ pub fn decode_compressed(word: u16) -> Option<Inst> {
                 0b00 => {
                     // c.srli
                     let shamt = ((bit(word, 12) << 5) | ((word >> 2) & 0x1f) as u64) as i64;
-                    Some(Inst::OpImm { op: AluOp::Srl, rd, rs1: rd, imm: shamt, word: false })
+                    Some(Inst::OpImm {
+                        op: AluOp::Srl,
+                        rd,
+                        rs1: rd,
+                        imm: shamt,
+                        word: false,
+                    })
                 }
                 0b01 => {
                     // c.srai
                     let shamt = ((bit(word, 12) << 5) | ((word >> 2) & 0x1f) as u64) as i64;
-                    Some(Inst::OpImm { op: AluOp::Sra, rd, rs1: rd, imm: shamt, word: false })
+                    Some(Inst::OpImm {
+                        op: AluOp::Sra,
+                        rd,
+                        rs1: rd,
+                        imm: shamt,
+                        word: false,
+                    })
                 }
                 0b10 => {
                     // c.andi
-                    let imm =
-                        sign_extend((bit(word, 12) << 5) | ((word >> 2) & 0x1f) as u64, 5);
-                    Some(Inst::OpImm { op: AluOp::And, rd, rs1: rd, imm, word: false })
+                    let imm = sign_extend((bit(word, 12) << 5) | ((word >> 2) & 0x1f) as u64, 5);
+                    Some(Inst::OpImm {
+                        op: AluOp::And,
+                        rd,
+                        rs1: rd,
+                        imm,
+                        word: false,
+                    })
                 }
                 _ => {
                     let rs2 = rc(word >> 2);
@@ -221,7 +242,13 @@ pub fn decode_compressed(word: u16) -> Option<Inst> {
                             0b10 => AluOp::Or,
                             _ => AluOp::And,
                         };
-                        Some(Inst::Op { op, rd, rs1: rd, rs2, word: false })
+                        Some(Inst::Op {
+                            op,
+                            rd,
+                            rs1: rd,
+                            rs2,
+                            word: false,
+                        })
                     } else {
                         // c.subw / c.addw (RV64)
                         let op = match sel {
@@ -229,7 +256,13 @@ pub fn decode_compressed(word: u16) -> Option<Inst> {
                             0b01 => AluOp::Add,
                             _ => return None,
                         };
-                        Some(Inst::Op { op, rd, rs1: rd, rs2, word: true })
+                        Some(Inst::Op {
+                            op,
+                            rd,
+                            rs1: rd,
+                            rs2,
+                            word: true,
+                        })
                     }
                 }
             }
@@ -265,7 +298,11 @@ pub fn decode_compressed(word: u16) -> Option<Inst> {
                     | (bit(word, 2) << 5),
                 8,
             );
-            let op = if funct3 == 0b110 { BranchOp::Eq } else { BranchOp::Ne };
+            let op = if funct3 == 0b110 {
+                BranchOp::Eq
+            } else {
+                BranchOp::Ne
+            };
             Some(Inst::Branch {
                 op,
                 rs1: rc(word >> 7),
@@ -281,7 +318,13 @@ pub fn decode_compressed(word: u16) -> Option<Inst> {
                 return None;
             }
             let shamt = ((bit(word, 12) << 5) | ((word >> 2) & 0x1f) as u64) as i64;
-            Some(Inst::OpImm { op: AluOp::Sll, rd, rs1: rd, imm: shamt, word: false })
+            Some(Inst::OpImm {
+                op: AluOp::Sll,
+                rd,
+                rs1: rd,
+                imm: shamt,
+                word: false,
+            })
         }
         (0b10, 0b010) => {
             // c.lwsp rd, offset(sp)
@@ -295,7 +338,12 @@ pub fn decode_compressed(word: u16) -> Option<Inst> {
                 | (bit(word, 4) << 2)
                 | (bit(word, 3) << 7)
                 | (bit(word, 2) << 6);
-            Some(Inst::Load { op: LoadOp::W, rd, rs1: SP, offset: uimm as i64 })
+            Some(Inst::Load {
+                op: LoadOp::W,
+                rd,
+                rs1: SP,
+                offset: uimm as i64,
+            })
         }
         (0b10, 0b011) => {
             // c.ldsp rd, offset(sp)  (RV64)
@@ -309,7 +357,12 @@ pub fn decode_compressed(word: u16) -> Option<Inst> {
                 | (bit(word, 4) << 8)
                 | (bit(word, 3) << 7)
                 | (bit(word, 2) << 6);
-            Some(Inst::Load { op: LoadOp::D, rd, rs1: SP, offset: uimm as i64 })
+            Some(Inst::Load {
+                op: LoadOp::D,
+                rd,
+                rs1: SP,
+                offset: uimm as i64,
+            })
         }
         (0b10, 0b100) => {
             let rd = ((word >> 7) & 0x1f) as u8;
@@ -320,10 +373,20 @@ pub fn decode_compressed(word: u16) -> Option<Inst> {
                     if rd == 0 {
                         return None;
                     }
-                    Some(Inst::Jalr { rd: 0, rs1: rd, offset: 0 })
+                    Some(Inst::Jalr {
+                        rd: 0,
+                        rs1: rd,
+                        offset: 0,
+                    })
                 } else {
                     // c.mv rd, rs2 -> add rd, x0, rs2
-                    Some(Inst::Op { op: AluOp::Add, rd, rs1: 0, rs2, word: false })
+                    Some(Inst::Op {
+                        op: AluOp::Add,
+                        rd,
+                        rs1: 0,
+                        rs2,
+                        word: false,
+                    })
                 }
             } else if rs2 == 0 {
                 if rd == 0 {
@@ -331,11 +394,21 @@ pub fn decode_compressed(word: u16) -> Option<Inst> {
                     Some(Inst::Ebreak)
                 } else {
                     // c.jalr rd -> jalr ra, 0(rd)
-                    Some(Inst::Jalr { rd: 1, rs1: rd, offset: 0 })
+                    Some(Inst::Jalr {
+                        rd: 1,
+                        rs1: rd,
+                        offset: 0,
+                    })
                 }
             } else {
                 // c.add rd, rs2 -> add rd, rd, rs2
-                Some(Inst::Op { op: AluOp::Add, rd, rs1: rd, rs2, word: false })
+                Some(Inst::Op {
+                    op: AluOp::Add,
+                    rd,
+                    rs1: rd,
+                    rs2,
+                    word: false,
+                })
             }
         }
         (0b10, 0b110) => {
@@ -400,7 +473,13 @@ mod tests {
         let word = 0x0808u16;
         assert_eq!(
             decode_compressed(word),
-            Some(Inst::OpImm { op: AluOp::Add, rd: 10, rs1: 2, imm: 16, word: false })
+            Some(Inst::OpImm {
+                op: AluOp::Add,
+                rd: 10,
+                rs1: 2,
+                imm: 16,
+                word: false
+            })
         );
     }
 
@@ -411,13 +490,23 @@ mod tests {
         let ld = 0b011_0_01_010_0_0_011_00u16;
         assert_eq!(
             decode_compressed(ld),
-            Some(Inst::Load { op: LoadOp::D, rd: 11, rs1: 10, offset: 8 })
+            Some(Inst::Load {
+                op: LoadOp::D,
+                rd: 11,
+                rs1: 10,
+                offset: 8
+            })
         );
         // c.sd a1, 8(a0): funct3=111
         let sd = 0b111_0_01_010_0_0_011_00u16;
         assert_eq!(
             decode_compressed(sd),
-            Some(Inst::Store { op: StoreOp::D, rs1: 10, rs2: 11, offset: 8 })
+            Some(Inst::Store {
+                op: StoreOp::D,
+                rs1: 10,
+                rs2: 11,
+                offset: 8
+            })
         );
     }
 
@@ -427,13 +516,25 @@ mod tests {
         let word = 0b000_1_01010_11111_01u16;
         assert_eq!(
             decode_compressed(word),
-            Some(Inst::OpImm { op: AluOp::Add, rd: 10, rs1: 10, imm: -1, word: false })
+            Some(Inst::OpImm {
+                op: AluOp::Add,
+                rd: 10,
+                rs1: 10,
+                imm: -1,
+                word: false
+            })
         );
         // c.nop = c.addi x0, 0
         let nop = 0b000_0_00000_00000_01u16;
         assert_eq!(
             decode_compressed(nop),
-            Some(Inst::OpImm { op: AluOp::Add, rd: 0, rs1: 0, imm: 0, word: false })
+            Some(Inst::OpImm {
+                op: AluOp::Add,
+                rd: 0,
+                rs1: 0,
+                imm: 0,
+                word: false
+            })
         );
     }
 
@@ -443,11 +544,23 @@ mod tests {
         let li = 0b010_0_01010_00101_01u16;
         assert_eq!(
             decode_compressed(li),
-            Some(Inst::OpImm { op: AluOp::Add, rd: 10, rs1: 0, imm: 5, word: false })
+            Some(Inst::OpImm {
+                op: AluOp::Add,
+                rd: 10,
+                rs1: 0,
+                imm: 5,
+                word: false
+            })
         );
         // c.lui a0, 1 -> lui a0, 0x1000
         let lui = 0b011_0_01010_00001_01u16;
-        assert_eq!(decode_compressed(lui), Some(Inst::Lui { rd: 10, imm: 0x1000 }));
+        assert_eq!(
+            decode_compressed(lui),
+            Some(Inst::Lui {
+                rd: 10,
+                imm: 0x1000
+            })
+        );
         // c.lui with imm=0 is reserved.
         let bad = 0b011_0_01010_00000_01u16;
         assert_eq!(decode_compressed(bad), None);
@@ -459,7 +572,13 @@ mod tests {
         let word = 0b011_0_00010_00001_01u16;
         assert_eq!(
             decode_compressed(word),
-            Some(Inst::OpImm { op: AluOp::Add, rd: 2, rs1: 2, imm: 32, word: false })
+            Some(Inst::OpImm {
+                op: AluOp::Add,
+                rd: 2,
+                rs1: 2,
+                imm: 32,
+                word: false
+            })
         );
     }
 
@@ -469,25 +588,49 @@ mod tests {
         let sub = 0b100_0_11_010_00_011_01u16;
         assert_eq!(
             decode_compressed(sub),
-            Some(Inst::Op { op: AluOp::Sub, rd: 10, rs1: 10, rs2: 11, word: false })
+            Some(Inst::Op {
+                op: AluOp::Sub,
+                rd: 10,
+                rs1: 10,
+                rs2: 11,
+                word: false
+            })
         );
         // c.addw a0, a1: bit12=1, sel=01
         let addw = 0b100_1_11_010_01_011_01u16;
         assert_eq!(
             decode_compressed(addw),
-            Some(Inst::Op { op: AluOp::Add, rd: 10, rs1: 10, rs2: 11, word: true })
+            Some(Inst::Op {
+                op: AluOp::Add,
+                rd: 10,
+                rs1: 10,
+                rs2: 11,
+                word: true
+            })
         );
         // c.andi a0, 3: bits11:10=10
         let andi = 0b100_0_10_010_00011_01u16;
         assert_eq!(
             decode_compressed(andi),
-            Some(Inst::OpImm { op: AluOp::And, rd: 10, rs1: 10, imm: 3, word: false })
+            Some(Inst::OpImm {
+                op: AluOp::And,
+                rd: 10,
+                rs1: 10,
+                imm: 3,
+                word: false
+            })
         );
         // c.srli a0, 1: bits11:10=00
         let srli = 0b100_0_00_010_00001_01u16;
         assert_eq!(
             decode_compressed(srli),
-            Some(Inst::OpImm { op: AluOp::Srl, rd: 10, rs1: 10, imm: 1, word: false })
+            Some(Inst::OpImm {
+                op: AluOp::Srl,
+                rd: 10,
+                rs1: 10,
+                imm: 1,
+                word: false
+            })
         );
     }
 
@@ -501,12 +644,20 @@ mod tests {
         // bit11=imm4=1, bit10=imm9=1, bit9=imm8=1, bit8=imm10=1, bit7=imm6=1,
         // bit6=imm7=1, bit5=imm3=1, bit4=imm2=1, bit3=imm1=1, bit2=imm5=1.
         let j_m2 = 0b101_11111111111_01u16;
-        assert_eq!(decode_compressed(j_m2), Some(Inst::Jal { rd: 0, offset: -2 }));
+        assert_eq!(
+            decode_compressed(j_m2),
+            Some(Inst::Jal { rd: 0, offset: -2 })
+        );
         // c.beqz a0, 0
         let beqz = 0b110_0_00_010_00000_01u16;
         assert_eq!(
             decode_compressed(beqz),
-            Some(Inst::Branch { op: BranchOp::Eq, rs1: 10, rs2: 0, offset: 0 })
+            Some(Inst::Branch {
+                op: BranchOp::Eq,
+                rs1: 10,
+                rs2: 0,
+                offset: 0
+            })
         );
     }
 
@@ -516,20 +667,46 @@ mod tests {
         let mv = 0b100_0_01010_01011_10u16;
         assert_eq!(
             decode_compressed(mv),
-            Some(Inst::Op { op: AluOp::Add, rd: 10, rs1: 0, rs2: 11, word: false })
+            Some(Inst::Op {
+                op: AluOp::Add,
+                rd: 10,
+                rs1: 0,
+                rs2: 11,
+                word: false
+            })
         );
         // c.add a0, a1: bit12=1
         let add = 0b100_1_01010_01011_10u16;
         assert_eq!(
             decode_compressed(add),
-            Some(Inst::Op { op: AluOp::Add, rd: 10, rs1: 10, rs2: 11, word: false })
+            Some(Inst::Op {
+                op: AluOp::Add,
+                rd: 10,
+                rs1: 10,
+                rs2: 11,
+                word: false
+            })
         );
         // c.jr ra
         let jr = 0b100_0_00001_00000_10u16;
-        assert_eq!(decode_compressed(jr), Some(Inst::Jalr { rd: 0, rs1: 1, offset: 0 }));
+        assert_eq!(
+            decode_compressed(jr),
+            Some(Inst::Jalr {
+                rd: 0,
+                rs1: 1,
+                offset: 0
+            })
+        );
         // c.jalr a0
         let jalr = 0b100_1_01010_00000_10u16;
-        assert_eq!(decode_compressed(jalr), Some(Inst::Jalr { rd: 1, rs1: 10, offset: 0 }));
+        assert_eq!(
+            decode_compressed(jalr),
+            Some(Inst::Jalr {
+                rd: 1,
+                rs1: 10,
+                offset: 0
+            })
+        );
         // c.ebreak
         let ebreak = 0b100_1_00000_00000_10u16;
         assert_eq!(decode_compressed(ebreak), Some(Inst::Ebreak));
@@ -541,19 +718,35 @@ mod tests {
         let ldsp = 0b011_0_01010_00000_10u16;
         assert_eq!(
             decode_compressed(ldsp),
-            Some(Inst::Load { op: LoadOp::D, rd: 10, rs1: 2, offset: 0 })
+            Some(Inst::Load {
+                op: LoadOp::D,
+                rd: 10,
+                rs1: 2,
+                offset: 0
+            })
         );
         // c.sdsp a0, 8(sp): uimm[3]=1 -> bit10
         let sdsp = 0b111_001_000_01010_10u16;
         assert_eq!(
             decode_compressed(sdsp),
-            Some(Inst::Store { op: StoreOp::D, rs1: 2, rs2: 10, offset: 8 })
+            Some(Inst::Store {
+                op: StoreOp::D,
+                rs1: 2,
+                rs2: 10,
+                offset: 8
+            })
         );
         // c.slli a0, 4
         let slli = 0b000_0_01010_00100_10u16;
         assert_eq!(
             decode_compressed(slli),
-            Some(Inst::OpImm { op: AluOp::Sll, rd: 10, rs1: 10, imm: 4, word: false })
+            Some(Inst::OpImm {
+                op: AluOp::Sll,
+                rd: 10,
+                rs1: 10,
+                imm: 4,
+                word: false
+            })
         );
     }
 
@@ -563,7 +756,7 @@ mod tests {
         assert!(is_compressed(0b10));
         assert!(is_compressed(0b00));
         assert!(!is_compressed(0b11));
-        assert!(!is_compressed(0x0013 as u16)); // addi x0,x0,0 low parcel
+        assert!(!is_compressed(0x0013_u16)); // addi x0,x0,0 low parcel
     }
 
     #[test]

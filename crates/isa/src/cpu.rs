@@ -220,9 +220,7 @@ impl Cpu {
         } else {
             let hi = match self.fetch_parcel(bus, pc.wrapping_add(2)) {
                 Ok(p) => p,
-                Err((cause, tval)) => {
-                    return self.trap(cause, tval, pc).map(StepEvent::Trapped)
-                }
+                Err((cause, tval)) => return self.trap(cause, tval, pc).map(StepEvent::Trapped),
             };
             let word = parcel as u32 | ((hi as u32) << 16);
             match decode(word) {
@@ -258,7 +256,7 @@ impl Cpu {
                 TranslateError::PageFault { .. } => (TrapCause::InstructionPageFault, pc),
                 TranslateError::AccessFault(_) => (TrapCause::InstructionAccessFault, pc),
             })?;
-        bus.fetch_u16(outcome.pa(), self.access_ctx())
+        bus.fetch::<u16>(outcome.pa(), self.access_ctx())
             .map_err(|_| (TrapCause::InstructionAccessFault, pc))
     }
 
@@ -289,7 +287,12 @@ impl Cpu {
                 self.set_reg(rd, next);
                 Ok(target)
             }
-            Inst::Branch { op, rs1, rs2, offset } => {
+            Inst::Branch {
+                op,
+                rs1,
+                rs2,
+                offset,
+            } => {
                 let a = self.reg(rs1);
                 let b = self.reg(rs2);
                 let taken = match op {
@@ -300,20 +303,40 @@ impl Cpu {
                     BranchOp::Ltu => a < b,
                     BranchOp::Geu => a >= b,
                 };
-                Ok(if taken { pc.wrapping_add(offset as u64) } else { next })
+                Ok(if taken {
+                    pc.wrapping_add(offset as u64)
+                } else {
+                    next
+                })
             }
-            Inst::Load { op, rd, rs1, offset } => {
+            Inst::Load {
+                op,
+                rd,
+                rs1,
+                offset,
+            } => {
                 let va = self.reg(rs1).wrapping_add(offset as u64);
                 let v = self.load(bus, va, op, Channel::Regular)?;
                 self.set_reg(rd, v);
                 Ok(next)
             }
-            Inst::Store { op, rs1, rs2, offset } => {
+            Inst::Store {
+                op,
+                rs1,
+                rs2,
+                offset,
+            } => {
                 let va = self.reg(rs1).wrapping_add(offset as u64);
                 self.store(bus, va, self.reg(rs2), op, Channel::Regular)?;
                 Ok(next)
             }
-            Inst::Amo { op, rd, rs1, rs2, word } => {
+            Inst::Amo {
+                op,
+                rd,
+                rs1,
+                rs2,
+                word,
+            } => {
                 let va = self.reg(rs1);
                 let v = self.execute_amo(bus, op, va, self.reg(rs2), word)?;
                 self.set_reg(rd, v);
@@ -337,17 +360,35 @@ impl Cpu {
                 self.store(bus, va, self.reg(rs2), StoreOp::D, Channel::SecurePt)?;
                 Ok(next)
             }
-            Inst::OpImm { op, rd, rs1, imm, word } => {
+            Inst::OpImm {
+                op,
+                rd,
+                rs1,
+                imm,
+                word,
+            } => {
                 let v = Self::alu(op, self.reg(rs1), imm as u64, word);
                 self.set_reg(rd, v);
                 Ok(next)
             }
-            Inst::Op { op, rd, rs1, rs2, word } => {
+            Inst::Op {
+                op,
+                rd,
+                rs1,
+                rs2,
+                word,
+            } => {
                 let v = Self::alu(op, self.reg(rs1), self.reg(rs2), word);
                 self.set_reg(rd, v);
                 Ok(next)
             }
-            Inst::Csr { op, rd, rs1, csr, imm_form } => {
+            Inst::Csr {
+                op,
+                rd,
+                rs1,
+                csr,
+                imm_form,
+            } => {
                 let arg = if imm_form { rs1 as u64 } else { self.reg(rs1) };
                 let old = match self.csrs.read(csr, self.mode) {
                     Ok(v) => self.shadow_counter(csr).unwrap_or(v),
@@ -379,7 +420,11 @@ impl Cpu {
                 let mpp = (mstatus & status::MPP_MASK) >> status::MPP_SHIFT;
                 self.mode = PrivilegeMode::from_encoding(mpp).unwrap_or(PrivilegeMode::User);
                 // MIE <- MPIE, MPIE <- 1, MPP <- U.
-                let mie = if mstatus & status::MPIE != 0 { status::MIE } else { 0 };
+                let mie = if mstatus & status::MPIE != 0 {
+                    status::MIE
+                } else {
+                    0
+                };
                 let cleared = mstatus & !(status::MIE | status::MPP_MASK);
                 self.csrs
                     .write_raw(csr_addr::MSTATUS, cleared | mie | status::MPIE);
@@ -395,7 +440,11 @@ impl Cpu {
                 } else {
                     PrivilegeMode::User
                 };
-                let sie = if sstatus & status::SPIE != 0 { status::SIE } else { 0 };
+                let sie = if sstatus & status::SPIE != 0 {
+                    status::SIE
+                } else {
+                    0
+                };
                 let cleared = sstatus & !(status::SIE | status::SPP);
                 self.csrs
                     .write_raw(csr_addr::SSTATUS, cleared | sie | status::SPIE);
@@ -439,7 +488,11 @@ impl Cpu {
             return Err((TrapCause::StoreMisaligned, va));
         }
         // AMOs and SC need write permission; LR needs read.
-        let kind = if op == AmoOp::Lr { AccessKind::Read } else { AccessKind::Write };
+        let kind = if op == AmoOp::Lr {
+            AccessKind::Read
+        } else {
+            AccessKind::Write
+        };
         let outcome = self
             .mmu
             .translate_data(bus, VirtAddr::new(va), kind, self.mode)
@@ -464,12 +517,15 @@ impl Cpu {
             let raw = if word {
                 let mut v = 0u64;
                 for i in 0..4 {
-                    v |= (bus.read_u8(pa + i, Channel::Regular, ctx).map_err(fault(op, va))? as u64)
+                    v |= (bus
+                        .read::<u8>(pa + i, Channel::Regular, ctx)
+                        .map_err(fault(op, va))? as u64)
                         << (8 * i);
                 }
                 v as u32 as i32 as i64 as u64 // .w loads sign-extend
             } else {
-                bus.read_u64(pa, Channel::Regular, ctx).map_err(fault(op, va))?
+                bus.read::<u64>(pa, Channel::Regular, ctx)
+                    .map_err(fault(op, va))?
             };
             let _ = s;
             Ok(raw)
@@ -477,11 +533,11 @@ impl Cpu {
         let write_mem = |bus: &mut Bus, value: u64| -> Result<(), (TrapCause, u64)> {
             if word {
                 for i in 0..4 {
-                    bus.write_u8(pa + i, (value >> (8 * i)) as u8, Channel::Regular, ctx)
+                    bus.write::<u8>(pa + i, (value >> (8 * i)) as u8, Channel::Regular, ctx)
                         .map_err(fault(op, va))?;
                 }
             } else {
-                bus.write_u64(pa, value, Channel::Regular, ctx)
+                bus.write::<u64>(pa, value, Channel::Regular, ctx)
                     .map_err(fault(op, va))?;
             }
             Ok(())
@@ -579,9 +635,7 @@ impl Cpu {
         }
         match self.mode {
             PrivilegeMode::User => true,
-            PrivilegeMode::Supervisor => {
-                self.csrs.read_raw(csr_addr::SSTATUS) & status::SIE != 0
-            }
+            PrivilegeMode::Supervisor => self.csrs.read_raw(csr_addr::SSTATUS) & status::SIE != 0,
             PrivilegeMode::Machine => false,
         }
     }
@@ -661,7 +715,11 @@ impl Cpu {
             AluOp::Sub => a.wrapping_sub(b),
             AluOp::Sll => {
                 let sh = if word { b & 0x1f } else { b & 0x3f };
-                if word { ((a as u32) << sh) as u64 } else { a << sh }
+                if word {
+                    ((a as u32) << sh) as u64
+                } else {
+                    a << sh
+                }
             }
             AluOp::Slt => ((a as i64) < (b as i64)) as u64,
             AluOp::Sltu => (a < b) as u64,
@@ -737,20 +795,20 @@ impl Cpu {
             (TrapCause::LoadAccessFault, va)
         };
         let value = match op {
-            LoadOp::D => bus.read_u64(pa, channel, ctx).map_err(read)?,
+            LoadOp::D => bus.read::<u64>(pa, channel, ctx).map_err(read)?,
             LoadOp::W | LoadOp::Wu => {
-                let lo = bus.read_u8(pa, channel, ctx).map_err(read)? as u64;
-                let b1 = bus.read_u8(pa + 1, channel, ctx).map_err(read)? as u64;
-                let b2 = bus.read_u8(pa + 2, channel, ctx).map_err(read)? as u64;
-                let b3 = bus.read_u8(pa + 3, channel, ctx).map_err(read)? as u64;
+                let lo = bus.read::<u8>(pa, channel, ctx).map_err(read)? as u64;
+                let b1 = bus.read::<u8>(pa + 1, channel, ctx).map_err(read)? as u64;
+                let b2 = bus.read::<u8>(pa + 2, channel, ctx).map_err(read)? as u64;
+                let b3 = bus.read::<u8>(pa + 3, channel, ctx).map_err(read)? as u64;
                 lo | (b1 << 8) | (b2 << 16) | (b3 << 24)
             }
             LoadOp::H | LoadOp::Hu => {
-                let lo = bus.read_u8(pa, channel, ctx).map_err(read)? as u64;
-                let hi = bus.read_u8(pa + 1, channel, ctx).map_err(read)? as u64;
+                let lo = bus.read::<u8>(pa, channel, ctx).map_err(read)? as u64;
+                let hi = bus.read::<u8>(pa + 1, channel, ctx).map_err(read)? as u64;
                 lo | (hi << 8)
             }
-            LoadOp::B | LoadOp::Bu => bus.read_u8(pa, channel, ctx).map_err(read)? as u64,
+            LoadOp::B | LoadOp::Bu => bus.read::<u8>(pa, channel, ctx).map_err(read)? as u64,
         };
         Ok(match op {
             LoadOp::B => value as u8 as i8 as i64 as u64,
@@ -784,20 +842,22 @@ impl Cpu {
         let ctx = self.access_ctx();
         let werr = |_e: AccessError| (TrapCause::StoreAccessFault, va);
         match op {
-            StoreOp::D => bus.write_u64(pa, value, channel, ctx).map_err(werr)?,
+            StoreOp::D => bus.write::<u64>(pa, value, channel, ctx).map_err(werr)?,
             StoreOp::W => {
                 for i in 0..4 {
-                    bus.write_u8(pa + i, (value >> (8 * i)) as u8, channel, ctx)
+                    bus.write::<u8>(pa + i, (value >> (8 * i)) as u8, channel, ctx)
                         .map_err(werr)?;
                 }
             }
             StoreOp::H => {
                 for i in 0..2 {
-                    bus.write_u8(pa + i, (value >> (8 * i)) as u8, channel, ctx)
+                    bus.write::<u8>(pa + i, (value >> (8 * i)) as u8, channel, ctx)
                         .map_err(werr)?;
                 }
             }
-            StoreOp::B => bus.write_u8(pa, value as u8, channel, ctx).map_err(werr)?,
+            StoreOp::B => bus
+                .write::<u8>(pa, value as u8, channel, ctx)
+                .map_err(werr)?,
         }
         Ok(())
     }
@@ -806,8 +866,7 @@ impl Cpu {
     /// `medeleg` delegation for traps from U/S mode.
     fn trap(&mut self, cause: TrapCause, tval: u64, epc: u64) -> Result<Trap, CpuError> {
         let medeleg = self.csrs.read_raw(csr_addr::MEDELEG);
-        let delegate =
-            self.mode != PrivilegeMode::Machine && (medeleg >> cause.code()) & 1 == 1;
+        let delegate = self.mode != PrivilegeMode::Machine && (medeleg >> cause.code()) & 1 == 1;
         if delegate {
             let stvec = self.csrs.read_raw(csr_addr::STVEC);
             if stvec == 0 {
@@ -847,8 +906,7 @@ impl Cpu {
                 mstatus &= !status::MPIE;
             }
             mstatus &= !status::MIE;
-            mstatus = (mstatus & !status::MPP_MASK)
-                | (self.mode.encoding() << status::MPP_SHIFT);
+            mstatus = (mstatus & !status::MPP_MASK) | (self.mode.encoding() << status::MPP_SHIFT);
             self.csrs.write_raw(csr_addr::MSTATUS, mstatus);
             self.mode = PrivilegeMode::Machine;
             self.pc = mtvec & !0b11;
@@ -872,7 +930,10 @@ mod tests {
         let mut bus = Bus::new(64 * MIB);
         for (i, &inst) in program.iter().enumerate() {
             bus.mem_unchecked()
-                .write_u32(ptstore_core::PhysAddr::new(base + 4 * i as u64), encode(inst))
+                .write_u32(
+                    ptstore_core::PhysAddr::new(base + 4 * i as u64),
+                    encode(inst),
+                )
                 .unwrap();
         }
         let mut cpu = Cpu::new();
@@ -885,9 +946,27 @@ mod tests {
     fn arithmetic_program() {
         // a0 = 6 * 7
         let prog = [
-            Inst::OpImm { op: AluOp::Add, rd: 10, rs1: 0, imm: 6, word: false },
-            Inst::OpImm { op: AluOp::Add, rd: 11, rs1: 0, imm: 7, word: false },
-            Inst::Op { op: AluOp::Mul, rd: 10, rs1: 10, rs2: 11, word: false },
+            Inst::OpImm {
+                op: AluOp::Add,
+                rd: 10,
+                rs1: 0,
+                imm: 6,
+                word: false,
+            },
+            Inst::OpImm {
+                op: AluOp::Add,
+                rd: 11,
+                rs1: 0,
+                imm: 7,
+                word: false,
+            },
+            Inst::Op {
+                op: AluOp::Mul,
+                rd: 10,
+                rs1: 10,
+                rs2: 11,
+                word: false,
+            },
         ];
         let (mut cpu, mut bus) = boot(&prog, 0x1000);
         for _ in 0..3 {
@@ -900,11 +979,32 @@ mod tests {
     #[test]
     fn loads_and_stores() {
         let prog = [
-            Inst::Lui { rd: 5, imm: 0x2000 },      // t0 = 0x2000
-            Inst::OpImm { op: AluOp::Add, rd: 6, rs1: 0, imm: -1, word: false },
-            Inst::Store { op: StoreOp::D, rs1: 5, rs2: 6, offset: 8 },
-            Inst::Load { op: LoadOp::W, rd: 7, rs1: 5, offset: 8 },
-            Inst::Load { op: LoadOp::Bu, rd: 8, rs1: 5, offset: 9 },
+            Inst::Lui { rd: 5, imm: 0x2000 }, // t0 = 0x2000
+            Inst::OpImm {
+                op: AluOp::Add,
+                rd: 6,
+                rs1: 0,
+                imm: -1,
+                word: false,
+            },
+            Inst::Store {
+                op: StoreOp::D,
+                rs1: 5,
+                rs2: 6,
+                offset: 8,
+            },
+            Inst::Load {
+                op: LoadOp::W,
+                rd: 7,
+                rs1: 5,
+                offset: 8,
+            },
+            Inst::Load {
+                op: LoadOp::Bu,
+                rd: 8,
+                rs1: 5,
+                offset: 9,
+            },
         ];
         let (mut cpu, mut bus) = boot(&prog, 0x1000);
         for _ in 0..prog.len() {
@@ -918,12 +1018,41 @@ mod tests {
     fn branches_and_jumps() {
         // Loop: a0 = 0; for 5 iterations a0 += 2.
         let prog = [
-            Inst::OpImm { op: AluOp::Add, rd: 10, rs1: 0, imm: 0, word: false },
-            Inst::OpImm { op: AluOp::Add, rd: 5, rs1: 0, imm: 5, word: false },
+            Inst::OpImm {
+                op: AluOp::Add,
+                rd: 10,
+                rs1: 0,
+                imm: 0,
+                word: false,
+            },
+            Inst::OpImm {
+                op: AluOp::Add,
+                rd: 5,
+                rs1: 0,
+                imm: 5,
+                word: false,
+            },
             // loop:
-            Inst::OpImm { op: AluOp::Add, rd: 10, rs1: 10, imm: 2, word: false },
-            Inst::OpImm { op: AluOp::Add, rd: 5, rs1: 5, imm: -1, word: false },
-            Inst::Branch { op: BranchOp::Ne, rs1: 5, rs2: 0, offset: -8 },
+            Inst::OpImm {
+                op: AluOp::Add,
+                rd: 10,
+                rs1: 10,
+                imm: 2,
+                word: false,
+            },
+            Inst::OpImm {
+                op: AluOp::Add,
+                rd: 5,
+                rs1: 5,
+                imm: -1,
+                word: false,
+            },
+            Inst::Branch {
+                op: BranchOp::Ne,
+                rs1: 5,
+                rs2: 0,
+                offset: -8,
+            },
         ];
         let (mut cpu, mut bus) = boot(&prog, 0x1000);
         for _ in 0..(2 + 3 * 5) {
@@ -939,8 +1068,16 @@ mod tests {
         let region =
             ptstore_core::SecureRegion::new(ptstore_core::PhysAddr::new(32 * MIB), MIB).unwrap();
         let prog = [
-            Inst::Lui { rd: 5, imm: (32 * MIB) as i64 },
-            Inst::Store { op: StoreOp::D, rs1: 5, rs2: 6, offset: 0 },
+            Inst::Lui {
+                rd: 5,
+                imm: (32 * MIB) as i64,
+            },
+            Inst::Store {
+                op: StoreOp::D,
+                rs1: 5,
+                rs2: 6,
+                offset: 0,
+            },
         ];
         let (mut cpu, mut bus) = boot(&prog, 0x1000);
         bus.install_secure_region(&region).unwrap();
@@ -961,10 +1098,27 @@ mod tests {
         let region =
             ptstore_core::SecureRegion::new(ptstore_core::PhysAddr::new(32 * MIB), MIB).unwrap();
         let prog = [
-            Inst::Lui { rd: 5, imm: (32 * MIB) as i64 },
-            Inst::OpImm { op: AluOp::Add, rd: 6, rs1: 0, imm: 0x77, word: false },
-            Inst::SdPt { rs1: 5, rs2: 6, offset: 0 },
-            Inst::LdPt { rd: 7, rs1: 5, offset: 0 },
+            Inst::Lui {
+                rd: 5,
+                imm: (32 * MIB) as i64,
+            },
+            Inst::OpImm {
+                op: AluOp::Add,
+                rd: 6,
+                rs1: 0,
+                imm: 0x77,
+                word: false,
+            },
+            Inst::SdPt {
+                rs1: 5,
+                rs2: 6,
+                offset: 0,
+            },
+            Inst::LdPt {
+                rd: 7,
+                rs1: 5,
+                offset: 0,
+            },
         ];
         let (mut cpu, mut bus) = boot(&prog, 0x1000);
         bus.install_secure_region(&region).unwrap();
@@ -980,7 +1134,11 @@ mod tests {
     fn ld_pt_outside_region_traps() {
         let region =
             ptstore_core::SecureRegion::new(ptstore_core::PhysAddr::new(32 * MIB), MIB).unwrap();
-        let prog = [Inst::LdPt { rd: 7, rs1: 0, offset: 0x100 }];
+        let prog = [Inst::LdPt {
+            rd: 7,
+            rs1: 0,
+            offset: 0x100,
+        }];
         let (mut cpu, mut bus) = boot(&prog, 0x1000);
         bus.install_secure_region(&region).unwrap();
         match cpu.step(&mut bus).unwrap() {
@@ -991,7 +1149,11 @@ mod tests {
 
     #[test]
     fn ld_pt_is_privileged() {
-        let prog = [Inst::LdPt { rd: 7, rs1: 0, offset: 0 }];
+        let prog = [Inst::LdPt {
+            rd: 7,
+            rs1: 0,
+            offset: 0,
+        }];
         let (mut cpu, mut bus) = boot(&prog, 0x1000);
         cpu.mode = PrivilegeMode::User;
         match cpu.step(&mut bus).unwrap() {
@@ -1055,7 +1217,13 @@ mod tests {
         let satp = Satp::sv39(ptstore_core::PhysPageNum::new(0x80), 3, true);
         let prog = [
             // csrrw x0, satp, t0
-            Inst::Csr { op: CsrOp::ReadWrite, rd: 0, rs1: 5, csr: csr_addr::SATP, imm_form: false },
+            Inst::Csr {
+                op: CsrOp::ReadWrite,
+                rd: 0,
+                rs1: 5,
+                csr: csr_addr::SATP,
+                imm_form: false,
+            },
         ];
         let (mut cpu, mut bus) = boot(&prog, 0x1000);
         cpu.mode = PrivilegeMode::Supervisor;
@@ -1074,12 +1242,38 @@ mod tests {
         let base = 32 * MIB;
         let end = 33 * MIB;
         let prog = [
-            Inst::Csr { op: CsrOp::ReadWrite, rd: 0, rs1: 5, csr: csr_addr::PMPADDR0, imm_form: false },
-            Inst::Csr { op: CsrOp::ReadWrite, rd: 0, rs1: 6, csr: csr_addr::PMPADDR0 + 1, imm_form: false },
-            Inst::Csr { op: CsrOp::ReadWrite, rd: 0, rs1: 7, csr: csr_addr::PMPCFG0, imm_form: false },
+            Inst::Csr {
+                op: CsrOp::ReadWrite,
+                rd: 0,
+                rs1: 5,
+                csr: csr_addr::PMPADDR0,
+                imm_form: false,
+            },
+            Inst::Csr {
+                op: CsrOp::ReadWrite,
+                rd: 0,
+                rs1: 6,
+                csr: csr_addr::PMPADDR0 + 1,
+                imm_form: false,
+            },
+            Inst::Csr {
+                op: CsrOp::ReadWrite,
+                rd: 0,
+                rs1: 7,
+                csr: csr_addr::PMPCFG0,
+                imm_form: false,
+            },
             // Regular store into the new region must now trap.
-            Inst::Lui { rd: 5, imm: base as i64 },
-            Inst::Store { op: StoreOp::D, rs1: 5, rs2: 0, offset: 0 },
+            Inst::Lui {
+                rd: 5,
+                imm: base as i64,
+            },
+            Inst::Store {
+                op: StoreOp::D,
+                rs1: 5,
+                rs2: 0,
+                offset: 0,
+            },
         ];
         let (mut cpu, mut bus) = boot(&prog, 0x1000);
         cpu.set_reg(5, base >> 2);
@@ -1109,7 +1303,13 @@ mod tests {
 
     #[test]
     fn x0_is_hardwired() {
-        let prog = [Inst::OpImm { op: AluOp::Add, rd: 0, rs1: 0, imm: 55, word: false }];
+        let prog = [Inst::OpImm {
+            op: AluOp::Add,
+            rd: 0,
+            rs1: 0,
+            imm: 55,
+            word: false,
+        }];
         let (mut cpu, mut bus) = boot(&prog, 0x1000);
         cpu.step(&mut bus).unwrap();
         assert_eq!(cpu.reg(0), 0);
@@ -1118,8 +1318,20 @@ mod tests {
     #[test]
     fn word_ops_sign_extend() {
         let prog = [
-            Inst::OpImm { op: AluOp::Add, rd: 5, rs1: 0, imm: -1, word: true }, // addiw t0, x0, -1
-            Inst::Op { op: AluOp::Add, rd: 6, rs1: 5, rs2: 5, word: true },     // addw t1 = -2
+            Inst::OpImm {
+                op: AluOp::Add,
+                rd: 5,
+                rs1: 0,
+                imm: -1,
+                word: true,
+            }, // addiw t0, x0, -1
+            Inst::Op {
+                op: AluOp::Add,
+                rd: 6,
+                rs1: 5,
+                rs2: 5,
+                word: true,
+            }, // addw t1 = -2
         ];
         let (mut cpu, mut bus) = boot(&prog, 0x1000);
         cpu.step(&mut bus).unwrap();
@@ -1132,12 +1344,46 @@ mod tests {
     fn amo_add_and_swap() {
         let prog = [
             Inst::Lui { rd: 5, imm: 0x2000 },
-            Inst::OpImm { op: AluOp::Add, rd: 6, rs1: 0, imm: 40, word: false },
-            Inst::Store { op: StoreOp::D, rs1: 5, rs2: 6, offset: 0 },
-            Inst::OpImm { op: AluOp::Add, rd: 7, rs1: 0, imm: 2, word: false },
-            Inst::Amo { op: AmoOp::Add, rd: 10, rs1: 5, rs2: 7, word: false }, // a0=40, mem=42
-            Inst::Amo { op: AmoOp::Swap, rd: 11, rs1: 5, rs2: 0, word: false }, // a1=42, mem=0
-            Inst::Load { op: LoadOp::D, rd: 12, rs1: 5, offset: 0 },
+            Inst::OpImm {
+                op: AluOp::Add,
+                rd: 6,
+                rs1: 0,
+                imm: 40,
+                word: false,
+            },
+            Inst::Store {
+                op: StoreOp::D,
+                rs1: 5,
+                rs2: 6,
+                offset: 0,
+            },
+            Inst::OpImm {
+                op: AluOp::Add,
+                rd: 7,
+                rs1: 0,
+                imm: 2,
+                word: false,
+            },
+            Inst::Amo {
+                op: AmoOp::Add,
+                rd: 10,
+                rs1: 5,
+                rs2: 7,
+                word: false,
+            }, // a0=40, mem=42
+            Inst::Amo {
+                op: AmoOp::Swap,
+                rd: 11,
+                rs1: 5,
+                rs2: 0,
+                word: false,
+            }, // a1=42, mem=0
+            Inst::Load {
+                op: LoadOp::D,
+                rd: 12,
+                rs1: 5,
+                offset: 0,
+            },
         ];
         let (mut cpu, mut bus) = boot(&prog, 0x1000);
         for _ in 0..prog.len() {
@@ -1152,11 +1398,40 @@ mod tests {
     fn lr_sc_success_and_failure() {
         let prog = [
             Inst::Lui { rd: 5, imm: 0x2000 },
-            Inst::Amo { op: AmoOp::Lr, rd: 10, rs1: 5, rs2: 0, word: false },
-            Inst::OpImm { op: AluOp::Add, rd: 6, rs1: 10, imm: 1, word: false },
-            Inst::Amo { op: AmoOp::Sc, rd: 11, rs1: 5, rs2: 6, word: false }, // succeeds: a1=0
-            Inst::Amo { op: AmoOp::Sc, rd: 12, rs1: 5, rs2: 6, word: false }, // fails: a2=1
-            Inst::Load { op: LoadOp::D, rd: 13, rs1: 5, offset: 0 },
+            Inst::Amo {
+                op: AmoOp::Lr,
+                rd: 10,
+                rs1: 5,
+                rs2: 0,
+                word: false,
+            },
+            Inst::OpImm {
+                op: AluOp::Add,
+                rd: 6,
+                rs1: 10,
+                imm: 1,
+                word: false,
+            },
+            Inst::Amo {
+                op: AmoOp::Sc,
+                rd: 11,
+                rs1: 5,
+                rs2: 6,
+                word: false,
+            }, // succeeds: a1=0
+            Inst::Amo {
+                op: AmoOp::Sc,
+                rd: 12,
+                rs1: 5,
+                rs2: 6,
+                word: false,
+            }, // fails: a2=1
+            Inst::Load {
+                op: LoadOp::D,
+                rd: 13,
+                rs1: 5,
+                offset: 0,
+            },
         ];
         let (mut cpu, mut bus) = boot(&prog, 0x1000);
         for _ in 0..prog.len() {
@@ -1171,9 +1446,26 @@ mod tests {
     fn store_breaks_reservation() {
         let prog = [
             Inst::Lui { rd: 5, imm: 0x2000 },
-            Inst::Amo { op: AmoOp::Lr, rd: 10, rs1: 5, rs2: 0, word: false },
-            Inst::Store { op: StoreOp::D, rs1: 5, rs2: 0, offset: 8 }, // any store
-            Inst::Amo { op: AmoOp::Sc, rd: 11, rs1: 5, rs2: 6, word: false },
+            Inst::Amo {
+                op: AmoOp::Lr,
+                rd: 10,
+                rs1: 5,
+                rs2: 0,
+                word: false,
+            },
+            Inst::Store {
+                op: StoreOp::D,
+                rs1: 5,
+                rs2: 0,
+                offset: 8,
+            }, // any store
+            Inst::Amo {
+                op: AmoOp::Sc,
+                rd: 11,
+                rs1: 5,
+                rs2: 6,
+                word: false,
+            },
         ];
         let (mut cpu, mut bus) = boot(&prog, 0x1000);
         for _ in 0..prog.len() {
@@ -1187,11 +1479,39 @@ mod tests {
         let prog = [
             Inst::Lui { rd: 5, imm: 0x2000 },
             // mem.w = -5 (sign-extended into a0 later)
-            Inst::OpImm { op: AluOp::Add, rd: 6, rs1: 0, imm: -5, word: false },
-            Inst::Store { op: StoreOp::W, rs1: 5, rs2: 6, offset: 0 },
-            Inst::OpImm { op: AluOp::Add, rd: 7, rs1: 0, imm: 3, word: false },
-            Inst::Amo { op: AmoOp::Max, rd: 10, rs1: 5, rs2: 7, word: true }, // a0=-5, mem=3
-            Inst::Load { op: LoadOp::W, rd: 11, rs1: 5, offset: 0 },
+            Inst::OpImm {
+                op: AluOp::Add,
+                rd: 6,
+                rs1: 0,
+                imm: -5,
+                word: false,
+            },
+            Inst::Store {
+                op: StoreOp::W,
+                rs1: 5,
+                rs2: 6,
+                offset: 0,
+            },
+            Inst::OpImm {
+                op: AluOp::Add,
+                rd: 7,
+                rs1: 0,
+                imm: 3,
+                word: false,
+            },
+            Inst::Amo {
+                op: AmoOp::Max,
+                rd: 10,
+                rs1: 5,
+                rs2: 7,
+                word: true,
+            }, // a0=-5, mem=3
+            Inst::Load {
+                op: LoadOp::W,
+                rd: 11,
+                rs1: 5,
+                offset: 0,
+            },
         ];
         let (mut cpu, mut bus) = boot(&prog, 0x1000);
         for _ in 0..prog.len() {
@@ -1206,8 +1526,17 @@ mod tests {
         let region =
             ptstore_core::SecureRegion::new(ptstore_core::PhysAddr::new(32 * MIB), MIB).unwrap();
         let prog = [
-            Inst::Lui { rd: 5, imm: (32 * MIB) as i64 },
-            Inst::Amo { op: AmoOp::Add, rd: 10, rs1: 5, rs2: 6, word: false },
+            Inst::Lui {
+                rd: 5,
+                imm: (32 * MIB) as i64,
+            },
+            Inst::Amo {
+                op: AmoOp::Add,
+                rd: 10,
+                rs1: 5,
+                rs2: 6,
+                word: false,
+            },
         ];
         let (mut cpu, mut bus) = boot(&prog, 0x1000);
         bus.install_secure_region(&region).unwrap();
@@ -1222,8 +1551,20 @@ mod tests {
     fn misaligned_amo_traps() {
         let prog = [
             Inst::Lui { rd: 5, imm: 0x2000 },
-            Inst::OpImm { op: AluOp::Add, rd: 5, rs1: 5, imm: 4, word: false },
-            Inst::Amo { op: AmoOp::Add, rd: 10, rs1: 5, rs2: 6, word: false }, // 8-byte op at +4
+            Inst::OpImm {
+                op: AluOp::Add,
+                rd: 5,
+                rs1: 5,
+                imm: 4,
+                word: false,
+            },
+            Inst::Amo {
+                op: AmoOp::Add,
+                rd: 10,
+                rs1: 5,
+                rs2: 6,
+                word: false,
+            }, // 8-byte op at +4
         ];
         let (mut cpu, mut bus) = boot(&prog, 0x1000);
         cpu.step(&mut bus).unwrap();
@@ -1240,6 +1581,9 @@ mod tests {
         assert_eq!(Cpu::alu(AluOp::Rem, 5, 0, false), 5);
         assert_eq!(Cpu::alu(AluOp::Divu, 5, 0, false), u64::MAX);
         assert_eq!(Cpu::alu(AluOp::Remu, 5, 0, false), 5);
-        assert_eq!(Cpu::alu(AluOp::Div, (i64::MIN) as u64, u64::MAX, false), i64::MIN as u64);
+        assert_eq!(
+            Cpu::alu(AluOp::Div, (i64::MIN) as u64, u64::MAX, false),
+            i64::MIN as u64
+        );
     }
 }

@@ -171,10 +171,22 @@ mod tests {
 
     #[test]
     fn privilege_levels() {
-        assert_eq!(CsrFile::required_privilege(addr::SATP), PrivilegeMode::Supervisor);
-        assert_eq!(CsrFile::required_privilege(addr::MSTATUS), PrivilegeMode::Machine);
-        assert_eq!(CsrFile::required_privilege(addr::PMPCFG0), PrivilegeMode::Machine);
-        assert_eq!(CsrFile::required_privilege(addr::CYCLE), PrivilegeMode::User);
+        assert_eq!(
+            CsrFile::required_privilege(addr::SATP),
+            PrivilegeMode::Supervisor
+        );
+        assert_eq!(
+            CsrFile::required_privilege(addr::MSTATUS),
+            PrivilegeMode::Machine
+        );
+        assert_eq!(
+            CsrFile::required_privilege(addr::PMPCFG0),
+            PrivilegeMode::Machine
+        );
+        assert_eq!(
+            CsrFile::required_privilege(addr::CYCLE),
+            PrivilegeMode::User
+        );
     }
 
     #[test]
@@ -189,7 +201,8 @@ mod tests {
             Err(CsrError::InsufficientPrivilege)
         );
         // Supervisor can.
-        f.write(addr::SATP, 0x42, PrivilegeMode::Supervisor).unwrap();
+        f.write(addr::SATP, 0x42, PrivilegeMode::Supervisor)
+            .unwrap();
         assert_eq!(f.read(addr::SATP, PrivilegeMode::Supervisor).unwrap(), 0x42);
     }
 
@@ -197,7 +210,9 @@ mod tests {
     fn only_machine_configures_pmp() {
         // Paper §IV-B: only M-mode can access the pmpcfg CSRs, hence the SBI.
         let mut f = CsrFile::new();
-        assert!(f.write(addr::PMPCFG0, 1, PrivilegeMode::Supervisor).is_err());
+        assert!(f
+            .write(addr::PMPCFG0, 1, PrivilegeMode::Supervisor)
+            .is_err());
         f.write(addr::PMPCFG0, 1, PrivilegeMode::Machine).unwrap();
     }
 

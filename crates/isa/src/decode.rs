@@ -59,9 +59,18 @@ fn imm_j(word: u32) -> i64 {
 pub fn decode(word: u32) -> Option<Inst> {
     let opcode = word & 0x7f;
     match opcode {
-        0b011_0111 => Some(Inst::Lui { rd: rd(word), imm: imm_u(word) }),
-        0b001_0111 => Some(Inst::Auipc { rd: rd(word), imm: imm_u(word) }),
-        0b110_1111 => Some(Inst::Jal { rd: rd(word), offset: imm_j(word) }),
+        0b011_0111 => Some(Inst::Lui {
+            rd: rd(word),
+            imm: imm_u(word),
+        }),
+        0b001_0111 => Some(Inst::Auipc {
+            rd: rd(word),
+            imm: imm_u(word),
+        }),
+        0b110_1111 => Some(Inst::Jal {
+            rd: rd(word),
+            offset: imm_j(word),
+        }),
         0b110_0111 if funct3(word) == 0 => Some(Inst::Jalr {
             rd: rd(word),
             rs1: rs1(word),
@@ -206,40 +215,38 @@ pub fn decode(word: u32) -> Option<Inst> {
             })
         }
         0b000_1111 => Some(Inst::Fence),
-        0b111_0011 => {
-            match funct3(word) {
-                0b000 => match word >> 20 {
-                    0b0000_0000_0000 if rd(word) == 0 && rs1(word) == 0 => Some(Inst::Ecall),
-                    0b0000_0000_0001 if rd(word) == 0 && rs1(word) == 0 => Some(Inst::Ebreak),
-                    0b0001_0000_0010 if rd(word) == 0 && rs1(word) == 0 => Some(Inst::Sret),
-                    0b0011_0000_0010 if rd(word) == 0 && rs1(word) == 0 => Some(Inst::Mret),
-                    0b0001_0000_0101 if rd(word) == 0 && rs1(word) == 0 => Some(Inst::Wfi),
-                    _ if funct7(word) == 0b000_1001 && rd(word) == 0 => Some(Inst::SfenceVma {
-                        rs1: rs1(word),
-                        rs2: rs2(word),
-                    }),
-                    _ => None,
-                },
-                f3 @ (0b001 | 0b010 | 0b011 | 0b101 | 0b110 | 0b111) => {
-                    let (op, imm_form) = match f3 {
-                        0b001 => (CsrOp::ReadWrite, false),
-                        0b010 => (CsrOp::ReadSet, false),
-                        0b011 => (CsrOp::ReadClear, false),
-                        0b101 => (CsrOp::ReadWrite, true),
-                        0b110 => (CsrOp::ReadSet, true),
-                        _ => (CsrOp::ReadClear, true),
-                    };
-                    Some(Inst::Csr {
-                        op,
-                        rd: rd(word),
-                        rs1: rs1(word),
-                        csr: (word >> 20) as u16,
-                        imm_form,
-                    })
-                }
+        0b111_0011 => match funct3(word) {
+            0b000 => match word >> 20 {
+                0b0000_0000_0000 if rd(word) == 0 && rs1(word) == 0 => Some(Inst::Ecall),
+                0b0000_0000_0001 if rd(word) == 0 && rs1(word) == 0 => Some(Inst::Ebreak),
+                0b0001_0000_0010 if rd(word) == 0 && rs1(word) == 0 => Some(Inst::Sret),
+                0b0011_0000_0010 if rd(word) == 0 && rs1(word) == 0 => Some(Inst::Mret),
+                0b0001_0000_0101 if rd(word) == 0 && rs1(word) == 0 => Some(Inst::Wfi),
+                _ if funct7(word) == 0b000_1001 && rd(word) == 0 => Some(Inst::SfenceVma {
+                    rs1: rs1(word),
+                    rs2: rs2(word),
+                }),
                 _ => None,
+            },
+            f3 @ (0b001 | 0b010 | 0b011 | 0b101 | 0b110 | 0b111) => {
+                let (op, imm_form) = match f3 {
+                    0b001 => (CsrOp::ReadWrite, false),
+                    0b010 => (CsrOp::ReadSet, false),
+                    0b011 => (CsrOp::ReadClear, false),
+                    0b101 => (CsrOp::ReadWrite, true),
+                    0b110 => (CsrOp::ReadSet, true),
+                    _ => (CsrOp::ReadClear, true),
+                };
+                Some(Inst::Csr {
+                    op,
+                    rd: rd(word),
+                    rs1: rs1(word),
+                    csr: (word >> 20) as u16,
+                    imm_form,
+                })
             }
-        }
+            _ => None,
+        },
         _ => None,
     }
 }
@@ -255,6 +262,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::identity_op)] // funct3=000 spelled out for contrast with 011
     fn custom_opcode_with_wrong_funct3_is_none() {
         // ld.pt requires funct3=011; anything else in custom-0 is illegal.
         let bad = OPCODE_LD_PT | (0b000 << 12);

@@ -24,7 +24,11 @@ fn r_type(opcode: u32, rd: u8, funct3: u32, rs1: u8, rs2: u8, funct7: u32) -> u3
 
 fn i_type(opcode: u32, rd: u8, funct3: u32, rs1: u8, imm: i64) -> u32 {
     debug_assert!((-2048..=2047).contains(&imm), "i-imm out of range: {imm}");
-    opcode | ((rd as u32) << 7) | (funct3 << 12) | ((rs1 as u32) << 15) | (((imm as u32) & 0xfff) << 20)
+    opcode
+        | ((rd as u32) << 7)
+        | (funct3 << 12)
+        | ((rs1 as u32) << 15)
+        | (((imm as u32) & 0xfff) << 20)
 }
 
 fn s_type(opcode: u32, funct3: u32, rs1: u8, rs2: u8, imm: i64) -> u32 {
@@ -81,7 +85,12 @@ pub fn encode(inst: Inst) -> u32 {
         Inst::Auipc { rd, imm } => u_type(0b001_0111, rd, imm),
         Inst::Jal { rd, offset } => j_type(0b110_1111, rd, offset),
         Inst::Jalr { rd, rs1, offset } => i_type(0b110_0111, rd, 0b000, rs1, offset),
-        Inst::Branch { op, rs1, rs2, offset } => {
+        Inst::Branch {
+            op,
+            rs1,
+            rs2,
+            offset,
+        } => {
             let funct3 = match op {
                 BranchOp::Eq => 0b000,
                 BranchOp::Ne => 0b001,
@@ -92,7 +101,12 @@ pub fn encode(inst: Inst) -> u32 {
             };
             b_type(0b110_0011, funct3, rs1, rs2, offset)
         }
-        Inst::Load { op, rd, rs1, offset } => {
+        Inst::Load {
+            op,
+            rd,
+            rs1,
+            offset,
+        } => {
             let funct3 = match op {
                 LoadOp::B => 0b000,
                 LoadOp::H => 0b001,
@@ -104,7 +118,12 @@ pub fn encode(inst: Inst) -> u32 {
             };
             i_type(0b000_0011, rd, funct3, rs1, offset)
         }
-        Inst::Store { op, rs1, rs2, offset } => {
+        Inst::Store {
+            op,
+            rs1,
+            rs2,
+            offset,
+        } => {
             let funct3 = match op {
                 StoreOp::B => 0b000,
                 StoreOp::H => 0b001,
@@ -113,14 +132,26 @@ pub fn encode(inst: Inst) -> u32 {
             };
             s_type(0b010_0011, funct3, rs1, rs2, offset)
         }
-        Inst::Amo { op, rd, rs1, rs2, word } => {
+        Inst::Amo {
+            op,
+            rd,
+            rs1,
+            rs2,
+            word,
+        } => {
             let funct3 = if word { 0b010 } else { 0b011 };
             debug_assert!(op != AmoOp::Lr || rs2 == 0, "lr has rs2=0");
             r_type(0b010_1111, rd, funct3, rs1, rs2, op.funct5() << 2)
         }
         Inst::LdPt { rd, rs1, offset } => i_type(OPCODE_LD_PT, rd, 0b011, rs1, offset),
         Inst::SdPt { rs1, rs2, offset } => s_type(OPCODE_SD_PT, 0b011, rs1, rs2, offset),
-        Inst::OpImm { op, rd, rs1, imm, word } => {
+        Inst::OpImm {
+            op,
+            rd,
+            rs1,
+            imm,
+            word,
+        } => {
             let opcode = if word { 0b001_1011 } else { 0b001_0011 };
             match op {
                 AluOp::Add => i_type(opcode, rd, 0b000, rs1, imm),
@@ -144,7 +175,13 @@ pub fn encode(inst: Inst) -> u32 {
                 other => panic!("{other:?} has no immediate form"),
             }
         }
-        Inst::Op { op, rd, rs1, rs2, word } => {
+        Inst::Op {
+            op,
+            rd,
+            rs1,
+            rs2,
+            word,
+        } => {
             let opcode = if word { 0b011_1011 } else { 0b011_0011 };
             let (funct3, funct7) = match op {
                 AluOp::Add => (0b000, 0b000_0000),
@@ -165,7 +202,13 @@ pub fn encode(inst: Inst) -> u32 {
             };
             r_type(opcode, rd, funct3, rs1, rs2, funct7)
         }
-        Inst::Csr { op, rd, rs1, csr, imm_form } => {
+        Inst::Csr {
+            op,
+            rd,
+            rs1,
+            csr,
+            imm_form,
+        } => {
             let funct3 = match (op, imm_form) {
                 (CsrOp::ReadWrite, false) => 0b001,
                 (CsrOp::ReadSet, false) => 0b010,
@@ -174,7 +217,11 @@ pub fn encode(inst: Inst) -> u32 {
                 (CsrOp::ReadSet, true) => 0b110,
                 (CsrOp::ReadClear, true) => 0b111,
             };
-            0b111_0011 | ((rd as u32) << 7) | (funct3 << 12) | ((rs1 as u32) << 15) | ((csr as u32) << 20)
+            0b111_0011
+                | ((rd as u32) << 7)
+                | (funct3 << 12)
+                | ((rs1 as u32) << 15)
+                | ((csr as u32) << 20)
         }
         Inst::Ecall => 0b111_0011,
         Inst::Ebreak => 0b111_0011 | (1 << 20),
@@ -182,9 +229,7 @@ pub fn encode(inst: Inst) -> u32 {
         Inst::Mret => 0b111_0011 | (0b0011000_00010 << 20),
         Inst::Wfi => 0b111_0011 | (0b0001000_00101 << 20),
         Inst::Fence => 0b000_1111,
-        Inst::SfenceVma { rs1, rs2 } => {
-            r_type(0b111_0011, 0, 0b000, rs1, rs2, 0b000_1001)
-        }
+        Inst::SfenceVma { rs1, rs2 } => r_type(0b111_0011, 0, 0b000, rs1, rs2, 0b000_1001),
     }
 }
 
@@ -200,14 +245,22 @@ mod tests {
 
     #[test]
     fn ld_pt_uses_custom_0() {
-        let word = encode(Inst::LdPt { rd: 10, rs1: 11, offset: 8 });
+        let word = encode(Inst::LdPt {
+            rd: 10,
+            rs1: 11,
+            offset: 8,
+        });
         assert_eq!(word & 0x7f, OPCODE_LD_PT);
         assert_eq!((word >> 12) & 0b111, 0b011);
     }
 
     #[test]
     fn sd_pt_uses_custom_1() {
-        let word = encode(Inst::SdPt { rs1: 11, rs2: 10, offset: -8 });
+        let word = encode(Inst::SdPt {
+            rs1: 11,
+            rs2: 10,
+            offset: -8,
+        });
         assert_eq!(word & 0x7f, OPCODE_SD_PT);
     }
 
@@ -215,7 +268,13 @@ mod tests {
     fn well_known_encodings() {
         // addi x0, x0, 0 == nop == 0x00000013
         assert_eq!(
-            encode(Inst::OpImm { op: AluOp::Add, rd: 0, rs1: 0, imm: 0, word: false }),
+            encode(Inst::OpImm {
+                op: AluOp::Add,
+                rd: 0,
+                rs1: 0,
+                imm: 0,
+                word: false
+            }),
             0x0000_0013
         );
         // ecall == 0x00000073
@@ -224,7 +283,11 @@ mod tests {
         assert_eq!(encode(Inst::Mret), 0x3020_0073);
         // ret == jalr x0, 0(x1) == 0x00008067
         assert_eq!(
-            encode(Inst::Jalr { rd: 0, rs1: 1, offset: 0 }),
+            encode(Inst::Jalr {
+                rd: 0,
+                rs1: 1,
+                offset: 0
+            }),
             0x0000_8067
         );
     }
@@ -232,21 +295,90 @@ mod tests {
     #[test]
     fn encode_decode_round_trip_sample() {
         let program = [
-            Inst::Lui { rd: 5, imm: 0x12345 << 12 },
+            Inst::Lui {
+                rd: 5,
+                imm: 0x12345 << 12,
+            },
             Inst::Auipc { rd: 6, imm: -4096 },
-            Inst::Jal { rd: 1, offset: -2048 },
-            Inst::Jalr { rd: 1, rs1: 5, offset: 16 },
-            Inst::Branch { op: BranchOp::Ltu, rs1: 5, rs2: 6, offset: -64 },
-            Inst::Load { op: LoadOp::Wu, rd: 7, rs1: 2, offset: 2047 },
-            Inst::Store { op: StoreOp::H, rs1: 2, rs2: 7, offset: -2048 },
-            Inst::LdPt { rd: 10, rs1: 11, offset: 128 },
-            Inst::SdPt { rs1: 11, rs2: 10, offset: -128 },
-            Inst::OpImm { op: AluOp::Sra, rd: 8, rs1: 9, imm: 63, word: false },
-            Inst::OpImm { op: AluOp::Add, rd: 8, rs1: 9, imm: -1, word: true },
-            Inst::Op { op: AluOp::Mul, rd: 8, rs1: 9, rs2: 10, word: false },
-            Inst::Op { op: AluOp::Sub, rd: 8, rs1: 9, rs2: 10, word: true },
-            Inst::Csr { op: CsrOp::ReadWrite, rd: 1, rs1: 2, csr: 0x180, imm_form: false },
-            Inst::Csr { op: CsrOp::ReadSet, rd: 1, rs1: 5, csr: 0x300, imm_form: true },
+            Inst::Jal {
+                rd: 1,
+                offset: -2048,
+            },
+            Inst::Jalr {
+                rd: 1,
+                rs1: 5,
+                offset: 16,
+            },
+            Inst::Branch {
+                op: BranchOp::Ltu,
+                rs1: 5,
+                rs2: 6,
+                offset: -64,
+            },
+            Inst::Load {
+                op: LoadOp::Wu,
+                rd: 7,
+                rs1: 2,
+                offset: 2047,
+            },
+            Inst::Store {
+                op: StoreOp::H,
+                rs1: 2,
+                rs2: 7,
+                offset: -2048,
+            },
+            Inst::LdPt {
+                rd: 10,
+                rs1: 11,
+                offset: 128,
+            },
+            Inst::SdPt {
+                rs1: 11,
+                rs2: 10,
+                offset: -128,
+            },
+            Inst::OpImm {
+                op: AluOp::Sra,
+                rd: 8,
+                rs1: 9,
+                imm: 63,
+                word: false,
+            },
+            Inst::OpImm {
+                op: AluOp::Add,
+                rd: 8,
+                rs1: 9,
+                imm: -1,
+                word: true,
+            },
+            Inst::Op {
+                op: AluOp::Mul,
+                rd: 8,
+                rs1: 9,
+                rs2: 10,
+                word: false,
+            },
+            Inst::Op {
+                op: AluOp::Sub,
+                rd: 8,
+                rs1: 9,
+                rs2: 10,
+                word: true,
+            },
+            Inst::Csr {
+                op: CsrOp::ReadWrite,
+                rd: 1,
+                rs1: 2,
+                csr: 0x180,
+                imm_form: false,
+            },
+            Inst::Csr {
+                op: CsrOp::ReadSet,
+                rd: 1,
+                rs1: 5,
+                csr: 0x300,
+                imm_form: true,
+            },
             Inst::Ecall,
             Inst::Ebreak,
             Inst::Mret,

@@ -288,7 +288,12 @@ impl fmt::Display for Inst {
             Inst::Auipc { rd, imm } => write!(f, "auipc {}, {:#x}", r(rd), imm >> 12),
             Inst::Jal { rd, offset } => write!(f, "jal {}, {}", r(rd), offset),
             Inst::Jalr { rd, rs1, offset } => write!(f, "jalr {}, {}({})", r(rd), offset, r(rs1)),
-            Inst::Branch { op, rs1, rs2, offset } => {
+            Inst::Branch {
+                op,
+                rs1,
+                rs2,
+                offset,
+            } => {
                 let name = match op {
                     BranchOp::Eq => "beq",
                     BranchOp::Ne => "bne",
@@ -299,7 +304,12 @@ impl fmt::Display for Inst {
                 };
                 write!(f, "{} {}, {}, {}", name, r(rs1), r(rs2), offset)
             }
-            Inst::Load { op, rd, rs1, offset } => {
+            Inst::Load {
+                op,
+                rd,
+                rs1,
+                offset,
+            } => {
                 let name = match op {
                     LoadOp::B => "lb",
                     LoadOp::H => "lh",
@@ -311,7 +321,12 @@ impl fmt::Display for Inst {
                 };
                 write!(f, "{} {}, {}({})", name, r(rd), offset, r(rs1))
             }
-            Inst::Store { op, rs1, rs2, offset } => {
+            Inst::Store {
+                op,
+                rs1,
+                rs2,
+                offset,
+            } => {
                 let name = match op {
                     StoreOp::B => "sb",
                     StoreOp::H => "sh",
@@ -320,7 +335,13 @@ impl fmt::Display for Inst {
                 };
                 write!(f, "{} {}, {}({})", name, r(rs2), offset, r(rs1))
             }
-            Inst::OpImm { op, rd, rs1, imm, word } => {
+            Inst::OpImm {
+                op,
+                rd,
+                rs1,
+                imm,
+                word,
+            } => {
                 let suffix = if word { "w" } else { "" };
                 let name = match op {
                     AluOp::Add => "addi",
@@ -336,7 +357,13 @@ impl fmt::Display for Inst {
                 };
                 write!(f, "{name}{suffix} {}, {}, {}", r(rd), r(rs1), imm)
             }
-            Inst::Op { op, rd, rs1, rs2, word } => {
+            Inst::Op {
+                op,
+                rd,
+                rs1,
+                rs2,
+                word,
+            } => {
                 let suffix = if word { "w" } else { "" };
                 let name = match op {
                     AluOp::Add => "add",
@@ -357,7 +384,13 @@ impl fmt::Display for Inst {
                 };
                 write!(f, "{name}{suffix} {}, {}, {}", r(rd), r(rs1), r(rs2))
             }
-            Inst::Amo { op, rd, rs1, rs2, word } => {
+            Inst::Amo {
+                op,
+                rd,
+                rs1,
+                rs2,
+                word,
+            } => {
                 let suffix = if word { "w" } else { "d" };
                 let name = match op {
                     AmoOp::Lr => "lr",
@@ -384,7 +417,13 @@ impl fmt::Display for Inst {
             Inst::SdPt { rs1, rs2, offset } => {
                 write!(f, "sd.pt {}, {}({})", r(rs2), offset, r(rs1))
             }
-            Inst::Csr { op, rd, rs1, csr, imm_form } => {
+            Inst::Csr {
+                op,
+                rd,
+                rs1,
+                csr,
+                imm_form,
+            } => {
                 let name = match (op, imm_form) {
                     (CsrOp::ReadWrite, false) => "csrrw",
                     (CsrOp::ReadSet, false) => "csrrs",
@@ -425,20 +464,41 @@ mod tests {
 
     #[test]
     fn display_ptstore_instructions() {
-        let ld = Inst::LdPt { rd: 10, rs1: 11, offset: 16 };
+        let ld = Inst::LdPt {
+            rd: 10,
+            rs1: 11,
+            offset: 16,
+        };
         assert_eq!(ld.to_string(), "ld.pt a0, 16(a1)");
-        let sd = Inst::SdPt { rs1: 11, rs2: 10, offset: -8 };
+        let sd = Inst::SdPt {
+            rs1: 11,
+            rs2: 10,
+            offset: -8,
+        };
         assert_eq!(sd.to_string(), "sd.pt a0, -8(a1)");
     }
 
     #[test]
     fn display_regular_instructions() {
         assert_eq!(
-            Inst::Load { op: LoadOp::D, rd: 1, rs1: 2, offset: 0 }.to_string(),
+            Inst::Load {
+                op: LoadOp::D,
+                rd: 1,
+                rs1: 2,
+                offset: 0
+            }
+            .to_string(),
             "ld ra, 0(sp)"
         );
         assert_eq!(
-            Inst::Op { op: AluOp::Add, rd: 10, rs1: 10, rs2: 11, word: false }.to_string(),
+            Inst::Op {
+                op: AluOp::Add,
+                rd: 10,
+                rs1: 10,
+                rs2: 11,
+                word: false
+            }
+            .to_string(),
             "add a0, a0, a1"
         );
         assert_eq!(Inst::Ecall.to_string(), "ecall");

@@ -120,7 +120,13 @@ mod tests {
         m.load_program(
             0x1000,
             &[
-                Inst::OpImm { op: AluOp::Add, rd: 10, rs1: 0, imm: 7, word: false },
+                Inst::OpImm {
+                    op: AluOp::Add,
+                    rd: 10,
+                    rs1: 0,
+                    imm: 7,
+                    word: false,
+                },
                 Inst::Wfi,
             ],
         );
@@ -135,8 +141,16 @@ mod tests {
         m.load_program(
             0x1000,
             &[
-                Inst::Lui { rd: 5, imm: region.base().as_u64() as i64 },
-                Inst::Store { op: StoreOp::D, rs1: 5, rs2: 0, offset: 0 },
+                Inst::Lui {
+                    rd: 5,
+                    imm: region.base().as_u64() as i64,
+                },
+                Inst::Store {
+                    op: StoreOp::D,
+                    rs1: 5,
+                    rs2: 0,
+                    offset: 0,
+                },
             ],
         );
         m.cpu.pc = 0x1000;

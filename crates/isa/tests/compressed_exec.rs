@@ -1,6 +1,9 @@
 //! Executing mixed compressed/full instruction streams: the fetch unit must
 //! handle 2-byte alignment, variable lengths, and C↔I interleaving.
 
+// Binary literals are grouped by instruction field, not even digit blocks.
+#![allow(clippy::unusual_byte_groupings)]
+
 use ptstore_core::{PhysAddr, MIB};
 use ptstore_isa::{encode, AluOp, Inst, SimMachine, TrapCause};
 
@@ -52,7 +55,13 @@ fn mixed_widths_and_two_byte_aligned_full_instruction() {
     put32(
         &mut m,
         0x1002,
-        encode(Inst::OpImm { op: AluOp::Add, rd: 10, rs1: 10, imm: 41, word: false }),
+        encode(Inst::OpImm {
+            op: AluOp::Add,
+            rd: 10,
+            rs1: 10,
+            imm: 41,
+            word: false,
+        }),
     );
     put32(&mut m, 0x1006, encode(Inst::Wfi));
     m.cpu.pc = 0x1000;

@@ -75,23 +75,60 @@ fn arb_alu_rr() -> impl Strategy<Value = AluOp> {
 
 fn arb_inst() -> impl Strategy<Value = Inst> {
     prop_oneof![
-        (arb_reg(), (-(1i64 << 19)..(1i64 << 19)).prop_map(|x| x << 12))
+        (
+            arb_reg(),
+            (-(1i64 << 19)..(1i64 << 19)).prop_map(|x| x << 12)
+        )
             .prop_map(|(rd, imm)| Inst::Lui { rd, imm }),
         (arb_reg(), arb_j_off()).prop_map(|(rd, offset)| Inst::Jal { rd, offset }),
-        (arb_reg(), arb_reg(), arb_i_imm())
-            .prop_map(|(rd, rs1, offset)| Inst::Jalr { rd, rs1, offset }),
-        (arb_branch_op(), arb_reg(), arb_reg(), arb_b_off())
-            .prop_map(|(op, rs1, rs2, offset)| Inst::Branch { op, rs1, rs2, offset }),
-        (arb_load_op(), arb_reg(), arb_reg(), arb_i_imm())
-            .prop_map(|(op, rd, rs1, offset)| Inst::Load { op, rd, rs1, offset }),
-        (arb_store_op(), arb_reg(), arb_reg(), arb_i_imm())
-            .prop_map(|(op, rs1, rs2, offset)| Inst::Store { op, rs1, rs2, offset }),
-        (arb_reg(), arb_reg(), arb_i_imm())
-            .prop_map(|(rd, rs1, offset)| Inst::LdPt { rd, rs1, offset }),
-        (arb_reg(), arb_reg(), arb_i_imm())
-            .prop_map(|(rs1, rs2, offset)| Inst::SdPt { rs1, rs2, offset }),
-        (arb_alu_rr(), arb_reg(), arb_reg(), arb_reg(), any::<bool>())
-            .prop_map(|(op, rd, rs1, rs2, word)| Inst::Op { op, rd, rs1, rs2, word }),
+        (arb_reg(), arb_reg(), arb_i_imm()).prop_map(|(rd, rs1, offset)| Inst::Jalr {
+            rd,
+            rs1,
+            offset
+        }),
+        (arb_branch_op(), arb_reg(), arb_reg(), arb_b_off()).prop_map(|(op, rs1, rs2, offset)| {
+            Inst::Branch {
+                op,
+                rs1,
+                rs2,
+                offset,
+            }
+        }),
+        (arb_load_op(), arb_reg(), arb_reg(), arb_i_imm()).prop_map(|(op, rd, rs1, offset)| {
+            Inst::Load {
+                op,
+                rd,
+                rs1,
+                offset,
+            }
+        }),
+        (arb_store_op(), arb_reg(), arb_reg(), arb_i_imm()).prop_map(|(op, rs1, rs2, offset)| {
+            Inst::Store {
+                op,
+                rs1,
+                rs2,
+                offset,
+            }
+        }),
+        (arb_reg(), arb_reg(), arb_i_imm()).prop_map(|(rd, rs1, offset)| Inst::LdPt {
+            rd,
+            rs1,
+            offset
+        }),
+        (arb_reg(), arb_reg(), arb_i_imm()).prop_map(|(rs1, rs2, offset)| Inst::SdPt {
+            rs1,
+            rs2,
+            offset
+        }),
+        (arb_alu_rr(), arb_reg(), arb_reg(), arb_reg(), any::<bool>()).prop_map(
+            |(op, rd, rs1, rs2, word)| Inst::Op {
+                op,
+                rd,
+                rs1,
+                rs2,
+                word
+            }
+        ),
         (arb_amo_op(), arb_reg(), arb_reg(), arb_reg(), any::<bool>()).prop_map(
             |(op, rd, rs1, rs2, word)| Inst::Amo {
                 op,
@@ -158,7 +195,13 @@ mod alu_semantics {
         m.load_program(
             0x1000,
             &[
-                Inst::Op { op, rd: 10, rs1: 5, rs2: 6, word },
+                Inst::Op {
+                    op,
+                    rd: 10,
+                    rs1: 5,
+                    rs2: 6,
+                    word,
+                },
                 Inst::Wfi,
             ],
         );

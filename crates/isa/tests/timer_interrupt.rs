@@ -16,7 +16,13 @@ fn timer_fires_when_armed_and_enabled() {
     m.load_program(
         0x1000,
         &[
-            Inst::OpImm { op: AluOp::Add, rd: 10, rs1: 10, imm: 1, word: false },
+            Inst::OpImm {
+                op: AluOp::Add,
+                rd: 10,
+                rs1: 10,
+                imm: 1,
+                word: false,
+            },
             Inst::Jal { rd: 0, offset: -4 },
         ],
     );
@@ -39,7 +45,11 @@ fn timer_fires_when_armed_and_enabled() {
         interrupt::CAUSE_INTERRUPT | interrupt::CAUSE_S_TIMER
     );
     // The loop made progress before being interrupted (~10 instructions).
-    assert!(m.cpu.reg(10) >= 4 && m.cpu.reg(10) <= 10, "a0 = {}", m.cpu.reg(10));
+    assert!(
+        m.cpu.reg(10) >= 4 && m.cpu.reg(10) <= 10,
+        "a0 = {}",
+        m.cpu.reg(10)
+    );
     // sepc points back into the loop for resumption.
     let sepc = m.cpu.csrs.read_raw(addr::SEPC);
     assert!((0x1000..0x1008).contains(&sepc));
@@ -48,14 +58,20 @@ fn timer_fires_when_armed_and_enabled() {
 #[test]
 fn masked_timer_does_not_fire() {
     for (sie_csr, sstatus) in [
-        (0, status::SIE),          // STIE clear
-        (interrupt::STI, 0),       // global SIE clear in S-mode
+        (0, status::SIE),    // STIE clear
+        (interrupt::STI, 0), // global SIE clear in S-mode
     ] {
         let mut m = machine();
         m.load_program(
             0x1000,
             &[
-                Inst::OpImm { op: AluOp::Add, rd: 10, rs1: 10, imm: 1, word: false },
+                Inst::OpImm {
+                    op: AluOp::Add,
+                    rd: 10,
+                    rs1: 10,
+                    imm: 1,
+                    word: false,
+                },
                 Inst::Wfi,
             ],
         );
@@ -79,7 +95,13 @@ fn user_mode_is_always_interruptible() {
     m.load_program(
         0x1000,
         &[
-            Inst::OpImm { op: AluOp::Add, rd: 10, rs1: 10, imm: 1, word: false },
+            Inst::OpImm {
+                op: AluOp::Add,
+                rd: 10,
+                rs1: 10,
+                imm: 1,
+                word: false,
+            },
             Inst::Jal { rd: 0, offset: -4 },
         ],
     );
@@ -106,7 +128,13 @@ fn preemptive_tick_loop() {
     m.load_program(
         0x1000,
         &[
-            Inst::OpImm { op: AluOp::Add, rd: 10, rs1: 10, imm: 1, word: false },
+            Inst::OpImm {
+                op: AluOp::Add,
+                rd: 10,
+                rs1: 10,
+                imm: 1,
+                word: false,
+            },
             Inst::Jal { rd: 0, offset: -4 },
         ],
     );
@@ -115,10 +143,34 @@ fn preemptive_tick_loop() {
     m.load_program(
         0x4000,
         &[
-            Inst::OpImm { op: AluOp::Add, rd: 11, rs1: 11, imm: 1, word: false },
-            Inst::Csr { op: CsrOp::ReadSet, rd: 5, rs1: 0, csr: addr::TIME, imm_form: false },
-            Inst::OpImm { op: AluOp::Add, rd: 5, rs1: 5, imm: 20, word: false },
-            Inst::Csr { op: CsrOp::ReadWrite, rd: 0, rs1: 5, csr: addr::STIMECMP, imm_form: false },
+            Inst::OpImm {
+                op: AluOp::Add,
+                rd: 11,
+                rs1: 11,
+                imm: 1,
+                word: false,
+            },
+            Inst::Csr {
+                op: CsrOp::ReadSet,
+                rd: 5,
+                rs1: 0,
+                csr: addr::TIME,
+                imm_form: false,
+            },
+            Inst::OpImm {
+                op: AluOp::Add,
+                rd: 5,
+                rs1: 5,
+                imm: 20,
+                word: false,
+            },
+            Inst::Csr {
+                op: CsrOp::ReadWrite,
+                rd: 0,
+                rs1: 5,
+                csr: addr::STIMECMP,
+                imm_form: false,
+            },
             Inst::Sret,
         ],
     );
@@ -137,7 +189,11 @@ fn preemptive_tick_loop() {
         .iter()
         .all(|t| t.cause == TrapCause::SupervisorTimerInterrupt));
     assert_eq!(m.cpu.reg(11), traps.len() as u64, "a1 counts ticks");
-    assert!(m.cpu.reg(10) > 20, "main loop progressed: {}", m.cpu.reg(10));
+    assert!(
+        m.cpu.reg(10) > 20,
+        "main loop progressed: {}",
+        m.cpu.reg(10)
+    );
 }
 
 #[test]

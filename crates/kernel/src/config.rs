@@ -2,7 +2,7 @@
 
 use core::fmt;
 
-use ptstore_core::{GIB, MIB};
+use ptstore_core::{GIB, MIB, PAGE_SIZE};
 use serde::{Deserialize, Serialize};
 
 /// Which page-table defense the kernel deploys. The paper's related-work
@@ -64,9 +64,164 @@ pub struct KernelConfig {
     /// region and PTW origin check (isolates which layer stops which attack;
     /// always true in the paper's full design).
     pub token_checks: bool,
+    /// I-TLB capacity in entries (prototype: 32, paper Table II).
+    pub itlb_entries: usize,
+    /// D-TLB capacity in entries (prototype: 8, paper Table II).
+    pub dtlb_entries: usize,
+}
+
+/// Why a [`KernelConfigBuilder`] refused to produce a configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConfigError {
+    /// `mem_size` below the 64 MiB floor or not page-aligned.
+    BadMemSize,
+    /// `initial_secure_size` empty, not page-aligned, or at least half of
+    /// `mem_size` (the normal zone needs the rest).
+    BadSecureSize,
+    /// `adjust_chunk` empty or not page-aligned.
+    BadAdjustChunk,
+    /// A TLB capacity of zero entries.
+    BadTlbCapacity,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ConfigError::BadMemSize => "mem_size must be a page-aligned size of at least 64 MiB",
+            ConfigError::BadSecureSize => {
+                "initial_secure_size must be page-aligned, non-empty, and below mem_size/2"
+            }
+            ConfigError::BadAdjustChunk => "adjust_chunk must be page-aligned and non-empty",
+            ConfigError::BadTlbCapacity => "tlb capacities must be non-zero",
+        })
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Checked builder for [`KernelConfig`].
+///
+/// Starts from a preset (default: [`KernelConfig::baseline`]) and validates
+/// the geometry once in [`build`](Self::build) — the same invariants
+/// [`Kernel::boot`](crate::Kernel::boot) would otherwise assert on.
+///
+/// ```
+/// use ptstore_core::MIB;
+/// use ptstore_kernel::{DefenseMode, KernelConfig};
+///
+/// let cfg = KernelConfig::builder()
+///     .defense(DefenseMode::PtStore)
+///     .cfi(true)
+///     .mem_size(256 * MIB)
+///     .initial_secure_size(16 * MIB)
+///     .dtlb_entries(16)
+///     .build()
+///     .unwrap();
+/// assert_eq!(cfg.label(), "CFI+PTStore");
+/// assert_eq!(cfg.dtlb_entries, 16);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct KernelConfigBuilder {
+    cfg: KernelConfig,
+}
+
+impl KernelConfigBuilder {
+    /// Deployed page-table defense.
+    pub fn defense(mut self, defense: DefenseMode) -> Self {
+        self.cfg.defense = defense;
+        self
+    }
+
+    /// Clang CFI instrumentation.
+    pub fn cfi(mut self, cfi: bool) -> Self {
+        self.cfg.cfi = cfi;
+        self
+    }
+
+    /// Physical memory size in bytes.
+    pub fn mem_size(mut self, bytes: u64) -> Self {
+        self.cfg.mem_size = bytes;
+        self
+    }
+
+    /// Initial secure-region / PTStore-zone size in bytes.
+    pub fn initial_secure_size(mut self, bytes: u64) -> Self {
+        self.cfg.initial_secure_size = bytes;
+        self
+    }
+
+    /// Dynamic-adjustment growth granule in bytes.
+    pub fn adjust_chunk(mut self, bytes: u64) -> Self {
+        self.cfg.adjust_chunk = bytes;
+        self
+    }
+
+    /// Enables or disables dynamic secure-region adjustment.
+    pub fn adjustment_enabled(mut self, enabled: bool) -> Self {
+        self.cfg.adjustment_enabled = enabled;
+        self
+    }
+
+    /// Enables or disables token validation (ablation switch).
+    pub fn token_checks(mut self, enabled: bool) -> Self {
+        self.cfg.token_checks = enabled;
+        self
+    }
+
+    /// I-TLB capacity in entries.
+    pub fn itlb_entries(mut self, entries: usize) -> Self {
+        self.cfg.itlb_entries = entries;
+        self
+    }
+
+    /// D-TLB capacity in entries.
+    pub fn dtlb_entries(mut self, entries: usize) -> Self {
+        self.cfg.dtlb_entries = entries;
+        self
+    }
+
+    /// Validates the geometry and produces the configuration.
+    ///
+    /// # Errors
+    /// A [`ConfigError`] naming the first invariant violated.
+    pub fn build(self) -> Result<KernelConfig, ConfigError> {
+        let c = &self.cfg;
+        if c.mem_size < 64 * MIB || !c.mem_size.is_multiple_of(PAGE_SIZE) {
+            return Err(ConfigError::BadMemSize);
+        }
+        if c.initial_secure_size == 0
+            || !c.initial_secure_size.is_multiple_of(PAGE_SIZE)
+            || c.initial_secure_size >= c.mem_size / 2
+        {
+            return Err(ConfigError::BadSecureSize);
+        }
+        if c.adjust_chunk == 0 || !c.adjust_chunk.is_multiple_of(PAGE_SIZE) {
+            return Err(ConfigError::BadAdjustChunk);
+        }
+        if c.itlb_entries == 0 || c.dtlb_entries == 0 {
+            return Err(ConfigError::BadTlbCapacity);
+        }
+        Ok(self.cfg)
+    }
+}
+
+impl From<KernelConfig> for KernelConfigBuilder {
+    fn from(cfg: KernelConfig) -> Self {
+        Self { cfg }
+    }
 }
 
 impl KernelConfig {
+    /// A checked builder seeded with the baseline preset.
+    pub fn builder() -> KernelConfigBuilder {
+        KernelConfigBuilder::from(Self::baseline())
+    }
+
+    /// A checked builder seeded with this configuration (tweak a preset).
+    pub fn to_builder(self) -> KernelConfigBuilder {
+        KernelConfigBuilder::from(self)
+    }
+
     /// The baseline kernel: no defense, no CFI.
     pub fn baseline() -> Self {
         Self {
@@ -77,6 +232,8 @@ impl KernelConfig {
             adjust_chunk: 16 * MIB,
             adjustment_enabled: true,
             token_checks: true,
+            itlb_entries: 32,
+            dtlb_entries: 8,
         }
     }
 
@@ -173,7 +330,59 @@ mod tests {
             "CFI+PTStore-Adj"
         );
         assert_eq!(KernelConfig::cfi_ptstore().initial_secure_size, 64 * MIB);
-        assert_eq!(KernelConfig::cfi_ptstore_no_adjust().initial_secure_size, GIB);
+        assert_eq!(
+            KernelConfig::cfi_ptstore_no_adjust().initial_secure_size,
+            GIB
+        );
+    }
+
+    #[test]
+    fn builder_validates_geometry() {
+        // The baseline preset passes untouched.
+        assert_eq!(
+            KernelConfig::builder().build(),
+            Ok(KernelConfig::baseline())
+        );
+        assert_eq!(
+            KernelConfig::builder().mem_size(MIB).build(),
+            Err(ConfigError::BadMemSize)
+        );
+        assert_eq!(
+            KernelConfig::builder().mem_size(64 * MIB + 1).build(),
+            Err(ConfigError::BadMemSize)
+        );
+        // A secure region at (or above) half of memory starves the normal zone.
+        assert_eq!(
+            KernelConfig::builder()
+                .mem_size(128 * MIB)
+                .initial_secure_size(64 * MIB)
+                .build(),
+            Err(ConfigError::BadSecureSize)
+        );
+        assert_eq!(
+            KernelConfig::builder().initial_secure_size(0).build(),
+            Err(ConfigError::BadSecureSize)
+        );
+        assert_eq!(
+            KernelConfig::builder().adjust_chunk(PAGE_SIZE + 1).build(),
+            Err(ConfigError::BadAdjustChunk)
+        );
+        assert_eq!(
+            KernelConfig::builder().itlb_entries(0).build(),
+            Err(ConfigError::BadTlbCapacity)
+        );
+    }
+
+    #[test]
+    fn builder_round_trips_presets() {
+        for preset in [
+            KernelConfig::baseline(),
+            KernelConfig::cfi(),
+            KernelConfig::cfi_ptstore(),
+            KernelConfig::cfi_ptstore_no_adjust(),
+        ] {
+            assert_eq!(preset.to_builder().build(), Ok(preset));
+        }
     }
 
     #[test]

@@ -75,7 +75,7 @@ impl Kernel {
         let pa = self.attacker_translate(va, AccessKind::Read)?;
         let ctx = self.kctx();
         self.bus
-            .read_u64(pa, Channel::Regular, ctx)
+            .read::<u64>(pa, Channel::Regular, ctx)
             .map_err(AttackerFault::AccessFault)
     }
 
@@ -84,7 +84,7 @@ impl Kernel {
         let pa = self.attacker_translate(va, AccessKind::Write)?;
         let ctx = self.kctx();
         self.bus
-            .write_u64(pa, value, Channel::Regular, ctx)
+            .write::<u64>(pa, value, Channel::Regular, ctx)
             .map_err(AttackerFault::AccessFault)
     }
 
@@ -99,7 +99,7 @@ impl Kernel {
     ) -> Result<(), AttackerFault> {
         let ctx = self.kctx();
         self.bus
-            .write_u64(pa, value, Channel::Regular, ctx)
+            .write::<u64>(pa, value, Channel::Regular, ctx)
             .map_err(AttackerFault::AccessFault)
     }
 

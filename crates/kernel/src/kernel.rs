@@ -8,11 +8,12 @@
 use std::collections::{HashMap, VecDeque};
 
 use ptstore_core::{
-    AccessContext, Channel, PhysAddr, PhysPageNum, SecureRegion, Token, TokenError, VirtAddr,
-    MIB, PAGE_SHIFT, PAGE_SIZE,
+    AccessContext, Channel, PhysAddr, PhysPageNum, SecureRegion, Token, TokenError, VirtAddr, MIB,
+    PAGE_SHIFT, PAGE_SIZE,
 };
 use ptstore_mem::Bus;
 use ptstore_mmu::{Mmu, Pte, PteFlags, Satp};
+use ptstore_trace::{TokenOp, TraceEvent, TraceSink};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -97,6 +98,11 @@ pub struct Kernel {
     pub security_log: Vec<SecurityEvent>,
     /// True once boot completed and the PTW origin check is armed.
     pub(crate) ptw_check_armed: bool,
+    /// Attached trace sink for kernel-level events (tokens, syscalls,
+    /// region moves). `None` keeps every emit site a no-op.
+    pub(crate) trace: Option<TraceSink>,
+    /// `(name, cycle total at entry)` of the in-flight traced syscall.
+    pub(crate) syscall_mark: Option<(&'static str, u64)>,
 }
 
 /// Kernel virtual address where the PT-Rand secret offset global lives
@@ -129,7 +135,11 @@ impl Kernel {
 
         // Zone layout: [image | normal zone | pt area/PTStore zone].
         let uses_pt_area = cfg.defense != DefenseMode::None;
-        let pt_area_size = if uses_pt_area { cfg.initial_secure_size } else { 0 };
+        let pt_area_size = if uses_pt_area {
+            cfg.initial_secure_size
+        } else {
+            0
+        };
         let normal_pages = (cfg.mem_size - KERNEL_IMAGE_SIZE - pt_area_size) / PAGE_SIZE;
         let normal_zone = BuddyZone::new(
             "normal",
@@ -176,7 +186,7 @@ impl Kernel {
         let mut kernel = Self {
             cfg,
             bus,
-            mmu: Mmu::new(),
+            mmu: Mmu::with_tlb_sizes(cfg.itlb_entries, cfg.dtlb_entries),
             cycles,
             stats: KernelStats::default(),
             fs: RamFs::new(),
@@ -206,6 +216,8 @@ impl Kernel {
             injected_overlap: None,
             security_log: Vec::new(),
             ptw_check_armed: false,
+            trace: None,
+            syscall_mark: None,
         };
 
         // Materialise the PT-Rand secret in kernel memory (it must exist
@@ -225,7 +237,9 @@ impl Kernel {
         *kernel.page_refs.entry(text.as_u64()).or_insert(0) += 1;
 
         // Standard files the microbenchmarks use.
-        kernel.fs.create("/etc/passwd", b"root:x:0:0:root:/root:/bin/sh\n".to_vec());
+        kernel
+            .fs
+            .create("/etc/passwd", b"root:x:0:0:root:/root:/bin/sh\n".to_vec());
         kernel.fs.create("/dev/zero", vec![0u8; 4096]);
         kernel.fs.create("/tmp/XXX", vec![0u8; 1024]);
 
@@ -234,6 +248,24 @@ impl Kernel {
         kernel.current = init;
         kernel.activate_address_space(init)?;
         Ok(kernel)
+    }
+
+    // ------------------------------------------------------------------
+    // Tracing
+    // ------------------------------------------------------------------
+
+    /// Attaches (or, with `None`, detaches) a trace sink across every layer:
+    /// the bus (and through it the PMP), both TLBs, and the kernel's own
+    /// token/syscall/region events all land in the same stream.
+    pub fn set_trace_sink(&mut self, sink: Option<TraceSink>) {
+        self.bus.set_trace_sink(sink.clone());
+        self.mmu.set_trace_sink(sink.clone());
+        self.trace = sink;
+    }
+
+    /// The attached trace sink, if any.
+    pub fn trace_sink(&self) -> Option<&TraceSink> {
+        self.trace.as_ref()
     }
 
     // ------------------------------------------------------------------
@@ -258,20 +290,22 @@ impl Kernel {
     /// A checked regular-channel 8-byte read (kernel data structures).
     pub(crate) fn mem_read(&mut self, pa: PhysAddr) -> Result<u64, KernelError> {
         self.cycles.charge(CostKind::MemAccess, cost::MEM_ACCESS);
-        Ok(self.bus.read_u64(pa, Channel::Regular, self.kctx())?)
+        Ok(self.bus.read::<u64>(pa, Channel::Regular, self.kctx())?)
     }
 
     /// A checked regular-channel 8-byte write (kernel data structures).
     pub(crate) fn mem_write(&mut self, pa: PhysAddr, v: u64) -> Result<(), KernelError> {
         self.cycles.charge(CostKind::MemAccess, cost::MEM_ACCESS);
-        Ok(self.bus.write_u64(pa, v, Channel::Regular, self.kctx())?)
+        Ok(self
+            .bus
+            .write::<u64>(pa, v, Channel::Regular, self.kctx())?)
     }
 
     /// A page-table read via the defense channel (`ld.pt` under PTStore).
     pub(crate) fn pt_read(&mut self, pa: PhysAddr) -> Result<u64, KernelError> {
         self.cycles.charge(CostKind::MemAccess, cost::MEM_ACCESS);
         let ch = self.pt_channel();
-        Ok(self.bus.read_u64(pa, ch, self.kctx())?)
+        Ok(self.bus.read::<u64>(pa, ch, self.kctx())?)
     }
 
     /// A page-table write via the defense channel (`sd.pt` under PTStore).
@@ -283,7 +317,7 @@ impl Kernel {
                 .charge(CostKind::VirtIsolationSwitch, cost::VIRT_ISO_WINDOW);
         }
         let ch = self.pt_channel();
-        Ok(self.bus.write_u64(pa, v, ch, self.kctx())?)
+        Ok(self.bus.write::<u64>(pa, v, ch, self.kctx())?)
     }
 
     // ------------------------------------------------------------------
@@ -310,8 +344,7 @@ impl Kernel {
                 }
             }
         } else {
-            self.normal_zone
-                .alloc(0, gfp.contains(GfpFlags::MOVABLE))?
+            self.normal_zone.alloc(0, gfp.contains(GfpFlags::MOVABLE))?
         };
         if gfp.contains(GfpFlags::ZERO) {
             self.zero_page(ppn, gfp.contains(GfpFlags::PTSTORE))?;
@@ -340,9 +373,12 @@ impl Kernel {
     fn zero_page(&mut self, ppn: PhysPageNum, secure: bool) -> Result<(), KernelError> {
         self.cycles.charge(CostKind::MemAccess, cost::ZERO_PAGE);
         // One checked store validates the channel is actually permitted...
-        let ch = if secure { Channel::SecurePt } else { Channel::Regular };
-        self.bus
-            .write_u64(ppn.base_addr(), 0, ch, self.kctx())?;
+        let ch = if secure {
+            Channel::SecurePt
+        } else {
+            Channel::Regular
+        };
+        self.bus.write::<u64>(ppn.base_addr(), 0, ch, self.kctx())?;
         // ...then the rest of the page is cleared in bulk.
         self.bus.mem_unchecked().zero_page(ppn);
         Ok(())
@@ -366,9 +402,7 @@ impl Kernel {
             self.stats.zero_checks += 1;
             self.cycles
                 .charge(CostKind::MemAccess, cost::ZERO_CHECK_RESIDUAL);
-            let clean = self
-                .bus
-                .secure_page_is_zero(ppn, self.kctx())?;
+            let clean = self.bus.secure_page_is_zero(ppn, self.kctx())?;
             if !clean {
                 self.stats.zero_check_failures += 1;
                 self.security_log.push(SecurityEvent::PtPageNotZero { ppn });
@@ -446,13 +480,15 @@ impl Kernel {
         );
 
         // alloc_contig_range on the normal zone.
-        let reservation = self
-            .normal_zone
-            .reserve_range(start, chunk_pages)
-            .map_err(|e| match e {
-                AllocError::Unmovable { .. } | AllocError::OutOfZone => KernelError::OutOfMemory,
-                other => KernelError::from(other),
-            })?;
+        let reservation =
+            self.normal_zone
+                .reserve_range(start, chunk_pages)
+                .map_err(|e| match e {
+                    AllocError::Unmovable { .. } | AllocError::OutOfZone => {
+                        KernelError::OutOfMemory
+                    }
+                    other => KernelError::from(other),
+                })?;
         let to_migrate = reservation.to_migrate.clone();
         for (block, info) in to_migrate {
             self.migrate_block(block, info.order)?;
@@ -482,6 +518,13 @@ impl Kernel {
         }
         self.secure_region = Some(grown);
         self.stats.adjustments += 1;
+        if let Some(sink) = &self.trace {
+            sink.emit(TraceEvent::RegionMove {
+                old_base: region.base().as_u64(),
+                new_base: grown.base().as_u64(),
+                end: grown.end().as_u64(),
+            });
+        }
         Ok(())
     }
 
@@ -561,7 +604,9 @@ impl Kernel {
                 let flags = self.direct_map_flags(pa);
                 let slot = PhysAddr::new(l1.base_addr().as_u64() + i * 8);
                 match flags {
-                    Some(f) => self.pt_write(slot, Pte::leaf(leaf_ppn, f.with(PteFlags::G)).bits())?,
+                    Some(f) => {
+                        self.pt_write(slot, Pte::leaf(leaf_ppn, f.with(PteFlags::G)).bits())?
+                    }
                     None => { /* PT-Rand: hole over the pt area */ }
                 }
             }
@@ -577,9 +622,9 @@ impl Kernel {
             .is_some_and(|z| pa >= z.base().base_addr().as_u64());
         match (self.cfg.defense, in_pt_area) {
             (DefenseMode::PtRand, true) => None,
-            (DefenseMode::VirtualIsolation, true) => Some(
-                PteFlags::from_bits(PteFlags::V | PteFlags::R | PteFlags::A | PteFlags::D),
-            ),
+            (DefenseMode::VirtualIsolation, true) => Some(PteFlags::from_bits(
+                PteFlags::V | PteFlags::R | PteFlags::A | PteFlags::D,
+            )),
             _ => Some(PteFlags::kernel_rw()),
         }
     }
@@ -632,10 +677,7 @@ impl Kernel {
             };
         }
         if !new_pages.is_empty() {
-            let p = self
-                .procs
-                .get_mut(pid)
-                .ok_or(KernelError::NoSuchProcess)?;
+            let p = self.procs.get_mut(pid).ok_or(KernelError::NoSuchProcess)?;
             p.aspace.pt_pages.extend(new_pages);
         }
         Ok(pte_slot(table, va, 0))
@@ -654,14 +696,10 @@ impl Kernel {
         let slot = self.ensure_leaf_slot(pid, va)?;
         self.pt_write(slot, Pte::leaf(ppn, flags).bits())?;
         let vpn = va.as_u64() >> PAGE_SHIFT;
-        let p = self
-            .procs
-            .get_mut(pid)
-            .ok_or(KernelError::NoSuchProcess)?;
-        p.aspace.user.insert(
-            vpn,
-            crate::pagetable::UserMapping { ppn, flags, cow },
-        );
+        let p = self.procs.get_mut(pid).ok_or(KernelError::NoSuchProcess)?;
+        p.aspace
+            .user
+            .insert(vpn, crate::pagetable::UserMapping { ppn, flags, cow });
         self.rmap.entry(ppn.as_u64()).or_default().push((pid, vpn));
         Ok(())
     }
@@ -679,9 +717,7 @@ impl Kernel {
             let m = p.aspace.mapping(va).ok_or(KernelError::BadAddress)?;
             (p.aspace.root, p.aspace.asid, m.ppn)
         };
-        let slot = self
-            .leaf_slot(root, va)?
-            .ok_or(KernelError::BadAddress)?;
+        let slot = self.leaf_slot(root, va)?.ok_or(KernelError::BadAddress)?;
         self.pt_write(slot, Pte::invalid().bits())?;
         self.mmu.sfence_page(va, asid);
         self.stats.sfences += 1;
@@ -716,10 +752,7 @@ impl Kernel {
     /// Resolves the pid owning `pid`'s address space (threads share their
     /// owner's mm; everyone else owns their own).
     pub fn mm_owner_of(&self, pid: Pid) -> Pid {
-        self.procs
-            .get(pid)
-            .and_then(|p| p.mm_owner)
-            .unwrap_or(pid)
+        self.procs.get(pid).and_then(|p| p.mm_owner).unwrap_or(pid)
     }
 
     // ------------------------------------------------------------------
@@ -730,6 +763,12 @@ impl Kernel {
     /// the token into the secure region with `sd.pt` and the token pointer
     /// into the PCB with a regular store.
     pub(crate) fn token_issue(&mut self, pid: Pid) -> Result<(), KernelError> {
+        self.token_issue_as(pid, TokenOp::Issue)
+    }
+
+    /// As [`Self::token_issue`], but tagged with `op` in the trace — fork and
+    /// thread creation record their child token as a copy.
+    pub(crate) fn token_issue_as(&mut self, pid: Pid, op: TokenOp) -> Result<(), KernelError> {
         let Some(slab) = self.token_slab.as_mut() else {
             return Ok(()); // tokens only exist under PTStore
         };
@@ -758,9 +797,9 @@ impl Kernel {
         self.cycles.charge(CostKind::Token, cost::TOKEN_ISSUE);
         let ch = Channel::SecurePt;
         self.bus
-            .write_u64(token_addr, token.pt_ptr.as_u64(), ch, self.kctx())?;
+            .write::<u64>(token_addr, token.pt_ptr.as_u64(), ch, self.kctx())?;
         self.bus
-            .write_u64(token_addr + 8, token.user_ptr.as_u64(), ch, self.kctx())?;
+            .write::<u64>(token_addr + 8, token.user_ptr.as_u64(), ch, self.kctx())?;
         // PCB fields (normal memory; regular stores).
         self.mem_write(token_slot_field, token_addr.as_u64())?;
         let pt_slot = {
@@ -768,6 +807,13 @@ impl Kernel {
             p.pt_ptr_slot()
         };
         self.mem_write(pt_slot, pt_ptr.as_u64())?;
+        if let Some(sink) = &self.trace {
+            sink.emit(TraceEvent::Token {
+                op,
+                pid: u64::from(pid),
+                ok: true,
+            });
+        }
         Ok(())
     }
 
@@ -789,11 +835,18 @@ impl Kernel {
             .contains(token_addr)
         {
             let ch = Channel::SecurePt;
-            self.bus.write_u64(token_addr, 0, ch, self.kctx())?;
-            self.bus.write_u64(token_addr + 8, 0, ch, self.kctx())?;
+            self.bus.write::<u64>(token_addr, 0, ch, self.kctx())?;
+            self.bus.write::<u64>(token_addr + 8, 0, ch, self.kctx())?;
             self.token_slab.as_mut().expect("checked").free(token_addr);
         }
         self.mem_write(token_slot, 0)?;
+        if let Some(sink) = &self.trace {
+            sink.emit(TraceEvent::Token {
+                op: TokenOp::Clear,
+                pid: u64::from(pid),
+                ok: true,
+            });
+        }
         Ok(())
     }
 
@@ -817,27 +870,45 @@ impl Kernel {
         let region = self.secure_region.expect("tokens imply ptstore");
         if !region.contains_range(token_ptr, 16) {
             self.stats.token_failures += 1;
-            self.security_log.push(SecurityEvent::TokenPointerOutsideRegion {
-                pid,
-                ptr: token_ptr,
-            });
+            self.security_log
+                .push(SecurityEvent::TokenPointerOutsideRegion {
+                    pid,
+                    ptr: token_ptr,
+                });
+            self.emit_token_validate(pid, false);
             return Err(TokenError::TokenOutsideSecureRegion.into());
         }
         // Token fields are read back with ld.pt — unforgeable by regular
         // stores.
-        let t_pt = self.bus.read_u64(token_ptr, Channel::SecurePt, self.kctx())?;
+        let t_pt = self
+            .bus
+            .read::<u64>(token_ptr, Channel::SecurePt, self.kctx())?;
         let t_user = self
             .bus
-            .read_u64(token_ptr + 8, Channel::SecurePt, self.kctx())?;
+            .read::<u64>(token_ptr + 8, Channel::SecurePt, self.kctx())?;
         let token = Token::new(PhysAddr::new(t_pt), PhysAddr::new(t_user));
         match token.validate(pcb_pt_ptr, token_slot) {
-            Ok(()) => Ok(pcb_pt_ptr),
+            Ok(()) => {
+                self.emit_token_validate(pid, true);
+                Ok(pcb_pt_ptr)
+            }
             Err(e) => {
                 self.stats.token_failures += 1;
                 self.security_log
                     .push(SecurityEvent::TokenRejected { pid, err: e });
+                self.emit_token_validate(pid, false);
                 Err(e.into())
             }
+        }
+    }
+
+    fn emit_token_validate(&self, pid: Pid, ok: bool) {
+        if let Some(sink) = &self.trace {
+            sink.emit(TraceEvent::Token {
+                op: TokenOp::Validate,
+                pid: u64::from(pid),
+                ok,
+            });
         }
     }
 
@@ -857,11 +928,7 @@ impl Kernel {
             self.token_validate(pid)?
         } else {
             // Baselines trust the PCB field as-is.
-            let slot = self
-                .procs
-                .get(pid)
-                .expect("checked")
-                .pt_ptr_slot();
+            let slot = self.procs.get(pid).expect("checked").pt_ptr_slot();
             PhysAddr::new(self.mem_read(slot)?)
         };
         self.mmu.satp = Satp::sv39(

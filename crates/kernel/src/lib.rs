@@ -57,13 +57,14 @@ pub mod stats;
 pub mod syscall;
 pub mod zones;
 
-pub use config::{DefenseMode, KernelConfig};
+pub use config::{ConfigError, DefenseMode, KernelConfig, KernelConfigBuilder};
 pub use cycles::{cost, CostKind, CycleCounter};
 pub use error::KernelError;
 pub use introspect::AttackerFault;
 pub use kernel::Kernel;
 pub use proc_mgmt::FaultResolution;
 pub use process::{Pid, ProcState};
+pub use ptstore_trace::Snapshot;
 pub use sbi::{SbiCall, SbiError, SbiFirmware, SbiResult};
 pub use stats::{KernelStats, SecurityEvent};
 pub use syscall::{profile, SyscallProfile};

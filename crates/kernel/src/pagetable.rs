@@ -39,9 +39,7 @@ pub fn direct_map_va(pa: PhysAddr) -> VirtAddr {
 /// Inverts [`direct_map_va`]; `None` when `va` is not a direct-map address.
 #[inline]
 pub fn direct_map_pa(va: VirtAddr) -> Option<PhysAddr> {
-    va.as_u64()
-        .checked_sub(DIRECT_MAP_BASE)
-        .map(PhysAddr::new)
+    va.as_u64().checked_sub(DIRECT_MAP_BASE).map(PhysAddr::new)
 }
 
 /// The physical address of the PTE slot for `va` at `level` within the page
@@ -120,6 +118,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // the layout *is* the constant under test
     fn layout_is_disjoint_and_ordered() {
         assert!(USER_TEXT_BASE < USER_HEAP_BASE);
         assert!(USER_HEAP_BASE < USER_MMAP_BASE);
@@ -145,8 +144,12 @@ mod tests {
             },
         );
         assert_eq!(aspace.user_page_count(), 1);
-        let m = aspace.mapping(VirtAddr::new(USER_TEXT_BASE + 0x123)).unwrap();
+        let m = aspace
+            .mapping(VirtAddr::new(USER_TEXT_BASE + 0x123))
+            .unwrap();
         assert_eq!(m.ppn, PhysPageNum::new(0x55));
-        assert!(aspace.mapping(VirtAddr::new(USER_TEXT_BASE + 0x1000)).is_none());
+        assert!(aspace
+            .mapping(VirtAddr::new(USER_TEXT_BASE + 0x1000))
+            .is_none());
     }
 }

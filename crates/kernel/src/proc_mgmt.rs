@@ -8,12 +8,9 @@ use crate::cycles::{cost, CostKind};
 use crate::error::KernelError;
 use crate::kernel::Kernel;
 use crate::pagetable::{
-    AddressSpace, USER_HEAP_BASE, USER_MMAP_BASE, USER_STACK_PAGES,
-    USER_STACK_TOP, USER_TEXT_BASE,
+    AddressSpace, USER_HEAP_BASE, USER_MMAP_BASE, USER_STACK_PAGES, USER_STACK_TOP, USER_TEXT_BASE,
 };
-use crate::process::{
-    FdTable, Pid, ProcState, Process, SignalTable, VmArea, VmPerms, PCB_OFF_PID,
-};
+use crate::process::{FdTable, Pid, ProcState, Process, SignalTable, VmArea, VmPerms, PCB_OFF_PID};
 use crate::zones::GfpFlags;
 
 /// How a page fault was resolved (returned to workload drivers).
@@ -68,7 +65,13 @@ impl Kernel {
         // Map the shared text and eager stack pages.
         let text = self.shared_text_ppn;
         *self.page_refs.entry(text.as_u64()).or_insert(0) += 1;
-        self.map_user_page(pid, VirtAddr::new(USER_TEXT_BASE), text, PteFlags::user_rx(), false)?;
+        self.map_user_page(
+            pid,
+            VirtAddr::new(USER_TEXT_BASE),
+            text,
+            PteFlags::user_rx(),
+            false,
+        )?;
         for i in 0..USER_STACK_PAGES {
             let page = self.alloc_page(GfpFlags::MOVABLE | GfpFlags::ZERO)?;
             *self.page_refs.entry(page.as_u64()).or_insert(0) += 1;
@@ -107,7 +110,11 @@ impl Kernel {
     pub(crate) fn create_address_space(&mut self) -> Result<AddressSpace, KernelError> {
         let root = self.alloc_pt_page()?;
         let asid = self.next_asid;
-        self.next_asid = if self.next_asid >= 0x7fff { 1 } else { self.next_asid + 1 };
+        self.next_asid = if self.next_asid >= 0x7fff {
+            1
+        } else {
+            self.next_asid + 1
+        };
         // Copy the kernel-half root entries (upper 256 slots).
         let kroot = self.kernel_root;
         for slot_idx in 256..512u64 {
@@ -221,7 +228,7 @@ impl Kernel {
             (p.pt_ptr_slot(), p.aspace.root)
         };
         self.mem_write(pt_slot, root.base_addr().as_u64())?;
-        self.token_issue(child_pid)?;
+        self.token_issue_as(child_pid, ptstore_trace::TokenOp::Copy)?;
 
         self.procs
             .get_mut(parent_pid)
@@ -236,9 +243,7 @@ impl Kernel {
     fn dup_fd_resources(&mut self, pid: Pid) {
         let entries: Vec<crate::process::FdEntry> = {
             let p = self.procs.get(pid).expect("exists");
-            (0..64)
-                .filter_map(|fd| p.fds.get(fd).cloned())
-                .collect()
+            (0..64).filter_map(|fd| p.fds.get(fd).cloned()).collect()
         };
         for e in entries {
             match e {
@@ -260,8 +265,17 @@ impl Kernel {
         let tid = self.allocate_pid();
         let pcb_addr = self.alloc_pcb()?;
         let (fds, signals, vmas, brk, mmap_cursor) = {
-            let p = self.procs.get(self.current).ok_or(KernelError::NoSuchProcess)?;
-            (p.fds.clone(), p.signals.clone(), Vec::new(), p.brk, p.mmap_cursor)
+            let p = self
+                .procs
+                .get(self.current)
+                .ok_or(KernelError::NoSuchProcess)?;
+            (
+                p.fds.clone(),
+                p.signals.clone(),
+                Vec::new(),
+                p.brk,
+                p.mmap_cursor,
+            )
         };
         let thread = Process {
             pid: tid,
@@ -292,7 +306,7 @@ impl Kernel {
         let pt_slot = self.procs.get(tid).expect("inserted").pt_ptr_slot();
         self.mem_write(pt_slot, root.base_addr().as_u64())?;
         // ...bound by the thread's own token (token copy).
-        self.token_issue(tid)?;
+        self.token_issue_as(tid, ptstore_trace::TokenOp::Copy)?;
         self.procs
             .get_mut(owner)
             .expect("owner exists")
@@ -337,7 +351,13 @@ impl Kernel {
         }
         let text = self.shared_text_ppn;
         *self.page_refs.entry(text.as_u64()).or_insert(0) += 1;
-        self.map_user_page(pid, VirtAddr::new(USER_TEXT_BASE), text, PteFlags::user_rx(), false)?;
+        self.map_user_page(
+            pid,
+            VirtAddr::new(USER_TEXT_BASE),
+            text,
+            PteFlags::user_rx(),
+            false,
+        )?;
         for i in 0..USER_STACK_PAGES {
             let page = self.alloc_page(GfpFlags::MOVABLE | GfpFlags::ZERO)?;
             *self.page_refs.entry(page.as_u64()).or_insert(0) += 1;
@@ -390,10 +410,7 @@ impl Kernel {
             return Ok(());
         }
         // An mm owner with live threads cannot release the address space.
-        let has_threads = self
-            .procs
-            .get(pid)
-            .is_some_and(|p| !p.threads.is_empty());
+        let has_threads = self.procs.get(pid).is_some_and(|p| !p.threads.is_empty());
         if has_threads {
             return Err(KernelError::InvalidState);
         }
@@ -452,10 +469,7 @@ impl Kernel {
     pub fn do_wait(&mut self) -> Result<(Pid, i32), KernelError> {
         let parent = self.current;
         let zombie = {
-            let p = self
-                .procs
-                .get(parent)
-                .ok_or(KernelError::NoSuchProcess)?;
+            let p = self.procs.get(parent).ok_or(KernelError::NoSuchProcess)?;
             p.children
                 .iter()
                 .copied()
@@ -588,9 +602,7 @@ impl Kernel {
             self.cycles.charge(CostKind::MemAccess, cost::ZERO_PAGE); // page copy
             self.bus.mem_unchecked().copy_page(old, new)?;
             *self.page_refs.entry(new.as_u64()).or_insert(0) += 1;
-            let slot = self
-                .leaf_slot(root, va)?
-                .ok_or(KernelError::BadAddress)?;
+            let slot = self.leaf_slot(root, va)?.ok_or(KernelError::BadAddress)?;
             self.pt_write(slot, Pte::leaf(new, new_flags).bits())?;
             // Shadow + rmap rewire.
             if let Some(p) = self.procs.get_mut(pid) {
@@ -607,9 +619,7 @@ impl Kernel {
             self.put_user_page(old)?;
         } else {
             // Sole owner: restore write permission in place.
-            let slot = self
-                .leaf_slot(root, va)?
-                .ok_or(KernelError::BadAddress)?;
+            let slot = self.leaf_slot(root, va)?.ok_or(KernelError::BadAddress)?;
             self.pt_write(slot, Pte::leaf(old, new_flags).bits())?;
             if let Some(p) = self.procs.get_mut(pid) {
                 if let Some(m) = p.aspace.user.get_mut(&vpn) {
@@ -634,9 +644,9 @@ impl Kernel {
     ) -> Result<ptstore_core::PhysAddr, KernelError> {
         for _attempt in 0..3 {
             let satp = self.mmu.satp;
-            let outcome = self
-                .mmu
-                .translate_data(&mut self.bus, va, kind, ptstore_core::PrivilegeMode::User);
+            let outcome =
+                self.mmu
+                    .translate_data(&mut self.bus, va, kind, ptstore_core::PrivilegeMode::User);
             match outcome {
                 Ok(o) => {
                     if let ptstore_mmu::TranslationOutcome::Walk { fetches, .. } = o {
@@ -696,4 +706,3 @@ impl PageAlignVa for VirtAddr {
         VirtAddr::new(self.as_u64() & !(PAGE_SIZE - 1))
     }
 }
-

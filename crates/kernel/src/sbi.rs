@@ -243,7 +243,7 @@ mod tests {
         // And the PMP still protects the original extent.
         let ctx = AccessContext::supervisor(true);
         assert!(bus
-            .write_u64(PhysAddr::new(193 * MIB), 0, Channel::Regular, ctx)
+            .write::<u64>(PhysAddr::new(193 * MIB), 0, Channel::Regular, ctx)
             .is_err());
     }
 

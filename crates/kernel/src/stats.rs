@@ -3,6 +3,7 @@
 use core::fmt;
 
 use ptstore_core::{PhysAddr, PhysPageNum, TokenError};
+use ptstore_trace::Snapshot;
 use serde::{Deserialize, Serialize};
 
 use crate::process::Pid;
@@ -48,7 +49,16 @@ pub struct KernelStats {
 
 impl KernelStats {
     /// Difference against an earlier snapshot.
+    #[deprecated(note = "use `Snapshot::delta`")]
     pub fn since(&self, earlier: &KernelStats) -> KernelStats {
+        self.delta(earlier)
+    }
+}
+
+impl Snapshot for KernelStats {
+    /// Field-wise difference; the `pt_pages_live`/`pt_pages_peak` gauges keep
+    /// their current (absolute) values rather than subtracting.
+    fn delta(&self, earlier: &Self) -> Self {
         KernelStats {
             syscalls: self.syscalls - earlier.syscalls,
             forks: self.forks - earlier.forks,
@@ -117,13 +127,15 @@ mod tests {
 
     #[test]
     fn since_subtracts_counters() {
-        let mut a = KernelStats::default();
-        a.forks = 10;
-        a.syscalls = 100;
-        let mut b = a;
+        let a = KernelStats {
+            forks: 10,
+            syscalls: 100,
+            ..Default::default()
+        };
+        let mut b = a.snapshot();
         b.forks = 25;
         b.syscalls = 180;
-        let d = b.since(&a);
+        let d = b.delta(&a);
         assert_eq!(d.forks, 15);
         assert_eq!(d.syscalls, 80);
     }

@@ -17,6 +17,8 @@ use crate::process::{FdEntry, Pid, SigAction, VmArea, VmPerms};
 /// Static per-syscall cost profile.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SyscallProfile {
+    /// Syscall name as it appears in trace events.
+    pub name: &'static str,
     /// Fixed kernel-path work (cycles) beyond entry/exit.
     pub base_cycles: u64,
     /// Indirect calls on the hot path (CFI-checked when CFI is on).
@@ -30,47 +32,131 @@ pub mod profile {
     use super::SyscallProfile;
 
     /// `getppid` — LMBench's "null" syscall.
-    pub const NULL: SyscallProfile = SyscallProfile { base_cycles: 30, indirect_calls: 1 };
+    pub const NULL: SyscallProfile = SyscallProfile {
+        name: "getppid",
+        base_cycles: 30,
+        indirect_calls: 1,
+    };
     /// `read` from /dev/zero (LMBench read).
-    pub const READ: SyscallProfile = SyscallProfile { base_cycles: 180, indirect_calls: 8 };
+    pub const READ: SyscallProfile = SyscallProfile {
+        name: "read",
+        base_cycles: 180,
+        indirect_calls: 8,
+    };
     /// `write` to /dev/null-ish console (LMBench write).
-    pub const WRITE: SyscallProfile = SyscallProfile { base_cycles: 170, indirect_calls: 8 };
+    pub const WRITE: SyscallProfile = SyscallProfile {
+        name: "write",
+        base_cycles: 170,
+        indirect_calls: 8,
+    };
     /// `stat`.
-    pub const STAT: SyscallProfile = SyscallProfile { base_cycles: 420, indirect_calls: 6 };
+    pub const STAT: SyscallProfile = SyscallProfile {
+        name: "stat",
+        base_cycles: 420,
+        indirect_calls: 6,
+    };
     /// `fstat`.
-    pub const FSTAT: SyscallProfile = SyscallProfile { base_cycles: 230, indirect_calls: 4 };
+    pub const FSTAT: SyscallProfile = SyscallProfile {
+        name: "fstat",
+        base_cycles: 230,
+        indirect_calls: 4,
+    };
     /// `open`+`close`.
-    pub const OPEN_CLOSE: SyscallProfile = SyscallProfile { base_cycles: 700, indirect_calls: 14 };
+    pub const OPEN_CLOSE: SyscallProfile = SyscallProfile {
+        name: "open/close",
+        base_cycles: 700,
+        indirect_calls: 14,
+    };
     /// `select` on 10 fds.
-    pub const SELECT_10: SyscallProfile = SyscallProfile { base_cycles: 520, indirect_calls: 18 };
+    pub const SELECT_10: SyscallProfile = SyscallProfile {
+        name: "select",
+        base_cycles: 520,
+        indirect_calls: 18,
+    };
     /// Signal handler installation.
-    pub const SIG_INSTALL: SyscallProfile = SyscallProfile { base_cycles: 190, indirect_calls: 3 };
+    pub const SIG_INSTALL: SyscallProfile = SyscallProfile {
+        name: "sigaction",
+        base_cycles: 190,
+        indirect_calls: 3,
+    };
     /// Signal delivery/catch.
-    pub const SIG_CATCH: SyscallProfile = SyscallProfile { base_cycles: 680, indirect_calls: 5 };
+    pub const SIG_CATCH: SyscallProfile = SyscallProfile {
+        name: "sigcatch",
+        base_cycles: 680,
+        indirect_calls: 5,
+    };
     /// `pipe` round trip.
-    pub const PIPE: SyscallProfile = SyscallProfile { base_cycles: 520, indirect_calls: 6 };
+    pub const PIPE: SyscallProfile = SyscallProfile {
+        name: "pipe",
+        base_cycles: 520,
+        indirect_calls: 6,
+    };
     /// `fork`(+exit+wait measured by the driver).
-    pub const FORK: SyscallProfile = SyscallProfile { base_cycles: 0, indirect_calls: 29 };
+    pub const FORK: SyscallProfile = SyscallProfile {
+        name: "fork",
+        base_cycles: 0,
+        indirect_calls: 29,
+    };
     /// `execve`.
-    pub const EXEC: SyscallProfile = SyscallProfile { base_cycles: 0, indirect_calls: 28 };
+    pub const EXEC: SyscallProfile = SyscallProfile {
+        name: "execve",
+        base_cycles: 0,
+        indirect_calls: 28,
+    };
     /// `exit`.
-    pub const EXIT: SyscallProfile = SyscallProfile { base_cycles: 0, indirect_calls: 14 };
+    pub const EXIT: SyscallProfile = SyscallProfile {
+        name: "exit",
+        base_cycles: 0,
+        indirect_calls: 14,
+    };
     /// `wait`.
-    pub const WAIT: SyscallProfile = SyscallProfile { base_cycles: 240, indirect_calls: 6 };
+    pub const WAIT: SyscallProfile = SyscallProfile {
+        name: "wait",
+        base_cycles: 240,
+        indirect_calls: 6,
+    };
     /// `mmap`/`munmap`.
-    pub const MMAP: SyscallProfile = SyscallProfile { base_cycles: 480, indirect_calls: 7 };
+    pub const MMAP: SyscallProfile = SyscallProfile {
+        name: "mmap",
+        base_cycles: 480,
+        indirect_calls: 7,
+    };
     /// `brk`.
-    pub const BRK: SyscallProfile = SyscallProfile { base_cycles: 260, indirect_calls: 4 };
+    pub const BRK: SyscallProfile = SyscallProfile {
+        name: "brk",
+        base_cycles: 260,
+        indirect_calls: 4,
+    };
     /// `sched_yield` (context-switch driver).
-    pub const YIELD: SyscallProfile = SyscallProfile { base_cycles: 120, indirect_calls: 6 };
+    pub const YIELD: SyscallProfile = SyscallProfile {
+        name: "sched_yield",
+        base_cycles: 120,
+        indirect_calls: 6,
+    };
     /// Socket accept (NGINX/Redis model).
-    pub const ACCEPT: SyscallProfile = SyscallProfile { base_cycles: 900, indirect_calls: 22 };
+    pub const ACCEPT: SyscallProfile = SyscallProfile {
+        name: "accept",
+        base_cycles: 900,
+        indirect_calls: 22,
+    };
     /// Socket recv.
-    pub const RECV: SyscallProfile = SyscallProfile { base_cycles: 420, indirect_calls: 16 };
+    pub const RECV: SyscallProfile = SyscallProfile {
+        name: "recv",
+        base_cycles: 420,
+        indirect_calls: 16,
+    };
     /// Socket send.
-    pub const SEND: SyscallProfile = SyscallProfile { base_cycles: 460, indirect_calls: 18 };
+    pub const SEND: SyscallProfile = SyscallProfile {
+        name: "send",
+        base_cycles: 460,
+        indirect_calls: 18,
+    };
     /// Socket close.
-    pub const SOCK_CLOSE: SyscallProfile = SyscallProfile { base_cycles: 380, indirect_calls: 12 };
+    pub const SOCK_CLOSE: SyscallProfile = SyscallProfile {
+        name: "sock_close",
+        base_cycles: 380,
+        indirect_calls: 12,
+    };
 }
 
 impl Kernel {
@@ -78,13 +164,26 @@ impl Kernel {
     /// calls.
     pub(crate) fn syscall_enter(&mut self, p: SyscallProfile) {
         self.stats.syscalls += 1;
-        self.cycles.charge(CostKind::Kernel, cost::SYSCALL_ENTRY + p.base_cycles);
+        if let Some(sink) = &self.trace {
+            sink.emit(ptstore_trace::TraceEvent::SyscallEnter { name: p.name });
+            self.syscall_mark = Some((p.name, self.cycles.total()));
+        }
+        self.cycles
+            .charge(CostKind::Kernel, cost::SYSCALL_ENTRY + p.base_cycles);
         self.charge_indirect_calls(p.indirect_calls);
     }
 
     /// Common syscall exit.
     pub(crate) fn syscall_exit(&mut self) {
         self.cycles.charge(CostKind::Kernel, cost::SYSCALL_EXIT);
+        if let Some((name, entry_total)) = self.syscall_mark.take() {
+            if let Some(sink) = &self.trace {
+                sink.emit(ptstore_trace::TraceEvent::SyscallExit {
+                    name,
+                    cycles: self.cycles.since(entry_total),
+                });
+            }
+        }
     }
 
     /// Charges CFI checks when the kernel is CFI-instrumented.
@@ -432,10 +531,7 @@ impl Kernel {
         let len = len.div_ceil(PAGE_SIZE) * PAGE_SIZE;
         let mm = self.mm_owner_of(self.current);
         let r = {
-            let p = self
-                .procs
-                .get_mut(mm)
-                .ok_or(KernelError::NoSuchProcess)?;
+            let p = self.procs.get_mut(mm).ok_or(KernelError::NoSuchProcess)?;
             let stack_guard = crate::pagetable::USER_STACK_TOP - 64 * PAGE_SIZE;
             let start = if p.mmap_cursor + len <= stack_guard {
                 let s = p.mmap_cursor;
@@ -511,10 +607,7 @@ impl Kernel {
             va += PAGE_SIZE;
         }
         if r.is_ok() {
-            let p = self
-                .procs
-                .get_mut(pid)
-                .ok_or(KernelError::NoSuchProcess)?;
+            let p = self.procs.get_mut(pid).ok_or(KernelError::NoSuchProcess)?;
             p.vmas
                 .retain(|v| !(v.start == addr.as_u64() && v.end == addr.as_u64() + len));
         }
@@ -530,7 +623,8 @@ impl Kernel {
                 .procs
                 .get_mut(self.current)
                 .ok_or(KernelError::NoSuchProcess)?;
-            if !(crate::pagetable::USER_HEAP_BASE..crate::pagetable::USER_MMAP_BASE).contains(&new_brk)
+            if !(crate::pagetable::USER_HEAP_BASE..crate::pagetable::USER_MMAP_BASE)
+                .contains(&new_brk)
             {
                 Err(KernelError::BadAddress)
             } else {
@@ -565,12 +659,7 @@ impl Kernel {
         r
     }
 
-    fn do_mprotect(
-        &mut self,
-        addr: VirtAddr,
-        len: u64,
-        perms: VmPerms,
-    ) -> Result<(), KernelError> {
+    fn do_mprotect(&mut self, addr: VirtAddr, len: u64, perms: VmPerms) -> Result<(), KernelError> {
         let len = len.div_ceil(PAGE_SIZE) * PAGE_SIZE;
         let mm = self.mm_owner_of(self.current);
         // Update the VMA (split handling kept simple: exact or inner range
@@ -628,7 +717,8 @@ impl Kernel {
             let va = VirtAddr::new(vpn << 12);
             let root = self.procs.get(mm).expect("exists").aspace.root;
             let slot = self.leaf_slot(root, va)?.ok_or(KernelError::BadAddress)?;
-            let mut bits = ptstore_mmu::PteFlags::V | ptstore_mmu::PteFlags::U | ptstore_mmu::PteFlags::A;
+            let mut bits =
+                ptstore_mmu::PteFlags::V | ptstore_mmu::PteFlags::U | ptstore_mmu::PteFlags::A;
             if perms.read {
                 bits |= ptstore_mmu::PteFlags::R;
             }
@@ -656,7 +746,11 @@ impl Kernel {
     /// through the fault path). Exposed for the LMBench page-fault and mmap
     /// latency drivers.
     pub fn sys_touch(&mut self, va: VirtAddr, write: bool) -> Result<(), KernelError> {
-        let kind = if write { AccessKind::Write } else { AccessKind::Read };
+        let kind = if write {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
         self.touch_user(va, kind)?;
         Ok(())
     }
@@ -670,7 +764,13 @@ impl Kernel {
         self.syscall_enter(profile::ACCEPT);
         let id = self.next_socket;
         self.next_socket += 1;
-        self.sockets.insert(id, Socket { rx: rx_bytes, tx: 0 });
+        self.sockets.insert(
+            id,
+            Socket {
+                rx: rx_bytes,
+                tx: 0,
+            },
+        );
         let r = {
             let p = self
                 .procs

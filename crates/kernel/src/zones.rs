@@ -412,9 +412,7 @@ impl BuddyZone {
             covered.push((s, s + (1u64 << info.order)));
         }
         covered.sort_unstable();
-        covered
-            .windows(2)
-            .all(|w| w[0].1 <= w[1].0)
+        covered.windows(2).all(|w| w[0].1 <= w[1].0)
             && covered
                 .iter()
                 .all(|&(a, b)| a >= self.base_ppn && b <= self.end_ppn)
@@ -476,7 +474,10 @@ mod tests {
         let mut z = zone(64);
         let big = z.alloc(4, false).unwrap(); // 16 pages
         assert_eq!(z.free_pages(), 48);
-        assert!(big.as_u64() % 16 == 0, "buddy blocks are naturally aligned");
+        assert!(
+            big.as_u64().is_multiple_of(16),
+            "buddy blocks are naturally aligned"
+        );
         z.free(big).unwrap();
         assert_eq!(z.free_pages(), 64);
     }

@@ -10,9 +10,14 @@ use std::collections::HashSet;
 /// An operation in a random allocator workload.
 #[derive(Debug, Clone)]
 enum Op {
-    Alloc { order: u8, movable: bool },
+    Alloc {
+        order: u8,
+        movable: bool,
+    },
     /// Free the i-th live allocation (modulo the live set size).
-    Free { index: usize },
+    Free {
+        index: usize,
+    },
 }
 
 fn arb_op() -> impl Strategy<Value = Op> {

@@ -1,12 +1,15 @@
 //! Integration tests across the kernel's subsystems.
 
-use ptstore_core::{AccessKind, VirtAddr, MIB, PAGE_SIZE};
+use ptstore_core::{VirtAddr, MIB, PAGE_SIZE};
 use ptstore_kernel::pagetable::{USER_MMAP_BASE, USER_TEXT_BASE};
 use ptstore_kernel::{DefenseMode, Kernel, KernelConfig, KernelError};
 
 fn boot(cfg: KernelConfig) -> Kernel {
-    Kernel::boot(cfg.with_mem_size(256 * MIB).with_initial_secure_size(16 * MIB))
-        .expect("kernel boots")
+    Kernel::boot(
+        cfg.with_mem_size(256 * MIB)
+            .with_initial_secure_size(16 * MIB),
+    )
+    .expect("kernel boots")
 }
 
 fn boot_small_region(chunk: u64) -> Kernel {
@@ -84,7 +87,11 @@ fn fork_exit_cycle_leaks_nothing() {
         free_before,
         "secure pages all returned"
     );
-    assert_eq!(k.normal_free_pages(), normal_before, "normal pages all returned");
+    assert_eq!(
+        k.normal_free_pages(),
+        normal_before,
+        "normal pages all returned"
+    );
     assert_eq!(k.stats.forks, 50);
     assert_eq!(k.stats.exits, 50);
 }
@@ -198,7 +205,10 @@ fn syscall_battery_behaves() {
     let data = k.sys_read(fd, 4).expect("read");
     assert_eq!(&data, b"root");
     k.sys_close(fd).expect("close");
-    assert!(matches!(k.sys_open("/nonexistent"), Err(KernelError::NoSuchFile)));
+    assert!(matches!(
+        k.sys_open("/nonexistent"),
+        Err(KernelError::NoSuchFile)
+    ));
     // stat/fstat
     let st = k.sys_stat("/etc/passwd").expect("stat");
     assert_eq!(st.size, 30);
@@ -237,7 +247,8 @@ fn exec_replaces_address_space() {
     assert_eq!(p.aspace.user_page_count(), 3, "text + 2 stack only");
     assert!(p.vma_for(addr).is_none(), "mmap vma gone");
     // Text is mapped and executable again.
-    k.sys_touch(VirtAddr::new(USER_TEXT_BASE), false).expect("text readable");
+    k.sys_touch(VirtAddr::new(USER_TEXT_BASE), false)
+        .expect("text readable");
 }
 
 #[test]
@@ -316,8 +327,12 @@ fn threads_share_memory_with_copied_tokens() {
     let owner_root = k.mem_read_public(owner_pt).expect("read");
     let t1_root = k.mem_read_public(t1_pt).expect("read");
     assert_eq!(owner_root, t1_root, "shared page-table pointer");
-    let owner_token = k.mem_read_public(k.pcb_token_slot(1).unwrap()).expect("read");
-    let t1_token = k.mem_read_public(k.pcb_token_slot(t1).unwrap()).expect("read");
+    let owner_token = k
+        .mem_read_public(k.pcb_token_slot(1).unwrap())
+        .expect("read");
+    let t1_token = k
+        .mem_read_public(k.pcb_token_slot(t1).unwrap())
+        .expect("read");
     assert_ne!(owner_token, t1_token, "distinct (copied) tokens");
 
     // Token validation passes when switching to threads (the copied token
@@ -356,14 +371,19 @@ fn thread_token_is_not_transferable() {
     let t1 = k.sys_clone_thread().expect("clone");
     let victim = k.sys_fork().expect("fork victim");
     // Attacker copies the thread's pt_ptr AND token_ptr into the victim.
-    let t1_pt = k.mem_read_public(k.pcb_pt_ptr_slot(t1).unwrap()).expect("read");
-    let t1_token = k.mem_read_public(k.pcb_token_slot(t1).unwrap()).expect("read");
+    let t1_pt = k
+        .mem_read_public(k.pcb_pt_ptr_slot(t1).unwrap())
+        .expect("read");
+    let t1_token = k
+        .mem_read_public(k.pcb_token_slot(t1).unwrap())
+        .expect("read");
     let vic_pt_slot = k.pcb_pt_ptr_slot(victim).unwrap();
     let vic_token_slot = k.pcb_token_slot(victim).unwrap();
     let dm_pt = k.direct_map(vic_pt_slot);
     let dm_tok = k.direct_map(vic_token_slot);
     k.attacker_write_u64(dm_pt, t1_pt).expect("pcb writable");
-    k.attacker_write_u64(dm_tok, t1_token).expect("pcb writable");
+    k.attacker_write_u64(dm_tok, t1_token)
+        .expect("pcb writable");
     let err = k.do_switch_to(victim).unwrap_err();
     assert!(matches!(err, KernelError::TokenInvalid(_)));
     assert!(k.stats.token_failures >= 1);
@@ -378,7 +398,8 @@ fn mprotect_downgrades_and_restores() {
     k.user_write_u64(addr, 7).expect("writable");
 
     // Downgrade to read-only: writes now fault as protection violations.
-    k.sys_mprotect(addr, 2 * PAGE_SIZE, VmPerms::RO).expect("mprotect ro");
+    k.sys_mprotect(addr, 2 * PAGE_SIZE, VmPerms::RO)
+        .expect("mprotect ro");
     assert_eq!(k.user_read_u64(addr).expect("still readable"), 7);
     assert!(matches!(
         k.sys_touch(addr, true),
@@ -386,7 +407,8 @@ fn mprotect_downgrades_and_restores() {
     ));
 
     // Restore RW: writes work again (fresh PTE via the defense channel).
-    k.sys_mprotect(addr, 2 * PAGE_SIZE, VmPerms::RW).expect("mprotect rw");
+    k.sys_mprotect(addr, 2 * PAGE_SIZE, VmPerms::RW)
+        .expect("mprotect rw");
     k.user_write_u64(addr, 9).expect("writable again");
     assert_eq!(k.user_read_u64(addr).expect("read"), 9);
 }
@@ -397,14 +419,17 @@ fn mprotect_inner_range_splits_vma() {
     let mut k = boot(KernelConfig::cfi_ptstore());
     let addr = k.sys_mmap(4 * PAGE_SIZE).expect("mmap");
     for i in 0..4 {
-        k.sys_touch(VirtAddr::new(addr.as_u64() + i * PAGE_SIZE), true).expect("touch");
+        k.sys_touch(VirtAddr::new(addr.as_u64() + i * PAGE_SIZE), true)
+            .expect("touch");
     }
     // Protect only the middle two pages.
     let mid = VirtAddr::new(addr.as_u64() + PAGE_SIZE);
-    k.sys_mprotect(mid, 2 * PAGE_SIZE, VmPerms::RO).expect("mprotect");
+    k.sys_mprotect(mid, 2 * PAGE_SIZE, VmPerms::RO)
+        .expect("mprotect");
     // Outer pages stay writable, inner pages do not.
     k.sys_touch(addr, true).expect("first page rw");
-    k.sys_touch(VirtAddr::new(addr.as_u64() + 3 * PAGE_SIZE), true).expect("last page rw");
+    k.sys_touch(VirtAddr::new(addr.as_u64() + 3 * PAGE_SIZE), true)
+        .expect("last page rw");
     assert!(matches!(k.sys_touch(mid, true), Err(KernelError::SegFault)));
     assert!(matches!(
         k.sys_touch(VirtAddr::new(addr.as_u64() + 2 * PAGE_SIZE), true),
@@ -412,7 +437,11 @@ fn mprotect_inner_range_splits_vma() {
     ));
     // VMA count grew by the split.
     let p = k.procs.get(1).unwrap();
-    assert!(p.vmas.len() >= 5, "split produced extra vmas: {}", p.vmas.len());
+    assert!(
+        p.vmas.len() >= 5,
+        "split produced extra vmas: {}",
+        p.vmas.len()
+    );
 }
 
 #[test]

@@ -3,13 +3,66 @@
 //! Every access names its originating [`Channel`]; the bus consults the
 //! [`PmpUnit`] (with the PTStore S-bit rules) *before* touching memory and
 //! raises the access fault the modified core would raise (paper §IV-A1).
+//!
+//! Data moves through three width-generic accessors — [`Bus::read`],
+//! [`Bus::write`], and [`Bus::fetch`] — parameterised over the RV64 transfer
+//! widths via the sealed [`BusData`] trait. The older `read_u64`-style
+//! accessors remain as deprecated wrappers.
 
 use ptstore_core::{
     AccessContext, AccessError, AccessKind, Channel, PhysAddr, PhysPageNum, PmpUnit, SecureRegion,
 };
+use ptstore_trace::{TraceEvent, TraceSink};
 
 use crate::phys::PhysMem;
 use crate::stats::AccessStats;
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for u8 {}
+    impl Sealed for u16 {}
+    impl Sealed for u32 {}
+    impl Sealed for u64 {}
+}
+
+/// A primitive the bus can move in one transfer.
+///
+/// Sealed over exactly `u8`, `u16`, `u32`, and `u64` — the RV64 load/store
+/// widths. Parameterises the width-generic [`Bus::read`], [`Bus::write`], and
+/// [`Bus::fetch`] accessors.
+pub trait BusData: sealed::Sealed + Copy {
+    /// Transfer width in bytes.
+    const WIDTH: u8;
+
+    #[doc(hidden)]
+    fn load(mem: &PhysMem, addr: PhysAddr) -> Result<Self, AccessError>;
+
+    #[doc(hidden)]
+    fn store(mem: &mut PhysMem, addr: PhysAddr, value: Self) -> Result<(), AccessError>;
+}
+
+macro_rules! bus_data {
+    ($($ty:ty, $width:literal, $read:ident, $write:ident;)*) => {
+        $(impl BusData for $ty {
+            const WIDTH: u8 = $width;
+
+            fn load(mem: &PhysMem, addr: PhysAddr) -> Result<Self, AccessError> {
+                mem.$read(addr)
+            }
+
+            fn store(mem: &mut PhysMem, addr: PhysAddr, value: Self) -> Result<(), AccessError> {
+                mem.$write(addr, value)
+            }
+        })*
+    };
+}
+
+bus_data! {
+    u8, 1, read_u8, write_u8;
+    u16, 2, read_u16, write_u16;
+    u32, 4, read_u32, write_u32;
+    u64, 8, read_u64, write_u64;
+}
 
 /// Physical memory behind a PMP with the PTStore extension.
 ///
@@ -23,10 +76,10 @@ use crate::stats::AccessStats;
 /// let ctx = AccessContext::supervisor(true);
 ///
 /// // The kernel writes a PTE with sd.pt...
-/// bus.write_u64(PhysAddr::new(192 * MIB), 0x1234, Channel::SecurePt, ctx)?;
+/// bus.write::<u64>(PhysAddr::new(192 * MIB), 0x1234, Channel::SecurePt, ctx)?;
 /// // ...while an attacker-controlled regular store faults.
 /// assert!(bus
-///     .write_u64(PhysAddr::new(192 * MIB), 0, Channel::Regular, ctx)
+///     .write::<u64>(PhysAddr::new(192 * MIB), 0, Channel::Regular, ctx)
 ///     .is_err());
 /// # Ok(())
 /// # }
@@ -36,6 +89,7 @@ pub struct Bus {
     mem: PhysMem,
     pmp: PmpUnit,
     stats: AccessStats,
+    trace: Option<TraceSink>,
 }
 
 impl Bus {
@@ -48,7 +102,22 @@ impl Bus {
             mem: PhysMem::new(size),
             pmp: PmpUnit::new(),
             stats: AccessStats::new(),
+            trace: None,
         }
+    }
+
+    /// Attaches (or, with `None`, detaches) a trace sink. The sink is also
+    /// forwarded to the PMP so check verdicts and bus transfers interleave in
+    /// one event stream.
+    pub fn set_trace_sink(&mut self, sink: Option<TraceSink>) {
+        self.pmp.set_trace_sink(sink.clone());
+        self.trace = sink;
+    }
+
+    /// The attached trace sink, if any. The MMU walker borrows this to emit
+    /// walk-step events into the same stream.
+    pub fn trace_sink(&self) -> Option<&TraceSink> {
+        self.trace.as_ref()
     }
 
     /// Installs the secure region into the PMP (the boot-time SBI call).
@@ -129,26 +198,88 @@ impl Bus {
         }
     }
 
-    /// Checked aligned 8-byte read.
+    /// Checked read of one `W`-sized value.
     ///
     /// # Errors
     /// PMP/PTStore denials, misalignment, or out-of-range access.
+    pub fn read<W: BusData>(
+        &mut self,
+        addr: PhysAddr,
+        channel: Channel,
+        ctx: AccessContext,
+    ) -> Result<W, AccessError> {
+        self.guard(addr, AccessKind::Read, channel, ctx)?;
+        let v = W::load(&self.mem, addr)?;
+        self.stats.record(channel, AccessKind::Read);
+        if let Some(sink) = &self.trace {
+            sink.emit(TraceEvent::BusRead {
+                addr: addr.as_u64(),
+                width: W::WIDTH,
+                channel: channel.into(),
+            });
+        }
+        Ok(v)
+    }
+
+    /// Checked write of one `W`-sized value.
+    ///
+    /// # Errors
+    /// PMP/PTStore denials, misalignment, or out-of-range access.
+    pub fn write<W: BusData>(
+        &mut self,
+        addr: PhysAddr,
+        value: W,
+        channel: Channel,
+        ctx: AccessContext,
+    ) -> Result<(), AccessError> {
+        self.guard(addr, AccessKind::Write, channel, ctx)?;
+        W::store(&mut self.mem, addr, value)?;
+        self.stats.record(channel, AccessKind::Write);
+        if let Some(sink) = &self.trace {
+            sink.emit(TraceEvent::BusWrite {
+                addr: addr.as_u64(),
+                width: W::WIDTH,
+                channel: channel.into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Checked instruction fetch of one `W`-sized parcel. Fetches always use
+    /// the regular channel — there is no `fetch.pt` (paper §III-C1).
+    ///
+    /// # Errors
+    /// PMP/PTStore denials, misalignment, or out-of-range access.
+    pub fn fetch<W: BusData>(
+        &mut self,
+        addr: PhysAddr,
+        ctx: AccessContext,
+    ) -> Result<W, AccessError> {
+        self.guard(addr, AccessKind::Execute, Channel::Regular, ctx)?;
+        let v = W::load(&self.mem, addr)?;
+        self.stats.record(Channel::Regular, AccessKind::Execute);
+        if let Some(sink) = &self.trace {
+            sink.emit(TraceEvent::BusFetch {
+                addr: addr.as_u64(),
+                width: W::WIDTH,
+            });
+        }
+        Ok(v)
+    }
+
+    /// Checked aligned 8-byte read.
+    #[deprecated(note = "use the width-generic `Bus::read::<u64>`")]
     pub fn read_u64(
         &mut self,
         addr: PhysAddr,
         channel: Channel,
         ctx: AccessContext,
     ) -> Result<u64, AccessError> {
-        self.guard(addr, AccessKind::Read, channel, ctx)?;
-        let v = self.mem.read_u64(addr)?;
-        self.stats.record(channel, AccessKind::Read);
-        Ok(v)
+        self.read::<u64>(addr, channel, ctx)
     }
 
     /// Checked aligned 8-byte write.
-    ///
-    /// # Errors
-    /// PMP/PTStore denials, misalignment, or out-of-range access.
+    #[deprecated(note = "use the width-generic `Bus::write::<u64>`")]
     pub fn write_u64(
         &mut self,
         addr: PhysAddr,
@@ -156,32 +287,22 @@ impl Bus {
         channel: Channel,
         ctx: AccessContext,
     ) -> Result<(), AccessError> {
-        self.guard(addr, AccessKind::Write, channel, ctx)?;
-        self.mem.write_u64(addr, value)?;
-        self.stats.record(channel, AccessKind::Write);
-        Ok(())
+        self.write::<u64>(addr, value, channel, ctx)
     }
 
     /// Checked byte read.
-    ///
-    /// # Errors
-    /// PMP/PTStore denials or out-of-range access.
+    #[deprecated(note = "use the width-generic `Bus::read::<u8>`")]
     pub fn read_u8(
         &mut self,
         addr: PhysAddr,
         channel: Channel,
         ctx: AccessContext,
     ) -> Result<u8, AccessError> {
-        self.guard(addr, AccessKind::Read, channel, ctx)?;
-        let v = self.mem.read_u8(addr)?;
-        self.stats.record(channel, AccessKind::Read);
-        Ok(v)
+        self.read::<u8>(addr, channel, ctx)
     }
 
     /// Checked byte write.
-    ///
-    /// # Errors
-    /// PMP/PTStore denials or out-of-range access.
+    #[deprecated(note = "use the width-generic `Bus::write::<u8>`")]
     pub fn write_u8(
         &mut self,
         addr: PhysAddr,
@@ -189,38 +310,23 @@ impl Bus {
         channel: Channel,
         ctx: AccessContext,
     ) -> Result<(), AccessError> {
-        self.guard(addr, AccessKind::Write, channel, ctx)?;
-        self.mem.write_u8(addr, value)?;
-        self.stats.record(channel, AccessKind::Write);
-        Ok(())
+        self.write::<u8>(addr, value, channel, ctx)
     }
 
     /// Checked instruction-fetch parcel (16-bit, for the C extension).
-    ///
-    /// # Errors
-    /// PMP/PTStore denials, misalignment, or out-of-range access.
+    #[deprecated(note = "use the width-generic `Bus::fetch::<u16>`")]
     pub fn fetch_u16(&mut self, addr: PhysAddr, ctx: AccessContext) -> Result<u16, AccessError> {
-        self.guard(addr, AccessKind::Execute, Channel::Regular, ctx)?;
-        let v = self.mem.read_u16(addr)?;
-        self.stats.record(Channel::Regular, AccessKind::Execute);
-        Ok(v)
+        self.fetch::<u16>(addr, ctx)
     }
 
     /// Checked instruction fetch (32-bit).
-    ///
-    /// # Errors
-    /// PMP/PTStore denials, misalignment, or out-of-range access.
+    #[deprecated(note = "use the width-generic `Bus::fetch::<u32>`")]
     pub fn fetch_u32(&mut self, addr: PhysAddr, ctx: AccessContext) -> Result<u32, AccessError> {
-        self.guard(addr, AccessKind::Execute, Channel::Regular, ctx)?;
-        let v = self.mem.read_u32(addr)?;
-        self.stats.record(Channel::Regular, AccessKind::Execute);
-        Ok(v)
+        self.fetch::<u32>(addr, ctx)
     }
 
     /// Checked u32 write (used by program loaders running in M-mode).
-    ///
-    /// # Errors
-    /// PMP/PTStore denials, misalignment, or out-of-range access.
+    #[deprecated(note = "use the width-generic `Bus::write::<u32>`")]
     pub fn write_u32(
         &mut self,
         addr: PhysAddr,
@@ -228,10 +334,7 @@ impl Bus {
         channel: Channel,
         ctx: AccessContext,
     ) -> Result<(), AccessError> {
-        self.guard(addr, AccessKind::Write, channel, ctx)?;
-        self.mem.write_u32(addr, value)?;
-        self.stats.record(channel, AccessKind::Write);
-        Ok(())
+        self.write::<u32>(addr, value, channel, ctx)
     }
 
     /// Checked whole-page zero test (reads via `ld.pt`, so only meaningful
@@ -269,12 +372,12 @@ mod tests {
         let inside = region.base() + 0x40;
         let outside = PhysAddr::new(MIB);
 
-        bus.write_u64(inside, 7, Channel::SecurePt, ctx).unwrap();
-        assert_eq!(bus.read_u64(inside, Channel::SecurePt, ctx).unwrap(), 7);
-        assert!(bus.read_u64(inside, Channel::Regular, ctx).is_err());
-        assert!(bus.write_u64(inside, 0, Channel::Regular, ctx).is_err());
-        assert!(bus.read_u64(outside, Channel::SecurePt, ctx).is_err());
-        assert!(bus.read_u64(outside, Channel::Regular, ctx).is_ok());
+        bus.write::<u64>(inside, 7, Channel::SecurePt, ctx).unwrap();
+        assert_eq!(bus.read::<u64>(inside, Channel::SecurePt, ctx).unwrap(), 7);
+        assert!(bus.read::<u64>(inside, Channel::Regular, ctx).is_err());
+        assert!(bus.write::<u64>(inside, 0, Channel::Regular, ctx).is_err());
+        assert!(bus.read::<u64>(outside, Channel::SecurePt, ctx).is_err());
+        assert!(bus.read::<u64>(outside, Channel::Regular, ctx).is_ok());
         // Stats: 2 secure ok (w+r), faults 3.
         assert_eq!(bus.stats().secure_total(), 2);
         assert_eq!(bus.stats().faults, 3);
@@ -286,13 +389,13 @@ mod tests {
         let inside = region.base();
         let outside = PhysAddr::new(2 * MIB);
         assert!(bus
-            .read_u64(inside, Channel::Ptw, AccessContext::supervisor(true))
+            .read::<u64>(inside, Channel::Ptw, AccessContext::supervisor(true))
             .is_ok());
         assert!(bus
-            .read_u64(outside, Channel::Ptw, AccessContext::supervisor(true))
+            .read::<u64>(outside, Channel::Ptw, AccessContext::supervisor(true))
             .is_err());
         assert!(bus
-            .read_u64(outside, Channel::Ptw, AccessContext::supervisor(false))
+            .read::<u64>(outside, Channel::Ptw, AccessContext::supervisor(false))
             .is_ok());
     }
 
@@ -302,11 +405,16 @@ mod tests {
         let ctx = AccessContext::supervisor(true);
         let new_page = region.base() - PAGE_SIZE;
         // Before adjustment the page is normal memory.
-        bus.write_u64(new_page, 1, Channel::Regular, ctx).unwrap();
+        bus.write::<u64>(new_page, 1, Channel::Regular, ctx)
+            .unwrap();
         let grown = region.grow_down(PAGE_SIZE).unwrap();
         bus.update_secure_region(&grown).unwrap();
-        assert!(bus.write_u64(new_page, 2, Channel::Regular, ctx).is_err());
-        assert!(bus.write_u64(new_page, 2, Channel::SecurePt, ctx).is_ok());
+        assert!(bus
+            .write::<u64>(new_page, 2, Channel::Regular, ctx)
+            .is_err());
+        assert!(bus
+            .write::<u64>(new_page, 2, Channel::SecurePt, ctx)
+            .is_ok());
         assert_eq!(bus.secure_region(), Some(grown));
     }
 
@@ -316,7 +424,8 @@ mod tests {
         let ctx = AccessContext::supervisor(true);
         let ppn = PhysPageNum::from(region.base());
         assert!(bus.secure_page_is_zero(ppn, ctx).unwrap());
-        bus.write_u64(region.base() + 8, 3, Channel::SecurePt, ctx).unwrap();
+        bus.write::<u64>(region.base() + 8, 3, Channel::SecurePt, ctx)
+            .unwrap();
         assert!(!bus.secure_page_is_zero(ppn, ctx).unwrap());
         // Zero check on a normal page faults (it reads via ld.pt).
         assert!(bus.secure_page_is_zero(PhysPageNum::new(1), ctx).is_err());
@@ -326,7 +435,76 @@ mod tests {
     fn fetch_from_secure_region_denied() {
         let (mut bus, region) = secured_bus();
         let ctx = AccessContext::supervisor(true);
-        assert!(bus.fetch_u32(region.base(), ctx).is_err());
+        assert!(bus.fetch::<u32>(region.base(), ctx).is_err());
+        assert!(bus.fetch::<u32>(PhysAddr::new(0x1000), ctx).is_ok());
+    }
+
+    #[test]
+    fn all_widths_round_trip() {
+        let (mut bus, _) = secured_bus();
+        let ctx = AccessContext::supervisor(true);
+        let base = PhysAddr::new(0x4000);
+        bus.write::<u8>(base, 0xab, Channel::Regular, ctx).unwrap();
+        bus.write::<u16>(base + 2, 0xbeef, Channel::Regular, ctx)
+            .unwrap();
+        bus.write::<u32>(base + 4, 0xdead_beef, Channel::Regular, ctx)
+            .unwrap();
+        bus.write::<u64>(base + 8, 0x0123_4567_89ab_cdef, Channel::Regular, ctx)
+            .unwrap();
+        assert_eq!(bus.read::<u8>(base, Channel::Regular, ctx).unwrap(), 0xab);
+        assert_eq!(
+            bus.read::<u16>(base + 2, Channel::Regular, ctx).unwrap(),
+            0xbeef
+        );
+        assert_eq!(
+            bus.read::<u32>(base + 4, Channel::Regular, ctx).unwrap(),
+            0xdead_beef
+        );
+        assert_eq!(
+            bus.read::<u64>(base + 8, Channel::Regular, ctx).unwrap(),
+            0x0123_4567_89ab_cdef
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_still_work() {
+        let (mut bus, _) = secured_bus();
+        let ctx = AccessContext::supervisor(true);
+        bus.write_u64(PhysAddr::new(0x100), 9, Channel::Regular, ctx)
+            .unwrap();
+        assert_eq!(
+            bus.read_u64(PhysAddr::new(0x100), Channel::Regular, ctx)
+                .unwrap(),
+            9
+        );
         assert!(bus.fetch_u32(PhysAddr::new(0x1000), ctx).is_ok());
+    }
+
+    #[test]
+    fn trace_sink_sees_transfers_and_denials() {
+        let (mut bus, region) = secured_bus();
+        let ctx = AccessContext::supervisor(true);
+        let sink = ptstore_trace::TraceSink::new();
+        bus.set_trace_sink(Some(sink.clone()));
+
+        bus.write::<u64>(region.base(), 1, Channel::SecurePt, ctx)
+            .unwrap();
+        assert!(bus
+            .read::<u64>(region.base(), Channel::Regular, ctx)
+            .is_err());
+        bus.fetch::<u32>(PhysAddr::new(0x1000), ctx).unwrap();
+
+        let counters = sink.counters();
+        assert_eq!(counters.bus_writes, 1);
+        assert_eq!(counters.bus_fetches, 1);
+        // Three PMP checks, one denial.
+        assert_eq!(counters.pmp_checks, 3);
+        assert_eq!(counters.pmp_denials, 1);
+        let denial = sink.last_denial().expect("denied read must be traced");
+        assert_eq!(
+            denial.rejecting_layer(),
+            Some(ptstore_trace::RejectingLayer::PmpSBit)
+        );
     }
 }

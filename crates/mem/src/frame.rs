@@ -197,7 +197,7 @@ mod tests {
         f.write_byte(10, 0xAB);
         assert_eq!(f.read_byte(10), 0xAB);
         // Byte 10 lives in word 1 at lane 2.
-        assert_eq!(f.read_word(1), (0xAB as u64) << 16);
+        assert_eq!(f.read_word(1), 0xAB_u64 << 16);
         f.write_byte(10, 0);
         assert!(f.is_zero());
     }

@@ -19,7 +19,8 @@ pub mod frame;
 pub mod phys;
 pub mod stats;
 
-pub use bus::Bus;
+pub use bus::{Bus, BusData};
 pub use frame::Frame;
 pub use phys::PhysMem;
+pub use ptstore_trace::Snapshot;
 pub use stats::AccessStats;

@@ -21,7 +21,10 @@ impl PhysMem {
     /// # Panics
     /// Panics unless `size` is a non-zero multiple of the page size.
     pub fn new(size: u64) -> Self {
-        assert!(size > 0 && size.is_multiple_of(PAGE_SIZE), "size must be page-aligned");
+        assert!(
+            size > 0 && size.is_multiple_of(PAGE_SIZE),
+            "size must be page-aligned"
+        );
         Self {
             frames: HashMap::new(),
             size,
@@ -93,10 +96,7 @@ impl PhysMem {
         self.check_range(addr, 8)?;
         let ppn = addr.as_u64() >> 12;
         let word = (addr.page_offset() / 8) as u16;
-        self.frames
-            .entry(ppn)
-            .or_default()
-            .write_word(word, value);
+        self.frames.entry(ppn).or_default().write_word(word, value);
         Ok(())
     }
 
@@ -140,6 +140,19 @@ impl PhysMem {
         let lo = self.read_u8(addr)? as u16;
         let hi = self.read_u8(addr + 1)? as u16;
         Ok(lo | (hi << 8))
+    }
+
+    /// Writes an aligned u16.
+    ///
+    /// # Errors
+    /// [`AccessError::Misaligned`] or [`AccessError::OutOfRange`].
+    pub fn write_u16(&mut self, addr: PhysAddr, value: u16) -> Result<(), AccessError> {
+        if !addr.is_aligned(2) {
+            return Err(AccessError::Misaligned { addr, required: 2 });
+        }
+        self.check_range(addr, 2)?;
+        self.write_u8(addr, value as u8)?;
+        self.write_u8(addr + 1, (value >> 8) as u8)
     }
 
     /// Reads an aligned u32 (instruction fetch granularity).
@@ -253,11 +266,15 @@ mod tests {
     #[test]
     fn u32_halves_of_a_word() {
         let mut m = PhysMem::new(PAGE_SIZE);
-        m.write_u64(PhysAddr::new(0x8), 0x1111_2222_3333_4444).unwrap();
+        m.write_u64(PhysAddr::new(0x8), 0x1111_2222_3333_4444)
+            .unwrap();
         assert_eq!(m.read_u32(PhysAddr::new(0x8)).unwrap(), 0x3333_4444);
         assert_eq!(m.read_u32(PhysAddr::new(0xc)).unwrap(), 0x1111_2222);
         m.write_u32(PhysAddr::new(0xc), 0xdead_beef).unwrap();
-        assert_eq!(m.read_u64(PhysAddr::new(0x8)).unwrap(), 0xdead_beef_3333_4444);
+        assert_eq!(
+            m.read_u64(PhysAddr::new(0x8)).unwrap(),
+            0xdead_beef_3333_4444
+        );
     }
 
     #[test]
@@ -289,7 +306,8 @@ mod tests {
     fn sparse_backing_is_cheap() {
         let mut m = PhysMem::new(4 * GIB);
         for i in 0..1000u64 {
-            m.write_u64(PhysAddr::new(i * PAGE_SIZE + 8), i + 1).unwrap();
+            m.write_u64(PhysAddr::new(i * PAGE_SIZE + 8), i + 1)
+                .unwrap();
         }
         assert_eq!(m.touched_frames(), 1000);
         // 1000 single-word sparse frames are far below dense cost.

@@ -3,6 +3,7 @@
 use core::fmt;
 
 use ptstore_core::{AccessKind, Channel};
+use ptstore_trace::Snapshot;
 use serde::{Deserialize, Serialize};
 
 /// Counters for every (channel, kind) combination plus faults, maintained by
@@ -73,7 +74,14 @@ impl AccessStats {
     }
 
     /// Difference against an earlier snapshot (for scoped measurement).
+    #[deprecated(note = "use `Snapshot::delta`")]
     pub fn since(&self, earlier: &AccessStats) -> AccessStats {
+        self.delta(earlier)
+    }
+}
+
+impl Snapshot for AccessStats {
+    fn delta(&self, earlier: &Self) -> Self {
         AccessStats {
             regular_reads: self.regular_reads - earlier.regular_reads,
             regular_writes: self.regular_writes - earlier.regular_writes,
@@ -133,10 +141,10 @@ mod tests {
     fn since_subtracts() {
         let mut s = AccessStats::new();
         s.record(Channel::Regular, AccessKind::Read);
-        let snap = s;
+        let snap = s.snapshot();
         s.record(Channel::Regular, AccessKind::Read);
         s.record_fault();
-        let d = s.since(&snap);
+        let d = s.delta(&snap);
         assert_eq!(d.regular_reads, 1);
         assert_eq!(d.faults, 1);
     }

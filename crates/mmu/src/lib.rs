@@ -34,6 +34,7 @@ pub mod walker;
 
 pub use mmu::{Mmu, TranslationOutcome};
 pub use pte::{Pte, PteFlags};
+pub use ptstore_trace::Snapshot;
 pub use satp::Satp;
 pub use tlb::{Tlb, TlbEntry, TlbStats};
 pub use walker::{PageTableWalker, TranslateError, WalkOutcome};

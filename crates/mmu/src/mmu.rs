@@ -1,6 +1,7 @@
 //! The MMU front-end: TLB lookup, walk on miss, refill.
 
 use ptstore_core::{AccessKind, PhysAddr, PrivilegeMode, VirtAddr, VirtPageNum, PAGE_SIZE};
+use ptstore_trace::{TlbUnit, TraceSink};
 use serde::{Deserialize, Serialize};
 
 use ptstore_mem::Bus;
@@ -71,11 +72,18 @@ impl Mmu {
     /// Panics if either capacity is zero.
     pub fn with_tlb_sizes(itlb: usize, dtlb: usize) -> Self {
         Self {
-            itlb: Tlb::new(itlb),
-            dtlb: Tlb::new(dtlb),
+            itlb: Tlb::with_unit(itlb, TlbUnit::Instruction),
+            dtlb: Tlb::with_unit(dtlb, TlbUnit::Data),
             walker: PageTableWalker::new(),
             satp: Satp::bare(),
         }
+    }
+
+    /// Attaches (or detaches) a trace sink on both TLBs. Walk-step events are
+    /// emitted through the bus's sink, so attach the same sink there.
+    pub fn set_trace_sink(&mut self, sink: Option<TraceSink>) {
+        self.itlb.set_trace_sink(sink.clone());
+        self.dtlb.set_trace_sink(sink);
     }
 
     /// Translates a data access.
@@ -89,15 +97,7 @@ impl Mmu {
         kind: AccessKind,
         mode: PrivilegeMode,
     ) -> Result<TranslationOutcome, TranslateError> {
-        Self::translate_in(
-            &mut self.dtlb,
-            &self.walker,
-            self.satp,
-            bus,
-            va,
-            kind,
-            mode,
-        )
+        Self::translate_in(&mut self.dtlb, &self.walker, self.satp, bus, va, kind, mode)
     }
 
     /// Translates an instruction fetch.
@@ -224,21 +224,21 @@ mod tests {
         let root = region.base();
         let l1 = region.base() + PAGE_SIZE;
         let l0 = region.base() + 2 * PAGE_SIZE;
-        bus.write_u64(
+        bus.write::<u64>(
             root + va.vpn_slice(2) * 8,
             Pte::table(PhysPageNum::from(l1)).bits(),
             Channel::SecurePt,
             ctx,
         )
         .unwrap();
-        bus.write_u64(
+        bus.write::<u64>(
             l1 + va.vpn_slice(1) * 8,
             Pte::table(PhysPageNum::from(l0)).bits(),
             Channel::SecurePt,
             ctx,
         )
         .unwrap();
-        bus.write_u64(
+        bus.write::<u64>(
             l0 + va.vpn_slice(0) * 8,
             Pte::leaf(PhysPageNum::new(data_ppn), flags).bits(),
             Channel::SecurePt,
@@ -307,7 +307,7 @@ mod tests {
         // addresses, not virtual mappings.
         let ctx = AccessContext::user(true);
         assert!(bus
-            .write_u64(stale.pa(), 0xbad, Channel::Regular, ctx)
+            .write::<u64>(stale.pa(), 0xbad, Channel::Regular, ctx)
             .is_err());
     }
 
@@ -331,7 +331,8 @@ mod tests {
         let (mut bus, mut mmu, region) = machine();
         let va = VirtAddr::new(0x4000_0000);
         mmu.satp = map(&mut bus, &region, va, 0x100, PteFlags::user_rx());
-        mmu.translate_fetch(&mut bus, va, PrivilegeMode::User).unwrap();
+        mmu.translate_fetch(&mut bus, va, PrivilegeMode::User)
+            .unwrap();
         assert_eq!(mmu.itlb_stats().misses, 1);
         assert_eq!(mmu.dtlb_stats().misses, 0);
         // A data read of the same page misses the D-TLB separately.

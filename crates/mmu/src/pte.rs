@@ -258,7 +258,10 @@ mod tests {
 
     #[test]
     fn ad_update_preserves_ppn() {
-        let pte = Pte::leaf(PhysPageNum::new(99), PteFlags::from_bits(PteFlags::V | PteFlags::R));
+        let pte = Pte::leaf(
+            PhysPageNum::new(99),
+            PteFlags::from_bits(PteFlags::V | PteFlags::R),
+        );
         let updated = pte.with_flags(PteFlags::A | PteFlags::D);
         assert_eq!(updated.ppn(), pte.ppn());
         assert!(updated.flags().accessed());

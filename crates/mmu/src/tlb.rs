@@ -9,6 +9,7 @@
 //! it still intercepts the access after the (stale) translation.
 
 use ptstore_core::{AccessKind, PhysPageNum, PrivilegeMode, VirtPageNum};
+use ptstore_trace::{FlushScope, Snapshot, TlbUnit, TraceEvent, TraceSink};
 use serde::{Deserialize, Serialize};
 
 use crate::pte::PteFlags;
@@ -39,12 +40,25 @@ pub struct TlbStats {
     pub flushes: u64,
 }
 
+impl Snapshot for TlbStats {
+    fn delta(&self, earlier: &Self) -> Self {
+        TlbStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            evictions: self.evictions - earlier.evictions,
+            flushes: self.flushes - earlier.flushes,
+        }
+    }
+}
+
 /// A fully associative TLB with round-robin replacement.
 #[derive(Debug, Clone)]
 pub struct Tlb {
     entries: Vec<Option<TlbEntry>>,
     next_victim: usize,
     stats: TlbStats,
+    unit: TlbUnit,
+    trace: Option<TraceSink>,
 }
 
 impl Tlb {
@@ -53,12 +67,27 @@ impl Tlb {
     /// # Panics
     /// Panics when `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
+        Self::with_unit(capacity, TlbUnit::Data)
+    }
+
+    /// A TLB with `capacity` entries, tagged as `unit` in trace events.
+    ///
+    /// # Panics
+    /// Panics when `capacity` is zero.
+    pub fn with_unit(capacity: usize, unit: TlbUnit) -> Self {
         assert!(capacity > 0, "tlb capacity must be non-zero");
         Self {
             entries: vec![None; capacity],
             next_victim: 0,
             stats: TlbStats::default(),
+            unit,
+            trace: None,
         }
+    }
+
+    /// Attaches (or detaches) a trace sink for hit/miss/flush events.
+    pub fn set_trace_sink(&mut self, sink: Option<TraceSink>) {
+        self.trace = sink;
     }
 
     /// Capacity in entries.
@@ -89,16 +118,33 @@ impl Tlb {
         kind: AccessKind,
         mode: PrivilegeMode,
     ) -> Option<TlbEntry> {
-        let found = self.entries.iter().flatten().copied().find(|e| {
-            e.vpn == vpn && (e.asid == asid || e.flags.global())
-        });
+        let found = self
+            .entries
+            .iter()
+            .flatten()
+            .copied()
+            .find(|e| e.vpn == vpn && (e.asid == asid || e.flags.global()));
         match found {
             Some(e) if Self::permits(e.flags, kind, mode) => {
                 self.stats.hits += 1;
+                if let Some(sink) = &self.trace {
+                    sink.emit(TraceEvent::TlbHit {
+                        unit: self.unit,
+                        vpn: vpn.as_u64(),
+                        asid,
+                    });
+                }
                 Some(e)
             }
             _ => {
                 self.stats.misses += 1;
+                if let Some(sink) = &self.trace {
+                    sink.emit(TraceEvent::TlbMiss {
+                        unit: self.unit,
+                        vpn: vpn.as_u64(),
+                        asid,
+                    });
+                }
                 None
             }
         }
@@ -143,6 +189,7 @@ impl Tlb {
     pub fn flush_all(&mut self) {
         self.entries.iter_mut().for_each(|e| *e = None);
         self.stats.flushes += 1;
+        self.emit_flush(FlushScope::All);
     }
 
     /// `sfence.vma va, asid`: flush one page of one address space.
@@ -153,6 +200,10 @@ impl Tlb {
             }
         }
         self.stats.flushes += 1;
+        self.emit_flush(FlushScope::Page {
+            vpn: vpn.as_u64(),
+            asid,
+        });
     }
 
     /// `sfence.vma x0, asid`: flush one address space (non-global entries).
@@ -163,6 +214,16 @@ impl Tlb {
             }
         }
         self.stats.flushes += 1;
+        self.emit_flush(FlushScope::Asid { asid });
+    }
+
+    fn emit_flush(&self, scope: FlushScope) {
+        if let Some(sink) = &self.trace {
+            sink.emit(TraceEvent::TlbFlush {
+                unit: self.unit,
+                scope,
+            });
+        }
     }
 
     /// Number of live entries (diagnostics).
@@ -189,11 +250,21 @@ mod tests {
         let mut tlb = Tlb::new(4);
         tlb.insert(entry(5, 1, 100, PteFlags::user_rw()));
         let hit = tlb
-            .lookup(VirtPageNum::new(5), 1, AccessKind::Read, PrivilegeMode::User)
+            .lookup(
+                VirtPageNum::new(5),
+                1,
+                AccessKind::Read,
+                PrivilegeMode::User,
+            )
             .unwrap();
         assert_eq!(hit.ppn, PhysPageNum::new(100));
         assert!(tlb
-            .lookup(VirtPageNum::new(6), 1, AccessKind::Read, PrivilegeMode::User)
+            .lookup(
+                VirtPageNum::new(6),
+                1,
+                AccessKind::Read,
+                PrivilegeMode::User
+            )
             .is_none());
         assert_eq!(tlb.stats().hits, 1);
         assert_eq!(tlb.stats().misses, 1);
@@ -203,19 +274,24 @@ mod tests {
     fn asid_isolation_and_global() {
         let mut tlb = Tlb::new(4);
         tlb.insert(entry(5, 1, 100, PteFlags::user_rw()));
-        tlb.insert(entry(
-            7,
-            1,
-            200,
-            PteFlags::kernel_rw().with(PteFlags::G),
-        ));
+        tlb.insert(entry(7, 1, 200, PteFlags::kernel_rw().with(PteFlags::G)));
         // Other ASID misses the private entry...
         assert!(tlb
-            .lookup(VirtPageNum::new(5), 2, AccessKind::Read, PrivilegeMode::User)
+            .lookup(
+                VirtPageNum::new(5),
+                2,
+                AccessKind::Read,
+                PrivilegeMode::User
+            )
             .is_none());
         // ...but hits the global one.
         assert!(tlb
-            .lookup(VirtPageNum::new(7), 2, AccessKind::Read, PrivilegeMode::Supervisor)
+            .lookup(
+                VirtPageNum::new(7),
+                2,
+                AccessKind::Read,
+                PrivilegeMode::Supervisor
+            )
             .is_some());
     }
 
@@ -224,17 +300,32 @@ mod tests {
         let mut tlb = Tlb::new(4);
         tlb.insert(entry(5, 1, 100, PteFlags::user_ro()));
         assert!(tlb
-            .lookup(VirtPageNum::new(5), 1, AccessKind::Write, PrivilegeMode::User)
+            .lookup(
+                VirtPageNum::new(5),
+                1,
+                AccessKind::Write,
+                PrivilegeMode::User
+            )
             .is_none());
         // Kernel page invisible to user.
         tlb.insert(entry(6, 1, 101, PteFlags::kernel_rw()));
         assert!(tlb
-            .lookup(VirtPageNum::new(6), 1, AccessKind::Read, PrivilegeMode::User)
+            .lookup(
+                VirtPageNum::new(6),
+                1,
+                AccessKind::Read,
+                PrivilegeMode::User
+            )
             .is_none());
         // Supervisor cannot execute user pages.
         tlb.insert(entry(7, 1, 102, PteFlags::user_rx()));
         assert!(tlb
-            .lookup(VirtPageNum::new(7), 1, AccessKind::Execute, PrivilegeMode::Supervisor)
+            .lookup(
+                VirtPageNum::new(7),
+                1,
+                AccessKind::Execute,
+                PrivilegeMode::Supervisor
+            )
             .is_none());
     }
 
@@ -246,12 +337,22 @@ mod tests {
         tlb.insert(entry(5, 1, 100, PteFlags::user_rw()));
         // (PTE in memory now changed to read-only — TLB does not know.)
         assert!(tlb
-            .lookup(VirtPageNum::new(5), 1, AccessKind::Write, PrivilegeMode::User)
+            .lookup(
+                VirtPageNum::new(5),
+                1,
+                AccessKind::Write,
+                PrivilegeMode::User
+            )
             .is_some());
         // After the fence the stale entry is gone.
         tlb.flush_page(VirtPageNum::new(5), 1);
         assert!(tlb
-            .lookup(VirtPageNum::new(5), 1, AccessKind::Write, PrivilegeMode::User)
+            .lookup(
+                VirtPageNum::new(5),
+                1,
+                AccessKind::Write,
+                PrivilegeMode::User
+            )
             .is_none());
     }
 
@@ -272,7 +373,12 @@ mod tests {
         tlb.insert(entry(5, 1, 999, PteFlags::user_rw()));
         assert_eq!(tlb.occupancy(), 1);
         let hit = tlb
-            .lookup(VirtPageNum::new(5), 1, AccessKind::Read, PrivilegeMode::User)
+            .lookup(
+                VirtPageNum::new(5),
+                1,
+                AccessKind::Read,
+                PrivilegeMode::User,
+            )
             .unwrap();
         assert_eq!(hit.ppn, PhysPageNum::new(999));
     }
@@ -285,7 +391,12 @@ mod tests {
         tlb.flush_asid(1);
         assert_eq!(tlb.occupancy(), 1);
         assert!(tlb
-            .lookup(VirtPageNum::new(2), 1, AccessKind::Read, PrivilegeMode::Supervisor)
+            .lookup(
+                VirtPageNum::new(2),
+                1,
+                AccessKind::Read,
+                PrivilegeMode::Supervisor
+            )
             .is_some());
     }
 

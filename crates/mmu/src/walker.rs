@@ -12,6 +12,7 @@ use ptstore_core::{
     AccessContext, AccessError, AccessKind, PhysAddr, PrivilegeMode, VirtAddr, PAGE_SIZE,
 };
 use ptstore_mem::Bus;
+use ptstore_trace::TraceEvent;
 use serde::{Deserialize, Serialize};
 
 use crate::pte::{Pte, PteFlags};
@@ -112,7 +113,28 @@ impl PageTableWalker {
         #[allow(clippy::explicit_counter_loop)] // `fetches` counts bus ops, not iterations
         for level in (0..=2usize).rev() {
             let pte_addr = table + va.vpn_slice(level) * 8;
-            let raw = bus.read_u64(pte_addr, ptstore_core::Channel::Ptw, ctx)?;
+            let raw = match bus.read::<u64>(pte_addr, ptstore_core::Channel::Ptw, ctx) {
+                Ok(raw) => raw,
+                Err(e) => {
+                    if matches!(e, AccessError::PtwOutsideRegion { .. }) {
+                        if let Some(sink) = bus.trace_sink() {
+                            sink.emit(TraceEvent::PtwOriginRejected {
+                                va: va.as_u64(),
+                                pte_addr: pte_addr.as_u64(),
+                            });
+                        }
+                    }
+                    return Err(e.into());
+                }
+            };
+            if let Some(sink) = bus.trace_sink() {
+                sink.emit(TraceEvent::PtwStep {
+                    va: va.as_u64(),
+                    level: level as u8,
+                    pte_addr: pte_addr.as_u64(),
+                    pte: raw,
+                });
+            }
             fetches += 1;
             let pte = Pte::from_bits(raw);
             if !pte.is_valid() {
@@ -131,7 +153,7 @@ impl PageTableWalker {
                     new_flags |= PteFlags::D;
                 }
                 if pte.flags().bits() & new_flags != new_flags {
-                    bus.write_u64(
+                    bus.write::<u64>(
                         pte_addr,
                         pte.with_flags(new_flags).bits(),
                         ptstore_core::Channel::Ptw,
@@ -196,6 +218,7 @@ mod tests {
 
     /// Builds a 3-level table mapping `va -> data_ppn` inside `table_base`,
     /// writing PTEs through the given channel.
+    #[allow(clippy::too_many_arguments)]
     fn build_mapping(
         bus: &mut Bus,
         root: PhysAddr,
@@ -210,11 +233,21 @@ mod tests {
         let root_slot = root + va.vpn_slice(2) * 8;
         let l1_slot = l1 + va.vpn_slice(1) * 8;
         let l0_slot = l0 + va.vpn_slice(0) * 8;
-        bus.write_u64(root_slot, Pte::table(PhysPageNum::from(l1)).bits(), channel, ctx)
-            .unwrap();
-        bus.write_u64(l1_slot, Pte::table(PhysPageNum::from(l0)).bits(), channel, ctx)
-            .unwrap();
-        bus.write_u64(l0_slot, Pte::leaf(data_ppn, flags).bits(), channel, ctx)
+        bus.write::<u64>(
+            root_slot,
+            Pte::table(PhysPageNum::from(l1)).bits(),
+            channel,
+            ctx,
+        )
+        .unwrap();
+        bus.write::<u64>(
+            l1_slot,
+            Pte::table(PhysPageNum::from(l0)).bits(),
+            channel,
+            ctx,
+        )
+        .unwrap();
+        bus.write::<u64>(l0_slot, Pte::leaf(data_ppn, flags).bits(), channel, ctx)
             .unwrap();
     }
 
@@ -234,13 +267,23 @@ mod tests {
         let l0 = region.base() + 2 * PAGE_SIZE;
         let va = VirtAddr::new(0x4000_1000);
         let data = PhysPageNum::new(0x100);
-        build_mapping(&mut bus, root, l1, l0, va, data, PteFlags::user_rw(), Channel::SecurePt, ctx);
+        build_mapping(
+            &mut bus,
+            root,
+            l1,
+            l0,
+            va,
+            data,
+            PteFlags::user_rw(),
+            Channel::SecurePt,
+            ctx,
+        );
 
         let satp = Satp::sv39(PhysPageNum::from(root), 1, true);
         let out = PageTableWalker::new()
             .translate(&mut bus, satp, va, AccessKind::Read, PrivilegeMode::User)
             .unwrap();
-        assert_eq!(out.pa, PhysAddr::new((0x100 << 12) | 0x000));
+        assert_eq!(out.pa, PhysAddr::new(0x100 << 12));
         assert_eq!(out.fetches, 3);
         assert_eq!(out.page_size, PAGE_SIZE);
     }
@@ -251,7 +294,7 @@ mod tests {
         // Attacker crafts a "page table" in normal memory.
         let fake_root = PhysAddr::new(4 * MIB);
         let ctx_plain = AccessContext::supervisor(false);
-        bus.write_u64(
+        bus.write::<u64>(
             fake_root,
             Pte::leaf(PhysPageNum::new(0), PteFlags::user_rw()).bits(),
             Channel::Regular,
@@ -283,7 +326,7 @@ mod tests {
         let fake_root = PhysAddr::new(4 * MIB);
         let ctx = AccessContext::supervisor(false);
         // Identity-ish 1 GiB superpage leaf at VPN2=0: ppn must be 1GiB-aligned.
-        bus.write_u64(
+        bus.write::<u64>(
             fake_root,
             Pte::leaf(PhysPageNum::new(0), PteFlags::user_rw()).bits(),
             Channel::Regular,
@@ -332,10 +375,22 @@ mod tests {
             Err(TranslateError::PageFault { .. })
         ));
         // Supervisor read/write fine; execute denied (no X).
-        w.translate(&mut bus, satp, va, AccessKind::Write, PrivilegeMode::Supervisor)
-            .unwrap();
+        w.translate(
+            &mut bus,
+            satp,
+            va,
+            AccessKind::Write,
+            PrivilegeMode::Supervisor,
+        )
+        .unwrap();
         assert!(w
-            .translate(&mut bus, satp, va, AccessKind::Execute, PrivilegeMode::Supervisor)
+            .translate(
+                &mut bus,
+                satp,
+                va,
+                AccessKind::Execute,
+                PrivilegeMode::Supervisor
+            )
             .is_err());
     }
 
@@ -349,13 +404,23 @@ mod tests {
         let va = VirtAddr::new(0x4000_0000);
         // Leaf without A/D.
         let flags = PteFlags::from_bits(PteFlags::V | PteFlags::R | PteFlags::W | PteFlags::U);
-        build_mapping(&mut bus, root, l1, l0, va, PhysPageNum::new(0x300), flags, Channel::SecurePt, ctx);
+        build_mapping(
+            &mut bus,
+            root,
+            l1,
+            l0,
+            va,
+            PhysPageNum::new(0x300),
+            flags,
+            Channel::SecurePt,
+            ctx,
+        );
         let satp = Satp::sv39(PhysPageNum::from(root), 1, true);
         PageTableWalker::new()
             .translate(&mut bus, satp, va, AccessKind::Write, PrivilegeMode::User)
             .unwrap();
         let leaf_raw = bus
-            .read_u64(l0 + va.vpn_slice(0) * 8, Channel::SecurePt, ctx)
+            .read::<u64>(l0 + va.vpn_slice(0) * 8, Channel::SecurePt, ctx)
             .unwrap();
         let leaf = Pte::from_bits(leaf_raw);
         assert!(leaf.flags().accessed());
@@ -413,7 +478,7 @@ mod tests {
         let ctx = AccessContext::supervisor(true);
         let root = region.base();
         // 1 GiB leaf at level 2 with a PPN that is not 512*512-aligned.
-        bus.write_u64(
+        bus.write::<u64>(
             root,
             Pte::leaf(PhysPageNum::new(3), PteFlags::user_rw()).bits(),
             Channel::SecurePt,

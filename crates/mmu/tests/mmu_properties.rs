@@ -36,25 +36,40 @@ fn map_page(
     // Only install the intermediate entries if the slots are still empty, so
     // multiple mappings in the same run stay consistent for distinct vpn2.
     let root_slot = root + va.vpn_slice(2) * 8;
-    let cur = bus.read_u64(root_slot, Channel::SecurePt, ctx).unwrap();
+    let cur = bus.read::<u64>(root_slot, Channel::SecurePt, ctx).unwrap();
     let l1 = if Pte::from_bits(cur).is_table() {
         Pte::from_bits(cur).phys_addr()
     } else {
-        bus.write_u64(root_slot, Pte::table(PhysPageNum::from(l1)).bits(), Channel::SecurePt, ctx)
-            .unwrap();
+        bus.write::<u64>(
+            root_slot,
+            Pte::table(PhysPageNum::from(l1)).bits(),
+            Channel::SecurePt,
+            ctx,
+        )
+        .unwrap();
         l1
     };
     let l1_slot = l1 + va.vpn_slice(1) * 8;
-    let cur = bus.read_u64(l1_slot, Channel::SecurePt, ctx).unwrap();
+    let cur = bus.read::<u64>(l1_slot, Channel::SecurePt, ctx).unwrap();
     let l0 = if Pte::from_bits(cur).is_table() {
         Pte::from_bits(cur).phys_addr()
     } else {
-        bus.write_u64(l1_slot, Pte::table(PhysPageNum::from(l0)).bits(), Channel::SecurePt, ctx)
-            .unwrap();
+        bus.write::<u64>(
+            l1_slot,
+            Pte::table(PhysPageNum::from(l0)).bits(),
+            Channel::SecurePt,
+            ctx,
+        )
+        .unwrap();
         l0
     };
-    bus.write_u64(l0 + va.vpn_slice(0) * 8, Pte::leaf(ppn, flags).bits(), Channel::SecurePt, ctx)
-        .unwrap();
+    bus.write::<u64>(
+        l0 + va.vpn_slice(0) * 8,
+        Pte::leaf(ppn, flags).bits(),
+        Channel::SecurePt,
+        ctx,
+    )
+    .unwrap();
 }
 
 proptest! {
@@ -147,7 +162,7 @@ proptest! {
         let va = VirtAddr::new(vpn << 12);
         // 1 GiB identity superpage covering the va (ppn aligned).
         let gib_ppn = (va.as_u64() >> 30) << 18;
-        bus.write_u64(
+        bus.write::<u64>(
             root + va.vpn_slice(2) * 8,
             Pte::leaf(PhysPageNum::new(gib_ppn), PteFlags::user_rw()).bits(),
             Channel::Regular,

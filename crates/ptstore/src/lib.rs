@@ -38,6 +38,7 @@ pub use ptstore_isa as isa;
 pub use ptstore_kernel as kernel;
 pub use ptstore_mem as mem;
 pub use ptstore_mmu as mmu;
+pub use ptstore_trace as trace;
 pub use ptstore_workloads as workloads;
 
 /// The common experiment surface in one import.
@@ -51,5 +52,6 @@ pub mod prelude {
     };
     pub use ptstore_mem::Bus;
     pub use ptstore_mmu::{Mmu, Pte, PteFlags, Satp};
+    pub use ptstore_trace::{Snapshot, TraceEvent, TraceSink};
     pub use ptstore_workloads::{measure, overhead_pct, OverheadSeries};
 }

@@ -1,0 +1,456 @@
+//! The typed event vocabulary.
+//!
+//! Every variant records one hardware- or kernel-level decision in
+//! primitive terms so the crate stays a leaf dependency. Each upper layer
+//! converts its own types into the local tags ([`Chan`], [`Access`], …) at
+//! the emit site.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::json::JsonWriter;
+
+/// Which bus channel an access used (mirror of `ptstore_core::Channel`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Chan {
+    /// Ordinary load/store/fetch traffic.
+    Regular,
+    /// The dedicated `ld.pt`/`sd.pt` page-table channel.
+    SecurePt,
+    /// Hardware page-table-walker fetches.
+    Ptw,
+}
+
+impl fmt::Display for Chan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Chan::Regular => "regular",
+            Chan::SecurePt => "secure-pt",
+            Chan::Ptw => "ptw",
+        })
+    }
+}
+
+/// Read / write / execute (mirror of `ptstore_core::AccessKind`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Access {
+    Read,
+    Write,
+    Execute,
+}
+
+impl fmt::Display for Access {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Access::Read => "read",
+            Access::Write => "write",
+            Access::Execute => "execute",
+        })
+    }
+}
+
+/// Outcome of a PMP check (mirror of the `AccessError` cases plus Allow).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Verdict {
+    Allowed,
+    /// Regular-channel access inside the secure region: the S-bit fired.
+    SecureRegionDenied,
+    /// `ld.pt`/`sd.pt` aimed outside the secure region.
+    SecureInstructionOutsideRegion,
+    /// A PTW fetch left the secure region while `satp.S` was set.
+    PtwOutsideRegion,
+    /// Ordinary R/W/X permission denial of a matching entry.
+    PmpDenied,
+}
+
+impl Verdict {
+    /// True when the access was rejected.
+    pub fn is_denied(self) -> bool {
+        self != Verdict::Allowed
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Verdict::Allowed => "allowed",
+            Verdict::SecureRegionDenied => "secure-region-denied",
+            Verdict::SecureInstructionOutsideRegion => "secure-instruction-outside-region",
+            Verdict::PtwOutsideRegion => "ptw-outside-region",
+            Verdict::PmpDenied => "pmp-denied",
+        })
+    }
+}
+
+/// Which TLB a lookup went through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TlbUnit {
+    Instruction,
+    Data,
+}
+
+impl fmt::Display for TlbUnit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TlbUnit::Instruction => "itlb",
+            TlbUnit::Data => "dtlb",
+        })
+    }
+}
+
+/// Scope of a TLB flush.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FlushScope {
+    All,
+    Page { vpn: u64, asid: u16 },
+    Asid { asid: u16 },
+}
+
+/// A token-lifecycle operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TokenOp {
+    Issue,
+    Copy,
+    Clear,
+    Validate,
+}
+
+impl fmt::Display for TokenOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TokenOp::Issue => "issue",
+            TokenOp::Copy => "copy",
+            TokenOp::Clear => "clear",
+            TokenOp::Validate => "validate",
+        })
+    }
+}
+
+/// The architectural layer an event belongs to (counter bucket).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Layer {
+    Pmp,
+    Bus,
+    Ptw,
+    Tlb,
+    Token,
+    Syscall,
+    Region,
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Layer::Pmp => "pmp",
+            Layer::Bus => "bus",
+            Layer::Ptw => "ptw",
+            Layer::Tlb => "tlb",
+            Layer::Token => "token",
+            Layer::Syscall => "syscall",
+            Layer::Region => "region",
+        })
+    }
+}
+
+/// The check that finally rejected an access, in the paper's terms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RejectingLayer {
+    /// The PMP S-bit: regular-channel access into the secure region.
+    PmpSBit,
+    /// A dedicated-channel or PTW placement violation caught by the PMP.
+    PmpChannel,
+    /// The walker's `satp.S` origin check.
+    PtwOriginCheck,
+    /// Token validation before a `satp` switch.
+    TokenValidation,
+}
+
+impl fmt::Display for RejectingLayer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RejectingLayer::PmpSBit => "pmp-s-bit",
+            RejectingLayer::PmpChannel => "pmp-channel",
+            RejectingLayer::PtwOriginCheck => "ptw-origin-check",
+            RejectingLayer::TokenValidation => "token-validation",
+        })
+    }
+}
+
+/// One traced decision.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A PMP unit decision. `entry` is the index of the matching PMP entry
+    /// (`None` when no entry matched and the default policy applied).
+    PmpCheck {
+        addr: u64,
+        kind: Access,
+        channel: Chan,
+        entry: Option<u8>,
+        verdict: Verdict,
+    },
+    /// A bus read that passed its checks.
+    BusRead { addr: u64, width: u8, channel: Chan },
+    /// A bus write that passed its checks.
+    BusWrite { addr: u64, width: u8, channel: Chan },
+    /// An instruction fetch that passed its checks.
+    BusFetch { addr: u64, width: u8 },
+    /// One level of a page-table walk (after the PTE was fetched).
+    PtwStep {
+        va: u64,
+        level: u8,
+        pte_addr: u64,
+        pte: u64,
+    },
+    /// The walker's fetch was rejected by the `satp.S` origin check.
+    PtwOriginRejected { va: u64, pte_addr: u64 },
+    /// A TLB lookup hit.
+    TlbHit { unit: TlbUnit, vpn: u64, asid: u16 },
+    /// A TLB lookup missed (including permission-mismatch misses).
+    TlbMiss { unit: TlbUnit, vpn: u64, asid: u16 },
+    /// A TLB flush.
+    TlbFlush { unit: TlbUnit, scope: FlushScope },
+    /// A token-lifecycle operation. `ok == false` means the operation
+    /// rejected (validation failure / pointer outside the secure region).
+    Token { op: TokenOp, pid: u64, ok: bool },
+    /// Syscall entry.
+    SyscallEnter { name: &'static str },
+    /// Syscall exit, with the cycles the call cost end to end.
+    SyscallExit { name: &'static str, cycles: u64 },
+    /// The secure-region boundary moved (dynamic adjustment or initial
+    /// installation via SBI).
+    RegionMove {
+        old_base: u64,
+        new_base: u64,
+        end: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The counter bucket this event belongs to.
+    pub fn layer(&self) -> Layer {
+        match self {
+            TraceEvent::PmpCheck { .. } => Layer::Pmp,
+            TraceEvent::BusRead { .. }
+            | TraceEvent::BusWrite { .. }
+            | TraceEvent::BusFetch { .. } => Layer::Bus,
+            TraceEvent::PtwStep { .. } | TraceEvent::PtwOriginRejected { .. } => Layer::Ptw,
+            TraceEvent::TlbHit { .. }
+            | TraceEvent::TlbMiss { .. }
+            | TraceEvent::TlbFlush { .. } => Layer::Tlb,
+            TraceEvent::Token { .. } => Layer::Token,
+            TraceEvent::SyscallEnter { .. } | TraceEvent::SyscallExit { .. } => Layer::Syscall,
+            TraceEvent::RegionMove { .. } => Layer::Region,
+        }
+    }
+
+    /// True when this event records a rejected access or operation.
+    pub fn is_denial(&self) -> bool {
+        self.rejecting_layer().is_some()
+    }
+
+    /// When this event records a denial: the check that rejected it, in the
+    /// paper's vocabulary (PMP S-bit, PTW origin check, token validation).
+    pub fn rejecting_layer(&self) -> Option<RejectingLayer> {
+        match self {
+            TraceEvent::PmpCheck { verdict, .. } => match verdict {
+                Verdict::Allowed => None,
+                Verdict::SecureRegionDenied => Some(RejectingLayer::PmpSBit),
+                Verdict::PtwOutsideRegion => Some(RejectingLayer::PtwOriginCheck),
+                Verdict::SecureInstructionOutsideRegion | Verdict::PmpDenied => {
+                    Some(RejectingLayer::PmpChannel)
+                }
+            },
+            TraceEvent::PtwOriginRejected { .. } => Some(RejectingLayer::PtwOriginCheck),
+            TraceEvent::Token {
+                op: TokenOp::Validate,
+                ok: false,
+                ..
+            } => Some(RejectingLayer::TokenValidation),
+            TraceEvent::Token { ok: false, .. } => Some(RejectingLayer::TokenValidation),
+            _ => None,
+        }
+    }
+
+    /// Serialises this event as one JSON object.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        match self {
+            TraceEvent::PmpCheck {
+                addr,
+                kind,
+                channel,
+                entry,
+                verdict,
+            } => {
+                w.str_field("type", "pmp_check");
+                w.hex_field("addr", *addr);
+                w.str_field("kind", &kind.to_string());
+                w.str_field("channel", &channel.to_string());
+                match entry {
+                    Some(i) => w.num_field("entry", u64::from(*i)),
+                    None => w.null_field("entry"),
+                }
+                w.str_field("verdict", &verdict.to_string());
+            }
+            TraceEvent::BusRead {
+                addr,
+                width,
+                channel,
+            } => {
+                w.str_field("type", "bus_read");
+                w.hex_field("addr", *addr);
+                w.num_field("width", u64::from(*width));
+                w.str_field("channel", &channel.to_string());
+            }
+            TraceEvent::BusWrite {
+                addr,
+                width,
+                channel,
+            } => {
+                w.str_field("type", "bus_write");
+                w.hex_field("addr", *addr);
+                w.num_field("width", u64::from(*width));
+                w.str_field("channel", &channel.to_string());
+            }
+            TraceEvent::BusFetch { addr, width } => {
+                w.str_field("type", "bus_fetch");
+                w.hex_field("addr", *addr);
+                w.num_field("width", u64::from(*width));
+            }
+            TraceEvent::PtwStep {
+                va,
+                level,
+                pte_addr,
+                pte,
+            } => {
+                w.str_field("type", "ptw_step");
+                w.hex_field("va", *va);
+                w.num_field("level", u64::from(*level));
+                w.hex_field("pte_addr", *pte_addr);
+                w.hex_field("pte", *pte);
+            }
+            TraceEvent::PtwOriginRejected { va, pte_addr } => {
+                w.str_field("type", "ptw_origin_rejected");
+                w.hex_field("va", *va);
+                w.hex_field("pte_addr", *pte_addr);
+            }
+            TraceEvent::TlbHit { unit, vpn, asid } => {
+                w.str_field("type", "tlb_hit");
+                w.str_field("unit", &unit.to_string());
+                w.hex_field("vpn", *vpn);
+                w.num_field("asid", u64::from(*asid));
+            }
+            TraceEvent::TlbMiss { unit, vpn, asid } => {
+                w.str_field("type", "tlb_miss");
+                w.str_field("unit", &unit.to_string());
+                w.hex_field("vpn", *vpn);
+                w.num_field("asid", u64::from(*asid));
+            }
+            TraceEvent::TlbFlush { unit, scope } => {
+                w.str_field("type", "tlb_flush");
+                w.str_field("unit", &unit.to_string());
+                match scope {
+                    FlushScope::All => w.str_field("scope", "all"),
+                    FlushScope::Page { vpn, asid } => {
+                        w.str_field("scope", "page");
+                        w.hex_field("vpn", *vpn);
+                        w.num_field("asid", u64::from(*asid));
+                    }
+                    FlushScope::Asid { asid } => {
+                        w.str_field("scope", "asid");
+                        w.num_field("asid", u64::from(*asid));
+                    }
+                }
+            }
+            TraceEvent::Token { op, pid, ok } => {
+                w.str_field("type", "token");
+                w.str_field("op", &op.to_string());
+                w.num_field("pid", *pid);
+                w.bool_field("ok", *ok);
+            }
+            TraceEvent::SyscallEnter { name } => {
+                w.str_field("type", "syscall_enter");
+                w.str_field("name", name);
+            }
+            TraceEvent::SyscallExit { name, cycles } => {
+                w.str_field("type", "syscall_exit");
+                w.str_field("name", name);
+                w.num_field("cycles", *cycles);
+            }
+            TraceEvent::RegionMove {
+                old_base,
+                new_base,
+                end,
+            } => {
+                w.str_field("type", "region_move");
+                w.hex_field("old_base", *old_base);
+                w.hex_field("new_base", *new_base);
+                w.hex_field("end", *end);
+            }
+        }
+        if let Some(layer) = self.rejecting_layer() {
+            w.str_field("rejecting_layer", &layer.to_string());
+        }
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn denial_attribution_matches_paper_vocabulary() {
+        let pmp = TraceEvent::PmpCheck {
+            addr: 0x1000,
+            kind: Access::Write,
+            channel: Chan::Regular,
+            entry: Some(1),
+            verdict: Verdict::SecureRegionDenied,
+        };
+        assert_eq!(pmp.rejecting_layer(), Some(RejectingLayer::PmpSBit));
+
+        let ptw = TraceEvent::PtwOriginRejected {
+            va: 0xffff_ffc0_0000_0000,
+            pte_addr: 0x20_0000,
+        };
+        assert_eq!(ptw.rejecting_layer(), Some(RejectingLayer::PtwOriginCheck));
+
+        let token = TraceEvent::Token {
+            op: TokenOp::Validate,
+            pid: 3,
+            ok: false,
+        };
+        assert_eq!(
+            token.rejecting_layer(),
+            Some(RejectingLayer::TokenValidation)
+        );
+
+        let ok = TraceEvent::BusRead {
+            addr: 0,
+            width: 8,
+            channel: Chan::Regular,
+        };
+        assert_eq!(ok.rejecting_layer(), None);
+    }
+
+    #[test]
+    fn json_contains_type_and_attribution() {
+        let e = TraceEvent::PmpCheck {
+            addr: 0xabc,
+            kind: Access::Read,
+            channel: Chan::Ptw,
+            entry: None,
+            verdict: Verdict::PtwOutsideRegion,
+        };
+        let j = e.to_json();
+        assert!(j.contains("\"type\":\"pmp_check\""), "{j}");
+        assert!(j.contains("\"entry\":null"), "{j}");
+        assert!(
+            j.contains("\"rejecting_layer\":\"ptw-origin-check\""),
+            "{j}"
+        );
+        assert!(j.contains("\"addr\":\"0xabc\""), "{j}");
+    }
+}

@@ -1,0 +1,20 @@
+//! The uniform stats-snapshot trait.
+//!
+//! Every stats block in the workspace (`AccessStats` in `ptstore-mem`,
+//! `TlbStats` in `ptstore-mmu`, `KernelStats` in `ptstore-kernel`,
+//! [`TraceCounters`](crate::TraceCounters) here) implements this trait, so
+//! benches and the trace layer can diff any of them the same way instead
+//! of each type growing its own `since` method.
+
+/// Monotonic counter blocks that can be snapshotted and diffed.
+pub trait Snapshot: Clone {
+    /// A copy of the current values (the "earlier" side of a later
+    /// [`delta`](Snapshot::delta)).
+    fn snapshot(&self) -> Self {
+        self.clone()
+    }
+
+    /// The change since `earlier`. Gauge-like fields (current/peak levels)
+    /// pass through unchanged; monotonic counters subtract.
+    fn delta(&self, earlier: &Self) -> Self;
+}

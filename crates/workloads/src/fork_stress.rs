@@ -3,7 +3,7 @@
 //! default 64 MiB secure region must be adjusted repeatedly, then tear all
 //! of them down.
 
-use ptstore_kernel::{Kernel, KernelConfig, KernelError};
+use ptstore_kernel::{Kernel, KernelConfig, KernelError, Snapshot};
 use serde::{Deserialize, Serialize};
 
 /// Result of one fork-stress run.
@@ -42,7 +42,7 @@ pub fn run_fork_stress(k: &mut Kernel, count: u64) -> Result<ForkStressResult, K
     for _ in 0..children.len() {
         k.sys_wait()?;
     }
-    let d = k.stats.since(&stats_before);
+    let d = k.stats.delta(&stats_before);
     Ok(ForkStressResult {
         created: count,
         cycles: k.cycles.since(cycles_before),
@@ -57,11 +57,7 @@ pub fn run_fork_stress(k: &mut Kernel, count: u64) -> Result<ForkStressResult, K
 /// CFI+PTStore (64 MiB-equivalent region), CFI+PTStore-Adj (large region,
 /// adjustment never fires). `mem_size`/`small_region`/`large_region` are
 /// scaled down for tests and up for the paper-scale run.
-pub fn stress_configs(
-    mem_size: u64,
-    small_region: u64,
-    large_region: u64,
-) -> [KernelConfig; 4] {
+pub fn stress_configs(mem_size: u64, small_region: u64, large_region: u64) -> [KernelConfig; 4] {
     [
         KernelConfig::baseline().with_mem_size(mem_size),
         KernelConfig::cfi().with_mem_size(mem_size),
@@ -132,8 +128,8 @@ mod tests {
         k.reclaim_slabs().expect("reclaim");
         // Normal zone may have permanently ceded pages to the secure region;
         // account for that.
-        let ceded = k.secure_region().unwrap().size().saturating_sub(4 * MIB)
-            / ptstore_core::PAGE_SIZE;
+        let ceded =
+            k.secure_region().unwrap().size().saturating_sub(4 * MIB) / ptstore_core::PAGE_SIZE;
         assert_eq!(k.normal_free_pages() + ceded, free_before);
     }
 }

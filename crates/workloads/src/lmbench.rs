@@ -396,7 +396,11 @@ mod bandwidth_tests {
         let series = measure("bw_pipe", &configs, |k| bw_pipe(k, 256 << 10));
         let cfi = series.overhead_of("CFI").expect("cfi");
         let both = series.overhead_of("CFI+PTStore").expect("both");
-        assert!((both - cfi).abs() < 0.2, "PTStore on bw: {:.3}%", both - cfi);
+        assert!(
+            (both - cfi).abs() < 0.2,
+            "PTStore on bw: {:.3}%",
+            both - cfi
+        );
         let _ = overhead_pct(1, 1);
     }
 }

@@ -79,13 +79,13 @@ pub fn run_nginx(k: &mut Kernel, p: &NginxParams) -> u64 {
                     )
                     .expect("pool touch");
                 }
-                k.sys_munmap(arena, 4 * ptstore_core::PAGE_SIZE).expect("pool munmap");
+                k.sys_munmap(arena, 4 * ptstore_core::PAGE_SIZE)
+                    .expect("pool munmap");
             }
             for _ in 0..batch {
                 let sock = k.sys_accept(REQUEST_BYTES).expect("accept");
                 k.sys_recv(sock, REQUEST_BYTES).expect("recv");
-                k.cycles
-                    .charge(CostKind::User, p.user_cycles_per_request);
+                k.cycles.charge(CostKind::User, p.user_cycles_per_request);
                 let fd = k.sys_open("/srv/index.html").expect("open");
                 k.sys_fstat(fd).expect("fstat");
                 // sendfile-style loop in 64 KiB chunks.

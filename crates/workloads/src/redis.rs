@@ -26,20 +26,90 @@ pub struct RedisTest {
 
 /// The standard test list (paper Figure 7).
 pub const REDIS_TESTS: [RedisTest; 14] = [
-    RedisTest { name: "PING_INLINE", request_bytes: 14, response_bytes: 7, user_cycles: 900 },
-    RedisTest { name: "PING_MBULK", request_bytes: 14, response_bytes: 7, user_cycles: 850 },
-    RedisTest { name: "SET", request_bytes: 46, response_bytes: 5, user_cycles: 1_700 },
-    RedisTest { name: "GET", request_bytes: 31, response_bytes: 10, user_cycles: 1_350 },
-    RedisTest { name: "INCR", request_bytes: 28, response_bytes: 6, user_cycles: 1_400 },
-    RedisTest { name: "LPUSH", request_bytes: 42, response_bytes: 6, user_cycles: 1_900 },
-    RedisTest { name: "RPUSH", request_bytes: 42, response_bytes: 6, user_cycles: 1_850 },
-    RedisTest { name: "LPOP", request_bytes: 27, response_bytes: 10, user_cycles: 1_750 },
-    RedisTest { name: "RPOP", request_bytes: 27, response_bytes: 10, user_cycles: 1_700 },
-    RedisTest { name: "SADD", request_bytes: 40, response_bytes: 6, user_cycles: 1_800 },
-    RedisTest { name: "HSET", request_bytes: 52, response_bytes: 6, user_cycles: 1_950 },
-    RedisTest { name: "SPOP", request_bytes: 27, response_bytes: 10, user_cycles: 1_650 },
-    RedisTest { name: "LRANGE_100", request_bytes: 36, response_bytes: 1_400, user_cycles: 9_500 },
-    RedisTest { name: "MSET (10 keys)", request_bytes: 300, response_bytes: 5, user_cycles: 6_200 },
+    RedisTest {
+        name: "PING_INLINE",
+        request_bytes: 14,
+        response_bytes: 7,
+        user_cycles: 900,
+    },
+    RedisTest {
+        name: "PING_MBULK",
+        request_bytes: 14,
+        response_bytes: 7,
+        user_cycles: 850,
+    },
+    RedisTest {
+        name: "SET",
+        request_bytes: 46,
+        response_bytes: 5,
+        user_cycles: 1_700,
+    },
+    RedisTest {
+        name: "GET",
+        request_bytes: 31,
+        response_bytes: 10,
+        user_cycles: 1_350,
+    },
+    RedisTest {
+        name: "INCR",
+        request_bytes: 28,
+        response_bytes: 6,
+        user_cycles: 1_400,
+    },
+    RedisTest {
+        name: "LPUSH",
+        request_bytes: 42,
+        response_bytes: 6,
+        user_cycles: 1_900,
+    },
+    RedisTest {
+        name: "RPUSH",
+        request_bytes: 42,
+        response_bytes: 6,
+        user_cycles: 1_850,
+    },
+    RedisTest {
+        name: "LPOP",
+        request_bytes: 27,
+        response_bytes: 10,
+        user_cycles: 1_750,
+    },
+    RedisTest {
+        name: "RPOP",
+        request_bytes: 27,
+        response_bytes: 10,
+        user_cycles: 1_700,
+    },
+    RedisTest {
+        name: "SADD",
+        request_bytes: 40,
+        response_bytes: 6,
+        user_cycles: 1_800,
+    },
+    RedisTest {
+        name: "HSET",
+        request_bytes: 52,
+        response_bytes: 6,
+        user_cycles: 1_950,
+    },
+    RedisTest {
+        name: "SPOP",
+        request_bytes: 27,
+        response_bytes: 10,
+        user_cycles: 1_650,
+    },
+    RedisTest {
+        name: "LRANGE_100",
+        request_bytes: 36,
+        response_bytes: 1_400,
+        user_cycles: 9_500,
+    },
+    RedisTest {
+        name: "MSET (10 keys)",
+        request_bytes: 300,
+        response_bytes: 5,
+        user_cycles: 6_200,
+    },
 ];
 
 /// Benchmark parameters (paper: 100 000 requests, 50 connections).
@@ -98,7 +168,8 @@ pub fn run_redis_test(k: &mut Kernel, test: &RedisTest, p: &RedisParams) -> u64 
                     )
                     .expect("arena touch");
                 }
-                k.sys_munmap(arena, 2 * ptstore_core::PAGE_SIZE).expect("arena munmap");
+                k.sys_munmap(arena, 2 * ptstore_core::PAGE_SIZE)
+                    .expect("arena munmap");
             }
             for &s in &socks {
                 if done >= p.requests {
@@ -164,7 +235,11 @@ mod tests {
         };
         let rows = run_redis_suite(&mut k, &p);
         assert_eq!(rows.len(), REDIS_TESTS.len());
-        let ping = rows.iter().find(|(n, _)| *n == "PING_INLINE").expect("ping").1;
+        let ping = rows
+            .iter()
+            .find(|(n, _)| *n == "PING_INLINE")
+            .expect("ping")
+            .1;
         let lrange = rows
             .iter()
             .find(|(n, _)| *n == "LRANGE_100")

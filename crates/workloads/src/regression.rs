@@ -153,12 +153,15 @@ pub fn test_cases() -> Vec<(&'static str, TestFn)> {
             k.sys_munmap(a, PAGE_SIZE).expect("munmap");
             fmt_res(k.sys_touch(a, true))
         }),
-        ("brk01_grow", |k| fmt_res(k.sys_brk(USER_HEAP_BASE + 4 * PAGE_SIZE))),
+        ("brk01_grow", |k| {
+            fmt_res(k.sys_brk(USER_HEAP_BASE + 4 * PAGE_SIZE))
+        }),
         ("brk02_invalid", |k| fmt_res(k.sys_brk(0x1000))),
         ("pagefault01_demand", |k| {
             k.sys_brk(USER_HEAP_BASE + PAGE_SIZE).expect("brk");
             let before = k.stats.demand_faults;
-            k.sys_touch(VirtAddr::new(USER_HEAP_BASE), true).expect("touch");
+            k.sys_touch(VirtAddr::new(USER_HEAP_BASE), true)
+                .expect("touch");
             format!("faults+={}", k.stats.demand_faults - before)
         }),
         ("pagefault02_segv", |k| {
@@ -364,8 +367,11 @@ mod tests {
     use ptstore_kernel::KernelConfig;
 
     fn kernel_with(cfg: KernelConfig) -> Kernel {
-        Kernel::boot(cfg.with_mem_size(256 * MIB).with_initial_secure_size(16 * MIB))
-            .expect("boot")
+        Kernel::boot(
+            cfg.with_mem_size(256 * MIB)
+                .with_initial_secure_size(16 * MIB),
+        )
+        .expect("boot")
     }
 
     #[test]
@@ -386,8 +392,14 @@ mod tests {
 
     #[test]
     fn diff_detects_real_deviations() {
-        let a = vec![TestOutput { name: "t", output: "1".into() }];
-        let b = vec![TestOutput { name: "t", output: "2".into() }];
+        let a = vec![TestOutput {
+            name: "t",
+            output: "1".into(),
+        }];
+        let b = vec![TestOutput {
+            name: "t",
+            output: "2".into(),
+        }];
         assert_eq!(diff_outputs(&a, &b).len(), 1);
     }
 }

@@ -32,17 +32,83 @@ pub struct SpecProfile {
 
 /// The 11 CINT2006 benchmarks the paper runs (perlbench excluded).
 pub const SPEC_CINT2006: [SpecProfile; 11] = [
-    SpecProfile { name: "401.bzip2", user_cycles: 60_000_000, working_set_pages: 220, syscalls: 260, vm_calls: 14 },
-    SpecProfile { name: "403.gcc", user_cycles: 48_000_000, working_set_pages: 900, syscalls: 2_400, vm_calls: 160 },
-    SpecProfile { name: "429.mcf", user_cycles: 42_000_000, working_set_pages: 1_700, syscalls: 140, vm_calls: 24 },
-    SpecProfile { name: "445.gobmk", user_cycles: 55_000_000, working_set_pages: 130, syscalls: 900, vm_calls: 12 },
-    SpecProfile { name: "456.hmmer", user_cycles: 62_000_000, working_set_pages: 60, syscalls: 110, vm_calls: 8 },
-    SpecProfile { name: "458.sjeng", user_cycles: 58_000_000, working_set_pages: 170, syscalls: 90, vm_calls: 6 },
-    SpecProfile { name: "462.libquantum", user_cycles: 64_000_000, working_set_pages: 30, syscalls: 60, vm_calls: 4 },
-    SpecProfile { name: "464.h264ref", user_cycles: 57_000_000, working_set_pages: 110, syscalls: 600, vm_calls: 10 },
-    SpecProfile { name: "471.omnetpp", user_cycles: 44_000_000, working_set_pages: 1_200, syscalls: 700, vm_calls: 90 },
-    SpecProfile { name: "473.astar", user_cycles: 50_000_000, working_set_pages: 500, syscalls: 120, vm_calls: 18 },
-    SpecProfile { name: "483.xalancbmk", user_cycles: 46_000_000, working_set_pages: 1_000, syscalls: 1_800, vm_calls: 120 },
+    SpecProfile {
+        name: "401.bzip2",
+        user_cycles: 60_000_000,
+        working_set_pages: 220,
+        syscalls: 260,
+        vm_calls: 14,
+    },
+    SpecProfile {
+        name: "403.gcc",
+        user_cycles: 48_000_000,
+        working_set_pages: 900,
+        syscalls: 2_400,
+        vm_calls: 160,
+    },
+    SpecProfile {
+        name: "429.mcf",
+        user_cycles: 42_000_000,
+        working_set_pages: 1_700,
+        syscalls: 140,
+        vm_calls: 24,
+    },
+    SpecProfile {
+        name: "445.gobmk",
+        user_cycles: 55_000_000,
+        working_set_pages: 130,
+        syscalls: 900,
+        vm_calls: 12,
+    },
+    SpecProfile {
+        name: "456.hmmer",
+        user_cycles: 62_000_000,
+        working_set_pages: 60,
+        syscalls: 110,
+        vm_calls: 8,
+    },
+    SpecProfile {
+        name: "458.sjeng",
+        user_cycles: 58_000_000,
+        working_set_pages: 170,
+        syscalls: 90,
+        vm_calls: 6,
+    },
+    SpecProfile {
+        name: "462.libquantum",
+        user_cycles: 64_000_000,
+        working_set_pages: 30,
+        syscalls: 60,
+        vm_calls: 4,
+    },
+    SpecProfile {
+        name: "464.h264ref",
+        user_cycles: 57_000_000,
+        working_set_pages: 110,
+        syscalls: 600,
+        vm_calls: 10,
+    },
+    SpecProfile {
+        name: "471.omnetpp",
+        user_cycles: 44_000_000,
+        working_set_pages: 1_200,
+        syscalls: 700,
+        vm_calls: 90,
+    },
+    SpecProfile {
+        name: "473.astar",
+        user_cycles: 50_000_000,
+        working_set_pages: 500,
+        syscalls: 120,
+        vm_calls: 18,
+    },
+    SpecProfile {
+        name: "483.xalancbmk",
+        user_cycles: 46_000_000,
+        working_set_pages: 1_000,
+        syscalls: 1_800,
+        vm_calls: 120,
+    },
 ];
 
 /// Runs one SPEC-shaped benchmark to completion, returning total cycles.
@@ -115,7 +181,10 @@ mod tests {
         // Figure 5: CFI+PTStore < 0.91 % on CPU-bound benchmarks; PTStore
         // alone < 0.29 %. Check the two extremes of the suite.
         let configs = standard_configs(512 * MIB, 16 * MIB);
-        for p in [&SPEC_CINT2006[6] /* libquantum */, &SPEC_CINT2006[2] /* mcf */] {
+        for p in [
+            &SPEC_CINT2006[6], /* libquantum */
+            &SPEC_CINT2006[2], /* mcf */
+        ] {
             let series = measure(p.name, &configs, |k| run_spec(k, p));
             let both = series.overhead_of("CFI+PTStore").expect("present");
             assert!(

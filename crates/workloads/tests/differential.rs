@@ -13,19 +13,41 @@ use ptstore_kernel::{DefenseMode, Kernel, KernelConfig};
 #[derive(Debug, Clone)]
 enum Op {
     Fork,
-    ExitCurrent { code: i32 },
-    SwitchTo { idx: usize },
+    ExitCurrent {
+        code: i32,
+    },
+    SwitchTo {
+        idx: usize,
+    },
     Wait,
     Clone,
-    Mmap { pages: u64 },
-    TouchMapped { region_idx: usize, page: u64, write: bool },
-    Munmap { region_idx: usize },
-    Brk { pages: u64 },
-    OpenRead { bytes: u64 },
-    WriteTmp { bytes: usize },
+    Mmap {
+        pages: u64,
+    },
+    TouchMapped {
+        region_idx: usize,
+        page: u64,
+        write: bool,
+    },
+    Munmap {
+        region_idx: usize,
+    },
+    Brk {
+        pages: u64,
+    },
+    OpenRead {
+        bytes: u64,
+    },
+    WriteTmp {
+        bytes: usize,
+    },
     Pipe,
-    PipeRoundTrip { bytes: usize },
-    Signal { sig: usize },
+    PipeRoundTrip {
+        bytes: usize,
+    },
+    Signal {
+        sig: usize,
+    },
     Yield,
     Exec,
 }
@@ -100,13 +122,19 @@ fn run_workload(defense: DefenseMode, cfi: bool, ops: &[Op]) -> (Vec<String>, u6
                 regions.push((va.as_u64(), *pages));
                 format!("mmap={va}")
             })),
-            Op::TouchMapped { region_idx, page, write } => {
+            Op::TouchMapped {
+                region_idx,
+                page,
+                write,
+            } => {
                 if regions.is_empty() {
                     "skip-touch".to_string()
                 } else {
                     let (va, pages) = regions[region_idx % regions.len()];
                     let target = VirtAddr::new(va + (page % pages) * PAGE_SIZE);
-                    obs(k.sys_touch(target, *write).map(|()| format!("touch={target}")))
+                    obs(k
+                        .sys_touch(target, *write)
+                        .map(|()| format!("touch={target}")))
                 }
             }
             Op::Munmap { region_idx } => {
@@ -125,7 +153,9 @@ fn run_workload(defense: DefenseMode, cfi: bool, ops: &[Op]) -> (Vec<String>, u6
                     .get(k.mm_owner_of(k.current_pid()))
                     .expect("cur")
                     .brk;
-                obs(k.sys_brk(cur + pages * PAGE_SIZE).map(|b| format!("brk={b:#x}")))
+                obs(k
+                    .sys_brk(cur + pages * PAGE_SIZE)
+                    .map(|b| format!("brk={b:#x}")))
             }
             Op::OpenRead { bytes } => obs((|| {
                 let fd = k.sys_open("/etc/passwd")?;

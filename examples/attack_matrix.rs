@@ -46,7 +46,10 @@ fn main() {
         .iter()
         .filter(|r| r.defense == DefenseMode::PtStore && r.tokens && r.outcome.attacker_won())
         .count();
-    println!("PTStore (full design) lost {wins} of {} attacks", AttackKind::ALL.len());
+    println!(
+        "PTStore (full design) lost {wins} of {} attacks",
+        AttackKind::ALL.len()
+    );
 }
 
 fn short(s: &str) -> String {

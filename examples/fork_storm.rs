@@ -9,10 +9,12 @@
 use ptstore::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut cfg = KernelConfig::cfi_ptstore()
-        .with_mem_size(512 * MIB)
-        .with_initial_secure_size(2 * MIB);
-    cfg.adjust_chunk = 2 * MIB;
+    let cfg = KernelConfig::cfi_ptstore()
+        .to_builder()
+        .mem_size(512 * MIB)
+        .initial_secure_size(2 * MIB)
+        .adjust_chunk(2 * MIB)
+        .build()?;
     let mut k = Kernel::boot(cfg)?;
 
     let region0 = k.secure_region().expect("region");
@@ -38,10 +40,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let grown = k.secure_region().expect("region");
     println!("\nfinal region: {grown}");
-    println!("  grew downward: end fixed at {}, base {} -> {}",
-        grown.end(), region0.base(), grown.base());
-    println!("  adjustments: {}, migrated pages: {}",
-        k.stats.adjustments, k.stats.migrated_pages);
+    println!(
+        "  grew downward: end fixed at {}, base {} -> {}",
+        grown.end(),
+        region0.base(),
+        grown.base()
+    );
+    println!(
+        "  adjustments: {}, migrated pages: {}",
+        k.stats.adjustments, k.stats.migrated_pages
+    );
     assert_eq!(grown.end(), region0.end(), "region grows downward only");
 
     // The PMP agrees with the kernel at every step.

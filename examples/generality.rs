@@ -32,9 +32,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Firmware initialises the critical data through the dedicated channel.
     println!("secure region for critical data: {region}");
-    bus.write_u64(data.watchdog_ctrl, 0x1 /* enabled */, Channel::SecurePt, ctx)?;
+    bus.write::<u64>(
+        data.watchdog_ctrl,
+        0x1, /* enabled */
+        Channel::SecurePt,
+        ctx,
+    )?;
     for i in 0..8u64 {
-        bus.write_u64(
+        bus.write::<u64>(
             data.handler_table + i * 8,
             0x4000_0000 + i * 0x100, // legitimate handler entry points
             Channel::SecurePt,
@@ -45,11 +50,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The exploit attempt: a memory-corruption primitive (regular stores)
     // tries to (1) disable the watchdog, (2) hijack a handler pointer.
-    let disable = bus.write_u64(data.watchdog_ctrl, 0, Channel::Regular, ctx);
+    let disable = bus.write::<u64>(data.watchdog_ctrl, 0, Channel::Regular, ctx);
     println!("\nattack 1 — disable watchdog with a regular store:");
     println!("  -> {:?}", disable.unwrap_err());
 
-    let hijack = bus.write_u64(
+    let hijack = bus.write::<u64>(
         data.handler_table + 3 * 8,
         0xdead_beef,
         Channel::Regular,
@@ -59,13 +64,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  -> {:?}", hijack.unwrap_err());
 
     // Reads are blocked too: the table cannot even be disclosed.
-    let leak = bus.read_u64(data.handler_table, Channel::Regular, ctx);
+    let leak = bus.read::<u64>(data.handler_table, Channel::Regular, ctx);
     println!("attack 3 — leak handler table with a regular load:");
     println!("  -> {:?}", leak.unwrap_err());
 
     // Meanwhile the firmware's legitimate paths still work.
-    let ctrl = bus.read_u64(data.watchdog_ctrl, Channel::SecurePt, ctx)?;
-    let h3 = bus.read_u64(data.handler_table + 3 * 8, Channel::SecurePt, ctx)?;
+    let ctrl = bus.read::<u64>(data.watchdog_ctrl, Channel::SecurePt, ctx)?;
+    let h3 = bus.read::<u64>(data.handler_table + 3 * 8, Channel::SecurePt, ctx)?;
     assert_eq!(ctrl, 1, "watchdog still enabled");
     assert_eq!(h3, 0x4000_0300, "handler intact");
     println!("\nfirmware view (via ld.pt): watchdog={ctrl:#x}, handler[3]={h3:#x} — intact ✓");

@@ -49,22 +49,84 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // the boot ROM would carry).
     let fw = [
         // SBI: install the secure region as a TOR pair with the S-bit.
-        Inst::Csr { op: CsrOp::ReadWrite, rd: 0, rs1: 5, csr: csr::addr::PMPADDR0, imm_form: false },
-        Inst::Csr { op: CsrOp::ReadWrite, rd: 0, rs1: 6, csr: csr::addr::PMPADDR0 + 1, imm_form: false },
-        Inst::Csr { op: CsrOp::ReadWrite, rd: 0, rs1: 7, csr: csr::addr::PMPCFG0, imm_form: false },
+        Inst::Csr {
+            op: CsrOp::ReadWrite,
+            rd: 0,
+            rs1: 5,
+            csr: csr::addr::PMPADDR0,
+            imm_form: false,
+        },
+        Inst::Csr {
+            op: CsrOp::ReadWrite,
+            rd: 0,
+            rs1: 6,
+            csr: csr::addr::PMPADDR0 + 1,
+            imm_form: false,
+        },
+        Inst::Csr {
+            op: CsrOp::ReadWrite,
+            rd: 0,
+            rs1: 7,
+            csr: csr::addr::PMPCFG0,
+            imm_form: false,
+        },
         // Build the page tables with sd.pt — the only instructions that can.
-        Inst::SdPt { rs1: 8, rs2: 9, offset: 0 },    // root[0] = l1
-        Inst::SdPt { rs1: 10, rs2: 11, offset: 0 },  // l1[0] = l0
-        Inst::SdPt { rs1: 12, rs2: 13, offset: 8 * 0x20 }, // l0[0x20] = kernel page
-        Inst::SdPt { rs1: 12, rs2: 14, offset: 8 * 0x30 }, // l0[0x30] = user code
-        Inst::SdPt { rs1: 12, rs2: 15, offset: 8 * 0x40 }, // l0[0x40] = shared page
+        Inst::SdPt {
+            rs1: 8,
+            rs2: 9,
+            offset: 0,
+        }, // root[0] = l1
+        Inst::SdPt {
+            rs1: 10,
+            rs2: 11,
+            offset: 0,
+        }, // l1[0] = l0
+        Inst::SdPt {
+            rs1: 12,
+            rs2: 13,
+            offset: 8 * 0x20,
+        }, // l0[0x20] = kernel page
+        Inst::SdPt {
+            rs1: 12,
+            rs2: 14,
+            offset: 8 * 0x30,
+        }, // l0[0x30] = user code
+        Inst::SdPt {
+            rs1: 12,
+            rs2: 15,
+            offset: 8 * 0x40,
+        }, // l0[0x40] = shared page
         // Arm the walker: satp = {sv39, S=1, root}.
-        Inst::Csr { op: CsrOp::ReadWrite, rd: 0, rs1: 16, csr: csr::addr::SATP, imm_form: false },
+        Inst::Csr {
+            op: CsrOp::ReadWrite,
+            rd: 0,
+            rs1: 16,
+            csr: csr::addr::SATP,
+            imm_form: false,
+        },
         // Delegate ecall-U (cause 8) to S-mode; set stvec to the handler.
-        Inst::Csr { op: CsrOp::ReadWrite, rd: 0, rs1: 17, csr: csr::addr::MEDELEG, imm_form: false },
-        Inst::Csr { op: CsrOp::ReadWrite, rd: 0, rs1: 18, csr: csr::addr::STVEC, imm_form: false },
+        Inst::Csr {
+            op: CsrOp::ReadWrite,
+            rd: 0,
+            rs1: 17,
+            csr: csr::addr::MEDELEG,
+            imm_form: false,
+        },
+        Inst::Csr {
+            op: CsrOp::ReadWrite,
+            rd: 0,
+            rs1: 18,
+            csr: csr::addr::STVEC,
+            imm_form: false,
+        },
         // mret to U-mode at the user page (MPP=00 preloaded in mstatus).
-        Inst::Csr { op: CsrOp::ReadWrite, rd: 0, rs1: 19, csr: csr::addr::MEPC, imm_form: false },
+        Inst::Csr {
+            op: CsrOp::ReadWrite,
+            rd: 0,
+            rs1: 19,
+            csr: csr::addr::MEPC,
+            imm_form: false,
+        },
         Inst::Mret,
     ];
     m.load_program(0x1000, &fw);
@@ -87,9 +149,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ---- U-mode program (PA/VA 0x3_0000) --------------------------------
     let user = [
         // a0 = 42; store it to the shared page; syscall.
-        Inst::OpImm { op: AluOp::Add, rd: 10, rs1: 0, imm: 42, word: false },
-        Inst::Lui { rd: 11, imm: shared_pa as i64 },
-        Inst::Store { op: StoreOp::D, rs1: 11, rs2: 10, offset: 0 },
+        Inst::OpImm {
+            op: AluOp::Add,
+            rd: 10,
+            rs1: 0,
+            imm: 42,
+            word: false,
+        },
+        Inst::Lui {
+            rd: 11,
+            imm: shared_pa as i64,
+        },
+        Inst::Store {
+            op: StoreOp::D,
+            rs1: 11,
+            rs2: 10,
+            offset: 0,
+        },
         Inst::Ecall,
     ];
     m.load_program(user_pa, &user);
@@ -97,8 +173,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ---- S-mode trap handler (PA/VA 0x2_0100) ----------------------------
     let handler = [
         // "Service" the syscall: result = a0 + 58; store next to the input.
-        Inst::OpImm { op: AluOp::Add, rd: 17, rs1: 10, imm: 58, word: false },
-        Inst::Store { op: StoreOp::D, rs1: 11, rs2: 17, offset: 8 },
+        Inst::OpImm {
+            op: AluOp::Add,
+            rd: 17,
+            rs1: 10,
+            imm: 58,
+            word: false,
+        },
+        Inst::Store {
+            op: StoreOp::D,
+            rs1: 11,
+            rs2: 17,
+            offset: 8,
+        },
         Inst::Wfi,
     ];
     m.load_program(kernel_pa + 0x100, &handler);
@@ -106,8 +193,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ---- Run the whole boot ---------------------------------------------
     m.cpu.pc = 0x1000;
     let traps = m.run_through_traps(500)?;
-    println!("\nexecuted {} instructions, traps taken: {:?}", m.cpu.instret,
-        traps.iter().map(|t| t.cause.to_string()).collect::<Vec<_>>());
+    println!(
+        "\nexecuted {} instructions, traps taken: {:?}",
+        m.cpu.instret,
+        traps
+            .iter()
+            .map(|t| t.cause.to_string())
+            .collect::<Vec<_>>()
+    );
 
     // The syscall was delegated to S-mode.
     assert_eq!(traps.len(), 1);
@@ -129,7 +222,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.secure_writes, stats.ptw_reads
     );
     assert_eq!(stats.secure_writes, 5);
-    assert!(stats.ptw_reads >= 9, "U fetch + loads/stores + S fetch all walked");
+    assert!(
+        stats.ptw_reads >= 9,
+        "U fetch + loads/stores + S fetch all walked"
+    );
     assert_eq!(stats.faults, 0, "no PTStore fault on the legitimate path");
     println!("\nboot protocol of §IV reproduced at the instruction level ✓");
     Ok(())

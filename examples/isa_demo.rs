@@ -14,8 +14,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("secure region: {region}\n");
 
     // The two new instructions, as the modified decoder sees them.
-    let ld_pt = Inst::LdPt { rd: 10, rs1: 5, offset: 0 };
-    let sd_pt = Inst::SdPt { rs1: 5, rs2: 6, offset: 0 };
+    let ld_pt = Inst::LdPt {
+        rd: 10,
+        rs1: 5,
+        offset: 0,
+    };
+    let sd_pt = Inst::SdPt {
+        rs1: 5,
+        rs2: 6,
+        offset: 0,
+    };
     println!("encodings (custom-0/custom-1 opcode space, funct3=011):");
     println!("  {:<22} = {:#010x}", ld_pt.to_string(), encode(ld_pt));
     println!("  {:<22} = {:#010x}", sd_pt.to_string(), encode(sd_pt));
@@ -24,23 +32,51 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // region, then read it back with ld.pt.
     let base = region.base().as_u64();
     let program = [
-        Inst::Lui { rd: 5, imm: base as i64 },                            // t0 = region base
-        Inst::OpImm { op: AluOp::Add, rd: 6, rs1: 0, imm: 0x5a5, word: false }, // t1 = pte bits
-        Inst::SdPt { rs1: 5, rs2: 6, offset: 0 },                         // set_pte!
-        Inst::LdPt { rd: 10, rs1: 5, offset: 0 },                         // read back
+        Inst::Lui {
+            rd: 5,
+            imm: base as i64,
+        }, // t0 = region base
+        Inst::OpImm {
+            op: AluOp::Add,
+            rd: 6,
+            rs1: 0,
+            imm: 0x5a5,
+            word: false,
+        }, // t1 = pte bits
+        Inst::SdPt {
+            rs1: 5,
+            rs2: 6,
+            offset: 0,
+        }, // set_pte!
+        Inst::LdPt {
+            rd: 10,
+            rs1: 5,
+            offset: 0,
+        }, // read back
         Inst::Wfi,
     ];
     m.load_program(0x1000, &program);
     m.cpu.pc = 0x1000;
     m.run(100)?;
-    println!("\nkernel path: sd.pt wrote, ld.pt read back a0 = {:#x} ✓", m.cpu.reg(10));
+    println!(
+        "\nkernel path: sd.pt wrote, ld.pt read back a0 = {:#x} ✓",
+        m.cpu.reg(10)
+    );
     assert_eq!(m.cpu.reg(10), 0x5a5);
 
     // Program 2: the attack path — a *regular* store to the same address.
     let (mut m2, _) = SimMachine::with_secure_region(128 * MIB);
     let attack = [
-        Inst::Lui { rd: 5, imm: base as i64 },
-        Inst::Store { op: StoreOp::D, rs1: 5, rs2: 6, offset: 0 }, // plain sd
+        Inst::Lui {
+            rd: 5,
+            imm: base as i64,
+        },
+        Inst::Store {
+            op: StoreOp::D,
+            rs1: 5,
+            rs2: 6,
+            offset: 0,
+        }, // plain sd
     ];
     m2.load_program(0x1000, &attack);
     m2.cpu.pc = 0x1000;
@@ -53,10 +89,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Program 3: ld.pt outside the region is equally illegal.
     let (mut m3, _) = SimMachine::with_secure_region(128 * MIB);
-    m3.load_program(0x1000, &[Inst::LdPt { rd: 10, rs1: 0, offset: 0x100 }]);
+    m3.load_program(
+        0x1000,
+        &[Inst::LdPt {
+            rd: 10,
+            rs1: 0,
+            offset: 0x100,
+        }],
+    );
     m3.cpu.pc = 0x1000;
     let trap = m3.run(100)?.expect("must trap");
-    println!("misuse path: ld.pt outside region -> trap: {} ✓", trap.cause);
+    println!(
+        "misuse path: ld.pt outside region -> trap: {} ✓",
+        trap.cause
+    );
     assert_eq!(trap.cause, TrapCause::LoadAccessFault);
 
     println!("\nthe three Fig. 1 arrows, demonstrated at the instruction level.");

@@ -9,11 +9,13 @@ use ptstore::prelude::*;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Boot the CFI+PTStore kernel on a 256 MiB machine with a 16 MiB
     //    secure region at the top of physical memory.
-    let mut k = Kernel::boot(
-        KernelConfig::cfi_ptstore()
-            .with_mem_size(256 * MIB)
-            .with_initial_secure_size(16 * MIB),
-    )?;
+    let cfg = KernelConfig::builder()
+        .defense(DefenseMode::PtStore)
+        .cfi(true)
+        .mem_size(256 * MIB)
+        .initial_secure_size(16 * MIB)
+        .build()?;
+    let mut k = Kernel::boot(cfg)?;
     let region = k.secure_region().expect("ptstore kernel has a region");
     println!("booted: secure region {region}");
     println!(
@@ -24,7 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. Normal life: spawn a process; its page tables land in the region.
     let child = k.sys_fork()?;
     let root = k.process_root(child).expect("root");
-    println!("forked pid {child}; its root page table lives at {}", root.base_addr());
+    println!(
+        "forked pid {child}; its root page table lives at {}",
+        root.base_addr()
+    );
     assert!(region.contains(root.base_addr()));
 
     // 3. The attacker's turn: an arbitrary-write primitive aims at the PTE

@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# The CI gate, runnable locally. Everything is offline: the workspace
+# vendors its few dependencies as path crates under third_party/.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo clippy (-D warnings) =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "== cargo test =="
+cargo test --offline --workspace -q
+
+echo "All checks passed."

@@ -32,10 +32,7 @@ fn region_grows_contiguously_under_pressure() {
     assert_eq!(now.end(), region0.end());
     assert_eq!(k.bus.secure_region(), Some(now));
     // Contiguity: the PTStore zone's span equals the region exactly.
-    assert_eq!(
-        k.pt_area_free_pages().expect("zone") <= now.page_count(),
-        true
-    );
+    assert!(k.pt_area_free_pages().expect("zone") <= now.page_count());
 }
 
 #[test]

@@ -14,14 +14,49 @@ fn secure_region_installed_by_executed_csr_writes() {
 
     let program = [
         // pmpaddr0 = base >> 2 ; pmpaddr1 = end >> 2 ; pmpcfg0 = TOR|R|W|S @ entry 1
-        Inst::Csr { op: CsrOp::ReadWrite, rd: 0, rs1: 5, csr: csr::addr::PMPADDR0, imm_form: false },
-        Inst::Csr { op: CsrOp::ReadWrite, rd: 0, rs1: 6, csr: csr::addr::PMPADDR0 + 1, imm_form: false },
-        Inst::Csr { op: CsrOp::ReadWrite, rd: 0, rs1: 7, csr: csr::addr::PMPCFG0, imm_form: false },
+        Inst::Csr {
+            op: CsrOp::ReadWrite,
+            rd: 0,
+            rs1: 5,
+            csr: csr::addr::PMPADDR0,
+            imm_form: false,
+        },
+        Inst::Csr {
+            op: CsrOp::ReadWrite,
+            rd: 0,
+            rs1: 6,
+            csr: csr::addr::PMPADDR0 + 1,
+            imm_form: false,
+        },
+        Inst::Csr {
+            op: CsrOp::ReadWrite,
+            rd: 0,
+            rs1: 7,
+            csr: csr::addr::PMPCFG0,
+            imm_form: false,
+        },
         // sd.pt into the region, ld.pt back out.
-        Inst::Lui { rd: 5, imm: base as i64 },
-        Inst::OpImm { op: AluOp::Add, rd: 6, rs1: 0, imm: 0x77, word: false },
-        Inst::SdPt { rs1: 5, rs2: 6, offset: 8 },
-        Inst::LdPt { rd: 10, rs1: 5, offset: 8 },
+        Inst::Lui {
+            rd: 5,
+            imm: base as i64,
+        },
+        Inst::OpImm {
+            op: AluOp::Add,
+            rd: 6,
+            rs1: 0,
+            imm: 0x77,
+            word: false,
+        },
+        Inst::SdPt {
+            rs1: 5,
+            rs2: 6,
+            offset: 8,
+        },
+        Inst::LdPt {
+            rd: 10,
+            rs1: 5,
+            offset: 8,
+        },
         Inst::Wfi,
     ];
     m.load_program(0x1000, &program);
@@ -36,7 +71,15 @@ fn secure_region_installed_by_executed_csr_writes() {
 
     // Now a regular load of the same address must trap.
     let mut m2 = m.clone();
-    m2.load_program(0x2000, &[Inst::Load { op: LoadOp::D, rd: 11, rs1: 5, offset: 8 }]);
+    m2.load_program(
+        0x2000,
+        &[Inst::Load {
+            op: LoadOp::D,
+            rd: 11,
+            rs1: 5,
+            offset: 8,
+        }],
+    );
     m2.cpu.pc = 0x2000;
     let trap = m2.run(10).expect("runs").expect("trap");
     assert_eq!(trap.cause, TrapCause::LoadAccessFault);
@@ -48,7 +91,14 @@ fn user_mode_cannot_use_the_new_instructions() {
     // Delegate illegal-instruction to S-mode to observe the cause there.
     m.cpu.csrs.write_raw(csr::addr::MEDELEG, 1 << 2);
     m.cpu.csrs.write_raw(csr::addr::STVEC, 0x8000);
-    m.load_program(0x1000, &[Inst::LdPt { rd: 10, rs1: 0, offset: 0 }]);
+    m.load_program(
+        0x1000,
+        &[Inst::LdPt {
+            rd: 10,
+            rs1: 0,
+            offset: 0,
+        }],
+    );
     m.cpu.pc = 0x1000;
     m.cpu.mode = ptstore::core::PrivilegeMode::User;
     let trap = m.run(10).expect("runs").expect("trap");
@@ -81,10 +131,28 @@ fn executed_program_walks_secure_page_tables() {
 
     // Registers seeded host-side; program does the stores + satp + mret.
     let program = [
-        Inst::SdPt { rs1: 5, rs2: 6, offset: 0 },   // root[0] = l1
-        Inst::SdPt { rs1: 7, rs2: 28, offset: 16 }, // l1[2] = l0
-        Inst::SdPt { rs1: 29, rs2: 30, offset: 0 }, // l0[0] = leaf
-        Inst::Csr { op: CsrOp::ReadWrite, rd: 0, rs1: 31, csr: csr::addr::SATP, imm_form: false },
+        Inst::SdPt {
+            rs1: 5,
+            rs2: 6,
+            offset: 0,
+        }, // root[0] = l1
+        Inst::SdPt {
+            rs1: 7,
+            rs2: 28,
+            offset: 16,
+        }, // l1[2] = l0
+        Inst::SdPt {
+            rs1: 29,
+            rs2: 30,
+            offset: 0,
+        }, // l0[0] = leaf
+        Inst::Csr {
+            op: CsrOp::ReadWrite,
+            rd: 0,
+            rs1: 31,
+            csr: csr::addr::SATP,
+            imm_form: false,
+        },
         Inst::Mret,
     ];
     m.load_program(0x1000, &program);
@@ -124,12 +192,25 @@ fn executed_program_walks_secure_page_tables() {
     )
     .bits();
     m.cpu.set_reg(30, pte_leaf_x);
-    m.load_program(pa_code, &[
-        Inst::OpImm { op: AluOp::Add, rd: 10, rs1: 0, imm: 0x123, word: false },
-        Inst::Wfi,
-    ]);
+    m.load_program(
+        pa_code,
+        &[
+            Inst::OpImm {
+                op: AluOp::Add,
+                rd: 10,
+                rs1: 0,
+                imm: 0x123,
+                word: false,
+            },
+            Inst::Wfi,
+        ],
+    );
     m.cpu.pc = 0x1000;
-    assert_eq!(m.run(100).expect("no cpu error"), None, "reached wfi in S-mode");
+    assert_eq!(
+        m.run(100).expect("no cpu error"),
+        None,
+        "reached wfi in S-mode"
+    );
     assert_eq!(m.cpu.reg(10), 0x123);
     assert_eq!(m.cpu.mode, ptstore::core::PrivilegeMode::Supervisor);
     // The fetches from `va` walked page tables inside the secure region.
@@ -153,10 +234,21 @@ fn kernel_and_isa_machine_share_one_truth() {
 
     // Both deny a regular store at the same address.
     let target = region.base() + 0x40;
-    m.load_program(0x1000, &[
-        Inst::Lui { rd: 5, imm: target.as_u64() as i64 },
-        Inst::Store { op: StoreOp::D, rs1: 5, rs2: 0, offset: 0 },
-    ]);
+    m.load_program(
+        0x1000,
+        &[
+            Inst::Lui {
+                rd: 5,
+                imm: target.as_u64() as i64,
+            },
+            Inst::Store {
+                op: StoreOp::D,
+                rs1: 5,
+                rs2: 0,
+                offset: 0,
+            },
+        ],
+    );
     m.cpu.pc = 0x1000;
     let trap = m.run(10).expect("runs").expect("trap");
     assert_eq!(trap.cause, TrapCause::StoreAccessFault);

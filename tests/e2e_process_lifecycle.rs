@@ -47,7 +47,8 @@ fn exec_chain_reuses_address_space_safely() {
     // exec tears down and rebuilds user mappings; PT pages must not leak
     // (the same intermediate tables get reused or freed).
     assert!(k.stats.pt_pages_live <= before_pt + 4);
-    k.sys_touch(VirtAddr::new(0x1_0000), false).expect("text mapped");
+    k.sys_touch(VirtAddr::new(0x1_0000), false)
+        .expect("text mapped");
 }
 
 #[test]

@@ -48,5 +48,8 @@ fn baseline_defenses_also_preserve_behaviour() {
 fn suite_is_reproducible_run_to_run() {
     let a = suite_for(KernelConfig::cfi_ptstore());
     let b = suite_for(KernelConfig::cfi_ptstore());
-    assert!(diff_outputs(&a, &b).is_empty(), "suite must be deterministic");
+    assert!(
+        diff_outputs(&a, &b).is_empty(),
+        "suite must be deterministic"
+    );
 }

@@ -10,7 +10,10 @@ fn full_matrix_is_consistent() {
     assert_eq!(matrix.len(), 40);
 
     // The paper's headline: PTStore (full design) defeats everything.
-    for r in matrix.iter().filter(|r| r.defense == DefenseMode::PtStore && r.tokens) {
+    for r in matrix
+        .iter()
+        .filter(|r| r.defense == DefenseMode::PtStore && r.tokens)
+    {
         assert!(
             !r.outcome.attacker_won(),
             "{} must not defeat full PTStore",
@@ -82,9 +85,7 @@ fn related_work_weaknesses_reproduce() {
     }
     // The ablation that motivates tokens (§III-C3): without them, reuse wins
     // even with the secure region + PTW check.
-    assert!(
-        run_attack(AttackKind::PtReuse, DefenseMode::PtStore, false)
-            .outcome
-            .attacker_won()
-    );
+    assert!(run_attack(AttackKind::PtReuse, DefenseMode::PtStore, false)
+        .outcome
+        .attacker_won());
 }

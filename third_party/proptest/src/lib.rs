@@ -1,0 +1,188 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! re-implements the subset of the proptest DSL the workspace uses:
+//! `proptest!` / `prop_compose!` / `prop_oneof!` blocks, `Strategy` with
+//! `prop_map`, integer-range and tuple strategies, `Just`, `any`,
+//! `collection::{vec, btree_set}`, and the `prop_assert*` / `prop_assume`
+//! macros. Generation is deterministic (seeded per test name) and there is
+//! no shrinking: a failing case reports its inputs via the assertion
+//! message instead of minimising them. That trade-off keeps the harness
+//! dependency-free while preserving the coverage the property tests exist
+//! for.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::{any, Any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume};
+    pub use crate::{prop_compose, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the current case
+/// (not panicking directly) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "{}\n  left: {:?}\n right: {:?}",
+                    format!($($fmt)*), l, r
+                ),
+            ));
+        }
+    }};
+}
+
+/// `assert_ne!` counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Discards the current case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Picks one of several strategies (optionally weighted) per generated value.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Defines a named strategy-producing function from component strategies.
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident($($outer:tt)*)
+            ($($pat:pat in $strat:expr),* $(,)?)
+            -> $ret:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($outer)*) -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::Strategy::prop_map(
+                ($($strat,)*),
+                move |($($pat,)*)| $body,
+            )
+        }
+    };
+}
+
+/// Defines deterministic property tests over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(config = ($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        );
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = ($cfg:expr);) => {};
+    (
+        config = ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            let mut cases_run: u32 = 0;
+            let mut rejects: u32 = 0;
+            while cases_run < config.cases {
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng);)*
+                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                match outcome {
+                    Ok(()) => cases_run += 1,
+                    Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                        rejects += 1;
+                        if rejects > config.cases.saturating_mul(16).max(1024) {
+                            panic!(
+                                "{}: too many prop_assume rejections ({rejects})",
+                                stringify!($name)
+                            );
+                        }
+                    }
+                    Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "{}: property failed at case {}/{}:\n{}",
+                            stringify!($name),
+                            cases_run + 1,
+                            config.cases,
+                            msg
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items!(config = ($cfg); $($rest)*);
+    };
+}

@@ -1,0 +1,82 @@
+//! Deterministic test harness pieces used by the `proptest!` macro.
+
+/// Per-block configuration (only `cases` is honoured).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Runs each property for `cases` generated inputs.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// `prop_assert*` failed: the property is violated.
+    Fail(String),
+    /// `prop_assume!` rejected the input: try another.
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// xoshiro256** seeded from a hash of the test name: deterministic per test
+/// and stable across runs, so failures are reproducible without a seed file.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the test name.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        Self::seed_from_u64(h)
+    }
+
+    pub fn seed_from_u64(mut state: u64) -> Self {
+        let mut next = || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        Self { s }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}

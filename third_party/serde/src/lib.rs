@@ -1,0 +1,33 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io, so this crate supplies
+//! the minimal surface the workspace actually uses: the `Serialize` /
+//! `Deserialize` trait names (for bounds and `use` statements) and the
+//! derive macros of the same names. The traits are markers with blanket
+//! impls; the derives are no-ops. Nothing in-tree performs serde-based
+//! serialisation (JSON output is hand-rolled in `ptstore-trace` and the
+//! bench CSV writers), so marker semantics are sufficient.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+pub mod de {
+    pub use super::Deserialize;
+    pub use super::DeserializeOwned;
+}
+
+pub mod ser {
+    pub use super::Serialize;
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

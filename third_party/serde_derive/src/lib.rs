@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The companion `serde` stub provides blanket impls of its marker traits,
+//! so the derives here only need to accept the attribute syntax and emit
+//! nothing. This keeps every `#[derive(Serialize, Deserialize)]` in the
+//! workspace compiling in a network-less build environment.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
