@@ -36,11 +36,12 @@ impl fmt::Display for AttackReport {
     }
 }
 
-fn attack_config(defense: DefenseMode, tokens: bool) -> KernelConfig {
+fn attack_config(defense: DefenseMode, tokens: bool, harts: usize) -> KernelConfig {
     let mut cfg = KernelConfig::baseline()
         .with_defense(defense)
         .with_mem_size(256 * MIB)
-        .with_initial_secure_size(16 * MIB);
+        .with_initial_secure_size(16 * MIB)
+        .with_harts(harts);
     cfg.cfi = true; // the threat model deploys CFI
     cfg.token_checks = tokens;
     cfg
@@ -97,7 +98,19 @@ impl TracedAttackReport {
 
 /// Boots a fresh kernel and runs one attack against one defense.
 pub fn run_attack(kind: AttackKind, defense: DefenseMode, tokens: bool) -> AttackReport {
-    let mut k = Kernel::boot(attack_config(defense, tokens)).expect("kernel boots");
+    run_attack_on(1, kind, defense, tokens)
+}
+
+/// Like [`run_attack`], but on an `harts`-way SMP machine. The attacker
+/// runs on the boot hart while the remote harts participate in every
+/// shootdown — the defense verdict must not depend on the hart count.
+pub fn run_attack_on(
+    harts: usize,
+    kind: AttackKind,
+    defense: DefenseMode,
+    tokens: bool,
+) -> AttackReport {
+    let mut k = Kernel::boot(attack_config(defense, tokens, harts)).expect("kernel boots");
     let outcome = run(kind, &mut k);
     AttackReport {
         attack: kind,
@@ -115,7 +128,7 @@ pub fn run_attack_traced(
     defense: DefenseMode,
     tokens: bool,
 ) -> TracedAttackReport {
-    let mut k = Kernel::boot(attack_config(defense, tokens)).expect("kernel boots");
+    let mut k = Kernel::boot(attack_config(defense, tokens, 1)).expect("kernel boots");
     let sink = TraceSink::new();
     k.set_trace_sink(Some(sink.clone()));
     let outcome = run(kind, &mut k);
@@ -135,6 +148,12 @@ pub fn run_attack_traced(
 /// The full §V-E matrix: every attack against every defense (fresh kernel
 /// per cell), plus the tokens-off PTStore ablation rows.
 pub fn security_matrix() -> Vec<AttackReport> {
+    security_matrix_with_harts(1)
+}
+
+/// The full matrix on an `harts`-way SMP machine (every cell boots a fresh
+/// N-hart kernel). `security_matrix()` is the `harts == 1` case.
+pub fn security_matrix_with_harts(harts: usize) -> Vec<AttackReport> {
     let mut out = Vec::new();
     for defense in [
         DefenseMode::None,
@@ -143,13 +162,13 @@ pub fn security_matrix() -> Vec<AttackReport> {
         DefenseMode::PtStore,
     ] {
         for kind in AttackKind::ALL {
-            out.push(run_attack(kind, defense, true));
+            out.push(run_attack_on(harts, kind, defense, true));
         }
     }
     // Ablation: PTStore with the token layer disabled — shows which attacks
     // the secure region + PTW check alone cannot stop.
     for kind in AttackKind::ALL {
-        let mut r = run_attack(kind, DefenseMode::PtStore, false);
+        let mut r = run_attack_on(harts, kind, DefenseMode::PtStore, false);
         r.tokens = false;
         out.push(r);
     }
@@ -173,6 +192,37 @@ pub fn security_matrix_traced() -> Vec<TracedAttackReport> {
 mod tests {
     use super::*;
     use crate::outcome::BlockedBy;
+
+    #[test]
+    fn ptstore_blocks_all_attacks_on_smp_machines() {
+        for harts in [1, 2, 4] {
+            for kind in AttackKind::ALL {
+                let r = run_attack_on(harts, kind, DefenseMode::PtStore, true);
+                assert!(
+                    !r.outcome.attacker_won(),
+                    "PTStore must stop {kind} on {harts} harts, got {}",
+                    r.outcome
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn smp_verdicts_match_single_hart() {
+        // The whole matrix, cell for cell, is hart-count independent.
+        let base = security_matrix();
+        for harts in [2, 4] {
+            let smp = security_matrix_with_harts(harts);
+            assert_eq!(base.len(), smp.len());
+            for (b, m) in base.iter().zip(&smp) {
+                assert_eq!(
+                    b.outcome, m.outcome,
+                    "{} vs {} diverged at {harts} harts",
+                    b.attack, b.defense
+                );
+            }
+        }
+    }
 
     #[test]
     fn undefended_kernel_falls_to_everything_harmful() {

@@ -189,7 +189,7 @@ pub fn pt_reuse(k: &mut Kernel) -> AttackOutcome {
         Err(e) => panic!("unexpected switch error: {e}"),
         Ok(()) => {
             // Victim now runs on the attacker's page tables.
-            let root = k.mmu.satp.root_ppn.base_addr().as_u64();
+            let root = k.mmu().satp.root_ppn.base_addr().as_u64();
             debug_assert_eq!(root, att_pt & !0xfff);
             AttackOutcome::Succeeded
         }

@@ -1,8 +1,8 @@
 //! Regenerates every table and figure of the PTStore paper from the models.
 //!
 //! ```text
-//! reproduce [--quick] [--csv <dir>] [--trace <file>] \
-//!     [table1|table2|table3|hwdetail|ltp|fig4|forkstress|fig5|fig6|fig7|security|all]
+//! reproduce [--quick] [--harts N] [--csv <dir>] [--trace <file>] \
+//!     [table1|table2|table3|hwdetail|ltp|fig4|forkstress|fig5|fig6|fig7|security|smp|all]
 //! ```
 //!
 //! `--quick` runs scaled-down workloads (seconds); the default uses the
@@ -13,6 +13,9 @@
 //! attached and writes each cell's full event chain (JSON array, one
 //! object per cell with counters and per-event rejecting-layer
 //! attribution) to `file`.
+//! `--harts N` boots N-hart machines: the security battery reruns every
+//! cell on the SMP machine, and the `smp` experiment compares
+//! hart-distributed nginx/redis/fork-stress throughput against one hart.
 
 use ptstore_bench::*;
 
@@ -38,6 +41,12 @@ fn main() {
         .position(|a| a == "--trace")
         .and_then(|i| args.get(i + 1))
         .map(std::path::PathBuf::from);
+    let harts: usize = args
+        .iter()
+        .position(|a| a == "--harts")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--harts takes a positive integer"))
+        .unwrap_or(1);
     let mut skip_next = false;
     let what = args
         .iter()
@@ -46,7 +55,7 @@ fn main() {
                 skip_next = false;
                 return false;
             }
-            if *a == "--csv" || *a == "--trace" {
+            if *a == "--csv" || *a == "--trace" || *a == "--harts" {
                 skip_next = true;
                 return false;
             }
@@ -87,7 +96,10 @@ fn main() {
         print_fig7(&scale);
     }
     if all || what == "security" {
-        print_security(trace_file.as_deref());
+        print_security(trace_file.as_deref(), harts);
+    }
+    if all || what == "smp" {
+        print_smp(&scale, harts);
     }
     if !all
         && ![
@@ -102,11 +114,12 @@ fn main() {
             "fig6",
             "fig7",
             "security",
+            "smp",
         ]
         .contains(&what.as_str())
     {
         eprintln!("unknown experiment {what:?}");
-        eprintln!("usage: reproduce [--quick] [--csv <dir>] [--trace <file>] [table1|table2|table3|hwdetail|ltp|fig4|forkstress|fig5|fig6|fig7|security|all]");
+        eprintln!("usage: reproduce [--quick] [--harts N] [--csv <dir>] [--trace <file>] [table1|table2|table3|hwdetail|ltp|fig4|forkstress|fig5|fig6|fig7|security|smp|all]");
         std::process::exit(2);
     }
 }
@@ -321,9 +334,15 @@ fn print_fig7(scale: &Scale) {
     );
 }
 
-fn print_security(trace_file: Option<&std::path::Path>) {
-    header("§V-E: security matrix (attack × defense; fresh kernel per cell)");
-    for report in run_security() {
+fn print_security(trace_file: Option<&std::path::Path>, harts: usize) {
+    if harts > 1 {
+        header(&format!(
+            "§V-E: security matrix (attack × defense; fresh {harts}-hart kernel per cell)"
+        ));
+    } else {
+        header("§V-E: security matrix (attack × defense; fresh kernel per cell)");
+    }
+    for report in run_security_with_harts(harts) {
         let tokens = if report.tokens { "" } else { " [tokens off]" };
         println!("{report}{tokens}");
     }
@@ -370,4 +389,38 @@ fn print_security(trace_file: Option<&std::path::Path>) {
         Ok(()) => println!("(trace written to {})", path.display()),
         Err(e) => eprintln!("error: cannot write trace file {}: {e}", path.display()),
     }
+}
+
+fn print_smp(scale: &Scale, harts: usize) {
+    // `reproduce smp` without --harts compares against a 4-hart machine.
+    let harts = if harts > 1 { harts } else { 4 };
+    header(&format!(
+        "SMP scaling: hart-distributed workloads, 1 vs {harts} harts (CFI+PTStore)"
+    ));
+    let rows = run_smp(scale, harts);
+    println!(
+        "{:<14} {:>14} {:>14} {:>9} {:>12} {:>10}",
+        "workload", "1-hart ops/kc", "N-hart ops/kc", "speedup", "shootdowns", "IPIs"
+    );
+    for r in &rows {
+        println!(
+            "{:<14} {:>14.3} {:>14.3} {:>8.2}x {:>12} {:>10}",
+            r.workload,
+            r.single.ops_per_kilocycle(),
+            r.multi.ops_per_kilocycle(),
+            r.speedup(),
+            r.multi.tlb_shootdowns,
+            r.multi.shootdown_ipis,
+        );
+        let util: Vec<String> = r
+            .multi
+            .per_hart
+            .iter()
+            .map(|h| format!("hart{} {:>5.1}%", h.hart, h.utilization * 100.0))
+            .collect();
+        println!("{:<14} per-hart utilization: {}", "", util.join("  "));
+    }
+    println!(
+        "=> ops per modeled cycle must rise with the hart count; shootdown IPIs are the price"
+    );
 }

@@ -1,6 +1,9 @@
 //! Experiment drivers, one per paper table/figure.
 
-use ptstore_attacks::{security_matrix, security_matrix_traced, AttackReport, TracedAttackReport};
+use ptstore_attacks::{
+    security_matrix, security_matrix_traced, security_matrix_with_harts, AttackReport,
+    TracedAttackReport,
+};
 use ptstore_core::{GIB, MIB};
 use ptstore_hwcost::{table3, BoomConfig, Table3Row};
 use ptstore_kernel::{Kernel, KernelConfig};
@@ -9,6 +12,7 @@ use ptstore_workloads::nginx::{run_nginx, NginxParams, RESPONSE_SIZES};
 use ptstore_workloads::redis::{run_redis_test, RedisParams, REDIS_TESTS};
 use ptstore_workloads::regression::{diff_outputs, run_suite, TestOutput};
 use ptstore_workloads::report::{measure, overhead_pct, standard_configs, OverheadSeries};
+use ptstore_workloads::smp::{run_fork_stress_smp, run_nginx_smp, run_redis_smp, SmpRunReport};
 use ptstore_workloads::spec::{run_spec, SPEC_CINT2006};
 use ptstore_workloads::{lmbench, Measurement};
 
@@ -322,10 +326,99 @@ pub fn run_security() -> Vec<AttackReport> {
     security_matrix()
 }
 
+/// The same battery on an `harts`-way SMP machine: the verdicts must not
+/// depend on the hart count.
+pub fn run_security_with_harts(harts: usize) -> Vec<AttackReport> {
+    security_matrix_with_harts(harts)
+}
+
 /// Runs the PTStore rows (full design + tokens-off ablation) with a trace
 /// sink attached per cell, capturing each attack's event chain.
 pub fn run_security_traced() -> Vec<TracedAttackReport> {
     security_matrix_traced()
+}
+
+// ---------------------------------------------------------------------
+// SMP scaling — hart-distributed macrobenchmarks
+// ---------------------------------------------------------------------
+
+/// One workload measured single-hart and `harts`-way on otherwise
+/// identical machines.
+#[derive(Debug, Clone)]
+pub struct SmpComparison {
+    /// Workload name.
+    pub workload: String,
+    /// The `--harts 1` run (the paper's original machine).
+    pub single: SmpRunReport,
+    /// The `--harts N` run.
+    pub multi: SmpRunReport,
+}
+
+impl SmpComparison {
+    /// Throughput gain of the SMP run: ops-per-wall-cycle ratio.
+    pub fn speedup(&self) -> f64 {
+        let base = self.single.ops_per_kilocycle();
+        if base == 0.0 {
+            0.0
+        } else {
+            self.multi.ops_per_kilocycle() / base
+        }
+    }
+}
+
+/// Runs the hart-distributed nginx, Redis (GET), and fork-stress drivers
+/// on 1-hart and `harts`-hart CFI+PTStore machines.
+///
+/// # Panics
+/// Panics when `harts` is 0 or the kernel fails to boot.
+pub fn run_smp(scale: &Scale, harts: usize) -> Vec<SmpComparison> {
+    assert!(harts >= 1, "need at least one hart");
+    let boot = |h: usize| {
+        Kernel::boot(
+            KernelConfig::cfi_ptstore()
+                .with_mem_size(scale.mem_size)
+                .with_initial_secure_size(scale.secure_size.min(scale.mem_size / 4))
+                .with_harts(h),
+        )
+        .expect("smp kernel boots")
+    };
+    let nginx_params = NginxParams {
+        requests: scale.nginx_requests,
+        ..NginxParams::paper(4 << 10)
+    };
+    let redis_params = RedisParams {
+        requests: scale.redis_requests,
+        connections: 50,
+    };
+    let redis_get = &REDIS_TESTS[3];
+    let mut out = Vec::new();
+    type SmpDriver<'a> = Box<dyn Fn(&mut Kernel) -> SmpRunReport + 'a>;
+    let pairs: [(&str, SmpDriver); 3] = [
+        (
+            "nginx 4k",
+            Box::new(move |k| run_nginx_smp(k, &nginx_params)),
+        ),
+        (
+            "redis GET",
+            Box::new(move |k| run_redis_smp(k, redis_get, &redis_params)),
+        ),
+        (
+            "fork stress",
+            Box::new(move |k| run_fork_stress_smp(k, scale.stress_procs.min(2_000))),
+        ),
+    ];
+    for (name, run) in &pairs {
+        let mut k1 = boot(1);
+        let single = run(&mut k1);
+        let mut kn = boot(harts);
+        let multi = run(&mut kn);
+        out.push(SmpComparison {
+            workload: (*name).to_string(),
+            single,
+            multi,
+        });
+    }
+    out
 }
 
 // ---------------------------------------------------------------------

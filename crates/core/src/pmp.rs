@@ -242,22 +242,28 @@ pub struct AccessContext {
     /// The new S-bit of the `satp` CSR (paper §IV-A1): when set, the walker
     /// may only fetch page tables from the secure region.
     pub satp_s: bool,
+    /// Issuing hart. The PMP verdict is hart-independent (every hart holds
+    /// an identical secure-region configuration), but the id attributes
+    /// accesses and trace events on SMP machines.
+    pub hart: usize,
 }
 
 impl AccessContext {
-    /// A supervisor-mode access context.
+    /// A supervisor-mode access context on hart 0.
     pub const fn supervisor(satp_s: bool) -> Self {
         Self {
             mode: PrivilegeMode::Supervisor,
             satp_s,
+            hart: 0,
         }
     }
 
-    /// A user-mode access context.
+    /// A user-mode access context on hart 0.
     pub const fn user(satp_s: bool) -> Self {
         Self {
             mode: PrivilegeMode::User,
             satp_s,
+            hart: 0,
         }
     }
 
@@ -266,7 +272,14 @@ impl AccessContext {
         Self {
             mode: PrivilegeMode::Machine,
             satp_s: false,
+            hart: 0,
         }
+    }
+
+    /// The same context attributed to `hart`.
+    pub const fn on_hart(mut self, hart: usize) -> Self {
+        self.hart = hart;
+        self
     }
 }
 

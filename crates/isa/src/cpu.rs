@@ -182,6 +182,7 @@ impl Cpu {
         AccessContext {
             mode: self.mode,
             satp_s: self.mmu.satp.s_bit,
+            hart: 0,
         }
     }
 

@@ -16,8 +16,8 @@
 //! standard trap architecture with `medeleg`-based delegation — enough to run
 //! the boot/attack/demo programs in `examples/` and the integration tests
 //! against the same PMP + MMU the kernel model uses. The LLVM back-end change
-//! of the paper (15 LoC of TableGen) corresponds to [`encode`] +
-//! [`decode`] here.
+//! of the paper (15 LoC of TableGen) corresponds to [`mod@encode`] +
+//! [`mod@decode`] here.
 //!
 //! ```
 //! use ptstore_isa::{decode, encode, Inst};

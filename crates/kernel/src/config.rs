@@ -43,6 +43,10 @@ impl fmt::Display for DefenseMode {
     }
 }
 
+/// Upper bound on modelled harts (the IPI fabric is a full broadcast; the
+/// paper's prototype is a single Rocket core, real SoCs stay far below).
+pub const MAX_HARTS: usize = 64;
+
 /// Full kernel configuration (the model's `defconfig`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct KernelConfig {
@@ -68,6 +72,11 @@ pub struct KernelConfig {
     pub itlb_entries: usize,
     /// D-TLB capacity in entries (prototype: 8, paper Table II).
     pub dtlb_entries: usize,
+    /// Number of harts (cores). Each hart owns its MMU/TLBs, current
+    /// process, run queue, and cycle counter; everything else — bus, PMP,
+    /// zones, process table — is machine-wide. `1` reproduces the paper's
+    /// single-hart prototype cycle-for-cycle.
+    pub harts: usize,
 }
 
 /// Why a [`KernelConfigBuilder`] refused to produce a configuration.
@@ -82,6 +91,8 @@ pub enum ConfigError {
     BadAdjustChunk,
     /// A TLB capacity of zero entries.
     BadTlbCapacity,
+    /// A hart count of zero, or beyond the modelled IPI fabric (64).
+    BadHartCount,
 }
 
 impl fmt::Display for ConfigError {
@@ -93,6 +104,7 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::BadAdjustChunk => "adjust_chunk must be page-aligned and non-empty",
             ConfigError::BadTlbCapacity => "tlb capacities must be non-zero",
+            ConfigError::BadHartCount => "harts must be between 1 and 64",
         })
     }
 }
@@ -180,6 +192,12 @@ impl KernelConfigBuilder {
         self
     }
 
+    /// Number of harts.
+    pub fn harts(mut self, harts: usize) -> Self {
+        self.cfg.harts = harts;
+        self
+    }
+
     /// Validates the geometry and produces the configuration.
     ///
     /// # Errors
@@ -200,6 +218,9 @@ impl KernelConfigBuilder {
         }
         if c.itlb_entries == 0 || c.dtlb_entries == 0 {
             return Err(ConfigError::BadTlbCapacity);
+        }
+        if c.harts == 0 || c.harts > MAX_HARTS {
+            return Err(ConfigError::BadHartCount);
         }
         Ok(self.cfg)
     }
@@ -234,6 +255,7 @@ impl KernelConfig {
             token_checks: true,
             itlb_entries: 32,
             dtlb_entries: 8,
+            harts: 1,
         }
     }
 
@@ -290,6 +312,12 @@ impl KernelConfig {
     /// Returns a copy with a different defense mode.
     pub fn with_defense(mut self, defense: DefenseMode) -> Self {
         self.defense = defense;
+        self
+    }
+
+    /// Returns a copy with a different hart count.
+    pub fn with_harts(mut self, harts: usize) -> Self {
+        self.harts = harts;
         self
     }
 
@@ -371,6 +399,15 @@ mod tests {
             KernelConfig::builder().itlb_entries(0).build(),
             Err(ConfigError::BadTlbCapacity)
         );
+        assert_eq!(
+            KernelConfig::builder().harts(0).build(),
+            Err(ConfigError::BadHartCount)
+        );
+        assert_eq!(
+            KernelConfig::builder().harts(MAX_HARTS + 1).build(),
+            Err(ConfigError::BadHartCount)
+        );
+        assert!(KernelConfig::builder().harts(4).build().is_ok());
     }
 
     #[test]

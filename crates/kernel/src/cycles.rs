@@ -47,6 +47,9 @@ pub enum CostKind {
     ContextSwitch,
     /// Page-fault handling.
     PageFault,
+    /// Cross-hart IPIs: TLB-shootdown broadcast, acks, and remote-walker
+    /// quiescence during secure-region adjustment.
+    Ipi,
     /// Block/char I/O and networking stand-ins.
     Io,
 }
@@ -114,6 +117,13 @@ pub mod cost {
     pub const EXIT_BASE: u64 = 1_400;
     /// Copying one byte between user and kernel buffers (amortised).
     pub const COPY_BYTE_X8: u64 = 1; // per 8 bytes
+    /// Sending one IPI to one remote hart (CLINT MSIP write + fabric).
+    pub const IPI_SEND: u64 = 320;
+    /// The initiator's wait for one remote hart's acknowledgement
+    /// (interrupt delivery + remote trap entry, pipelined across harts).
+    pub const IPI_ACK_WAIT: u64 = 180;
+    /// A remote hart's cost to take the IPI trap and return.
+    pub const IPI_RECV: u64 = 450;
 }
 
 /// A cycle accumulator with a per-kind breakdown.

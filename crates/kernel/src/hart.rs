@@ -1,0 +1,60 @@
+//! Per-hart state for the SMP machine model.
+//!
+//! The PTStore prototype began life single-hart; this module carries the
+//! state that is genuinely per-hardware-thread once the machine grows to
+//! N harts: the MMU (both TLBs and the page-table walker), the process
+//! currently executing, a private run queue, and a private cycle counter
+//! used for utilization reporting. Everything else — the bus and PMP, the
+//! buddy zones, the secure region, and the process table — is machine-wide
+//! and stays on [`crate::Kernel`].
+
+use std::collections::VecDeque;
+
+use ptstore_mmu::Mmu;
+
+use crate::cycles::CycleCounter;
+use crate::process::Pid;
+
+/// One hardware thread of the modeled machine.
+///
+/// Hart 0 is the boot hart; a machine configured with one hart reproduces
+/// the original single-hart prototype cycle-for-cycle (no IPI or
+/// shootdown costs are ever charged at `harts == 1`).
+#[derive(Debug)]
+pub struct Hart {
+    /// Hart id (0-based).
+    pub id: usize,
+    /// This hart's MMU: iTLB, dTLB, and page-table walker.
+    pub mmu: Mmu,
+    /// The process currently running here (0 before init is spawned).
+    pub current: Pid,
+    /// This hart's private run queue; an idle hart steals from the others
+    /// in deterministic id order.
+    pub run_queue: VecDeque<Pid>,
+    /// Cycles attributed to work performed on this hart.
+    pub cycles: CycleCounter,
+}
+
+impl Hart {
+    /// Creates an idle hart with the given TLB geometry.
+    pub fn new(id: usize, itlb_entries: usize, dtlb_entries: usize) -> Self {
+        let mut mmu = Mmu::with_tlb_sizes(itlb_entries, dtlb_entries);
+        mmu.set_hart_id(id);
+        Self {
+            id,
+            mmu,
+            current: 0,
+            run_queue: VecDeque::new(),
+            cycles: CycleCounter::new(),
+        }
+    }
+
+    /// Fraction of machine-wide `total` cycles spent on this hart.
+    pub fn utilization(&self, total: u64) -> f64 {
+        if total == 0 {
+            0.0
+        } else {
+            self.cycles.total() as f64 / total as f64
+        }
+    }
+}

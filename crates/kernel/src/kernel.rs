@@ -5,7 +5,7 @@
 //! This file is the software half of the co-design (paper §IV-B/§IV-C); the
 //! hardware half lives in `ptstore-core`/`ptstore-mem`/`ptstore-mmu`.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 
 use ptstore_core::{
     AccessContext, Channel, PhysAddr, PhysPageNum, SecureRegion, Token, TokenError, VirtAddr, MIB,
@@ -13,7 +13,7 @@ use ptstore_core::{
 };
 use ptstore_mem::Bus;
 use ptstore_mmu::{Mmu, Pte, PteFlags, Satp};
-use ptstore_trace::{TokenOp, TraceEvent, TraceSink};
+use ptstore_trace::{FlushScope, TokenOp, TraceEvent, TraceSink};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -21,6 +21,7 @@ use crate::config::{DefenseMode, KernelConfig};
 use crate::cycles::{cost, CostKind, CycleCounter};
 use crate::error::KernelError;
 use crate::fs::{PipeTable, RamFs};
+use crate::hart::Hart;
 use crate::pagetable::{direct_map_va, pte_slot, DIRECT_MAP_BASE};
 use crate::process::{Pid, ProcessTable};
 use crate::sbi::{SbiCall, SbiFirmware, SbiResult};
@@ -52,9 +53,14 @@ pub struct Kernel {
     pub cfg: KernelConfig,
     /// The memory bus (physical memory behind the PMP).
     pub bus: Bus,
-    /// The (single) hart's MMU.
-    pub mmu: Mmu,
-    /// Cycle accounting.
+    /// The harts: each owns an MMU (both TLBs and the walker), the process
+    /// it is running, a private run queue, and a private cycle counter.
+    /// Hart 0 is the boot hart.
+    pub harts: Vec<Hart>,
+    /// The hart kernel entry points currently execute on.
+    pub(crate) active_hart: usize,
+    /// Machine-wide cycle accounting (the aggregate across all harts; the
+    /// paper's overhead anchors are expressed against this counter).
     pub cycles: CycleCounter,
     /// Event counters.
     pub stats: KernelStats,
@@ -75,8 +81,6 @@ pub struct Kernel {
     pub procs: ProcessTable,
     pub(crate) next_pid: Pid,
     pub(crate) next_asid: u16,
-    pub(crate) current: Pid,
-    pub(crate) run_queue: VecDeque<Pid>,
     pub(crate) kernel_root: PhysPageNum,
     pub(crate) kernel_pt_pages: Vec<PhysPageNum>,
     /// Shared user text page (all model programs run the same "binary").
@@ -186,7 +190,10 @@ impl Kernel {
         let mut kernel = Self {
             cfg,
             bus,
-            mmu: Mmu::with_tlb_sizes(cfg.itlb_entries, cfg.dtlb_entries),
+            harts: (0..cfg.harts)
+                .map(|id| Hart::new(id, cfg.itlb_entries, cfg.dtlb_entries))
+                .collect(),
+            active_hart: 0,
             cycles,
             stats: KernelStats::default(),
             fs: RamFs::new(),
@@ -202,8 +209,6 @@ impl Kernel {
             procs: ProcessTable::new(),
             next_pid: 1,
             next_asid: 1,
-            current: 0,
-            run_queue: VecDeque::new(),
             kernel_root: PhysPageNum::new(0),
             kernel_pt_pages: Vec::new(),
             shared_text_ppn: PhysPageNum::new(0),
@@ -245,7 +250,7 @@ impl Kernel {
 
         // Init process.
         let init = kernel.spawn_init()?;
-        kernel.current = init;
+        kernel.harts[0].current = init;
         kernel.activate_address_space(init)?;
         Ok(kernel)
     }
@@ -259,7 +264,9 @@ impl Kernel {
     /// token/syscall/region events all land in the same stream.
     pub fn set_trace_sink(&mut self, sink: Option<TraceSink>) {
         self.bus.set_trace_sink(sink.clone());
-        self.mmu.set_trace_sink(sink.clone());
+        for hart in &mut self.harts {
+            hart.mmu.set_trace_sink(sink.clone());
+        }
         self.trace = sink;
     }
 
@@ -274,7 +281,7 @@ impl Kernel {
 
     /// The supervisor access context with the current `satp.S` state.
     pub(crate) fn kctx(&self) -> AccessContext {
-        AccessContext::supervisor(self.ptw_check_armed)
+        AccessContext::supervisor(self.ptw_check_armed).on_hart(self.active_hart)
     }
 
     /// The channel the kernel's page-table manipulation code uses — the
@@ -287,15 +294,127 @@ impl Kernel {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Harts: accessors, cycle charging, TLB shootdown
+    // ------------------------------------------------------------------
+
+    /// The hart kernel entry points currently execute on.
+    pub fn active_hart(&self) -> usize {
+        self.active_hart
+    }
+
+    /// Selects the hart that subsequent kernel entry points (syscalls,
+    /// faults, scheduling) model their work on.
+    ///
+    /// # Panics
+    /// When `hart` is out of range for this machine.
+    pub fn set_active_hart(&mut self, hart: usize) {
+        assert!(
+            hart < self.harts.len(),
+            "hart {hart} out of range (machine has {})",
+            self.harts.len()
+        );
+        self.active_hart = hart;
+    }
+
+    /// The active hart's MMU.
+    pub fn mmu(&self) -> &Mmu {
+        &self.harts[self.active_hart].mmu
+    }
+
+    /// The active hart's MMU, mutably.
+    pub fn mmu_mut(&mut self) -> &mut Mmu {
+        &mut self.harts[self.active_hart].mmu
+    }
+
+    /// Charges `n` cycles of `kind` both machine-wide and to the active
+    /// hart's private counter (which feeds per-hart utilization).
+    pub fn charge(&mut self, kind: CostKind, n: u64) {
+        self.cycles.charge(kind, n);
+        self.harts[self.active_hart].cycles.charge(kind, n);
+    }
+
+    /// Flushes one page translation machine-wide: a local `sfence.vma` on
+    /// the active hart plus, on SMP, an IPI shootdown that every remote
+    /// hart acknowledges after flushing (the `flush_tlb_page` path).
+    pub(crate) fn tlb_flush_page(&mut self, va: VirtAddr, asid: u16) {
+        self.harts[self.active_hart].mmu.sfence_page(va, asid);
+        self.stats.sfences += 1;
+        self.charge(CostKind::TlbFlush, cost::SFENCE_PAGE);
+        self.shootdown(FlushScope::Page {
+            vpn: va.as_u64() >> PAGE_SHIFT,
+            asid,
+        });
+    }
+
+    /// Flushes every translation of `asid` machine-wide (local
+    /// `sfence.vma x0, asid` plus the SMP shootdown).
+    pub(crate) fn tlb_flush_asid(&mut self, asid: u16) {
+        self.harts[self.active_hart].mmu.sfence_asid(asid);
+        self.stats.sfences += 1;
+        self.charge(CostKind::TlbFlush, cost::SFENCE_ALL);
+        self.shootdown(FlushScope::Asid { asid });
+    }
+
+    /// Broadcasts a TLB shootdown to every remote hart and waits for the
+    /// acks. A no-op on a single-hart machine, so `--harts 1` stays
+    /// cycle-identical to the original prototype.
+    ///
+    /// The initiator pays an IPI send plus an ack-wait per remote hart;
+    /// each remote hart pays the IPI receive and the flush itself on its
+    /// own counter (all of it also lands in the machine-wide aggregate).
+    pub(crate) fn shootdown(&mut self, scope: FlushScope) {
+        let n = self.harts.len();
+        if n <= 1 {
+            return;
+        }
+        let from = self.active_hart;
+        let remotes = (n - 1) as u64;
+        self.charge(
+            CostKind::Ipi,
+            (cost::IPI_SEND + cost::IPI_ACK_WAIT) * remotes,
+        );
+        let flush_cost = match scope {
+            FlushScope::Page { .. } => cost::SFENCE_PAGE,
+            FlushScope::Asid { .. } | FlushScope::All => cost::SFENCE_ALL,
+        };
+        for i in 0..n {
+            if i == from {
+                continue;
+            }
+            match scope {
+                FlushScope::Page { vpn, asid } => self.harts[i]
+                    .mmu
+                    .sfence_page(VirtAddr::new(vpn << PAGE_SHIFT), asid),
+                FlushScope::Asid { asid } => self.harts[i].mmu.sfence_asid(asid),
+                FlushScope::All => self.harts[i].mmu.sfence_all(),
+            }
+            self.stats.sfences += 1;
+            self.harts[i].cycles.charge(CostKind::Ipi, cost::IPI_RECV);
+            self.harts[i].cycles.charge(CostKind::TlbFlush, flush_cost);
+            self.cycles.charge(CostKind::Ipi, cost::IPI_RECV);
+            self.cycles.charge(CostKind::TlbFlush, flush_cost);
+        }
+        self.stats.tlb_shootdowns += 1;
+        self.stats.shootdown_ipis += remotes;
+        if let Some(sink) = &self.trace {
+            sink.emit(TraceEvent::TlbShootdown {
+                scope,
+                from_hart: from as u32,
+                acks: remotes as u32,
+            });
+        }
+    }
+
     /// A checked regular-channel 8-byte read (kernel data structures).
     pub(crate) fn mem_read(&mut self, pa: PhysAddr) -> Result<u64, KernelError> {
-        self.cycles.charge(CostKind::MemAccess, cost::MEM_ACCESS);
+        self.charge(CostKind::MemAccess, cost::MEM_ACCESS);
         Ok(self.bus.read::<u64>(pa, Channel::Regular, self.kctx())?)
     }
 
     /// A checked regular-channel 8-byte write (kernel data structures).
     pub(crate) fn mem_write(&mut self, pa: PhysAddr, v: u64) -> Result<(), KernelError> {
-        self.cycles.charge(CostKind::MemAccess, cost::MEM_ACCESS);
+        self.charge(CostKind::MemAccess, cost::MEM_ACCESS);
         Ok(self
             .bus
             .write::<u64>(pa, v, Channel::Regular, self.kctx())?)
@@ -303,7 +422,7 @@ impl Kernel {
 
     /// A page-table read via the defense channel (`ld.pt` under PTStore).
     pub(crate) fn pt_read(&mut self, pa: PhysAddr) -> Result<u64, KernelError> {
-        self.cycles.charge(CostKind::MemAccess, cost::MEM_ACCESS);
+        self.charge(CostKind::MemAccess, cost::MEM_ACCESS);
         let ch = self.pt_channel();
         Ok(self.bus.read::<u64>(pa, ch, self.kctx())?)
     }
@@ -311,10 +430,9 @@ impl Kernel {
     /// A page-table write via the defense channel (`sd.pt` under PTStore).
     /// The virtual-isolation baseline pays its write-window toll here.
     pub(crate) fn pt_write(&mut self, pa: PhysAddr, v: u64) -> Result<(), KernelError> {
-        self.cycles.charge(CostKind::PtWrite, cost::MEM_ACCESS);
+        self.charge(CostKind::PtWrite, cost::MEM_ACCESS);
         if self.cfg.defense == DefenseMode::VirtualIsolation {
-            self.cycles
-                .charge(CostKind::VirtIsolationSwitch, cost::VIRT_ISO_WINDOW);
+            self.charge(CostKind::VirtIsolationSwitch, cost::VIRT_ISO_WINDOW);
         }
         let ch = self.pt_channel();
         Ok(self.bus.write::<u64>(pa, v, ch, self.kctx())?)
@@ -331,10 +449,9 @@ impl Kernel {
     /// [`KernelError::OutOfMemory`] when the zones (and adjustment) cannot
     /// satisfy the request.
     pub fn alloc_page(&mut self, gfp: GfpFlags) -> Result<PhysPageNum, KernelError> {
-        self.cycles.charge(CostKind::PageAlloc, cost::PAGE_ALLOC);
+        self.charge(CostKind::PageAlloc, cost::PAGE_ALLOC);
         let ppn = if gfp.contains(GfpFlags::PTSTORE) {
-            self.cycles
-                .charge(CostKind::PageAlloc, cost::PTSTORE_ZONE_EXTRA);
+            self.charge(CostKind::PageAlloc, cost::PTSTORE_ZONE_EXTRA);
             loop {
                 let zone = self.pt_zone.as_mut().ok_or(KernelError::OutOfMemory)?;
                 match zone.alloc(0, false) {
@@ -357,7 +474,7 @@ impl Kernel {
     /// # Errors
     /// Allocator errors on double frees.
     pub fn free_page(&mut self, ppn: PhysPageNum) -> Result<(), KernelError> {
-        self.cycles.charge(CostKind::PageAlloc, cost::PAGE_FREE);
+        self.charge(CostKind::PageAlloc, cost::PAGE_FREE);
         if let Some(z) = self.pt_zone.as_mut() {
             if z.contains(ppn) {
                 z.free(ppn)?;
@@ -371,7 +488,7 @@ impl Kernel {
     /// Zeroes a page through the appropriate channel; `secure` selects the
     /// `sd.pt` path.
     fn zero_page(&mut self, ppn: PhysPageNum, secure: bool) -> Result<(), KernelError> {
-        self.cycles.charge(CostKind::MemAccess, cost::ZERO_PAGE);
+        self.charge(CostKind::MemAccess, cost::ZERO_PAGE);
         // One checked store validates the channel is actually permitted...
         let ch = if secure {
             Channel::SecurePt
@@ -400,8 +517,7 @@ impl Kernel {
             // Pages in the secure region are zeroed on free, so a non-zero
             // "fresh" page means the allocator handed out an in-use page.
             self.stats.zero_checks += 1;
-            self.cycles
-                .charge(CostKind::MemAccess, cost::ZERO_CHECK_RESIDUAL);
+            self.charge(CostKind::MemAccess, cost::ZERO_CHECK_RESIDUAL);
             let clean = self.bus.secure_page_is_zero(ppn, self.kctx())?;
             if !clean {
                 self.stats.zero_check_failures += 1;
@@ -474,10 +590,15 @@ impl Kernel {
             .expect("ptstore mode has a pt zone")
             .base();
         let start = PhysPageNum::new(boundary.as_u64() - chunk_pages);
-        self.cycles.charge(
+        self.charge(
             CostKind::Adjustment,
             cost::ADJUST_BASE + cost::ADJUST_SCAN_PAGE * chunk_pages,
         );
+
+        // On SMP, quiesce remote page-table walkers before any page table
+        // moves: broadcast a full flush and wait for every hart's ack so no
+        // remote walk observes a half-migrated table. Free at `--harts 1`.
+        self.shootdown(FlushScope::All);
 
         // alloc_contig_range on the normal zone.
         let reservation =
@@ -503,7 +624,7 @@ impl Kernel {
 
         // Update the secure region boundary via the SBI (the firmware
         // validates that the boundary only moves downward, §IV-B).
-        self.cycles.charge(CostKind::Sbi, cost::SBI_CALL);
+        self.charge(CostKind::Sbi, cost::SBI_CALL);
         let region = self.secure_region.expect("ptstore mode has a region");
         let grown = region.grow_down(self.cfg.adjust_chunk)?;
         match self.sbi.handle(
@@ -534,8 +655,7 @@ impl Kernel {
         for i in 0..pages {
             let old = block + i;
             let new = self.normal_zone.alloc(0, true)?;
-            self.cycles
-                .charge(CostKind::Adjustment, cost::ADJUST_MIGRATE_PAGE);
+            self.charge(CostKind::Adjustment, cost::ADJUST_MIGRATE_PAGE);
             self.bus.mem_unchecked().copy_page(old, new)?;
             // Re-point every mapping of the old page.
             if let Some(users) = self.rmap.remove(&old.as_u64()) {
@@ -565,9 +685,7 @@ impl Kernel {
         };
         let slot = self.leaf_slot(root, va)?.ok_or(KernelError::BadAddress)?;
         self.pt_write(slot, Pte::leaf(new, flags).bits())?;
-        self.mmu.sfence_page(va, asid);
-        self.stats.sfences += 1;
-        self.cycles.charge(CostKind::TlbFlush, cost::SFENCE_PAGE);
+        self.tlb_flush_page(va, asid);
         if let Some(p) = self.procs.get_mut(pid) {
             if let Some(m) = p.aspace.user.get_mut(&vpn) {
                 m.ppn = new;
@@ -719,9 +837,7 @@ impl Kernel {
         };
         let slot = self.leaf_slot(root, va)?.ok_or(KernelError::BadAddress)?;
         self.pt_write(slot, Pte::invalid().bits())?;
-        self.mmu.sfence_page(va, asid);
-        self.stats.sfences += 1;
-        self.cycles.charge(CostKind::TlbFlush, cost::SFENCE_PAGE);
+        self.tlb_flush_page(va, asid);
         if let Some(p) = self.procs.get_mut(pid) {
             p.aspace.user.remove(&vpn);
         }
@@ -794,7 +910,7 @@ impl Kernel {
             (root.base_addr(), p.token_slot())
         };
         let token = Token::new(pt_ptr, token_slot_field);
-        self.cycles.charge(CostKind::Token, cost::TOKEN_ISSUE);
+        self.charge(CostKind::Token, cost::TOKEN_ISSUE);
         let ch = Channel::SecurePt;
         self.bus
             .write::<u64>(token_addr, token.pt_ptr.as_u64(), ch, self.kctx())?;
@@ -827,7 +943,7 @@ impl Kernel {
             p.token_slot()
         };
         let token_addr = PhysAddr::new(self.mem_read(token_slot)?);
-        self.cycles.charge(CostKind::Token, cost::TOKEN_CLEAR);
+        self.charge(CostKind::Token, cost::TOKEN_CLEAR);
         if self
             .token_slab
             .as_ref()
@@ -866,7 +982,7 @@ impl Kernel {
         let pcb_pt_ptr = PhysAddr::new(self.mem_read(pt_slot)?);
         let token_ptr = PhysAddr::new(self.mem_read(token_slot)?);
         self.stats.token_validations += 1;
-        self.cycles.charge(CostKind::Token, cost::TOKEN_VALIDATE);
+        self.charge(CostKind::Token, cost::TOKEN_VALIDATE);
         let region = self.secure_region.expect("tokens imply ptstore");
         if !region.contains_range(token_ptr, 16) {
             self.stats.token_failures += 1;
@@ -931,7 +1047,7 @@ impl Kernel {
             let slot = self.procs.get(pid).expect("checked").pt_ptr_slot();
             PhysAddr::new(self.mem_read(slot)?)
         };
-        self.mmu.satp = Satp::sv39(
+        self.harts[self.active_hart].mmu.satp = Satp::sv39(
             PhysPageNum::new(pt_ptr.as_u64() >> PAGE_SHIFT),
             asid,
             self.cfg.defense.is_ptstore(),
@@ -958,9 +1074,9 @@ impl Kernel {
         self.pt_zone.as_ref().map(BuddyZone::free_pages)
     }
 
-    /// The currently running pid.
+    /// The pid running on the active hart.
     pub fn current_pid(&self) -> Pid {
-        self.current
+        self.harts[self.active_hart].current
     }
 
     /// The kernel root page table (the template for process kernel halves).

@@ -21,6 +21,10 @@
 //!   every `satp` update (§III-C3, §IV-C4).
 //! * **Syscalls** ([`syscall`]) with Clang-CFI cost accounting, a tiny VFS
 //!   ([`fs`]), demand paging with CoW, and a round-robin scheduler.
+//! * **SMP harts** ([`hart`]): N-hart machines with per-hart MMU/TLBs, run
+//!   queues with idle stealing, and a modeled IPI/TLB-shootdown path
+//!   (`Kernel::shootdown`) charged to the cycle model; `harts = 1`
+//!   reproduces the single-hart prototype cycle-for-cycle.
 //! * **Baseline defenses** for comparison: PT-Rand-style randomisation and
 //!   virtual isolation ([`config::DefenseMode`]).
 //! * **An attacker API** ([`introspect`]) implementing the §III-A threat
@@ -46,6 +50,7 @@ pub mod config;
 pub mod cycles;
 pub mod error;
 pub mod fs;
+pub mod hart;
 pub mod introspect;
 pub mod kernel;
 pub mod pagetable;
@@ -60,6 +65,7 @@ pub mod zones;
 pub use config::{ConfigError, DefenseMode, KernelConfig, KernelConfigBuilder};
 pub use cycles::{cost, CostKind, CycleCounter};
 pub use error::KernelError;
+pub use hart::Hart;
 pub use introspect::AttackerFault;
 pub use kernel::Kernel;
 pub use proc_mgmt::FaultResolution;

@@ -140,8 +140,8 @@ impl Kernel {
     /// `fork()`: duplicates the current process with copy-on-write user
     /// pages; issues a fresh token for the child (paper §IV-C4 `copy_mm`).
     pub fn do_fork(&mut self) -> Result<Pid, KernelError> {
-        self.cycles.charge(CostKind::Kernel, cost::FORK_BASE);
-        let parent_pid = self.current;
+        self.charge(CostKind::Kernel, cost::FORK_BASE);
+        let parent_pid = self.current_pid();
         let child_pid = self.allocate_pid();
         let child_aspace = self.create_address_space()?;
         let pcb_addr = self.alloc_pcb()?;
@@ -217,9 +217,7 @@ impl Kernel {
             self.map_user_page(child_pid, va, mapping.ppn, child_flags, share_cow)?;
         }
         if made_parent_ro {
-            self.mmu.sfence_asid(parent_asid);
-            self.stats.sfences += 1;
-            self.cycles.charge(CostKind::TlbFlush, cost::SFENCE_ALL);
+            self.tlb_flush_asid(parent_asid);
         }
 
         // PCB pt pointer + token for the child.
@@ -235,7 +233,8 @@ impl Kernel {
             .expect("parent exists")
             .children
             .push(child_pid);
-        self.run_queue.push_back(child_pid);
+        let hart = self.active_hart;
+        self.harts[hart].run_queue.push_back(child_pid);
         self.stats.forks += 1;
         Ok(child_pid)
     }
@@ -259,15 +258,15 @@ impl Kernel {
     /// legitimised by its own **copied token** in the secure region — the
     /// paper's token-copy lifecycle event (§III-C3, §IV-C4).
     pub fn do_clone_thread(&mut self) -> Result<Pid, KernelError> {
-        self.cycles.charge(CostKind::Kernel, cost::FORK_BASE / 2);
-        self.cycles.charge(CostKind::Token, cost::TOKEN_COPY);
-        let owner = self.mm_owner_of(self.current);
+        self.charge(CostKind::Kernel, cost::FORK_BASE / 2);
+        self.charge(CostKind::Token, cost::TOKEN_COPY);
+        let owner = self.mm_owner_of(self.current_pid());
         let tid = self.allocate_pid();
         let pcb_addr = self.alloc_pcb()?;
         let (fds, signals, vmas, brk, mmap_cursor) = {
             let p = self
                 .procs
-                .get(self.current)
+                .get(self.current_pid())
                 .ok_or(KernelError::NoSuchProcess)?;
             (
                 p.fds.clone(),
@@ -279,7 +278,7 @@ impl Kernel {
         };
         let thread = Process {
             pid: tid,
-            parent: Some(self.current),
+            parent: Some(self.current_pid()),
             state: ProcState::Ready,
             pcb_addr,
             aspace: AddressSpace::default(), // shared: resolved via mm_owner
@@ -312,20 +311,21 @@ impl Kernel {
             .expect("owner exists")
             .threads
             .push(tid);
-        let spawner = self.current;
+        let spawner = self.current_pid();
         self.procs
             .get_mut(spawner)
             .expect("spawner exists")
             .children
             .push(tid);
-        self.run_queue.push_back(tid);
+        let hart = self.active_hart;
+        self.harts[hart].run_queue.push_back(tid);
         Ok(tid)
     }
 
     /// `execve()`: replaces the user address space with a fresh text+stack.
     pub fn do_exec(&mut self) -> Result<(), KernelError> {
-        self.cycles.charge(CostKind::Kernel, cost::EXEC_BASE);
-        let pid = self.current;
+        self.charge(CostKind::Kernel, cost::EXEC_BASE);
+        let pid = self.current_pid();
         self.teardown_user_mappings(pid)?;
         {
             let p = self.procs.get_mut(pid).ok_or(KernelError::NoSuchProcess)?;
@@ -384,8 +384,8 @@ impl Kernel {
     /// `exit()`: releases the user address space and page-table pages,
     /// clears the token, and zombifies the process.
     pub fn do_exit(&mut self, code: i32) -> Result<(), KernelError> {
-        self.cycles.charge(CostKind::Kernel, cost::EXIT_BASE);
-        let pid = self.current;
+        self.charge(CostKind::Kernel, cost::EXIT_BASE);
+        let pid = self.current_pid();
         let mm_owner = {
             let p = self.procs.get(pid).ok_or(KernelError::NoSuchProcess)?;
             p.mm_owner
@@ -467,7 +467,7 @@ impl Kernel {
     /// # Errors
     /// [`KernelError::InvalidState`] when no child is a zombie.
     pub fn do_wait(&mut self) -> Result<(Pid, i32), KernelError> {
-        let parent = self.current;
+        let parent = self.current_pid();
         let zombie = {
             let p = self.procs.get(parent).ok_or(KernelError::NoSuchProcess)?;
             p.children
@@ -488,7 +488,9 @@ impl Kernel {
         }
         self.pcb_slab.free(pcb_addr);
         self.procs.remove(child);
-        self.run_queue.retain(|&p| p != child);
+        for hart in &mut self.harts {
+            hart.run_queue.retain(|&p| p != child);
+        }
         let p = self.procs.get_mut(parent).expect("parent exists");
         p.children.retain(|&c| c != child);
         Ok((child, code))
@@ -499,9 +501,21 @@ impl Kernel {
     // ------------------------------------------------------------------
 
     pub(crate) fn pick_next(&mut self) -> Option<Pid> {
-        while let Some(pid) = self.run_queue.pop_front() {
+        // Drain the local queue first (stale entries are simply dropped).
+        while let Some(pid) = self.harts[self.active_hart].run_queue.pop_front() {
             if matches!(self.procs.get(pid), Some(p) if p.state == ProcState::Ready) {
                 return Some(pid);
+            }
+        }
+        // Idle: steal from the other harts in deterministic id order so
+        // runs stay reproducible.
+        let n = self.harts.len();
+        for off in 1..n {
+            let victim = (self.active_hart + off) % n;
+            while let Some(pid) = self.harts[victim].run_queue.pop_front() {
+                if matches!(self.procs.get(pid), Some(p) if p.state == ProcState::Ready) {
+                    return Some(pid);
+                }
             }
         }
         None
@@ -510,22 +524,26 @@ impl Kernel {
     /// Switches to `next`: context-switch cost + `switch_mm` with token
     /// validation under PTStore (paper §IV-C4).
     pub fn do_switch_to(&mut self, next: Pid) -> Result<(), KernelError> {
-        let prev = self.current;
-        self.cycles
-            .charge(CostKind::ContextSwitch, cost::CONTEXT_SWITCH);
+        let prev = self.current_pid();
+        self.charge(CostKind::ContextSwitch, cost::CONTEXT_SWITCH);
         // Scheduler-class dispatch is indirect-call-heavy in Linux.
         self.charge_indirect_calls(4);
         self.activate_address_space(next)?;
+        let mut requeue_prev = false;
         if let Some(p) = self.procs.get_mut(prev) {
             if p.state == ProcState::Running {
                 p.state = ProcState::Ready;
-                self.run_queue.push_back(prev);
+                requeue_prev = true;
             }
+        }
+        if requeue_prev {
+            let hart = self.active_hart;
+            self.harts[hart].run_queue.push_back(prev);
         }
         if let Some(p) = self.procs.get_mut(next) {
             p.state = ProcState::Running;
         }
-        self.current = next;
+        self.harts[self.active_hart].current = next;
         self.stats.context_switches += 1;
         Ok(())
     }
@@ -549,9 +567,9 @@ impl Kernel {
         va: VirtAddr,
         kind: AccessKind,
     ) -> Result<FaultResolution, KernelError> {
-        self.cycles.charge(CostKind::PageFault, cost::PAGE_FAULT);
+        self.charge(CostKind::PageFault, cost::PAGE_FAULT);
         self.stats.page_faults += 1;
-        let pid = self.mm_owner_of(self.current);
+        let pid = self.mm_owner_of(self.current_pid());
         let (perms, mapping) = {
             let p = self.procs.get(pid).ok_or(KernelError::NoSuchProcess)?;
             let vma = p.vma_for(va).ok_or(KernelError::SegFault)?;
@@ -599,7 +617,7 @@ impl Kernel {
         if refs > 1 {
             // Copy the page.
             let new = self.alloc_page(GfpFlags::MOVABLE)?;
-            self.cycles.charge(CostKind::MemAccess, cost::ZERO_PAGE); // page copy
+            self.charge(CostKind::MemAccess, cost::ZERO_PAGE); // page copy
             self.bus.mem_unchecked().copy_page(old, new)?;
             *self.page_refs.entry(new.as_u64()).or_insert(0) += 1;
             let slot = self.leaf_slot(root, va)?.ok_or(KernelError::BadAddress)?;
@@ -628,9 +646,7 @@ impl Kernel {
                 }
             }
         }
-        self.mmu.sfence_page(va, asid);
-        self.stats.sfences += 1;
-        self.cycles.charge(CostKind::TlbFlush, cost::SFENCE_PAGE);
+        self.tlb_flush_page(va, asid);
         Ok(())
     }
 
@@ -643,15 +659,18 @@ impl Kernel {
         kind: AccessKind,
     ) -> Result<ptstore_core::PhysAddr, KernelError> {
         for _attempt in 0..3 {
-            let satp = self.mmu.satp;
-            let outcome =
-                self.mmu
-                    .translate_data(&mut self.bus, va, kind, ptstore_core::PrivilegeMode::User);
+            let hart = self.active_hart;
+            let satp = self.harts[hart].mmu.satp;
+            let outcome = self.harts[hart].mmu.translate_data(
+                &mut self.bus,
+                va,
+                kind,
+                ptstore_core::PrivilegeMode::User,
+            );
             match outcome {
                 Ok(o) => {
                     if let ptstore_mmu::TranslationOutcome::Walk { fetches, .. } = o {
-                        self.cycles
-                            .charge(CostKind::TlbMiss, cost::PTW_FETCH * fetches as u64);
+                        self.charge(CostKind::TlbMiss, cost::PTW_FETCH * fetches as u64);
                     }
                     let _ = satp;
                     return Ok(o.pa());

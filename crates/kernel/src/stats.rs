@@ -41,6 +41,11 @@ pub struct KernelStats {
     pub token_failures: u64,
     /// TLB flush operations issued.
     pub sfences: u64,
+    /// Cross-hart TLB-shootdown broadcasts (one per mapping change that had
+    /// to reach remote harts; always 0 on single-hart machines).
+    pub tlb_shootdowns: u64,
+    /// Individual shootdown IPIs delivered to (and acked by) remote harts.
+    pub shootdown_ipis: u64,
     /// Page-table pages currently allocated.
     pub pt_pages_live: u64,
     /// High-water mark of live page-table pages.
@@ -75,6 +80,8 @@ impl Snapshot for KernelStats {
             token_validations: self.token_validations - earlier.token_validations,
             token_failures: self.token_failures - earlier.token_failures,
             sfences: self.sfences - earlier.sfences,
+            tlb_shootdowns: self.tlb_shootdowns - earlier.tlb_shootdowns,
+            shootdown_ipis: self.shootdown_ipis - earlier.shootdown_ipis,
             pt_pages_live: self.pt_pages_live,
             pt_pages_peak: self.pt_pages_peak,
         }

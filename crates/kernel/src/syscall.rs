@@ -168,14 +168,13 @@ impl Kernel {
             sink.emit(ptstore_trace::TraceEvent::SyscallEnter { name: p.name });
             self.syscall_mark = Some((p.name, self.cycles.total()));
         }
-        self.cycles
-            .charge(CostKind::Kernel, cost::SYSCALL_ENTRY + p.base_cycles);
+        self.charge(CostKind::Kernel, cost::SYSCALL_ENTRY + p.base_cycles);
         self.charge_indirect_calls(p.indirect_calls);
     }
 
     /// Common syscall exit.
     pub(crate) fn syscall_exit(&mut self) {
-        self.cycles.charge(CostKind::Kernel, cost::SYSCALL_EXIT);
+        self.charge(CostKind::Kernel, cost::SYSCALL_EXIT);
         if let Some((name, entry_total)) = self.syscall_mark.take() {
             if let Some(sink) = &self.trace {
                 sink.emit(ptstore_trace::TraceEvent::SyscallExit {
@@ -189,14 +188,13 @@ impl Kernel {
     /// Charges CFI checks when the kernel is CFI-instrumented.
     pub(crate) fn charge_indirect_calls(&mut self, n: u64) {
         if self.cfg.cfi {
-            self.cycles.charge(CostKind::CfiCheck, n * cost::CFI_CHECK);
+            self.charge(CostKind::CfiCheck, n * cost::CFI_CHECK);
         }
     }
 
     /// Charges the user↔kernel copy cost for `bytes`.
     fn charge_copy(&mut self, bytes: u64) {
-        self.cycles
-            .charge(CostKind::MemAccess, bytes.div_ceil(8) * cost::COPY_BYTE_X8);
+        self.charge(CostKind::MemAccess, bytes.div_ceil(8) * cost::COPY_BYTE_X8);
     }
 
     // ------------------------------------------------------------------
@@ -208,7 +206,7 @@ impl Kernel {
         self.syscall_enter(profile::NULL);
         let r = self
             .procs
-            .get(self.current)
+            .get(self.current_pid())
             .ok_or(KernelError::NoSuchProcess)?
             .parent
             .unwrap_or(0);
@@ -227,7 +225,7 @@ impl Kernel {
         let r = if exists {
             let p = self
                 .procs
-                .get_mut(self.current)
+                .get_mut(self.current_pid())
                 .ok_or(KernelError::NoSuchProcess)?;
             Ok(p.fds.insert(FdEntry::File {
                 name: name.to_string(),
@@ -246,7 +244,7 @@ impl Kernel {
         let entry = {
             let p = self
                 .procs
-                .get_mut(self.current)
+                .get_mut(self.current_pid())
                 .ok_or(KernelError::NoSuchProcess)?;
             p.fds.remove(fd).ok_or(KernelError::BadFd)
         };
@@ -277,7 +275,7 @@ impl Kernel {
         let entry = {
             let p = self
                 .procs
-                .get(self.current)
+                .get(self.current_pid())
                 .ok_or(KernelError::NoSuchProcess)?;
             p.fds.get(fd).cloned().ok_or(KernelError::BadFd)?
         };
@@ -288,7 +286,7 @@ impl Kernel {
                     .read(&name, offset, len)
                     .ok_or(KernelError::NoSuchFile)?
                     .to_vec();
-                let p = self.procs.get_mut(self.current).expect("exists");
+                let p = self.procs.get_mut(self.current_pid()).expect("exists");
                 if let Some(FdEntry::File { offset, .. }) = p.fds.get_mut(fd) {
                     *offset += data.len() as u64;
                 }
@@ -325,7 +323,7 @@ impl Kernel {
         let entry = {
             let p = self
                 .procs
-                .get(self.current)
+                .get(self.current_pid())
                 .ok_or(KernelError::NoSuchProcess)?;
             p.fds.get(fd).cloned().ok_or(KernelError::BadFd)?
         };
@@ -335,7 +333,7 @@ impl Kernel {
                     .fs
                     .write(&name, offset, data)
                     .ok_or(KernelError::NoSuchFile)?;
-                let p = self.procs.get_mut(self.current).expect("exists");
+                let p = self.procs.get_mut(self.current_pid()).expect("exists");
                 if let Some(FdEntry::File { offset, .. }) = p.fds.get_mut(fd) {
                     *offset += data.len() as u64;
                 }
@@ -354,11 +352,11 @@ impl Kernel {
             FdEntry::Socket { id } => {
                 let s = self.sockets.get_mut(&id).ok_or(KernelError::BadFd)?;
                 s.tx += data.len() as u64;
-                self.cycles.charge(CostKind::Io, data.len() as u64 / 16);
+                self.charge(CostKind::Io, data.len() as u64 / 16);
                 Ok(data.len() as u64)
             }
             FdEntry::Console => {
-                self.cycles.charge(CostKind::Io, 200);
+                self.charge(CostKind::Io, 200);
                 Ok(data.len() as u64)
             }
             FdEntry::PipeRead { .. } => Err(KernelError::BadFd),
@@ -379,7 +377,7 @@ impl Kernel {
         let r = {
             let p = self
                 .procs
-                .get(self.current)
+                .get(self.current_pid())
                 .ok_or(KernelError::NoSuchProcess)?;
             match p.fds.get(fd) {
                 Some(FdEntry::File { name, .. }) => {
@@ -401,7 +399,7 @@ impl Kernel {
     /// `select()` over `nfds` descriptors (latency scales mildly with n).
     pub fn sys_select(&mut self, nfds: u64) -> Result<u64, KernelError> {
         self.syscall_enter(profile::SELECT_10);
-        self.cycles.charge(CostKind::Kernel, 14 * nfds);
+        self.charge(CostKind::Kernel, 14 * nfds);
         self.charge_indirect_calls(nfds / 4);
         self.syscall_exit();
         Ok(nfds)
@@ -413,7 +411,7 @@ impl Kernel {
         let id = self.pipes.create();
         let p = self
             .procs
-            .get_mut(self.current)
+            .get_mut(self.current_pid())
             .ok_or(KernelError::NoSuchProcess)?;
         let r = p.fds.insert(FdEntry::PipeRead { id });
         let w = p.fds.insert(FdEntry::PipeWrite { id });
@@ -431,7 +429,7 @@ impl Kernel {
         let r = {
             let p = self
                 .procs
-                .get_mut(self.current)
+                .get_mut(self.current_pid())
                 .ok_or(KernelError::NoSuchProcess)?;
             if signum == 0 || signum >= 32 {
                 Err(KernelError::BadAddress)
@@ -450,7 +448,7 @@ impl Kernel {
         let r = {
             let p = self
                 .procs
-                .get_mut(self.current)
+                .get_mut(self.current_pid())
                 .ok_or(KernelError::NoSuchProcess)?;
             if signum == 0 || signum >= 32 {
                 Err(KernelError::BadAddress)
@@ -529,7 +527,7 @@ impl Kernel {
     pub fn sys_mmap(&mut self, len: u64) -> Result<VirtAddr, KernelError> {
         self.syscall_enter(profile::MMAP);
         let len = len.div_ceil(PAGE_SIZE) * PAGE_SIZE;
-        let mm = self.mm_owner_of(self.current);
+        let mm = self.mm_owner_of(self.current_pid());
         let r = {
             let p = self.procs.get_mut(mm).ok_or(KernelError::NoSuchProcess)?;
             let stack_guard = crate::pagetable::USER_STACK_TOP - 64 * PAGE_SIZE;
@@ -580,7 +578,7 @@ impl Kernel {
     pub fn sys_munmap(&mut self, addr: VirtAddr, len: u64) -> Result<(), KernelError> {
         self.syscall_enter(profile::MMAP);
         let len = len.div_ceil(PAGE_SIZE) * PAGE_SIZE;
-        let pid = self.current;
+        let pid = self.current_pid();
         // Unmap any resident pages.
         let mut va = addr;
         let end = addr + len;
@@ -621,7 +619,7 @@ impl Kernel {
         let r = {
             let p = self
                 .procs
-                .get_mut(self.current)
+                .get_mut(self.current_pid())
                 .ok_or(KernelError::NoSuchProcess)?;
             if !(crate::pagetable::USER_HEAP_BASE..crate::pagetable::USER_MMAP_BASE)
                 .contains(&new_brk)
@@ -661,7 +659,7 @@ impl Kernel {
 
     fn do_mprotect(&mut self, addr: VirtAddr, len: u64, perms: VmPerms) -> Result<(), KernelError> {
         let len = len.div_ceil(PAGE_SIZE) * PAGE_SIZE;
-        let mm = self.mm_owner_of(self.current);
+        let mm = self.mm_owner_of(self.current_pid());
         // Update the VMA (split handling kept simple: exact or inner range
         // updates the whole containing VMA's overlap by splitting).
         {
@@ -730,9 +728,7 @@ impl Kernel {
             }
             let flags = ptstore_mmu::PteFlags::from_bits(bits);
             self.pt_write(slot, ptstore_mmu::Pte::leaf(ppn, flags).bits())?;
-            self.mmu.sfence_page(va, asid);
-            self.stats.sfences += 1;
-            self.cycles.charge(CostKind::TlbFlush, cost::SFENCE_PAGE);
+            self.tlb_flush_page(va, asid);
             if let Some(p) = self.procs.get_mut(mm) {
                 if let Some(m) = p.aspace.user.get_mut(&vpn) {
                     m.flags = flags;
@@ -774,7 +770,7 @@ impl Kernel {
         let r = {
             let p = self
                 .procs
-                .get_mut(self.current)
+                .get_mut(self.current_pid())
                 .ok_or(KernelError::NoSuchProcess)?;
             Ok(p.fds.insert(FdEntry::Socket { id }))
         };

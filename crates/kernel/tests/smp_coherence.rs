@@ -1,0 +1,175 @@
+//! Cross-hart TLB coherence: mapping changes made on one hart must be
+//! observed by every other hart only through the modeled shootdown
+//! (`sfence.vma` broadcast + acks), never by luck. Each test warms a
+//! remote hart's D-TLB, performs the mapping change on the boot hart, and
+//! checks the remote hart re-walks instead of consuming the stale entry.
+//!
+//! The last test is the attack variant: dynamic secure-region adjustment
+//! must quiesce remote walkers, so a stale translation into the newly
+//! absorbed range cannot survive, and the physical range itself is behind
+//! the PMP.
+
+use ptstore_core::{AccessKind, PhysAddr, PrivilegeMode, VirtAddr, MIB, PAGE_SIZE};
+use ptstore_kernel::process::VmPerms;
+use ptstore_kernel::{Kernel, KernelConfig};
+use ptstore_mmu::{TranslateError, TranslationOutcome};
+
+fn boot_smp(harts: usize) -> Kernel {
+    let cfg = KernelConfig::cfi_ptstore()
+        .with_mem_size(256 * MIB)
+        .with_initial_secure_size(16 * MIB)
+        .with_harts(harts);
+    Kernel::boot(cfg).expect("smp kernel boots")
+}
+
+/// Maps and touches one heap page on the boot hart, then warms `hart`'s
+/// D-TLB with the same translation. Returns the page's VA.
+fn map_and_warm_remote(k: &mut Kernel, hart: usize) -> VirtAddr {
+    let brk0 = k.procs.get(1).expect("init").brk;
+    k.sys_brk(brk0 + PAGE_SIZE).expect("brk");
+    let va = VirtAddr::new(brk0);
+    k.sys_touch(va, true).expect("touch on boot hart");
+
+    // The remote hart runs the same address space (as a second thread of
+    // init would): mirror satp, then translate once to fill its D-TLB.
+    k.harts[hart].mmu.satp = k.harts[0].mmu.satp;
+    let first = k.harts[hart]
+        .mmu
+        .translate_data(&mut k.bus, va, AccessKind::Read, PrivilegeMode::User)
+        .expect("remote walk");
+    assert!(
+        matches!(first, TranslationOutcome::Walk { .. }),
+        "first remote access must walk"
+    );
+    let second = k.harts[hart]
+        .mmu
+        .translate_data(&mut k.bus, va, AccessKind::Read, PrivilegeMode::User)
+        .expect("remote hit");
+    assert!(
+        matches!(second, TranslationOutcome::TlbHit { .. }),
+        "remote D-TLB is warm"
+    );
+    va
+}
+
+#[test]
+fn mprotect_shootdown_invalidates_remote_write_translation() {
+    let mut k = boot_smp(2);
+    let va = map_and_warm_remote(&mut k, 1);
+
+    // Hart 1 can write through its cached translation right now.
+    k.harts[1]
+        .mmu
+        .translate_data(&mut k.bus, va, AccessKind::Write, PrivilegeMode::User)
+        .expect("writable before mprotect");
+
+    // Hart 0 revokes write permission; the flush must broadcast.
+    let before = k.stats.tlb_shootdowns;
+    k.sys_mprotect(va, PAGE_SIZE, VmPerms::RO)
+        .expect("mprotect");
+    assert!(k.stats.tlb_shootdowns > before, "mprotect broadcast an IPI");
+    assert!(k.stats.shootdown_ipis > 0);
+
+    // The stale writable entry is gone: hart 1's next write re-walks the
+    // (now read-only) table and faults instead of silently succeeding.
+    let write =
+        k.harts[1]
+            .mmu
+            .translate_data(&mut k.bus, va, AccessKind::Write, PrivilegeMode::User);
+    assert!(
+        matches!(write, Err(TranslateError::PageFault { .. })),
+        "stale writable translation must not survive the shootdown: {write:?}"
+    );
+    // Reads still work — and come from a fresh walk, not the old entry.
+    let read = k.harts[1]
+        .mmu
+        .translate_data(&mut k.bus, va, AccessKind::Read, PrivilegeMode::User)
+        .expect("read-only page still readable");
+    assert!(matches!(read, TranslationOutcome::Walk { .. }));
+}
+
+#[test]
+fn munmap_shootdown_unmaps_on_every_hart() {
+    let mut k = boot_smp(4);
+    // Warm hart 3's D-TLB on a freshly mmap'd page.
+    let va = k.sys_mmap(PAGE_SIZE).expect("mmap");
+    k.sys_touch(va, true).expect("touch mapping");
+    k.harts[3].mmu.satp = k.harts[0].mmu.satp;
+    k.harts[3]
+        .mmu
+        .translate_data(&mut k.bus, va, AccessKind::Read, PrivilegeMode::User)
+        .expect("remote walk");
+    let warm = k.harts[3]
+        .mmu
+        .translate_data(&mut k.bus, va, AccessKind::Read, PrivilegeMode::User)
+        .expect("remote hit");
+    assert!(matches!(warm, TranslationOutcome::TlbHit { .. }));
+
+    // Hart 0 unmaps; all three remote harts must ack the shootdown.
+    let before = k.stats.shootdown_ipis;
+    k.sys_munmap(va, PAGE_SIZE).expect("munmap");
+    assert!(
+        k.stats.shootdown_ipis >= before + 3,
+        "3 remote acks per flush"
+    );
+
+    let stale =
+        k.harts[3]
+            .mmu
+            .translate_data(&mut k.bus, va, AccessKind::Read, PrivilegeMode::User);
+    assert!(
+        matches!(stale, Err(TranslateError::PageFault { .. })),
+        "hart 3 must not translate an unmapped page: {stale:?}"
+    );
+}
+
+#[test]
+fn single_hart_never_pays_shootdowns() {
+    let mut k = boot_smp(1);
+    let brk0 = k.procs.get(1).expect("init").brk;
+    k.sys_brk(brk0 + PAGE_SIZE).expect("brk");
+    k.sys_touch(VirtAddr::new(brk0), true).expect("touch");
+    k.sys_mprotect(VirtAddr::new(brk0), PAGE_SIZE, VmPerms::RO)
+        .expect("mprotect");
+    assert_eq!(k.stats.tlb_shootdowns, 0);
+    assert_eq!(k.stats.shootdown_ipis, 0);
+    assert_eq!(k.cycles.of(ptstore_kernel::CostKind::Ipi), 0);
+}
+
+#[test]
+fn adjustment_quiesces_remote_walkers_and_pmp_guards_the_new_range() {
+    let mut k = boot_smp(2);
+    let va = map_and_warm_remote(&mut k, 1);
+
+    let old_region = k.secure_region().expect("ptstore region");
+    let before = k.stats.tlb_shootdowns;
+    k.adjust_secure_region().expect("adjustment");
+    let new_region = k.secure_region().expect("region after growth");
+    assert!(new_region.base() < old_region.base(), "region grew down");
+    assert!(
+        k.stats.tlb_shootdowns > before,
+        "adjustment must broadcast a quiescence IPI before migrating"
+    );
+
+    // Hart 1's cached translation did not survive the quiescence: the next
+    // access re-walks the (possibly migrated) page tables.
+    let after = k.harts[1]
+        .mmu
+        .translate_data(&mut k.bus, va, AccessKind::Read, PrivilegeMode::User)
+        .expect("page still mapped after migration");
+    assert!(
+        matches!(after, TranslationOutcome::Walk { .. }),
+        "stale entry must be flushed by the quiescence broadcast"
+    );
+
+    // Attack variant: a hart that somehow retained the physical address of
+    // a page now inside the secure region still cannot write it — the PMP
+    // rejects regular-channel stores into the grown range.
+    let stolen = PhysAddr::new(new_region.base().as_u64());
+    assert!(k.is_secure_phys(stolen));
+    let attack = k.attacker_write_phys_via_stale_tlb(stolen, 0xDEAD_BEEF_DEAD_BEEF);
+    assert!(
+        attack.is_err(),
+        "stale-translation write into the adjusted secure region must be blocked"
+    );
+}

@@ -6,8 +6,7 @@
 //!
 //! Data moves through three width-generic accessors — [`Bus::read`],
 //! [`Bus::write`], and [`Bus::fetch`] — parameterised over the RV64 transfer
-//! widths via the sealed [`BusData`] trait. The older `read_u64`-style
-//! accessors remain as deprecated wrappers.
+//! widths via the sealed [`BusData`] trait.
 
 use ptstore_core::{
     AccessContext, AccessError, AccessKind, Channel, PhysAddr, PhysPageNum, PmpUnit, SecureRegion,
@@ -267,76 +266,6 @@ impl Bus {
         Ok(v)
     }
 
-    /// Checked aligned 8-byte read.
-    #[deprecated(note = "use the width-generic `Bus::read::<u64>`")]
-    pub fn read_u64(
-        &mut self,
-        addr: PhysAddr,
-        channel: Channel,
-        ctx: AccessContext,
-    ) -> Result<u64, AccessError> {
-        self.read::<u64>(addr, channel, ctx)
-    }
-
-    /// Checked aligned 8-byte write.
-    #[deprecated(note = "use the width-generic `Bus::write::<u64>`")]
-    pub fn write_u64(
-        &mut self,
-        addr: PhysAddr,
-        value: u64,
-        channel: Channel,
-        ctx: AccessContext,
-    ) -> Result<(), AccessError> {
-        self.write::<u64>(addr, value, channel, ctx)
-    }
-
-    /// Checked byte read.
-    #[deprecated(note = "use the width-generic `Bus::read::<u8>`")]
-    pub fn read_u8(
-        &mut self,
-        addr: PhysAddr,
-        channel: Channel,
-        ctx: AccessContext,
-    ) -> Result<u8, AccessError> {
-        self.read::<u8>(addr, channel, ctx)
-    }
-
-    /// Checked byte write.
-    #[deprecated(note = "use the width-generic `Bus::write::<u8>`")]
-    pub fn write_u8(
-        &mut self,
-        addr: PhysAddr,
-        value: u8,
-        channel: Channel,
-        ctx: AccessContext,
-    ) -> Result<(), AccessError> {
-        self.write::<u8>(addr, value, channel, ctx)
-    }
-
-    /// Checked instruction-fetch parcel (16-bit, for the C extension).
-    #[deprecated(note = "use the width-generic `Bus::fetch::<u16>`")]
-    pub fn fetch_u16(&mut self, addr: PhysAddr, ctx: AccessContext) -> Result<u16, AccessError> {
-        self.fetch::<u16>(addr, ctx)
-    }
-
-    /// Checked instruction fetch (32-bit).
-    #[deprecated(note = "use the width-generic `Bus::fetch::<u32>`")]
-    pub fn fetch_u32(&mut self, addr: PhysAddr, ctx: AccessContext) -> Result<u32, AccessError> {
-        self.fetch::<u32>(addr, ctx)
-    }
-
-    /// Checked u32 write (used by program loaders running in M-mode).
-    #[deprecated(note = "use the width-generic `Bus::write::<u32>`")]
-    pub fn write_u32(
-        &mut self,
-        addr: PhysAddr,
-        value: u32,
-        channel: Channel,
-        ctx: AccessContext,
-    ) -> Result<(), AccessError> {
-        self.write::<u32>(addr, value, channel, ctx)
-    }
-
     /// Checked whole-page zero test (reads via `ld.pt`, so only meaningful
     /// for secure-region pages). Counts as a single read burst.
     ///
@@ -464,21 +393,6 @@ mod tests {
             bus.read::<u64>(base + 8, Channel::Regular, ctx).unwrap(),
             0x0123_4567_89ab_cdef
         );
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_still_work() {
-        let (mut bus, _) = secured_bus();
-        let ctx = AccessContext::supervisor(true);
-        bus.write_u64(PhysAddr::new(0x100), 9, Channel::Regular, ctx)
-            .unwrap();
-        assert_eq!(
-            bus.read_u64(PhysAddr::new(0x100), Channel::Regular, ctx)
-                .unwrap(),
-            9
-        );
-        assert!(bus.fetch_u32(PhysAddr::new(0x1000), ctx).is_ok());
     }
 
     #[test]

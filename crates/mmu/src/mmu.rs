@@ -52,6 +52,8 @@ pub struct Mmu {
     walker: PageTableWalker,
     /// Current `satp` (owned by the hart; updated on `switch_mm`).
     pub satp: Satp,
+    /// Id of the owning hart (0 on single-hart machines).
+    hart_id: usize,
 }
 
 impl Default for Mmu {
@@ -76,6 +78,7 @@ impl Mmu {
             dtlb: Tlb::with_unit(dtlb, TlbUnit::Data),
             walker: PageTableWalker::new(),
             satp: Satp::bare(),
+            hart_id: 0,
         }
     }
 
@@ -84,6 +87,19 @@ impl Mmu {
     pub fn set_trace_sink(&mut self, sink: Option<TraceSink>) {
         self.itlb.set_trace_sink(sink.clone());
         self.dtlb.set_trace_sink(sink);
+    }
+
+    /// Attributes this MMU (TLB events and walker fetches) to `hart`.
+    pub fn set_hart_id(&mut self, hart: usize) {
+        self.hart_id = hart;
+        self.itlb.set_hart(hart as u32);
+        self.dtlb.set_hart(hart as u32);
+        self.walker.set_hart(hart);
+    }
+
+    /// The hart this MMU belongs to.
+    pub fn hart_id(&self) -> usize {
+        self.hart_id
     }
 
     /// Translates a data access.

@@ -58,6 +58,8 @@ pub struct Tlb {
     next_victim: usize,
     stats: TlbStats,
     unit: TlbUnit,
+    /// Owning hart, stamped into trace events (0 on single-hart machines).
+    hart: u32,
     trace: Option<TraceSink>,
 }
 
@@ -81,8 +83,14 @@ impl Tlb {
             next_victim: 0,
             stats: TlbStats::default(),
             unit,
+            hart: 0,
             trace: None,
         }
+    }
+
+    /// Tags this TLB's trace events with the owning hart's id.
+    pub fn set_hart(&mut self, hart: u32) {
+        self.hart = hart;
     }
 
     /// Attaches (or detaches) a trace sink for hit/miss/flush events.
@@ -132,6 +140,7 @@ impl Tlb {
                         unit: self.unit,
                         vpn: vpn.as_u64(),
                         asid,
+                        hart: self.hart,
                     });
                 }
                 Some(e)
@@ -143,6 +152,7 @@ impl Tlb {
                         unit: self.unit,
                         vpn: vpn.as_u64(),
                         asid,
+                        hart: self.hart,
                     });
                 }
                 None
@@ -222,6 +232,7 @@ impl Tlb {
             sink.emit(TraceEvent::TlbFlush {
                 unit: self.unit,
                 scope,
+                hart: self.hart,
             });
         }
     }

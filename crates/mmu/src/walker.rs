@@ -64,16 +64,26 @@ pub struct WalkOutcome {
     pub page_size: u64,
 }
 
-/// The stateless Sv39 walker. The model runs with `SUM=1` (supervisor may
+/// The Sv39 walker. The model runs with `SUM=1` (supervisor may
 /// read/write user pages — the kernel copies syscall buffers directly) and
 /// without `MXR`; both simplifications are noted here for fidelity.
+///
+/// The walker holds no translation state; the only field is the id of the
+/// hart it walks for, stamped into the access contexts of its PTE fetches.
 #[derive(Debug, Clone, Copy, Default)]
-pub struct PageTableWalker;
+pub struct PageTableWalker {
+    hart: usize,
+}
 
 impl PageTableWalker {
-    /// A new walker.
+    /// A new walker for hart 0.
     pub const fn new() -> Self {
-        Self
+        Self { hart: 0 }
+    }
+
+    /// Attributes subsequent walks to `hart`.
+    pub fn set_hart(&mut self, hart: usize) {
+        self.hart = hart;
     }
 
     /// Translates `va` for an access of `kind` in `mode`, updating PTE A/D
@@ -107,6 +117,7 @@ impl PageTableWalker {
         let ctx = AccessContext {
             mode,
             satp_s: satp.s_bit,
+            hart: self.hart,
         };
         let mut table = satp.root_addr();
         let mut fetches = 0u32;

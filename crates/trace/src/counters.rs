@@ -23,6 +23,7 @@ pub struct TraceCounters {
     pub tlb_hits: u64,
     pub tlb_misses: u64,
     pub tlb_flushes: u64,
+    pub tlb_shootdowns: u64,
     pub token_ops: u64,
     pub token_rejections: u64,
     pub syscalls: u64,
@@ -47,6 +48,7 @@ impl TraceCounters {
             TraceEvent::TlbHit { .. } => self.tlb_hits += 1,
             TraceEvent::TlbMiss { .. } => self.tlb_misses += 1,
             TraceEvent::TlbFlush { .. } => self.tlb_flushes += 1,
+            TraceEvent::TlbShootdown { .. } => self.tlb_shootdowns += 1,
             TraceEvent::Token { op, ok, .. } => {
                 self.token_ops += 1;
                 if !ok && *op == TokenOp::Validate {
@@ -70,6 +72,7 @@ impl TraceCounters {
             + self.tlb_hits
             + self.tlb_misses
             + self.tlb_flushes
+            + self.tlb_shootdowns
             + self.token_ops
             + self.syscalls
             + self.region_moves
@@ -88,6 +91,7 @@ impl TraceCounters {
         w.num_field("tlb_hits", self.tlb_hits);
         w.num_field("tlb_misses", self.tlb_misses);
         w.num_field("tlb_flushes", self.tlb_flushes);
+        w.num_field("tlb_shootdowns", self.tlb_shootdowns);
         w.num_field("token_ops", self.token_ops);
         w.num_field("token_rejections", self.token_rejections);
         w.num_field("syscalls", self.syscalls);
@@ -109,6 +113,7 @@ impl Snapshot for TraceCounters {
             tlb_hits: self.tlb_hits - earlier.tlb_hits,
             tlb_misses: self.tlb_misses - earlier.tlb_misses,
             tlb_flushes: self.tlb_flushes - earlier.tlb_flushes,
+            tlb_shootdowns: self.tlb_shootdowns - earlier.tlb_shootdowns,
             token_ops: self.token_ops - earlier.token_ops,
             token_rejections: self.token_rejections - earlier.token_rejections,
             syscalls: self.syscalls - earlier.syscalls,

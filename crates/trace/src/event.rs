@@ -205,11 +205,32 @@ pub enum TraceEvent {
     /// The walker's fetch was rejected by the `satp.S` origin check.
     PtwOriginRejected { va: u64, pte_addr: u64 },
     /// A TLB lookup hit.
-    TlbHit { unit: TlbUnit, vpn: u64, asid: u16 },
+    TlbHit {
+        unit: TlbUnit,
+        vpn: u64,
+        asid: u16,
+        hart: u32,
+    },
     /// A TLB lookup missed (including permission-mismatch misses).
-    TlbMiss { unit: TlbUnit, vpn: u64, asid: u16 },
+    TlbMiss {
+        unit: TlbUnit,
+        vpn: u64,
+        asid: u16,
+        hart: u32,
+    },
     /// A TLB flush.
-    TlbFlush { unit: TlbUnit, scope: FlushScope },
+    TlbFlush {
+        unit: TlbUnit,
+        scope: FlushScope,
+        hart: u32,
+    },
+    /// A cross-hart TLB shootdown: `from_hart` broadcast an IPI carrying
+    /// `scope` and collected `acks` acknowledgements from the remote harts.
+    TlbShootdown {
+        scope: FlushScope,
+        from_hart: u32,
+        acks: u32,
+    },
     /// A token-lifecycle operation. `ok == false` means the operation
     /// rejected (validation failure / pointer outside the secure region).
     Token { op: TokenOp, pid: u64, ok: bool },
@@ -237,7 +258,8 @@ impl TraceEvent {
             TraceEvent::PtwStep { .. } | TraceEvent::PtwOriginRejected { .. } => Layer::Ptw,
             TraceEvent::TlbHit { .. }
             | TraceEvent::TlbMiss { .. }
-            | TraceEvent::TlbFlush { .. } => Layer::Tlb,
+            | TraceEvent::TlbFlush { .. }
+            | TraceEvent::TlbShootdown { .. } => Layer::Tlb,
             TraceEvent::Token { .. } => Layer::Token,
             TraceEvent::SyscallEnter { .. } | TraceEvent::SyscallExit { .. } => Layer::Syscall,
             TraceEvent::RegionMove { .. } => Layer::Region,
@@ -269,6 +291,22 @@ impl TraceEvent {
             } => Some(RejectingLayer::TokenValidation),
             TraceEvent::Token { ok: false, .. } => Some(RejectingLayer::TokenValidation),
             _ => None,
+        }
+    }
+
+    /// Writes a [`FlushScope`]'s discriminant and operands as JSON fields.
+    fn scope_fields(w: &mut JsonWriter, scope: &FlushScope) {
+        match scope {
+            FlushScope::All => w.str_field("scope", "all"),
+            FlushScope::Page { vpn, asid } => {
+                w.str_field("scope", "page");
+                w.hex_field("vpn", *vpn);
+                w.num_field("asid", u64::from(*asid));
+            }
+            FlushScope::Asid { asid } => {
+                w.str_field("scope", "asid");
+                w.num_field("asid", u64::from(*asid));
+            }
         }
     }
 
@@ -335,33 +373,45 @@ impl TraceEvent {
                 w.hex_field("va", *va);
                 w.hex_field("pte_addr", *pte_addr);
             }
-            TraceEvent::TlbHit { unit, vpn, asid } => {
+            TraceEvent::TlbHit {
+                unit,
+                vpn,
+                asid,
+                hart,
+            } => {
                 w.str_field("type", "tlb_hit");
                 w.str_field("unit", &unit.to_string());
                 w.hex_field("vpn", *vpn);
                 w.num_field("asid", u64::from(*asid));
+                w.num_field("hart", u64::from(*hart));
             }
-            TraceEvent::TlbMiss { unit, vpn, asid } => {
+            TraceEvent::TlbMiss {
+                unit,
+                vpn,
+                asid,
+                hart,
+            } => {
                 w.str_field("type", "tlb_miss");
                 w.str_field("unit", &unit.to_string());
                 w.hex_field("vpn", *vpn);
                 w.num_field("asid", u64::from(*asid));
+                w.num_field("hart", u64::from(*hart));
             }
-            TraceEvent::TlbFlush { unit, scope } => {
+            TraceEvent::TlbFlush { unit, scope, hart } => {
                 w.str_field("type", "tlb_flush");
                 w.str_field("unit", &unit.to_string());
-                match scope {
-                    FlushScope::All => w.str_field("scope", "all"),
-                    FlushScope::Page { vpn, asid } => {
-                        w.str_field("scope", "page");
-                        w.hex_field("vpn", *vpn);
-                        w.num_field("asid", u64::from(*asid));
-                    }
-                    FlushScope::Asid { asid } => {
-                        w.str_field("scope", "asid");
-                        w.num_field("asid", u64::from(*asid));
-                    }
-                }
+                Self::scope_fields(&mut w, scope);
+                w.num_field("hart", u64::from(*hart));
+            }
+            TraceEvent::TlbShootdown {
+                scope,
+                from_hart,
+                acks,
+            } => {
+                w.str_field("type", "tlb_shootdown");
+                Self::scope_fields(&mut w, scope);
+                w.num_field("from_hart", u64::from(*from_hart));
+                w.num_field("acks", u64::from(*acks));
             }
             TraceEvent::Token { op, pid, ok } => {
                 w.str_field("type", "token");
@@ -452,5 +502,21 @@ mod tests {
             "{j}"
         );
         assert!(j.contains("\"addr\":\"0xabc\""), "{j}");
+    }
+
+    #[test]
+    fn shootdown_event_carries_hart_ids() {
+        let e = TraceEvent::TlbShootdown {
+            scope: FlushScope::Page { vpn: 0x40, asid: 3 },
+            from_hart: 1,
+            acks: 3,
+        };
+        assert_eq!(e.layer(), Layer::Tlb);
+        assert!(!e.is_denial());
+        let j = e.to_json();
+        assert!(j.contains("\"type\":\"tlb_shootdown\""), "{j}");
+        assert!(j.contains("\"from_hart\":1"), "{j}");
+        assert!(j.contains("\"acks\":3"), "{j}");
+        assert!(j.contains("\"scope\":\"page\""), "{j}");
     }
 }

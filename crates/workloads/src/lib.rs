@@ -15,6 +15,8 @@
 //!   (100 000 requests per test, 50 connections);
 //! * [`regression`] — an LTP-style functional suite whose outputs are diffed
 //!   between kernel configurations (§V-C);
+//! * [`smp`] — hart-distributed variants of the macrobenchmarks: one
+//!   worker per hart, per-hart utilization, and shootdown accounting;
 //! * [`report`] — measurement plumbing: run a workload across kernel
 //!   configurations and compute relative overheads.
 //!
@@ -35,7 +37,9 @@ pub mod nginx;
 pub mod redis;
 pub mod regression;
 pub mod report;
+pub mod smp;
 pub mod spec;
 
 pub use fork_stress::{run_fork_stress, ForkStressResult};
 pub use report::{measure, overhead_pct, Measurement, OverheadSeries};
+pub use smp::{run_fork_stress_smp, run_nginx_smp, run_redis_smp, HartShare, SmpRunReport};

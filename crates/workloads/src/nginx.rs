@@ -53,16 +53,26 @@ impl NginxParams {
 /// # Panics
 /// Panics on kernel errors (the web server must run cleanly).
 pub fn run_nginx(k: &mut Kernel, p: &NginxParams) -> u64 {
-    // Stage the document once.
+    stage_document(k, p);
+    timed(k, |k| serve_requests(k, p, p.requests))
+}
+
+/// Creates the static document the benchmark serves.
+pub(crate) fn stage_document(k: &mut Kernel, p: &NginxParams) {
     let doc = vec![0x41u8; p.response_bytes as usize];
     k.fs.create("/srv/index.html", doc);
-    const REQUEST_BYTES: u64 = 420; // typical GET + headers
+}
 
-    timed(k, |k| {
+/// The server's event loop: serves exactly `requests` requests on the
+/// current process (one nginx worker). The SMP driver runs one of these
+/// per hart.
+pub(crate) fn serve_requests(k: &mut Kernel, p: &NginxParams, requests: u64) {
+    const REQUEST_BYTES: u64 = 420; // typical GET + headers
+    {
         let mut served = 0u64;
         let mut since_pool_growth = 0u64;
-        while served < p.requests {
-            let batch = p.concurrency.min(p.requests - served);
+        while served < requests {
+            let batch = p.concurrency.min(requests - served);
             // One event-loop turn: poll readiness over the live connections.
             k.sys_select(batch).expect("select");
             // Connection-pool churn: nginx grows/releases request-buffer
@@ -85,7 +95,7 @@ pub fn run_nginx(k: &mut Kernel, p: &NginxParams) -> u64 {
             for _ in 0..batch {
                 let sock = k.sys_accept(REQUEST_BYTES).expect("accept");
                 k.sys_recv(sock, REQUEST_BYTES).expect("recv");
-                k.cycles.charge(CostKind::User, p.user_cycles_per_request);
+                k.charge(CostKind::User, p.user_cycles_per_request);
                 let fd = k.sys_open("/srv/index.html").expect("open");
                 k.sys_fstat(fd).expect("fstat");
                 // sendfile-style loop in 64 KiB chunks.
@@ -101,7 +111,7 @@ pub fn run_nginx(k: &mut Kernel, p: &NginxParams) -> u64 {
             }
             served += batch;
         }
-    })
+    }
 }
 
 #[cfg(test)]

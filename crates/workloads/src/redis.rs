@@ -144,7 +144,14 @@ impl RedisParams {
 /// # Panics
 /// Panics on kernel errors.
 pub fn run_redis_test(k: &mut Kernel, test: &RedisTest, p: &RedisParams) -> u64 {
-    timed(k, |k| {
+    timed(k, |k| serve_requests(k, test, p, p.requests))
+}
+
+/// One single-threaded Redis instance serving exactly `requests` requests
+/// on the current process. The SMP driver shards the keyspace and runs one
+/// instance per hart (Redis cluster mode).
+pub(crate) fn serve_requests(k: &mut Kernel, test: &RedisTest, p: &RedisParams, requests: u64) {
+    {
         // Persistent connections: accept once per connection.
         let socks: Vec<i32> = (0..p.connections)
             .map(|_| k.sys_accept(0).expect("accept"))
@@ -172,13 +179,13 @@ pub fn run_redis_test(k: &mut Kernel, test: &RedisTest, p: &RedisParams) -> u64 
                     .expect("arena munmap");
             }
             for &s in &socks {
-                if done >= p.requests {
+                if done >= requests {
                     break 'outer;
                 }
                 // Request arrives on the socket.
                 let _ = k.sockets_feed(s, test.request_bytes);
                 k.sys_recv(s, test.request_bytes).expect("recv");
-                k.cycles.charge(CostKind::User, test.user_cycles);
+                k.charge(CostKind::User, test.user_cycles);
                 k.sys_send(s, test.response_bytes).expect("send");
                 done += 1;
             }
@@ -186,7 +193,7 @@ pub fn run_redis_test(k: &mut Kernel, test: &RedisTest, p: &RedisParams) -> u64 
         for s in socks {
             k.sys_close(s).expect("close");
         }
-    })
+    }
 }
 
 /// Runs the full test list, returning (test name, cycles) rows.

@@ -132,7 +132,7 @@ pub fn run_spec(k: &mut Kernel, p: &SpecProfile) -> u64 {
         let vm_per_chunk = p.vm_calls.max(1).div_ceil(chunks);
         for c in 0..chunks {
             // User compute slice.
-            k.cycles.charge(CostKind::User, p.user_cycles / chunks);
+            k.charge(CostKind::User, p.user_cycles / chunks);
             // Fault in this chunk of the working set.
             for i in 0..pages_per_chunk {
                 let page = c * pages_per_chunk + i;

@@ -1,0 +1,143 @@
+//! SMP differential anchors: a single-hart kernel must be cycle-identical
+//! to the pre-SMP seed. The golden totals below were captured from the
+//! single-hart model *before* the `Hart` refactor landed; every
+//! configuration must keep reproducing them exactly at `harts = 1`, so the
+//! paper's performance anchors (Figures 4-7, §V-D1) stay valid.
+//!
+//! The model is fully deterministic (seeded RNG, ordered maps), so exact
+//! equality — not a tolerance — is the right assertion.
+
+use ptstore_core::{VirtAddr, MIB, PAGE_SIZE};
+use ptstore_kernel::process::VmPerms;
+use ptstore_kernel::{Kernel, KernelConfig};
+use ptstore_workloads::nginx::{run_nginx, NginxParams};
+use ptstore_workloads::redis::{run_redis_test, RedisParams, REDIS_TESTS};
+use ptstore_workloads::run_fork_stress;
+
+/// The five configurations the paper evaluates, at the attack-battery
+/// geometry (256 MiB RAM, 16 MiB initial secure region).
+fn configs() -> [(&'static str, KernelConfig); 5] {
+    let geom = |c: KernelConfig| {
+        c.with_mem_size(256 * MIB)
+            .with_initial_secure_size(16 * MIB)
+    };
+    [
+        ("baseline", geom(KernelConfig::baseline())),
+        ("cfi", geom(KernelConfig::cfi())),
+        ("cfi_ptstore", geom(KernelConfig::cfi_ptstore())),
+        (
+            "cfi_ptstore_no_adjust",
+            geom(KernelConfig::cfi_ptstore_no_adjust()),
+        ),
+        ("ptstore_only", geom(KernelConfig::ptstore_only())),
+    ]
+}
+
+/// A fixed syscall mix touching every TLB-flush site: fork (ASID fence),
+/// COW break, demand paging, mprotect tightening, munmap, plus the
+/// file/pipe/signal paths for good measure.
+fn syscall_battery(cfg: KernelConfig) -> (u64, u64) {
+    let mut k = Kernel::boot(cfg).expect("boot");
+    let brk0 = k.procs.get(1).expect("init").brk;
+    k.sys_brk(brk0 + 2 * PAGE_SIZE).expect("brk");
+    k.sys_touch(VirtAddr::new(brk0), true).expect("touch brk");
+    k.sys_touch(VirtAddr::new(brk0 + PAGE_SIZE), true)
+        .expect("touch brk2");
+    let c1 = k.sys_fork().expect("fork c1");
+    let c2 = k.sys_fork().expect("fork c2");
+    k.do_switch_to(c1).expect("switch c1");
+    // COW break: the child rewrites the inherited heap pages.
+    k.sys_touch(VirtAddr::new(brk0), true).expect("cow 1");
+    k.sys_touch(VirtAddr::new(brk0 + PAGE_SIZE), true)
+        .expect("cow 2");
+    // Demand paging + mprotect + munmap.
+    let va = k.sys_mmap(4 * PAGE_SIZE).expect("mmap");
+    for i in 0..4 {
+        k.sys_touch(VirtAddr::new(va.as_u64() + i * PAGE_SIZE), true)
+            .expect("touch map");
+    }
+    k.sys_mprotect(va, 2 * PAGE_SIZE, VmPerms::RO)
+        .expect("mprotect");
+    k.sys_touch(va, false).expect("ro read");
+    k.sys_munmap(va, 4 * PAGE_SIZE).expect("munmap");
+    // Files, pipes, signals, yield, exec.
+    let fd = k.sys_open("/tmp/XXX").expect("open");
+    k.sys_write(fd, &[0xA5; 48]).expect("write");
+    k.sys_close(fd).expect("close");
+    let (r, w) = k.sys_pipe().expect("pipe");
+    k.sys_write(w, &[1; 16]).expect("pipe write");
+    k.sys_read(r, 16).expect("pipe read");
+    k.sys_signal_install(7).expect("signal install");
+    k.sys_signal_catch(7).expect("signal catch");
+    k.sys_exec().expect("exec");
+    // Exit c1; the scheduler picks c2, which yields back to init.
+    k.sys_exit(0).expect("exit c1");
+    assert_eq!(k.current_pid(), c2, "scheduler picked c2 after c1 exited");
+    k.sys_yield().expect("yield");
+    k.do_switch_to(c2).expect("switch c2");
+    k.sys_exit(0).expect("exit c2");
+    k.sys_wait().expect("wait 1");
+    k.sys_wait().expect("wait 2");
+    (k.cycles.total(), k.stats.sfences)
+}
+
+/// Golden `(cycles, sfences)` per configuration for [`syscall_battery`],
+/// captured pre-refactor.
+const GOLDEN_SYSCALLS: [(u64, u64); 5] = [
+    (57_943, 22),
+    (59_644, 22),
+    (61_404, 22),
+    (61_404, 22),
+    (59_703, 22),
+];
+
+/// Golden cycle totals for the quick workload drivers (nginx 4 KiB, redis
+/// GET, fork-stress 64) under `cfi_ptstore`, captured pre-refactor.
+const GOLDEN_WORKLOADS: [u64; 3] = [7_025_863, 652_179, 900_670];
+
+#[test]
+fn harts1_syscall_battery_is_cycle_identical_to_seed() {
+    let actual: Vec<(String, (u64, u64))> = configs()
+        .iter()
+        .map(|(name, cfg)| (name.to_string(), syscall_battery(*cfg)))
+        .collect();
+    let golden: Vec<(String, (u64, u64))> = configs()
+        .iter()
+        .zip(GOLDEN_SYSCALLS)
+        .map(|((name, _), g)| (name.to_string(), g))
+        .collect();
+    assert_eq!(
+        actual, golden,
+        "single-hart cycle totals diverged from the pre-SMP seed"
+    );
+}
+
+#[test]
+fn harts1_workload_drivers_are_cycle_identical_to_seed() {
+    let cfg = KernelConfig::cfi_ptstore()
+        .with_mem_size(256 * MIB)
+        .with_initial_secure_size(16 * MIB);
+
+    let mut k = Kernel::boot(cfg).expect("boot");
+    let nginx = run_nginx(&mut k, &NginxParams::quick(4 << 10));
+
+    let mut k = Kernel::boot(cfg).expect("boot");
+    let get = &REDIS_TESTS[3];
+    let redis = run_redis_test(
+        &mut k,
+        get,
+        &RedisParams {
+            requests: 200,
+            connections: 10,
+        },
+    );
+
+    let mut k = Kernel::boot(cfg).expect("boot");
+    let stress = run_fork_stress(&mut k, 64).expect("stress").cycles;
+
+    assert_eq!(
+        [nginx, redis, stress],
+        GOLDEN_WORKLOADS,
+        "quick workload driver totals diverged from the pre-SMP seed"
+    );
+}

@@ -11,7 +11,19 @@ cargo fmt --all --check
 echo "== cargo clippy (-D warnings) =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+echo "== cargo doc (-D warnings) =="
+# Our crates only — the vendored third_party crates are not held to our
+# documentation bar.
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --quiet \
+    -p ptstore-core -p ptstore-mem -p ptstore-mmu -p ptstore-isa \
+    -p ptstore-kernel -p ptstore-trace -p ptstore-workloads \
+    -p ptstore-attacks -p ptstore-hwcost -p ptstore-bench -p ptstore
+
 echo "== cargo test =="
 cargo test --offline --workspace -q
+
+echo "== smoke: 2-hart security battery =="
+cargo run --offline --quiet -p ptstore-bench --bin reproduce -- --quick --harts 2 security \
+    | grep -q "PTStore (full design) blocks every attack"
 
 echo "All checks passed."
