@@ -29,8 +29,8 @@ pub mod outcome;
 pub mod scenarios;
 
 pub use battery::{
-    run_attack, run_attack_on, run_attack_traced, security_matrix, security_matrix_traced,
-    security_matrix_with_harts, AttackReport, TracedAttackReport,
+    run_attack, run_attack_on, run_attack_on_with_fast_path, run_attack_traced, security_matrix,
+    security_matrix_traced, security_matrix_with_harts, AttackReport, TracedAttackReport,
 };
 pub use outcome::{AttackOutcome, BlockedBy};
 pub use scenarios::AttackKind;

@@ -1,0 +1,34 @@
+//! The security matrix must be fast-path-invariant: every attack × defense
+//! × tokens cell produces the same verdict (and the same `BlockedBy`
+//! attribution) whether the host-side memoizations are on or off, at one
+//! hart and on the SMP machine. A fast path that changed a security
+//! verdict would be a model change smuggled in as an optimization.
+
+use ptstore_attacks::{run_attack_on_with_fast_path, AttackKind};
+use ptstore_kernel::DefenseMode;
+
+#[test]
+fn verdicts_are_fast_path_invariant_across_hart_counts() {
+    let defenses = [
+        (DefenseMode::None, true),
+        (DefenseMode::PtRand, true),
+        (DefenseMode::VirtualIsolation, true),
+        (DefenseMode::PtStore, true),
+        // Tokens-off ablation: the rows where PTStore's remaining layers
+        // must do the blocking — the most delicate verdicts in the matrix.
+        (DefenseMode::PtStore, false),
+    ];
+    for harts in [1usize, 2, 4] {
+        for (defense, tokens) in defenses {
+            for kind in AttackKind::ALL {
+                let fast = run_attack_on_with_fast_path(harts, kind, defense, tokens, true);
+                let slow = run_attack_on_with_fast_path(harts, kind, defense, tokens, false);
+                assert_eq!(
+                    fast, slow,
+                    "verdict for {kind:?} vs {defense:?} (tokens={tokens}) \
+                     depends on the fast path at {harts} hart(s)"
+                );
+            }
+        }
+    }
+}

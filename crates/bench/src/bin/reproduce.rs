@@ -1,12 +1,19 @@
 //! Regenerates every table and figure of the PTStore paper from the models.
 //!
 //! ```text
-//! reproduce [--quick] [--harts N] [--csv <dir>] [--trace <file>] \
+//! reproduce [--quick] [--harts N] [--jobs N] [--no-fast-path] \
+//!     [--csv <dir>] [--trace <file>] \
 //!     [table1|table2|table3|hwdetail|ltp|fig4|forkstress|fig5|fig6|fig7|security|smp|all]
 //! ```
 //!
 //! `--quick` runs scaled-down workloads (seconds); the default uses the
 //! paper's parameters (30 000 processes, 100 000 Redis requests, ...).
+//! `--jobs N` runs independent experiments — and the independent
+//! (benchmark × config) points inside each — on up to N scoped threads.
+//! Every point boots a fresh deterministic kernel, so reports are merged
+//! back in a fixed order and the output is byte-identical at any job count.
+//! `--no-fast-path` disables the host-side memoizations (PMP page cache,
+//! micro-TLB); modeled results are identical, only wall-clock changes.
 //! `--csv <dir>` additionally writes each figure's data series as CSV for
 //! external plotting.
 //! `--trace <file>` re-runs the PTStore security rows with a trace sink
@@ -17,7 +24,30 @@
 //! cell on the SMP machine, and the `smp` experiment compares
 //! hart-distributed nginx/redis/fork-stress throughput against one hart.
 
+use std::fmt::Write as _;
+
 use ptstore_bench::*;
+
+/// Appends one line to a report buffer (writing to a `String` is
+/// infallible).
+macro_rules! w {
+    ($($t:tt)*) => { let _ = writeln!($($t)*); };
+}
+
+const EXPERIMENTS: [&str; 12] = [
+    "table1",
+    "table2",
+    "table3",
+    "hwdetail",
+    "ltp",
+    "fig4",
+    "forkstress",
+    "fig5",
+    "fig6",
+    "fig7",
+    "security",
+    "smp",
+];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -27,6 +57,9 @@ fn main() {
     } else {
         Scale::paper()
     };
+    if args.iter().any(|a| a == "--no-fast-path") {
+        ptstore_core::fastpath::set_default(false);
+    }
     let csv_dir = args
         .iter()
         .position(|a| a == "--csv")
@@ -47,6 +80,13 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(|v| v.parse().expect("--harts takes a positive integer"))
         .unwrap_or(1);
+    let jobs: usize = args
+        .iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--jobs takes a positive integer"))
+        .unwrap_or(1)
+        .max(1);
     let mut skip_next = false;
     let what = args
         .iter()
@@ -55,7 +95,7 @@ fn main() {
                 skip_next = false;
                 return false;
             }
-            if *a == "--csv" || *a == "--trace" || *a == "--harts" {
+            if *a == "--csv" || *a == "--trace" || *a == "--harts" || *a == "--jobs" {
                 skip_next = true;
                 return false;
             }
@@ -64,63 +104,48 @@ fn main() {
         .cloned()
         .unwrap_or_else(|| "all".to_string());
 
-    let all = what == "all";
-    if all || what == "table1" {
-        print_table1();
-    }
-    if all || what == "table2" {
-        print_table2();
-    }
-    if all || what == "table3" {
-        print_table3();
-    }
-    if all || what == "hwdetail" {
-        print_hwdetail();
-    }
-    if all || what == "ltp" {
-        print_ltp(&scale);
-    }
-    if all || what == "fig4" {
-        print_fig4(&scale);
-    }
-    if all || what == "forkstress" {
-        print_stress(&scale);
-    }
-    if all || what == "fig5" {
-        print_fig5(&scale);
-    }
-    if all || what == "fig6" {
-        print_fig6(&scale);
-    }
-    if all || what == "fig7" {
-        print_fig7(&scale);
-    }
-    if all || what == "security" {
-        print_security(trace_file.as_deref(), harts);
-    }
-    if all || what == "smp" {
-        print_smp(&scale, harts);
-    }
-    if !all
-        && ![
-            "table1",
-            "table2",
-            "table3",
-            "hwdetail",
-            "ltp",
-            "fig4",
-            "forkstress",
-            "fig5",
-            "fig6",
-            "fig7",
-            "security",
-            "smp",
-        ]
-        .contains(&what.as_str())
-    {
+    if what != "all" && !EXPERIMENTS.contains(&what.as_str()) {
         eprintln!("unknown experiment {what:?}");
-        eprintln!("usage: reproduce [--quick] [--harts N] [--csv <dir>] [--trace <file>] [table1|table2|table3|hwdetail|ltp|fig4|forkstress|fig5|fig6|fig7|security|smp|all]");
+        eprintln!(
+            "usage: reproduce [--quick] [--harts N] [--jobs N] [--no-fast-path] [--csv <dir>] [--trace <file>] [{}|all]",
+            EXPERIMENTS.join("|")
+        );
         std::process::exit(2);
+    }
+
+    // One report builder per experiment, in the fixed output order. Each
+    // returns its full report as a string so runs can be fanned out across
+    // threads and merged back deterministically.
+    type Task<'a> = (&'a str, Box<dyn Fn() -> String + Sync + 'a>);
+    let scale = &scale;
+    let trace_file = trace_file.as_deref();
+    let tasks: Vec<Task> = EXPERIMENTS
+        .iter()
+        .filter(|name| what == "all" || what == **name)
+        .map(|&name| {
+            let task: Box<dyn Fn() -> String + Sync> = match name {
+                "table1" => Box::new(report_table1),
+                "table2" => Box::new(report_table2),
+                "table3" => Box::new(report_table3),
+                "hwdetail" => Box::new(report_hwdetail),
+                "ltp" => Box::new(move || report_ltp(scale, jobs)),
+                "fig4" => Box::new(move || report_fig4(scale, jobs)),
+                "forkstress" => Box::new(move || report_stress(scale, jobs)),
+                "fig5" => Box::new(move || report_fig5(scale, jobs)),
+                "fig6" => Box::new(move || report_fig6(scale, jobs)),
+                "fig7" => Box::new(move || report_fig7(scale, jobs)),
+                "security" => Box::new(move || report_security(trace_file, harts)),
+                "smp" => Box::new(move || report_smp(scale, harts, jobs)),
+                _ => unreachable!("EXPERIMENTS is exhaustive"),
+            };
+            (name, task)
+        })
+        .collect();
+
+    // Deterministic ordered merge: reports come back in task order no
+    // matter which thread finished first.
+    for report in par_map(jobs, &tasks, |(_, run)| run()) {
+        print!("{report}");
     }
 }
 
@@ -132,117 +157,177 @@ fn set_csv_dir(dir: Option<std::path::PathBuf>) {
     let _ = CSV_DIR.set(dir);
 }
 
-/// Writes one figure's overhead series as CSV when `--csv` was given.
-fn write_series_csv(name: &str, series: &[OverheadSeries]) {
+/// Writes one figure's overhead series as CSV when `--csv` was given,
+/// appending a note to the report.
+fn write_series_csv(out: &mut String, name: &str, series: &[OverheadSeries]) {
     let Some(Some(dir)) = CSV_DIR.get() else {
         return;
     };
-    let mut out = String::from("benchmark,config,cycles,overhead_pct\n");
+    let mut csv = String::from("benchmark,config,cycles,overhead_pct\n");
     for s in series {
         for m in &s.entries {
-            out.push_str(&format!(
-                "{},{},{},{:.4}\n",
+            let _ = writeln!(
+                csv,
+                "{},{},{},{:.4}",
                 s.benchmark, m.label, m.cycles, m.overhead_pct
-            ));
+            );
         }
     }
     let path = dir.join(format!("{name}.csv"));
-    std::fs::write(&path, out).expect("write csv");
-    println!("(csv written to {})", path.display());
+    std::fs::write(&path, csv).expect("write csv");
+    w!(out, "(csv written to {})", path.display());
 }
 
-fn header(title: &str) {
-    println!();
-    println!("================================================================");
-    println!("{title}");
-    println!("================================================================");
+fn header(out: &mut String, title: &str) {
+    w!(out);
+    w!(
+        out,
+        "================================================================"
+    );
+    w!(out, "{title}");
+    w!(
+        out,
+        "================================================================"
+    );
 }
 
-fn print_table1() {
-    header("Table I: lines of code of each PTStore component");
-    println!(
+fn report_table1() -> String {
+    let mut out = String::new();
+    header(&mut out, "Table I: lines of code of each PTStore component");
+    w!(
+        out,
         "{:<18} {:<18} {:>10} {:>10}  Our location",
-        "Component", "Paper language", "Paper LoC", "Ours LoC"
+        "Component",
+        "Paper language",
+        "Paper LoC",
+        "Ours LoC"
     );
     for r in table1() {
-        println!(
+        w!(
+            out,
             "{:<18} {:<18} {:>10} {:>10}  {}",
-            r.component, r.paper_language, r.paper_loc, r.our_loc, r.our_location
+            r.component,
+            r.paper_language,
+            r.paper_loc,
+            r.our_loc,
+            r.our_location
         );
     }
-    println!("(ours are full reimplementations of each subsystem, not patches — see DESIGN.md)");
+    w!(
+        out,
+        "(ours are full reimplementations of each subsystem, not patches — see DESIGN.md)"
+    );
+    out
 }
 
-fn print_table2() {
-    header("Table II: prototype system configuration");
+fn report_table2() -> String {
+    let mut out = String::new();
+    header(&mut out, "Table II: prototype system configuration");
     for (k, v) in table2() {
-        println!("{k:<16} {v}");
+        w!(out, "{k:<16} {v}");
     }
+    out
 }
 
-fn print_table3() {
-    header("Table III: hardware resource cost (model) — paper: +0.918% core LUT, +0.258% core FF");
-    println!(
+fn report_table3() -> String {
+    let mut out = String::new();
+    header(
+        &mut out,
+        "Table III: hardware resource cost (model) — paper: +0.918% core LUT, +0.258% core FF",
+    );
+    w!(
+        out,
         "{:<16} | {:>6} {:>8} | {:>6} {:>8} | {:>6} {:>8} | {:>6} {:>8} | {:>6} | {:>7}",
-        "", "coreLUT", "%", "coreFF", "%", "sysLUT", "%", "sysFF", "%", "WSS", "Fmax"
+        "",
+        "coreLUT",
+        "%",
+        "coreFF",
+        "%",
+        "sysLUT",
+        "%",
+        "sysFF",
+        "%",
+        "WSS",
+        "Fmax"
     );
     for row in run_table3() {
-        println!("{row}");
+        w!(out, "{row}");
     }
+    out
 }
 
-fn print_hwdetail() {
-    header("Table III detail: structural component breakdown");
+fn report_hwdetail() -> String {
+    let mut out = String::new();
+    header(&mut out, "Table III detail: structural component breakdown");
     let cfg = ptstore_hwcost::BoomConfig::small_boom();
-    println!("-- baseline core --");
+    w!(out, "-- baseline core --");
     for c in cfg.components() {
-        println!("  {c}");
+        w!(out, "  {c}");
     }
-    println!("-- PTStore delta (the 58 Chisel lines of Table I, as gates) --");
+    w!(
+        out,
+        "-- PTStore delta (the 58 Chisel lines of Table I, as gates) --"
+    );
     for c in ptstore_hwcost::ptstore_delta(cfg.pmp_entries) {
-        println!("  {c}");
+        w!(out, "  {c}");
     }
-    println!("-- uncore --");
+    w!(out, "-- uncore --");
     for c in ptstore_hwcost::peripherals() {
-        println!("  {c}");
+        w!(out, "  {c}");
     }
     let p = ptstore_hwcost::estimate(&cfg);
-    println!("-- dynamic power (normalised; §III-C2 argument) --");
-    println!("  baseline core        {:.4}", p.baseline);
-    println!(
+    w!(out, "-- dynamic power (normalised; §III-C2 argument) --");
+    w!(out, "  baseline core        {:.4}", p.baseline);
+    w!(
+        out,
         "  with PTStore         {:.4}  (+{:.3}%)",
         p.with_ptstore,
         (p.with_ptstore - p.baseline) / p.baseline * 100.0
     );
-    println!(
+    w!(
+        out,
         "  with NPT unit instead {:.4}  (+{:.3}%) — the alternative the paper rejects",
         p.with_npt,
         (p.with_npt - p.baseline) / p.baseline * 100.0
     );
+    out
 }
 
-fn print_ltp(scale: &Scale) {
-    header("§V-C: LTP-style regression (output diff between kernels)");
-    let r = run_ltp(scale);
-    println!("test cases per kernel : {}", r.cases);
-    println!("deviations            : {}", r.deviations.len());
+fn report_ltp(scale: &Scale, jobs: usize) -> String {
+    let mut out = String::new();
+    header(
+        &mut out,
+        "§V-C: LTP-style regression (output diff between kernels)",
+    );
+    let r = run_ltp_jobs(scale, jobs);
+    w!(out, "test cases per kernel : {}", r.cases);
+    w!(out, "deviations            : {}", r.deviations.len());
     for d in &r.deviations {
-        println!("  DEVIATION: {d}");
+        w!(out, "  DEVIATION: {d}");
     }
     if r.deviations.is_empty() {
-        println!("=> no deviation: the PTStore kernel behaves identically (paper: same result)");
+        w!(
+            out,
+            "=> no deviation: the PTStore kernel behaves identically (paper: same result)"
+        );
     }
+    out
 }
 
-fn print_series_table(series: &[OverheadSeries]) {
-    println!(
+fn series_table(out: &mut String, series: &[OverheadSeries]) {
+    w!(
+        out,
         "{:<24} {:>12} {:>12} {:>12}",
-        "benchmark", "CFI %", "CFI+PTStore %", "PTStore-only %"
+        "benchmark",
+        "CFI %",
+        "CFI+PTStore %",
+        "PTStore-only %"
     );
     for s in series {
         let cfi = s.overhead_of("CFI").unwrap_or(0.0);
         let both = s.overhead_of("CFI+PTStore").unwrap_or(0.0);
-        println!(
+        w!(
+            out,
             "{:<24} {:>12.2} {:>12.2} {:>12.2}",
             s.benchmark,
             cfi,
@@ -252,32 +337,49 @@ fn print_series_table(series: &[OverheadSeries]) {
     }
 }
 
-fn print_fig4(scale: &Scale) {
-    header(&format!(
-        "Figure 4: LMBench microbenchmark overheads ({} iterations)",
-        scale.lmbench_iters
-    ));
-    let series = run_fig4(scale);
-    print_series_table(&series);
-    write_series_csv("fig4_lmbench", &series);
-    println!(
+fn report_fig4(scale: &Scale, jobs: usize) -> String {
+    let mut out = String::new();
+    header(
+        &mut out,
+        &format!(
+            "Figure 4: LMBench microbenchmark overheads ({} iterations)",
+            scale.lmbench_iters
+        ),
+    );
+    let series = run_fig4_jobs(scale, jobs);
+    series_table(&mut out, &series);
+    write_series_csv(&mut out, "fig4_lmbench", &series);
+    w!(
+        out,
         "average: CFI {:.2}%, CFI+PTStore {:.2}% (paper: PTStore adds no significant syscall overhead)",
         average_overhead(&series, "CFI"),
         average_overhead(&series, "CFI+PTStore"),
     );
+    out
 }
 
-fn print_stress(scale: &Scale) {
-    header(&format!(
-        "§V-D1: fork stress — {} simultaneous processes (paper: 30,000; 2.84% / 6.83% / 3.77%)",
-        scale.stress_procs
-    ));
-    println!(
-        "{:<18} {:>14} {:>10} {:>12} {:>10} {:>14}",
-        "config", "cycles", "overhead%", "adjustments", "migrated", "region (MiB)"
+fn report_stress(scale: &Scale, jobs: usize) -> String {
+    let mut out = String::new();
+    header(
+        &mut out,
+        &format!(
+            "§V-D1: fork stress — {} simultaneous processes (paper: 30,000; 2.84% / 6.83% / 3.77%)",
+            scale.stress_procs
+        ),
     );
-    for row in run_stress(scale) {
-        println!(
+    w!(
+        out,
+        "{:<18} {:>14} {:>10} {:>12} {:>10} {:>14}",
+        "config",
+        "cycles",
+        "overhead%",
+        "adjustments",
+        "migrated",
+        "region (MiB)"
+    );
+    for row in run_stress_jobs(scale, jobs) {
+        w!(
+            out,
             "{:<18} {:>14} {:>10.2} {:>12} {:>10} {:>14}",
             row.label,
             row.result.cycles,
@@ -290,67 +392,99 @@ fn print_stress(scale: &Scale) {
                 .unwrap_or_else(|| "-".to_string()),
         );
     }
+    out
 }
 
-fn print_fig5(scale: &Scale) {
-    header("Figure 5: SPEC CINT2006 execution-time overheads (paper: <0.91% CFI+PTStore, <0.29% PTStore alone)");
-    let series = run_fig5(scale);
-    print_series_table(&series);
-    write_series_csv("fig5_spec", &series);
-    println!(
+fn report_fig5(scale: &Scale, jobs: usize) -> String {
+    let mut out = String::new();
+    header(
+        &mut out,
+        "Figure 5: SPEC CINT2006 execution-time overheads (paper: <0.91% CFI+PTStore, <0.29% PTStore alone)",
+    );
+    let series = run_fig5_jobs(scale, jobs);
+    series_table(&mut out, &series);
+    write_series_csv(&mut out, "fig5_spec", &series);
+    w!(
+        out,
         "average: CFI+PTStore {:.3}% (PTStore-only {:.3}%)",
         average_overhead(&series, "CFI+PTStore"),
         average_overhead(&series, "CFI+PTStore") - average_overhead(&series, "CFI"),
     );
+    out
 }
 
-fn print_fig6(scale: &Scale) {
-    header(&format!(
-        "Figure 6: NGINX overheads — {} requests, 100 concurrent (paper: <8.18% incl. CFI, <0.86% PTStore)",
-        scale.nginx_requests
-    ));
-    let series = run_fig6(scale);
-    print_series_table(&series);
-    write_series_csv("fig6_nginx", &series);
-    println!(
+fn report_fig6(scale: &Scale, jobs: usize) -> String {
+    let mut out = String::new();
+    header(
+        &mut out,
+        &format!(
+            "Figure 6: NGINX overheads — {} requests, 100 concurrent (paper: <8.18% incl. CFI, <0.86% PTStore)",
+            scale.nginx_requests
+        ),
+    );
+    let series = run_fig6_jobs(scale, jobs);
+    series_table(&mut out, &series);
+    write_series_csv(&mut out, "fig6_nginx", &series);
+    w!(
+        out,
         "average: CFI+PTStore {:.2}%, PTStore-only {:.2}%",
         average_overhead(&series, "CFI+PTStore"),
         average_overhead(&series, "CFI+PTStore") - average_overhead(&series, "CFI"),
     );
+    out
 }
 
-fn print_fig7(scale: &Scale) {
-    header(&format!(
-        "Figure 7: Redis overheads — {} requests/test, 50 connections (paper: <8.18% incl. CFI, <0.86% PTStore)",
-        scale.redis_requests
-    ));
-    let series = run_fig7(scale);
-    print_series_table(&series);
-    write_series_csv("fig7_redis", &series);
-    println!(
+fn report_fig7(scale: &Scale, jobs: usize) -> String {
+    let mut out = String::new();
+    header(
+        &mut out,
+        &format!(
+            "Figure 7: Redis overheads — {} requests/test, 50 connections (paper: <8.18% incl. CFI, <0.86% PTStore)",
+            scale.redis_requests
+        ),
+    );
+    let series = run_fig7_jobs(scale, jobs);
+    series_table(&mut out, &series);
+    write_series_csv(&mut out, "fig7_redis", &series);
+    w!(
+        out,
         "average: CFI+PTStore {:.2}%, PTStore-only {:.2}%",
         average_overhead(&series, "CFI+PTStore"),
         average_overhead(&series, "CFI+PTStore") - average_overhead(&series, "CFI"),
     );
+    out
 }
 
-fn print_security(trace_file: Option<&std::path::Path>, harts: usize) {
+fn report_security(trace_file: Option<&std::path::Path>, harts: usize) -> String {
+    let mut out = String::new();
     if harts > 1 {
-        header(&format!(
-            "§V-E: security matrix (attack × defense; fresh {harts}-hart kernel per cell)"
-        ));
+        header(
+            &mut out,
+            &format!(
+                "§V-E: security matrix (attack × defense; fresh {harts}-hart kernel per cell)"
+            ),
+        );
     } else {
-        header("§V-E: security matrix (attack × defense; fresh kernel per cell)");
+        header(
+            &mut out,
+            "§V-E: security matrix (attack × defense; fresh kernel per cell)",
+        );
     }
     for report in run_security_with_harts(harts) {
         let tokens = if report.tokens { "" } else { " [tokens off]" };
-        println!("{report}{tokens}");
+        w!(out, "{report}{tokens}");
     }
-    println!("=> PTStore (full design) blocks every attack; see EXPERIMENTS.md");
+    w!(
+        out,
+        "=> PTStore (full design) blocks every attack; see EXPERIMENTS.md"
+    );
 
-    let Some(path) = trace_file else { return };
-    println!();
-    println!("-- traced PTStore rows (which check stopped each attack) --");
+    let Some(path) = trace_file else { return out };
+    w!(out);
+    w!(
+        out,
+        "-- traced PTStore rows (which check stopped each attack) --"
+    );
     let cells = run_security_traced();
     for cell in &cells {
         let tokens = if cell.report.tokens {
@@ -363,7 +497,8 @@ fn print_security(trace_file: Option<&std::path::Path>, harts: usize) {
             .map(|l| l.to_string())
             .unwrap_or_else(|| "-".to_string());
         let c = &cell.counters;
-        println!(
+        w!(
+            out,
             "{:<20}{:<14} -> {:<18} ({} events: {} pmp checks/{} denied, {} ptw steps/{} rejected, {} token ops/{} rejected)",
             cell.report.attack.to_string(),
             tokens,
@@ -386,24 +521,36 @@ fn print_security(trace_file: Option<&std::path::Path>, harts: usize) {
     }
     json.push(']');
     match std::fs::write(path, json) {
-        Ok(()) => println!("(trace written to {})", path.display()),
+        Ok(()) => {
+            w!(out, "(trace written to {})", path.display());
+        }
         Err(e) => eprintln!("error: cannot write trace file {}: {e}", path.display()),
     }
+    out
 }
 
-fn print_smp(scale: &Scale, harts: usize) {
+fn report_smp(scale: &Scale, harts: usize, jobs: usize) -> String {
+    let mut out = String::new();
     // `reproduce smp` without --harts compares against a 4-hart machine.
     let harts = if harts > 1 { harts } else { 4 };
-    header(&format!(
-        "SMP scaling: hart-distributed workloads, 1 vs {harts} harts (CFI+PTStore)"
-    ));
-    let rows = run_smp(scale, harts);
-    println!(
+    header(
+        &mut out,
+        &format!("SMP scaling: hart-distributed workloads, 1 vs {harts} harts (CFI+PTStore)"),
+    );
+    let rows = run_smp_jobs(scale, harts, jobs);
+    w!(
+        out,
         "{:<14} {:>14} {:>14} {:>9} {:>12} {:>10}",
-        "workload", "1-hart ops/kc", "N-hart ops/kc", "speedup", "shootdowns", "IPIs"
+        "workload",
+        "1-hart ops/kc",
+        "N-hart ops/kc",
+        "speedup",
+        "shootdowns",
+        "IPIs"
     );
     for r in &rows {
-        println!(
+        w!(
+            out,
             "{:<14} {:>14.3} {:>14.3} {:>8.2}x {:>12} {:>10}",
             r.workload,
             r.single.ops_per_kilocycle(),
@@ -418,9 +565,11 @@ fn print_smp(scale: &Scale, harts: usize) {
             .iter()
             .map(|h| format!("hart{} {:>5.1}%", h.hart, h.utilization * 100.0))
             .collect();
-        println!("{:<14} per-hart utilization: {}", "", util.join("  "));
+        w!(out, "{:<14} per-hart utilization: {}", "", util.join("  "));
     }
-    println!(
+    w!(
+        out,
         "=> ops per modeled cycle must rise with the hart count; shootdown IPIs are the price"
     );
+    out
 }

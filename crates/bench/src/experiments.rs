@@ -11,10 +11,12 @@ use ptstore_workloads::fork_stress::{run_fork_stress, stress_configs, ForkStress
 use ptstore_workloads::nginx::{run_nginx, NginxParams, RESPONSE_SIZES};
 use ptstore_workloads::redis::{run_redis_test, RedisParams, REDIS_TESTS};
 use ptstore_workloads::regression::{diff_outputs, run_suite, TestOutput};
-use ptstore_workloads::report::{measure, overhead_pct, standard_configs, OverheadSeries};
+use ptstore_workloads::report::{overhead_pct, standard_configs, OverheadSeries};
 use ptstore_workloads::smp::{run_fork_stress_smp, run_nginx_smp, run_redis_smp, SmpRunReport};
 use ptstore_workloads::spec::{run_spec, SPEC_CINT2006};
 use ptstore_workloads::{lmbench, Measurement};
+
+use crate::par::par_map;
 
 /// Scale knobs: `paper()` matches the publication; `quick()` runs in
 /// seconds for CI and Criterion.
@@ -186,6 +188,11 @@ pub struct LtpResult {
 /// Runs the regression suite on the original and modified kernels and diffs
 /// the outputs (paper §V-C).
 pub fn run_ltp(scale: &Scale) -> LtpResult {
+    run_ltp_jobs(scale, 1)
+}
+
+/// [`run_ltp`] with the two kernels' suites run on up to `jobs` threads.
+pub fn run_ltp_jobs(scale: &Scale, jobs: usize) -> LtpResult {
     let mk = |cfg: KernelConfig| {
         let scale = *scale;
         move || {
@@ -198,8 +205,10 @@ pub fn run_ltp(scale: &Scale) -> LtpResult {
             Kernel::boot(cfg).expect("boot")
         }
     };
-    let original = run_suite(mk(KernelConfig::cfi()));
-    let modified = run_suite(mk(KernelConfig::cfi_ptstore()));
+    let configs = [KernelConfig::cfi(), KernelConfig::cfi_ptstore()];
+    let mut suites = par_map(jobs, &configs, |cfg| run_suite(mk(*cfg)));
+    let modified = suites.pop().expect("two suites");
+    let original = suites.pop().expect("two suites");
     let deviations = diff_outputs(&original, &modified);
     LtpResult {
         cases: original.len(),
@@ -209,20 +218,72 @@ pub fn run_ltp(scale: &Scale) -> LtpResult {
 }
 
 // ---------------------------------------------------------------------
+// Grid measurement — shared per-point fan-out
+// ---------------------------------------------------------------------
+
+/// Measures a (benchmark × configuration) grid with up to `jobs` points in
+/// flight. Every point boots a fresh kernel, so points are independent and
+/// the assembled series are identical at any job count; the first
+/// configuration of each series is its baseline, as in
+/// [`measure`](ptstore_workloads::report::measure).
+fn measure_grid<B: Sync>(
+    jobs: usize,
+    configs: &[KernelConfig],
+    benches: &[B],
+    name: impl Fn(&B) -> String,
+    run: impl Fn(&B, &mut Kernel) -> u64 + Sync,
+) -> Vec<OverheadSeries> {
+    assert!(!configs.is_empty(), "need at least a baseline config");
+    let points: Vec<(usize, usize)> = (0..benches.len())
+        .flat_map(|b| (0..configs.len()).map(move |c| (b, c)))
+        .collect();
+    let cycles = par_map(jobs, &points, |&(b, c)| {
+        let mut k = Kernel::boot(configs[c]).expect("kernel boots");
+        run(&benches[b], &mut k)
+    });
+    benches
+        .iter()
+        .enumerate()
+        .map(|(b, bench)| {
+            let baseline = cycles[b * configs.len()];
+            OverheadSeries {
+                benchmark: name(bench),
+                entries: configs
+                    .iter()
+                    .enumerate()
+                    .map(|(c, cfg)| {
+                        let cy = cycles[b * configs.len() + c];
+                        Measurement {
+                            label: cfg.label(),
+                            cycles: cy,
+                            overhead_pct: overhead_pct(cy, baseline),
+                        }
+                    })
+                    .collect(),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
 // Figure 4 — LMBench
 // ---------------------------------------------------------------------
 
 /// Runs every Figure 4 microbenchmark across baseline/CFI/CFI+PTStore.
 pub fn run_fig4(scale: &Scale) -> Vec<OverheadSeries> {
+    run_fig4_jobs(scale, 1)
+}
+
+/// [`run_fig4`] with up to `jobs` (benchmark × config) points in flight.
+pub fn run_fig4_jobs(scale: &Scale, jobs: usize) -> Vec<OverheadSeries> {
     let configs = standard_configs(scale.mem_size, scale.secure_size.min(scale.mem_size / 4));
-    lmbench::MICROBENCHMARKS
-        .iter()
-        .map(|name| {
-            measure(name, &configs, |k| {
-                lmbench::run(name, k, scale.lmbench_iters)
-            })
-        })
-        .collect()
+    measure_grid(
+        jobs,
+        &configs,
+        &lmbench::MICROBENCHMARKS,
+        |name: &&str| name.to_string(),
+        |name, k| lmbench::run(name, k, scale.lmbench_iters),
+    )
 }
 
 // ---------------------------------------------------------------------
@@ -242,6 +303,13 @@ pub struct StressRow {
 
 /// Runs the §V-D1 stress at the given scale across the four configurations.
 pub fn run_stress(scale: &Scale) -> Vec<StressRow> {
+    run_stress_jobs(scale, 1)
+}
+
+/// [`run_stress`] with up to `jobs` configurations in flight. The baseline
+/// is still the first configuration's result; each point boots a fresh
+/// kernel, so the rows are identical at any job count.
+pub fn run_stress_jobs(scale: &Scale, jobs: usize) -> Vec<StressRow> {
     // The small-region configuration is sized so adjustments must fire, as
     // the paper's 64 MiB does for 30 000 processes.
     let small_region = (scale.stress_procs * 6 * ptstore_core::PAGE_SIZE / 10)
@@ -249,21 +317,25 @@ pub fn run_stress(scale: &Scale) -> Vec<StressRow> {
         .next_power_of_two()
         / 2;
     let configs = stress_configs(scale.mem_size, small_region, scale.stress_large_region);
-    let mut rows = Vec::new();
-    let mut baseline = 0u64;
-    for (i, cfg) in configs.iter().enumerate() {
+    let results = par_map(jobs, &configs, |cfg| {
         let mut k = Kernel::boot(*cfg).expect("boot");
-        let result = run_fork_stress(&mut k, scale.stress_procs).expect("stress");
-        if i == 0 {
-            baseline = result.cycles;
-        }
-        rows.push(StressRow {
-            label: cfg.label(),
-            result,
-            overhead_pct: overhead_pct(result.cycles, baseline),
-        });
-    }
-    rows
+        (
+            cfg.label(),
+            run_fork_stress(&mut k, scale.stress_procs).expect("stress"),
+        )
+    });
+    let baseline = results[0].1.cycles;
+    results
+        .into_iter()
+        .map(|(label, result)| {
+            let overhead_pct = overhead_pct(result.cycles, baseline);
+            StressRow {
+                label,
+                result,
+                overhead_pct,
+            }
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------
@@ -272,11 +344,19 @@ pub fn run_stress(scale: &Scale) -> Vec<StressRow> {
 
 /// Runs every SPEC-shaped benchmark across the three configurations.
 pub fn run_fig5(scale: &Scale) -> Vec<OverheadSeries> {
+    run_fig5_jobs(scale, 1)
+}
+
+/// [`run_fig5`] with up to `jobs` (benchmark × config) points in flight.
+pub fn run_fig5_jobs(scale: &Scale, jobs: usize) -> Vec<OverheadSeries> {
     let configs = standard_configs(scale.mem_size, scale.secure_size.min(scale.mem_size / 4));
-    SPEC_CINT2006
-        .iter()
-        .map(|p| measure(p.name, &configs, |k| run_spec(k, p)))
-        .collect()
+    measure_grid(
+        jobs,
+        &configs,
+        &SPEC_CINT2006,
+        |p: &ptstore_workloads::spec::SpecProfile| p.name.to_string(),
+        |p, k| run_spec(k, p),
+    )
 }
 
 // ---------------------------------------------------------------------
@@ -285,19 +365,26 @@ pub fn run_fig5(scale: &Scale) -> Vec<OverheadSeries> {
 
 /// Runs the NGINX benchmark per response size across the configurations.
 pub fn run_fig6(scale: &Scale) -> Vec<OverheadSeries> {
+    run_fig6_jobs(scale, 1)
+}
+
+/// [`run_fig6`] with up to `jobs` (benchmark × config) points in flight.
+pub fn run_fig6_jobs(scale: &Scale, jobs: usize) -> Vec<OverheadSeries> {
     let configs = standard_configs(scale.mem_size, scale.secure_size.min(scale.mem_size / 4));
-    RESPONSE_SIZES
-        .iter()
-        .map(|&size| {
+    measure_grid(
+        jobs,
+        &configs,
+        &RESPONSE_SIZES,
+        |size: &u64| format!("nginx {}KiB", size >> 10),
+        |&size, k| {
             let params = NginxParams {
                 requests: scale.nginx_requests,
                 concurrency: 100,
                 ..NginxParams::paper(size)
             };
-            let label = format!("nginx {}KiB", size >> 10);
-            measure(&label, &configs, |k| run_nginx(k, &params))
-        })
-        .collect()
+            run_nginx(k, &params)
+        },
+    )
 }
 
 // ---------------------------------------------------------------------
@@ -306,15 +393,23 @@ pub fn run_fig6(scale: &Scale) -> Vec<OverheadSeries> {
 
 /// Runs the redis-benchmark command list across the configurations.
 pub fn run_fig7(scale: &Scale) -> Vec<OverheadSeries> {
+    run_fig7_jobs(scale, 1)
+}
+
+/// [`run_fig7`] with up to `jobs` (benchmark × config) points in flight.
+pub fn run_fig7_jobs(scale: &Scale, jobs: usize) -> Vec<OverheadSeries> {
     let configs = standard_configs(scale.mem_size, scale.secure_size.min(scale.mem_size / 4));
     let params = RedisParams {
         requests: scale.redis_requests,
         connections: 50,
     };
-    REDIS_TESTS
-        .iter()
-        .map(|t| measure(t.name, &configs, |k| run_redis_test(k, t, &params)))
-        .collect()
+    measure_grid(
+        jobs,
+        &configs,
+        &REDIS_TESTS,
+        |t: &ptstore_workloads::redis::RedisTest| t.name.to_string(),
+        |t, k| run_redis_test(k, t, &params),
+    )
 }
 
 // ---------------------------------------------------------------------
@@ -372,6 +467,11 @@ impl SmpComparison {
 /// # Panics
 /// Panics when `harts` is 0 or the kernel fails to boot.
 pub fn run_smp(scale: &Scale, harts: usize) -> Vec<SmpComparison> {
+    run_smp_jobs(scale, harts, 1)
+}
+
+/// [`run_smp`] with up to `jobs` (workload × hart-count) points in flight.
+pub fn run_smp_jobs(scale: &Scale, harts: usize, jobs: usize) -> Vec<SmpComparison> {
     assert!(harts >= 1, "need at least one hart");
     let boot = |h: usize| {
         Kernel::boot(
@@ -391,34 +491,28 @@ pub fn run_smp(scale: &Scale, harts: usize) -> Vec<SmpComparison> {
         connections: 50,
     };
     let redis_get = &REDIS_TESTS[3];
-    let mut out = Vec::new();
-    type SmpDriver<'a> = Box<dyn Fn(&mut Kernel) -> SmpRunReport + 'a>;
-    let pairs: [(&str, SmpDriver); 3] = [
-        (
-            "nginx 4k",
-            Box::new(move |k| run_nginx_smp(k, &nginx_params)),
-        ),
-        (
-            "redis GET",
-            Box::new(move |k| run_redis_smp(k, redis_get, &redis_params)),
-        ),
-        (
-            "fork stress",
-            Box::new(move |k| run_fork_stress_smp(k, scale.stress_procs.min(2_000))),
-        ),
-    ];
-    for (name, run) in &pairs {
-        let mut k1 = boot(1);
-        let single = run(&mut k1);
-        let mut kn = boot(harts);
-        let multi = run(&mut kn);
-        out.push(SmpComparison {
+    let names = ["nginx 4k", "redis GET", "fork stress"];
+    // One point per (workload, hart count); each boots a fresh machine.
+    let points: Vec<(usize, usize)> = (0..names.len())
+        .flat_map(|w| [(w, 1), (w, harts)])
+        .collect();
+    let reports: Vec<SmpRunReport> = par_map(jobs, &points, |&(w, h)| {
+        let mut k = boot(h);
+        match w {
+            0 => run_nginx_smp(&mut k, &nginx_params),
+            1 => run_redis_smp(&mut k, redis_get, &redis_params),
+            _ => run_fork_stress_smp(&mut k, scale.stress_procs.min(2_000)),
+        }
+    });
+    names
+        .iter()
+        .enumerate()
+        .map(|(w, name)| SmpComparison {
             workload: (*name).to_string(),
-            single,
-            multi,
-        });
-    }
-    out
+            single: reports[2 * w].clone(),
+            multi: reports[2 * w + 1].clone(),
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------

@@ -5,6 +5,8 @@
 //! results so callers can print, assert, or benchmark them.
 
 pub mod experiments;
+pub mod par;
 
 pub use experiments::*;
+pub use par::par_map;
 pub use ptstore_workloads::{Measurement, OverheadSeries};

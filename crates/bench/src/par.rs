@@ -1,0 +1,66 @@
+//! Deterministic scoped-thread fan-out for independent experiment points.
+//!
+//! Every experiment point in `reproduce` boots a fresh kernel and is fully
+//! deterministic, so points can run on any thread in any order as long as
+//! results are merged back in input order. [`par_map`] does exactly that:
+//! a work-stealing index over `items`, results written to their original
+//! positions, `jobs <= 1` degenerating to a plain sequential map.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Applies `f` to every item on up to `jobs` scoped threads, returning
+/// results in input order. With `jobs <= 1` (or a single item) it runs
+/// inline with no threads.
+///
+/// # Panics
+/// Propagates a panic from `f` (the scope joins all workers first).
+pub fn par_map<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    if jobs <= 1 || n <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(n) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&items[i]);
+                *results[i].lock().expect("result slot") = Some(r);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("result slot").expect("worker filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_at_any_job_count() {
+        let items: Vec<u64> = (0..37).collect();
+        let expect: Vec<u64> = items.iter().map(|i| i * i).collect();
+        for jobs in [1, 2, 3, 8, 64] {
+            assert_eq!(par_map(jobs, &items, |&i| i * i), expect, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(par_map(4, &[] as &[u64], |&i| i), Vec::<u64>::new());
+        assert_eq!(par_map(4, &[9u64], |&i| i + 1), vec![10]);
+    }
+}

@@ -44,6 +44,7 @@
 pub mod addr;
 pub mod channel;
 pub mod error;
+pub mod fastpath;
 pub mod pmp;
 pub mod policy;
 pub mod privilege;

@@ -1,0 +1,217 @@
+//! Differential property tests for the PMP per-page match cache.
+//!
+//! The epoch-tagged page-match cache is a host-side memoization of the
+//! priority scan over the eight PMP entries. It must be invisible: for any
+//! interleaving of `pmpcfg`/`pmpaddr` writes, secure-region installs and
+//! in-place updates (the `adjust_secure_region` path), and access checks,
+//! the cached unit must return byte-identical verdicts — including the
+//! exact `AccessError` variant — to an uncached one. Entry ranges are drawn
+//! so that TOR/NA4/NAPOT boundaries frequently land *inside* a page, which
+//! is exactly the case the cache must refuse to summarize (`Mixed` pages).
+
+use proptest::prelude::*;
+use ptstore_core::prelude::*;
+use ptstore_core::{PmpEntry, PmpPermissions};
+
+/// Probe space: a few MiB so that the handful of PMP entries cover a
+/// meaningful fraction and both match and no-match cases are common.
+const ADDR_SPACE: u64 = 1 << 22;
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Raw CSR write: arbitrary cfg byte (mode, R/W/X, S, L) + pmpaddr.
+    SetEntry { index: usize, cfg: u8, addr: u64 },
+    /// `install_secure_region` — allocates the dedicated S entry.
+    Install { base_page: u64, pages: u64 },
+    /// `update_secure_region` — the `adjust_secure_region` hot path.
+    Update { base_page: u64, pages: u64 },
+    /// An access check; must yield identical `Result<(), AccessError>`.
+    Check {
+        addr: u64,
+        kind: AccessKind,
+        channel: Channel,
+        satp_s: bool,
+    },
+    /// Secure-region membership probe.
+    IsSecure { addr: u64 },
+}
+
+fn arb_kind() -> impl Strategy<Value = AccessKind> {
+    prop_oneof![
+        Just(AccessKind::Read),
+        Just(AccessKind::Write),
+        Just(AccessKind::Execute),
+    ]
+}
+
+fn arb_channel() -> impl Strategy<Value = Channel> {
+    prop_oneof![
+        Just(Channel::Regular),
+        Just(Channel::SecurePt),
+        Just(Channel::Ptw),
+    ]
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0usize..8, any::<u8>(), 0..(ADDR_SPACE >> 2))
+            .prop_map(|(index, cfg, addr)| Op::SetEntry { index, cfg, addr }),
+        1 => (1u64..256, 1u64..128)
+            .prop_map(|(base_page, pages)| Op::Install { base_page, pages }),
+        2 => (1u64..256, 1u64..128)
+            .prop_map(|(base_page, pages)| Op::Update { base_page, pages }),
+        10 => (0..ADDR_SPACE, arb_kind(), arb_channel(), any::<bool>())
+            .prop_map(|(addr, kind, channel, satp_s)| Op::Check {
+                addr: addr & !0b111,
+                kind,
+                channel,
+                satp_s,
+            }),
+        2 => (0..ADDR_SPACE).prop_map(|addr| Op::IsSecure { addr }),
+    ]
+}
+
+/// Applies one op; returns a comparable summary of any observable output.
+fn apply(pmp: &mut PmpUnit, op: Op) -> Result<bool, AccessError> {
+    match op {
+        Op::SetEntry { index, cfg, addr } => {
+            pmp.set_entry(
+                index,
+                PmpEntry {
+                    cfg: PmpPermissions::from_bits(cfg),
+                    addr,
+                },
+            );
+            Ok(true)
+        }
+        Op::Install { base_page, pages } => {
+            let region = SecureRegion::new(PhysAddr::new(base_page * PAGE_SIZE), pages * PAGE_SIZE)
+                .expect("page-aligned region");
+            Ok(pmp.install_secure_region(&region).is_ok())
+        }
+        Op::Update { base_page, pages } => {
+            let region = SecureRegion::new(PhysAddr::new(base_page * PAGE_SIZE), pages * PAGE_SIZE)
+                .expect("page-aligned region");
+            Ok(pmp.update_secure_region(&region).is_ok())
+        }
+        Op::Check {
+            addr,
+            kind,
+            channel,
+            satp_s,
+        } => pmp
+            .check(
+                PhysAddr::new(addr),
+                kind,
+                channel,
+                AccessContext::supervisor(satp_s),
+            )
+            .map(|()| true),
+        Op::IsSecure { addr } => Ok(pmp.is_secure(PhysAddr::new(addr))),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// A cached and an uncached PMP unit agree on every check verdict
+    /// (down to the error variant), every `is_secure` probe, and every
+    /// region-install result across random interleavings of CSR writes,
+    /// secure-region installs/updates, and checks.
+    #[test]
+    fn match_cache_never_diverges_from_scan(
+        ops in proptest::collection::vec(arb_op(), 1..64),
+    ) {
+        let mut fast = PmpUnit::new();
+        fast.set_fast_path(true);
+        let mut slow = PmpUnit::new();
+        slow.set_fast_path(false);
+        prop_assert!(fast.fast_path());
+        prop_assert!(!slow.fast_path());
+
+        for (i, &op) in ops.iter().enumerate() {
+            let a = apply(&mut fast, op);
+            let b = apply(&mut slow, op);
+            prop_assert_eq!(a, b, "op {} = {:?} diverged", i, op);
+        }
+
+        // The units themselves must still be architecturally equal (the
+        // match cache is excluded from PartialEq by construction).
+        prop_assert_eq!(&fast, &slow);
+
+        // Dense final sweep: every page the random checks missed, probed
+        // at the page base and at an offset, through every channel.
+        for page in 0..(ADDR_SPACE / PAGE_SIZE) {
+            for offset in [0u64, 0x40] {
+                let pa = PhysAddr::new(page * PAGE_SIZE + offset);
+                for channel in [Channel::Regular, Channel::SecurePt, Channel::Ptw] {
+                    let ctx = AccessContext::supervisor(true);
+                    prop_assert_eq!(
+                        fast.check(pa, AccessKind::Write, channel, ctx),
+                        slow.check(pa, AccessKind::Write, channel, ctx),
+                        "final sweep {:#x} {} diverged", pa.as_u64(), channel
+                    );
+                }
+                prop_assert_eq!(fast.is_secure(pa), slow.is_secure(pa));
+            }
+        }
+    }
+
+    /// The cache stays coherent when the secure region is repeatedly
+    /// resized in place via `update_secure_region` between checks — the
+    /// exact shape of the kernel's `adjust_secure_region` migration loop.
+    #[test]
+    fn region_growth_invalidates_cached_pages(
+        base_page in 1u64..64,
+        sizes in proptest::collection::vec(1u64..64, 2..10),
+        probes in proptest::collection::vec(0..ADDR_SPACE, 8..32),
+    ) {
+        let mut fast = PmpUnit::new();
+        fast.set_fast_path(true);
+        let mut slow = PmpUnit::new();
+        slow.set_fast_path(false);
+
+        let first = SecureRegion::new(
+            PhysAddr::new(base_page * PAGE_SIZE),
+            sizes[0] * PAGE_SIZE,
+        ).expect("aligned");
+        prop_assert_eq!(
+            fast.install_secure_region(&first).is_ok(),
+            slow.install_secure_region(&first).is_ok()
+        );
+
+        for &pages in &sizes[1..] {
+            // Warm the cache on pages near the moving boundary...
+            for &probe in &probes {
+                let pa = PhysAddr::new(probe & !0b111);
+                let ctx = AccessContext::supervisor(true);
+                prop_assert_eq!(
+                    fast.check(pa, AccessKind::Read, Channel::Regular, ctx),
+                    slow.check(pa, AccessKind::Read, Channel::Regular, ctx),
+                    "pre-update probe {:#x}", pa.as_u64()
+                );
+            }
+            // ...then move the boundary and require every verdict to track.
+            let region = SecureRegion::new(
+                PhysAddr::new(base_page * PAGE_SIZE),
+                pages * PAGE_SIZE,
+            ).expect("aligned");
+            prop_assert_eq!(
+                fast.update_secure_region(&region).is_ok(),
+                slow.update_secure_region(&region).is_ok()
+            );
+            for &probe in &probes {
+                let pa = PhysAddr::new(probe & !0b111);
+                for channel in [Channel::Regular, Channel::SecurePt, Channel::Ptw] {
+                    let ctx = AccessContext::supervisor(true);
+                    prop_assert_eq!(
+                        fast.check(pa, AccessKind::Write, channel, ctx),
+                        slow.check(pa, AccessKind::Write, channel, ctx),
+                        "post-update probe {:#x} {}", pa.as_u64(), channel
+                    );
+                }
+                prop_assert_eq!(fast.is_secure(pa), slow.is_secure(pa));
+            }
+        }
+    }
+}

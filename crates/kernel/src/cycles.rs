@@ -54,6 +54,29 @@ pub enum CostKind {
     Io,
 }
 
+impl CostKind {
+    /// Every kind, in declaration (and `Ord`) order. The discriminant is
+    /// the index into [`CycleCounter`]'s accumulator array.
+    pub const ALL: [CostKind; 16] = [
+        CostKind::User,
+        CostKind::Kernel,
+        CostKind::MemAccess,
+        CostKind::TlbMiss,
+        CostKind::CfiCheck,
+        CostKind::PageAlloc,
+        CostKind::PtWrite,
+        CostKind::Token,
+        CostKind::Adjustment,
+        CostKind::Sbi,
+        CostKind::VirtIsolationSwitch,
+        CostKind::TlbFlush,
+        CostKind::ContextSwitch,
+        CostKind::PageFault,
+        CostKind::Ipi,
+        CostKind::Io,
+    ];
+}
+
 /// Tunable cost constants (cycles).
 pub mod cost {
     /// One L1-hit memory access.
@@ -127,10 +150,14 @@ pub mod cost {
 }
 
 /// A cycle accumulator with a per-kind breakdown.
+///
+/// `charge` sits on the hot path of every modeled memory access, so the
+/// per-kind accumulators are a flat array indexed by the `CostKind`
+/// discriminant rather than a map.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CycleCounter {
     total: u64,
-    by_kind: BTreeMap<CostKind, u64>,
+    by_kind: [u64; CostKind::ALL.len()],
 }
 
 impl CycleCounter {
@@ -143,22 +170,28 @@ impl CycleCounter {
     #[inline]
     pub fn charge(&mut self, kind: CostKind, cycles: u64) {
         self.total += cycles;
-        *self.by_kind.entry(kind).or_insert(0) += cycles;
+        self.by_kind[kind as usize] += cycles;
     }
 
     /// Total cycles.
+    #[inline]
     pub fn total(&self) -> u64 {
         self.total
     }
 
     /// Cycles attributed to `kind`.
     pub fn of(&self, kind: CostKind) -> u64 {
-        self.by_kind.get(&kind).copied().unwrap_or(0)
+        self.by_kind[kind as usize]
     }
 
-    /// Full breakdown (sorted by kind).
-    pub fn breakdown(&self) -> &BTreeMap<CostKind, u64> {
-        &self.by_kind
+    /// Full breakdown: the kinds charged so far, sorted, with their totals.
+    pub fn breakdown(&self) -> BTreeMap<CostKind, u64> {
+        CostKind::ALL
+            .iter()
+            .zip(self.by_kind)
+            .filter(|&(_, v)| v != 0)
+            .map(|(&k, v)| (k, v))
+            .collect()
     }
 
     /// Cycles elapsed since an earlier snapshot total.
@@ -170,10 +203,11 @@ impl CycleCounter {
 impl fmt::Display for CycleCounter {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{} cycles", self.total)?;
-        if !self.by_kind.is_empty() {
+        let charged = self.breakdown();
+        if !charged.is_empty() {
             write!(f, " (")?;
             let mut first = true;
-            for (k, v) in &self.by_kind {
+            for (k, v) in charged {
                 if !first {
                     write!(f, ", ")?;
                 }

@@ -151,6 +151,14 @@ impl Pipe {
         self.buf.drain(..n).collect()
     }
 
+    /// Drains up to `len` bytes without returning them; the length-only
+    /// twin of [`Self::read`] for callers that discard the data.
+    pub fn discard(&mut self, len: usize) -> usize {
+        let n = len.min(self.buf.len());
+        self.buf.drain(..n);
+        n
+    }
+
     /// EOF condition: no writers and drained.
     pub fn at_eof(&self) -> bool {
         self.writers == 0 && self.buf.is_empty()

@@ -271,6 +271,20 @@ impl Kernel {
         r
     }
 
+    /// `read()` for callers that discard the data: identical charges, fd
+    /// bookkeeping, and result length as [`Self::sys_read`], without
+    /// materializing the buffer on the host. The macro-workload drivers
+    /// (nginx's sendfile loop, redis payloads) use this.
+    pub fn sys_read_discard(&mut self, fd: i32, len: u64) -> Result<u64, KernelError> {
+        self.syscall_enter(profile::READ);
+        let r = self.do_read_len(fd, len);
+        if let Ok(n) = r {
+            self.charge_copy(n);
+        }
+        self.syscall_exit();
+        r
+    }
+
     fn do_read(&mut self, fd: i32, len: u64) -> Result<Vec<u8>, KernelError> {
         let entry = {
             let p = self
@@ -306,6 +320,48 @@ impl Kernel {
                 Ok(vec![0u8; n as usize])
             }
             FdEntry::Console => Ok(Vec::new()),
+            FdEntry::PipeWrite { .. } => Err(KernelError::BadFd),
+        }
+    }
+
+    /// Length-only twin of [`Self::do_read`]: the same branch structure,
+    /// error paths, fd-offset updates, and pipe/socket drains, returning the
+    /// byte count that `do_read` would have returned as `data.len()`.
+    fn do_read_len(&mut self, fd: i32, len: u64) -> Result<u64, KernelError> {
+        let entry = {
+            let p = self
+                .procs
+                .get(self.current_pid())
+                .ok_or(KernelError::NoSuchProcess)?;
+            p.fds.get(fd).cloned().ok_or(KernelError::BadFd)?
+        };
+        match entry {
+            FdEntry::File { name, offset } => {
+                let n = self
+                    .fs
+                    .read(&name, offset, len)
+                    .ok_or(KernelError::NoSuchFile)?
+                    .len() as u64;
+                let p = self.procs.get_mut(self.current_pid()).expect("exists");
+                if let Some(FdEntry::File { offset, .. }) = p.fds.get_mut(fd) {
+                    *offset += n;
+                }
+                Ok(n)
+            }
+            FdEntry::PipeRead { id } => {
+                let pipe = self.pipes.get_mut(id).ok_or(KernelError::BadFd)?;
+                if pipe.is_empty() && !pipe.at_eof() {
+                    return Err(KernelError::WouldBlock);
+                }
+                Ok(pipe.discard(len as usize) as u64)
+            }
+            FdEntry::Socket { id } => {
+                let s = self.sockets.get_mut(&id).ok_or(KernelError::BadFd)?;
+                let n = s.rx.min(len);
+                s.rx -= n;
+                Ok(n)
+            }
+            FdEntry::Console => Ok(0),
             FdEntry::PipeWrite { .. } => Err(KernelError::BadFd),
         }
     }
@@ -782,7 +838,7 @@ impl Kernel {
     pub fn sys_recv(&mut self, fd: i32, len: u64) -> Result<u64, KernelError> {
         self.syscall_enter(profile::RECV);
         self.charge_copy(len);
-        let r = self.do_read(fd, len).map(|d| d.len() as u64);
+        let r = self.do_read_len(fd, len);
         self.syscall_exit();
         r
     }
@@ -791,9 +847,31 @@ impl Kernel {
     pub fn sys_send(&mut self, fd: i32, bytes: u64) -> Result<u64, KernelError> {
         self.syscall_enter(profile::SEND);
         self.charge_copy(bytes);
-        let data = vec![0u8; bytes as usize];
-        let r = self.do_write(fd, &data);
+        let r = self.do_write_len(fd, bytes);
         self.syscall_exit();
         r
+    }
+
+    /// Length-only write for sinks that never look at the payload. Sockets
+    /// take the no-copy path (same `tx` accounting and I/O charge as
+    /// [`Self::do_write`]'s socket branch); every other fd type falls back
+    /// to the zero buffer `sys_send` historically materialized.
+    fn do_write_len(&mut self, fd: i32, len: u64) -> Result<u64, KernelError> {
+        let entry = {
+            let p = self
+                .procs
+                .get(self.current_pid())
+                .ok_or(KernelError::NoSuchProcess)?;
+            p.fds.get(fd).cloned().ok_or(KernelError::BadFd)?
+        };
+        match entry {
+            FdEntry::Socket { id } => {
+                let s = self.sockets.get_mut(&id).ok_or(KernelError::BadFd)?;
+                s.tx += len;
+                self.charge(CostKind::Io, len / 16);
+                Ok(len)
+            }
+            _ => self.do_write(fd, &vec![0u8; len as usize]),
+        }
     }
 }

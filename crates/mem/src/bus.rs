@@ -45,10 +45,12 @@ macro_rules! bus_data {
         $(impl BusData for $ty {
             const WIDTH: u8 = $width;
 
+            #[inline]
             fn load(mem: &PhysMem, addr: PhysAddr) -> Result<Self, AccessError> {
                 mem.$read(addr)
             }
 
+            #[inline]
             fn store(mem: &mut PhysMem, addr: PhysAddr, value: Self) -> Result<(), AccessError> {
                 mem.$write(addr, value)
             }
@@ -181,6 +183,7 @@ impl Bus {
         &self.mem
     }
 
+    #[inline]
     fn guard(
         &mut self,
         addr: PhysAddr,
@@ -201,6 +204,7 @@ impl Bus {
     ///
     /// # Errors
     /// PMP/PTStore denials, misalignment, or out-of-range access.
+    #[inline]
     pub fn read<W: BusData>(
         &mut self,
         addr: PhysAddr,
@@ -224,6 +228,7 @@ impl Bus {
     ///
     /// # Errors
     /// PMP/PTStore denials, misalignment, or out-of-range access.
+    #[inline]
     pub fn write<W: BusData>(
         &mut self,
         addr: PhysAddr,
@@ -249,6 +254,7 @@ impl Bus {
     ///
     /// # Errors
     /// PMP/PTStore denials, misalignment, or out-of-range access.
+    #[inline]
     pub fn fetch<W: BusData>(
         &mut self,
         addr: PhysAddr,

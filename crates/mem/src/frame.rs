@@ -9,12 +9,42 @@
 //! fit the word map cleanly).
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 use ptstore_core::PAGE_SIZE;
 
 /// Number of distinct 8-byte words after which a sparse frame is promoted to
 /// dense backing.
 const DENSE_PROMOTION_WORDS: usize = 96;
+
+/// Multiply-shift hasher for the 9-bit word indices. The default SipHash
+/// is DoS-resistant but costs more than the modeled memory access it keys;
+/// word indices are attacker-independent model state, so a single odd
+/// multiply (Fibonacci hashing) is enough to spread the low bits.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WordIndexHasher(u64);
+
+impl Hasher for WordIndexHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.0 = u64::from(i).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// The word map: a `HashMap` whose hash is one multiply.
+pub type WordMap = HashMap<u16, u64, BuildHasherDefault<WordIndexHasher>>;
 
 /// A 4 KiB physical frame.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -24,7 +54,7 @@ pub enum Frame {
     Zero,
     /// Sparse backing: 8-byte words keyed by word index within the page.
     /// Absent words read as zero.
-    Words(HashMap<u16, u64>),
+    Words(WordMap),
     /// Dense backing: the full page.
     Dense(Box<[u8; PAGE_SIZE as usize]>),
 }
@@ -39,6 +69,7 @@ impl Frame {
     ///
     /// # Panics
     /// Panics if `word_index >= 512`.
+    #[inline]
     pub fn read_word(&self, word_index: u16) -> u64 {
         assert!((word_index as u64) < PAGE_SIZE / 8);
         match self {
@@ -55,12 +86,13 @@ impl Frame {
     ///
     /// # Panics
     /// Panics if `word_index >= 512`.
+    #[inline]
     pub fn write_word(&mut self, word_index: u16, value: u64) {
         assert!((word_index as u64) < PAGE_SIZE / 8);
         match self {
             Frame::Zero => {
                 if value != 0 {
-                    let mut map = HashMap::new();
+                    let mut map = WordMap::default();
                     map.insert(word_index, value);
                     *self = Frame::Words(map);
                 }
@@ -86,6 +118,7 @@ impl Frame {
     ///
     /// # Panics
     /// Panics if `offset >= PAGE_SIZE`.
+    #[inline]
     pub fn read_byte(&self, offset: u16) -> u8 {
         assert!((offset as u64) < PAGE_SIZE);
         match self {
@@ -103,6 +136,7 @@ impl Frame {
     ///
     /// # Panics
     /// Panics if `offset >= PAGE_SIZE`.
+    #[inline]
     pub fn write_byte(&mut self, offset: u16, value: u8) {
         assert!((offset as u64) < PAGE_SIZE);
         match self {
@@ -118,6 +152,7 @@ impl Frame {
 
     /// True when every byte of the frame is zero. Used by the kernel's
     /// zero-check defense against allocator-metadata attacks (paper §V-E3).
+    #[inline]
     pub fn is_zero(&self) -> bool {
         match self {
             Frame::Zero => true,
@@ -127,6 +162,7 @@ impl Frame {
     }
 
     /// Resets the frame to all-zero, releasing its backing.
+    #[inline]
     pub fn clear(&mut self) {
         *self = Frame::Zero;
     }

@@ -1,17 +1,24 @@
 //! The physical frame store.
 
-use std::collections::HashMap;
-
 use ptstore_core::{AccessError, PhysAddr, PhysPageNum, GIB, PAGE_SIZE};
 
 use crate::frame::Frame;
 
-/// Simulated physical memory: a bounded, sparse map from physical page number
-/// to [`Frame`]. The prototype system carries a 4 GiB DDR3 SO-DIMM (paper
-/// Table II); untouched pages cost nothing.
+/// Frames per second-level chunk. A chunk spans 2 MiB of physical memory,
+/// so a 4 GiB machine needs a 2048-slot root table (16 KiB of pointers).
+const CHUNK_FRAMES: u64 = 512;
+
+/// Simulated physical memory: a bounded, sparse, two-level direct-indexed
+/// table from physical page number to [`Frame`]. The root holds one slot per
+/// 512-frame chunk; a chunk is allocated on the first write into its range,
+/// so untouched regions cost nothing beyond the root table, and lookups are
+/// two array indexings with no hashing. The prototype system carries a 4 GiB
+/// DDR3 SO-DIMM (paper Table II).
 #[derive(Debug, Clone, Default)]
 pub struct PhysMem {
-    frames: HashMap<u64, Frame>,
+    chunks: Vec<Option<Box<[Frame]>>>,
+    /// Number of frames currently holding non-[`Frame::Zero`] backing.
+    touched: usize,
     size: u64,
 }
 
@@ -25,8 +32,10 @@ impl PhysMem {
             size > 0 && size.is_multiple_of(PAGE_SIZE),
             "size must be page-aligned"
         );
+        let chunk_count = (size / PAGE_SIZE).div_ceil(CHUNK_FRAMES) as usize;
         Self {
-            frames: HashMap::new(),
+            chunks: vec![None; chunk_count],
+            touched: 0,
             size,
         }
     }
@@ -37,25 +46,33 @@ impl PhysMem {
     }
 
     /// Total memory size in bytes.
+    #[inline]
     pub fn size(&self) -> u64 {
         self.size
     }
 
     /// Total memory size in pages.
+    #[inline]
     pub fn page_count(&self) -> u64 {
         self.size / PAGE_SIZE
     }
 
     /// Number of frames with live backing (diagnostics).
     pub fn touched_frames(&self) -> usize {
-        self.frames.len()
+        self.touched
     }
 
     /// Approximate host memory used by frame backings (diagnostics).
     pub fn backing_bytes(&self) -> usize {
-        self.frames.values().map(Frame::backing_bytes).sum()
+        self.chunks
+            .iter()
+            .flatten()
+            .flat_map(|chunk| chunk.iter())
+            .map(Frame::backing_bytes)
+            .sum()
     }
 
+    #[inline]
     fn check_range(&self, addr: PhysAddr, len: u64) -> Result<(), AccessError> {
         let end = addr
             .as_u64()
@@ -67,10 +84,40 @@ impl PhysMem {
         Ok(())
     }
 
+    /// The frame for `ppn`, if its chunk has been allocated. `ppn` must be
+    /// in range (callers go through [`Self::check_range`] first).
+    #[inline]
+    fn frame(&self, ppn: u64) -> Option<&Frame> {
+        self.chunks[(ppn / CHUNK_FRAMES) as usize]
+            .as_deref()
+            .map(|chunk| &chunk[(ppn % CHUNK_FRAMES) as usize])
+    }
+
+    /// Mutable access to the frame for `ppn`, allocating its chunk on
+    /// demand. The `touched` counter is kept in sync with the frame's
+    /// before/after zero-ness around the mutation.
+    #[inline]
+    fn with_frame_mut<R>(&mut self, ppn: u64, f: impl FnOnce(&mut Frame) -> R) -> R {
+        let slot = &mut self.chunks[(ppn / CHUNK_FRAMES) as usize];
+        let chunk =
+            slot.get_or_insert_with(|| vec![Frame::Zero; CHUNK_FRAMES as usize].into_boxed_slice());
+        let frame = &mut chunk[(ppn % CHUNK_FRAMES) as usize];
+        let was_backed = !matches!(frame, Frame::Zero);
+        let result = f(frame);
+        let is_backed = !matches!(frame, Frame::Zero);
+        match (was_backed, is_backed) {
+            (false, true) => self.touched += 1,
+            (true, false) => self.touched -= 1,
+            _ => {}
+        }
+        result
+    }
+
     /// Reads an aligned u64.
     ///
     /// # Errors
     /// [`AccessError::Misaligned`] or [`AccessError::OutOfRange`].
+    #[inline]
     pub fn read_u64(&self, addr: PhysAddr) -> Result<u64, AccessError> {
         if !addr.is_aligned(8) {
             return Err(AccessError::Misaligned { addr, required: 8 });
@@ -78,17 +125,14 @@ impl PhysMem {
         self.check_range(addr, 8)?;
         let ppn = addr.as_u64() >> 12;
         let word = (addr.page_offset() / 8) as u16;
-        Ok(self
-            .frames
-            .get(&ppn)
-            .map(|f| f.read_word(word))
-            .unwrap_or(0))
+        Ok(self.frame(ppn).map(|f| f.read_word(word)).unwrap_or(0))
     }
 
     /// Writes an aligned u64.
     ///
     /// # Errors
     /// [`AccessError::Misaligned`] or [`AccessError::OutOfRange`].
+    #[inline]
     pub fn write_u64(&mut self, addr: PhysAddr, value: u64) -> Result<(), AccessError> {
         if !addr.is_aligned(8) {
             return Err(AccessError::Misaligned { addr, required: 8 });
@@ -96,7 +140,7 @@ impl PhysMem {
         self.check_range(addr, 8)?;
         let ppn = addr.as_u64() >> 12;
         let word = (addr.page_offset() / 8) as u16;
-        self.frames.entry(ppn).or_default().write_word(word, value);
+        self.with_frame_mut(ppn, |f| f.write_word(word, value));
         Ok(())
     }
 
@@ -104,12 +148,12 @@ impl PhysMem {
     ///
     /// # Errors
     /// [`AccessError::OutOfRange`].
+    #[inline]
     pub fn read_u8(&self, addr: PhysAddr) -> Result<u8, AccessError> {
         self.check_range(addr, 1)?;
         let ppn = addr.as_u64() >> 12;
         Ok(self
-            .frames
-            .get(&ppn)
+            .frame(ppn)
             .map(|f| f.read_byte(addr.page_offset() as u16))
             .unwrap_or(0))
     }
@@ -118,13 +162,11 @@ impl PhysMem {
     ///
     /// # Errors
     /// [`AccessError::OutOfRange`].
+    #[inline]
     pub fn write_u8(&mut self, addr: PhysAddr, value: u8) -> Result<(), AccessError> {
         self.check_range(addr, 1)?;
         let ppn = addr.as_u64() >> 12;
-        self.frames
-            .entry(ppn)
-            .or_default()
-            .write_byte(addr.page_offset() as u16, value);
+        self.with_frame_mut(ppn, |f| f.write_byte(addr.page_offset() as u16, value));
         Ok(())
     }
 
@@ -132,39 +174,59 @@ impl PhysMem {
     ///
     /// # Errors
     /// [`AccessError::Misaligned`] or [`AccessError::OutOfRange`].
+    #[inline]
     pub fn read_u16(&self, addr: PhysAddr) -> Result<u16, AccessError> {
         if !addr.is_aligned(2) {
             return Err(AccessError::Misaligned { addr, required: 2 });
         }
         self.check_range(addr, 2)?;
-        let lo = self.read_u8(addr)? as u16;
-        let hi = self.read_u8(addr + 1)? as u16;
-        Ok(lo | (hi << 8))
+        let ppn = addr.as_u64() >> 12;
+        let off = addr.page_offset() as u16;
+        Ok(self
+            .frame(ppn)
+            .map(|f| {
+                let lo = f.read_byte(off) as u16;
+                let hi = f.read_byte(off + 1) as u16;
+                lo | (hi << 8)
+            })
+            .unwrap_or(0))
     }
 
     /// Writes an aligned u16.
     ///
     /// # Errors
     /// [`AccessError::Misaligned`] or [`AccessError::OutOfRange`].
+    #[inline]
     pub fn write_u16(&mut self, addr: PhysAddr, value: u16) -> Result<(), AccessError> {
         if !addr.is_aligned(2) {
             return Err(AccessError::Misaligned { addr, required: 2 });
         }
         self.check_range(addr, 2)?;
-        self.write_u8(addr, value as u8)?;
-        self.write_u8(addr + 1, (value >> 8) as u8)
+        let ppn = addr.as_u64() >> 12;
+        let off = addr.page_offset() as u16;
+        self.with_frame_mut(ppn, |f| {
+            f.write_byte(off, value as u8);
+            f.write_byte(off + 1, (value >> 8) as u8);
+        });
+        Ok(())
     }
 
     /// Reads an aligned u32 (instruction fetch granularity).
     ///
     /// # Errors
     /// [`AccessError::Misaligned`] or [`AccessError::OutOfRange`].
+    #[inline]
     pub fn read_u32(&self, addr: PhysAddr) -> Result<u32, AccessError> {
         if !addr.is_aligned(4) {
             return Err(AccessError::Misaligned { addr, required: 4 });
         }
         self.check_range(addr, 4)?;
-        let word = self.read_u64(addr.page_align_down() + (addr.page_offset() & !7))?;
+        let ppn = addr.as_u64() >> 12;
+        let word_index = (addr.page_offset() / 8) as u16;
+        let word = self
+            .frame(ppn)
+            .map(|f| f.read_word(word_index))
+            .unwrap_or(0);
         Ok(if addr.page_offset() % 8 < 4 {
             word as u32
         } else {
@@ -176,33 +238,51 @@ impl PhysMem {
     ///
     /// # Errors
     /// [`AccessError::Misaligned`] or [`AccessError::OutOfRange`].
+    #[inline]
     pub fn write_u32(&mut self, addr: PhysAddr, value: u32) -> Result<(), AccessError> {
         if !addr.is_aligned(4) {
             return Err(AccessError::Misaligned { addr, required: 4 });
         }
         self.check_range(addr, 4)?;
-        let base = addr.page_align_down() + (addr.page_offset() & !7);
-        let word = self.read_u64(base)?;
-        let new = if addr.page_offset() % 8 < 4 {
-            (word & 0xffff_ffff_0000_0000) | value as u64
-        } else {
-            (word & 0x0000_0000_ffff_ffff) | ((value as u64) << 32)
-        };
-        self.write_u64(base, new)
+        let ppn = addr.as_u64() >> 12;
+        let word_index = (addr.page_offset() / 8) as u16;
+        let low_half = addr.page_offset() % 8 < 4;
+        self.with_frame_mut(ppn, |f| {
+            let word = f.read_word(word_index);
+            let new = if low_half {
+                (word & 0xffff_ffff_0000_0000) | value as u64
+            } else {
+                (word & 0x0000_0000_ffff_ffff) | ((value as u64) << 32)
+            };
+            f.write_word(word_index, new);
+        });
+        Ok(())
     }
 
     /// True when the whole page is zero — the kernel's allocator-metadata
     /// defense checks this before using a page as a page table (paper §V-E3).
+    #[inline]
     pub fn page_is_zero(&self, ppn: PhysPageNum) -> bool {
-        self.frames
-            .get(&ppn.as_u64())
-            .map(Frame::is_zero)
+        self.chunks
+            .get((ppn.as_u64() / CHUNK_FRAMES) as usize)
+            .and_then(|slot| slot.as_deref())
+            .map(|chunk| chunk[(ppn.as_u64() % CHUNK_FRAMES) as usize].is_zero())
             .unwrap_or(true)
     }
 
     /// Zeroes a whole page (releases its backing).
     pub fn zero_page(&mut self, ppn: PhysPageNum) {
-        self.frames.remove(&ppn.as_u64());
+        if let Some(chunk) = self
+            .chunks
+            .get_mut((ppn.as_u64() / CHUNK_FRAMES) as usize)
+            .and_then(|slot| slot.as_deref_mut())
+        {
+            let frame = &mut chunk[(ppn.as_u64() % CHUNK_FRAMES) as usize];
+            if !matches!(frame, Frame::Zero) {
+                self.touched -= 1;
+            }
+            frame.clear();
+        }
     }
 
     /// Copies a whole page (used by fork's eager page-table copy).
@@ -212,13 +292,11 @@ impl PhysMem {
     pub fn copy_page(&mut self, src: PhysPageNum, dst: PhysPageNum) -> Result<(), AccessError> {
         self.check_range(src.base_addr(), PAGE_SIZE)?;
         self.check_range(dst.base_addr(), PAGE_SIZE)?;
-        match self.frames.get(&src.as_u64()).cloned() {
+        match self.frame(src.as_u64()).cloned() {
             Some(f) => {
-                self.frames.insert(dst.as_u64(), f);
+                self.with_frame_mut(dst.as_u64(), |d| *d = f);
             }
-            None => {
-                self.frames.remove(&dst.as_u64());
-            }
+            None => self.zero_page(dst),
         }
         Ok(())
     }
@@ -312,5 +390,34 @@ mod tests {
         assert_eq!(m.touched_frames(), 1000);
         // 1000 single-word sparse frames are far below dense cost.
         assert!(m.backing_bytes() < 1000 * 64);
+    }
+
+    #[test]
+    fn touched_counter_tracks_zeroing_and_cross_chunk_pages() {
+        let mut m = PhysMem::new(4 * GIB);
+        // Pages in two different chunks.
+        let a = PhysPageNum::new(3);
+        let b = PhysPageNum::new(CHUNK_FRAMES + 5);
+        m.write_u64(a.base_addr(), 1).unwrap();
+        m.write_u64(b.base_addr(), 2).unwrap();
+        assert_eq!(m.touched_frames(), 2);
+        m.copy_page(a, b).unwrap();
+        assert_eq!(m.touched_frames(), 2);
+        m.zero_page(a);
+        assert_eq!(m.touched_frames(), 1);
+        // Zeroing a never-touched page in an unallocated chunk is a no-op.
+        m.zero_page(PhysPageNum::new(7 * CHUNK_FRAMES + 1));
+        assert_eq!(m.touched_frames(), 1);
+        m.copy_page(PhysPageNum::new(9), b).unwrap();
+        assert_eq!(m.touched_frames(), 0);
+    }
+
+    #[test]
+    fn last_page_of_memory_is_addressable() {
+        let mut m = PhysMem::new(CHUNK_FRAMES * PAGE_SIZE + PAGE_SIZE);
+        let last = PhysPageNum::new(CHUNK_FRAMES);
+        m.write_u64(last.base_addr() + 8, 42).unwrap();
+        assert_eq!(m.read_u64(last.base_addr() + 8).unwrap(), 42);
+        assert!(!m.page_is_zero(last));
     }
 }

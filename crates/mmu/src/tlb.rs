@@ -51,11 +51,35 @@ impl Snapshot for TlbStats {
     }
 }
 
+/// Slots in the direct-mapped micro-TLB fronting the associative scan.
+const MICRO_TLB_SLOTS: usize = 16;
+
+/// One micro-TLB slot: the memoized result of the associative scan for a
+/// specific `(vpn, asid)` key.
+#[derive(Debug, Clone, Copy)]
+struct MicroEntry {
+    vpn: VirtPageNum,
+    asid: u16,
+    entry: TlbEntry,
+}
+
 /// A fully associative TLB with round-robin replacement.
+///
+/// A small direct-mapped micro-TLB (host-side only) fronts the associative
+/// scan: it memoizes the scan result per `(vpn, asid)` and is conservatively
+/// invalidated by every mutation — insert, eviction, and all three flush
+/// scopes — so a micro hit returns exactly what the scan would. Modeled
+/// behaviour (hit/miss accounting, trace events, returned entries) is
+/// identical with the fast path on or off.
 #[derive(Debug, Clone)]
 pub struct Tlb {
     entries: Vec<Option<TlbEntry>>,
     next_victim: usize,
+    /// Live-entry count, maintained incrementally (== the number of `Some`
+    /// slots in `entries` at all times).
+    live: usize,
+    micro: [Option<MicroEntry>; MICRO_TLB_SLOTS],
+    fast_path: bool,
     stats: TlbStats,
     unit: TlbUnit,
     /// Owning hart, stamped into trace events (0 on single-hart machines).
@@ -81,11 +105,43 @@ impl Tlb {
         Self {
             entries: vec![None; capacity],
             next_victim: 0,
+            live: 0,
+            micro: [None; MICRO_TLB_SLOTS],
+            fast_path: ptstore_core::fastpath::default_enabled(),
             stats: TlbStats::default(),
             unit,
             hart: 0,
             trace: None,
         }
+    }
+
+    /// Enables or disables the micro-TLB fast path. Purely a host-side
+    /// speed switch: lookups, stats, and trace events are identical either
+    /// way.
+    pub fn set_fast_path(&mut self, enabled: bool) {
+        self.fast_path = enabled;
+        self.micro = [None; MICRO_TLB_SLOTS];
+    }
+
+    /// Whether the micro-TLB fast path is enabled.
+    pub fn fast_path(&self) -> bool {
+        self.fast_path
+    }
+
+    #[inline]
+    fn micro_index(vpn: VirtPageNum) -> usize {
+        (vpn.as_u64() as usize) & (MICRO_TLB_SLOTS - 1)
+    }
+
+    /// Drops any memoized scan result for `vpn` (any ASID sharing its slot).
+    #[inline]
+    fn micro_invalidate_vpn(&mut self, vpn: VirtPageNum) {
+        self.micro[Self::micro_index(vpn)] = None;
+    }
+
+    #[inline]
+    fn micro_invalidate_all(&mut self) {
+        self.micro = [None; MICRO_TLB_SLOTS];
     }
 
     /// Tags this TLB's trace events with the owning hart's id.
@@ -126,12 +182,21 @@ impl Tlb {
         kind: AccessKind,
         mode: PrivilegeMode,
     ) -> Option<TlbEntry> {
-        let found = self
-            .entries
-            .iter()
-            .flatten()
-            .copied()
-            .find(|e| e.vpn == vpn && (e.asid == asid || e.flags.global()));
+        let found = if self.fast_path {
+            let idx = Self::micro_index(vpn);
+            match self.micro[idx] {
+                Some(m) if m.vpn == vpn && m.asid == asid => Some(m.entry),
+                _ => {
+                    let found = self.scan(vpn, asid);
+                    if let Some(entry) = found {
+                        self.micro[idx] = Some(MicroEntry { vpn, asid, entry });
+                    }
+                    found
+                }
+            }
+        } else {
+            self.scan(vpn, asid)
+        };
         match found {
             Some(e) if Self::permits(e.flags, kind, mode) => {
                 self.stats.hits += 1;
@@ -160,6 +225,17 @@ impl Tlb {
         }
     }
 
+    /// The associative scan behind [`Self::lookup`]: first slot whose entry
+    /// matches `vpn` in this address space (or globally).
+    #[inline]
+    fn scan(&self, vpn: VirtPageNum, asid: u16) -> Option<TlbEntry> {
+        self.entries
+            .iter()
+            .flatten()
+            .copied()
+            .find(|e| e.vpn == vpn && (e.asid == asid || e.flags.global()))
+    }
+
     fn permits(flags: PteFlags, kind: AccessKind, mode: PrivilegeMode) -> bool {
         let rwx = match kind {
             AccessKind::Read => flags.readable(),
@@ -176,6 +252,8 @@ impl Tlb {
 
     /// Inserts (or replaces) a translation.
     pub fn insert(&mut self, entry: TlbEntry) {
+        // The scan result for this vpn changes whatever branch we take.
+        self.micro_invalidate_vpn(entry.vpn);
         // Replace an existing mapping of the same (vpn, asid) first.
         if let Some(slot) = self
             .entries
@@ -187,9 +265,13 @@ impl Tlb {
         }
         if let Some(slot) = self.entries.iter_mut().find(|s| s.is_none()) {
             *slot = Some(entry);
+            self.live += 1;
             return;
         }
         // Round-robin eviction.
+        if let Some(victim) = self.entries[self.next_victim] {
+            self.micro_invalidate_vpn(victim.vpn);
+        }
         self.entries[self.next_victim] = Some(entry);
         self.next_victim = (self.next_victim + 1) % self.entries.len();
         self.stats.evictions += 1;
@@ -198,6 +280,8 @@ impl Tlb {
     /// `sfence.vma x0, x0`: flush everything.
     pub fn flush_all(&mut self) {
         self.entries.iter_mut().for_each(|e| *e = None);
+        self.live = 0;
+        self.micro_invalidate_all();
         self.stats.flushes += 1;
         self.emit_flush(FlushScope::All);
     }
@@ -207,8 +291,10 @@ impl Tlb {
         for slot in self.entries.iter_mut() {
             if matches!(slot, Some(e) if e.vpn == vpn && e.asid == asid) {
                 *slot = None;
+                self.live -= 1;
             }
         }
+        self.micro_invalidate_vpn(vpn);
         self.stats.flushes += 1;
         self.emit_flush(FlushScope::Page {
             vpn: vpn.as_u64(),
@@ -221,8 +307,10 @@ impl Tlb {
         for slot in self.entries.iter_mut() {
             if matches!(slot, Some(e) if e.asid == asid && !e.flags.global()) {
                 *slot = None;
+                self.live -= 1;
             }
         }
+        self.micro_invalidate_all();
         self.stats.flushes += 1;
         self.emit_flush(FlushScope::Asid { asid });
     }
@@ -237,9 +325,10 @@ impl Tlb {
         }
     }
 
-    /// Number of live entries (diagnostics).
+    /// Number of live entries (diagnostics), maintained incrementally.
     pub fn occupancy(&self) -> usize {
-        self.entries.iter().flatten().count()
+        debug_assert_eq!(self.live, self.entries.iter().flatten().count());
+        self.live
     }
 }
 

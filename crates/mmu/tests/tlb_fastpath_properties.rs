@@ -1,0 +1,152 @@
+//! Differential property tests for the TLB host-side fast path.
+//!
+//! The direct-mapped micro-TLB in front of the associative scan is a pure
+//! host-performance memoization: with it on or off, every lookup must
+//! return the same entry, the modeled hit/miss/eviction statistics must be
+//! identical, and occupancy must track the same set of live entries. These
+//! tests drive a fast and a slow TLB through the same random interleaving
+//! of inserts, lookups, and all three sfence flush shapes — including tiny
+//! capacities where round-robin eviction (the subtlest invalidation site)
+//! fires constantly.
+
+use proptest::prelude::*;
+use ptstore_core::{AccessKind, PhysPageNum, PrivilegeMode, VirtPageNum};
+use ptstore_mmu::{PteFlags, Tlb, TlbEntry};
+
+/// Small key space so collisions, aliasing, and micro-slot conflicts
+/// (vpns that map to the same direct-mapped slot) are the common case.
+const VPNS: u64 = 40;
+const ASIDS: u16 = 3;
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Insert { vpn: u64, asid: u16, global: bool },
+    Lookup { vpn: u64, asid: u16 },
+    FlushPage { vpn: u64, asid: u16 },
+    FlushAsid { asid: u16 },
+    FlushAll,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0..VPNS, 0..ASIDS, any::<bool>())
+            .prop_map(|(vpn, asid, global)| Op::Insert { vpn, asid, global }),
+        8 => (0..VPNS, 0..ASIDS).prop_map(|(vpn, asid)| Op::Lookup { vpn, asid }),
+        2 => (0..VPNS, 0..ASIDS).prop_map(|(vpn, asid)| Op::FlushPage { vpn, asid }),
+        1 => (0..ASIDS).prop_map(|asid| Op::FlushAsid { asid }),
+        1 => Just(Op::FlushAll),
+    ]
+}
+
+fn entry(vpn: u64, asid: u16, global: bool) -> TlbEntry {
+    let flags = if global {
+        PteFlags::kernel_rw().with(PteFlags::G)
+    } else {
+        PteFlags::kernel_rw()
+    };
+    TlbEntry {
+        vpn: VirtPageNum::new(vpn),
+        asid,
+        // Encode the key in the ppn so a stale micro-TLB hit for the wrong
+        // key would be visible in the returned entry, not just in timing.
+        ppn: PhysPageNum::new(0x4000 + vpn * 0x10 + u64::from(asid)),
+        flags,
+    }
+}
+
+fn apply(tlb: &mut Tlb, op: Op) -> Option<TlbEntry> {
+    match op {
+        Op::Insert { vpn, asid, global } => {
+            tlb.insert(entry(vpn, asid, global));
+            None
+        }
+        Op::Lookup { vpn, asid } => tlb.lookup(
+            VirtPageNum::new(vpn),
+            asid,
+            AccessKind::Read,
+            PrivilegeMode::Supervisor,
+        ),
+        Op::FlushPage { vpn, asid } => {
+            tlb.flush_page(VirtPageNum::new(vpn), asid);
+            None
+        }
+        Op::FlushAsid { asid } => {
+            tlb.flush_asid(asid);
+            None
+        }
+        Op::FlushAll => {
+            tlb.flush_all();
+            None
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Fast-path and slow-path TLBs agree on every lookup result, every
+    /// statistic, and the final occupancy across arbitrary interleavings
+    /// of inserts, lookups, and flushes — at capacities small enough that
+    /// round-robin eviction constantly recycles slots.
+    #[test]
+    fn micro_tlb_never_diverges_from_scan(
+        capacity in 2usize..10,
+        ops in proptest::collection::vec(arb_op(), 1..80),
+    ) {
+        let mut fast = Tlb::new(capacity);
+        fast.set_fast_path(true);
+        let mut slow = Tlb::new(capacity);
+        slow.set_fast_path(false);
+        prop_assert!(fast.fast_path());
+        prop_assert!(!slow.fast_path());
+
+        for (i, &op) in ops.iter().enumerate() {
+            let a = apply(&mut fast, op);
+            let b = apply(&mut slow, op);
+            prop_assert_eq!(a, b, "op {} = {:?} diverged", i, op);
+            prop_assert_eq!(
+                fast.stats(), slow.stats(),
+                "stats diverged after op {} = {:?}", i, op
+            );
+            prop_assert_eq!(
+                fast.occupancy(), slow.occupancy(),
+                "occupancy diverged after op {} = {:?}", i, op
+            );
+        }
+
+        // Sweep the whole key space at the end: any stale micro entry the
+        // random lookups missed surfaces here.
+        for vpn in 0..VPNS {
+            for asid in 0..ASIDS {
+                let a = apply(&mut fast, Op::Lookup { vpn, asid });
+                let b = apply(&mut slow, Op::Lookup { vpn, asid });
+                prop_assert_eq!(a, b, "final sweep ({}, {}) diverged", vpn, asid);
+            }
+        }
+        prop_assert_eq!(fast.stats(), slow.stats());
+    }
+
+    /// Toggling the fast path mid-stream (as `Kernel::set_fast_paths` does
+    /// after boot) never desynchronizes the two: a TLB that flips modes at
+    /// an arbitrary point still matches an always-slow reference.
+    #[test]
+    fn toggling_fast_path_midstream_is_safe(
+        ops in proptest::collection::vec(arb_op(), 2..60),
+        toggle_at in 0usize..60,
+        enable in any::<bool>(),
+    ) {
+        let mut toggled = Tlb::new(4);
+        let mut reference = Tlb::new(4);
+        reference.set_fast_path(false);
+
+        for (i, &op) in ops.iter().enumerate() {
+            if i == toggle_at % ops.len() {
+                toggled.set_fast_path(enable);
+            }
+            let a = apply(&mut toggled, op);
+            let b = apply(&mut reference, op);
+            prop_assert_eq!(a, b, "op {} = {:?} diverged after toggle", i, op);
+            prop_assert_eq!(toggled.stats(), reference.stats());
+        }
+    }
+}

@@ -339,7 +339,7 @@ pub fn bw_pipe(k: &mut Kernel, total_bytes: u64) -> u64 {
         let mut moved = 0u64;
         while moved < total_bytes {
             let n = k.sys_write(w, &chunk).expect("write");
-            k.sys_read(r, n).expect("read");
+            k.sys_read_discard(r, n).expect("read");
             moved += n;
         }
     });
@@ -355,11 +355,11 @@ pub fn bw_file_rd(k: &mut Kernel, file_bytes: u64) -> u64 {
     let c = timed(k, |k| {
         let mut read = 0u64;
         while read < file_bytes {
-            let data = k.sys_read(fd, 64 << 10).expect("read");
-            if data.is_empty() {
+            let n = k.sys_read_discard(fd, 64 << 10).expect("read");
+            if n == 0 {
                 break;
             }
-            read += data.len() as u64;
+            read += n;
         }
     });
     k.sys_close(fd).expect("close");

@@ -102,7 +102,7 @@ pub(crate) fn serve_requests(k: &mut Kernel, p: &NginxParams, requests: u64) {
                 let mut remaining = p.response_bytes;
                 while remaining > 0 {
                     let chunk = remaining.min(64 << 10);
-                    k.sys_read(fd, chunk).expect("read");
+                    k.sys_read_discard(fd, chunk).expect("read");
                     k.sys_send(sock, chunk).expect("send");
                     remaining -= chunk;
                 }

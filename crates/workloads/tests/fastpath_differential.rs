@@ -1,0 +1,170 @@
+//! Fast-path differential anchors: the host-side memoizations (PMP page
+//! cache, micro-TLB, direct-indexed physical memory) must be invisible to
+//! the model. With fast paths on or off, every configuration must produce
+//! bit-identical cycle totals, sfence counts, and full kernel statistics —
+//! at one hart and on the SMP machine, where remote harts service TLB
+//! shootdowns during the run.
+//!
+//! The single-hart goldens here are the *same numbers* as the pre-SMP seed
+//! anchors in `smp_differential.rs`, asserted under both settings: the
+//! fast paths changed wall-clock only, never modeled cycles.
+
+use ptstore_core::{VirtAddr, MIB, PAGE_SIZE};
+use ptstore_kernel::process::VmPerms;
+use ptstore_kernel::{Kernel, KernelConfig, KernelStats};
+use ptstore_workloads::nginx::{run_nginx, NginxParams};
+use ptstore_workloads::redis::{run_redis_test, RedisParams, REDIS_TESTS};
+use ptstore_workloads::run_fork_stress;
+
+/// The five configurations the paper evaluates, at the attack-battery
+/// geometry (256 MiB RAM, 16 MiB initial secure region).
+fn configs() -> [(&'static str, KernelConfig); 5] {
+    let geom = |c: KernelConfig| {
+        c.with_mem_size(256 * MIB)
+            .with_initial_secure_size(16 * MIB)
+    };
+    [
+        ("baseline", geom(KernelConfig::baseline())),
+        ("cfi", geom(KernelConfig::cfi())),
+        ("cfi_ptstore", geom(KernelConfig::cfi_ptstore())),
+        (
+            "cfi_ptstore_no_adjust",
+            geom(KernelConfig::cfi_ptstore_no_adjust()),
+        ),
+        ("ptstore_only", geom(KernelConfig::ptstore_only())),
+    ]
+}
+
+/// The fixed syscall mix of `smp_differential.rs` — every TLB-flush site:
+/// fork (ASID fence), COW break, demand paging, mprotect tightening,
+/// munmap, plus files/pipes/signals/exec — with the fast paths forced on
+/// or off right after boot.
+fn syscall_battery(cfg: KernelConfig, fast: bool) -> (u64, KernelStats) {
+    let mut k = Kernel::boot(cfg).expect("boot");
+    k.set_fast_paths(fast);
+    let brk0 = k.procs.get(1).expect("init").brk;
+    k.sys_brk(brk0 + 2 * PAGE_SIZE).expect("brk");
+    k.sys_touch(VirtAddr::new(brk0), true).expect("touch brk");
+    k.sys_touch(VirtAddr::new(brk0 + PAGE_SIZE), true)
+        .expect("touch brk2");
+    let c1 = k.sys_fork().expect("fork c1");
+    let c2 = k.sys_fork().expect("fork c2");
+    k.do_switch_to(c1).expect("switch c1");
+    k.sys_touch(VirtAddr::new(brk0), true).expect("cow 1");
+    k.sys_touch(VirtAddr::new(brk0 + PAGE_SIZE), true)
+        .expect("cow 2");
+    let va = k.sys_mmap(4 * PAGE_SIZE).expect("mmap");
+    for i in 0..4 {
+        k.sys_touch(VirtAddr::new(va.as_u64() + i * PAGE_SIZE), true)
+            .expect("touch map");
+    }
+    k.sys_mprotect(va, 2 * PAGE_SIZE, VmPerms::RO)
+        .expect("mprotect");
+    k.sys_touch(va, false).expect("ro read");
+    k.sys_munmap(va, 4 * PAGE_SIZE).expect("munmap");
+    let fd = k.sys_open("/tmp/XXX").expect("open");
+    k.sys_write(fd, &[0xA5; 48]).expect("write");
+    k.sys_close(fd).expect("close");
+    let (r, w) = k.sys_pipe().expect("pipe");
+    k.sys_write(w, &[1; 16]).expect("pipe write");
+    k.sys_read(r, 16).expect("pipe read");
+    k.sys_signal_install(7).expect("signal install");
+    k.sys_signal_catch(7).expect("signal catch");
+    k.sys_exec().expect("exec");
+    k.sys_exit(0).expect("exit c1");
+    assert_eq!(k.current_pid(), c2, "scheduler picked c2 after c1 exited");
+    k.sys_yield().expect("yield");
+    k.do_switch_to(c2).expect("switch c2");
+    k.sys_exit(0).expect("exit c2");
+    k.sys_wait().expect("wait 1");
+    k.sys_wait().expect("wait 2");
+    (k.cycles.total(), k.stats)
+}
+
+/// The pre-SMP seed goldens for the battery at one hart (identical to
+/// `smp_differential::GOLDEN_SYSCALLS`).
+const GOLDEN_SYSCALLS: [(u64, u64); 5] = [
+    (57_943, 22),
+    (59_644, 22),
+    (61_404, 22),
+    (61_404, 22),
+    (59_703, 22),
+];
+
+#[test]
+fn syscall_battery_is_identical_with_fast_paths_off() {
+    for harts in [1usize, 2, 4] {
+        for (name, cfg) in configs() {
+            let cfg = cfg.with_harts(harts);
+            let fast = syscall_battery(cfg, true);
+            let slow = syscall_battery(cfg, false);
+            assert_eq!(
+                fast, slow,
+                "fast/slow divergence for {name} at {harts} hart(s)"
+            );
+        }
+    }
+}
+
+#[test]
+fn both_settings_reproduce_the_seed_goldens_at_one_hart() {
+    for fast in [true, false] {
+        for ((name, cfg), (cycles, sfences)) in configs().iter().zip(GOLDEN_SYSCALLS) {
+            let (got_cycles, stats) = syscall_battery(*cfg, fast);
+            assert_eq!(
+                (got_cycles, stats.sfences),
+                (cycles, sfences),
+                "{name} (fast={fast}) diverged from the pre-SMP seed golden"
+            );
+        }
+    }
+}
+
+/// The fork stress drives `adjust_secure_region` — repeated PMP secure-
+/// region rewrites, the hardest case for the epoch-tagged match cache.
+#[test]
+fn fork_stress_adjustment_path_is_identical() {
+    for harts in [1usize, 2, 4] {
+        let cfg = KernelConfig::cfi_ptstore()
+            .with_mem_size(256 * MIB)
+            .with_initial_secure_size(16 * MIB)
+            .with_harts(harts);
+        let run = |fast: bool| {
+            let mut k = Kernel::boot(cfg).expect("boot");
+            k.set_fast_paths(fast);
+            let result = run_fork_stress(&mut k, 256).expect("stress");
+            (result, k.cycles.total(), k.stats)
+        };
+        assert_eq!(
+            run(true),
+            run(false),
+            "fork-stress divergence at {harts} hart(s)"
+        );
+    }
+}
+
+#[test]
+fn macro_workload_drivers_are_identical() {
+    let cfg = KernelConfig::cfi_ptstore()
+        .with_mem_size(256 * MIB)
+        .with_initial_secure_size(16 * MIB);
+    let run = |fast: bool| {
+        let mut k = Kernel::boot(cfg).expect("boot");
+        k.set_fast_paths(fast);
+        let nginx = run_nginx(&mut k, &NginxParams::quick(4 << 10));
+        let nginx_stats = k.stats;
+
+        let mut k = Kernel::boot(cfg).expect("boot");
+        k.set_fast_paths(fast);
+        let redis = run_redis_test(
+            &mut k,
+            &REDIS_TESTS[3],
+            &RedisParams {
+                requests: 200,
+                connections: 10,
+            },
+        );
+        (nginx, nginx_stats, redis, k.stats)
+    };
+    assert_eq!(run(true), run(false), "macro workload drivers diverged");
+}

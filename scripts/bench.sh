@@ -1,0 +1,129 @@
+#!/usr/bin/env sh
+# Host-performance harness for the fast-path work: times `reproduce
+# --quick all` with the memoizations off and on (and with a parallel
+# worker pool), then writes the numbers to BENCH_PR3.json at the repo
+# root. Modeled cycles are pinned elsewhere (the differential tests);
+# this script measures wall-clock only.
+#
+# Usage: scripts/bench.sh [jobs]   (default jobs: nproc)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+JOBS="${1:-$( (nproc || sysctl -n hw.ncpu || echo 2) 2>/dev/null )}"
+OUT="BENCH_PR3.json"
+BIN="target/release/reproduce"
+
+echo "== build (release) =="
+cargo build --offline --release --quiet -p ptstore-bench --bin reproduce
+
+# Milliseconds since epoch; /usr/bin/time is not in the container.
+now_ms() {
+    echo $(( $(date +%s%N) / 1000000 ))
+}
+
+# time_run <label> <args...>: runs the binary three times, echoes the
+# best elapsed ms (minimum is the standard noise-robust statistic for
+# wall-clock benchmarks).
+time_run() {
+    label="$1"
+    shift
+    best=""
+    for _ in 1 2 3; do
+        start=$(now_ms)
+        "$BIN" "$@" > /dev/null
+        end=$(now_ms)
+        elapsed=$((end - start))
+        if [ -z "$best" ] || [ "$elapsed" -lt "$best" ]; then
+            best=$elapsed
+        fi
+    done
+    echo "  $label: ${best} ms" >&2
+    echo "$best"
+}
+
+echo "== timing reproduce --quick all =="
+SLOW_MS=$(time_run "fast paths off, 1 job " --quick --no-fast-path all)
+FAST_MS=$(time_run "fast paths on,  1 job " --quick all)
+PAR_MS=$(time_run "fast paths on,  $JOBS jobs" --quick --jobs "$JOBS" all)
+
+# Baseline: the commit just before this optimization pass, built in a
+# throw-away worktree. Runtime-toggleable memoizations are captured by
+# --no-fast-path above; this additionally captures the unconditional host
+# work (physical-memory layout, frame hashing, cycle-counter layout,
+# no-copy I/O), which --no-fast-path cannot switch off.
+BASELINE_REF="${BENCH_BASELINE_REF:-84f0649}"
+BASE_MS=null
+if git rev-parse --verify --quiet "$BASELINE_REF^{commit}" > /dev/null 2>&1; then
+    WT=".bench-baseline"
+    git worktree remove --force "$WT" > /dev/null 2>&1 || true
+    if git worktree add --detach "$WT" "$BASELINE_REF" > /dev/null 2>&1; then
+        echo "== building baseline $BASELINE_REF =="
+        if (cd "$WT" && CARGO_TARGET_DIR=target cargo build --offline \
+                --release --quiet -p ptstore-bench --bin reproduce); then
+            BASE_BIN_SAVE="$BIN"
+            BIN="$WT/target/release/reproduce"
+            BASE_MS=$(time_run "baseline $BASELINE_REF   " --quick all)
+            BIN="$BASE_BIN_SAVE"
+        else
+            echo "  (baseline build failed; skipping)" >&2
+        fi
+        git worktree remove --force "$WT" > /dev/null 2>&1 || true
+    fi
+else
+    echo "  (baseline ref $BASELINE_REF not found; skipping)" >&2
+fi
+
+echo "== per-experiment timings (fast paths on, 1 job) =="
+EXPERIMENTS="table1 table2 table3 hwdetail ltp fig4 forkstress fig5 fig6 fig7 security smp"
+EXP_JSON=""
+for exp in $EXPERIMENTS; do
+    ms=$(time_run "$exp" --quick "$exp")
+    EXP_JSON="${EXP_JSON}${EXP_JSON:+, }\"$exp\": $ms"
+done
+
+# Integer-permille speedups, rendered as fixed-point (avoids awk/bc).
+ratio() {
+    if [ "$2" -gt 0 ]; then
+        permille=$((1000 * $1 / $2))
+        echo "$((permille / 1000)).$(printf '%03d' $((permille % 1000)))"
+    else
+        echo "0.000"
+    fi
+}
+FAST_SPEEDUP=$(ratio "$SLOW_MS" "$FAST_MS")
+JOBS_SPEEDUP=$(ratio "$FAST_MS" "$PAR_MS")
+TOTAL_SPEEDUP=$(ratio "$SLOW_MS" "$PAR_MS")
+if [ "$BASE_MS" != null ]; then
+    VS_BASELINE=$(ratio "$BASE_MS" "$FAST_MS")
+else
+    VS_BASELINE=null
+fi
+
+cat > "$OUT" <<EOF
+{
+  "wall_ms": $PAR_MS,
+  "jobs": $JOBS,
+  "quick_all_ms": {
+    "baseline_${BASELINE_REF}_1job": $BASE_MS,
+    "no_fast_path_1job": $SLOW_MS,
+    "fast_path_1job": $FAST_MS,
+    "fast_path_${JOBS}jobs": $PAR_MS
+  },
+  "speedup": {
+    "vs_baseline": $VS_BASELINE,
+    "fast_path_1job": $FAST_SPEEDUP,
+    "jobs": $JOBS_SPEEDUP,
+    "total": $TOTAL_SPEEDUP
+  },
+  "experiments": { $EXP_JSON }
+}
+EOF
+
+echo "== $OUT =="
+cat "$OUT"
+if command -v python3 > /dev/null 2>&1; then
+    python3 -m json.tool "$OUT" > /dev/null
+    echo "($OUT parses as JSON)"
+fi
+echo "speedup: vs baseline ${VS_BASELINE}x, fast paths ${FAST_SPEEDUP}x, --jobs $JOBS ${JOBS_SPEEDUP}x"

@@ -26,4 +26,23 @@ echo "== smoke: 2-hart security battery =="
 cargo run --offline --quiet -p ptstore-bench --bin reproduce -- --quick --harts 2 security \
     | grep -q "PTStore (full design) blocks every attack"
 
+echo "== fast-path differential tests (cycle identity) =="
+cargo test --offline -q -p ptstore-mmu --test tlb_fastpath_properties
+cargo test --offline -q -p ptstore-core --test pmp_fastpath_properties
+cargo test --offline -q -p ptstore-workloads --test fastpath_differential
+cargo test --offline -q -p ptstore-attacks --test fastpath_attacks
+
+echo "== smoke: parallel runner determinism =="
+cargo build --offline --quiet --release -p ptstore-bench --bin reproduce
+./target/release/reproduce --quick ltp > target/ltp-1job.txt
+./target/release/reproduce --quick --jobs 4 ltp > target/ltp-4job.txt
+cmp target/ltp-1job.txt target/ltp-4job.txt
+rm -f target/ltp-1job.txt target/ltp-4job.txt
+
+echo "== host-performance harness (BENCH_PR3.json) =="
+scripts/bench.sh
+if command -v python3 > /dev/null 2>&1; then
+    python3 -m json.tool BENCH_PR3.json > /dev/null
+fi
+
 echo "All checks passed."
