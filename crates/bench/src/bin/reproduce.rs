@@ -4,6 +4,7 @@
 //! reproduce [--quick] [--harts N] [--jobs N] [--no-fast-path] \
 //!     [--csv <dir>] [--trace <file>] \
 //!     [table1|table2|table3|hwdetail|ltp|fig4|forkstress|fig5|fig6|fig7|security|smp|all]
+//! reproduce fuzz [--seed S] [--faults N] [--harts H] [--quick]
 //! ```
 //!
 //! `--quick` runs scaled-down workloads (seconds); the default uses the
@@ -23,10 +24,23 @@
 //! `--harts N` boots N-hart machines: the security battery reruns every
 //! cell on the SMP machine, and the `smp` experiment compares
 //! hart-distributed nginx/redis/fork-stress throughput against one hart.
+//!
+//! `fuzz` runs the ptstore-fault campaign: `--faults N` seeded runs
+//! (default 70), each injecting one fault drawn round-robin from the
+//! seven fault classes, classified as detected-and-contained / benign /
+//! invariant-violated. `--seed S` (default 1) fixes the campaign seed —
+//! the report is byte-identical across invocations. `--harts H` defaults
+//! to 2 here so the IPI fault classes have a victim hart. With `--quick`
+//! the campaign runs the invariant oracle after every workload operation
+//! (paranoid mode). `fuzz` is not part of `all`; run it explicitly.
+//! Flags that cannot apply to the selected experiment (for example
+//! `--seed` without `fuzz`, or `--jobs`/`--trace`/`--csv` with `fuzz`)
+//! are rejected rather than silently ignored.
 
 use std::fmt::Write as _;
 
 use ptstore_bench::*;
+use ptstore_fault::CampaignConfig;
 
 /// Appends one line to a report buffer (writing to a `String` is
 /// infallible).
@@ -49,69 +63,159 @@ const EXPERIMENTS: [&str; 12] = [
     "smp",
 ];
 
+/// Prints the usage synopsis to stderr.
+fn usage() {
+    eprintln!(
+        "usage: reproduce [--quick] [--harts N] [--jobs N] [--no-fast-path] [--csv <dir>] [--trace <file>] [{}|all]",
+        EXPERIMENTS.join("|")
+    );
+    eprintln!("       reproduce fuzz [--seed S] [--faults N] [--harts H] [--quick]");
+    eprintln!("run `reproduce --help` for what each flag does");
+}
+
+/// Rejects the invocation with a clear error (exit 2).
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    usage();
+    std::process::exit(2);
+}
+
+/// Consumes the value of `--flag <value>`, failing loudly when missing.
+fn take_value<'a>(it: &mut impl Iterator<Item = &'a String>, flag: &str) -> &'a str {
+    match it.next() {
+        Some(v) if !v.starts_with("--") => v,
+        _ => die(&format!("{flag} requires a value")),
+    }
+}
+
+/// Parses a positive integer flag value.
+fn take_number<'a, T: std::str::FromStr>(
+    it: &mut impl Iterator<Item = &'a String>,
+    flag: &str,
+) -> T {
+    let v = take_value(it, flag);
+    match v.parse() {
+        Ok(n) => n,
+        Err(_) => die(&format!("{flag} takes a non-negative integer, got {v:?}")),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
+    let mut quick = false;
+    let mut no_fast_path = false;
+    let mut csv_dir: Option<std::path::PathBuf> = None;
+    let mut trace_file: Option<std::path::PathBuf> = None;
+    let mut harts: Option<usize> = None;
+    let mut jobs: Option<usize> = None;
+    let mut seed: Option<u64> = None;
+    let mut faults: Option<u64> = None;
+    let mut what: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--no-fast-path" => no_fast_path = true,
+            "--csv" => csv_dir = Some(std::path::PathBuf::from(take_value(&mut it, "--csv"))),
+            "--trace" => {
+                trace_file = Some(std::path::PathBuf::from(take_value(&mut it, "--trace")));
+            }
+            "--harts" => harts = Some(take_number(&mut it, "--harts")),
+            "--jobs" => jobs = Some(take_number(&mut it, "--jobs")),
+            "--seed" => seed = Some(take_number(&mut it, "--seed")),
+            "--faults" => faults = Some(take_number(&mut it, "--faults")),
+            "--help" | "-h" => {
+                usage();
+                std::process::exit(0);
+            }
+            flag if flag.starts_with("--") => die(&format!("unknown flag {flag:?}")),
+            exp => {
+                if let Some(first) = &what {
+                    die(&format!(
+                        "at most one experiment may be selected, got {first:?} and {exp:?}"
+                    ));
+                }
+                what = Some(exp.to_string());
+            }
+        }
+    }
+
+    let what = what.unwrap_or_else(|| "all".to_string());
+    if what != "all" && what != "fuzz" && !EXPERIMENTS.contains(&what.as_str()) {
+        die(&format!("unknown experiment {what:?}"));
+    }
+    if harts == Some(0) {
+        die("--harts takes a positive integer");
+    }
+    if jobs == Some(0) {
+        die("--jobs takes a positive integer");
+    }
+    // Flags whose experiment cannot use them are contradictions, not
+    // defaults to silently fall back on.
+    if what != "fuzz" {
+        if seed.is_some() {
+            die(&format!(
+                "--seed only applies to the fuzz experiment, not {what:?}"
+            ));
+        }
+        if faults.is_some() {
+            die(&format!(
+                "--faults only applies to the fuzz experiment, not {what:?}"
+            ));
+        }
+    } else {
+        if jobs.is_some() {
+            die("--jobs does not apply to fuzz: campaign runs are sequential by design (the report is seed-deterministic)");
+        }
+        if trace_file.is_some() {
+            die("--trace only applies to the security experiment, not fuzz");
+        }
+        if csv_dir.is_some() {
+            die("--csv only applies to the figure experiments, not fuzz");
+        }
+    }
+    if trace_file.is_some() && what != "all" && what != "security" {
+        die(&format!(
+            "--trace only applies to the security experiment, not {what:?}"
+        ));
+    }
+    const CSV_EXPERIMENTS: [&str; 5] = ["all", "fig4", "fig5", "fig6", "fig7"];
+    if csv_dir.is_some() && !CSV_EXPERIMENTS.contains(&what.as_str()) {
+        die(&format!(
+            "--csv only applies to the figure experiments (fig4|fig5|fig6|fig7), not {what:?}"
+        ));
+    }
+
     let scale = if quick {
         Scale::quick()
     } else {
         Scale::paper()
     };
-    if args.iter().any(|a| a == "--no-fast-path") {
+    if no_fast_path {
         ptstore_core::fastpath::set_default(false);
     }
-    let csv_dir = args
-        .iter()
-        .position(|a| a == "--csv")
-        .and_then(|i| args.get(i + 1))
-        .map(std::path::PathBuf::from);
     if let Some(dir) = &csv_dir {
         std::fs::create_dir_all(dir).expect("create csv dir");
     }
     set_csv_dir(csv_dir);
-    let trace_file = args
-        .iter()
-        .position(|a| a == "--trace")
-        .and_then(|i| args.get(i + 1))
-        .map(std::path::PathBuf::from);
-    let harts: usize = args
-        .iter()
-        .position(|a| a == "--harts")
-        .and_then(|i| args.get(i + 1))
-        .map(|v| v.parse().expect("--harts takes a positive integer"))
-        .unwrap_or(1);
-    let jobs: usize = args
-        .iter()
-        .position(|a| a == "--jobs")
-        .and_then(|i| args.get(i + 1))
-        .map(|v| v.parse().expect("--jobs takes a positive integer"))
-        .unwrap_or(1)
-        .max(1);
-    let mut skip_next = false;
-    let what = args
-        .iter()
-        .find(|a| {
-            if skip_next {
-                skip_next = false;
-                return false;
-            }
-            if *a == "--csv" || *a == "--trace" || *a == "--harts" || *a == "--jobs" {
-                skip_next = true;
-                return false;
-            }
-            !a.starts_with("--")
-        })
-        .cloned()
-        .unwrap_or_else(|| "all".to_string());
 
-    if what != "all" && !EXPERIMENTS.contains(&what.as_str()) {
-        eprintln!("unknown experiment {what:?}");
-        eprintln!(
-            "usage: reproduce [--quick] [--harts N] [--jobs N] [--no-fast-path] [--csv <dir>] [--trace <file>] [{}|all]",
-            EXPERIMENTS.join("|")
+    if what == "fuzz" {
+        // `--harts` defaults to 2 for fuzz so the IPI-fault classes have a
+        // victim hart to target.
+        print!(
+            "{}",
+            report_fuzz(
+                seed.unwrap_or(1),
+                faults.unwrap_or(70),
+                harts.unwrap_or(2),
+                quick
+            )
         );
-        std::process::exit(2);
+        return;
     }
+    let harts = harts.unwrap_or(1);
+    let jobs = jobs.unwrap_or(1);
 
     // One report builder per experiment, in the fixed output order. Each
     // returns its full report as a string so runs can be fanned out across
@@ -526,6 +630,29 @@ fn report_security(trace_file: Option<&std::path::Path>, harts: usize) -> String
         }
         Err(e) => eprintln!("error: cannot write trace file {}: {e}", path.display()),
     }
+    out
+}
+
+fn report_fuzz(seed: u64, faults: u64, harts: usize, quick: bool) -> String {
+    let mut out = String::new();
+    header(
+        &mut out,
+        &format!("Fuzz campaign: {faults} seeded faults across {harts} hart(s) (ptstore-fault)"),
+    );
+    let cfg = if quick {
+        // Paranoid mode: the invariant oracle runs after every workload
+        // operation, not just at the post-injection checkpoints.
+        CampaignConfig::quick(seed, faults, harts)
+    } else {
+        CampaignConfig::new(seed, faults, harts)
+    };
+    let report = ptstore_fault::run_campaign(&cfg);
+    out.push_str(&report.summary());
+    w!(
+        out,
+        "=> every fault is refused by its named layer or provably benign; \
+         invariant-violated must be 0 on the full mechanism (see EXPERIMENTS.md)"
+    );
     out
 }
 

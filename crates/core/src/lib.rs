@@ -41,6 +41,8 @@
 //! # }
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod addr;
 pub mod channel;
 pub mod error;

@@ -347,6 +347,12 @@ pub struct PmpUnit {
     /// Host-side per-page match memoization; not architectural state.
     #[serde(skip)]
     match_cache: MatchCache,
+    /// Ablation switch (defaults to `true`): when `false`, the S-bit loses
+    /// its channel semantics and regular accesses reach the secure region
+    /// subject only to the entry's R/W permissions. The fault-injection
+    /// campaign disables this to prove the invariant oracle catches landed
+    /// page-table corruption; the full design never clears it.
+    secure_enforcement: bool,
 }
 
 /// Equality covers the architectural state only; an attached trace sink is
@@ -373,7 +379,22 @@ impl PmpUnit {
             secure_tor_index: None,
             trace: None,
             match_cache: MatchCache::default(),
+            secure_enforcement: true,
         }
+    }
+
+    /// Enables or disables S-bit enforcement (the fault-campaign ablation
+    /// hook). With enforcement off, [`check`](Self::check) treats secure
+    /// entries as ordinary R/W entries for the regular channel; the
+    /// dedicated-channel and walker rules are unchanged.
+    pub fn set_secure_enforcement(&mut self, enabled: bool) {
+        self.secure_enforcement = enabled;
+        self.invalidate_match_cache();
+    }
+
+    /// Whether S-bit enforcement is active (true in the full design).
+    pub fn secure_enforcement(&self) -> bool {
+        self.secure_enforcement
     }
 
     /// Enables or disables the per-page match cache. Purely a host-side
@@ -649,7 +670,21 @@ impl PmpUnit {
             // the walker may proceed, and only within the entry's R/W bits.
             let m = matched.expect("secure implies a match");
             match channel {
-                Channel::Regular => Err(AccessError::SecureRegionDenied { addr, kind }),
+                Channel::Regular if self.secure_enforcement => {
+                    Err(AccessError::SecureRegionDenied { addr, kind })
+                }
+                Channel::Regular => {
+                    // Ablated S-bit: fall back to the entry's R/W bits.
+                    if m.cfg.permits(kind) {
+                        Ok(())
+                    } else {
+                        Err(AccessError::PmpDenied {
+                            addr,
+                            kind,
+                            channel,
+                        })
+                    }
+                }
                 Channel::SecurePt | Channel::Ptw => {
                     if m.cfg.permits(kind) {
                         Ok(())

@@ -1,0 +1,54 @@
+//! # ptstore-fault — fault injection, invariant oracle, fuzz campaigns
+//!
+//! The paper's security argument (§V) is a case analysis: every way an
+//! attacker can reach for the page tables is intercepted by a named layer
+//! of the mechanism — the PMP S-bit, the dedicated `ld.pt`/`sd.pt`
+//! channel, the PTW origin check, or token validation. This crate turns
+//! that case analysis into an executable, adversarial test harness with
+//! three parts:
+//!
+//! * **[`inject`]** — a deterministic, seeded fault injector. Each
+//!   [`FaultClass`] models one way the
+//!   mechanism can be attacked or can mis-operate: PTE bit flips through
+//!   the regular channel, rogue PMP CSR (SBI) requests, corrupted `satp`
+//!   roots, dropped or reordered TLB-shootdown IPIs, PTStore-zone
+//!   exhaustion mid-`fork`, and forged tokens. Faults are addressable by
+//!   site (hart, process, PTE slot) and trigger condition (cycle count,
+//!   Nth bus access, trace-counter predicate) and are injected through
+//!   the same architectural paths an attacker would use, so the modeled
+//!   hardware gets to adjudicate them.
+//!
+//! * **[`oracle`]** — a machine-wide invariant oracle
+//!   ([`Invariants::check`]) verifying, from raw (DRAM's-eye) state: every
+//!   reachable page-table page lives inside the secure region and is
+//!   tracked by its owner; each hart's `satp` root matches the address
+//!   space of the process it runs and its token binding holds; the PMP
+//!   mirrors the kernel's view of the region; and no TLB entry grants
+//!   user access to page-table storage.
+//!
+//! * **[`campaign`]** — a seeded randomized campaign driver
+//!   ([`run_campaign`]): N runs, each booting a fresh kernel, running a
+//!   seeded syscall workload across H harts, injecting exactly one fault,
+//!   and classifying the run as *detected-and-contained*, *benign*, or
+//!   *invariant-violated*. With the full mechanism enabled the violated
+//!   count is zero by construction; disabling any single check via the
+//!   [`KernelConfig`](ptstore_kernel::KernelConfig) ablation switches
+//!   flips its fault class to *invariant-violated*.
+//!
+//! ```
+//! use ptstore_fault::{run_campaign, CampaignConfig, RunClass};
+//!
+//! let report = run_campaign(&CampaignConfig::quick(7, 7, 2));
+//! assert_eq!(report.count(RunClass::InvariantViolated), 0);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod campaign;
+pub mod inject;
+pub mod oracle;
+
+pub use campaign::{run_campaign, run_one, CampaignConfig, CampaignReport, RunClass, RunResult};
+pub use inject::{DetectedBy, FaultInjector, FaultPlan, InjectOutcome, Trigger};
+pub use oracle::{InvariantReport, Invariants, Violation};
+pub use ptstore_trace::FaultClass;

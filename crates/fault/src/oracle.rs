@@ -1,0 +1,388 @@
+//! The machine-wide invariant oracle.
+//!
+//! [`Invariants::check`] inspects a [`Kernel`] from the DRAM's-eye view —
+//! raw physical reads that bypass the PMP, exactly what a verification
+//! harness (not software running *on* the machine) is allowed to do — and
+//! verifies the state properties the PTStore mechanism is supposed to
+//! make unbreakable:
+//!
+//! 1. **Containment** — every page-table page any process (or the kernel)
+//!    can reach by walking from a root lives inside the secure region and
+//!    is tracked by its owning address space; no user-accessible leaf
+//!    maps secure-region storage.
+//! 2. **Binding** — each hart's `satp` root is the address-space root of
+//!    the process it is running, and (under PTStore) that root's token
+//!    binds it to the owning PCB.
+//! 3. **PMP consistency** — the PMP's installed region and S-bit
+//!    enforcement mirror the kernel's configuration, and every hart's
+//!    `satp.S` matches the configured PTW origin check.
+//! 4. **TLB hygiene** — no live TLB entry grants user access to a
+//!    page-table page or to secure-region storage.
+//!
+//! The oracle deliberately does **not** check attacker-writable kernel
+//! data (PCB fields of non-running processes, user memory contents):
+//! under the paper's threat model those may be arbitrarily corrupt at any
+//! time, and the mechanism's promise is only that corruption never
+//! *reaches* the translation machinery. Checking exactly the promised
+//! surface is what lets the campaign demand zero violations from the
+//! unmodified mechanism.
+
+use std::collections::BTreeSet;
+
+use ptstore_core::{PhysAddr, PhysPageNum, SecureRegion, TokenError};
+use ptstore_kernel::{Kernel, Pid};
+use ptstore_mmu::{Pte, Tlb};
+use ptstore_trace::TraceEvent;
+
+/// One invariant violation, with enough context to debug the run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// A tracked or reachable page-table page lies outside the secure
+    /// region.
+    PtPageOutsideRegion {
+        /// The offending page.
+        ppn: PhysPageNum,
+    },
+    /// A walk from a root reached a next-level table no address space
+    /// tracks (a stray or corrupted pointer).
+    ReachableUnknownPtPage {
+        /// The untracked page the walk reached.
+        ppn: PhysPageNum,
+        /// The page holding the pointer.
+        parent: PhysPageNum,
+    },
+    /// A page-table page could not be read back raw (the walk was
+    /// redirected outside physical memory).
+    UnreadablePtPage {
+        /// The unreadable page.
+        ppn: PhysPageNum,
+    },
+    /// A user-accessible leaf maps storage inside the secure region.
+    UserLeafIntoRegion {
+        /// The mapped secure-region page.
+        ppn: PhysPageNum,
+    },
+    /// A hart's `satp` root does not match the address space of the
+    /// process it runs.
+    SatpRootMismatch {
+        /// The hart.
+        hart: usize,
+        /// The process the hart believes it is running.
+        pid: Pid,
+    },
+    /// The running process's token fails validation against its PCB.
+    TokenBindingBroken {
+        /// The mm owner whose binding failed.
+        pid: Pid,
+        /// Why validation failed.
+        err: TokenError,
+    },
+    /// The PMP's installed secure region disagrees with the kernel's.
+    PmpRegionMismatch,
+    /// PMP S-bit enforcement state disagrees with the configuration.
+    PmpEnforcementMismatch,
+    /// A hart's `satp.S` disagrees with the configured PTW origin check.
+    SatpSBitMismatch {
+        /// The hart.
+        hart: usize,
+    },
+    /// A TLB entry grants user access to page-table storage.
+    TlbMapsPtPage {
+        /// The hart owning the TLB.
+        hart: usize,
+        /// The cached physical page.
+        ppn: PhysPageNum,
+    },
+}
+
+impl core::fmt::Display for Violation {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Violation::PtPageOutsideRegion { ppn } => {
+                write!(f, "page-table page {ppn} outside the secure region")
+            }
+            Violation::ReachableUnknownPtPage { ppn, parent } => {
+                write!(f, "walk reached untracked table {ppn} via {parent}")
+            }
+            Violation::UnreadablePtPage { ppn } => {
+                write!(f, "page-table page {ppn} unreadable")
+            }
+            Violation::UserLeafIntoRegion { ppn } => {
+                write!(f, "user leaf maps secure-region page {ppn}")
+            }
+            Violation::SatpRootMismatch { hart, pid } => {
+                write!(f, "hart {hart} satp root does not match pid {pid}")
+            }
+            Violation::TokenBindingBroken { pid, err } => {
+                write!(f, "token binding broken for pid {pid}: {err}")
+            }
+            Violation::PmpRegionMismatch => f.write_str("PMP region != kernel region"),
+            Violation::PmpEnforcementMismatch => {
+                f.write_str("PMP S-bit enforcement != configuration")
+            }
+            Violation::SatpSBitMismatch { hart } => {
+                write!(f, "hart {hart} satp.S != configured origin check")
+            }
+            Violation::TlbMapsPtPage { hart, ppn } => {
+                write!(f, "hart {hart} TLB grants user access to pt page {ppn}")
+            }
+        }
+    }
+}
+
+/// The result of one oracle sweep.
+#[derive(Debug, Clone, Default)]
+pub struct InvariantReport {
+    /// Individual checks evaluated.
+    pub checks: u64,
+    /// Violations found (empty on a healthy machine).
+    pub violations: Vec<Violation>,
+}
+
+impl InvariantReport {
+    /// True when no invariant was violated.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// The invariant oracle (see the module docs for the invariant list).
+pub struct Invariants;
+
+impl Invariants {
+    /// Sweeps every invariant over `k` and reports. Emits a
+    /// [`TraceEvent::InvariantCheck`] into the kernel's trace sink when
+    /// one is attached. Read-only: the machine is not perturbed and no
+    /// cycles are charged.
+    pub fn check(k: &Kernel) -> InvariantReport {
+        let mut rep = InvariantReport::default();
+        let region = k.secure_region();
+        let known = known_pt_pages(k);
+
+        if k.cfg.defense.is_ptstore() {
+            if let Some(region) = region {
+                check_containment(k, &region, &known, &mut rep);
+                check_pmp(k, &region, &mut rep);
+                check_tlbs(k, &region, &known, &mut rep);
+            }
+        }
+        check_satp_binding(k, region.as_ref(), &mut rep);
+
+        if let Some(sink) = k.trace_sink() {
+            sink.emit(TraceEvent::InvariantCheck {
+                checks: rep.checks.min(u64::from(u32::MAX)) as u32,
+                violations: rep.violations.len().min(u32::MAX as usize) as u32,
+            });
+        }
+        rep
+    }
+}
+
+/// Every page-table page the kernel's bookkeeping claims exists: the
+/// kernel template plus each mm owner's root and tracked table pages.
+fn known_pt_pages(k: &Kernel) -> BTreeSet<PhysPageNum> {
+    let mut known: BTreeSet<PhysPageNum> = BTreeSet::new();
+    known.insert(k.kernel_root());
+    known.extend(k.kernel_pt_pages().iter().copied());
+    for p in k.procs.iter() {
+        // Threads (mm_owner = Some) share their owner's tables.
+        if p.mm_owner.is_none() {
+            known.insert(p.aspace.root);
+            known.extend(p.aspace.pt_pages.iter().copied());
+        }
+    }
+    known
+}
+
+/// Invariant 1: containment. Tracked pages live in the region; walking
+/// from every root reaches only tracked, in-region tables; user leaves
+/// never map region storage.
+fn check_containment(
+    k: &Kernel,
+    region: &SecureRegion,
+    known: &BTreeSet<PhysPageNum>,
+    rep: &mut InvariantReport,
+) {
+    for &ppn in known {
+        rep.checks += 1;
+        if !region.contains(ppn.base_addr()) {
+            rep.violations.push(Violation::PtPageOutsideRegion { ppn });
+        }
+    }
+    let roots: Vec<PhysPageNum> = core::iter::once(k.kernel_root())
+        .chain(
+            k.procs
+                .iter()
+                .filter(|p| p.mm_owner.is_none())
+                .map(|p| p.aspace.root),
+        )
+        .collect();
+    let mut visited: BTreeSet<PhysPageNum> = BTreeSet::new();
+    let mut stack: Vec<(PhysPageNum, u8)> = roots.into_iter().map(|r| (r, 2)).collect();
+    while let Some((page, level)) = stack.pop() {
+        if !visited.insert(page) {
+            continue;
+        }
+        let base = page.base_addr();
+        for i in 0..512u64 {
+            let Ok(raw) = k.bus.mem().read_u64(base + i * 8) else {
+                rep.violations
+                    .push(Violation::UnreadablePtPage { ppn: page });
+                break;
+            };
+            let pte = Pte::from_bits(raw);
+            if !pte.is_valid() {
+                continue;
+            }
+            rep.checks += 1;
+            if pte.is_leaf() {
+                if pte.flags().user() && region.contains(pte.phys_addr()) {
+                    rep.violations
+                        .push(Violation::UserLeafIntoRegion { ppn: pte.ppn() });
+                }
+                continue;
+            }
+            // A valid non-leaf below level 0 cannot exist in Sv39; treat
+            // the child as an untracked table either way.
+            let child = pte.ppn();
+            if !region.contains(child.base_addr()) {
+                rep.violations
+                    .push(Violation::PtPageOutsideRegion { ppn: child });
+            } else if !known.contains(&child) {
+                rep.violations.push(Violation::ReachableUnknownPtPage {
+                    ppn: child,
+                    parent: page,
+                });
+            } else if level > 0 {
+                stack.push((child, level - 1));
+            }
+        }
+    }
+}
+
+/// Invariant 2: each hart's `satp` root matches the process it runs; the
+/// running process's token binds root, PCB, and token slot together.
+fn check_satp_binding(k: &Kernel, region: Option<&SecureRegion>, rep: &mut InvariantReport) {
+    for hart in &k.harts {
+        let satp = hart.mmu.satp;
+        if !satp.sv39 {
+            continue;
+        }
+        rep.checks += 1;
+        let pid = hart.current;
+        if pid == 0 {
+            // Idle harts sit on the kernel template.
+            if satp.root_ppn != k.kernel_root() {
+                rep.violations
+                    .push(Violation::SatpRootMismatch { hart: hart.id, pid });
+            }
+            continue;
+        }
+        let owner = k.mm_owner_of(pid);
+        let Some(proc_root) = k.procs.get(owner).map(|p| p.aspace.root) else {
+            rep.violations
+                .push(Violation::SatpRootMismatch { hart: hart.id, pid });
+            continue;
+        };
+        if satp.root_ppn != proc_root {
+            rep.violations
+                .push(Violation::SatpRootMismatch { hart: hart.id, pid });
+            continue;
+        }
+        if k.cfg.defense.is_ptstore() && k.cfg.token_checks {
+            rep.checks += 1;
+            if let Err(err) = validate_active_token(k, owner, proc_root, region) {
+                rep.violations
+                    .push(Violation::TokenBindingBroken { pid: owner, err });
+            }
+        }
+    }
+}
+
+/// Raw-reads `owner`'s PCB slots and token and revalidates the binding
+/// the way `switch_mm` would.
+fn validate_active_token(
+    k: &Kernel,
+    owner: Pid,
+    proc_root: PhysPageNum,
+    region: Option<&SecureRegion>,
+) -> Result<(), TokenError> {
+    let (Some(pt_slot), Some(tok_slot)) = (k.pcb_pt_ptr_slot(owner), k.pcb_token_slot(owner))
+    else {
+        return Err(TokenError::Cleared);
+    };
+    let mem = k.bus.mem();
+    let pcb_pt = mem.read_u64(pt_slot).map_err(|_| TokenError::Cleared)?;
+    let tok_ptr = mem.read_u64(tok_slot).map_err(|_| TokenError::Cleared)?;
+    let tok_addr = PhysAddr::new(tok_ptr);
+    if !region.is_some_and(|r| r.contains_range(tok_addr, ptstore_core::TOKEN_SIZE)) {
+        return Err(TokenError::TokenOutsideSecureRegion);
+    }
+    let pt = mem.read_u64(tok_addr).map_err(|_| TokenError::Cleared)?;
+    let user = mem
+        .read_u64(tok_addr + 8)
+        .map_err(|_| TokenError::Cleared)?;
+    let token = ptstore_core::Token::new(PhysAddr::new(pt), PhysAddr::new(user));
+    token.validate(PhysAddr::new(pcb_pt), tok_slot)?;
+    // The PCB pointer must also be the root the hart is actually using.
+    if PhysAddr::new(pcb_pt) != proc_root.base_addr() {
+        return Err(TokenError::PageTablePointerMismatch);
+    }
+    Ok(())
+}
+
+/// Invariant 3: the PMP mirrors the kernel's region and enforcement
+/// configuration; every translating hart carries the configured `satp.S`.
+fn check_pmp(k: &Kernel, region: &SecureRegion, rep: &mut InvariantReport) {
+    rep.checks += 1;
+    if k.bus.pmp().secure_region() != Some(*region) {
+        rep.violations.push(Violation::PmpRegionMismatch);
+    }
+    rep.checks += 1;
+    if k.bus.pmp().secure_enforcement() != k.cfg.pmp_s_bit_check {
+        rep.violations.push(Violation::PmpEnforcementMismatch);
+    }
+    for hart in &k.harts {
+        if !hart.mmu.satp.sv39 {
+            continue;
+        }
+        rep.checks += 1;
+        if hart.mmu.satp.s_bit != k.satp_s_bit() {
+            rep.violations
+                .push(Violation::SatpSBitMismatch { hart: hart.id });
+        }
+    }
+}
+
+/// Invariant 4: no TLB entry grants user access to page-table storage
+/// (tracked pages or anything inside the region).
+fn check_tlbs(
+    k: &Kernel,
+    region: &SecureRegion,
+    known: &BTreeSet<PhysPageNum>,
+    rep: &mut InvariantReport,
+) {
+    fn scan(
+        hart: usize,
+        tlb: &Tlb,
+        region: &SecureRegion,
+        known: &BTreeSet<PhysPageNum>,
+        rep: &mut InvariantReport,
+    ) {
+        for entry in tlb.entries() {
+            rep.checks += 1;
+            if entry.flags.user()
+                && (known.contains(&entry.ppn) || region.contains(entry.ppn.base_addr()))
+            {
+                rep.violations.push(Violation::TlbMapsPtPage {
+                    hart,
+                    ppn: entry.ppn,
+                });
+            }
+        }
+    }
+    for hart in &k.harts {
+        scan(hart.id, hart.mmu.itlb(), region, known, rep);
+        scan(hart.id, hart.mmu.dtlb(), region, known, rep);
+    }
+}

@@ -1,0 +1,131 @@
+//! Property tests for the invariant oracle and the campaign driver.
+//!
+//! Two properties carry the whole subsystem's credibility:
+//!
+//! 1. **No false positives** — on an unmodified kernel running arbitrary
+//!    seeded workloads at 1, 2, and 4 harts, the oracle is silent and the
+//!    mechanism raises no denials. If this fails, campaign verdicts mean
+//!    nothing.
+//! 2. **Determinism** — the same campaign seed produces the same report,
+//!    byte for byte. Every `reproduce fuzz` line in EXPERIMENTS.md relies
+//!    on this.
+
+use proptest::prelude::*;
+use ptstore_core::{VirtAddr, MIB, PAGE_SIZE};
+use ptstore_fault::{run_campaign, CampaignConfig, Invariants, RunClass};
+use ptstore_kernel::{Kernel, KernelConfig};
+use ptstore_trace::TraceSink;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn boot(harts: usize) -> Kernel {
+    let cfg = KernelConfig::cfi_ptstore()
+        .with_mem_size(128 * MIB)
+        .with_initial_secure_size(8 * MIB)
+        .with_harts(harts);
+    Kernel::boot(cfg).expect("kernel boots")
+}
+
+/// Seeded clean workload: one worker per hart, then a mix of process
+/// churn, mappings, touches, and pipe traffic rotated across harts.
+fn drive(k: &mut Kernel, seed: u64, ops: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let harts = k.harts.len();
+    k.set_active_hart(0);
+    let workers: Vec<_> = (0..harts).filter_map(|_| k.sys_fork().ok()).collect();
+    for (h, &w) in workers.iter().enumerate() {
+        k.set_active_hart(h);
+        let _ = k.do_switch_to(w);
+    }
+    let mut mapped: Vec<Vec<VirtAddr>> = vec![Vec::new(); harts];
+    for _ in 0..ops {
+        let h = (rng.random::<u64>() as usize) % harts;
+        k.set_active_hart(h);
+        match rng.random::<u64>() % 6 {
+            0 => {
+                if let Ok(child) = k.sys_fork() {
+                    let _ = k.do_switch_to(child);
+                    let _ = k.sys_exit(0);
+                    let _ = k.sys_wait();
+                }
+            }
+            1 => {
+                if let Ok(va) = k.sys_mmap(PAGE_SIZE) {
+                    let _ = k.sys_touch(va, true);
+                    mapped[h].push(va);
+                }
+            }
+            2 => {
+                if let Some(va) = mapped[h].pop() {
+                    let _ = k.sys_munmap(va, PAGE_SIZE);
+                }
+            }
+            3 => {
+                if let Some(&va) = mapped[h].first() {
+                    let _ = k.sys_touch(va, rng.random::<bool>());
+                }
+            }
+            4 => {
+                if let Ok((r, w)) = k.sys_pipe() {
+                    let _ = k.sys_write(w, &[0x5a; 16]);
+                    let _ = k.sys_read_discard(r, 16);
+                    let _ = k.sys_close(r);
+                    let _ = k.sys_close(w);
+                }
+            }
+            _ => {
+                let _ = k.sys_yield();
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The oracle never cries wolf: clean workloads at 1, 2, and 4 harts
+    /// keep every invariant, with the oracle run both mid-flight and at
+    /// the end, and the mechanism raises zero denials.
+    #[test]
+    fn oracle_silent_on_clean_workloads(seed in 0u64..u64::MAX, pick in 0usize..3) {
+        let harts = [1usize, 2, 4][pick];
+        let mut k = boot(harts);
+        let sink = TraceSink::new();
+        k.set_trace_sink(Some(sink.clone()));
+
+        drive(&mut k, seed, 24);
+        let mid = Invariants::check(&k);
+        prop_assert!(mid.ok(), "mid-run violations at {harts} harts: {:?}", mid.violations);
+        prop_assert!(mid.checks > 0);
+
+        drive(&mut k, seed.wrapping_add(1), 24);
+        let end = Invariants::check(&k);
+        prop_assert!(end.ok(), "end-run violations at {harts} harts: {:?}", end.violations);
+
+        let c = sink.counters();
+        prop_assert_eq!(c.pmp_denials, 0);
+        prop_assert_eq!(c.ptw_origin_rejections, 0);
+        prop_assert_eq!(c.token_rejections, 0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Same seed, same campaign — and the full mechanism never lets a
+    /// fault through to an invariant violation.
+    #[test]
+    fn campaigns_are_deterministic_and_contained(seed in 0u64..u64::MAX) {
+        let cfg = CampaignConfig::quick(seed, 7, 2);
+        let a = run_campaign(&cfg);
+        let b = run_campaign(&cfg);
+        prop_assert_eq!(a.summary(), b.summary());
+        prop_assert_eq!(a.count(RunClass::InvariantViolated), 0, "{}", a.summary());
+        for (ra, rb) in a.runs.iter().zip(&b.runs) {
+            prop_assert_eq!(ra.seed, rb.seed);
+            prop_assert_eq!(ra.outcome, rb.outcome);
+            prop_assert_eq!(ra.detected_by, rb.detected_by);
+            prop_assert_eq!(ra.violations, rb.violations);
+        }
+    }
+}

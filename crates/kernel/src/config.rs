@@ -68,6 +68,16 @@ pub struct KernelConfig {
     /// region and PTW origin check (isolates which layer stops which attack;
     /// always true in the paper's full design).
     pub token_checks: bool,
+    /// Ablation switch: disable the PMP S-bit enforcement — regular loads and
+    /// stores reach the secure region subject only to the entry's ordinary
+    /// R/W permissions. Always true in the paper's full design; the fault
+    /// campaign uses `false` to prove the invariant oracle catches landed
+    /// page-table corruption.
+    pub pmp_s_bit_check: bool,
+    /// Ablation switch: disable the PTW origin check — `satp.S` is left
+    /// clear, so the walker may fetch page tables from anywhere. Always true
+    /// in the paper's full design.
+    pub ptw_origin_check: bool,
     /// I-TLB capacity in entries (prototype: 32, paper Table II).
     pub itlb_entries: usize,
     /// D-TLB capacity in entries (prototype: 8, paper Table II).
@@ -180,6 +190,18 @@ impl KernelConfigBuilder {
         self
     }
 
+    /// Enables or disables PMP S-bit enforcement (ablation switch).
+    pub fn pmp_s_bit_check(mut self, enabled: bool) -> Self {
+        self.cfg.pmp_s_bit_check = enabled;
+        self
+    }
+
+    /// Enables or disables the PTW origin check (ablation switch).
+    pub fn ptw_origin_check(mut self, enabled: bool) -> Self {
+        self.cfg.ptw_origin_check = enabled;
+        self
+    }
+
     /// I-TLB capacity in entries.
     pub fn itlb_entries(mut self, entries: usize) -> Self {
         self.cfg.itlb_entries = entries;
@@ -253,6 +275,8 @@ impl KernelConfig {
             adjust_chunk: 16 * MIB,
             adjustment_enabled: true,
             token_checks: true,
+            pmp_s_bit_check: true,
+            ptw_origin_check: true,
             itlb_entries: 32,
             dtlb_entries: 8,
             harts: 1,

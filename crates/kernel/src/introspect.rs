@@ -60,7 +60,7 @@ impl Kernel {
                 return Ok(PhysAddr::new(va.as_u64() - base));
             }
         }
-        let satp = Satp::sv39(self.kernel_root(), 0, self.cfg.defense.is_ptstore());
+        let satp = Satp::sv39(self.kernel_root(), 0, self.satp_s_bit());
         PageTableWalker::new()
             .translate(&mut self.bus, satp, va, kind, PrivilegeMode::Supervisor)
             .map(|o| o.pa)

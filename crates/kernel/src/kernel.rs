@@ -13,7 +13,7 @@ use ptstore_core::{
 };
 use ptstore_mem::Bus;
 use ptstore_mmu::{Mmu, Pte, PteFlags, Satp};
-use ptstore_trace::{FlushScope, TokenOp, TraceEvent, TraceSink};
+use ptstore_trace::{FaultClass, FlushScope, TokenOp, TraceEvent, TraceSink};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -98,6 +98,12 @@ pub struct Kernel {
     /// Fault-injection hook for the allocator-metadata attack (§V-E3): the
     /// next page-table allocation returns this (in-use) page.
     pub(crate) injected_overlap: Option<PhysPageNum>,
+    /// Fault-injection hook for the IPI fabric: the next shootdown broadcast
+    /// is perturbed (an IPI dropped, or acks collected in reverse order).
+    pub(crate) ipi_fault: Option<IpiFault>,
+    /// Pages drained out of the PTStore zone by the zone-exhaustion fault
+    /// (held here so they can be refilled after the run).
+    pub(crate) drained_pt_pages: Vec<PhysPageNum>,
     /// Defense firings.
     pub security_log: Vec<SecurityEvent>,
     /// True once boot completed and the PTW origin check is armed.
@@ -116,6 +122,22 @@ pub const PT_RAND_GLOBAL_PA: u64 = 0x10_0000;
 /// Base of the PT-Rand randomised mapping window (upper half, disjoint from
 /// the direct map).
 pub const PT_RAND_WINDOW_BASE: u64 = 0xFFFF_FFD0_0000_0000;
+
+/// A planted perturbation of the next TLB-shootdown broadcast (the
+/// `ptstore-fault` IPI tap; see [`Kernel::inject_ipi_fault`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IpiFault {
+    /// The IPI to `victim` is silently lost: that hart neither flushes nor
+    /// pays the receive cost, and its TLBs go stale.
+    DropNext {
+        /// Hart index whose IPI is dropped.
+        victim: usize,
+    },
+    /// Acknowledgements are collected in reversed hart order. The shootdown
+    /// is a barrier, so this must be (and is) behaviour-preserving — the
+    /// fault campaign classifies it as benign by re-checking the oracle.
+    ReorderNext,
+}
 
 impl Kernel {
     /// Boots a kernel with `cfg`. This performs the PTStore boot protocol of
@@ -180,6 +202,12 @@ impl Kernel {
             None
         };
 
+        // Ablation: drop the S-bit's channel semantics so landed faults are
+        // visible to the invariant oracle (never cleared in the full design).
+        if cfg.defense.is_ptstore() && !cfg.pmp_s_bit_check {
+            bus.pmp_mut().set_secure_enforcement(false);
+        }
+
         let mut rng = StdRng::seed_from_u64(0x7057_0e5e);
         let pt_rand_offset: u64 = if cfg.defense == DefenseMode::PtRand {
             (rng.random::<u64>() & 0x0000_000F_FFFF_F000) | 0x1000
@@ -219,6 +247,8 @@ impl Kernel {
             next_socket: 1,
             pt_rand_offset,
             injected_overlap: None,
+            ipi_fault: None,
+            drained_pt_pages: Vec::new(),
             security_log: Vec::new(),
             ptw_check_armed: false,
             trace: None,
@@ -234,7 +264,7 @@ impl Kernel {
             .expect("kernel image in range");
 
         kernel.build_kernel_address_space()?;
-        kernel.ptw_check_armed = kernel.cfg.defense.is_ptstore();
+        kernel.ptw_check_armed = kernel.satp_s_bit();
 
         // Shared user text page.
         let text = kernel.alloc_page(GfpFlags::ZERO)?;
@@ -293,6 +323,12 @@ impl Kernel {
     /// The supervisor access context with the current `satp.S` state.
     pub(crate) fn kctx(&self) -> AccessContext {
         AccessContext::supervisor(self.ptw_check_armed).on_hart(self.active_hart)
+    }
+
+    /// Whether `satp.S` is set on this machine: PTStore with the PTW origin
+    /// check enabled (the `ptw_origin_check` ablation clears it).
+    pub fn satp_s_bit(&self) -> bool {
+        self.cfg.defense.is_ptstore() && self.cfg.ptw_origin_check
     }
 
     /// The channel the kernel's page-table manipulation code uses — the
@@ -379,6 +415,7 @@ impl Kernel {
         if n <= 1 {
             return;
         }
+        let fault = self.ipi_fault.take();
         let from = self.active_hart;
         let remotes = (n - 1) as u64;
         self.charge(
@@ -389,8 +426,31 @@ impl Kernel {
             FlushScope::Page { .. } => cost::SFENCE_PAGE,
             FlushScope::Asid { .. } | FlushScope::All => cost::SFENCE_ALL,
         };
-        for i in 0..n {
+        // The IPI fault tap: drop one IPI, or visit remotes in reverse order
+        // (the shootdown is a barrier, so ack order is behaviour-preserving).
+        let dropped = match fault {
+            Some(IpiFault::DropNext { victim }) if victim != from && victim < n => Some(victim),
+            _ => None,
+        };
+        let order: Vec<usize> = if matches!(fault, Some(IpiFault::ReorderNext)) {
+            (0..n).rev().collect()
+        } else {
+            (0..n).collect()
+        };
+        if let (Some(sink), Some(f)) = (&self.trace, fault) {
+            let (kind, victim) = match f {
+                IpiFault::DropNext { victim } => (FaultClass::IpiDrop, victim as u32),
+                IpiFault::ReorderNext => (FaultClass::IpiReorder, from as u32),
+            };
+            sink.emit(TraceEvent::IpiFault { kind, victim });
+        }
+        for i in order {
             if i == from {
+                continue;
+            }
+            if Some(i) == dropped {
+                // The IPI is lost in the fabric: the victim neither flushes
+                // nor pays the receive cost, and its TLBs go stale.
                 continue;
             }
             match scope {
@@ -1061,7 +1121,7 @@ impl Kernel {
         self.harts[self.active_hart].mmu.satp = Satp::sv39(
             PhysPageNum::new(pt_ptr.as_u64() >> PAGE_SHIFT),
             asid,
-            self.cfg.defense.is_ptstore(),
+            self.satp_s_bit(),
         );
         Ok(())
     }
@@ -1105,6 +1165,58 @@ impl Kernel {
     /// modelling corrupted allocator freelists.
     pub fn inject_allocator_overlap(&mut self, ppn: PhysPageNum) {
         self.injected_overlap = Some(ppn);
+    }
+
+    /// Fault-injection hook for the IPI fabric (`ptstore-fault`): perturbs
+    /// the next TLB-shootdown broadcast per `fault`.
+    pub fn inject_ipi_fault(&mut self, fault: IpiFault) {
+        self.ipi_fault = Some(fault);
+    }
+
+    /// The page-table pages of the shared kernel address-space template,
+    /// root included (invariant-oracle accessor).
+    pub fn kernel_pt_pages(&self) -> &[PhysPageNum] {
+        &self.kernel_pt_pages
+    }
+
+    /// Issues one SBI call against this machine's firmware and PMP, paying
+    /// the modeled SBI transition cost. The fault campaign uses this to
+    /// model rogue secure-region requests the firmware must refuse; the
+    /// kernel's own paths go through dedicated wrappers.
+    pub fn sbi_call(&mut self, call: SbiCall) -> SbiResult {
+        self.charge(CostKind::Sbi, cost::SBI_CALL);
+        self.sbi.handle(&mut self.bus, call)
+    }
+
+    /// Zone-exhaustion fault: drains every free page of the PTStore zone
+    /// into a holding list, so the next page-table allocation faces an
+    /// empty zone (mid-`fork` exhaustion). Returns the number of pages
+    /// drained. Undo with [`Self::refill_pt_zone`].
+    pub fn drain_pt_zone(&mut self) -> u64 {
+        let Some(zone) = self.pt_zone.as_mut() else {
+            return 0;
+        };
+        let mut drained = 0;
+        while let Ok(ppn) = zone.alloc(0, false) {
+            self.drained_pt_pages.push(ppn);
+            drained += 1;
+        }
+        drained
+    }
+
+    /// Returns every page held by [`Self::drain_pt_zone`] to the PTStore
+    /// zone. Pages the zone no longer covers (the region grew and the zone
+    /// was re-based meanwhile) are dropped silently.
+    pub fn refill_pt_zone(&mut self) {
+        let Some(zone) = self.pt_zone.as_mut() else {
+            self.drained_pt_pages.clear();
+            return;
+        };
+        for ppn in std::mem::take(&mut self.drained_pt_pages) {
+            if zone.contains(ppn) {
+                let _ = zone.free(ppn);
+            }
+        }
     }
 
     /// The PT-Rand window base + secret offset (tests/attacks compute

@@ -67,7 +67,7 @@ pub use cycles::{cost, CostKind, CycleCounter};
 pub use error::KernelError;
 pub use hart::Hart;
 pub use introspect::AttackerFault;
-pub use kernel::Kernel;
+pub use kernel::{IpiFault, Kernel};
 pub use proc_mgmt::FaultResolution;
 pub use process::{Pid, ProcState};
 pub use ptstore_trace::Snapshot;

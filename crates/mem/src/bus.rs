@@ -272,6 +272,29 @@ impl Bus {
         Ok(v)
     }
 
+    /// Flips bit `bit` of the 8-byte word at `addr` through the checked
+    /// write path: the old value is sampled raw (DRAM's-eye view, no charge),
+    /// then the flipped word is stored via [`Bus::write`] on `channel` under
+    /// `ctx`, so the PMP adjudicates the fault exactly as it would a rogue
+    /// store. Used by the `ptstore-fault` injector to model single-bit PTE
+    /// corruption attempts.
+    ///
+    /// # Errors
+    /// PMP/PTStore denials, misalignment, or out-of-range access — in which
+    /// case memory is unchanged.
+    pub fn inject_bit_flip(
+        &mut self,
+        addr: PhysAddr,
+        bit: u32,
+        channel: Channel,
+        ctx: AccessContext,
+    ) -> Result<u64, AccessError> {
+        let old = self.mem.read_u64(addr)?;
+        let new = old ^ (1u64 << (bit % 64));
+        self.write::<u64>(addr, new, channel, ctx)?;
+        Ok(new)
+    }
+
     /// Checked whole-page zero test (reads via `ld.pt`, so only meaningful
     /// for secure-region pages). Counts as a single read burst.
     ///

@@ -14,6 +14,8 @@
 //! * [`stats::AccessStats`] — per-channel access counters used by the cycle
 //!   model and by the evaluation harness.
 
+#![deny(missing_docs)]
+
 pub mod bus;
 pub mod frame;
 pub mod phys;

@@ -26,6 +26,8 @@
 //! assert!(Satp::from_bits(satp.to_bits()).s_bit);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod mmu;
 pub mod pte;
 pub mod satp;

@@ -216,6 +216,21 @@ impl Mmu {
     pub fn dtlb_mut(&mut self) -> &mut Tlb {
         &mut self.dtlb
     }
+
+    /// Read-only I-TLB view (invariant oracle / diagnostics).
+    pub fn itlb(&self) -> &Tlb {
+        &self.itlb
+    }
+
+    /// Read-only D-TLB view (invariant oracle / diagnostics).
+    pub fn dtlb(&self) -> &Tlb {
+        &self.dtlb
+    }
+
+    /// Direct I-TLB access for fault-injection experiments.
+    pub fn itlb_mut(&mut self) -> &mut Tlb {
+        &mut self.itlb
+    }
 }
 
 const _: () = {

@@ -325,6 +325,12 @@ impl Tlb {
         }
     }
 
+    /// Iterates over the live entries (diagnostics / invariant oracle).
+    /// Order is slot order; no accounting is touched.
+    pub fn entries(&self) -> impl Iterator<Item = &TlbEntry> {
+        self.entries.iter().flatten()
+    }
+
     /// Number of live entries (diagnostics), maintained incrementally.
     pub fn occupancy(&self) -> usize {
         debug_assert_eq!(self.live, self.entries.iter().flatten().count());

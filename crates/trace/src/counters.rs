@@ -28,6 +28,10 @@ pub struct TraceCounters {
     pub token_rejections: u64,
     pub syscalls: u64,
     pub region_moves: u64,
+    pub faults_injected: u64,
+    pub ipi_faults: u64,
+    pub invariant_checks: u64,
+    pub invariant_violations: u64,
 }
 
 impl TraceCounters {
@@ -58,6 +62,12 @@ impl TraceCounters {
             TraceEvent::SyscallEnter { .. } => self.syscalls += 1,
             TraceEvent::SyscallExit { .. } => {}
             TraceEvent::RegionMove { .. } => self.region_moves += 1,
+            TraceEvent::FaultInjected { .. } => self.faults_injected += 1,
+            TraceEvent::IpiFault { .. } => self.ipi_faults += 1,
+            TraceEvent::InvariantCheck { violations, .. } => {
+                self.invariant_checks += 1;
+                self.invariant_violations += u64::from(*violations);
+            }
         }
     }
 
@@ -76,6 +86,9 @@ impl TraceCounters {
             + self.token_ops
             + self.syscalls
             + self.region_moves
+            + self.faults_injected
+            + self.ipi_faults
+            + self.invariant_checks
     }
 
     /// Serialises the counters as one JSON object.
@@ -96,6 +109,10 @@ impl TraceCounters {
         w.num_field("token_rejections", self.token_rejections);
         w.num_field("syscalls", self.syscalls);
         w.num_field("region_moves", self.region_moves);
+        w.num_field("faults_injected", self.faults_injected);
+        w.num_field("ipi_faults", self.ipi_faults);
+        w.num_field("invariant_checks", self.invariant_checks);
+        w.num_field("invariant_violations", self.invariant_violations);
         w.finish()
     }
 }
@@ -118,6 +135,10 @@ impl Snapshot for TraceCounters {
             token_rejections: self.token_rejections - earlier.token_rejections,
             syscalls: self.syscalls - earlier.syscalls,
             region_moves: self.region_moves - earlier.region_moves,
+            faults_injected: self.faults_injected - earlier.faults_injected,
+            ipi_faults: self.ipi_faults - earlier.ipi_faults,
+            invariant_checks: self.invariant_checks - earlier.invariant_checks,
+            invariant_violations: self.invariant_violations - earlier.invariant_violations,
         }
     }
 }

@@ -137,6 +137,10 @@ pub enum Layer {
     Token,
     Syscall,
     Region,
+    /// Fault-injection events (`ptstore-fault` and the kernel's IPI tap).
+    Fault,
+    /// Invariant-oracle sweeps (`ptstore-fault`).
+    Oracle,
 }
 
 impl fmt::Display for Layer {
@@ -149,6 +153,57 @@ impl fmt::Display for Layer {
             Layer::Token => "token",
             Layer::Syscall => "syscall",
             Layer::Region => "region",
+            Layer::Fault => "fault",
+            Layer::Oracle => "oracle",
+        })
+    }
+}
+
+/// The class of an injected fault, shared vocabulary between the
+/// `ptstore-fault` injector, the kernel's IPI tap, and trace consumers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultClass {
+    /// A bit flip attempted on a page-table entry in the secure region
+    /// through the regular channel (the attacker's write primitive).
+    PteBitFlip,
+    /// An attempted corruption of the PMP secure-region CSRs (modelled as a
+    /// rogue SBI `SecureRegionSet` request the firmware must refuse).
+    PmpCsrCorrupt,
+    /// A corrupted `satp` write pointing the root outside the secure region.
+    SatpCorrupt,
+    /// A TLB-shootdown IPI silently dropped before reaching its victim.
+    IpiDrop,
+    /// TLB-shootdown acknowledgements delivered in reversed order.
+    IpiReorder,
+    /// The PTStore zone drained of free pages mid-workload.
+    ZoneExhaust,
+    /// A forged page-table pointer written into a PCB (token-forging).
+    TokenForge,
+}
+
+impl FaultClass {
+    /// Every fault class, in campaign order.
+    pub const ALL: [FaultClass; 7] = [
+        FaultClass::PteBitFlip,
+        FaultClass::PmpCsrCorrupt,
+        FaultClass::SatpCorrupt,
+        FaultClass::IpiDrop,
+        FaultClass::IpiReorder,
+        FaultClass::ZoneExhaust,
+        FaultClass::TokenForge,
+    ];
+}
+
+impl fmt::Display for FaultClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FaultClass::PteBitFlip => "pte-bit-flip",
+            FaultClass::PmpCsrCorrupt => "pmp-csr-corrupt",
+            FaultClass::SatpCorrupt => "satp-corrupt",
+            FaultClass::IpiDrop => "ipi-drop",
+            FaultClass::IpiReorder => "ipi-reorder",
+            FaultClass::ZoneExhaust => "zone-exhaust",
+            FaultClass::TokenForge => "token-forge",
         })
     }
 }
@@ -245,6 +300,14 @@ pub enum TraceEvent {
         new_base: u64,
         end: u64,
     },
+    /// The `ptstore-fault` injector fired one fault on `hart`.
+    FaultInjected { kind: FaultClass, hart: u32 },
+    /// A planted IPI fault perturbed a shootdown broadcast: the IPI to
+    /// `victim` was dropped, or the ack collection ran in reversed order.
+    IpiFault { kind: FaultClass, victim: u32 },
+    /// One invariant-oracle sweep: `checks` invariants evaluated,
+    /// `violations` of them failed.
+    InvariantCheck { checks: u32, violations: u32 },
 }
 
 impl TraceEvent {
@@ -263,6 +326,8 @@ impl TraceEvent {
             TraceEvent::Token { .. } => Layer::Token,
             TraceEvent::SyscallEnter { .. } | TraceEvent::SyscallExit { .. } => Layer::Syscall,
             TraceEvent::RegionMove { .. } => Layer::Region,
+            TraceEvent::FaultInjected { .. } | TraceEvent::IpiFault { .. } => Layer::Fault,
+            TraceEvent::InvariantCheck { .. } => Layer::Oracle,
         }
     }
 
@@ -427,6 +492,21 @@ impl TraceEvent {
                 w.str_field("type", "syscall_exit");
                 w.str_field("name", name);
                 w.num_field("cycles", *cycles);
+            }
+            TraceEvent::FaultInjected { kind, hart } => {
+                w.str_field("type", "fault_injected");
+                w.str_field("kind", &kind.to_string());
+                w.num_field("hart", u64::from(*hart));
+            }
+            TraceEvent::IpiFault { kind, victim } => {
+                w.str_field("type", "ipi_fault");
+                w.str_field("kind", &kind.to_string());
+                w.num_field("victim", u64::from(*victim));
+            }
+            TraceEvent::InvariantCheck { checks, violations } => {
+                w.str_field("type", "invariant_check");
+                w.num_field("checks", u64::from(*checks));
+                w.num_field("violations", u64::from(*violations));
             }
             TraceEvent::RegionMove {
                 old_base,

@@ -50,7 +50,8 @@ mod snapshot;
 
 pub use counters::TraceCounters;
 pub use event::{
-    Access, Chan, FlushScope, Layer, RejectingLayer, TlbUnit, TokenOp, TraceEvent, Verdict,
+    Access, Chan, FaultClass, FlushScope, Layer, RejectingLayer, TlbUnit, TokenOp, TraceEvent,
+    Verdict,
 };
 pub use sink::{TraceBuffer, TraceSink, DEFAULT_CAPACITY};
 pub use snapshot::Snapshot;

@@ -17,7 +17,8 @@ echo "== cargo doc (-D warnings) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --quiet \
     -p ptstore-core -p ptstore-mem -p ptstore-mmu -p ptstore-isa \
     -p ptstore-kernel -p ptstore-trace -p ptstore-workloads \
-    -p ptstore-attacks -p ptstore-hwcost -p ptstore-bench -p ptstore
+    -p ptstore-attacks -p ptstore-fault -p ptstore-hwcost \
+    -p ptstore-bench -p ptstore
 
 echo "== cargo test =="
 cargo test --offline --workspace -q
@@ -38,6 +39,13 @@ cargo build --offline --quiet --release -p ptstore-bench --bin reproduce
 ./target/release/reproduce --quick --jobs 4 ltp > target/ltp-4job.txt
 cmp target/ltp-1job.txt target/ltp-4job.txt
 rm -f target/ltp-1job.txt target/ltp-4job.txt
+
+echo "== smoke: fixed-seed fuzz campaign (deterministic, contained) =="
+./target/release/reproduce fuzz --seed 1 --faults 70 > target/fuzz-a.txt
+./target/release/reproduce fuzz --seed 1 --faults 70 > target/fuzz-b.txt
+cmp target/fuzz-a.txt target/fuzz-b.txt
+grep -q "invariant-violated     : 0" target/fuzz-a.txt
+rm -f target/fuzz-a.txt target/fuzz-b.txt
 
 echo "== host-performance harness (BENCH_PR3.json) =="
 scripts/bench.sh
