@@ -95,4 +95,28 @@ mod tests {
             .contains("zero-check"));
         assert!(AttackOutcome::SucceededViaLeak.to_string().contains("leak"));
     }
+
+    /// Every defense layer renders a distinct, non-empty explanation.
+    #[test]
+    fn every_blocked_by_variant_displays_distinctly() {
+        let all = [
+            BlockedBy::SecureRegionPmp,
+            BlockedBy::PtwOriginCheck,
+            BlockedBy::TokenCheck,
+            BlockedBy::ZeroCheck,
+            BlockedBy::PagePermissions,
+            BlockedBy::UnmappedTarget,
+            BlockedBy::InvalidAsPte,
+        ];
+        let mut seen = std::collections::BTreeSet::new();
+        for by in all {
+            let s = by.to_string();
+            assert!(!s.is_empty(), "{by:?} renders empty");
+            assert!(seen.insert(s.clone()), "duplicate display {s:?}");
+            assert!(
+                AttackOutcome::Blocked(by).to_string().contains(&s),
+                "outcome display embeds the layer"
+            );
+        }
+    }
 }

@@ -1,0 +1,61 @@
+//! Exhaustive coverage of the oracle's violation vocabulary.
+//!
+//! Every [`Violation`] variant is a distinct promise the invariant oracle
+//! makes about the machine; each must render an explanation a campaign
+//! report can print verbatim. Constructing all of them here also keeps the
+//! vocabulary honest: a variant nothing can name in a test is a variant no
+//! campaign has ever demanded.
+
+use ptstore_core::{PhysPageNum, TokenError};
+use ptstore_fault::Violation;
+
+fn all_violations() -> Vec<Violation> {
+    let ppn = PhysPageNum::new(0x1234);
+    let parent = PhysPageNum::new(0x1200);
+    vec![
+        Violation::PtPageOutsideRegion { ppn },
+        Violation::ReachableUnknownPtPage { ppn, parent },
+        Violation::UnreadablePtPage { ppn },
+        Violation::UserLeafIntoRegion { ppn },
+        Violation::SatpRootMismatch { hart: 1, pid: 2 },
+        Violation::TokenBindingBroken {
+            pid: 3,
+            err: TokenError::Cleared,
+        },
+        Violation::PmpRegionMismatch,
+        Violation::PmpEnforcementMismatch,
+        Violation::SatpSBitMismatch { hart: 0 },
+        Violation::TlbMapsPtPage { hart: 1, ppn },
+    ]
+}
+
+/// Each variant displays non-empty and distinctly from every other.
+#[test]
+fn every_violation_variant_displays_distinctly() {
+    let mut seen = std::collections::BTreeSet::new();
+    for v in all_violations() {
+        let s = v.to_string();
+        assert!(!s.is_empty(), "{v:?} renders empty");
+        assert!(seen.insert(s.clone()), "duplicate display {s:?}");
+    }
+}
+
+/// Context fields (pages, harts, pids, token errors) show up in the
+/// rendered message so a failing campaign run is debuggable from its log.
+#[test]
+fn violation_displays_carry_context() {
+    let ppn = PhysPageNum::new(0xabcd);
+    assert!(Violation::PtPageOutsideRegion { ppn }
+        .to_string()
+        .contains("0xabcd"));
+    assert!(Violation::SatpRootMismatch { hart: 7, pid: 9 }
+        .to_string()
+        .contains('7'));
+    let broken = Violation::TokenBindingBroken {
+        pid: 9,
+        err: TokenError::UserPointerMismatch,
+    };
+    assert!(broken
+        .to_string()
+        .contains(&TokenError::UserPointerMismatch.to_string()));
+}

@@ -23,6 +23,8 @@
 //! assert!(rows[1].core_lut_pct.unwrap() < 0.92);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod boom;
 pub mod component;
 pub mod power;

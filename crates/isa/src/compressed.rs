@@ -32,7 +32,6 @@ fn sign_extend(value: u64, sign_bit: u32) -> i64 {
 
 /// Decodes one 16-bit RVC instruction; `None` for illegal/unsupported
 /// encodings (including the all-zero pattern, which is defined illegal).
-#[allow(clippy::too_many_lines)]
 pub fn decode_compressed(word: u16) -> Option<Inst> {
     if word == 0 {
         return None; // defined illegal

@@ -261,7 +261,6 @@ impl Cpu {
             .map_err(|_| (TrapCause::InstructionAccessFault, pc))
     }
 
-    #[allow(clippy::too_many_lines)]
     fn execute(
         &mut self,
         bus: &mut Bus,

@@ -78,6 +78,7 @@ fn j_type(opcode: u32, rd: u8, offset: i64) -> u32 {
 /// # Panics
 /// Panics (in debug builds) when an immediate is out of range for its
 /// encoding, and on shift-immediate ALU ops outside 0–63.
+// Opcode literals are grouped by instruction field (funct/op), not digits.
 #[allow(clippy::unusual_byte_groupings)]
 pub fn encode(inst: Inst) -> u32 {
     match inst {

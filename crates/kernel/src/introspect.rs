@@ -74,6 +74,8 @@ impl Kernel {
     pub fn attacker_read_u64(&mut self, va: VirtAddr) -> Result<u64, AttackerFault> {
         let pa = self.attacker_translate(va, AccessKind::Read)?;
         let ctx = self.kctx();
+        // ptstore-lint: allow(channel-confinement) — the §III-A attacker's
+        // regular load; the PMP adjudicates it, which is the point.
         self.bus
             .read::<u64>(pa, Channel::Regular, ctx)
             .map_err(AttackerFault::AccessFault)
@@ -83,6 +85,8 @@ impl Kernel {
     pub fn attacker_write_u64(&mut self, va: VirtAddr, value: u64) -> Result<(), AttackerFault> {
         let pa = self.attacker_translate(va, AccessKind::Write)?;
         let ctx = self.kctx();
+        // ptstore-lint: allow(channel-confinement) — the §III-A attacker's
+        // regular store; must hit the PMP S-bit, not the kernel channel.
         self.bus
             .write::<u64>(pa, value, Channel::Regular, ctx)
             .map_err(AttackerFault::AccessFault)
@@ -98,6 +102,8 @@ impl Kernel {
         value: u64,
     ) -> Result<(), AttackerFault> {
         let ctx = self.kctx();
+        // ptstore-lint: allow(channel-confinement) — §V-E5 stale-TLB store:
+        // the attacker bypasses translation, never the physical checks.
         self.bus
             .write::<u64>(pa, value, Channel::Regular, ctx)
             .map_err(AttackerFault::AccessFault)

@@ -46,6 +46,7 @@
 //! # }
 //! ```
 
+pub mod channel;
 pub mod config;
 pub mod cycles;
 pub mod error;

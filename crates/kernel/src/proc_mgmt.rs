@@ -618,9 +618,11 @@ impl Kernel {
             // Copy the page.
             let new = self.alloc_page(GfpFlags::MOVABLE)?;
             self.charge(CostKind::MemAccess, cost::ZERO_PAGE); // page copy
-            self.bus.mem_unchecked().copy_page(old, new)?;
+            self.raw_copy_page(old, new)?;
             *self.page_refs.entry(new.as_u64()).or_insert(0) += 1;
             let slot = self.leaf_slot(root, va)?.ok_or(KernelError::BadAddress)?;
+            // ptstore-lint: hazard(shootdown-pairing) — COW break repoints the
+            // leaf; the old read-only translation must not survive in any TLB.
             self.pt_write(slot, Pte::leaf(new, new_flags).bits())?;
             // Shadow + rmap rewire.
             if let Some(p) = self.procs.get_mut(pid) {

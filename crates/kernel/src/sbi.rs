@@ -109,6 +109,9 @@ impl SbiFirmware {
                     Ok(r) => r,
                     Err(_) => return SbiResult::Err(SbiError::InvalidParam),
                 };
+                // ptstore-lint: allow(channel-confinement) — M-mode firmware
+                // programming the PMP at secure-region bring-up (§IV-B); the
+                // reference monitor sits below the S-mode channel discipline.
                 match bus.install_secure_region(&region) {
                     Ok(()) => {
                         self.region = Some(region);
@@ -138,6 +141,9 @@ impl SbiFirmware {
                     Ok(r) => r,
                     Err(_) => return SbiResult::Err(SbiError::InvalidParam),
                 };
+                // ptstore-lint: allow(channel-confinement) — M-mode firmware
+                // moving the validated PMP boundary (§IV-C1 adjustment); only
+                // downward moves reach this arm.
                 match bus.update_secure_region(&grown) {
                     Ok(()) => {
                         self.region = Some(grown);

@@ -783,6 +783,8 @@ impl Kernel {
                 bits |= ptstore_mmu::PteFlags::X;
             }
             let flags = ptstore_mmu::PteFlags::from_bits(bits);
+            // ptstore-lint: hazard(shootdown-pairing) — mprotect may drop W/R;
+            // cached translations with the old permissions must be shot down.
             self.pt_write(slot, ptstore_mmu::Pte::leaf(ppn, flags).bits())?;
             self.tlb_flush_page(va, asid);
             if let Some(p) = self.procs.get_mut(mm) {

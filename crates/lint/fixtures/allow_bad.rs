@@ -1,0 +1,17 @@
+//! BAD: `#[allow(...)]` attributes with no justification anywhere near
+//! them. Each must fire `allow-justification`.
+
+#[allow(dead_code)]
+fn orphaned_allow() {}
+
+/// Doc comments do not count as justification — they describe the item,
+/// not the exception.
+#[allow(clippy::too_many_arguments)]
+fn doc_is_not_justification(a: u8, b: u8, c: u8, d: u8, e: u8, f: u8, g: u8, h: u8) {
+    let _ = (a, b, c, d, e, f, g, h);
+}
+
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+fn multi_lint_unjustified(x: i64) -> u32 {
+    x as u32
+}

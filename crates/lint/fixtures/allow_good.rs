@@ -1,0 +1,18 @@
+//! GOOD twin of `allow_bad.rs`: the same attributes, each justified by a
+//! plain comment on the line above or trailing on the attribute line.
+//! Must produce zero `allow-justification` findings.
+
+// Kept as a fixture anchor; nothing links against this file.
+#[allow(dead_code)]
+fn justified_above() {}
+
+#[allow(clippy::too_many_arguments)] // test fixture spelling out each field
+fn justified_trailing(a: u8, b: u8, c: u8, d: u8, e: u8, f: u8, g: u8, h: u8) {
+    let _ = (a, b, c, d, e, f, g, h);
+}
+
+// Lossy on purpose: the register is architecturally 32 bits.
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+fn multi_lint_justified(x: i64) -> u32 {
+    x as u32
+}

@@ -1,0 +1,24 @@
+//! BAD: a security-verdict enum whose variants are only partially
+//! exercised by tests. `Verdict::Blocked` and `Verdict::Leaked` must fire
+//! `test-exhaustiveness`; `Verdict::Succeeded` is covered.
+
+/// How a fixture attack run ended.
+pub enum Verdict {
+    /// The attack won.
+    Succeeded,
+    /// A defense stopped it.
+    Blocked,
+    /// The attack won after an information leak.
+    Leaked,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_success_is_tested() {
+        let v = Verdict::Succeeded;
+        assert!(matches!(v, Verdict::Succeeded));
+    }
+}

@@ -1,0 +1,25 @@
+//! GOOD twin of `exhaustive_bad.rs`: every variant of the verdict enum is
+//! referenced by at least one test. Must produce zero
+//! `test-exhaustiveness` findings.
+
+/// How a fixture attack run ended.
+pub enum Verdict {
+    /// The attack won.
+    Succeeded,
+    /// A defense stopped it.
+    Blocked,
+    /// The attack won after an information leak.
+    Leaked,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_verdict_is_tested() {
+        for v in [Verdict::Succeeded, Verdict::Blocked, Verdict::Leaked] {
+            let _ = v;
+        }
+    }
+}

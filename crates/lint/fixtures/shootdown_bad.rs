@@ -1,0 +1,27 @@
+//! BAD: permission-reducing / invalidating page-table writes whose
+//! enclosing functions never reach a TLB flush. Each of the three
+//! downgrade shapes (invalidating write, W-stripping function, hazard
+//! marker) must fire `shootdown-pairing`.
+
+impl Kernel {
+    fn unmap_no_flush(&mut self, slot: PhysAddr) -> Result<(), KernelError> {
+        self.pt_write(slot, Pte::invalid().bits())
+    }
+
+    fn write_protect_no_flush(&mut self, slot: PhysAddr, flags: PteFlags) -> Result<(), KernelError> {
+        let ro = flags.without(PteFlags::W);
+        self.pt_write(slot, Pte::leaf(self.ppn, ro).bits())
+    }
+
+    fn tagged_no_flush(&mut self, slot: PhysAddr, new: PhysPageNum) -> Result<(), KernelError> {
+        // ptstore-lint: hazard(shootdown-pairing) — repoint leaves the old
+        // translation live in remote TLBs.
+        self.pt_write(slot, Pte::leaf(new, self.flags).bits())
+    }
+
+    fn upgrade_is_fine(&mut self, slot: PhysAddr, flags: PteFlags) -> Result<(), KernelError> {
+        // Adding permissions needs no shootdown: stale entries are strictly
+        // more restrictive and fault their way to a re-walk.
+        self.pt_write(slot, Pte::leaf(self.ppn, flags.with(PteFlags::W)).bits())
+    }
+}

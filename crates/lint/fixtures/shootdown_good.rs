@@ -1,0 +1,40 @@
+//! GOOD twin of `shootdown_bad.rs`: every downgrade write reaches a flush
+//! on some call-graph path — directly, or transitively through a helper.
+//! Must produce zero `shootdown-pairing` findings.
+
+impl Kernel {
+    fn unmap_flushes(&mut self, slot: PhysAddr, va: VirtAddr, asid: u16) -> Result<(), KernelError> {
+        self.pt_write(slot, Pte::invalid().bits())?;
+        self.tlb_flush_page(va, asid);
+        Ok(())
+    }
+
+    fn write_protect_flushes(
+        &mut self,
+        slot: PhysAddr,
+        flags: PteFlags,
+        asid: u16,
+    ) -> Result<(), KernelError> {
+        let ro = flags.without(PteFlags::W);
+        self.pt_write(slot, Pte::leaf(self.ppn, ro).bits())?;
+        self.finish_downgrade(asid);
+        Ok(())
+    }
+
+    fn tagged_flushes_transitively(
+        &mut self,
+        slot: PhysAddr,
+        new: PhysPageNum,
+        asid: u16,
+    ) -> Result<(), KernelError> {
+        // ptstore-lint: hazard(shootdown-pairing) — repoint leaves the old
+        // translation live in remote TLBs.
+        self.pt_write(slot, Pte::leaf(new, self.flags).bits())?;
+        self.finish_downgrade(asid);
+        Ok(())
+    }
+
+    fn finish_downgrade(&mut self, asid: u16) {
+        self.tlb_flush_asid(asid);
+    }
+}

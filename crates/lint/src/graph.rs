@@ -1,0 +1,108 @@
+//! The per-crate function call graph and its reachability query.
+//!
+//! Resolution is *name-based*: all `fn` items of a crate with the same name
+//! collapse into one node, and an identifier followed by `(` inside a body
+//! is an edge when it names a known function. This over-approximates
+//! (distinct `impl`s sharing a method name merge; a same-named method on a
+//! foreign type aliases), which is the safe direction for the
+//! shootdown-pairing rule's *must-reach* query — and it is deterministic
+//! and order-independent by construction (nodes and edges live in sorted
+//! `BTree` collections; see the property tests).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::Tok;
+use crate::model::ParsedFile;
+
+/// A per-crate call graph over function names.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct CallGraph {
+    /// Adjacency: caller name → callee names (sorted, deduplicated).
+    pub edges: BTreeMap<String, BTreeSet<String>>,
+}
+
+impl CallGraph {
+    /// Builds the graph from every function body in `files` (one crate's
+    /// files). Nested functions own their tokens: an inner `fn`'s calls are
+    /// not attributed to the enclosing function.
+    pub fn build<'a>(files: impl IntoIterator<Item = &'a ParsedFile>) -> Self {
+        Self::build_with_sinks(files, &[])
+    }
+
+    /// Like [`CallGraph::build`], but also treats each name in `sinks` as a
+    /// known (leaf) node even when no scanned file defines it — for query
+    /// targets that live in another crate, such as TLB-flush helpers.
+    pub fn build_with_sinks<'a>(
+        files: impl IntoIterator<Item = &'a ParsedFile>,
+        sinks: &[&str],
+    ) -> Self {
+        let files: Vec<&ParsedFile> = files.into_iter().collect();
+        // Known function names across the crate (test fns included — the
+        // rules decide scope, the graph just records structure).
+        let known: BTreeSet<String> = files
+            .iter()
+            .flat_map(|f| f.fns.iter().map(|g| g.name.clone()))
+            .chain(sinks.iter().map(|s| (*s).to_string()))
+            .collect();
+        let mut edges: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        for f in &files {
+            for (fi, item) in f.fns.iter().enumerate() {
+                let callees = edges.entry(item.name.clone()).or_default();
+                let mut i = item.body.start;
+                while i < item.body.end {
+                    // Skip token ranges of functions nested inside this one.
+                    if let Some(inner) = f.fns.iter().skip(fi + 1).find(|g| {
+                        g.body.start > item.body.start
+                            && g.body.end <= item.body.end
+                            && g.body.contains(&i)
+                    }) {
+                        i = inner.body.end;
+                        continue;
+                    }
+                    if let Tok::Ident(name) = &f.toks[i].tok {
+                        if known.contains(name)
+                            && matches!(f.toks.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('(')))
+                        {
+                            callees.insert(name.clone());
+                        }
+                    }
+                    i += 1;
+                }
+            }
+        }
+        // Every known function gets a node even with no outgoing edges.
+        for name in known {
+            edges.entry(name).or_default();
+        }
+        Self { edges }
+    }
+
+    /// The set of functions reachable from `from` (inclusive of `from`
+    /// itself when it is a known node).
+    pub fn reachable(&self, from: &str) -> BTreeSet<String> {
+        let mut seen = BTreeSet::new();
+        if !self.edges.contains_key(from) {
+            return seen;
+        }
+        let mut stack = vec![from.to_string()];
+        while let Some(n) = stack.pop() {
+            if !seen.insert(n.clone()) {
+                continue;
+            }
+            if let Some(cs) = self.edges.get(&n) {
+                for c in cs {
+                    if !seen.contains(c) {
+                        stack.push(c.clone());
+                    }
+                }
+            }
+        }
+        seen
+    }
+
+    /// True when any of `targets` is reachable from `from`.
+    pub fn reaches_any(&self, from: &str, targets: &[&str]) -> bool {
+        let r = self.reachable(from);
+        targets.iter().any(|t| r.contains(*t))
+    }
+}

@@ -1,0 +1,348 @@
+//! A minimal Rust lexer: just enough fidelity to walk real source without
+//! being fooled by strings, char literals, lifetimes, or nested comments.
+//!
+//! The build environment is offline, so `syn` is not available; this lexer
+//! (plus the item scanner in [`crate::model`]) is the crate's entire
+//! front end. It intentionally produces a *flat* token stream — the rules
+//! work on token sequences and brace matching, never on a full AST.
+
+/// One lexed token (comments are reported separately, see [`Comment`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword.
+    Ident(String),
+    /// A single punctuation character (`::` arrives as two `:` tokens).
+    Punct(char),
+    /// A string/char/numeric literal (contents dropped — the rules never
+    /// look inside literals, which is exactly the point of lexing first).
+    Literal,
+}
+
+/// A token plus the 1-based source line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+/// A comment (line or block) with its text and position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on.
+    pub end_line: u32,
+    /// Comment text without the `//` / `/*` framing.
+    pub text: String,
+    /// True for `///` and `//!` doc comments (not justification material).
+    pub doc: bool,
+}
+
+/// The output of [`lex`]: code tokens and comments, separately.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub toks: Vec<SpannedTok>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src` into tokens and comments. Unterminated constructs are
+/// tolerated (the remainder is swallowed) — the linter must never panic on
+/// the code it audits.
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < b.len() && b[i + 1] == '/' => {
+                let start = i;
+                while i < b.len() && b[i] != '\n' {
+                    i += 1;
+                }
+                let text: String = b[start + 2..i].iter().collect();
+                let doc = text.starts_with('/') || text.starts_with('!');
+                out.comments.push(Comment {
+                    line,
+                    end_line: line,
+                    text,
+                    doc,
+                });
+            }
+            '/' if i + 1 < b.len() && b[i + 1] == '*' => {
+                let start_line = line;
+                let start = i + 2;
+                let mut depth = 1;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && i + 1 < b.len() && b[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                let end = i.saturating_sub(2).max(start);
+                let text: String = b[start..end].iter().collect();
+                let doc = text.starts_with('*') || text.starts_with('!');
+                out.comments.push(Comment {
+                    line: start_line,
+                    end_line: line,
+                    text,
+                    doc,
+                });
+            }
+            '"' => {
+                i = skip_string(&b, i, &mut line);
+                out.toks.push(SpannedTok {
+                    tok: Tok::Literal,
+                    line,
+                });
+            }
+            'r' | 'b' if is_raw_or_byte_string(&b, i) => {
+                let start_line = line;
+                i = skip_raw_or_byte_string(&b, i, &mut line);
+                out.toks.push(SpannedTok {
+                    tok: Tok::Literal,
+                    line: start_line,
+                });
+            }
+            '\'' => {
+                // Lifetime (or loop label) vs char literal.
+                if is_lifetime(&b, i) {
+                    // Consume the quote and the lifetime ident.
+                    i += 1;
+                    while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                        i += 1;
+                    }
+                } else {
+                    i = skip_char_literal(&b, i, &mut line);
+                    out.toks.push(SpannedTok {
+                        tok: Tok::Literal,
+                        line,
+                    });
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                out.toks.push(SpannedTok {
+                    tok: Tok::Ident(b[start..i].iter().collect()),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_' || b[i] == '.') {
+                    // `0..10` — don't swallow the range operator.
+                    if b[i] == '.' && i + 1 < b.len() && b[i + 1] == '.' {
+                        break;
+                    }
+                    i += 1;
+                }
+                out.toks.push(SpannedTok {
+                    tok: Tok::Literal,
+                    line,
+                });
+            }
+            c => {
+                out.toks.push(SpannedTok {
+                    tok: Tok::Punct(c),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// True when position `i` (at `r` or `b`) starts a raw/byte string form:
+/// `r"`, `r#`, `b"`, `br"`, `br#`, `b'`.
+fn is_raw_or_byte_string(b: &[char], i: usize) -> bool {
+    let c = b[i];
+    let n1 = b.get(i + 1).copied();
+    let n2 = b.get(i + 2).copied();
+    match c {
+        'r' => matches!(n1, Some('"') | Some('#')) && raw_has_quote(b, i + 1),
+        'b' => match n1 {
+            Some('"') | Some('\'') => true,
+            Some('r') => matches!(n2, Some('"') | Some('#')) && raw_has_quote(b, i + 2),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// True when, starting at `i` over zero or more `#`, a `"` follows —
+/// distinguishes `r#"…"#` from the raw identifier `r#match`.
+fn raw_has_quote(b: &[char], mut i: usize) -> bool {
+    while b.get(i) == Some(&'#') {
+        i += 1;
+    }
+    b.get(i) == Some(&'"')
+}
+
+/// True when the `'` at `i` begins a lifetime/label, not a char literal.
+fn is_lifetime(b: &[char], i: usize) -> bool {
+    match b.get(i + 1) {
+        Some(c) if c.is_alphabetic() || *c == '_' => b.get(i + 2) != Some(&'\''),
+        _ => false,
+    }
+}
+
+/// Skips a normal `"…"` string starting at `i`; returns the index after it.
+fn skip_string(b: &[char], mut i: usize, line: &mut u32) -> usize {
+    i += 1; // opening quote
+    while i < b.len() {
+        match b[i] {
+            '\\' => i += 2,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            '"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skips a raw/byte string form starting at `i`; returns the index after it.
+fn skip_raw_or_byte_string(b: &[char], mut i: usize, line: &mut u32) -> usize {
+    // Consume prefix letters (`r`, `b`, `br`).
+    while i < b.len() && (b[i] == 'r' || b[i] == 'b') {
+        i += 1;
+    }
+    if b.get(i) == Some(&'\'') {
+        return skip_char_literal(b, i, line);
+    }
+    let mut hashes = 0usize;
+    while b.get(i) == Some(&'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if b.get(i) != Some(&'"') {
+        return i;
+    }
+    if hashes == 0 {
+        return skip_string(b, i, line);
+    }
+    i += 1;
+    while i < b.len() {
+        if b[i] == '\n' {
+            *line += 1;
+            i += 1;
+        } else if b[i] == '"'
+            && b[i + 1..]
+                .iter()
+                .take(hashes)
+                .filter(|&&c| c == '#')
+                .count()
+                == hashes
+        {
+            return i + 1 + hashes;
+        } else {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Skips a `'…'` char/byte-char literal starting at the quote.
+fn skip_char_literal(b: &[char], mut i: usize, line: &mut u32) -> usize {
+    i += 1;
+    while i < b.len() {
+        match b[i] {
+            '\\' => i += 2,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            '\'' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_opaque() {
+        let src = r##"
+            // bus.write in a comment
+            fn f() { let s = "bus.write"; let r = r#"mem_unchecked"#; }
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"fn".into()) && ids.contains(&"f".into()));
+        assert!(!ids.contains(&"bus".into()) && !ids.contains(&"mem_unchecked".into()));
+        assert_eq!(lex(src).comments.len(), 1);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let ids = idents("fn g<'a>(x: &'a str) -> &'a str { x }");
+        assert!(ids.contains(&"str".into()));
+    }
+
+    #[test]
+    fn char_literal_with_brace_does_not_derail_depth() {
+        let lexed = lex("fn h() { let c = '{'; }");
+        let braces: i32 = lexed
+            .toks
+            .iter()
+            .map(|t| match t.tok {
+                Tok::Punct('{') => 1,
+                Tok::Punct('}') => -1,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(braces, 0);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let lexed = lex("a\nb\n\nc");
+        let lines: Vec<u32> = lexed.toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lexed = lex("/* outer /* inner */ still */ fn k() {}");
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].text.contains("inner"));
+        assert!(idents("/* /* */ */ fn k() {}").contains(&"k".into()));
+    }
+}

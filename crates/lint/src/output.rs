@@ -1,0 +1,111 @@
+//! Finding renderers: human-readable and JSON, both deterministic
+//! (findings arrive pre-sorted from [`crate::rules::analyze`]; the JSON is
+//! hand-emitted with sorted keys since the workspace vendors no
+//! `serde_json`).
+
+use crate::rules::Finding;
+
+/// Output format selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// `file:line: [rule] message` lines plus a summary.
+    Human,
+    /// A JSON array of `{file, line, message, rule}` objects.
+    Json,
+}
+
+/// Renders `findings` in `format`, including the trailing newline.
+pub fn render(findings: &[Finding], format: Format, files_scanned: usize) -> String {
+    match format {
+        Format::Human => render_human(findings, files_scanned),
+        Format::Json => render_json(findings),
+    }
+}
+
+fn render_human(findings: &[Finding], files_scanned: usize) -> String {
+    let mut s = String::new();
+    for f in findings {
+        s.push_str(&format!(
+            "{}:{}: [{}] {}\n",
+            f.file, f.line, f.rule, f.message
+        ));
+    }
+    if findings.is_empty() {
+        s.push_str(&format!(
+            "ptstore-lint: clean ({files_scanned} files scanned)\n"
+        ));
+    } else {
+        s.push_str(&format!(
+            "ptstore-lint: {} finding(s) in {} files scanned\n",
+            findings.len(),
+            files_scanned
+        ));
+    }
+    s
+}
+
+fn render_json(findings: &[Finding]) -> String {
+    let mut s = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n  {{\"file\": {}, \"line\": {}, \"message\": {}, \"rule\": {}}}",
+            json_str(&f.file),
+            f.line,
+            json_str(&f.message),
+            json_str(f.rule)
+        ));
+    }
+    if !findings.is_empty() {
+        s.push('\n');
+    }
+    s.push_str("]\n");
+    s
+}
+
+/// Escapes `v` as a JSON string literal.
+fn json_str(v: &str) -> String {
+    let mut s = String::with_capacity(v.len() + 2);
+    s.push('"');
+    for c in v.chars() {
+        match c {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            '\n' => s.push_str("\\n"),
+            '\t' => s.push_str("\\t"),
+            '\r' => s.push_str("\\r"),
+            c if (c as u32) < 0x20 => s.push_str(&format!("\\u{:04x}", c as u32)),
+            c => s.push(c),
+        }
+    }
+    s.push('"');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping_and_shape() {
+        let findings = vec![Finding {
+            file: "a/b.rs".into(),
+            line: 7,
+            rule: "channel-confinement",
+            message: "say \"no\"\n".into(),
+        }];
+        let j = render(&findings, Format::Json, 1);
+        assert!(j.contains("\"file\": \"a/b.rs\""));
+        assert!(j.contains("\\\"no\\\"\\n"));
+        assert!(j.ends_with("]\n"));
+        assert_eq!(render(&[], Format::Json, 0), "[]\n");
+    }
+
+    #[test]
+    fn human_summary() {
+        let h = render(&[], Format::Human, 42);
+        assert!(h.contains("clean (42 files"));
+    }
+}

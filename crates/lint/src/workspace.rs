@@ -1,0 +1,120 @@
+//! Workspace discovery: walks `crates/*` (skipping `third_party/` and
+//! build output), reads each package name from its `Cargo.toml`, and loads
+//! every `.rs` file under `src/`, `tests/`, and `examples/`, plus the
+//! workspace-level `tests/` and `examples/` directories. Traversal order
+//! is sorted at every level, so the file list — and with it every finding
+//! list — is deterministic.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::model::SourceFile;
+
+/// Loads every lintable source file under the workspace `root`.
+///
+/// # Errors
+/// Propagates I/O failures; a missing `crates/` directory is an error (it
+/// means `root` is not the workspace).
+pub fn load_workspace(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let name = package_name(&dir.join("Cargo.toml"))
+            .unwrap_or_else(|| dir.file_name().unwrap().to_string_lossy().into_owned());
+        collect_rs(root, &dir.join("src"), &name, false, &mut files)?;
+        collect_rs(root, &dir.join("tests"), &name, true, &mut files)?;
+        collect_rs(root, &dir.join("examples"), &name, false, &mut files)?;
+    }
+    collect_rs(
+        root,
+        &root.join("tests"),
+        "workspace-tests",
+        true,
+        &mut files,
+    )?;
+    collect_rs(
+        root,
+        &root.join("examples"),
+        "workspace-examples",
+        false,
+        &mut files,
+    )?;
+    Ok(files)
+}
+
+/// Finds the workspace root by walking up from `start` until a `Cargo.toml`
+/// containing a `[workspace]` section appears.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// The `name = "..."` of the first `[package]` section of `manifest`.
+fn package_name(manifest: &Path) -> Option<String> {
+    let text = fs::read_to_string(manifest).ok()?;
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("name") {
+            let rest = rest.trim_start();
+            if let Some(rest) = rest.strip_prefix('=') {
+                let v = rest.trim().trim_matches('"');
+                return Some(v.to_string());
+            }
+        }
+    }
+    None
+}
+
+/// Recursively collects `.rs` files under `dir` (sorted), tagging each with
+/// `crate_name`/`is_test`. A missing `dir` is fine (not every crate has
+/// `tests/` or `examples/`).
+fn collect_rs(
+    root: &Path,
+    dir: &Path,
+    crate_name: &str,
+    is_test: bool,
+    out: &mut Vec<SourceFile>,
+) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            collect_rs(root, &p, crate_name, is_test, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            let text = fs::read_to_string(&p)?;
+            let rel = p
+                .strip_prefix(root)
+                .unwrap_or(&p)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push(SourceFile {
+                crate_name: crate_name.to_string(),
+                path: rel,
+                is_test,
+                text,
+            });
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,144 @@
+//! Call-graph builder: a hand-checked reachability fixture plus property
+//! tests that construction is deterministic and independent of file and
+//! function order — the guarantee the linter's byte-identical JSON output
+//! rests on.
+
+use proptest::prelude::*;
+use ptstore_lint::{CallGraph, ParsedFile, SourceFile};
+
+fn parse(path: &str, text: &str) -> ParsedFile {
+    ParsedFile::parse(SourceFile {
+        crate_name: "fixture".into(),
+        path: path.into(),
+        is_test: false,
+        text: text.into(),
+    })
+}
+
+/// A small crate split over two files, with a call chain crossing the file
+/// boundary, a diamond, a cycle, and a nested function.
+const FILE_A: &str = r#"
+fn alpha() { beta(); gamma(); }
+fn beta() { delta(); }
+fn gamma() { delta(); }
+fn recursive() { recursive(); helper(); }
+"#;
+
+const FILE_B: &str = r#"
+fn delta() { leaf(); }
+fn leaf() {}
+fn helper() {}
+fn outer() {
+    fn inner() { leaf(); }
+    inner();
+}
+"#;
+
+#[test]
+fn hand_built_reachability_matches() {
+    let a = parse("src/a.rs", FILE_A);
+    let b = parse("src/b.rs", FILE_B);
+    let g = CallGraph::build([&a, &b]);
+
+    let reach = |from: &str| -> Vec<String> { g.reachable(from).into_iter().collect() };
+
+    // Diamond: alpha → {beta, gamma} → delta → leaf.
+    assert_eq!(reach("alpha"), ["alpha", "beta", "delta", "gamma", "leaf"]);
+    // Cross-file chain.
+    assert_eq!(reach("beta"), ["beta", "delta", "leaf"]);
+    // Cycle terminates and includes the helper.
+    assert_eq!(reach("recursive"), ["helper", "recursive"]);
+    // Leaves reach only themselves.
+    assert_eq!(reach("leaf"), ["leaf"]);
+    // Unknown names reach nothing.
+    assert!(reach("no_such_fn").is_empty());
+
+    assert!(g.reaches_any("alpha", &["leaf"]));
+    assert!(!g.reaches_any("helper", &["leaf"]));
+}
+
+#[test]
+fn nested_fn_calls_belong_to_the_inner_fn() {
+    let b = parse("src/b.rs", FILE_B);
+    let g = CallGraph::build([&b]);
+    // `outer` calls `inner`; the `leaf()` call inside `inner`'s body must
+    // not be attributed to `outer` directly...
+    assert_eq!(g.edges["outer"].iter().collect::<Vec<_>>(), ["inner"]);
+    // ...but it is still reachable transitively.
+    assert!(g.reaches_any("outer", &["leaf"]));
+}
+
+#[test]
+fn external_sinks_become_nodes() {
+    let a = parse("src/a.rs", "fn f() { ext_flush(x); }");
+    let g = CallGraph::build_with_sinks([&a], &["ext_flush"]);
+    assert!(g.reaches_any("f", &["ext_flush"]));
+    // Without the sink declaration the call is invisible.
+    let g2 = CallGraph::build([&a]);
+    assert!(!g2.reaches_any("f", &["ext_flush"]));
+}
+
+/// A pool of function names used to generate random crates.
+const NAMES: [&str; 8] = ["a0", "b1", "c2", "d3", "e4", "f5", "g6", "h7"];
+
+/// Generates one source file text defining `fns`, where each function calls
+/// the listed callees.
+fn render_file(fns: &[(usize, Vec<usize>)]) -> String {
+    let mut s = String::new();
+    for (name, callees) in fns {
+        s.push_str(&format!("fn {}() {{ ", NAMES[*name]));
+        for c in callees {
+            s.push_str(&format!("{}(); ", NAMES[*c]));
+        }
+        s.push_str("}\n");
+    }
+    s
+}
+
+proptest! {
+    /// Building twice from the same inputs yields an identical graph, and
+    /// shuffling both the file order and the function order within files
+    /// changes nothing: the graph is a pure function of the *set* of
+    /// definitions.
+    #[test]
+    fn build_is_deterministic_and_order_independent(
+        // Up to 8 functions, each calling up to 4 of the pool.
+        fns in proptest::collection::vec(
+            (0usize..NAMES.len(), proptest::collection::vec(0usize..NAMES.len(), 0..4)),
+            1..NAMES.len(),
+        ),
+        split in 0usize..8,
+        seed in 0u64..u64::MAX,
+    ) {
+        // Dedup by name: name-based resolution collapses same-named fns.
+        let mut seen = std::collections::BTreeSet::new();
+        let fns: Vec<(usize, Vec<usize>)> =
+            fns.into_iter().filter(|(n, _)| seen.insert(*n)).collect();
+
+        let cut = split % (fns.len() + 1);
+        let a = parse("src/a.rs", &render_file(&fns[..cut]));
+        let b = parse("src/b.rs", &render_file(&fns[cut..]));
+        let g1 = CallGraph::build([&a, &b]);
+        let g2 = CallGraph::build([&a, &b]);
+        prop_assert_eq!(&g1, &g2, "same inputs, same graph");
+
+        // Reversed file order.
+        let g3 = CallGraph::build([&b, &a]);
+        prop_assert_eq!(&g1, &g3, "file order is irrelevant");
+
+        // Shuffled function order within a single file.
+        let mut shuffled = fns.clone();
+        // Deterministic pseudo-shuffle driven by the seed.
+        let n = shuffled.len();
+        for i in (1..n).rev() {
+            let j = (seed.wrapping_mul(6364136223846793005).wrapping_add(i as u64)
+                % (i as u64 + 1)) as usize;
+            shuffled.swap(i, j);
+        }
+        let c = parse("src/c.rs", &render_file(&shuffled));
+        let d = parse("src/a.rs", &render_file(&fns));
+        let g4 = CallGraph::build([&c]);
+        let g5 = CallGraph::build([&d]);
+        prop_assert_eq!(&g4, &g5, "function order is irrelevant");
+    }
+}

@@ -1,0 +1,23 @@
+//! The real workspace must lint clean — the acceptance gate `check.sh`
+//! enforces, asserted here so `cargo test` alone catches regressions.
+
+use ptstore_lint::workspace::load_workspace;
+use ptstore_lint::{analyze, Config};
+use std::path::Path;
+
+#[test]
+fn real_workspace_has_no_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let files = load_workspace(&root).expect("workspace loads");
+    assert!(
+        files.len() > 100,
+        "expected the full workspace, got {} files",
+        files.len()
+    );
+    let findings = analyze(files, &Config::default());
+    assert!(
+        findings.is_empty(),
+        "workspace must satisfy the secure-access discipline:\n{:#?}",
+        findings
+    );
+}

@@ -229,6 +229,7 @@ mod tests {
 
     /// Builds a 3-level table mapping `va -> data_ppn` inside `table_base`,
     /// writing PTEs through the given channel.
+    // Test fixture spelling out every level of one mapping beats a builder.
     #[allow(clippy::too_many_arguments)]
     fn build_mapping(
         bus: &mut Bus,

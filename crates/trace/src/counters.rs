@@ -13,24 +13,43 @@ use crate::snapshot::Snapshot;
 /// Event totals per layer, plus denial breakdowns.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TraceCounters {
+    /// PMP adjudications (every physical access under enforcement).
     pub pmp_checks: u64,
+    /// PMP denials — the S-bit or bounds check firing.
     pub pmp_denials: u64,
+    /// Bus read transactions.
     pub bus_reads: u64,
+    /// Bus write transactions.
     pub bus_writes: u64,
+    /// Bus instruction fetches.
     pub bus_fetches: u64,
+    /// Individual page-table-walk levels fetched.
     pub ptw_steps: u64,
+    /// Walks refused because the table lay outside the secure region.
     pub ptw_origin_rejections: u64,
+    /// TLB lookups that hit.
     pub tlb_hits: u64,
+    /// TLB lookups that missed (and walked).
     pub tlb_misses: u64,
+    /// Local TLB flushes (page- or ASID-scoped).
     pub tlb_flushes: u64,
+    /// Cross-hart shootdown rounds.
     pub tlb_shootdowns: u64,
+    /// Token issue/validate/clear operations.
     pub token_ops: u64,
+    /// Token validations that failed.
     pub token_rejections: u64,
+    /// Syscall entries.
     pub syscalls: u64,
+    /// Secure-region grow/shrink/move events.
     pub region_moves: u64,
+    /// Faults injected by the campaign driver.
     pub faults_injected: u64,
+    /// Faults injected into IPI/shootdown handling.
     pub ipi_faults: u64,
+    /// Invariant-oracle sweeps.
     pub invariant_checks: u64,
+    /// Total violations those sweeps reported.
     pub invariant_violations: u64,
 }
 

@@ -35,8 +35,11 @@ impl fmt::Display for Chan {
 /// Read / write / execute (mirror of `ptstore_core::AccessKind`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Access {
+    /// A data load.
     Read,
+    /// A data store.
     Write,
+    /// An instruction fetch.
     Execute,
 }
 
@@ -53,6 +56,7 @@ impl fmt::Display for Access {
 /// Outcome of a PMP check (mirror of the `AccessError` cases plus Allow).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Verdict {
+    /// The access passed every check.
     Allowed,
     /// Regular-channel access inside the secure region: the S-bit fired.
     SecureRegionDenied,
@@ -86,7 +90,9 @@ impl fmt::Display for Verdict {
 /// Which TLB a lookup went through.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum TlbUnit {
+    /// The instruction TLB.
     Instruction,
+    /// The data TLB.
     Data,
 }
 
@@ -102,17 +108,32 @@ impl fmt::Display for TlbUnit {
 /// Scope of a TLB flush.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum FlushScope {
+    /// Every entry.
     All,
-    Page { vpn: u64, asid: u16 },
-    Asid { asid: u16 },
+    /// One page of one address space.
+    Page {
+        /// The flushed virtual page number.
+        vpn: u64,
+        /// The owning address-space identifier.
+        asid: u16,
+    },
+    /// Every entry of one address space.
+    Asid {
+        /// The flushed address-space identifier.
+        asid: u16,
+    },
 }
 
 /// A token-lifecycle operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum TokenOp {
+    /// A fresh token bound to a PCB/root pair.
     Issue,
+    /// A token duplicated for a forked child.
     Copy,
+    /// A token slot wiped (process exit).
     Clear,
+    /// A token checked before a `satp` switch.
     Validate,
 }
 
@@ -130,12 +151,19 @@ impl fmt::Display for TokenOp {
 /// The architectural layer an event belongs to (counter bucket).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum Layer {
+    /// PMP adjudications.
     Pmp,
+    /// Bus transactions.
     Bus,
+    /// Page-table-walker activity.
     Ptw,
+    /// TLB lookups, flushes, and shootdowns.
     Tlb,
+    /// Token lifecycle operations.
     Token,
+    /// Syscall entry/exit.
     Syscall,
+    /// Secure-region boundary moves.
     Region,
     /// Fault-injection events (`ptstore-fault` and the kernel's IPI tap).
     Fault,
@@ -238,76 +266,156 @@ pub enum TraceEvent {
     /// A PMP unit decision. `entry` is the index of the matching PMP entry
     /// (`None` when no entry matched and the default policy applied).
     PmpCheck {
+        /// The checked physical address.
         addr: u64,
+        /// Read, write, or execute.
         kind: Access,
+        /// The channel the access arrived on.
         channel: Chan,
+        /// Index of the matching PMP entry, if any.
         entry: Option<u8>,
+        /// The decision.
         verdict: Verdict,
     },
     /// A bus read that passed its checks.
-    BusRead { addr: u64, width: u8, channel: Chan },
+    BusRead {
+        /// The physical address.
+        addr: u64,
+        /// Access width in bytes.
+        width: u8,
+        /// The channel used.
+        channel: Chan,
+    },
     /// A bus write that passed its checks.
-    BusWrite { addr: u64, width: u8, channel: Chan },
+    BusWrite {
+        /// The physical address.
+        addr: u64,
+        /// Access width in bytes.
+        width: u8,
+        /// The channel used.
+        channel: Chan,
+    },
     /// An instruction fetch that passed its checks.
-    BusFetch { addr: u64, width: u8 },
+    BusFetch {
+        /// The physical address.
+        addr: u64,
+        /// Fetch width in bytes.
+        width: u8,
+    },
     /// One level of a page-table walk (after the PTE was fetched).
     PtwStep {
+        /// The virtual address being translated.
         va: u64,
+        /// The walk level (2 = root for Sv39).
         level: u8,
+        /// Physical address the PTE was fetched from.
         pte_addr: u64,
+        /// The raw PTE bits.
         pte: u64,
     },
     /// The walker's fetch was rejected by the `satp.S` origin check.
-    PtwOriginRejected { va: u64, pte_addr: u64 },
+    PtwOriginRejected {
+        /// The virtual address being translated.
+        va: u64,
+        /// The out-of-region PTE address the walk tried to fetch.
+        pte_addr: u64,
+    },
     /// A TLB lookup hit.
     TlbHit {
+        /// Instruction or data TLB.
         unit: TlbUnit,
+        /// The looked-up virtual page number.
         vpn: u64,
+        /// The address-space identifier.
         asid: u16,
+        /// The hart performing the lookup.
         hart: u32,
     },
     /// A TLB lookup missed (including permission-mismatch misses).
     TlbMiss {
+        /// Instruction or data TLB.
         unit: TlbUnit,
+        /// The looked-up virtual page number.
         vpn: u64,
+        /// The address-space identifier.
         asid: u16,
+        /// The hart performing the lookup.
         hart: u32,
     },
     /// A TLB flush.
     TlbFlush {
+        /// Instruction or data TLB.
         unit: TlbUnit,
+        /// What the flush covered.
         scope: FlushScope,
+        /// The hart whose TLB was flushed.
         hart: u32,
     },
     /// A cross-hart TLB shootdown: `from_hart` broadcast an IPI carrying
     /// `scope` and collected `acks` acknowledgements from the remote harts.
     TlbShootdown {
+        /// What the shootdown covered.
         scope: FlushScope,
+        /// The initiating hart.
         from_hart: u32,
+        /// Acknowledgements collected.
         acks: u32,
     },
     /// A token-lifecycle operation. `ok == false` means the operation
     /// rejected (validation failure / pointer outside the secure region).
-    Token { op: TokenOp, pid: u64, ok: bool },
+    Token {
+        /// Which lifecycle step ran.
+        op: TokenOp,
+        /// The process whose token was touched.
+        pid: u64,
+        /// Whether the operation passed.
+        ok: bool,
+    },
     /// Syscall entry.
-    SyscallEnter { name: &'static str },
+    SyscallEnter {
+        /// The syscall's name.
+        name: &'static str,
+    },
     /// Syscall exit, with the cycles the call cost end to end.
-    SyscallExit { name: &'static str, cycles: u64 },
+    SyscallExit {
+        /// The syscall's name.
+        name: &'static str,
+        /// Modeled cycles from entry to exit.
+        cycles: u64,
+    },
     /// The secure-region boundary moved (dynamic adjustment or initial
     /// installation via SBI).
     RegionMove {
+        /// The region base before the move.
         old_base: u64,
+        /// The region base after the move.
         new_base: u64,
+        /// The (unchanged) region end.
         end: u64,
     },
     /// The `ptstore-fault` injector fired one fault on `hart`.
-    FaultInjected { kind: FaultClass, hart: u32 },
+    FaultInjected {
+        /// The injected fault class.
+        kind: FaultClass,
+        /// The hart the fault landed on.
+        hart: u32,
+    },
     /// A planted IPI fault perturbed a shootdown broadcast: the IPI to
     /// `victim` was dropped, or the ack collection ran in reversed order.
-    IpiFault { kind: FaultClass, victim: u32 },
+    IpiFault {
+        /// Which IPI perturbation fired.
+        kind: FaultClass,
+        /// The hart whose IPI was perturbed.
+        victim: u32,
+    },
     /// One invariant-oracle sweep: `checks` invariants evaluated,
     /// `violations` of them failed.
-    InvariantCheck { checks: u32, violations: u32 },
+    InvariantCheck {
+        /// Invariants evaluated.
+        checks: u32,
+        /// How many failed.
+        violations: u32,
+    },
 }
 
 impl TraceEvent {

@@ -12,6 +12,7 @@ pub struct JsonWriter {
 }
 
 impl JsonWriter {
+    /// Starts an empty object.
     pub fn new() -> Self {
         Self {
             buf: String::from("{"),
@@ -29,6 +30,7 @@ impl JsonWriter {
         self.buf.push_str("\":");
     }
 
+    /// Writes a string field, escaping quotes, backslashes, and controls.
     pub fn str_field(&mut self, name: &str, value: &str) {
         self.key(name);
         self.buf.push('"');
@@ -48,6 +50,7 @@ impl JsonWriter {
         self.buf.push('"');
     }
 
+    /// Writes an unsigned-number field.
     pub fn num_field(&mut self, name: &str, value: u64) {
         self.key(name);
         self.buf.push_str(&value.to_string());
@@ -60,11 +63,13 @@ impl JsonWriter {
         self.buf.push_str(&format!("\"{value:#x}\""));
     }
 
+    /// Writes a `true`/`false` field.
     pub fn bool_field(&mut self, name: &str, value: bool) {
         self.key(name);
         self.buf.push_str(if value { "true" } else { "false" });
     }
 
+    /// Writes an explicit `null` field.
     pub fn null_field(&mut self, name: &str) {
         self.key(name);
         self.buf.push_str("null");
@@ -76,6 +81,7 @@ impl JsonWriter {
         self.buf.push_str(json);
     }
 
+    /// Closes the object and returns the rendered text.
     pub fn finish(mut self) -> String {
         self.buf.push('}');
         self.buf

@@ -42,6 +42,8 @@
 //! assert_eq!(sink.counters().pmp_denials, 1);
 //! ```
 
+#![deny(missing_docs)]
+
 mod counters;
 mod event;
 pub mod json;

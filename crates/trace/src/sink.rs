@@ -22,6 +22,7 @@ pub struct TraceBuffer {
 }
 
 impl TraceBuffer {
+    /// Creates a ring holding at most `capacity` events (minimum 1).
     pub fn with_capacity(capacity: usize) -> Self {
         Self {
             events: VecDeque::with_capacity(capacity.min(4096)),

@@ -18,7 +18,16 @@ RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --quiet \
     -p ptstore-core -p ptstore-mem -p ptstore-mmu -p ptstore-isa \
     -p ptstore-kernel -p ptstore-trace -p ptstore-workloads \
     -p ptstore-attacks -p ptstore-fault -p ptstore-hwcost \
-    -p ptstore-bench -p ptstore
+    -p ptstore-bench -p ptstore -p ptstore-lint
+
+echo "== ptstore-lint: secure-access discipline =="
+cargo run --offline --quiet -p ptstore-lint -- --format human
+
+echo "== ptstore-lint: JSON output is deterministic =="
+cargo run --offline --quiet -p ptstore-lint -- --format json > target/lint-a.json || true
+cargo run --offline --quiet -p ptstore-lint -- --format json > target/lint-b.json || true
+cmp target/lint-a.json target/lint-b.json
+rm -f target/lint-a.json target/lint-b.json
 
 echo "== cargo test =="
 cargo test --offline --workspace -q
