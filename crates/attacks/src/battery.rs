@@ -2,7 +2,7 @@
 
 use core::fmt;
 
-use ptstore_core::MIB;
+use ptstore_core::{PagingScheme, MIB};
 use ptstore_kernel::{DefenseMode, Kernel, KernelConfig};
 use ptstore_trace::json::{array, JsonWriter};
 use ptstore_trace::{RejectingLayer, TraceCounters, TraceEvent, TraceSink};
@@ -37,11 +37,21 @@ impl fmt::Display for AttackReport {
 }
 
 fn attack_config(defense: DefenseMode, tokens: bool, harts: usize) -> KernelConfig {
+    attack_config_scheme(defense, tokens, harts, PagingScheme::Sv39)
+}
+
+fn attack_config_scheme(
+    defense: DefenseMode,
+    tokens: bool,
+    harts: usize,
+    scheme: PagingScheme,
+) -> KernelConfig {
     let mut cfg = KernelConfig::baseline()
         .with_defense(defense)
         .with_mem_size(256 * MIB)
         .with_initial_secure_size(16 * MIB)
-        .with_harts(harts);
+        .with_harts(harts)
+        .with_scheme(scheme);
     cfg.cfi = true; // the threat model deploys CFI
     cfg.token_checks = tokens;
     cfg
@@ -110,7 +120,22 @@ pub fn run_attack_on(
     defense: DefenseMode,
     tokens: bool,
 ) -> AttackReport {
-    let mut k = Kernel::boot(attack_config(defense, tokens, harts)).expect("kernel boots");
+    run_attack_on_scheme(harts, PagingScheme::Sv39, kind, defense, tokens)
+}
+
+/// Like [`run_attack_on`], but under an explicit paging scheme. The verdict
+/// must be scheme-independent — PTStore's checks fire on physical addresses
+/// and credentials, not on how many levels the walk has — which the
+/// scheme-differential suite asserts cell for cell.
+pub fn run_attack_on_scheme(
+    harts: usize,
+    scheme: PagingScheme,
+    kind: AttackKind,
+    defense: DefenseMode,
+    tokens: bool,
+) -> AttackReport {
+    let mut k =
+        Kernel::boot(attack_config_scheme(defense, tokens, harts, scheme)).expect("kernel boots");
     let outcome = run(kind, &mut k);
     AttackReport {
         attack: kind,
@@ -176,6 +201,13 @@ pub fn security_matrix() -> Vec<AttackReport> {
 /// The full matrix on an `harts`-way SMP machine (every cell boots a fresh
 /// N-hart kernel). `security_matrix()` is the `harts == 1` case.
 pub fn security_matrix_with_harts(harts: usize) -> Vec<AttackReport> {
+    security_matrix_with(harts, PagingScheme::Sv39)
+}
+
+/// The full matrix under an explicit paging scheme on an `harts`-way SMP
+/// machine. The scheme-differential suite runs this for Sv39/Sv48/Sv57 and
+/// demands byte-identical verdicts.
+pub fn security_matrix_with(harts: usize, scheme: PagingScheme) -> Vec<AttackReport> {
     let mut out = Vec::new();
     for defense in [
         DefenseMode::None,
@@ -184,13 +216,13 @@ pub fn security_matrix_with_harts(harts: usize) -> Vec<AttackReport> {
         DefenseMode::PtStore,
     ] {
         for kind in AttackKind::ALL {
-            out.push(run_attack_on(harts, kind, defense, true));
+            out.push(run_attack_on_scheme(harts, scheme, kind, defense, true));
         }
     }
     // Ablation: PTStore with the token layer disabled — shows which attacks
     // the secure region + PTW check alone cannot stop.
     for kind in AttackKind::ALL {
-        let mut r = run_attack_on(harts, kind, DefenseMode::PtStore, false);
+        let mut r = run_attack_on_scheme(harts, scheme, kind, DefenseMode::PtStore, false);
         r.tokens = false;
         out.push(r);
     }
@@ -254,6 +286,7 @@ mod tests {
             AttackKind::PtReuse,
             AttackKind::AllocatorMetadata,
             AttackKind::TlbInconsistency,
+            AttackKind::HugePageTampering,
         ] {
             let r = run_attack(kind, DefenseMode::None, true);
             assert!(
@@ -305,6 +338,12 @@ mod tests {
             run_attack(AttackKind::TlbInconsistency, DefenseMode::PtStore, true).outcome,
             AttackOutcome::Blocked(BlockedBy::SecureRegionPmp)
         );
+        // A level-1 superpage leaf lives in a secure-region table like any
+        // other PTE — the S-bit fires regardless of the slot's level.
+        assert_eq!(
+            run_attack(AttackKind::HugePageTampering, DefenseMode::PtStore, true).outcome,
+            AttackOutcome::Blocked(BlockedBy::SecureRegionPmp)
+        );
     }
 
     #[test]
@@ -318,8 +357,10 @@ mod tests {
 
     #[test]
     fn pt_rand_falls_via_leak() {
-        let r = run_attack(AttackKind::PtTampering, DefenseMode::PtRand, true);
-        assert_eq!(r.outcome, AttackOutcome::SucceededViaLeak);
+        for kind in [AttackKind::PtTampering, AttackKind::HugePageTampering] {
+            let r = run_attack(kind, DefenseMode::PtRand, true);
+            assert_eq!(r.outcome, AttackOutcome::SucceededViaLeak, "{kind}");
+        }
     }
 
     #[test]
@@ -379,6 +420,7 @@ mod tests {
             (AttackKind::PtTampering, RejectingLayer::PmpSBit),
             (AttackKind::PtInjection, RejectingLayer::TokenValidation),
             (AttackKind::PtReuse, RejectingLayer::TokenValidation),
+            (AttackKind::HugePageTampering, RejectingLayer::PmpSBit),
         ] {
             let t = run_attack_traced(kind, DefenseMode::PtStore, true);
             assert!(!t.report.outcome.attacker_won(), "{kind} must be blocked");
@@ -403,7 +445,8 @@ mod tests {
     #[test]
     fn matrix_covers_all_cells() {
         let m = security_matrix();
-        assert_eq!(m.len(), 8 * 4 + 8);
+        // Every attack × (4 defenses + the tokens-off PTStore ablation row).
+        assert_eq!(m.len(), AttackKind::ALL.len() * 5);
         // PTStore full-design rows never lose.
         assert!(m
             .iter()

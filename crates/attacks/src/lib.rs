@@ -15,6 +15,7 @@
 //! | Allocator metadata (§V-E3) | zero-check on fresh page-table pages |
 //! | VM metadata (§V-E4) | n/a — only user-space mappings affected |
 //! | TLB inconsistency (§V-E5) | PMP checks physical addresses |
+//! | Huge-page tampering | secure region S-bit — a level-1 superpage leaf is a secure PTE like any other |
 //!
 //! ```
 //! use ptstore_attacks::{run_attack, AttackKind};
@@ -29,8 +30,9 @@ pub mod outcome;
 pub mod scenarios;
 
 pub use battery::{
-    run_attack, run_attack_on, run_attack_on_with_fast_path, run_attack_traced, security_matrix,
-    security_matrix_traced, security_matrix_with_harts, AttackReport, TracedAttackReport,
+    run_attack, run_attack_on, run_attack_on_scheme, run_attack_on_with_fast_path,
+    run_attack_traced, security_matrix, security_matrix_traced, security_matrix_with,
+    security_matrix_with_harts, AttackReport, TracedAttackReport,
 };
 pub use outcome::{AttackOutcome, BlockedBy};
 pub use scenarios::AttackKind;

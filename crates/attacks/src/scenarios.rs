@@ -3,7 +3,7 @@
 
 use core::fmt;
 
-use ptstore_core::{PhysAddr, VirtAddr};
+use ptstore_core::{PhysAddr, VirtAddr, MIB};
 use ptstore_kernel::pagetable::USER_TEXT_BASE;
 use ptstore_kernel::process::{VmPerms, PCB_OFF_PT_PTR, PCB_OFF_TOKEN_PTR};
 use ptstore_kernel::{AttackerFault, DefenseMode, Kernel, KernelError};
@@ -35,11 +35,16 @@ pub enum AttackKind {
     /// Forge a token in normal memory and point the PCB's token pointer at
     /// it — tokens are only credible because they live in the secure region.
     TokenForging,
+    /// Overwrite a 2 MiB superpage leaf (a level-1 PTE) so one corrupted
+    /// slot redirects an entire 2 MiB of translations at physical page 0 —
+    /// the highest-leverage single-PTE write the paging structure offers.
+    HugePageTampering,
 }
 
 impl AttackKind {
-    /// All eight, in paper order (§II-B attacks then the §V-E extras).
-    pub const ALL: [AttackKind; 8] = [
+    /// All nine, in paper order (§II-B attacks then the §V-E extras, then
+    /// the superpage variant the generic paging API makes expressible).
+    pub const ALL: [AttackKind; 9] = [
         AttackKind::PtTampering,
         AttackKind::PtInjection,
         AttackKind::PtReuse,
@@ -48,6 +53,7 @@ impl AttackKind {
         AttackKind::TlbInconsistency,
         AttackKind::SecureDataReuse,
         AttackKind::TokenForging,
+        AttackKind::HugePageTampering,
     ];
 }
 
@@ -62,6 +68,7 @@ impl fmt::Display for AttackKind {
             AttackKind::TlbInconsistency => "TLB inconsistency",
             AttackKind::SecureDataReuse => "Secure-data reuse",
             AttackKind::TokenForging => "Token forging",
+            AttackKind::HugePageTampering => "Huge-page tampering",
         })
     }
 }
@@ -368,6 +375,53 @@ pub fn token_forging(k: &mut Kernel) -> AttackOutcome {
     }
 }
 
+/// Huge-page tampering: the victim owns a 2 MiB anonymous huge mapping, so
+/// a single level-1 leaf PTE translates 512 pages at once. The attacker
+/// overwrites that one slot through the direct map, keeping the user flags
+/// but pointing the span at physical page 0 — kernel text and data become
+/// user-readable/writable through an innocent-looking user VA. Same primitive
+/// as PT-Tampering, 512× the blast radius; the defenses must not care which
+/// level the corrupted slot lives at.
+pub fn huge_page_tampering(k: &mut Kernel) -> AttackOutcome {
+    let victim = k.current_pid();
+    let va = k.sys_mmap_huge(2 * MIB).expect("huge mmap");
+    let (slot_pa, level) = k
+        .leaf_pte_phys_addr(victim, va)
+        .expect("huge mapping present");
+    debug_assert_eq!(level, 1, "2 MiB mapping must be a level-1 leaf");
+    let before = k
+        .read_pte_raw(slot_pa)
+        .expect("kernel can read its own PTE");
+    // Keep V|R|W|U|A|D, zero the PPN: the span now aliases PA 0..2 MiB.
+    let tampered = before & 0x3ff;
+    let dm = k.direct_map(slot_pa);
+
+    match k.attacker_write_u64(dm, tampered) {
+        Ok(()) => {
+            let after = k.read_pte_raw(slot_pa).expect("readable");
+            debug_assert_eq!(after, tampered, "write landed");
+            AttackOutcome::Succeeded
+        }
+        Err(f) if f.is_ptstore() => AttackOutcome::Blocked(BlockedBy::SecureRegionPmp),
+        Err(AttackerFault::PageFault) => match k.cfg.defense {
+            DefenseMode::VirtualIsolation => AttackOutcome::Blocked(BlockedBy::PagePermissions),
+            DefenseMode::PtRand => {
+                let window = match k.attacker_leak_pt_rand_window() {
+                    Ok(w) => w,
+                    Err(_) => return AttackOutcome::Blocked(BlockedBy::UnmappedTarget),
+                };
+                let via = VirtAddr::new(window + slot_pa.as_u64());
+                match k.attacker_write_u64(via, tampered) {
+                    Ok(()) => AttackOutcome::SucceededViaLeak,
+                    Err(_) => AttackOutcome::Blocked(BlockedBy::UnmappedTarget),
+                }
+            }
+            _ => AttackOutcome::Blocked(BlockedBy::UnmappedTarget),
+        },
+        Err(AttackerFault::AccessFault(_)) => AttackOutcome::Blocked(BlockedBy::SecureRegionPmp),
+    }
+}
+
 /// Dispatches one attack scenario.
 pub fn run(kind: AttackKind, k: &mut Kernel) -> AttackOutcome {
     match kind {
@@ -379,5 +433,6 @@ pub fn run(kind: AttackKind, k: &mut Kernel) -> AttackOutcome {
         AttackKind::TlbInconsistency => tlb_inconsistency(k),
         AttackKind::SecureDataReuse => secure_data_reuse(k),
         AttackKind::TokenForging => token_forging(k),
+        AttackKind::HugePageTampering => huge_page_tampering(k),
     }
 }

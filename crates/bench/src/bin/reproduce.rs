@@ -2,9 +2,9 @@
 //!
 //! ```text
 //! reproduce [--quick] [--harts N] [--jobs N] [--no-fast-path] \
-//!     [--csv <dir>] [--trace <file>] \
+//!     [--csv <dir>] [--trace <file>] [--scheme sv39|sv48|sv57] \
 //!     [table1|table2|table3|hwdetail|ltp|fig4|forkstress|fig5|fig6|fig7|security|smp|all]
-//! reproduce fuzz [--seed S] [--faults N] [--harts H] [--quick]
+//! reproduce fuzz [--seed S] [--faults N] [--harts H] [--quick] [--scheme sv39|sv48|sv57]
 //! ```
 //!
 //! `--quick` runs scaled-down workloads (seconds); the default uses the
@@ -33,6 +33,11 @@
 //! to 2 here so the IPI fault classes have a victim hart. With `--quick`
 //! the campaign runs the invariant oracle after every workload operation
 //! (paranoid mode). `fuzz` is not part of `all`; run it explicitly.
+//! `--scheme sv39|sv48|sv57` boots every kernel of the `security` battery
+//! or `fuzz` campaign under that RISC-V paging scheme (default sv39). The
+//! verdicts are scheme-independent — PTStore's checks fire on physical
+//! addresses and credentials, not on walk depth — which the
+//! scheme-differential test suite asserts.
 //! Flags that cannot apply to the selected experiment (for example
 //! `--seed` without `fuzz`, or `--jobs`/`--trace`/`--csv` with `fuzz`)
 //! are rejected rather than silently ignored.
@@ -66,10 +71,12 @@ const EXPERIMENTS: [&str; 12] = [
 /// Prints the usage synopsis to stderr.
 fn usage() {
     eprintln!(
-        "usage: reproduce [--quick] [--harts N] [--jobs N] [--no-fast-path] [--csv <dir>] [--trace <file>] [{}|all]",
+        "usage: reproduce [--quick] [--harts N] [--jobs N] [--no-fast-path] [--csv <dir>] [--trace <file>] [--scheme sv39|sv48|sv57] [{}|all]",
         EXPERIMENTS.join("|")
     );
-    eprintln!("       reproduce fuzz [--seed S] [--faults N] [--harts H] [--quick]");
+    eprintln!(
+        "       reproduce fuzz [--seed S] [--faults N] [--harts H] [--quick] [--scheme sv39|sv48|sv57]"
+    );
     eprintln!("run `reproduce --help` for what each flag does");
 }
 
@@ -110,6 +117,7 @@ fn main() {
     let mut jobs: Option<usize> = None;
     let mut seed: Option<u64> = None;
     let mut faults: Option<u64> = None;
+    let mut scheme: Option<ptstore_core::PagingScheme> = None;
     let mut what: Option<String> = None;
 
     let mut it = args.iter();
@@ -125,6 +133,15 @@ fn main() {
             "--jobs" => jobs = Some(take_number(&mut it, "--jobs")),
             "--seed" => seed = Some(take_number(&mut it, "--seed")),
             "--faults" => faults = Some(take_number(&mut it, "--faults")),
+            "--scheme" => {
+                let v = take_value(&mut it, "--scheme");
+                scheme = match v.parse() {
+                    Ok(s) => Some(s),
+                    Err(_) => die(&format!(
+                        "unknown paging scheme {v:?}: --scheme takes sv39, sv48, or sv57"
+                    )),
+                };
+            }
             "--help" | "-h" => {
                 usage();
                 std::process::exit(0);
@@ -180,6 +197,12 @@ fn main() {
             "--trace only applies to the security experiment, not {what:?}"
         ));
     }
+    if scheme.is_some() && what != "security" && what != "fuzz" {
+        die(&format!(
+            "--scheme only applies to the security and fuzz experiments, not {what:?} \
+             (the performance figures are calibrated against the sv39 goldens)"
+        ));
+    }
     const CSV_EXPERIMENTS: [&str; 5] = ["all", "fig4", "fig5", "fig6", "fig7"];
     if csv_dir.is_some() && !CSV_EXPERIMENTS.contains(&what.as_str()) {
         die(&format!(
@@ -209,7 +232,8 @@ fn main() {
                 seed.unwrap_or(1),
                 faults.unwrap_or(70),
                 harts.unwrap_or(2),
-                quick
+                quick,
+                scheme
             )
         );
         return;
@@ -238,7 +262,7 @@ fn main() {
                 "fig5" => Box::new(move || report_fig5(scale, jobs)),
                 "fig6" => Box::new(move || report_fig6(scale, jobs)),
                 "fig7" => Box::new(move || report_fig7(scale, jobs)),
-                "security" => Box::new(move || report_security(trace_file, harts)),
+                "security" => Box::new(move || report_security(trace_file, harts, scheme)),
                 "smp" => Box::new(move || report_smp(scale, harts, jobs)),
                 _ => unreachable!("EXPERIMENTS is exhaustive"),
             };
@@ -559,22 +583,32 @@ fn report_fig7(scale: &Scale, jobs: usize) -> String {
     out
 }
 
-fn report_security(trace_file: Option<&std::path::Path>, harts: usize) -> String {
+fn report_security(
+    trace_file: Option<&std::path::Path>,
+    harts: usize,
+    scheme: Option<ptstore_core::PagingScheme>,
+) -> String {
     let mut out = String::new();
+    let scheme = scheme.unwrap_or(ptstore_core::PagingScheme::Sv39);
+    let under = if scheme == ptstore_core::PagingScheme::Sv39 {
+        String::new()
+    } else {
+        format!(", {} paging", scheme.name())
+    };
     if harts > 1 {
         header(
             &mut out,
             &format!(
-                "§V-E: security matrix (attack × defense; fresh {harts}-hart kernel per cell)"
+                "§V-E: security matrix (attack × defense; fresh {harts}-hart kernel per cell{under})"
             ),
         );
     } else {
         header(
             &mut out,
-            "§V-E: security matrix (attack × defense; fresh kernel per cell)",
+            &format!("§V-E: security matrix (attack × defense; fresh kernel per cell{under})"),
         );
     }
-    for report in run_security_with_harts(harts) {
+    for report in run_security_with(harts, scheme) {
         let tokens = if report.tokens { "" } else { " [tokens off]" };
         w!(out, "{report}{tokens}");
     }
@@ -633,19 +667,34 @@ fn report_security(trace_file: Option<&std::path::Path>, harts: usize) -> String
     out
 }
 
-fn report_fuzz(seed: u64, faults: u64, harts: usize, quick: bool) -> String {
+fn report_fuzz(
+    seed: u64,
+    faults: u64,
+    harts: usize,
+    quick: bool,
+    scheme: Option<ptstore_core::PagingScheme>,
+) -> String {
     let mut out = String::new();
+    let under = match scheme {
+        Some(s) if s != ptstore_core::PagingScheme::Sv39 => format!(", {} paging", s.name()),
+        _ => String::new(),
+    };
     header(
         &mut out,
-        &format!("Fuzz campaign: {faults} seeded faults across {harts} hart(s) (ptstore-fault)"),
+        &format!(
+            "Fuzz campaign: {faults} seeded faults across {harts} hart(s) (ptstore-fault{under})"
+        ),
     );
-    let cfg = if quick {
+    let mut cfg = if quick {
         // Paranoid mode: the invariant oracle runs after every workload
         // operation, not just at the post-injection checkpoints.
         CampaignConfig::quick(seed, faults, harts)
     } else {
         CampaignConfig::new(seed, faults, harts)
     };
+    if let Some(s) = scheme {
+        cfg.kernel = Some(cfg.kernel_config().with_scheme(s));
+    }
     let report = ptstore_fault::run_campaign(&cfg);
     out.push_str(&report.summary());
     w!(

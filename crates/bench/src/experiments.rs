@@ -1,8 +1,8 @@
 //! Experiment drivers, one per paper table/figure.
 
 use ptstore_attacks::{
-    security_matrix, security_matrix_traced, security_matrix_with_harts, AttackReport,
-    TracedAttackReport,
+    security_matrix, security_matrix_traced, security_matrix_with, security_matrix_with_harts,
+    AttackReport, TracedAttackReport,
 };
 use ptstore_core::{GIB, MIB};
 use ptstore_hwcost::{table3, BoomConfig, Table3Row};
@@ -425,6 +425,12 @@ pub fn run_security() -> Vec<AttackReport> {
 /// depend on the hart count.
 pub fn run_security_with_harts(harts: usize) -> Vec<AttackReport> {
     security_matrix_with_harts(harts)
+}
+
+/// The battery under an explicit paging scheme: the verdicts must not
+/// depend on the walk depth either (`reproduce security --scheme sv48`).
+pub fn run_security_with(harts: usize, scheme: ptstore_core::PagingScheme) -> Vec<AttackReport> {
+    security_matrix_with(harts, scheme)
 }
 
 /// Runs the PTStore rows (full design + tokens-off ablation) with a trace

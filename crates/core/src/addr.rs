@@ -17,7 +17,7 @@ pub const MIB: u64 = 1024 * KIB;
 /// Base-2 gibibyte.
 pub const GIB: u64 = 1024 * MIB;
 
-/// log2 of the page size (4 KiB pages, as on RV64 Sv39).
+/// log2 of the page size (4 KiB pages, as on every RV64 Sv scheme).
 pub const PAGE_SHIFT: u32 = 12;
 /// Page size in bytes.
 pub const PAGE_SIZE: u64 = 1 << PAGE_SHIFT;
@@ -35,7 +35,8 @@ pub const PAGE_SIZE: u64 = 1 << PAGE_SHIFT;
 )]
 pub struct PhysAddr(u64);
 
-/// A virtual memory address (Sv39: 39 significant bits, sign-extended).
+/// A virtual memory address (39/48/57 significant sign-extended bits,
+/// depending on the active [`PagingScheme`](crate::paging::PagingScheme)).
 #[derive(
     Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
 )]
@@ -234,22 +235,17 @@ pagenum_impls!(PhysPageNum, PhysAddr);
 pagenum_impls!(VirtPageNum, VirtAddr);
 
 impl VirtAddr {
-    /// Extracts the Sv39 VPN slice for page-table level `level`
-    /// (2 = root, 0 = leaf), each 9 bits wide.
+    /// Extracts the 9-bit VPN slice for page-table level `level`
+    /// (0 = leaf; the root level is `scheme.root_level()`). Every RV64 Sv
+    /// scheme uses the same per-level geometry, so this needs no scheme
+    /// parameter — only the *number* of meaningful levels differs.
     ///
     /// # Panics
-    /// Panics if `level > 2`.
+    /// Panics if `level > 4` (beyond Sv57's root).
     #[inline]
     pub fn vpn_slice(self, level: usize) -> u64 {
-        assert!(level <= 2, "Sv39 has levels 0..=2");
+        assert!(level <= 4, "Sv57 has levels 0..=4");
         (self.0 >> (PAGE_SHIFT as u64 + 9 * level as u64)) & 0x1ff
-    }
-
-    /// True when the address is canonical for Sv39 (bits 63..39 equal bit 38).
-    #[inline]
-    pub fn is_canonical_sv39(self) -> bool {
-        let upper = self.0 >> 38;
-        upper == 0 || upper == (1 << 26) - 1
     }
 }
 
@@ -276,20 +272,20 @@ mod tests {
     }
 
     #[test]
-    fn vpn_slices_cover_sv39() {
+    fn vpn_slices_cover_all_sv_levels() {
         // 0b_vvvvvvvvv_wwwwwwwww_xxxxxxxxx_oooooooooooo
         let va = VirtAddr::new((0x1AB << 30) | (0x0CD << 21) | (0x0EF << 12) | 0x123);
         assert_eq!(va.vpn_slice(2), 0x1AB);
         assert_eq!(va.vpn_slice(1), 0x0CD);
         assert_eq!(va.vpn_slice(0), 0x0EF);
         assert_eq!(va.page_offset(), 0x123);
-    }
-
-    #[test]
-    fn canonical_sv39() {
-        assert!(VirtAddr::new(0x0000_003f_ffff_ffff).is_canonical_sv39());
-        assert!(VirtAddr::new(0xffff_ffc0_0000_0000).is_canonical_sv39());
-        assert!(!VirtAddr::new(0x0000_0040_0000_0000).is_canonical_sv39());
+        // The Sv48/Sv57 slices of the same (low) address are zero.
+        assert_eq!(va.vpn_slice(3), 0);
+        assert_eq!(va.vpn_slice(4), 0);
+        // A high Sv57 address exercises the upper slices.
+        let high = VirtAddr::new((0x155 << 48) | (0x0AA << 39));
+        assert_eq!(high.vpn_slice(4), 0x155);
+        assert_eq!(high.vpn_slice(3), 0x0AA);
     }
 
     #[test]

@@ -306,13 +306,13 @@ impl FaultInjector {
     fn fire_satp_corrupt(&mut self, k: &mut Kernel) -> InjectOutcome {
         let hart = self.plan.hart;
         let old = k.harts[hart].mmu.satp;
-        if !old.sv39 {
-            return InjectOutcome::Skipped;
-        }
+        let Some(scheme) = old.scheme else {
+            return InjectOutcome::Skipped; // Bare mode: nothing to corrupt
+        };
         let Ok(bogus) = k.alloc_page(GfpFlags::KERNEL.union(GfpFlags::ZERO)) else {
             return InjectOutcome::Skipped;
         };
-        k.harts[hart].mmu.satp = Satp::sv39(bogus, old.asid, old.s_bit);
+        k.harts[hart].mmu.satp = Satp::new(scheme, bogus, old.asid, old.s_bit);
         self.undo = Undo::Satp {
             hart,
             old,

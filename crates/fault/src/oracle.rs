@@ -30,7 +30,7 @@
 use std::collections::BTreeSet;
 
 use ptstore_core::{PhysAddr, PhysPageNum, SecureRegion, TokenError};
-use ptstore_kernel::{Kernel, Pid};
+use ptstore_kernel::{Kernel, Pid, ProcState};
 use ptstore_mmu::{Pte, Tlb};
 use ptstore_trace::TraceEvent;
 
@@ -185,8 +185,10 @@ fn known_pt_pages(k: &Kernel) -> BTreeSet<PhysPageNum> {
     known.insert(k.kernel_root());
     known.extend(k.kernel_pt_pages().iter().copied());
     for p in k.procs.iter() {
-        // Threads (mm_owner = Some) share their owner's tables.
-        if p.mm_owner.is_none() {
+        // Threads (mm_owner = Some) share their owner's tables. Zombies
+        // freed their tables at exit: the stale `root` field may alias a
+        // page since reallocated to another address space.
+        if p.mm_owner.is_none() && p.state != ProcState::Zombie {
             known.insert(p.aspace.root);
             known.extend(p.aspace.pt_pages.iter().copied());
         }
@@ -209,16 +211,20 @@ fn check_containment(
             rep.violations.push(Violation::PtPageOutsideRegion { ppn });
         }
     }
+    // Zombie roots are stale (freed at exit) and must not be walked: the
+    // page may have been reallocated as a *lower-level* table of another
+    // address space, which would be misread at root level here.
     let roots: Vec<PhysPageNum> = core::iter::once(k.kernel_root())
         .chain(
             k.procs
                 .iter()
-                .filter(|p| p.mm_owner.is_none())
+                .filter(|p| p.mm_owner.is_none() && p.state != ProcState::Zombie)
                 .map(|p| p.aspace.root),
         )
         .collect();
     let mut visited: BTreeSet<PhysPageNum> = BTreeSet::new();
-    let mut stack: Vec<(PhysPageNum, u8)> = roots.into_iter().map(|r| (r, 2)).collect();
+    let root_level = k.cfg.scheme.root_level() as u8;
+    let mut stack: Vec<(PhysPageNum, u8)> = roots.into_iter().map(|r| (r, root_level)).collect();
     while let Some((page, level)) = stack.pop() {
         if !visited.insert(page) {
             continue;
@@ -236,14 +242,21 @@ fn check_containment(
             }
             rep.checks += 1;
             if pte.is_leaf() {
-                if pte.flags().user() && region.contains(pte.phys_addr()) {
+                // A superpage leaf at level L spans 512^L pages: flag the
+                // mapping if *any* of that span reaches into the region.
+                let span_bytes = ptstore_core::PAGE_SIZE << (9 * u64::from(level));
+                let pa = pte.phys_addr();
+                let overlaps = region.contains(pa)
+                    || region.contains(pa + (span_bytes - 1))
+                    || (pa <= region.base() && region.base().as_u64() < pa.as_u64() + span_bytes);
+                if pte.flags().user() && overlaps {
                     rep.violations
                         .push(Violation::UserLeafIntoRegion { ppn: pte.ppn() });
                 }
                 continue;
             }
-            // A valid non-leaf below level 0 cannot exist in Sv39; treat
-            // the child as an untracked table either way.
+            // A valid non-leaf below level 0 cannot exist in any scheme;
+            // treat the child as an untracked table either way.
             let child = pte.ppn();
             if !region.contains(child.base_addr()) {
                 rep.violations
@@ -265,8 +278,8 @@ fn check_containment(
 fn check_satp_binding(k: &Kernel, region: Option<&SecureRegion>, rep: &mut InvariantReport) {
     for hart in &k.harts {
         let satp = hart.mmu.satp;
-        if !satp.sv39 {
-            continue;
+        if satp.scheme.is_none() {
+            continue; // Bare mode: no root to bind
         }
         rep.checks += 1;
         let pid = hart.current;
@@ -343,7 +356,7 @@ fn check_pmp(k: &Kernel, region: &SecureRegion, rep: &mut InvariantReport) {
         rep.violations.push(Violation::PmpEnforcementMismatch);
     }
     for hart in &k.harts {
-        if !hart.mmu.satp.sv39 {
+        if hart.mmu.satp.scheme.is_none() {
             continue;
         }
         rep.checks += 1;
@@ -371,9 +384,20 @@ fn check_tlbs(
     ) {
         for entry in tlb.entries() {
             rep.checks += 1;
-            if entry.flags.user()
-                && (known.contains(&entry.ppn) || region.contains(entry.ppn.base_addr()))
-            {
+            // A span entry (superpage) covers page_size/4K frames; any of
+            // them touching pt storage is a violation.
+            let span_pages = entry.page_size / ptstore_core::PAGE_SIZE;
+            let base = entry.ppn.as_u64();
+            let touches_known = known
+                .range(entry.ppn..PhysPageNum::new(base + span_pages))
+                .next()
+                .is_some();
+            let base_addr = entry.ppn.base_addr();
+            let touches_region = region.contains(base_addr)
+                || region.contains(base_addr + (entry.page_size - 1))
+                || (base_addr <= region.base()
+                    && region.base().as_u64() < base_addr.as_u64() + entry.page_size);
+            if entry.flags.user() && (touches_known || touches_region) {
                 rep.violations.push(Violation::TlbMapsPtPage {
                     hart,
                     ppn: entry.ppn,

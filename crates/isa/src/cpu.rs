@@ -1214,7 +1214,12 @@ mod tests {
 
     #[test]
     fn csr_write_to_satp_updates_mmu() {
-        let satp = Satp::sv39(ptstore_core::PhysPageNum::new(0x80), 3, true);
+        let satp = Satp::new(
+            ptstore_core::PagingScheme::Sv39,
+            ptstore_core::PhysPageNum::new(0x80),
+            3,
+            true,
+        );
         let prog = [
             // csrrw x0, satp, t0
             Inst::Csr {

@@ -2,7 +2,7 @@
 
 use core::fmt;
 
-use ptstore_core::{GIB, MIB, PAGE_SIZE};
+use ptstore_core::{PagingScheme, GIB, MIB, PAGE_SIZE};
 use serde::{Deserialize, Serialize};
 
 /// Which page-table defense the kernel deploys. The paper's related-work
@@ -87,6 +87,11 @@ pub struct KernelConfig {
     /// zones, process table — is machine-wide. `1` reproduces the paper's
     /// single-hart prototype cycle-for-cycle.
     pub harts: usize,
+    /// Paging scheme the kernel programs into `satp.MODE` (Sv39/Sv48/Sv57).
+    /// The walker reads the scheme back out of `satp` at translation time,
+    /// so this single knob switches the whole machine. The paper's prototype
+    /// (and every golden trace) uses Sv39.
+    pub scheme: PagingScheme,
 }
 
 /// Why a [`KernelConfigBuilder`] refused to produce a configuration.
@@ -220,6 +225,12 @@ impl KernelConfigBuilder {
         self
     }
 
+    /// Paging scheme (Sv39/Sv48/Sv57).
+    pub fn scheme(mut self, scheme: PagingScheme) -> Self {
+        self.cfg.scheme = scheme;
+        self
+    }
+
     /// Validates the geometry and produces the configuration.
     ///
     /// # Errors
@@ -280,6 +291,7 @@ impl KernelConfig {
             itlb_entries: 32,
             dtlb_entries: 8,
             harts: 1,
+            scheme: PagingScheme::Sv39,
         }
     }
 
@@ -342,6 +354,12 @@ impl KernelConfig {
     /// Returns a copy with a different hart count.
     pub fn with_harts(mut self, harts: usize) -> Self {
         self.harts = harts;
+        self
+    }
+
+    /// Returns a copy with a different paging scheme.
+    pub fn with_scheme(mut self, scheme: PagingScheme) -> Self {
+        self.scheme = scheme;
         self
     }
 
@@ -451,9 +469,21 @@ mod tests {
         let c = KernelConfig::baseline()
             .with_mem_size(256 * MIB)
             .with_initial_secure_size(16 * MIB)
-            .with_defense(DefenseMode::VirtualIsolation);
+            .with_defense(DefenseMode::VirtualIsolation)
+            .with_scheme(PagingScheme::Sv48);
         assert_eq!(c.mem_size, 256 * MIB);
         assert_eq!(c.initial_secure_size, 16 * MIB);
         assert_eq!(c.defense, DefenseMode::VirtualIsolation);
+        assert_eq!(c.scheme, PagingScheme::Sv48);
+        // Every preset defaults to the paper's Sv39 prototype.
+        assert_eq!(KernelConfig::baseline().scheme, PagingScheme::Sv39);
+        assert_eq!(
+            KernelConfig::builder()
+                .scheme(PagingScheme::Sv57)
+                .build()
+                .unwrap()
+                .scheme,
+            PagingScheme::Sv57
+        );
     }
 }

@@ -60,7 +60,7 @@ impl Kernel {
                 return Ok(PhysAddr::new(va.as_u64() - base));
             }
         }
-        let satp = Satp::sv39(self.kernel_root(), 0, self.satp_s_bit());
+        let satp = Satp::new(self.cfg.scheme, self.kernel_root(), 0, self.satp_s_bit());
         PageTableWalker::new()
             .translate(&mut self.bus, satp, va, kind, PrivilegeMode::Supervisor)
             .map(|o| o.pa)
@@ -153,6 +153,24 @@ impl Kernel {
             .aspace
             .root;
         self.leaf_slot(root, va)?.ok_or(KernelError::BadAddress)
+    }
+
+    /// The physical address and level of the PTE actually mapping `va` in
+    /// `pid`'s address space, superpage leaves included — what the
+    /// huge-page tampering attack wants to overwrite (a level-1 slot whose
+    /// corruption redirects a whole 2 MiB of translations at once).
+    pub fn leaf_pte_phys_addr(
+        &mut self,
+        pid: Pid,
+        va: VirtAddr,
+    ) -> Result<(PhysAddr, usize), KernelError> {
+        let root = self
+            .procs
+            .get(pid)
+            .ok_or(KernelError::NoSuchProcess)?
+            .aspace
+            .root;
+        self.find_leaf(root, va)?.ok_or(KernelError::BadAddress)
     }
 
     /// The shared user text physical page (a tampering target).

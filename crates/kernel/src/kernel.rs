@@ -22,7 +22,7 @@ use crate::cycles::{cost, CostKind, CycleCounter};
 use crate::error::KernelError;
 use crate::fs::{PipeTable, RamFs};
 use crate::hart::Hart;
-use crate::pagetable::{direct_map_va, pte_slot, DIRECT_MAP_BASE};
+use crate::pagetable::{direct_map_va, pte_slot, DIRECT_MAP_BASE, HUGE_PAGE_SPAN};
 use crate::process::{Pid, ProcessTable};
 use crate::sbi::{SbiCall, SbiFirmware, SbiResult};
 use crate::slab::SlabCache;
@@ -734,13 +734,28 @@ impl Kernel {
         let root = self.alloc_pt_page()?;
         self.kernel_root = root;
         self.kernel_pt_pages.push(root);
+        // The direct map occupies the top 256 GiB of the address space, which
+        // sits inside a single entry span at every level above the GiB-level
+        // tables — so the upper chain needs exactly one table per extra
+        // level. Under Sv39 the chain is empty (the root *is* the GiB-level
+        // table) and the allocation/write sequence below is identical to the
+        // three-level layout, byte-for-byte and cycle-for-cycle.
+        let levels = self.cfg.scheme.levels();
+        let va0 = VirtAddr::new(DIRECT_MAP_BASE);
+        let mut gib_table = root;
+        for level in (3..levels).rev() {
+            let t = self.alloc_pt_page()?;
+            self.kernel_pt_pages.push(t);
+            self.pt_write(pte_slot(gib_table, va0, level), Pte::table(t).bits())?;
+            gib_table = t;
+        }
         let gib_count = self.cfg.mem_size.div_ceil(ptstore_core::GIB);
         for g in 0..gib_count {
             let l1 = self.alloc_pt_page()?;
             self.kernel_pt_pages.push(l1);
             let va = VirtAddr::new(DIRECT_MAP_BASE + g * ptstore_core::GIB);
-            let root_slot = pte_slot(root, va, 2);
-            self.pt_write(root_slot, Pte::table(l1).bits())?;
+            let gib_slot = pte_slot(gib_table, va, 2);
+            self.pt_write(gib_slot, Pte::table(l1).bits())?;
             // 512 2-MiB leaves per GiB (bounded by mem_size).
             for i in 0..512u64 {
                 let pa = g * ptstore_core::GIB + i * 2 * MIB;
@@ -776,15 +791,16 @@ impl Kernel {
         }
     }
 
-    /// Finds the physical address of the leaf PTE slot for `va` under
-    /// `root`, returning `None` when an intermediate level is missing.
+    /// Finds the physical address of the 4 KiB leaf PTE slot for `va` under
+    /// `root`, returning `None` when an intermediate level is missing (or is
+    /// a superpage leaf — use [`Self::find_leaf`] for those).
     pub(crate) fn leaf_slot(
         &mut self,
         root: PhysPageNum,
         va: VirtAddr,
     ) -> Result<Option<PhysAddr>, KernelError> {
         let mut table = root;
-        for level in (1..=2usize).rev() {
+        for level in (1..self.cfg.scheme.levels()).rev() {
             let slot = pte_slot(table, va, level);
             let pte = Pte::from_bits(self.pt_read(slot)?);
             if !pte.is_table() {
@@ -795,12 +811,38 @@ impl Kernel {
         Ok(Some(pte_slot(table, va, 0)))
     }
 
-    /// Ensures intermediate tables exist for `va` in the address space of
-    /// `pid`, allocating them as needed; returns the leaf slot address.
-    pub(crate) fn ensure_leaf_slot(
+    /// Walks from `root` to the PTE mapping `va`, returning the slot and
+    /// the level it terminated at: 0 for a 4 KiB leaf, 1 for a 2 MiB leaf,
+    /// 2 for 1 GiB. `None` when the walk hits an invalid entry.
+    pub(crate) fn find_leaf(
+        &mut self,
+        root: PhysPageNum,
+        va: VirtAddr,
+    ) -> Result<Option<(PhysAddr, usize)>, KernelError> {
+        let mut table = root;
+        for level in (0..self.cfg.scheme.levels()).rev() {
+            let slot = pte_slot(table, va, level);
+            let pte = Pte::from_bits(self.pt_read(slot)?);
+            if !pte.is_valid() {
+                return Ok(None);
+            }
+            if pte.is_leaf() {
+                return Ok(Some((slot, level)));
+            }
+            table = pte.ppn();
+        }
+        Ok(None)
+    }
+
+    /// Ensures intermediate tables exist for `va` down to (but excluding)
+    /// `leaf_level` in the address space of `pid`, allocating them as
+    /// needed; returns the PTE slot address at `leaf_level` (0 for a 4 KiB
+    /// leaf, 1 for a 2 MiB huge leaf).
+    pub(crate) fn ensure_slot_at(
         &mut self,
         pid: Pid,
         va: VirtAddr,
+        leaf_level: usize,
     ) -> Result<PhysAddr, KernelError> {
         let pid = self.mm_owner_of(pid);
         let root = self
@@ -811,7 +853,7 @@ impl Kernel {
             .root;
         let mut new_pages: Vec<PhysPageNum> = Vec::new();
         let mut table = root;
-        for level in (1..=2usize).rev() {
+        for level in ((leaf_level + 1)..self.cfg.scheme.levels()).rev() {
             let slot = pte_slot(table, va, level);
             let pte = Pte::from_bits(self.pt_read(slot)?);
             table = if pte.is_table() {
@@ -827,7 +869,17 @@ impl Kernel {
             let p = self.procs.get_mut(pid).ok_or(KernelError::NoSuchProcess)?;
             p.aspace.pt_pages.extend(new_pages);
         }
-        Ok(pte_slot(table, va, 0))
+        Ok(pte_slot(table, va, leaf_level))
+    }
+
+    /// Ensures intermediate tables exist for `va` in the address space of
+    /// `pid`, allocating them as needed; returns the 4 KiB leaf slot.
+    pub(crate) fn ensure_leaf_slot(
+        &mut self,
+        pid: Pid,
+        va: VirtAddr,
+    ) -> Result<PhysAddr, KernelError> {
+        self.ensure_slot_at(pid, va, 0)
     }
 
     /// Maps one user page into `pid`'s address space (the `set_pte` path).
@@ -844,9 +896,15 @@ impl Kernel {
         self.pt_write(slot, Pte::leaf(ppn, flags).bits())?;
         let vpn = va.as_u64() >> PAGE_SHIFT;
         let p = self.procs.get_mut(pid).ok_or(KernelError::NoSuchProcess)?;
-        p.aspace
-            .user
-            .insert(vpn, crate::pagetable::UserMapping { ppn, flags, cow });
+        p.aspace.user.insert(
+            vpn,
+            crate::pagetable::UserMapping {
+                ppn,
+                flags,
+                cow,
+                huge: false,
+            },
+        );
         self.rmap.entry(ppn.as_u64()).or_default().push((pid, vpn));
         Ok(())
     }
@@ -898,6 +956,184 @@ impl Kernel {
     /// owner's mm; everyone else owns their own).
     pub fn mm_owner_of(&self, pid: Pid) -> Pid {
         self.procs.get(pid).and_then(|p| p.mm_owner).unwrap_or(pid)
+    }
+
+    // ------------------------------------------------------------------
+    // Huge (2 MiB) user mappings — one level-1 leaf PTE per block
+    // ------------------------------------------------------------------
+
+    /// Allocates and zeroes a naturally aligned 2 MiB block for a huge user
+    /// mapping. The block is *pinned* (non-movable): like Linux hugetlb
+    /// pages, it is invisible to compaction/migration, so secure-region
+    /// adjustment treats it as an immovable obstacle.
+    pub(crate) fn alloc_user_huge_block(&mut self) -> Result<PhysPageNum, KernelError> {
+        self.charge(CostKind::PageAlloc, cost::PAGE_ALLOC);
+        let block = self.normal_zone.alloc(9, false)?;
+        for i in 0..HUGE_PAGE_SPAN {
+            self.zero_page(PhysPageNum::new(block.as_u64() + i), false)?;
+        }
+        Ok(block)
+    }
+
+    /// Maps a 2 MiB block at `va` (both must be 2 MiB-aligned) as a single
+    /// level-1 leaf PTE. The shadow records one huge entry at the
+    /// span-aligned vpn; huge blocks are deliberately absent from the rmap —
+    /// they are pinned, so migration never needs to find them.
+    pub(crate) fn map_user_huge_page(
+        &mut self,
+        pid: Pid,
+        va: VirtAddr,
+        block: PhysPageNum,
+        flags: PteFlags,
+        cow: bool,
+    ) -> Result<(), KernelError> {
+        debug_assert_eq!(va.as_u64() % (2 * MIB), 0, "huge va must be 2 MiB-aligned");
+        debug_assert_eq!(
+            block.as_u64() % HUGE_PAGE_SPAN,
+            0,
+            "huge block must be naturally aligned"
+        );
+        let pid = self.mm_owner_of(pid);
+        let slot = self.ensure_slot_at(pid, va, 1)?;
+        self.pt_write(slot, Pte::leaf(block, flags).bits())?;
+        let vpn = va.as_u64() >> PAGE_SHIFT;
+        let p = self.procs.get_mut(pid).ok_or(KernelError::NoSuchProcess)?;
+        p.aspace.user.insert(
+            vpn,
+            crate::pagetable::UserMapping {
+                ppn: block,
+                flags,
+                cow,
+                huge: true,
+            },
+        );
+        Ok(())
+    }
+
+    /// Unmaps the 2 MiB mapping at `va`; returns the block it pointed at.
+    /// One covered-page flush is enough to drop the span entry from every
+    /// TLB (span entries match any page they cover).
+    pub(crate) fn unmap_user_huge_page(
+        &mut self,
+        pid: Pid,
+        va: VirtAddr,
+    ) -> Result<PhysPageNum, KernelError> {
+        let pid = self.mm_owner_of(pid);
+        let vpn = va.as_u64() >> PAGE_SHIFT;
+        let (root, asid, block) = {
+            let p = self.procs.get(pid).ok_or(KernelError::NoSuchProcess)?;
+            let m = p
+                .aspace
+                .user
+                .get(&vpn)
+                .filter(|m| m.huge)
+                .ok_or(KernelError::BadAddress)?;
+            (p.aspace.root, p.aspace.asid, m.ppn)
+        };
+        let (slot, level) = self.find_leaf(root, va)?.ok_or(KernelError::BadAddress)?;
+        debug_assert_eq!(level, 1, "shadow says huge but the PTE is not level-1");
+        self.pt_write(slot, Pte::invalid().bits())?;
+        self.tlb_flush_page(va, asid);
+        if let Some(p) = self.procs.get_mut(pid) {
+            p.aspace.user.remove(&vpn);
+        }
+        Ok(block)
+    }
+
+    /// Drops one reference to a huge block (refcounted at its base, like a
+    /// compound page's head), zeroing and freeing the whole order-9
+    /// allocation at zero.
+    pub(crate) fn put_user_huge_block(&mut self, block: PhysPageNum) -> Result<(), KernelError> {
+        let refs = self
+            .page_refs
+            .get_mut(&block.as_u64())
+            .expect("put of untracked huge block");
+        *refs -= 1;
+        if *refs == 0 {
+            self.page_refs.remove(&block.as_u64());
+            for i in 0..HUGE_PAGE_SPAN {
+                self.raw_zero_page(PhysPageNum::new(block.as_u64() + i));
+            }
+            self.free_page(block)?;
+        }
+        Ok(())
+    }
+
+    /// Splits the huge mapping covering `va` into 512 4 KiB mappings (the
+    /// `split_huge_pmd` + `split_page` analogue): a CoW-shared block is
+    /// privatized first, then a fresh level-0 table of 4 KiB leaves replaces
+    /// the level-1 leaf, the buddy allocation is split page-by-page, and the
+    /// shadow/refcount/rmap bookkeeping is rewritten per page.
+    pub(crate) fn split_huge_mapping(&mut self, pid: Pid, va: VirtAddr) -> Result<(), KernelError> {
+        let pid = self.mm_owner_of(pid);
+        let base_vpn = (va.as_u64() >> PAGE_SHIFT) & !(HUGE_PAGE_SPAN - 1);
+        let base_va = VirtAddr::new(base_vpn << PAGE_SHIFT);
+        let (root, asid, mut m) = {
+            let p = self.procs.get(pid).ok_or(KernelError::NoSuchProcess)?;
+            let m = p
+                .aspace
+                .user
+                .get(&base_vpn)
+                .filter(|m| m.huge)
+                .copied()
+                .ok_or(KernelError::BadAddress)?;
+            (p.aspace.root, p.aspace.asid, m)
+        };
+        // Un-share first (split never propagates to the sharers): copy the
+        // whole block into a private one, then split the private copy.
+        if self.page_refs.get(&m.ppn.as_u64()).copied().unwrap_or(1) > 1 {
+            let fresh = self.alloc_user_huge_block()?;
+            for i in 0..HUGE_PAGE_SPAN {
+                self.charge(CostKind::MemAccess, cost::ZERO_PAGE); // page copy
+                self.raw_copy_page(
+                    PhysPageNum::new(m.ppn.as_u64() + i),
+                    PhysPageNum::new(fresh.as_u64() + i),
+                )?;
+            }
+            self.page_refs.insert(fresh.as_u64(), 1);
+            self.put_user_huge_block(m.ppn)?;
+            m.ppn = fresh;
+            m.cow = false;
+        }
+        // Build the replacement level-0 table, then swap it in under the
+        // level-1 slot. Writing the table pointer last keeps the walkable
+        // state consistent at every step.
+        let table = self.alloc_pt_page()?;
+        for i in 0..HUGE_PAGE_SPAN {
+            let slot = PhysAddr::new(table.base_addr().as_u64() + i * 8);
+            let page = PhysPageNum::new(m.ppn.as_u64() + i);
+            self.pt_write(slot, Pte::leaf(page, m.flags).bits())?;
+        }
+        let (l1_slot, level) = self
+            .find_leaf(root, base_va)?
+            .ok_or(KernelError::BadAddress)?;
+        debug_assert_eq!(level, 1, "split of a non-huge leaf");
+        self.pt_write(l1_slot, Pte::table(table).bits())?;
+        self.tlb_flush_page(base_va, asid);
+        // The buddy block becomes 512 order-0 pages; refcounts and the rmap
+        // become per-page (each inherits the block's single owner).
+        self.normal_zone.split_allocation(m.ppn)?;
+        self.page_refs.remove(&m.ppn.as_u64());
+        for i in 0..HUGE_PAGE_SPAN {
+            let page = m.ppn.as_u64() + i;
+            self.page_refs.insert(page, 1);
+            self.rmap.entry(page).or_default().push((pid, base_vpn + i));
+        }
+        let p = self.procs.get_mut(pid).ok_or(KernelError::NoSuchProcess)?;
+        p.aspace.user.remove(&base_vpn);
+        for i in 0..HUGE_PAGE_SPAN {
+            p.aspace.user.insert(
+                base_vpn + i,
+                crate::pagetable::UserMapping {
+                    ppn: PhysPageNum::new(m.ppn.as_u64() + i),
+                    flags: m.flags,
+                    cow: m.cow,
+                    huge: false,
+                },
+            );
+        }
+        p.aspace.pt_pages.push(table);
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -1068,7 +1304,8 @@ impl Kernel {
             let slot = self.procs.get(pid).expect("checked").pt_ptr_slot();
             PhysAddr::new(self.mem_read(slot)?)
         };
-        self.harts[self.active_hart].mmu.satp = Satp::sv39(
+        self.harts[self.active_hart].mmu.satp = Satp::new(
+            self.cfg.scheme,
             PhysPageNum::new(pt_ptr.as_u64() >> PAGE_SHIFT),
             asid,
             self.satp_s_bit(),

@@ -7,13 +7,18 @@
 
 use std::collections::BTreeMap;
 
-use ptstore_core::{PhysAddr, PhysPageNum, VirtAddr};
+use ptstore_core::{PhysAddr, PhysPageNum, VirtAddr, MIB, PAGE_SIZE};
 use ptstore_mmu::PteFlags;
 use serde::{Deserialize, Serialize};
 
 /// Base of the kernel's direct map of all physical memory
-/// (`va = DIRECT_MAP_BASE + pa`), in the upper Sv39 half.
+/// (`va = DIRECT_MAP_BASE + pa`). The top 256 GiB of the address space —
+/// canonical under every paging scheme (Sv39/Sv48/Sv57), since bits 63..38
+/// are all set.
 pub const DIRECT_MAP_BASE: u64 = 0xFFFF_FFC0_0000_0000;
+
+/// Pages spanned by one huge (2 MiB, level-1 leaf) user mapping.
+pub const HUGE_PAGE_SPAN: u64 = 2 * MIB / PAGE_SIZE;
 
 /// Base virtual address of user program text.
 pub const USER_TEXT_BASE: u64 = 0x0000_0000_0001_0000;
@@ -52,16 +57,20 @@ pub fn pte_slot(table: PhysPageNum, va: VirtAddr, level: usize) -> PhysAddr {
 /// One user-page mapping in the Rust-side shadow.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct UserMapping {
-    /// Mapped physical page.
+    /// Mapped physical page — for a huge mapping, the naturally aligned
+    /// base of the 2 MiB block.
     pub ppn: PhysPageNum,
     /// Leaf flags currently installed.
     pub flags: PteFlags,
     /// True when this mapping is copy-on-write-shared.
     pub cow: bool,
+    /// True for a 2 MiB mapping (one level-1 leaf PTE spanning
+    /// [`HUGE_PAGE_SPAN`] pages); the shadow key is the span-aligned vpn.
+    pub huge: bool,
 }
 
-/// One process address space: the Sv39 root, its ASID, the page-table pages
-/// backing it, and the shadow of user mappings.
+/// One process address space: the root page-table page, its ASID, the
+/// page-table pages backing it, and the shadow of user mappings.
 #[derive(Debug, Clone, Default)]
 pub struct AddressSpace {
     /// Root page-table page.
@@ -87,24 +96,37 @@ impl AddressSpace {
         self.user.len()
     }
 
-    /// Looks up the shadow mapping of `va`'s page.
+    /// Looks up the shadow mapping of `va`'s page. A covering huge mapping
+    /// is reported as the 4 KiB view at `va`: the returned `ppn` is the page
+    /// within the block and `huge` stays true so callers can find the real
+    /// span-aligned entry.
     pub fn mapping(&self, va: VirtAddr) -> Option<UserMapping> {
+        let vpn = va.as_u64() >> ptstore_core::PAGE_SHIFT;
+        if let Some(m) = self.user.get(&vpn) {
+            return Some(*m);
+        }
+        let base = vpn & !(HUGE_PAGE_SPAN - 1);
         self.user
-            .get(&(va.as_u64() >> ptstore_core::PAGE_SHIFT))
-            .copied()
+            .get(&base)
+            .filter(|m| m.huge)
+            .map(|m| UserMapping {
+                ppn: PhysPageNum::new(m.ppn.as_u64() + (vpn - base)),
+                ..*m
+            })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ptstore_core::PagingScheme;
 
     #[test]
     fn direct_map_round_trip() {
         let pa = PhysAddr::new(0x8000_1234);
         let va = direct_map_va(pa);
         assert_eq!(direct_map_pa(va), Some(pa));
-        assert!(va.is_canonical_sv39());
+        assert!(PagingScheme::Sv39.is_canonical(va));
         assert_eq!(direct_map_pa(VirtAddr::new(0x1000)), None);
     }
 
@@ -123,8 +145,14 @@ mod tests {
         assert!(USER_TEXT_BASE < USER_HEAP_BASE);
         assert!(USER_HEAP_BASE < USER_MMAP_BASE);
         assert!(USER_MMAP_BASE < USER_STACK_TOP);
-        // Direct map is in the canonical upper half.
-        assert!(VirtAddr::new(DIRECT_MAP_BASE).is_canonical_sv39());
+        // Direct map is in the canonical upper half of *every* scheme, so
+        // one layout serves Sv39, Sv48, and Sv57 alike.
+        for scheme in PagingScheme::ALL {
+            assert!(
+                scheme.is_canonical(VirtAddr::new(DIRECT_MAP_BASE)),
+                "direct map must be canonical under {scheme}"
+            );
+        }
     }
 
     #[test]
@@ -141,6 +169,7 @@ mod tests {
                 ppn: PhysPageNum::new(0x55),
                 flags: PteFlags::user_rx(),
                 cow: false,
+                huge: false,
             },
         );
         assert_eq!(aspace.user_page_count(), 1);
@@ -150,6 +179,44 @@ mod tests {
         assert_eq!(m.ppn, PhysPageNum::new(0x55));
         assert!(aspace
             .mapping(VirtAddr::new(USER_TEXT_BASE + 0x1000))
+            .is_none());
+    }
+
+    #[test]
+    fn huge_mapping_reports_per_page_view() {
+        let mut aspace = AddressSpace::default();
+        let base_vpn = (USER_MMAP_BASE >> 12) & !(HUGE_PAGE_SPAN - 1);
+        aspace.user.insert(
+            base_vpn,
+            UserMapping {
+                ppn: PhysPageNum::new(0x1000),
+                flags: PteFlags::user_rw(),
+                cow: false,
+                huge: true,
+            },
+        );
+        let m = aspace
+            .mapping(VirtAddr::new((base_vpn + 5) * PAGE_SIZE + 0x40))
+            .unwrap();
+        assert_eq!(m.ppn, PhysPageNum::new(0x1005));
+        assert!(m.huge);
+        // One page past the span is unmapped.
+        assert!(aspace
+            .mapping(VirtAddr::new((base_vpn + HUGE_PAGE_SPAN) * PAGE_SIZE))
+            .is_none());
+        // A non-huge entry at a span-aligned vpn never masquerades as huge.
+        let mut small = AddressSpace::default();
+        small.user.insert(
+            base_vpn,
+            UserMapping {
+                ppn: PhysPageNum::new(0x2000),
+                flags: PteFlags::user_rw(),
+                cow: false,
+                huge: false,
+            },
+        );
+        assert!(small
+            .mapping(VirtAddr::new((base_vpn + 1) * PAGE_SIZE))
             .is_none());
     }
 }

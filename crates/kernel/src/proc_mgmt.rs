@@ -8,7 +8,8 @@ use crate::cycles::{cost, CostKind};
 use crate::error::KernelError;
 use crate::kernel::Kernel;
 use crate::pagetable::{
-    AddressSpace, USER_HEAP_BASE, USER_MMAP_BASE, USER_STACK_PAGES, USER_STACK_TOP, USER_TEXT_BASE,
+    AddressSpace, HUGE_PAGE_SPAN, USER_HEAP_BASE, USER_MMAP_BASE, USER_STACK_PAGES, USER_STACK_TOP,
+    USER_TEXT_BASE,
 };
 use crate::process::{FdTable, Pid, ProcState, Process, SignalTable, VmArea, VmPerms, PCB_OFF_PID};
 use crate::zones::GfpFlags;
@@ -195,7 +196,9 @@ impl Kernel {
             } else {
                 (mapping.flags, mapping.cow)
             };
-            // Parent side: drop W for CoW.
+            // Parent side: drop W for CoW. A huge mapping's leaf lives one
+            // level up; the 4 KiB path keeps the cheaper slot computation
+            // (leaf_slot never reads the leaf itself).
             if mapping.flags.writable() {
                 let parent_root = self
                     .procs
@@ -203,9 +206,16 @@ impl Kernel {
                     .expect("parent exists")
                     .aspace
                     .root;
-                let slot = self
-                    .leaf_slot(parent_root, va)?
-                    .ok_or(KernelError::BadAddress)?;
+                let slot = if mapping.huge {
+                    let (slot, level) = self
+                        .find_leaf(parent_root, va)?
+                        .ok_or(KernelError::BadAddress)?;
+                    debug_assert_eq!(level, 1, "huge shadow entry over a non-huge leaf");
+                    slot
+                } else {
+                    self.leaf_slot(parent_root, va)?
+                        .ok_or(KernelError::BadAddress)?
+                };
                 self.pt_write(slot, Pte::leaf(mapping.ppn, child_flags).bits())?;
                 let p = self.procs.get_mut(parent_pid).expect("parent exists");
                 if let Some(m) = p.aspace.user.get_mut(&vpn) {
@@ -214,7 +224,11 @@ impl Kernel {
                 }
                 made_parent_ro = true;
             }
-            self.map_user_page(child_pid, va, mapping.ppn, child_flags, share_cow)?;
+            if mapping.huge {
+                self.map_user_huge_page(child_pid, va, mapping.ppn, child_flags, share_cow)?;
+            } else {
+                self.map_user_page(child_pid, va, mapping.ppn, child_flags, share_cow)?;
+            }
         }
         if made_parent_ro {
             self.tlb_flush_asid(parent_asid);
@@ -369,14 +383,19 @@ impl Kernel {
     }
 
     fn teardown_user_mappings(&mut self, pid: Pid) -> Result<(), KernelError> {
-        let vpns: Vec<u64> = {
+        let entries: Vec<(u64, bool)> = {
             let p = self.procs.get(pid).ok_or(KernelError::NoSuchProcess)?;
-            p.aspace.user.keys().copied().collect()
+            p.aspace.user.iter().map(|(&v, m)| (v, m.huge)).collect()
         };
-        for vpn in vpns {
+        for (vpn, huge) in entries {
             let va = VirtAddr::new(vpn << PAGE_SHIFT);
-            let ppn = self.unmap_user_page(pid, va)?;
-            self.put_user_page(ppn)?;
+            if huge {
+                let block = self.unmap_user_huge_page(pid, va)?;
+                self.put_user_huge_block(block)?;
+            } else {
+                let ppn = self.unmap_user_page(pid, va)?;
+                self.put_user_page(ppn)?;
+            }
         }
         Ok(())
     }
@@ -585,7 +604,11 @@ impl Kernel {
         };
         match mapping {
             Some(m) if kind == AccessKind::Write && m.cow => {
-                self.break_cow(pid, va, m.ppn)?;
+                if m.huge {
+                    self.break_cow_huge(pid, va)?;
+                } else {
+                    self.break_cow(pid, va, m.ppn)?;
+                }
                 self.stats.cow_faults += 1;
                 Ok(FaultResolution::CowBroken)
             }
@@ -649,6 +672,58 @@ impl Kernel {
             }
         }
         self.tlb_flush_page(va, asid);
+        Ok(())
+    }
+
+    /// Breaks CoW on a huge mapping whole-block: a shared block is copied
+    /// into a fresh private one and the level-1 leaf repointed; a sole owner
+    /// just gets W restored. Either way the faulting process keeps its 2 MiB
+    /// mapping — no split (Linux's `do_huge_pmd_wp_page` analogue).
+    fn break_cow_huge(&mut self, pid: Pid, va: VirtAddr) -> Result<(), KernelError> {
+        let base_vpn = (va.as_u64() >> PAGE_SHIFT) & !(HUGE_PAGE_SPAN - 1);
+        let base_va = VirtAddr::new(base_vpn << PAGE_SHIFT);
+        let (root, asid, m) = {
+            let p = self.procs.get(pid).expect("exists");
+            let m = *p.aspace.user.get(&base_vpn).expect("huge mapping present");
+            (p.aspace.root, p.aspace.asid, m)
+        };
+        let new_flags = m.flags.with(PteFlags::W);
+        let refs = self.page_refs.get(&m.ppn.as_u64()).copied().unwrap_or(1);
+        let (slot, level) = self
+            .find_leaf(root, base_va)?
+            .ok_or(KernelError::BadAddress)?;
+        debug_assert_eq!(level, 1, "huge CoW break on a non-huge leaf");
+        if refs > 1 {
+            let fresh = self.alloc_user_huge_block()?;
+            for i in 0..HUGE_PAGE_SPAN {
+                self.charge(CostKind::MemAccess, cost::ZERO_PAGE); // page copy
+                self.raw_copy_page(
+                    PhysPageNum::new(m.ppn.as_u64() + i),
+                    PhysPageNum::new(fresh.as_u64() + i),
+                )?;
+            }
+            self.page_refs.insert(fresh.as_u64(), 1);
+            // ptstore-lint: hazard(shootdown-pairing) — COW break repoints the
+            // leaf; the old read-only translation must not survive in any TLB.
+            self.pt_write(slot, Pte::leaf(fresh, new_flags).bits())?;
+            if let Some(p) = self.procs.get_mut(pid) {
+                if let Some(sm) = p.aspace.user.get_mut(&base_vpn) {
+                    sm.ppn = fresh;
+                    sm.flags = new_flags;
+                    sm.cow = false;
+                }
+            }
+            self.put_user_huge_block(m.ppn)?;
+        } else {
+            self.pt_write(slot, Pte::leaf(m.ppn, new_flags).bits())?;
+            if let Some(p) = self.procs.get_mut(pid) {
+                if let Some(sm) = p.aspace.user.get_mut(&base_vpn) {
+                    sm.flags = new_flags;
+                    sm.cow = false;
+                }
+            }
+        }
+        self.tlb_flush_page(base_va, asid);
         Ok(())
     }
 

@@ -6,12 +6,14 @@
 //! (the paper's threat-model prerequisite), every indirect call pays a check
 //! — that is the `CFI` series of Figures 4–7.
 
-use ptstore_core::{AccessKind, VirtAddr, PAGE_SIZE};
+use ptstore_core::{AccessKind, VirtAddr, MIB, PAGE_SIZE};
+use ptstore_mmu::PteFlags;
 
 use crate::cycles::{cost, CostKind};
 use crate::error::KernelError;
 use crate::fs::FileStat;
 use crate::kernel::{Kernel, Socket};
+use crate::pagetable::HUGE_PAGE_SPAN;
 use crate::process::{FdEntry, Pid, SigAction, VmArea, VmPerms};
 
 /// Static per-syscall cost profile.
@@ -630,7 +632,52 @@ impl Kernel {
         r
     }
 
-    /// `munmap()`: unmaps the area starting at `addr`.
+    /// `mmap(MAP_HUGETLB)`-style anonymous memory: 2 MiB-aligned, backed by
+    /// pinned 2 MiB blocks mapped as level-1 leaf PTEs, eagerly populated at
+    /// map time (hugetlb reserves up front; there is no demand-fault path
+    /// for huge pages). Returns the mapped address.
+    pub fn sys_mmap_huge(&mut self, len: u64) -> Result<VirtAddr, KernelError> {
+        self.syscall_enter(profile::MMAP);
+        let r = self.do_mmap_huge(len);
+        self.syscall_exit();
+        r
+    }
+
+    fn do_mmap_huge(&mut self, len: u64) -> Result<VirtAddr, KernelError> {
+        let len = len.div_ceil(2 * MIB) * (2 * MIB);
+        let mm = self.mm_owner_of(self.current_pid());
+        let start = {
+            let p = self.procs.get_mut(mm).ok_or(KernelError::NoSuchProcess)?;
+            let stack_guard = crate::pagetable::USER_STACK_TOP - 64 * PAGE_SIZE;
+            let aligned = p.mmap_cursor.div_ceil(2 * MIB) * (2 * MIB);
+            if aligned + len > stack_guard {
+                return Err(KernelError::OutOfMemory);
+            }
+            p.mmap_cursor = aligned + len;
+            p.vmas.push(VmArea {
+                start: aligned,
+                end: aligned + len,
+                perms: VmPerms::RW,
+            });
+            aligned
+        };
+        for off in (0..len).step_by(2 * MIB as usize) {
+            let block = self.alloc_user_huge_block()?;
+            self.page_refs.insert(block.as_u64(), 1);
+            self.map_user_huge_page(
+                mm,
+                VirtAddr::new(start + off),
+                block,
+                PteFlags::user_rw(),
+                false,
+            )?;
+        }
+        Ok(VirtAddr::new(start))
+    }
+
+    /// `munmap()`: unmaps the area starting at `addr`. A huge mapping wholly
+    /// inside the range is dropped block-at-a-time; one that straddles the
+    /// range boundary is split first, then handled page-by-page.
     pub fn sys_munmap(&mut self, addr: VirtAddr, len: u64) -> Result<(), KernelError> {
         self.syscall_enter(profile::MMAP);
         let len = len.div_ceil(PAGE_SIZE) * PAGE_SIZE;
@@ -642,20 +689,46 @@ impl Kernel {
         while va < end {
             let mapped = {
                 let p = self.procs.get(pid).ok_or(KernelError::NoSuchProcess)?;
-                p.aspace.mapping(va).is_some()
+                p.aspace.mapping(va)
             };
-            if mapped {
-                match self.unmap_user_page(pid, va) {
-                    Ok(ppn) => {
-                        if let Err(e) = self.put_user_page(ppn) {
+            let Some(m) = mapped else {
+                va += PAGE_SIZE;
+                continue;
+            };
+            if m.huge {
+                let span_aligned = va.as_u64().is_multiple_of(2 * MIB);
+                if span_aligned && va + 2 * MIB <= end {
+                    match self
+                        .unmap_user_huge_page(pid, va)
+                        .and_then(|block| self.put_user_huge_block(block))
+                    {
+                        Ok(()) => {
+                            va += 2 * MIB;
+                            continue;
+                        }
+                        Err(e) => {
                             r = Err(e);
                             break;
                         }
                     }
-                    Err(e) => {
+                }
+                // Partial overlap: split, then retry this page as 4 KiB.
+                if let Err(e) = self.split_huge_mapping(pid, va) {
+                    r = Err(e);
+                    break;
+                }
+                continue;
+            }
+            match self.unmap_user_page(pid, va) {
+                Ok(ppn) => {
+                    if let Err(e) = self.put_user_page(ppn) {
                         r = Err(e);
                         break;
                     }
+                }
+                Err(e) => {
+                    r = Err(e);
+                    break;
                 }
             }
             va += PAGE_SIZE;
@@ -752,37 +825,67 @@ impl Kernel {
                 p.vmas.extend(tail);
             }
         }
-        // Rewrite resident leaf PTEs to the new permissions.
-        let resident: Vec<(u64, ptstore_core::PhysPageNum, bool)> = {
-            let p = self.procs.get(mm).ok_or(KernelError::NoSuchProcess)?;
-            p.aspace
-                .user
-                .range((addr.as_u64() >> 12)..((addr.as_u64() + len) >> 12))
-                .map(|(&vpn, m)| (vpn, m.ppn, m.cow))
-                .collect()
-        };
+        // Huge mappings first: a block wholly inside the range has its
+        // level-1 leaf rewritten in place; one that straddles the boundary
+        // is split so the 4 KiB loop below can retouch just the overlap.
+        let start_vpn = addr.as_u64() >> 12;
+        let end_vpn = (addr.as_u64() + len) >> 12;
         let asid = self
             .procs
             .get(mm)
             .ok_or(KernelError::NoSuchProcess)?
             .aspace
             .asid;
+        let huge_bases: Vec<u64> = {
+            let p = self.procs.get(mm).ok_or(KernelError::NoSuchProcess)?;
+            p.aspace
+                .user
+                .range(start_vpn.saturating_sub(HUGE_PAGE_SPAN - 1)..end_vpn)
+                .filter(|(&base, m)| m.huge && base + HUGE_PAGE_SPAN > start_vpn)
+                .map(|(&base, _)| base)
+                .collect()
+        };
+        for base in huge_bases {
+            let base_va = VirtAddr::new(base << 12);
+            if base >= start_vpn && base + HUGE_PAGE_SPAN <= end_vpn {
+                let (root, block, cow) = {
+                    let p = self.procs.get(mm).expect("exists");
+                    let m = p.aspace.user.get(&base).expect("huge base present");
+                    (p.aspace.root, m.ppn, m.cow)
+                };
+                let flags = mprotect_leaf_flags(perms, cow);
+                let (slot, level) = self
+                    .find_leaf(root, base_va)?
+                    .ok_or(KernelError::BadAddress)?;
+                debug_assert_eq!(level, 1, "huge shadow entry over a non-huge leaf");
+                // ptstore-lint: hazard(shootdown-pairing) — mprotect may drop
+                // W/R; cached span translations must be shot down too.
+                self.pt_write(slot, ptstore_mmu::Pte::leaf(block, flags).bits())?;
+                self.tlb_flush_page(base_va, asid);
+                if let Some(p) = self.procs.get_mut(mm) {
+                    if let Some(m) = p.aspace.user.get_mut(&base) {
+                        m.flags = flags;
+                    }
+                }
+            } else {
+                self.split_huge_mapping(mm, base_va)?;
+            }
+        }
+        // Rewrite resident 4 KiB leaf PTEs to the new permissions.
+        let resident: Vec<(u64, ptstore_core::PhysPageNum, bool)> = {
+            let p = self.procs.get(mm).ok_or(KernelError::NoSuchProcess)?;
+            p.aspace
+                .user
+                .range(start_vpn..end_vpn)
+                .filter(|(_, m)| !m.huge)
+                .map(|(&vpn, m)| (vpn, m.ppn, m.cow))
+                .collect()
+        };
         for (vpn, ppn, cow) in resident {
             let va = VirtAddr::new(vpn << 12);
             let root = self.procs.get(mm).expect("exists").aspace.root;
             let slot = self.leaf_slot(root, va)?.ok_or(KernelError::BadAddress)?;
-            let mut bits =
-                ptstore_mmu::PteFlags::V | ptstore_mmu::PteFlags::U | ptstore_mmu::PteFlags::A;
-            if perms.read {
-                bits |= ptstore_mmu::PteFlags::R;
-            }
-            if perms.write && !cow {
-                bits |= ptstore_mmu::PteFlags::W | ptstore_mmu::PteFlags::D;
-            }
-            if perms.exec {
-                bits |= ptstore_mmu::PteFlags::X;
-            }
-            let flags = ptstore_mmu::PteFlags::from_bits(bits);
+            let flags = mprotect_leaf_flags(perms, cow);
             // ptstore-lint: hazard(shootdown-pairing) — mprotect may drop W/R;
             // cached translations with the old permissions must be shot down.
             self.pt_write(slot, ptstore_mmu::Pte::leaf(ppn, flags).bits())?;
@@ -876,4 +979,20 @@ impl Kernel {
             _ => self.do_write(fd, &vec![0u8; len as usize]),
         }
     }
+}
+
+/// Leaf flags for an mprotect'ed resident page: CoW-shared pages never get
+/// W back directly (the fault path restores it when sharing breaks).
+fn mprotect_leaf_flags(perms: VmPerms, cow: bool) -> PteFlags {
+    let mut bits = PteFlags::V | PteFlags::U | PteFlags::A;
+    if perms.read {
+        bits |= PteFlags::R;
+    }
+    if perms.write && !cow {
+        bits |= PteFlags::W | PteFlags::D;
+    }
+    if perms.exec {
+        bits |= PteFlags::X;
+    }
+    PteFlags::from_bits(bits)
 }

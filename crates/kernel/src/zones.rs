@@ -249,6 +249,33 @@ impl BuddyZone {
         self.allocated.get(&ppn.as_u64()).copied()
     }
 
+    /// The Linux `split_page()` model: converts one allocated block of
+    /// `2^order` pages into `2^order` independently tracked order-0
+    /// allocations (same movability), so the pages can afterwards be freed
+    /// one at a time. The kernel uses this when a huge user mapping is
+    /// split into 4 KiB mappings over the same physical pages. Returns the
+    /// page count of the split block.
+    ///
+    /// # Errors
+    /// [`AllocError::BadFree`] when `ppn` is not an allocated block start.
+    pub fn split_allocation(&mut self, ppn: PhysPageNum) -> Result<u64, AllocError> {
+        let start = ppn.as_u64();
+        let Some(info) = self.allocated.remove(&start) else {
+            return Err(AllocError::BadFree { ppn });
+        };
+        let pages = 1u64 << info.order;
+        for i in 0..pages {
+            self.allocated.insert(
+                start + i,
+                AllocInfo {
+                    order: 0,
+                    movable: info.movable,
+                },
+            );
+        }
+        Ok(pages)
+    }
+
     /// The Linux `alloc_contig_range` model: reserves the exact page range
     /// `[start, start + count)`, claiming free pages and reporting allocated
     /// *movable* blocks for the caller to migrate (then
@@ -480,6 +507,26 @@ mod tests {
         );
         z.free(big).unwrap();
         assert_eq!(z.free_pages(), 64);
+    }
+
+    #[test]
+    fn split_allocation_frees_page_by_page() {
+        let mut z = zone(64);
+        let big = z.alloc(4, false).unwrap(); // 16 pages
+        assert_eq!(z.split_allocation(big), Ok(16));
+        // Each page is now its own order-0 allocation.
+        for i in 0..16 {
+            z.free(big + i).unwrap();
+        }
+        assert_eq!(z.free_pages(), 64);
+        // The freed pages coalesce back into a large block.
+        assert!(z.alloc(4, false).is_ok());
+        assert!(z.check_invariants());
+        // Splitting an unallocated page is a bad free.
+        assert!(matches!(
+            z.split_allocation(PhysPageNum::new(0x130)),
+            Err(AllocError::BadFree { .. })
+        ));
     }
 
     #[test]

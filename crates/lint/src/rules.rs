@@ -71,6 +71,8 @@ impl Default for Config {
                 ("AttackOutcome".into(), "ptstore-attacks".into()),
                 ("BlockedBy".into(), "ptstore-attacks".into()),
                 ("Violation".into(), "ptstore-fault".into()),
+                ("PagingScheme".into(), "ptstore-core".into()),
+                ("PageSize".into(), "ptstore-core".into()),
             ],
         }
     }

@@ -1,17 +1,22 @@
 //! # ptstore-mmu
 //!
-//! The Sv39 memory-management unit of the PTStore machine model:
+//! The memory-management unit of the PTStore machine model, generic over
+//! the RV64 paging scheme (Sv39/Sv48/Sv57, selected by the `satp` MODE
+//! field — see [`ptstore_core::PagingScheme`]):
 //!
-//! * [`pte::Pte`] — RV64 Sv39 page-table entries;
+//! * [`pte::Pte`] — RV64 page-table entries (one format across schemes),
+//!   behind the [`pte::GenericPte`] trait the walker is parameterized on;
 //! * [`satp::Satp`] — the `satp` CSR extended with PTStore's **S-bit**
 //!   (paper §IV-A1) that arms the walker's secure-region origin check;
-//! * [`walker::PageTableWalker`] — the hardware page-table walker. Every
+//! * [`walker::PageTableWalker`] — the hardware page-table walker, looping
+//!   over the active scheme's levels with superpage early-exit. Every
 //!   page-table fetch goes through the memory bus on the
 //!   [`Channel::Ptw`](ptstore_core::Channel) channel, so when `satp.S` is
 //!   set, a fetch outside the secure region raises an access fault — this is
 //!   what defeats PT-Injection;
-//! * [`tlb::Tlb`] — the I/D TLBs (32-/8-entry per paper Table II). TLB hits
-//!   use *cached* permissions, faithfully reproducing the TLB-inconsistency
+//! * [`tlb::Tlb`] — the I/D TLBs (32-/8-entry per paper Table II), caching
+//!   superpage leaves as single span entries. TLB hits use *cached*
+//!   permissions, faithfully reproducing the TLB-inconsistency
 //!   attack surface of §V-E5; PTStore still blocks those attacks because the
 //!   PMP check happens on the physical access itself.
 //! * [`mmu::Mmu`] — TLBs + walker behind one `translate` entry point with
@@ -19,11 +24,13 @@
 //!
 //! ```
 //! use ptstore_mmu::Satp;
-//! use ptstore_core::PhysPageNum;
+//! use ptstore_core::{PagingScheme, PhysPageNum};
 //!
-//! // The satp CSR round-trips with the PTStore S-bit intact.
-//! let satp = Satp::sv39(PhysPageNum::new(0x80000), 3, true);
-//! assert!(Satp::from_bits(satp.to_bits()).s_bit);
+//! // The satp CSR round-trips with the mode and PTStore S-bit intact.
+//! let satp = Satp::new(PagingScheme::Sv48, PhysPageNum::new(0x80000), 3, true);
+//! let decoded = Satp::from_bits(satp.to_bits());
+//! assert_eq!(decoded.scheme, Some(PagingScheme::Sv48));
+//! assert!(decoded.s_bit);
 //! ```
 
 #![deny(missing_docs)]
@@ -35,7 +42,7 @@ pub mod tlb;
 pub mod walker;
 
 pub use mmu::{Mmu, TranslationOutcome};
-pub use pte::{Pte, PteFlags};
+pub use pte::{GenericPte, Pte, PteFlags};
 pub use ptstore_trace::Snapshot;
 pub use satp::Satp;
 pub use tlb::{Tlb, TlbEntry, TlbStats};

@@ -146,7 +146,7 @@ impl Mmu {
         kind: AccessKind,
         mode: PrivilegeMode,
     ) -> Result<TranslationOutcome, TranslateError> {
-        if !satp.sv39 || mode == PrivilegeMode::Machine {
+        if !satp.translating() || mode == PrivilegeMode::Machine {
             return Ok(TranslationOutcome::TlbHit {
                 pa: PhysAddr::new(va.as_u64()),
             });
@@ -154,7 +154,7 @@ impl Mmu {
         let vpn = VirtPageNum::from(va);
         if let Some(e) = tlb.lookup(vpn, satp.asid, kind, mode) {
             return Ok(TranslationOutcome::TlbHit {
-                pa: PhysAddr::new(e.ppn.base_addr().as_u64() + va.page_offset()),
+                pa: PhysAddr::new(e.ppn_for(vpn).base_addr().as_u64() + va.page_offset()),
             });
         }
         let WalkOutcome {
@@ -163,14 +163,16 @@ impl Mmu {
             fetches,
             page_size,
         } = walker.translate(bus, satp, va, kind, mode)?;
-        // Refill at 4 KiB granularity (superpages are fragmented into the
-        // covering 4 KiB translation — a common simple-TLB design).
-        let _ = page_size;
+        // Refill at leaf granularity: one entry covers the whole superpage
+        // span (vpn/ppn stored span-aligned; the walker has already checked
+        // the leaf's alignment).
+        let span_pages = page_size / PAGE_SIZE;
         tlb.insert(TlbEntry {
-            vpn,
+            vpn: VirtPageNum::new(vpn.as_u64() & !(span_pages - 1)),
             asid: satp.asid,
-            ppn: ptstore_core::PhysPageNum::new(pa.as_u64() >> 12),
+            ppn: ptstore_core::PhysPageNum::new((pa.as_u64() >> 12) & !(span_pages - 1)),
             flags,
+            page_size,
         });
         Ok(TranslationOutcome::Walk { pa, fetches })
     }
@@ -242,7 +244,7 @@ const _: () = {
 mod tests {
     use super::*;
     use crate::pte::{Pte, PteFlags};
-    use ptstore_core::{AccessContext, Channel, PhysPageNum, SecureRegion, MIB};
+    use ptstore_core::{AccessContext, Channel, PagingScheme, PhysPageNum, SecureRegion, MIB};
 
     fn machine() -> (Bus, Mmu, SecureRegion) {
         let mut bus = Bus::new(256 * MIB);
@@ -283,7 +285,7 @@ mod tests {
             ctx,
         )
         .unwrap();
-        Satp::sv39(PhysPageNum::from(root), 1, true)
+        Satp::new(PagingScheme::Sv39, PhysPageNum::from(root), 1, true)
     }
 
     #[test]
@@ -352,7 +354,7 @@ mod tests {
     #[test]
     fn machine_mode_bypasses_translation() {
         let (mut bus, mut mmu, _region) = machine();
-        mmu.satp = Satp::sv39(PhysPageNum::new(0x999), 1, true);
+        mmu.satp = Satp::new(PagingScheme::Sv39, PhysPageNum::new(0x999), 1, true);
         let out = mmu
             .translate_data(
                 &mut bus,
@@ -362,6 +364,46 @@ mod tests {
             )
             .unwrap();
         assert_eq!(out.pa(), PhysAddr::new(0x42));
+    }
+
+    #[test]
+    fn huge_page_refill_covers_the_span() {
+        let (mut bus, mut mmu, region) = machine();
+        let ctx = AccessContext::supervisor(true);
+        // Root -> level-1 leaf: a single 2 MiB page at VA 0x4000_0000.
+        let root = region.base();
+        let l1 = region.base() + PAGE_SIZE;
+        let va = VirtAddr::new(0x4000_0000);
+        bus.write::<u64>(
+            root + va.vpn_slice(2) * 8,
+            Pte::table(PhysPageNum::from(l1)).bits(),
+            Channel::SecurePt,
+            ctx,
+        )
+        .unwrap();
+        bus.write::<u64>(
+            l1 + va.vpn_slice(1) * 8,
+            Pte::leaf(PhysPageNum::new(0x400), PteFlags::user_rw()).bits(),
+            Channel::SecurePt,
+            ctx,
+        )
+        .unwrap();
+        mmu.satp = Satp::new(PagingScheme::Sv39, PhysPageNum::from(root), 1, true);
+        let first = mmu
+            .translate_data(&mut bus, va, AccessKind::Read, PrivilegeMode::User)
+            .unwrap();
+        assert!(!first.is_hit());
+        // A different 4 KiB page inside the same 2 MiB leaf hits the one
+        // cached span entry.
+        let other = VirtAddr::new(0x4000_0000 + 37 * PAGE_SIZE + 0x10);
+        let second = mmu
+            .translate_data(&mut bus, other, AccessKind::Read, PrivilegeMode::User)
+            .unwrap();
+        assert!(second.is_hit());
+        assert_eq!(
+            second.pa(),
+            PhysAddr::new((0x400 << 12) + 37 * PAGE_SIZE + 0x10)
+        );
     }
 
     #[test]

@@ -8,23 +8,44 @@
 //! tightened — and the reason PTStore's physical-address PMP check matters:
 //! it still intercepts the access after the (stale) translation.
 
-use ptstore_core::{AccessKind, PhysPageNum, PrivilegeMode, VirtPageNum};
+use ptstore_core::{AccessKind, PhysPageNum, PrivilegeMode, VirtPageNum, PAGE_SIZE};
 use ptstore_trace::{FlushScope, Snapshot, TlbUnit, TraceEvent, TraceSink};
 use serde::{Deserialize, Serialize};
 
 use crate::pte::PteFlags;
 
-/// One cached translation.
+/// One cached translation. A superpage leaf is cached as a single entry
+/// spanning `page_size / 4 KiB` consecutive pages (`vpn`/`ppn` hold the
+/// span-aligned bases), so one 2 MiB mapping costs one slot, not 512.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TlbEntry {
-    /// Virtual page.
+    /// Virtual page (span-aligned base for superpage entries).
     pub vpn: VirtPageNum,
     /// Address-space identifier the entry belongs to.
     pub asid: u16,
-    /// Cached physical page.
+    /// Cached physical page (span-aligned base for superpage entries).
     pub ppn: PhysPageNum,
     /// Cached leaf permissions.
     pub flags: PteFlags,
+    /// Size of the cached leaf in bytes (4 KiB, 2 MiB, 1 GiB, ...).
+    pub page_size: u64,
+}
+
+impl TlbEntry {
+    /// Number of 4 KiB pages this entry spans (1 for a base-page entry).
+    pub fn span_pages(&self) -> u64 {
+        self.page_size / PAGE_SIZE
+    }
+
+    /// True when `vpn` falls inside this entry's span.
+    pub fn covers(&self, vpn: VirtPageNum) -> bool {
+        vpn.as_u64().wrapping_sub(self.vpn.as_u64()) < self.span_pages()
+    }
+
+    /// The physical page backing `vpn` (which must be covered).
+    pub fn ppn_for(&self, vpn: VirtPageNum) -> PhysPageNum {
+        PhysPageNum::new(self.ppn.as_u64() + (vpn.as_u64() - self.vpn.as_u64()))
+    }
 }
 
 /// Hit/miss counters.
@@ -226,14 +247,15 @@ impl Tlb {
     }
 
     /// The associative scan behind [`Self::lookup`]: first slot whose entry
-    /// matches `vpn` in this address space (or globally).
+    /// covers `vpn` in this address space (or globally). Superpage entries
+    /// match every page in their span.
     #[inline]
     fn scan(&self, vpn: VirtPageNum, asid: u16) -> Option<TlbEntry> {
         self.entries
             .iter()
             .flatten()
             .copied()
-            .find(|e| e.vpn == vpn && (e.asid == asid || e.flags.global()))
+            .find(|e| e.covers(vpn) && (e.asid == asid || e.flags.global()))
     }
 
     fn permits(flags: PteFlags, kind: AccessKind, mode: PrivilegeMode) -> bool {
@@ -250,10 +272,23 @@ impl Tlb {
         rwx && priv_ok
     }
 
+    /// Drops memoized scan results affected by a mutation of `entry`: the
+    /// single slot for a base-page entry, everything for a superpage entry
+    /// (whose span may be memoized under any covered vpn).
+    #[inline]
+    fn micro_invalidate_entry(&mut self, entry: &TlbEntry) {
+        if entry.span_pages() == 1 {
+            self.micro_invalidate_vpn(entry.vpn);
+        } else {
+            self.micro_invalidate_all();
+        }
+    }
+
     /// Inserts (or replaces) a translation.
     pub fn insert(&mut self, entry: TlbEntry) {
-        // The scan result for this vpn changes whatever branch we take.
-        self.micro_invalidate_vpn(entry.vpn);
+        // The scan result for the covered vpns changes whatever branch we
+        // take.
+        self.micro_invalidate_entry(&entry);
         // Replace an existing mapping of the same (vpn, asid) first.
         if let Some(slot) = self
             .entries
@@ -270,7 +305,7 @@ impl Tlb {
         }
         // Round-robin eviction.
         if let Some(victim) = self.entries[self.next_victim] {
-            self.micro_invalidate_vpn(victim.vpn);
+            self.micro_invalidate_entry(&victim);
         }
         self.entries[self.next_victim] = Some(entry);
         self.next_victim = (self.next_victim + 1) % self.entries.len();
@@ -286,15 +321,22 @@ impl Tlb {
         self.emit_flush(FlushScope::All);
     }
 
-    /// `sfence.vma va, asid`: flush one page of one address space.
+    /// `sfence.vma va, asid`: flush one page of one address space. A
+    /// superpage entry covering `vpn` is flushed whole, as on hardware.
     pub fn flush_page(&mut self, vpn: VirtPageNum, asid: u16) {
+        let mut flushed_superpage = false;
         for slot in self.entries.iter_mut() {
-            if matches!(slot, Some(e) if e.vpn == vpn && e.asid == asid) {
+            if matches!(slot, Some(e) if e.covers(vpn) && e.asid == asid) {
+                flushed_superpage |= slot.unwrap().span_pages() > 1;
                 *slot = None;
                 self.live -= 1;
             }
         }
-        self.micro_invalidate_vpn(vpn);
+        if flushed_superpage {
+            self.micro_invalidate_all();
+        } else {
+            self.micro_invalidate_vpn(vpn);
+        }
         self.stats.flushes += 1;
         self.emit_flush(FlushScope::Page {
             vpn: vpn.as_u64(),
@@ -348,6 +390,7 @@ mod tests {
             asid,
             ppn: PhysPageNum::new(ppn),
             flags,
+            page_size: PAGE_SIZE,
         }
     }
 
@@ -512,5 +555,73 @@ mod tests {
         tlb.insert(entry(1, 1, 100, PteFlags::user_rw()));
         tlb.flush_all();
         assert_eq!(tlb.occupancy(), 0);
+    }
+
+    #[test]
+    fn superpage_entry_covers_its_span() {
+        let mut tlb = Tlb::new(4);
+        // One 2 MiB entry: vpn/ppn bases 512-aligned, spanning 512 pages.
+        let huge = TlbEntry {
+            vpn: VirtPageNum::new(0x200),
+            asid: 1,
+            ppn: PhysPageNum::new(0x4000),
+            flags: PteFlags::user_rw(),
+            page_size: 512 * PAGE_SIZE,
+        };
+        tlb.insert(huge);
+        // Any page in the span hits, with the right offset applied.
+        let hit = tlb
+            .lookup(
+                VirtPageNum::new(0x200 + 17),
+                1,
+                AccessKind::Read,
+                PrivilegeMode::User,
+            )
+            .unwrap();
+        assert_eq!(
+            hit.ppn_for(VirtPageNum::new(0x200 + 17)),
+            PhysPageNum::new(0x4000 + 17)
+        );
+        // One page past the span misses.
+        assert!(tlb
+            .lookup(
+                VirtPageNum::new(0x200 + 512),
+                1,
+                AccessKind::Read,
+                PrivilegeMode::User
+            )
+            .is_none());
+        assert_eq!(tlb.occupancy(), 1);
+    }
+
+    #[test]
+    fn flushing_any_covered_page_drops_the_superpage() {
+        let mut tlb = Tlb::new(4);
+        let huge = TlbEntry {
+            vpn: VirtPageNum::new(0x200),
+            asid: 1,
+            ppn: PhysPageNum::new(0x4000),
+            flags: PteFlags::user_rw(),
+            page_size: 512 * PAGE_SIZE,
+        };
+        tlb.insert(huge);
+        // Warm the micro-TLB under a non-base vpn, then flush via another.
+        tlb.lookup(
+            VirtPageNum::new(0x200 + 3),
+            1,
+            AccessKind::Read,
+            PrivilegeMode::User,
+        )
+        .unwrap();
+        tlb.flush_page(VirtPageNum::new(0x200 + 100), 1);
+        assert_eq!(tlb.occupancy(), 0);
+        assert!(tlb
+            .lookup(
+                VirtPageNum::new(0x200 + 3),
+                1,
+                AccessKind::Read,
+                PrivilegeMode::User
+            )
+            .is_none());
     }
 }

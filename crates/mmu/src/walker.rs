@@ -15,7 +15,7 @@ use ptstore_mem::Bus;
 use ptstore_trace::TraceEvent;
 use serde::{Deserialize, Serialize};
 
-use crate::pte::{Pte, PteFlags};
+use crate::pte::{GenericPte, Pte, PteFlags};
 use crate::satp::Satp;
 
 /// Why a translation failed.
@@ -58,15 +58,20 @@ pub struct WalkOutcome {
     pub pa: PhysAddr,
     /// Flags of the leaf PTE (cached into the TLB).
     pub flags: PteFlags,
-    /// Number of page-table fetches performed (1–3 for Sv39).
+    /// Number of page-table fetches performed (1..=levels of the scheme:
+    /// up to 3 for Sv39, 4 for Sv48, 5 for Sv57).
     pub fetches: u32,
-    /// Page size of the leaf (4 KiB, 2 MiB, or 1 GiB).
+    /// Page size of the leaf in bytes (4 KiB, 2 MiB, 1 GiB, ...).
     pub page_size: u64,
 }
 
-/// The Sv39 walker. The model runs with `SUM=1` (supervisor may
-/// read/write user pages — the kernel copies syscall buffers directly) and
-/// without `MXR`; both simplifications are noted here for fidelity.
+/// The scheme-generic walker: the active [`PagingScheme`] is read from the
+/// `satp` MODE field each walk, exactly as hardware does. The model runs
+/// with `SUM=1` (supervisor may read/write user pages — the kernel copies
+/// syscall buffers directly) and without `MXR`; both simplifications are
+/// noted here for fidelity.
+///
+/// [`PagingScheme`]: ptstore_core::PagingScheme
 ///
 /// The walker holds no translation state; the only field is the id of the
 /// hart it walks for, stamped into the access contexts of its PTE fetches.
@@ -101,16 +106,37 @@ impl PageTableWalker {
         kind: AccessKind,
         mode: PrivilegeMode,
     ) -> Result<WalkOutcome, TranslateError> {
-        if !satp.sv39 || mode == PrivilegeMode::Machine {
-            // Bare: identity mapping.
-            return Ok(WalkOutcome {
-                pa: PhysAddr::new(va.as_u64()),
-                flags: PteFlags::from_bits(0xff),
-                fetches: 0,
-                page_size: PAGE_SIZE,
-            });
-        }
-        if !va.is_canonical_sv39() {
+        self.translate_with::<Pte>(bus, satp, va, kind, mode)
+    }
+
+    /// [`translate`](Self::translate) with an explicit PTE encoding. The
+    /// walk is scheme-generic: the number of levels and the canonical-form
+    /// check come from `satp.scheme`, and a leaf at level *n* maps a
+    /// `512^n`-page superpage.
+    ///
+    /// # Errors
+    /// Same as [`translate`](Self::translate).
+    pub fn translate_with<P: GenericPte>(
+        &self,
+        bus: &mut Bus,
+        satp: Satp,
+        va: VirtAddr,
+        kind: AccessKind,
+        mode: PrivilegeMode,
+    ) -> Result<WalkOutcome, TranslateError> {
+        let scheme = match satp.scheme {
+            Some(scheme) if mode != PrivilegeMode::Machine => scheme,
+            // Bare (or M-mode, which ignores translation): identity mapping.
+            _ => {
+                return Ok(WalkOutcome {
+                    pa: PhysAddr::new(va.as_u64()),
+                    flags: PteFlags::from_bits(0xff),
+                    fetches: 0,
+                    page_size: PAGE_SIZE,
+                });
+            }
+        };
+        if !scheme.is_canonical(va) {
             return Err(TranslateError::PageFault { va, kind });
         }
 
@@ -122,7 +148,7 @@ impl PageTableWalker {
         let mut table = satp.root_addr();
         let mut fetches = 0u32;
         #[allow(clippy::explicit_counter_loop)] // `fetches` counts bus ops, not iterations
-        for level in (0..=2usize).rev() {
+        for level in (0..scheme.levels()).rev() {
             let pte_addr = table + va.vpn_slice(level) * 8;
             let raw = match bus.read::<u64>(pte_addr, ptstore_core::Channel::Ptw, ctx) {
                 Ok(raw) => raw,
@@ -147,7 +173,7 @@ impl PageTableWalker {
                 });
             }
             fetches += 1;
-            let pte = Pte::from_bits(raw);
+            let pte = P::from_bits(raw);
             if !pte.is_valid() {
                 return Err(TranslateError::PageFault { va, kind });
             }
@@ -174,7 +200,7 @@ impl PageTableWalker {
                 let page_size = PAGE_SIZE * span_pages;
                 let offset = va.as_u64() & (page_size - 1);
                 return Ok(WalkOutcome {
-                    pa: PhysAddr::new(pte.phys_addr().as_u64() + offset),
+                    pa: PhysAddr::new(pte.ppn().base_addr().as_u64() + offset),
                     flags: pte.flags(),
                     fetches,
                     page_size,
@@ -184,7 +210,7 @@ impl PageTableWalker {
             if level == 0 {
                 return Err(TranslateError::PageFault { va, kind });
             }
-            table = pte.phys_addr();
+            table = pte.ppn().base_addr();
         }
         unreachable!("loop always returns");
     }
@@ -225,7 +251,42 @@ impl PageTableWalker {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ptstore_core::{Channel, PhysPageNum, SecureRegion, MIB};
+    use ptstore_core::{Channel, PagingScheme, PhysPageNum, SecureRegion, MIB};
+
+    /// Builds a table chain for `scheme` mapping `va -> data_ppn` with a leaf
+    /// at `leaf_level`, using one page per level starting at `base`.
+    // Test fixture spelling out every level of one mapping beats a builder.
+    #[allow(clippy::too_many_arguments)]
+    fn build_chain(
+        bus: &mut Bus,
+        scheme: PagingScheme,
+        base: PhysAddr,
+        va: VirtAddr,
+        data_ppn: PhysPageNum,
+        flags: PteFlags,
+        leaf_level: usize,
+        ctx: AccessContext,
+    ) {
+        let mut table = base;
+        for level in ((leaf_level + 1)..scheme.levels()).rev() {
+            let next = table + PAGE_SIZE;
+            bus.write::<u64>(
+                table + va.vpn_slice(level) * 8,
+                Pte::table(PhysPageNum::from(next)).bits(),
+                Channel::SecurePt,
+                ctx,
+            )
+            .unwrap();
+            table = next;
+        }
+        bus.write::<u64>(
+            table + va.vpn_slice(leaf_level) * 8,
+            Pte::leaf(data_ppn, flags).bits(),
+            Channel::SecurePt,
+            ctx,
+        )
+        .unwrap();
+    }
 
     /// Builds a 3-level table mapping `va -> data_ppn` inside `table_base`,
     /// writing PTEs through the given channel.
@@ -291,7 +352,7 @@ mod tests {
             ctx,
         );
 
-        let satp = Satp::sv39(PhysPageNum::from(root), 1, true);
+        let satp = Satp::new(PagingScheme::Sv39, PhysPageNum::from(root), 1, true);
         let out = PageTableWalker::new()
             .translate(&mut bus, satp, va, AccessKind::Read, PrivilegeMode::User)
             .unwrap();
@@ -314,7 +375,7 @@ mod tests {
         )
         .unwrap();
 
-        let satp = Satp::sv39(PhysPageNum::from(fake_root), 1, true);
+        let satp = Satp::new(PagingScheme::Sv39, PhysPageNum::from(fake_root), 1, true);
         let err = PageTableWalker::new()
             .translate(
                 &mut bus,
@@ -345,7 +406,7 @@ mod tests {
             ctx,
         )
         .unwrap();
-        let satp = Satp::sv39(PhysPageNum::from(fake_root), 1, false);
+        let satp = Satp::new(PagingScheme::Sv39, PhysPageNum::from(fake_root), 1, false);
         let out = PageTableWalker::new()
             .translate(
                 &mut bus,
@@ -379,7 +440,7 @@ mod tests {
             Channel::SecurePt,
             ctx,
         );
-        let satp = Satp::sv39(PhysPageNum::from(root), 1, true);
+        let satp = Satp::new(PagingScheme::Sv39, PhysPageNum::from(root), 1, true);
         let w = PageTableWalker::new();
         // User access to a kernel page faults.
         assert!(matches!(
@@ -427,7 +488,7 @@ mod tests {
             Channel::SecurePt,
             ctx,
         );
-        let satp = Satp::sv39(PhysPageNum::from(root), 1, true);
+        let satp = Satp::new(PagingScheme::Sv39, PhysPageNum::from(root), 1, true);
         PageTableWalker::new()
             .translate(&mut bus, satp, va, AccessKind::Write, PrivilegeMode::User)
             .unwrap();
@@ -442,7 +503,12 @@ mod tests {
     #[test]
     fn invalid_and_noncanonical_fault() {
         let (mut bus, region) = secured_bus();
-        let satp = Satp::sv39(PhysPageNum::from(region.base()), 1, true);
+        let satp = Satp::new(
+            PagingScheme::Sv39,
+            PhysPageNum::from(region.base()),
+            1,
+            true,
+        );
         let w = PageTableWalker::new();
         // Empty root: invalid entry.
         assert!(matches!(
@@ -497,7 +563,7 @@ mod tests {
             ctx,
         )
         .unwrap();
-        let satp = Satp::sv39(PhysPageNum::from(root), 1, true);
+        let satp = Satp::new(PagingScheme::Sv39, PhysPageNum::from(root), 1, true);
         assert!(matches!(
             PageTableWalker::new().translate(
                 &mut bus,
@@ -507,6 +573,144 @@ mod tests {
                 PrivilegeMode::User
             ),
             Err(TranslateError::PageFault { .. })
+        ));
+    }
+
+    #[test]
+    fn deeper_schemes_walk_more_levels() {
+        for (scheme, expected_fetches) in [
+            (PagingScheme::Sv39, 3u32),
+            (PagingScheme::Sv48, 4),
+            (PagingScheme::Sv57, 5),
+        ] {
+            let (mut bus, region) = secured_bus();
+            let ctx = AccessContext::supervisor(true);
+            let va = VirtAddr::new(0x4000_1000);
+            build_chain(
+                &mut bus,
+                scheme,
+                region.base(),
+                va,
+                PhysPageNum::new(0x100),
+                PteFlags::user_rw(),
+                0,
+                ctx,
+            );
+            let satp = Satp::new(scheme, PhysPageNum::from(region.base()), 1, true);
+            let out = PageTableWalker::new()
+                .translate(&mut bus, satp, va, AccessKind::Read, PrivilegeMode::User)
+                .unwrap();
+            assert_eq!(out.pa, PhysAddr::new(0x100_000), "{scheme}");
+            assert_eq!(out.fetches, expected_fetches, "{scheme}");
+            assert_eq!(out.page_size, PAGE_SIZE, "{scheme}");
+        }
+    }
+
+    #[test]
+    fn canonical_form_tracks_the_scheme() {
+        // Bit 38 set with zero upper bits: non-canonical under Sv39,
+        // perfectly canonical under Sv48/Sv57.
+        let va = VirtAddr::new(0x0000_0040_0000_0000);
+        let (mut bus, region) = secured_bus();
+        let ctx = AccessContext::supervisor(true);
+        build_chain(
+            &mut bus,
+            PagingScheme::Sv48,
+            region.base(),
+            va,
+            PhysPageNum::new(0x200),
+            PteFlags::user_rw(),
+            0,
+            ctx,
+        );
+        let root = PhysPageNum::from(region.base());
+        let sv48 = Satp::new(PagingScheme::Sv48, root, 1, true);
+        let out = PageTableWalker::new()
+            .translate(&mut bus, sv48, va, AccessKind::Read, PrivilegeMode::User)
+            .unwrap();
+        assert_eq!(out.pa, PhysAddr::new(0x200_000));
+        // The same address under Sv39 faults before any fetch.
+        let sv39 = Satp::new(PagingScheme::Sv39, root, 1, true);
+        assert!(matches!(
+            PageTableWalker::new().translate(
+                &mut bus,
+                sv39,
+                va,
+                AccessKind::Read,
+                PrivilegeMode::User
+            ),
+            Err(TranslateError::PageFault { .. })
+        ));
+    }
+
+    #[test]
+    fn two_mib_leaf_early_exits() {
+        let (mut bus, region) = secured_bus();
+        let ctx = AccessContext::supervisor(true);
+        let va = VirtAddr::new(0x4020_1000);
+        // Level-1 leaf: PPN must be 512-page aligned.
+        build_chain(
+            &mut bus,
+            PagingScheme::Sv39,
+            region.base(),
+            va,
+            PhysPageNum::new(0x200),
+            PteFlags::user_rw(),
+            1,
+            ctx,
+        );
+        let satp = Satp::new(
+            PagingScheme::Sv39,
+            PhysPageNum::from(region.base()),
+            1,
+            true,
+        );
+        let out = PageTableWalker::new()
+            .translate(&mut bus, satp, va, AccessKind::Write, PrivilegeMode::User)
+            .unwrap();
+        assert_eq!(out.fetches, 2);
+        assert_eq!(out.page_size, 2 * MIB);
+        // PA = superpage base + offset within the 2 MiB span.
+        assert_eq!(out.pa, PhysAddr::new((0x200 << 12) + 0x1000));
+    }
+
+    #[test]
+    fn huge_leaf_outside_region_is_refused_when_armed() {
+        // The origin check applies to the walk that *finds* a huge leaf just
+        // as it does for 4 KiB chains: the table holding the 2 MiB leaf
+        // lives outside the secure region, so the fetch is rejected.
+        let (mut bus, region) = secured_bus();
+        let ctx = AccessContext::supervisor(true);
+        let va = VirtAddr::new(0x4020_0000);
+        // Root (inside region) points at an attacker table outside it.
+        let fake_l1 = PhysAddr::new(4 * MIB);
+        bus.write::<u64>(
+            region.base() + va.vpn_slice(2) * 8,
+            Pte::table(PhysPageNum::from(fake_l1)).bits(),
+            Channel::SecurePt,
+            ctx,
+        )
+        .unwrap();
+        let ctx_plain = AccessContext::supervisor(false);
+        bus.write::<u64>(
+            fake_l1 + va.vpn_slice(1) * 8,
+            Pte::leaf(PhysPageNum::new(0x200), PteFlags::user_rw()).bits(),
+            Channel::Regular,
+            ctx_plain,
+        )
+        .unwrap();
+        let satp = Satp::new(
+            PagingScheme::Sv39,
+            PhysPageNum::from(region.base()),
+            1,
+            true,
+        );
+        let err = PageTableWalker::new()
+            .translate(&mut bus, satp, va, AccessKind::Read, PrivilegeMode::User)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            TranslateError::AccessFault(AccessError::PtwOutsideRegion { .. })
         ));
     }
 }

@@ -4,8 +4,8 @@
 
 use proptest::prelude::*;
 use ptstore_core::{
-    AccessContext, AccessKind, Channel, PhysAddr, PhysPageNum, PrivilegeMode, SecureRegion,
-    VirtAddr, MIB, PAGE_SIZE,
+    AccessContext, AccessKind, Channel, PagingScheme, PhysAddr, PhysPageNum, PrivilegeMode,
+    SecureRegion, VirtAddr, MIB, PAGE_SIZE,
 };
 use ptstore_mem::Bus;
 use ptstore_mmu::{Mmu, PageTableWalker, Pte, PteFlags, Satp};
@@ -83,7 +83,7 @@ proptest! {
         offsets in proptest::collection::vec(0u64..PAGE_SIZE, 1..12),
     ) {
         let (mut bus, region, root) = machine();
-        let satp = Satp::sv39(PhysPageNum::from(root), 3, true);
+        let satp = Satp::new(PagingScheme::Sv39, PhysPageNum::from(root), 3, true);
         let vpns: Vec<u64> = vpns.into_iter().collect();
         for (i, &vpn) in vpns.iter().enumerate() {
             let va = VirtAddr::new(vpn << 12);
@@ -128,7 +128,7 @@ proptest! {
     #[test]
     fn faults_are_consistent(vpn in 1u64..(1 << 20), write in any::<bool>()) {
         let (mut bus, region, root) = machine();
-        let satp = Satp::sv39(PhysPageNum::from(root), 3, true);
+        let satp = Satp::new(PagingScheme::Sv39, PhysPageNum::from(root), 3, true);
         let va = VirtAddr::new(vpn << 12);
         // Map read-only.
         map_page(&mut bus, &region, root, 0, va, PhysPageNum::new(0x1000), PteFlags::user_ro());
@@ -169,7 +169,7 @@ proptest! {
             ctx,
         )
         .unwrap();
-        let satp = Satp::sv39(PhysPageNum::from(root), 1, s_bit);
+        let satp = Satp::new(PagingScheme::Sv39, PhysPageNum::from(root), 1, s_bit);
         let out = PageTableWalker::new().translate(
             &mut bus,
             satp,

@@ -10,27 +10,44 @@
 //! fires constantly.
 
 use proptest::prelude::*;
-use ptstore_core::{AccessKind, PhysPageNum, PrivilegeMode, VirtPageNum};
+use ptstore_core::{AccessKind, PhysPageNum, PrivilegeMode, VirtPageNum, PAGE_SIZE};
 use ptstore_mmu::{PteFlags, Tlb, TlbEntry};
 
 /// Small key space so collisions, aliasing, and micro-slot conflicts
 /// (vpns that map to the same direct-mapped slot) are the common case.
 const VPNS: u64 = 40;
 const ASIDS: u16 = 3;
+/// Span (in pages) of the superpage entries mixed into the stream. Small
+/// enough that spans overlap and collide inside the key space, large enough
+/// to cover several micro-TLB slots.
+const HUGE_SPAN: u64 = 8;
 
 #[derive(Debug, Clone, Copy)]
 enum Op {
-    Insert { vpn: u64, asid: u16, global: bool },
-    Lookup { vpn: u64, asid: u16 },
-    FlushPage { vpn: u64, asid: u16 },
-    FlushAsid { asid: u16 },
+    Insert {
+        vpn: u64,
+        asid: u16,
+        global: bool,
+        huge: bool,
+    },
+    Lookup {
+        vpn: u64,
+        asid: u16,
+    },
+    FlushPage {
+        vpn: u64,
+        asid: u16,
+    },
+    FlushAsid {
+        asid: u16,
+    },
     FlushAll,
 }
 
 fn arb_op() -> impl Strategy<Value = Op> {
     prop_oneof![
-        4 => (0..VPNS, 0..ASIDS, any::<bool>())
-            .prop_map(|(vpn, asid, global)| Op::Insert { vpn, asid, global }),
+        4 => (0..VPNS, 0..ASIDS, any::<bool>(), any::<bool>())
+            .prop_map(|(vpn, asid, global, huge)| Op::Insert { vpn, asid, global, huge }),
         8 => (0..VPNS, 0..ASIDS).prop_map(|(vpn, asid)| Op::Lookup { vpn, asid }),
         2 => (0..VPNS, 0..ASIDS).prop_map(|(vpn, asid)| Op::FlushPage { vpn, asid }),
         1 => (0..ASIDS).prop_map(|asid| Op::FlushAsid { asid }),
@@ -38,12 +55,14 @@ fn arb_op() -> impl Strategy<Value = Op> {
     ]
 }
 
-fn entry(vpn: u64, asid: u16, global: bool) -> TlbEntry {
+fn entry(vpn: u64, asid: u16, global: bool, huge: bool) -> TlbEntry {
     let flags = if global {
         PteFlags::kernel_rw().with(PteFlags::G)
     } else {
         PteFlags::kernel_rw()
     };
+    // Superpage entries store span-aligned bases, like the MMU refill path.
+    let vpn = if huge { vpn & !(HUGE_SPAN - 1) } else { vpn };
     TlbEntry {
         vpn: VirtPageNum::new(vpn),
         asid,
@@ -51,13 +70,23 @@ fn entry(vpn: u64, asid: u16, global: bool) -> TlbEntry {
         // key would be visible in the returned entry, not just in timing.
         ppn: PhysPageNum::new(0x4000 + vpn * 0x10 + u64::from(asid)),
         flags,
+        page_size: if huge {
+            HUGE_SPAN * PAGE_SIZE
+        } else {
+            PAGE_SIZE
+        },
     }
 }
 
 fn apply(tlb: &mut Tlb, op: Op) -> Option<TlbEntry> {
     match op {
-        Op::Insert { vpn, asid, global } => {
-            tlb.insert(entry(vpn, asid, global));
+        Op::Insert {
+            vpn,
+            asid,
+            global,
+            huge,
+        } => {
+            tlb.insert(entry(vpn, asid, global, huge));
             None
         }
         Op::Lookup { vpn, asid } => tlb.lookup(

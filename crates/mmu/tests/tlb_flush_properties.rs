@@ -7,7 +7,7 @@
 //! entry.
 
 use proptest::prelude::*;
-use ptstore_core::{AccessKind, PhysPageNum, PrivilegeMode, VirtPageNum};
+use ptstore_core::{AccessKind, PhysPageNum, PrivilegeMode, VirtPageNum, PAGE_SIZE};
 use ptstore_mmu::{PteFlags, Tlb, TlbEntry};
 
 /// Key space small enough that aliasing and collisions are the common case.
@@ -26,6 +26,7 @@ fn entry(vpn: u64, asid: u16, global: bool) -> TlbEntry {
         // Encode the key in the ppn so hits are attributable.
         ppn: PhysPageNum::new(0x1000 + vpn * 0x10 + u64::from(asid)),
         flags,
+        page_size: PAGE_SIZE,
     }
 }
 

@@ -32,6 +32,7 @@
 //! ```
 
 pub mod fork_stress;
+pub mod huge;
 pub mod lmbench;
 pub mod nginx;
 pub mod redis;
@@ -41,5 +42,6 @@ pub mod smp;
 pub mod spec;
 
 pub use fork_stress::{run_fork_stress, ForkStressResult};
+pub use huge::{run_huge_page, HugePageResult};
 pub use report::{measure, overhead_pct, Measurement, OverheadSeries};
 pub use smp::{run_fork_stress_smp, run_nginx_smp, run_redis_smp, HartShare, SmpRunReport};

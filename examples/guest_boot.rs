@@ -42,7 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     .bits();
     let pte_user_code = Pte::leaf(PhysPageNum::new(user_pa >> 12), PteFlags::user_rx()).bits();
     let pte_shared = Pte::leaf(PhysPageNum::new(shared_pa >> 12), PteFlags::user_rw()).bits();
-    let satp = Satp::sv39(PhysPageNum::from(root), 1, true);
+    let satp = Satp::new(PagingScheme::Sv39, PhysPageNum::from(root), 1, true);
 
     // ---- M-mode firmware (PA 0x1000, runs bare) -------------------------
     // Register file doubles as the firmware's constant pool (a data segment

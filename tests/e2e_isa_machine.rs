@@ -127,7 +127,12 @@ fn executed_program_walks_secure_page_tables() {
         ptstore::mmu::PteFlags::kernel_rw().with(ptstore::mmu::PteFlags::G),
     )
     .bits();
-    let satp = ptstore::mmu::Satp::sv39(ptstore::core::PhysPageNum::from(root), 1, true);
+    let satp = ptstore::mmu::Satp::new(
+        ptstore::core::PagingScheme::Sv39,
+        ptstore::core::PhysPageNum::from(root),
+        1,
+        true,
+    );
 
     // Registers seeded host-side; program does the stores + satp + mret.
     let program = [

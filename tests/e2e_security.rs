@@ -6,8 +6,8 @@ use ptstore::kernel::DefenseMode;
 #[test]
 fn full_matrix_is_consistent() {
     let matrix = security_matrix();
-    // 8 attacks × 4 defenses + 8 token-ablation rows.
-    assert_eq!(matrix.len(), 40);
+    // 9 attacks × 4 defenses + 9 token-ablation rows.
+    assert_eq!(matrix.len(), AttackKind::ALL.len() * 5);
 
     // The paper's headline: PTStore (full design) defeats everything.
     for r in matrix
