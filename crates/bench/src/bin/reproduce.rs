@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the PTStore paper from the models.
 //!
 //! ```text
-//! reproduce [--quick] [--harts N] [--jobs N] [--no-fast-path] \
+//! reproduce [--quick] [--harts N] [--jobs N] [--host-threads N] [--no-fast-path] \
 //!     [--csv <dir>] [--trace <file>] [--scheme sv39|sv48|sv57] \
 //!     [table1|table2|table3|hwdetail|ltp|fig4|forkstress|fig5|fig6|fig7|security|smp|all]
 //! reproduce fuzz [--seed S] [--faults N] [--harts H] [--quick] [--scheme sv39|sv48|sv57]
@@ -10,9 +10,14 @@
 //! `--quick` runs scaled-down workloads (seconds); the default uses the
 //! paper's parameters (30 000 processes, 100 000 Redis requests, ...).
 //! `--jobs N` runs independent experiments — and the independent
-//! (benchmark × config) points inside each — on up to N scoped threads.
+//! (benchmark × config) points inside each — on up to N scoped threads
+//! (clamped to the host's cores; nested fan-outs share one pool).
 //! Every point boots a fresh deterministic kernel, so reports are merged
 //! back in a fixed order and the output is byte-identical at any job count.
+//! `--host-threads N` carries each SMP machine's hart loops on up to N
+//! real OS threads through the logical-time turnstile; modeled cycles,
+//! stats, and every report byte are identical at any value (the property
+//! `check.sh` gates on), so the flag trades only wall-clock time.
 //! `--no-fast-path` disables the host-side memoizations (PMP page cache,
 //! micro-TLB); modeled results are identical, only wall-clock changes.
 //! `--csv <dir>` additionally writes each figure's data series as CSV for
@@ -71,7 +76,7 @@ const EXPERIMENTS: [&str; 12] = [
 /// Prints the usage synopsis to stderr.
 fn usage() {
     eprintln!(
-        "usage: reproduce [--quick] [--harts N] [--jobs N] [--no-fast-path] [--csv <dir>] [--trace <file>] [--scheme sv39|sv48|sv57] [{}|all]",
+        "usage: reproduce [--quick] [--harts N] [--jobs N] [--host-threads N] [--no-fast-path] [--csv <dir>] [--trace <file>] [--scheme sv39|sv48|sv57] [{}|all]",
         EXPERIMENTS.join("|")
     );
     eprintln!(
@@ -115,6 +120,7 @@ fn main() {
     let mut trace_file: Option<std::path::PathBuf> = None;
     let mut harts: Option<usize> = None;
     let mut jobs: Option<usize> = None;
+    let mut host_threads: Option<usize> = None;
     let mut seed: Option<u64> = None;
     let mut faults: Option<u64> = None;
     let mut scheme: Option<ptstore_core::PagingScheme> = None;
@@ -131,6 +137,7 @@ fn main() {
             }
             "--harts" => harts = Some(take_number(&mut it, "--harts")),
             "--jobs" => jobs = Some(take_number(&mut it, "--jobs")),
+            "--host-threads" => host_threads = Some(take_number(&mut it, "--host-threads")),
             "--seed" => seed = Some(take_number(&mut it, "--seed")),
             "--faults" => faults = Some(take_number(&mut it, "--faults")),
             "--scheme" => {
@@ -167,6 +174,12 @@ fn main() {
     }
     if jobs == Some(0) {
         die("--jobs takes a positive integer");
+    }
+    if host_threads == Some(0) {
+        die("--host-threads takes a positive integer");
+    }
+    if let Some(n) = host_threads {
+        ptstore_kernel::exec::set_host_threads(n);
     }
     // Flags whose experiment cannot use them are contradictions, not
     // defaults to silently fall back on.

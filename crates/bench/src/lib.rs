@@ -6,7 +6,9 @@
 
 pub mod experiments;
 pub mod par;
+pub mod pool;
 
 pub use experiments::*;
 pub use par::par_map;
+pub use pool::{effective_jobs, fan_out, host_cores};
 pub use ptstore_workloads::{Measurement, OverheadSeries};

@@ -2,16 +2,17 @@
 //!
 //! Every experiment point in `reproduce` boots a fresh kernel and is fully
 //! deterministic, so points can run on any thread in any order as long as
-//! results are merged back in input order. [`par_map`] does exactly that:
-//! a work-stealing index over `items`, results written to their original
-//! positions, `jobs <= 1` degenerating to a plain sequential map.
+//! results are merged back in input order. [`par_map`] does exactly that
+//! by delegating to the crate's shared pool ([`crate::pool::fan_out`]),
+//! which clamps the thread count to the host's cores and runs nested
+//! fan-outs inline instead of stacking pools.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use crate::pool;
 
-/// Applies `f` to every item on up to `jobs` scoped threads, returning
+/// Applies `f` to every item on up to `jobs` pool threads, returning
 /// results in input order. With `jobs <= 1` (or a single item) it runs
-/// inline with no threads.
+/// inline with no threads; called from inside another `par_map` it shares
+/// the outer pool's worker rather than oversubscribing the host.
 ///
 /// # Panics
 /// Propagates a panic from `f` (the scope joins all workers first).
@@ -21,28 +22,7 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let n = items.len();
-    if jobs <= 1 || n <= 1 {
-        return items.iter().map(f).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..jobs.min(n) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let r = f(&items[i]);
-                *results[i].lock().expect("result slot") = Some(r);
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|m| m.into_inner().expect("result slot").expect("worker filled"))
-        .collect()
+    pool::fan_out(jobs, items, f)
 }
 
 #[cfg(test)]

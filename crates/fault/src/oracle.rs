@@ -18,6 +18,11 @@
 //!    `satp.S` matches the configured PTW origin check.
 //! 4. **TLB hygiene** — no live TLB entry grants user access to a
 //!    page-table page or to secure-region storage.
+//! 5. **Table-handle consistency** — the generational process table's
+//!    three views of each live slot agree: the owning-hart payload, the
+//!    lock-free [`TableReader`] metadata, and the pid index all bind the
+//!    same `(slot, gen, pid)` triple, and the slot's handle resolves back
+//!    to the same process.
 //!
 //! The oracle deliberately does **not** check attacker-writable kernel
 //! data (PCB fields of non-running processes, user memory contents):
@@ -30,7 +35,7 @@
 use std::collections::BTreeSet;
 
 use ptstore_core::{PhysAddr, PhysPageNum, SecureRegion, TokenError};
-use ptstore_kernel::{Kernel, Pid, ProcState};
+use ptstore_kernel::{Kernel, Pid, ProcState, TableReader};
 use ptstore_mmu::{Pte, Tlb};
 use ptstore_trace::TraceEvent;
 
@@ -93,6 +98,12 @@ pub enum Violation {
         /// The cached physical page.
         ppn: PhysPageNum,
     },
+    /// A live slot's generational handle failed to resolve consistently
+    /// across the table's owning-hart and lock-free reader views.
+    HandleBindingBroken {
+        /// The pid whose slot binding broke.
+        pid: Pid,
+    },
 }
 
 impl core::fmt::Display for Violation {
@@ -125,6 +136,9 @@ impl core::fmt::Display for Violation {
             }
             Violation::TlbMapsPtPage { hart, ppn } => {
                 write!(f, "hart {hart} TLB grants user access to pt page {ppn}")
+            }
+            Violation::HandleBindingBroken { pid } => {
+                write!(f, "generational handle binding broken for pid {pid}")
             }
         }
     }
@@ -167,6 +181,7 @@ impl Invariants {
             }
         }
         check_satp_binding(k, region.as_ref(), &mut rep);
+        check_table_handles(k, &mut rep);
 
         if let Some(sink) = k.trace_sink() {
             sink.emit(TraceEvent::InvariantCheck {
@@ -180,11 +195,13 @@ impl Invariants {
 
 /// Every page-table page the kernel's bookkeeping claims exists: the
 /// kernel template plus each mm owner's root and tracked table pages.
+/// Walks the generational slot array through handles (pid order) so a
+/// slot whose generation moved on mid-sweep is skipped, never misread.
 fn known_pt_pages(k: &Kernel) -> BTreeSet<PhysPageNum> {
     let mut known: BTreeSet<PhysPageNum> = BTreeSet::new();
     known.insert(k.kernel_root());
     known.extend(k.kernel_pt_pages().iter().copied());
-    for p in k.procs.iter() {
+    for (_, p) in k.procs.handles() {
         // Threads (mm_owner = Some) share their owner's tables. Zombies
         // freed their tables at exit: the stale `root` field may alias a
         // page since reallocated to another address space.
@@ -217,9 +234,9 @@ fn check_containment(
     let roots: Vec<PhysPageNum> = core::iter::once(k.kernel_root())
         .chain(
             k.procs
-                .iter()
-                .filter(|p| p.mm_owner.is_none() && p.state != ProcState::Zombie)
-                .map(|p| p.aspace.root),
+                .handles()
+                .filter(|(_, p)| p.mm_owner.is_none() && p.state != ProcState::Zombie)
+                .map(|(_, p)| p.aspace.root),
         )
         .collect();
     let mut visited: BTreeSet<PhysPageNum> = BTreeSet::new();
@@ -342,6 +359,26 @@ fn validate_active_token(
         return Err(TokenError::PageTablePointerMismatch);
     }
     Ok(())
+}
+
+/// Invariant 5: every live slot's three views agree. The owning-hart walk
+/// (`handles`), the lock-free reader metadata (`live`/`pid_of`), the pid
+/// index (`lookup`), and handle resolution (`resolve`) must all bind the
+/// same `(slot, gen, pid)` triple — the property that makes a stale
+/// handle's rejection trustworthy rather than a coincidence.
+fn check_table_handles(k: &Kernel, rep: &mut InvariantReport) {
+    let reader: TableReader = k.procs.reader();
+    for (h, p) in k.procs.handles() {
+        rep.checks += 1;
+        let consistent = reader.live(h)
+            && reader.pid_of(h) == Some(p.pid)
+            && k.procs.lookup(p.pid) == Some(h)
+            && k.procs.resolve(h).is_some_and(|q| q.pid == p.pid);
+        if !consistent {
+            rep.violations
+                .push(Violation::HandleBindingBroken { pid: p.pid });
+        }
+    }
 }
 
 /// Invariant 3: the PMP mirrors the kernel's region and enforcement

@@ -26,6 +26,7 @@ fn all_violations() -> Vec<Violation> {
         Violation::PmpEnforcementMismatch,
         Violation::SatpSBitMismatch { hart: 0 },
         Violation::TlbMapsPtPage { hart: 1, ppn },
+        Violation::HandleBindingBroken { pid: 4 },
     ]
 }
 
@@ -58,4 +59,7 @@ fn violation_displays_carry_context() {
     assert!(broken
         .to_string()
         .contains(&TokenError::UserPointerMismatch.to_string()));
+    assert!(Violation::HandleBindingBroken { pid: 41 }
+        .to_string()
+        .contains("41"));
 }

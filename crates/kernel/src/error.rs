@@ -40,6 +40,11 @@ pub enum KernelError {
     WouldBlock,
     /// Operation invalid in the current state (e.g. wait with no children).
     InvalidState,
+    /// A process with this pid already exists in the process table.
+    DuplicatePid(crate::process::Pid),
+    /// The process table has no free slot (all live or awaiting hart
+    /// quiescence).
+    ProcessTableFull,
 }
 
 impl fmt::Display for KernelError {
@@ -58,11 +63,22 @@ impl fmt::Display for KernelError {
             KernelError::SegFault => f.write_str("segmentation fault"),
             KernelError::WouldBlock => f.write_str("operation would block"),
             KernelError::InvalidState => f.write_str("invalid state"),
+            KernelError::DuplicatePid(pid) => write!(f, "duplicate pid {pid}"),
+            KernelError::ProcessTableFull => f.write_str("process table full"),
         }
     }
 }
 
 impl std::error::Error for KernelError {}
+
+impl From<crate::process::TableError> for KernelError {
+    fn from(e: crate::process::TableError) -> Self {
+        match e {
+            crate::process::TableError::DuplicatePid(pid) => KernelError::DuplicatePid(pid),
+            crate::process::TableError::Full => KernelError::ProcessTableFull,
+        }
+    }
+}
 
 impl From<TokenError> for KernelError {
     fn from(e: TokenError) -> Self {
@@ -106,6 +122,10 @@ mod tests {
         }
         .into();
         assert!(matches!(e, KernelError::Alloc(_)));
+        let e: KernelError = crate::process::TableError::DuplicatePid(9).into();
+        assert_eq!(e, KernelError::DuplicatePid(9));
+        let e: KernelError = crate::process::TableError::Full.into();
+        assert_eq!(e, KernelError::ProcessTableFull);
     }
 
     #[test]

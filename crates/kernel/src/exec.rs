@@ -1,0 +1,153 @@
+//! Deterministic threaded hart execution.
+//!
+//! Real SMP silicon runs harts concurrently; the cycle model's accounting is
+//! a single shared `Kernel`. This module reconciles the two with a
+//! **logical-time turnstile**: each hart's serve loop runs on its own host
+//! OS thread, but entry into the shared kernel is granted in the canonical
+//! hart order (the same order the single-threaded driver used), so modeled
+//! cycles, stats, trace events, and security verdicts are byte-identical at
+//! any host thread count — the property `check.sh` pins with a `cmp` gate
+//! and the `threaded_differential` suite proves at 1/2/4 harts.
+//!
+//! The merge rule: a hart turn's effects are ordered by the turn index
+//! (logical time); cross-hart messages inside a turn are stamped with the
+//! sender's machine-cycle total and merged `(time, from, seq)` when the
+//! receiving hart next holds the turnstile (see [`crate::hart::HartMsg`]).
+//! Because the turnstile admits one hart at a time, that merge is a total
+//! order no host scheduler can perturb.
+//!
+//! This module deliberately contains **no raw atomics** — synchronisation is
+//! a mutex + condvar pair. The only raw-atomic code in the workspace lives
+//! in the process table (`atomics-confinement` lint rule).
+
+use std::sync::{Condvar, Mutex, OnceLock};
+
+/// Explicit host-thread-count override (set by `reproduce --host-threads`).
+static HOST_THREADS: OnceLock<usize> = OnceLock::new();
+
+/// Environment variable consulted when no explicit override is set.
+pub const HOST_THREADS_ENV: &str = "PTSTORE_HOST_THREADS";
+
+/// Sets the process-wide host thread count for threaded hart execution.
+/// First caller wins; later calls are ignored (the count must not change
+/// mid-run).
+pub fn set_host_threads(n: usize) {
+    let _ = HOST_THREADS.set(n.max(1));
+}
+
+/// Host threads to carry hart loops on: the explicit override, else
+/// `PTSTORE_HOST_THREADS`, else 1 (single-threaded).
+pub fn host_threads() -> usize {
+    if let Some(&n) = HOST_THREADS.get() {
+        return n;
+    }
+    std::env::var(HOST_THREADS_ENV)
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map_or(1, |n| n.max(1))
+}
+
+/// Runs `turns` sequential turns of `f` over exclusive state, carrying them
+/// on up to `host_threads` real OS threads. Turn `t` runs to completion
+/// before turn `t + 1` starts (the logical-time turnstile), so the result
+/// is byte-identical to the sequential loop — with threads, each turn
+/// executes on the thread that owns it (round-robin), exchanging the baton
+/// through a condvar.
+///
+/// # Panics
+/// Propagates a panic from `f` (the scope joins every worker first; a
+/// poisoned turnstile aborts the remaining turns).
+pub fn run_turns<S, R, F>(state: &mut S, turns: usize, host_threads: usize, f: F) -> Vec<R>
+where
+    S: Send + ?Sized,
+    R: Send,
+    F: Fn(&mut S, usize) -> R + Sync,
+{
+    if host_threads <= 1 || turns <= 1 {
+        return (0..turns).map(|t| f(state, t)).collect();
+    }
+    struct Baton<'a, S: ?Sized> {
+        next: usize,
+        state: &'a mut S,
+    }
+    let workers = host_threads.min(turns);
+    let baton = Mutex::new(Baton { next: 0, state });
+    let turnstile = Condvar::new();
+    let results: Vec<Mutex<Option<R>>> = (0..turns).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let baton = &baton;
+            let turnstile = &turnstile;
+            let results = &results;
+            let f = &f;
+            scope.spawn(move || {
+                let mut turn = w;
+                while turn < turns {
+                    let mut g = baton.lock().expect("turnstile");
+                    while g.next != turn {
+                        g = turnstile.wait(g).expect("turnstile");
+                    }
+                    let r = f(g.state, turn);
+                    *results[turn].lock().expect("result slot") = Some(r);
+                    g.next += 1;
+                    turnstile.notify_all();
+                    drop(g);
+                    turn += workers;
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("slot").expect("turn ran"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn turns_run_in_order_at_any_thread_count() {
+        // The state mutation is order-sensitive (string append): identical
+        // output at every thread count proves the turnstile serialises.
+        let run = |threads: usize| {
+            let mut log = String::new();
+            let out = run_turns(&mut log, 5, threads, |log, t| {
+                log.push_str(&format!("[{t}]"));
+                t * 10
+            });
+            (log, out)
+        };
+        let (log1, out1) = run(1);
+        assert_eq!(log1, "[0][1][2][3][4]");
+        assert_eq!(out1, [0, 10, 20, 30, 40]);
+        for threads in [2, 3, 8] {
+            assert_eq!(
+                run(threads),
+                (log1.clone(), out1.clone()),
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_and_single_turn() {
+        let mut n = 0u64;
+        assert_eq!(run_turns(&mut n, 0, 4, |_, t| t), Vec::<usize>::new());
+        assert_eq!(
+            run_turns(&mut n, 1, 4, |n, _| {
+                *n += 1;
+                *n
+            }),
+            vec![1]
+        );
+    }
+
+    #[test]
+    fn env_default_is_single_threaded() {
+        // No override set in this test binary: either the env var drives it
+        // or the default is 1; both are >= 1.
+        assert!(host_threads() >= 1);
+    }
+}

@@ -21,9 +21,9 @@ use crate::config::{DefenseMode, KernelConfig};
 use crate::cycles::{cost, CostKind, CycleCounter};
 use crate::error::KernelError;
 use crate::fs::{PipeTable, RamFs};
-use crate::hart::Hart;
+use crate::hart::{Hart, HartMsg, HartMsgKind};
 use crate::pagetable::{direct_map_va, pte_slot, DIRECT_MAP_BASE, HUGE_PAGE_SPAN};
-use crate::process::{Pid, ProcessTable};
+use crate::process::{Pid, Process, ProcessTable};
 use crate::sbi::{SbiCall, SbiFirmware, SbiResult};
 use crate::slab::SlabCache;
 use crate::stats::{KernelStats, SecurityEvent};
@@ -237,7 +237,7 @@ impl Kernel {
                 .defense
                 .is_ptstore()
                 .then(|| SlabCache::new("ptstore_token", 16, GfpFlags::PTSTORE)),
-            procs: ProcessTable::new(),
+            procs: ProcessTable::with_harts(cfg.harts),
             next_pid: 1,
             next_asid: 1,
             kernel_root: PhysPageNum::new(0),
@@ -355,7 +355,10 @@ impl Kernel {
     }
 
     /// Selects the hart that subsequent kernel entry points (syscalls,
-    /// faults, scheduling) model their work on.
+    /// faults, scheduling) model their work on. The outgoing hart is marked
+    /// quiescent for slot reclamation (it holds no generational handles
+    /// across the handoff), and the incoming hart merges its mailbox in
+    /// logical-time order before any of its kernel work runs.
     ///
     /// # Panics
     /// When `hart` is out of range for this machine.
@@ -365,7 +368,58 @@ impl Kernel {
             "hart {hart} out of range (machine has {})",
             self.harts.len()
         );
+        if hart != self.active_hart {
+            self.procs.quiesce(self.active_hart);
+        }
         self.active_hart = hart;
+        self.merge_hart_msgs(hart);
+    }
+
+    /// Drains `hart`'s mailbox in the canonical `(time, from, seq)` order
+    /// and applies the visibility effects: reaped pids are pruned from the
+    /// local run queue (pids never recycle, so late pruning is safe), spawn
+    /// and shootdown records only count. The hart then quiesces at the
+    /// current reclamation epoch.
+    fn merge_hart_msgs(&mut self, hart: usize) {
+        let msgs = self.harts[hart].drain_mailbox();
+        for m in &msgs {
+            if let HartMsgKind::ProcReaped { pid } = m.kind {
+                self.harts[hart].run_queue.retain(|&p| p != pid);
+            }
+        }
+        self.stats.hart_msgs_merged += msgs.len() as u64;
+        self.procs.quiesce(hart);
+    }
+
+    /// Posts a cross-hart message from the active hart to `to`, stamped
+    /// with the current machine-wide cycle total (logical time).
+    pub(crate) fn post_hart_msg(&mut self, to: usize, kind: HartMsgKind) {
+        if to == self.active_hart || to >= self.harts.len() {
+            return;
+        }
+        let msg = HartMsg {
+            time: self.cycles.total(),
+            from: self.active_hart,
+            seq: self.harts[self.active_hart].msg_seq,
+            kind,
+        };
+        self.harts[self.active_hart].msg_seq += 1;
+        self.harts[to].mailbox.push_back(msg);
+    }
+
+    /// The live generational handle for `pid`, if any.
+    pub fn proc_handle(&self, pid: Pid) -> Option<crate::process::ProcHandle> {
+        self.procs.lookup(pid)
+    }
+
+    /// Resolves a generational handle, counting a stale-handle rejection
+    /// (the ABA detection firing) when the slot's generation has moved on.
+    pub fn resolve_handle(&mut self, h: crate::process::ProcHandle) -> Option<&Process> {
+        if self.procs.resolve(h).is_none() {
+            self.stats.stale_handle_rejects += 1;
+            return None;
+        }
+        self.procs.resolve(h)
     }
 
     /// The active hart's MMU.
@@ -469,6 +523,19 @@ impl Kernel {
             self.harts[i].cycles.charge(CostKind::TlbFlush, flush_cost);
             self.cycles.charge(CostKind::Ipi, cost::IPI_RECV);
             self.cycles.charge(CostKind::TlbFlush, flush_cost);
+            // Visibility records for the deterministic mailbox merge: the
+            // remote hart sees the IPI, the initiator sees the ack. Costs
+            // were already charged synchronously above (the shootdown is a
+            // barrier), so these messages carry no cycles.
+            self.post_hart_msg(i, HartMsgKind::ShootdownIpi);
+            let ack = HartMsg {
+                time: self.cycles.total(),
+                from: i,
+                seq: self.harts[i].msg_seq,
+                kind: HartMsgKind::ShootdownAck,
+            };
+            self.harts[i].msg_seq += 1;
+            self.harts[from].mailbox.push_back(ack);
         }
         self.stats.tlb_shootdowns += 1;
         self.stats.shootdown_ipis += remotes;

@@ -22,9 +22,15 @@
 //! * **Syscalls** ([`syscall`]) with Clang-CFI cost accounting, a tiny VFS
 //!   ([`fs`]), demand paging with CoW, and a round-robin scheduler.
 //! * **SMP harts** ([`hart`]): N-hart machines with per-hart MMU/TLBs, run
-//!   queues with idle stealing, and a modeled IPI/TLB-shootdown path
+//!   queues with idle stealing, per-hart mailboxes of logical-time-stamped
+//!   cross-hart messages, and a modeled IPI/TLB-shootdown path
 //!   (`Kernel::shootdown`) charged to the cycle model; `harts = 1`
 //!   reproduces the single-hart prototype cycle-for-cycle.
+//! * **Generational process table** ([`process::ProcessTable`]): a
+//!   fixed-capacity slot array with lock-free handle validation
+//!   ([`ProcHandle`]/[`TableReader`]) and epoch-based slot reclamation,
+//!   letting hart loops run on real OS threads ([`exec`]) without
+//!   perturbing the deterministic cycle model.
 //! * **Baseline defenses** for comparison: PT-Rand-style randomisation and
 //!   virtual isolation ([`config::DefenseMode`]).
 //! * **An attacker API** ([`introspect`]) implementing the §III-A threat
@@ -50,6 +56,7 @@ pub mod channel;
 pub mod config;
 pub mod cycles;
 pub mod error;
+pub mod exec;
 pub mod fs;
 pub mod hart;
 pub mod introspect;
@@ -66,11 +73,11 @@ pub mod zones;
 pub use config::{ConfigError, DefenseMode, KernelConfig, KernelConfigBuilder};
 pub use cycles::{cost, CostKind, CycleCounter};
 pub use error::KernelError;
-pub use hart::Hart;
+pub use hart::{Hart, HartMsg, HartMsgKind};
 pub use introspect::AttackerFault;
 pub use kernel::{IpiFault, Kernel};
 pub use proc_mgmt::FaultResolution;
-pub use process::{Pid, ProcState};
+pub use process::{Pid, ProcHandle, ProcState, ProcessTable, TableError, TableReader};
 pub use ptstore_trace::Snapshot;
 pub use sbi::{SbiCall, SbiError, SbiFirmware, SbiResult};
 pub use stats::{KernelStats, SecurityEvent};

@@ -61,7 +61,7 @@ impl Kernel {
             mm_owner: None,
             threads: Vec::new(),
         };
-        self.procs.insert(proc);
+        self.procs.insert(proc)?;
         self.mem_write(pcb_addr + PCB_OFF_PID, pid as u64)?;
         // Map the shared text and eager stack pages.
         let text = self.shared_text_ppn;
@@ -180,7 +180,7 @@ impl Kernel {
             mm_owner: None,
             threads: Vec::new(),
         };
-        self.procs.insert(child);
+        let child_handle = self.procs.insert(child)?;
         self.mem_write(pcb_addr + PCB_OFF_PID, child_pid as u64)?;
 
         // Duplicate pipe/socket fd refcounts.
@@ -249,6 +249,17 @@ impl Kernel {
             .push(child_pid);
         let hart = self.active_hart;
         self.harts[hart].run_queue.push_back(child_pid);
+        // Publish the new process to the other harts (visibility record for
+        // the deterministic mailbox merge; idle harts learn the pid exists).
+        for h in 0..self.harts.len() {
+            self.post_hart_msg(
+                h,
+                crate::hart::HartMsgKind::ProcSpawned {
+                    handle: child_handle,
+                    pid: child_pid,
+                },
+            );
+        }
         self.stats.forks += 1;
         Ok(child_pid)
     }
@@ -306,7 +317,7 @@ impl Kernel {
             mm_owner: Some(owner),
             threads: Vec::new(),
         };
-        self.procs.insert(thread);
+        let thread_handle = self.procs.insert(thread)?;
         self.mem_write(pcb_addr + PCB_OFF_PID, tid as u64)?;
         self.dup_fd_resources(tid);
         // The shared page-table pointer, copied into the thread's PCB...
@@ -333,6 +344,15 @@ impl Kernel {
             .push(tid);
         let hart = self.active_hart;
         self.harts[hart].run_queue.push_back(tid);
+        for h in 0..self.harts.len() {
+            self.post_hart_msg(
+                h,
+                crate::hart::HartMsgKind::ProcSpawned {
+                    handle: thread_handle,
+                    pid: tid,
+                },
+            );
+        }
         Ok(tid)
     }
 
@@ -507,9 +527,17 @@ impl Kernel {
         }
         self.pcb_slab.free(pcb_addr);
         self.procs.remove(child);
-        for hart in &mut self.harts {
-            hart.run_queue.retain(|&p| p != child);
+        // Prune the reaping hart's queue now; remote harts learn of the reap
+        // through their mailboxes and prune at their next activation (safe to
+        // defer: pids are never recycled, and `pick_next` validates entries).
+        let hart = self.active_hart;
+        self.harts[hart].run_queue.retain(|&p| p != child);
+        for h in 0..self.harts.len() {
+            self.post_hart_msg(h, crate::hart::HartMsgKind::ProcReaped { pid: child });
         }
+        // The reaping hart holds no handle to the dead process: quiesce so
+        // single-hart churn reclaims the slot immediately.
+        self.procs.quiesce(hart);
         let p = self.procs.get_mut(parent).expect("parent exists");
         p.children.retain(|&c| c != child);
         Ok((child, code))
@@ -533,6 +561,9 @@ impl Kernel {
             let victim = (self.active_hart + off) % n;
             while let Some(pid) = self.harts[victim].run_queue.pop_front() {
                 if matches!(self.procs.get(pid), Some(p) if p.state == ProcState::Ready) {
+                    // Tell the victim its queue shrank (merged, like every
+                    // cross-hart effect, at its next activation).
+                    self.post_hart_msg(victim, crate::hart::HartMsgKind::WorkStolen { pid });
                     return Some(pid);
                 }
             }

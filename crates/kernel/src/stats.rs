@@ -46,6 +46,12 @@ pub struct KernelStats {
     pub tlb_shootdowns: u64,
     /// Individual shootdown IPIs delivered to (and acked by) remote harts.
     pub shootdown_ipis: u64,
+    /// Cross-hart mailbox messages merged (in logical-time order) at hart
+    /// activation; always 0 on single-hart machines.
+    pub hart_msgs_merged: u64,
+    /// Generational-handle resolutions rejected because the slot's
+    /// generation moved on (the ABA detection of the slot-array table).
+    pub stale_handle_rejects: u64,
     /// Page-table pages currently allocated.
     pub pt_pages_live: u64,
     /// High-water mark of live page-table pages.
@@ -82,6 +88,8 @@ impl Snapshot for KernelStats {
             sfences: self.sfences - earlier.sfences,
             tlb_shootdowns: self.tlb_shootdowns - earlier.tlb_shootdowns,
             shootdown_ipis: self.shootdown_ipis - earlier.shootdown_ipis,
+            hart_msgs_merged: self.hart_msgs_merged - earlier.hart_msgs_merged,
+            stale_handle_rejects: self.stale_handle_rejects - earlier.stale_handle_rejects,
             pt_pages_live: self.pt_pages_live,
             pt_pages_peak: self.pt_pages_peak,
         }

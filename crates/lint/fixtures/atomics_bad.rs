@@ -1,0 +1,35 @@
+//! BAD: raw memory-ordering atomics outside the process-table module,
+//! with no justification markers. Every `Ordering::*` load/store below
+//! must fire `atomics-confinement` — hand-rolled lock-free coordination
+//! anywhere but the generational table makes threaded runs
+//! schedule-dependent.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+struct Turnstile {
+    next: AtomicUsize,
+    epoch: AtomicU64,
+}
+
+impl Turnstile {
+    fn take_turn(&self) -> usize {
+        // An ordinary comment is not an allow marker.
+        self.next.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn publish(&self, e: u64) {
+        self.epoch.store(e, Ordering::Release);
+    }
+
+    fn observe(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    fn swap_epoch(&self, e: u64) -> u64 {
+        self.epoch.swap(e, Ordering::AcqRel)
+    }
+
+    fn reset(&self) {
+        self.next.store(0, Ordering::SeqCst);
+    }
+}

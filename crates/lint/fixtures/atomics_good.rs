@@ -1,0 +1,51 @@
+//! GOOD twin of `atomics_bad.rs`: the same coordination rebuilt on
+//! `Mutex`/`Condvar` — the turnstile pattern the executor actually uses —
+//! plus one justified marker for a genuinely process-wide toggle. Must
+//! produce zero `atomics-confinement` findings.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
+
+struct Turnstile {
+    state: Mutex<(usize, u64)>,
+    turn: Condvar,
+}
+
+impl Turnstile {
+    fn take_turn(&self) -> usize {
+        let mut g = self.state.lock().expect("turnstile");
+        let t = g.0;
+        g.0 += 1;
+        self.turn.notify_all();
+        t
+    }
+
+    fn publish(&self, e: u64) {
+        self.state.lock().expect("turnstile").1 = e;
+        self.turn.notify_all();
+    }
+
+    fn observe(&self) -> u64 {
+        self.state.lock().expect("turnstile").1
+    }
+
+    // `std::cmp::Ordering` paths are not atomics; the rule must not fire.
+    fn compare(a: u64, b: u64) -> std::cmp::Ordering {
+        if a < b {
+            std::cmp::Ordering::Less
+        } else if a == b {
+            std::cmp::Ordering::Equal
+        } else {
+            std::cmp::Ordering::Greater
+        }
+    }
+}
+
+static PANICKED: AtomicBool = AtomicBool::new(false);
+
+fn note_panic() {
+    // ptstore-lint: allow(atomics-confinement) — process-wide one-way
+    // panic latch read only after every worker joined; no ordering-
+    // dependent behavior can reach the deterministic cycle model.
+    PANICKED.store(true, Ordering::SeqCst);
+}

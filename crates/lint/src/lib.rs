@@ -9,7 +9,7 @@
 //! It is a self-contained static analyzer (a hand-rolled lexer plus a
 //! per-crate call graph — the offline build vendors no `syn` and the
 //! analyzer deliberately takes no compiler-internals dependency) enforcing
-//! four rules:
+//! five rules:
 //!
 //! | Rule | Guards |
 //! |------|--------|
@@ -17,6 +17,7 @@
 //! | `shootdown-pairing`   | downgrade/invalidate `pt_write`s must reach `tlb_flush_page`/`tlb_flush_asid` (SMP TLB coherence) |
 //! | `allow-justification` | every `#[allow(...)]` carries a justification comment |
 //! | `test-exhaustiveness` | every injector fault class / attack verdict / reject reason / oracle violation variant is exercised by a test |
+//! | `atomics-confinement` | raw `Ordering::*` atomics confined to the generational process table (deterministic threaded execution) |
 //!
 //! Suppressions are explicit and audited:
 //! `// ptstore-lint: allow(<rule>) — <justification>` above (or on) the

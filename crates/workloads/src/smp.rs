@@ -1,16 +1,24 @@
 //! SMP workload drivers: distribute the paper's macrobenchmarks across the
 //! machine's harts and report per-hart utilization plus shootdown traffic.
 //!
-//! The model executes harts sequentially (it is an architectural cycle
-//! model, not a concurrency simulator), so "parallel" throughput is
-//! computed the way a hardware run would observe it: each hart serves its
-//! partition of the request stream, per-hart busy cycles come from the
-//! hart-private counters, and the wall-clock cycle count of the run is the
-//! *maximum* per-hart delta — the harts overlap in time on real silicon.
-//! Shootdown IPIs (the cost SMP adds to every mapping change) are charged
-//! by the kernel along the way and surface in the report.
+//! Hart serve loops are carried on real OS threads through the
+//! logical-time turnstile ([`ptstore_kernel::exec::run_turns`]): each
+//! hart's turn runs to completion in canonical hart order, so modeled
+//! cycles, stats, and trace output are byte-identical at any host thread
+//! count. "Parallel" throughput is computed the way a hardware run would
+//! observe it: each hart serves its partition of the request stream,
+//! per-hart busy cycles come from the hart-private counters, and the
+//! wall-clock cycle count of the run is the *maximum* per-hart delta —
+//! the harts overlap in time on real silicon. Shootdown IPIs (the cost
+//! SMP adds to every mapping change) are charged by the kernel along the
+//! way and surface in the report.
+//!
+//! Workers are referred to by generational [`ProcHandle`]s, never by raw
+//! table access: a driver that accidentally reaps its own worker is
+//! caught by the handle going stale, not by silently resolving to
+//! whatever process reused the slot.
 
-use ptstore_kernel::{Kernel, KernelError, Pid};
+use ptstore_kernel::{exec, Kernel, KernelError, Pid, ProcHandle};
 use serde::{Deserialize, Serialize};
 
 use crate::nginx::{self, NginxParams};
@@ -83,38 +91,59 @@ fn partition(total: u64, harts: usize) -> Vec<u64> {
 
 /// Forks one worker process per hart and switches each hart to its worker.
 /// Worker `h` runs on hart `h` (hart 0 reuses the spawning process's hart).
-fn spawn_workers(k: &mut Kernel) -> Result<Vec<Pid>, KernelError> {
+/// Returns each worker as a `(pid, handle)` pair; the generational handle
+/// is the only reference drivers keep to the worker.
+fn spawn_workers(k: &mut Kernel) -> Result<Vec<(Pid, ProcHandle)>, KernelError> {
     let harts = k.harts.len();
     k.set_active_hart(0);
-    let workers: Vec<Pid> = (0..harts).map(|_| k.sys_fork()).collect::<Result<_, _>>()?;
-    for (h, &w) in workers.iter().enumerate() {
+    let pids: Vec<Pid> = (0..harts).map(|_| k.sys_fork()).collect::<Result<_, _>>()?;
+    let mut workers = Vec::with_capacity(harts);
+    for (h, &w) in pids.iter().enumerate() {
         k.set_active_hart(h);
         k.do_switch_to(w)?;
+        let handle = k.proc_handle(w).ok_or(KernelError::NoSuchProcess)?;
+        workers.push((w, handle));
     }
     k.set_active_hart(0);
     Ok(workers)
 }
 
 /// Runs one hart-distributed workload: `serve(k, hart, share)` performs
-/// `share` operations on the already-active hart.
+/// `share` operations on the already-active hart. Each hart's turn runs
+/// on a real OS thread (up to [`exec::host_threads`] of them) through the
+/// logical-time turnstile, preserving the canonical hart order exactly.
+/// After the run every worker handle must still resolve — a driver that
+/// reaped its own worker trips the stale-handle check here.
 fn run_distributed(
     k: &mut Kernel,
     workload: &str,
+    workers: &[(Pid, ProcHandle)],
     shares: &[u64],
-    mut serve: impl FnMut(&mut Kernel, usize, u64),
+    host_threads: usize,
+    serve: impl Fn(&mut Kernel, usize, u64) + Sync,
 ) -> SmpRunReport {
     let harts = k.harts.len();
     let shootdowns0 = k.stats.tlb_shootdowns;
     let ipis0 = k.stats.shootdown_ipis;
     let before: Vec<u64> = k.harts.iter().map(|h| h.cycles.total()).collect();
-    for (h, &share) in shares.iter().enumerate() {
-        if share == 0 {
-            continue;
-        }
-        k.set_active_hart(h);
-        serve(k, h, share);
-    }
+    let turns: Vec<(usize, u64)> = shares
+        .iter()
+        .copied()
+        .enumerate()
+        .filter(|&(_, share)| share > 0)
+        .collect();
+    exec::run_turns(k, turns.len(), host_threads, |k, t| {
+        let (hart, share) = turns[t];
+        k.set_active_hart(hart);
+        serve(k, hart, share);
+    });
     k.set_active_hart(0);
+    for &(pid, handle) in workers {
+        assert!(
+            k.resolve_handle(handle).is_some_and(|p| p.pid == pid),
+            "{workload}: worker pid {pid} handle went stale during the run"
+        );
+    }
     let deltas: Vec<u64> = k
         .harts
         .iter()
@@ -152,12 +181,25 @@ fn run_distributed(
 /// # Panics
 /// Panics on kernel errors (the server must run cleanly).
 pub fn run_nginx_smp(k: &mut Kernel, p: &NginxParams) -> SmpRunReport {
+    run_nginx_smp_threads(k, p, exec::host_threads())
+}
+
+/// [`run_nginx_smp`] with an explicit host thread count (the differential
+/// suite sweeps this to prove thread-count invariance).
+pub fn run_nginx_smp_threads(k: &mut Kernel, p: &NginxParams, host_threads: usize) -> SmpRunReport {
     nginx::stage_document(k, p);
-    spawn_workers(k).expect("nginx workers spawn");
+    let workers = spawn_workers(k).expect("nginx workers spawn");
     let shares = partition(p.requests, k.harts.len());
-    run_distributed(k, "nginx", &shares, |k, _h, share| {
-        nginx::serve_requests(k, p, share);
-    })
+    run_distributed(
+        k,
+        "nginx",
+        &workers,
+        &shares,
+        host_threads,
+        |k, _h, share| {
+            nginx::serve_requests(k, p, share);
+        },
+    )
 }
 
 /// Redis in cluster mode: one single-threaded instance per hart, the
@@ -166,11 +208,28 @@ pub fn run_nginx_smp(k: &mut Kernel, p: &NginxParams) -> SmpRunReport {
 /// # Panics
 /// Panics on kernel errors.
 pub fn run_redis_smp(k: &mut Kernel, test: &RedisTest, p: &RedisParams) -> SmpRunReport {
-    spawn_workers(k).expect("redis instances spawn");
+    run_redis_smp_threads(k, test, p, exec::host_threads())
+}
+
+/// [`run_redis_smp`] with an explicit host thread count.
+pub fn run_redis_smp_threads(
+    k: &mut Kernel,
+    test: &RedisTest,
+    p: &RedisParams,
+    host_threads: usize,
+) -> SmpRunReport {
+    let workers = spawn_workers(k).expect("redis instances spawn");
     let shares = partition(p.requests, k.harts.len());
-    run_distributed(k, test.name, &shares, |k, _h, share| {
-        redis::serve_requests(k, test, p, share);
-    })
+    run_distributed(
+        k,
+        test.name,
+        &workers,
+        &shares,
+        host_threads,
+        |k, _h, share| {
+            redis::serve_requests(k, test, p, share);
+        },
+    )
 }
 
 /// The fork stress distributed across harts: each hart's worker creates,
@@ -179,18 +238,34 @@ pub fn run_redis_smp(k: &mut Kernel, test: &RedisTest, p: &RedisParams) -> SmpRu
 /// # Panics
 /// Panics on kernel errors (OOM means the configuration is too small).
 pub fn run_fork_stress_smp(k: &mut Kernel, count: u64) -> SmpRunReport {
-    spawn_workers(k).expect("stress workers spawn");
+    run_fork_stress_smp_threads(k, count, exec::host_threads())
+}
+
+/// [`run_fork_stress_smp`] with an explicit host thread count.
+pub fn run_fork_stress_smp_threads(
+    k: &mut Kernel,
+    count: u64,
+    host_threads: usize,
+) -> SmpRunReport {
+    let workers = spawn_workers(k).expect("stress workers spawn");
     let shares = partition(count, k.harts.len());
-    run_distributed(k, "fork_stress", &shares, |k, _h, share| {
-        let children: Vec<Pid> = (0..share).map(|_| k.sys_fork().expect("fork")).collect();
-        for &child in &children {
-            k.do_switch_to(child).expect("switch");
-            k.sys_exit(0).expect("exit");
-        }
-        for _ in &children {
-            k.sys_wait().expect("wait");
-        }
-    })
+    run_distributed(
+        k,
+        "fork_stress",
+        &workers,
+        &shares,
+        host_threads,
+        |k, _h, share| {
+            let children: Vec<Pid> = (0..share).map(|_| k.sys_fork().expect("fork")).collect();
+            for &child in &children {
+                k.do_switch_to(child).expect("switch");
+                k.sys_exit(0).expect("exit");
+            }
+            for _ in &children {
+                k.sys_wait().expect("wait");
+            }
+        },
+    )
 }
 
 #[cfg(test)]
@@ -207,6 +282,18 @@ mod tests {
                 .with_harts(harts),
         )
         .expect("boot")
+    }
+
+    #[test]
+    fn spawn_workers_returns_live_handles() {
+        let mut k = boot(2);
+        let workers = spawn_workers(&mut k).expect("spawn");
+        assert_eq!(workers.len(), 2);
+        for &(pid, handle) in &workers {
+            let p = k.resolve_handle(handle).expect("worker handle resolves");
+            assert_eq!(p.pid, pid);
+        }
+        assert_eq!(k.stats.stale_handle_rejects, 0);
     }
 
     #[test]

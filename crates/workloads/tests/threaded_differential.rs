@@ -1,0 +1,84 @@
+//! Threaded-execution differential: carrying hart serve loops on real OS
+//! threads must not move a single modeled number.
+//!
+//! The logical-time turnstile (`ptstore_kernel::exec::run_turns`) promises
+//! that a hart-distributed run is byte-identical at any host thread count.
+//! This suite pins that promise the strong way: for every workload, at
+//! harts ∈ {1, 2, 4}, the full `SmpRunReport`, the kernel's complete
+//! `KernelStats`, and every hart's cycle total from a threaded run
+//! (2 and 4 host threads) must equal the single-threaded run exactly —
+//! `assert_eq!`, not a tolerance. `check.sh` gates the same property at
+//! process level with a `cmp` of `reproduce` output.
+
+use ptstore_core::MIB;
+use ptstore_kernel::{Kernel, KernelConfig, KernelStats};
+use ptstore_workloads::nginx::NginxParams;
+use ptstore_workloads::redis::{RedisParams, REDIS_TESTS};
+use ptstore_workloads::{
+    run_fork_stress_smp_threads, run_nginx_smp_threads, run_redis_smp_threads, SmpRunReport,
+};
+
+fn boot(harts: usize) -> Kernel {
+    Kernel::boot(
+        KernelConfig::cfi_ptstore()
+            .with_mem_size(256 * MIB)
+            .with_initial_secure_size(16 * MIB)
+            .with_harts(harts),
+    )
+    .expect("boot")
+}
+
+/// One run's complete observable outcome: the report, every kernel
+/// counter, and the per-hart cycle totals.
+#[derive(Debug, PartialEq)]
+struct Outcome {
+    report: SmpRunReport,
+    stats: KernelStats,
+    hart_cycles: Vec<u64>,
+}
+
+fn outcome(k: Kernel, report: SmpRunReport) -> Outcome {
+    Outcome {
+        report,
+        stats: k.stats,
+        hart_cycles: k.harts.iter().map(|h| h.cycles.total()).collect(),
+    }
+}
+
+fn sweep(name: &str, run: impl Fn(&mut Kernel, usize) -> SmpRunReport) {
+    for harts in [1usize, 2, 4] {
+        let mut k = boot(harts);
+        let r = run(&mut k, 1);
+        let single = outcome(k, r);
+        for threads in [2usize, 4] {
+            let mut k = boot(harts);
+            let r = run(&mut k, threads);
+            let threaded = outcome(k, r);
+            assert_eq!(
+                threaded, single,
+                "{name}: harts={harts} diverged at {threads} host threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn nginx_is_thread_count_invariant() {
+    let p = NginxParams::quick(4 << 10);
+    sweep("nginx", |k, threads| run_nginx_smp_threads(k, &p, threads));
+}
+
+#[test]
+fn redis_is_thread_count_invariant() {
+    let p = RedisParams::quick();
+    sweep("redis", |k, threads| {
+        run_redis_smp_threads(k, &REDIS_TESTS[3], &p, threads)
+    });
+}
+
+#[test]
+fn fork_stress_is_thread_count_invariant() {
+    sweep("fork_stress", |k, threads| {
+        run_fork_stress_smp_threads(k, 24, threads)
+    });
+}
