@@ -7,6 +7,7 @@ use ptstore_attacks::{
 use ptstore_core::{GIB, MIB};
 use ptstore_hwcost::{table3, BoomConfig, Table3Row};
 use ptstore_kernel::{Kernel, KernelConfig};
+use ptstore_workloads::c1m::{run_c1m, C1mParams, C1mResult};
 use ptstore_workloads::fork_stress::{run_fork_stress, stress_configs, ForkStressResult};
 use ptstore_workloads::nginx::{run_nginx, NginxParams, RESPONSE_SIZES};
 use ptstore_workloads::redis::{run_redis_test, RedisParams, REDIS_TESTS};
@@ -36,6 +37,13 @@ pub struct Scale {
     pub nginx_requests: u64,
     /// Redis requests per test (paper: 100 000).
     pub redis_requests: u64,
+    /// C1M tenant slots across the machine (paper shape: 500).
+    pub c1m_tenants: u64,
+    /// C1M churn rounds per tenant slot (paper shape: 20).
+    pub c1m_rounds: u64,
+    /// C1M connections per tenant generation (paper shape: 100 — one
+    /// million connections total).
+    pub c1m_requests: u64,
 }
 
 impl Scale {
@@ -49,6 +57,9 @@ impl Scale {
             stress_large_region: GIB,
             nginx_requests: 10_000,
             redis_requests: 100_000,
+            c1m_tenants: 500,
+            c1m_rounds: 20,
+            c1m_requests: 100,
         }
     }
 
@@ -62,6 +73,9 @@ impl Scale {
             stress_large_region: 128 * MIB,
             nginx_requests: 1_000,
             redis_requests: 2_000,
+            c1m_tenants: 30,
+            c1m_rounds: 4,
+            c1m_requests: 15,
         }
     }
 }
@@ -517,6 +531,82 @@ pub fn run_smp_jobs(scale: &Scale, harts: usize, jobs: usize) -> Vec<SmpComparis
             workload: (*name).to_string(),
             single: reports[2 * w].clone(),
             multi: reports[2 * w + 1].clone(),
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// C1M — multi-tenant macro workload
+// ---------------------------------------------------------------------
+
+/// One C1M configuration row.
+#[derive(Debug, Clone)]
+pub struct C1mRow {
+    /// Configuration label.
+    pub label: String,
+    /// The run's modeled results.
+    pub result: C1mResult,
+    /// Wall-cycle overhead versus the first (native) row, percent —
+    /// negative when a row beats the baseline.
+    pub overhead_pct: f64,
+}
+
+/// Runs the C1M workload on native, eager CFI+PTStore, and batched
+/// (deferred shootdowns + allocation magazines) CFI+PTStore machines —
+/// the batched row is the one the PR 8 fast paths must pull below eager.
+pub fn run_c1m_bench(scale: &Scale, harts: usize) -> Vec<C1mRow> {
+    run_c1m_bench_jobs(scale, harts, 1)
+}
+
+/// [`run_c1m_bench`] with up to `jobs` configurations in flight. Each row
+/// boots a fresh kernel, so rows are identical at any job count. The
+/// machine always has ≥ 2 harts: with one hart there is no remote TLB to
+/// shoot down and batching is (by design) a no-op.
+pub fn run_c1m_bench_jobs(scale: &Scale, harts: usize, jobs: usize) -> Vec<C1mRow> {
+    let harts = harts.max(2);
+    let p = C1mParams {
+        tenants: scale.c1m_tenants,
+        churn_rounds: scale.c1m_rounds,
+        requests_per_tenant: scale.c1m_requests,
+        ..C1mParams::paper()
+    };
+    let geometry = |cfg: KernelConfig| {
+        cfg.to_builder()
+            .mem_size(scale.mem_size)
+            .initial_secure_size(scale.secure_size.min(scale.mem_size / 4))
+            .harts(harts)
+            .build()
+            .expect("valid c1m geometry")
+    };
+    let configs = [
+        ("Native".to_string(), geometry(KernelConfig::baseline())),
+        (
+            "CFI+PTStore eager".to_string(),
+            geometry(KernelConfig::cfi_ptstore()),
+        ),
+        (
+            "CFI+PTStore batched".to_string(),
+            geometry(
+                KernelConfig::cfi_ptstore()
+                    .with_deferred_shootdowns(true)
+                    .with_alloc_magazines(true),
+            ),
+        ),
+    ];
+    let results = par_map(jobs, &configs, |(label, cfg)| {
+        let mut k = Kernel::boot(*cfg).expect("c1m kernel boots");
+        (label.clone(), run_c1m(&mut k, &p))
+    });
+    let baseline = results[0].1.report.wall_cycles;
+    results
+        .into_iter()
+        .map(|(label, result)| {
+            let overhead_pct = overhead_pct(result.report.wall_cycles, baseline);
+            C1mRow {
+                label,
+                result,
+                overhead_pct,
+            }
         })
         .collect()
 }

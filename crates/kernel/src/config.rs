@@ -92,6 +92,19 @@ pub struct KernelConfig {
     /// so this single knob switches the whole machine. The paper's prototype
     /// (and every golden trace) uses Sv39.
     pub scheme: PagingScheme,
+    /// Batch remote TLB shootdowns: per-page invalidations queue on the
+    /// issuing hart (the local `sfence.vma` still happens eagerly) and a
+    /// single IPI round drains the queue at the end of the unmap/protect
+    /// operation — and, forced, at every security-relevant boundary
+    /// (secure-region adjust, context switch, hart handoff). Off by
+    /// default: the paper's prototype and every golden trace model the
+    /// literal one-IPI-per-page kernel.
+    pub deferred_shootdowns: bool,
+    /// Front the slab caches and the PT-page allocator with per-hart
+    /// magazines (LIFO caches of recently freed objects/pages), so fork/exit
+    /// storms stop round-tripping the buddy allocator. Off by default:
+    /// magazines reorder address reuse, which the golden traces pin.
+    pub alloc_magazines: bool,
 }
 
 /// Why a [`KernelConfigBuilder`] refused to produce a configuration.
@@ -231,6 +244,18 @@ impl KernelConfigBuilder {
         self
     }
 
+    /// Enables or disables batched remote TLB shootdowns.
+    pub fn deferred_shootdowns(mut self, enabled: bool) -> Self {
+        self.cfg.deferred_shootdowns = enabled;
+        self
+    }
+
+    /// Enables or disables per-hart allocation magazines.
+    pub fn alloc_magazines(mut self, enabled: bool) -> Self {
+        self.cfg.alloc_magazines = enabled;
+        self
+    }
+
     /// Validates the geometry and produces the configuration.
     ///
     /// # Errors
@@ -292,6 +317,8 @@ impl KernelConfig {
             dtlb_entries: 8,
             harts: 1,
             scheme: PagingScheme::Sv39,
+            deferred_shootdowns: false,
+            alloc_magazines: false,
         }
     }
 
@@ -360,6 +387,18 @@ impl KernelConfig {
     /// Returns a copy with a different paging scheme.
     pub fn with_scheme(mut self, scheme: PagingScheme) -> Self {
         self.scheme = scheme;
+        self
+    }
+
+    /// Returns a copy with batched remote TLB shootdowns on or off.
+    pub fn with_deferred_shootdowns(mut self, enabled: bool) -> Self {
+        self.deferred_shootdowns = enabled;
+        self
+    }
+
+    /// Returns a copy with per-hart allocation magazines on or off.
+    pub fn with_alloc_magazines(mut self, enabled: bool) -> Self {
+        self.alloc_magazines = enabled;
         self
     }
 

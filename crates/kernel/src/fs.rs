@@ -151,6 +151,17 @@ impl Pipe {
         self.buf.drain(..n).collect()
     }
 
+    /// Writes up to capacity without a source buffer; the length-only twin
+    /// of [`Self::write`] for payloads that are never inspected (the
+    /// drained bytes read back as zeros, exactly what the zero buffers the
+    /// callers historically materialized would have carried).
+    pub fn write_zeros(&mut self, len: usize) -> usize {
+        let room = PIPE_CAPACITY - self.buf.len();
+        let n = room.min(len);
+        self.buf.resize(self.buf.len() + n, 0);
+        n
+    }
+
     /// Drains up to `len` bytes without returning them; the length-only
     /// twin of [`Self::read`] for callers that discard the data.
     pub fn discard(&mut self, len: usize) -> usize {

@@ -96,6 +96,14 @@ pub struct Hart {
     pub msg_seq: u64,
     /// Messages this hart has merged over its lifetime.
     pub msgs_merged: u64,
+    /// Deferred-shootdown queue: `(vpn, asid)` pairs whose *local* TLB
+    /// invalidation already happened eagerly but whose remote broadcast is
+    /// postponed until the next drain (operation end or security boundary).
+    /// Empty unless `deferred_shootdowns` is configured and `harts > 1`.
+    pub flush_queue: Vec<(u64, u16)>,
+    /// LIFO magazine of zeroed page-table pages cached for this hart;
+    /// populated only when `alloc_magazines` is configured.
+    pub pt_magazine: Vec<ptstore_core::PhysPageNum>,
 }
 
 impl Hart {
@@ -112,6 +120,8 @@ impl Hart {
             mailbox: VecDeque::new(),
             msg_seq: 0,
             msgs_merged: 0,
+            flush_queue: Vec::new(),
+            pt_magazine: Vec::new(),
         }
     }
 

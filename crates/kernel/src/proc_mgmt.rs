@@ -95,6 +95,13 @@ impl Kernel {
 
     /// Allocates a PCB object and charges for it.
     fn alloc_pcb(&mut self) -> Result<ptstore_core::PhysAddr, KernelError> {
+        if self.cfg.alloc_magazines {
+            // Per-hart magazine fast path: the hottest PCB comes straight
+            // back without touching the shared slab bookkeeping.
+            if let Some(addr) = self.pcb_slab.magazine_get(self.active_hart) {
+                return Ok(addr);
+            }
+        }
         let mut slab = std::mem::replace(
             &mut self.pcb_slab,
             crate::slab::SlabCache::new("x", crate::process::PCB_SIZE, GfpFlags::KERNEL),
@@ -417,6 +424,9 @@ impl Kernel {
                 self.put_user_page(ppn)?;
             }
         }
+        // The whole address space left in one batched broadcast; its pages
+        // are about to be reused, so nothing may linger in remote TLBs.
+        self.drain_deferred_flushes();
         Ok(())
     }
 
@@ -521,11 +531,14 @@ impl Kernel {
             let cp = self.procs.get(child).expect("zombie exists");
             (cp.pcb_addr, cp.exit_code)
         };
-        // Clear and release the PCB object.
+        // Clear and release the PCB object (to this hart's magazine when
+        // the fast-path knob is on and it has room).
         for off in (0..crate::process::PCB_SIZE).step_by(8) {
             self.mem_write(pcb_addr + off, 0)?;
         }
-        self.pcb_slab.free(pcb_addr);
+        if !(self.cfg.alloc_magazines && self.pcb_slab.magazine_put(self.active_hart, pcb_addr)) {
+            self.pcb_slab.free(pcb_addr);
+        }
         self.procs.remove(child);
         // Prune the reaping hart's queue now; remote harts learn of the reap
         // through their mailboxes and prune at their next activation (safe to
@@ -575,6 +588,9 @@ impl Kernel {
     /// validation under PTStore (paper §IV-C4).
     pub fn do_switch_to(&mut self, next: Pid) -> Result<(), KernelError> {
         let prev = self.current_pid();
+        // Security boundary: deferred invalidations never cross a context
+        // switch — `next` starts from a TLB state that owes nothing.
+        self.drain_deferred_flushes();
         self.charge(CostKind::ContextSwitch, cost::CONTEXT_SWITCH);
         // Scheduler-class dispatch is indirect-call-heavy in Linux.
         self.charge_indirect_calls(4);
@@ -702,7 +718,12 @@ impl Kernel {
                 }
             }
         }
-        self.tlb_flush_page(va, asid);
+        // The CoW break W-strips nothing, but it *repoints* the leaf: the
+        // old read-only translation must leave every TLB before the fault
+        // returns, so the queued flush drains immediately (a one-page
+        // batch; deferral still wins when faults cluster before a drain).
+        self.queue_flush_page(va, asid);
+        self.drain_deferred_flushes();
         Ok(())
     }
 
@@ -754,7 +775,10 @@ impl Kernel {
                 }
             }
         }
-        self.tlb_flush_page(base_va, asid);
+        // As in `break_cow`: the repointed span entry drains out of remote
+        // TLBs before the faulting write retires.
+        self.queue_flush_page(base_va, asid);
+        self.drain_deferred_flushes();
         Ok(())
     }
 

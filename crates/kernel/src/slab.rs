@@ -11,6 +11,10 @@ use ptstore_core::{PhysAddr, PhysPageNum, PAGE_SIZE};
 
 use crate::zones::GfpFlags;
 
+/// Objects a per-hart magazine holds before overflowing to the shared
+/// bookkeeping (a small LIFO keeps the hot-reuse window tight).
+pub const MAGAZINE_CAP: usize = 16;
+
 /// A slab page and its object-occupancy bitmap.
 #[derive(Debug, Clone)]
 struct SlabPage {
@@ -35,6 +39,11 @@ pub struct SlabCache {
     /// Object physical address → (page index, slot).
     index: HashMap<u64, (usize, usize)>,
     free_objects: usize,
+    /// Per-hart LIFO front-end magazines (the percpu-cache analogue):
+    /// cached objects stay *marked used* in the shared bookkeeping, so a
+    /// magazine hit touches no page bitmap at all. Grown on demand; empty
+    /// unless the kernel's `alloc_magazines` knob routes frees here.
+    magazines: Vec<Vec<u64>>,
 }
 
 impl SlabCache {
@@ -56,6 +65,7 @@ impl SlabCache {
             pages: Vec::new(),
             index: HashMap::new(),
             free_objects: 0,
+            magazines: Vec::new(),
         }
     }
 
@@ -141,6 +151,55 @@ impl SlabCache {
     /// True when `addr` is a live object of this cache.
     pub fn contains(&self, addr: PhysAddr) -> bool {
         self.index.contains_key(&addr.as_u64())
+    }
+
+    /// Caches a (still-allocated) object in `hart`'s magazine instead of
+    /// freeing it. Returns `false` when the magazine is full — the caller
+    /// must then perform the real [`Self::free`].
+    ///
+    /// # Panics
+    /// Panics when `addr` is not a live object of this cache.
+    pub fn magazine_put(&mut self, hart: usize, addr: PhysAddr) -> bool {
+        assert!(
+            self.contains(addr),
+            "magazine put of object not allocated from this cache"
+        );
+        if hart >= self.magazines.len() {
+            self.magazines.resize_with(hart + 1, Vec::new);
+        }
+        let mag = &mut self.magazines[hart];
+        if mag.len() >= MAGAZINE_CAP {
+            return false;
+        }
+        mag.push(addr.as_u64());
+        true
+    }
+
+    /// Pops the most recently cached object from `hart`'s magazine, if any.
+    /// The object never left the shared bookkeeping, so this touches no
+    /// page bitmap — the O(1) fast path.
+    pub fn magazine_get(&mut self, hart: usize) -> Option<PhysAddr> {
+        self.magazines
+            .get_mut(hart)
+            .and_then(Vec::pop)
+            .map(PhysAddr::new)
+    }
+
+    /// Objects currently parked across all magazines.
+    pub fn magazine_objects(&self) -> usize {
+        self.magazines.iter().map(Vec::len).sum()
+    }
+
+    /// Returns every magazine-cached object to the shared bookkeeping (a
+    /// real free each). Must run before [`Self::shrink`], which otherwise
+    /// sees magazine-held objects as live and retains their pages.
+    pub fn flush_magazines(&mut self) -> usize {
+        let cached: Vec<u64> = self.magazines.iter_mut().flat_map(std::mem::take).collect();
+        let n = cached.len();
+        for addr in cached {
+            self.free(PhysAddr::new(addr));
+        }
+        n
     }
 
     /// Releases completely empty backing pages back through `release_page`,
@@ -239,6 +298,38 @@ mod tests {
         let (a, _) = cache.alloc(&mut src).unwrap();
         cache.free(a);
         cache.free(a);
+    }
+
+    #[test]
+    fn magazines_cache_and_flush() {
+        let mut cache = SlabCache::new("pcb", 256, GfpFlags::KERNEL);
+        let mut src = page_source();
+        let (a, _) = cache.alloc(&mut src).unwrap();
+        let (b, _) = cache.alloc(&mut src).unwrap();
+        // Cached objects stay "used" in the shared bookkeeping.
+        assert!(cache.magazine_put(0, a));
+        assert!(cache.magazine_put(1, b));
+        assert!(cache.contains(a) && cache.contains(b));
+        assert_eq!(cache.magazine_objects(), 2);
+        // LIFO hit returns the hart's own object without touching bitmaps.
+        assert_eq!(cache.magazine_get(0), Some(a));
+        assert_eq!(cache.magazine_get(0), None, "hart 0 magazine drained");
+        // A full magazine rejects the put; the caller falls back to free().
+        for _ in 0..MAGAZINE_CAP {
+            let (x, _) = cache.alloc(&mut src).unwrap();
+            assert!(cache.magazine_put(2, x));
+        }
+        let (overflow, _) = cache.alloc(&mut src).unwrap();
+        assert!(!cache.magazine_put(2, overflow));
+        cache.free(overflow);
+        // Flush performs the real frees so shrink can release pages.
+        let flushed = cache.flush_magazines();
+        assert_eq!(flushed, MAGAZINE_CAP + 1);
+        assert_eq!(cache.magazine_objects(), 0);
+        cache.free(a);
+        let mut released = Vec::new();
+        cache.shrink(|p| released.push(p));
+        assert_eq!(cache.free_objects(), 0, "all empty pages released");
     }
 
     #[test]

@@ -46,6 +46,12 @@ pub struct KernelStats {
     pub tlb_shootdowns: u64,
     /// Individual shootdown IPIs delivered to (and acked by) remote harts.
     pub shootdown_ipis: u64,
+    /// Deferred-shootdown queue drains: batched IPI rounds that replaced a
+    /// run of per-page broadcasts (0 unless `deferred_shootdowns` is on).
+    pub deferred_drains: u64,
+    /// Page invalidations coalesced into those drains (each would have been
+    /// its own broadcast on the eager path).
+    pub deferred_pages_coalesced: u64,
     /// Cross-hart mailbox messages merged (in logical-time order) at hart
     /// activation; always 0 on single-hart machines.
     pub hart_msgs_merged: u64,
@@ -88,6 +94,9 @@ impl Snapshot for KernelStats {
             sfences: self.sfences - earlier.sfences,
             tlb_shootdowns: self.tlb_shootdowns - earlier.tlb_shootdowns,
             shootdown_ipis: self.shootdown_ipis - earlier.shootdown_ipis,
+            deferred_drains: self.deferred_drains - earlier.deferred_drains,
+            deferred_pages_coalesced: self.deferred_pages_coalesced
+                - earlier.deferred_pages_coalesced,
             hart_msgs_merged: self.hart_msgs_merged - earlier.hart_msgs_merged,
             stale_handle_rejects: self.stale_handle_rejects - earlier.stale_handle_rejects,
             pt_pages_live: self.pt_pages_live,

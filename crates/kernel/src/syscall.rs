@@ -738,6 +738,10 @@ impl Kernel {
             p.vmas
                 .retain(|v| !(v.start == addr.as_u64() && v.end == addr.as_u64() + len));
         }
+        // End of the unmap: the whole range's queued invalidations leave in
+        // one batched broadcast (forced even on the error path — partially
+        // unmapped pages must not linger in remote TLBs).
+        self.drain_deferred_flushes();
         self.syscall_exit();
         r
     }
@@ -782,6 +786,11 @@ impl Kernel {
     ) -> Result<(), KernelError> {
         self.syscall_enter(profile::MMAP);
         let r = self.do_mprotect(addr, len, perms);
+        // Security boundary: mprotect may have stripped W (or R) from the
+        // range — no hart may keep executing against the old permissions,
+        // so the queued downgrades drain before the syscall returns (error
+        // paths included: a partial downgrade still owes its broadcast).
+        self.drain_deferred_flushes();
         self.syscall_exit();
         r
     }
@@ -861,7 +870,7 @@ impl Kernel {
                 // ptstore-lint: hazard(shootdown-pairing) — mprotect may drop
                 // W/R; cached span translations must be shot down too.
                 self.pt_write(slot, ptstore_mmu::Pte::leaf(block, flags).bits())?;
-                self.tlb_flush_page(base_va, asid);
+                self.queue_flush_page(base_va, asid);
                 if let Some(p) = self.procs.get_mut(mm) {
                     if let Some(m) = p.aspace.user.get_mut(&base) {
                         m.flags = flags;
@@ -889,7 +898,7 @@ impl Kernel {
             // ptstore-lint: hazard(shootdown-pairing) — mprotect may drop W/R;
             // cached translations with the old permissions must be shot down.
             self.pt_write(slot, ptstore_mmu::Pte::leaf(ppn, flags).bits())?;
-            self.tlb_flush_page(va, asid);
+            self.queue_flush_page(va, asid);
             if let Some(p) = self.procs.get_mut(mm) {
                 if let Some(m) = p.aspace.user.get_mut(&vpn) {
                     m.flags = flags;
@@ -957,10 +966,21 @@ impl Kernel {
         r
     }
 
-    /// Length-only write for sinks that never look at the payload. Sockets
-    /// take the no-copy path (same `tx` accounting and I/O charge as
-    /// [`Self::do_write`]'s socket branch); every other fd type falls back
-    /// to the zero buffer `sys_send` historically materialized.
+    /// `write()` for payloads that are never inspected: identical charges,
+    /// fd bookkeeping, and result as [`Self::sys_write`] with a zero
+    /// buffer of `len` bytes, without materializing it on the host. The
+    /// LMBench latency/bandwidth drivers and SPEC profiles use this.
+    pub fn sys_write_discard(&mut self, fd: i32, len: u64) -> Result<u64, KernelError> {
+        self.syscall_enter(profile::WRITE);
+        self.charge_copy(len);
+        let r = self.do_write_len(fd, len);
+        self.syscall_exit();
+        r
+    }
+
+    /// Length-only twin of [`Self::do_write`] for sinks that never look at
+    /// the payload: the same branch structure, error paths, charges, and
+    /// return values as a zero buffer of `len` bytes, buffer elided.
     fn do_write_len(&mut self, fd: i32, len: u64) -> Result<u64, KernelError> {
         let entry = {
             let p = self
@@ -976,6 +996,21 @@ impl Kernel {
                 self.charge(CostKind::Io, len / 16);
                 Ok(len)
             }
+            FdEntry::PipeWrite { id } => {
+                let pipe = self.pipes.get_mut(id).ok_or(KernelError::BadFd)?;
+                let n = pipe.write_zeros(len as usize);
+                if n == 0 {
+                    Err(KernelError::WouldBlock)
+                } else {
+                    Ok(n as u64)
+                }
+            }
+            FdEntry::Console => {
+                self.charge(CostKind::Io, 200);
+                Ok(len)
+            }
+            // Regular files keep their contents observable (`regression`
+            // diffs them): writes of real bytes stay on `do_write`.
             _ => self.do_write(fd, &vec![0u8; len as usize]),
         }
     }

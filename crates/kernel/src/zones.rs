@@ -8,8 +8,17 @@
 //! contiguous pages adjacent to the boundary from the normal zone
 //! (`alloc_contig_range`), migrates any movable occupants, and hands the
 //! range over.
+//!
+//! Free blocks are tracked per order in `BlockSet`s — hierarchical bitmaps
+//! giving O(1) insert/remove/membership and O(1) lowest-address selection —
+//! replacing the original `BTreeSet` free lists whose every hot-path
+//! operation paid a logarithmic tree walk plus per-node allocation. The
+//! original implementation is preserved verbatim in [`mod@reference`] and the
+//! two are proven behavior-identical by a differential property test
+//! (`tests/buddy_differential.rs`): same traces, same errors, same
+//! addresses.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::HashMap;
 
 use core::fmt;
 
@@ -94,7 +103,7 @@ impl std::error::Error for AllocError {}
 
 /// Result of `reserve_range`: the pages now held for the caller plus the
 /// occupants that must be migrated before the range is truly empty.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RangeReservation {
     /// First page of the range.
     pub start: PhysPageNum,
@@ -107,6 +116,107 @@ pub struct RangeReservation {
     pub claimed_free: u64,
 }
 
+/// The free "list" of one buddy order: a hierarchical bitmap over block
+/// indices (`start >> order`). Set bits are free blocks; the bit itself is
+/// the list node, so membership changes allocate nothing (the intrusive
+/// property of Linux's `struct free_area` lists) while lowest-address
+/// selection — which an intrusive list cannot answer in O(1) — descends one
+/// word per summary level. Word counts shrink 64× per level and the top
+/// level is at most 64 words, so every operation is constant-time for any
+/// realistic zone.
+#[derive(Debug, Clone, Default)]
+struct BlockSet {
+    /// `levels[0]` holds one bit per block index; `levels[k + 1]` holds one
+    /// bit per *word* of `levels[k]` (set iff that word is non-zero).
+    levels: Vec<Vec<u64>>,
+    /// Number of set bits.
+    len: u64,
+}
+
+impl BlockSet {
+    /// An empty set able to hold indices `0..indices`.
+    fn with_capacity(indices: u64) -> Self {
+        let mut levels = Vec::new();
+        let mut words = indices.div_ceil(64).max(1) as usize;
+        levels.push(vec![0u64; words]);
+        while words > 64 {
+            words = words.div_ceil(64);
+            levels.push(vec![0u64; words]);
+        }
+        Self { levels, len: 0 }
+    }
+
+    /// Inserts `idx`; false when it was already present.
+    fn insert(&mut self, idx: u64) -> bool {
+        let (w, b) = ((idx / 64) as usize, idx % 64);
+        if self.levels[0][w] >> b & 1 == 1 {
+            return false;
+        }
+        self.levels[0][w] |= 1 << b;
+        self.len += 1;
+        let mut bit = idx;
+        for lvl in 1..self.levels.len() {
+            bit /= 64;
+            self.levels[lvl][(bit / 64) as usize] |= 1 << (bit % 64);
+        }
+        true
+    }
+
+    /// Removes `idx`; false when it was not present.
+    fn remove(&mut self, idx: u64) -> bool {
+        let (w, b) = ((idx / 64) as usize, idx % 64);
+        match self.levels[0].get(w) {
+            Some(word) if word >> b & 1 == 1 => {}
+            _ => return false,
+        }
+        self.levels[0][w] &= !(1 << b);
+        self.len -= 1;
+        let mut bit = idx;
+        for lvl in 1..self.levels.len() {
+            // Summaries above an emptied word lose their bit; a still
+            // non-empty word leaves every summary unchanged.
+            if self.levels[lvl - 1][(bit / 64) as usize] != 0 {
+                break;
+            }
+            bit /= 64;
+            self.levels[lvl][(bit / 64) as usize] &= !(1 << (bit % 64));
+        }
+        true
+    }
+
+    /// True when `idx` is present.
+    fn contains(&self, idx: u64) -> bool {
+        let (w, b) = ((idx / 64) as usize, idx % 64);
+        matches!(self.levels[0].get(w), Some(word) if word >> b & 1 == 1)
+    }
+
+    /// The lowest present index: scan the (≤ 64-word) top level, then
+    /// descend one word per level via find-first-set.
+    fn first(&self) -> Option<u64> {
+        if self.len == 0 {
+            return None;
+        }
+        let top = self.levels.len() - 1;
+        let w = self.levels[top].iter().position(|&x| x != 0)?;
+        let mut bit = w as u64 * 64 + self.levels[top][w].trailing_zeros() as u64;
+        for lvl in (0..top).rev() {
+            let word = self.levels[lvl][bit as usize];
+            debug_assert_ne!(word, 0, "summary bit over an empty word");
+            bit = bit * 64 + word.trailing_zeros() as u64;
+        }
+        Some(bit)
+    }
+
+    /// Every present index in ascending order (invariant checking).
+    fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.levels[0].iter().enumerate().flat_map(|(w, &word)| {
+            (0..64)
+                .filter(move |b| word >> b & 1 == 1)
+                .map(move |b| w as u64 * 64 + b)
+        })
+    }
+}
+
 /// One buddy-managed zone covering the contiguous page interval
 /// `[base_ppn, end_ppn)`.
 #[derive(Debug, Clone)]
@@ -114,8 +224,9 @@ pub struct BuddyZone {
     name: &'static str,
     base_ppn: u64,
     end_ppn: u64,
-    /// `free_lists[order]` holds start pages of free blocks of that order.
-    free_lists: Vec<BTreeSet<u64>>,
+    /// `free[order]` holds the free blocks of that order, indexed by
+    /// `start >> order` (block starts are naturally aligned).
+    free: Vec<BlockSet>,
     allocated: HashMap<u64, AllocInfo>,
     free_pages: u64,
 }
@@ -123,15 +234,23 @@ pub struct BuddyZone {
 impl BuddyZone {
     /// A zone over `pages` pages starting at `base`.
     ///
+    /// The bitmap capacity is sized to the zone's initial end; the end only
+    /// ever moves down ([`Self::shrink_top`]) and the base only ever moves
+    /// down ([`Self::grow_bottom`]), so the initial end bounds every index
+    /// for the zone's lifetime.
+    ///
     /// # Panics
     /// Panics on an empty zone.
     pub fn new(name: &'static str, base: PhysPageNum, pages: u64) -> Self {
         assert!(pages > 0, "zone must be non-empty");
+        let end = base.as_u64() + pages;
         let mut zone = Self {
             name,
             base_ppn: base.as_u64(),
-            end_ppn: base.as_u64() + pages,
-            free_lists: vec![BTreeSet::new(); MAX_ORDER as usize + 1],
+            end_ppn: end,
+            free: (0..=MAX_ORDER)
+                .map(|o| BlockSet::with_capacity((end >> o) + 1))
+                .collect(),
             allocated: HashMap::new(),
             free_pages: 0,
         };
@@ -175,7 +294,7 @@ impl BuddyZone {
             let align_order = start.trailing_zeros().min(MAX_ORDER as u32) as u8;
             let len_order = (63 - len.leading_zeros()).min(MAX_ORDER as u32) as u8;
             let order = align_order.min(len_order);
-            self.free_lists[order as usize].insert(start);
+            self.free[order as usize].insert(start >> order);
             let block = 1u64 << order;
             start += block;
             len -= block;
@@ -193,9 +312,14 @@ impl BuddyZone {
         // keeps the top of the zone free, which is where secure-region
         // adjustment reserves its contiguous ranges (the Linux analogue is
         // steering unmovable allocations away from CMA/movable pageblocks).
+        // One find-first-set per order replaces the old per-order BTree
+        // walk; ties on start cannot occur (overlapping blocks are never
+        // simultaneously free) and the lowest order is visited first, which
+        // matches the reference implementation's strict-less preference.
         let mut best: Option<(u8, u64)> = None;
         for o in order..=MAX_ORDER {
-            if let Some(&s) = self.free_lists[o as usize].iter().next() {
+            if let Some(idx) = self.free[o as usize].first() {
+                let s = idx << o;
                 if best.is_none_or(|(_, bs)| s < bs) {
                     best = Some((o, s));
                 }
@@ -204,12 +328,12 @@ impl BuddyZone {
         let Some((mut o, start)) = best else {
             return Err(AllocError::OutOfMemory);
         };
-        self.free_lists[o as usize].remove(&start);
+        self.free[o as usize].remove(start >> o);
         // Split down to the requested order.
         while o > order {
             o -= 1;
             let buddy = start + (1u64 << o);
-            self.free_lists[o as usize].insert(buddy);
+            self.free[o as usize].insert(buddy >> o);
         }
         self.free_pages -= 1u64 << order;
         self.allocated.insert(start, AllocInfo { order, movable });
@@ -233,14 +357,14 @@ impl BuddyZone {
             // Buddy must be wholly inside the zone and free at this order.
             if buddy < self.base_ppn
                 || buddy + (1u64 << order) > self.end_ppn
-                || !self.free_lists[order as usize].remove(&buddy)
+                || !self.free[order as usize].remove(buddy >> order)
             {
                 break;
             }
             start = start.min(buddy);
             order += 1;
         }
-        self.free_lists[order as usize].insert(start);
+        self.free[order as usize].insert(start >> order);
         Ok(())
     }
 
@@ -329,7 +453,7 @@ impl BuddyZone {
             let (fstart, forder) = self
                 .find_free_block_containing(p)
                 .expect("verified in pass 1");
-            self.free_lists[forder as usize].remove(&fstart);
+            self.free[forder as usize].remove(fstart >> forder);
             let fend = fstart + (1u64 << forder);
             // Keep the parts outside [s, e) free.
             if fstart < s {
@@ -356,7 +480,7 @@ impl BuddyZone {
             let align_order = start.trailing_zeros().min(MAX_ORDER as u32) as u8;
             let len_order = (63 - len.leading_zeros()).min(MAX_ORDER as u32) as u8;
             let order = align_order.min(len_order);
-            self.free_lists[order as usize].insert(start);
+            self.free[order as usize].insert(start >> order);
             let block = 1u64 << order;
             start += block;
             len -= block;
@@ -415,7 +539,7 @@ impl BuddyZone {
     fn find_free_block_containing(&self, p: u64) -> Option<(u64, u8)> {
         for order in 0..=MAX_ORDER {
             let cand = p & !((1u64 << order) - 1);
-            if self.free_lists[order as usize].contains(&cand) {
+            if self.free[order as usize].contains(cand >> order) {
                 return Some((cand, order));
             }
         }
@@ -426,9 +550,15 @@ impl BuddyZone {
     /// page counts add up to the zone span, and no block overlaps another.
     pub fn check_invariants(&self) -> bool {
         let mut covered: Vec<(u64, u64)> = Vec::new();
-        for (o, list) in self.free_lists.iter().enumerate() {
-            for &s in list {
+        for (o, set) in self.free.iter().enumerate() {
+            let mut seen = 0u64;
+            for idx in set.iter() {
+                let s = idx << o;
                 covered.push((s, s + (1u64 << o)));
+                seen += 1;
+            }
+            if seen != set.len {
+                return false;
             }
         }
         let free_sum: u64 = covered.iter().map(|(a, b)| b - a).sum();
@@ -457,6 +587,309 @@ impl fmt::Display for BuddyZone {
             self.free_pages,
             self.total_pages()
         )
+    }
+}
+
+pub mod reference {
+    //! The original `BTreeSet`-free-list buddy zone, preserved as the
+    //! reference model for the differential property test
+    //! (`tests/buddy_differential.rs`). Behavior — block placement, split
+    //! and coalesce decisions, every error — is the specification the
+    //! bitmap-backed [`BuddyZone`](super::BuddyZone) must match trace for
+    //! trace. Not used by the kernel at runtime.
+
+    use std::collections::{BTreeSet, HashMap};
+
+    use ptstore_core::PhysPageNum;
+
+    use super::{AllocError, AllocInfo, RangeReservation, MAX_ORDER};
+
+    /// The original zone: per-order `BTreeSet` free lists.
+    #[derive(Debug, Clone)]
+    pub struct BTreeBuddyZone {
+        base_ppn: u64,
+        end_ppn: u64,
+        free_lists: Vec<BTreeSet<u64>>,
+        allocated: HashMap<u64, AllocInfo>,
+        free_pages: u64,
+    }
+
+    impl BTreeBuddyZone {
+        /// A zone over `pages` pages starting at `base`.
+        ///
+        /// # Panics
+        /// Panics on an empty zone.
+        pub fn new(base: PhysPageNum, pages: u64) -> Self {
+            assert!(pages > 0, "zone must be non-empty");
+            let mut zone = Self {
+                base_ppn: base.as_u64(),
+                end_ppn: base.as_u64() + pages,
+                free_lists: vec![BTreeSet::new(); MAX_ORDER as usize + 1],
+                allocated: HashMap::new(),
+                free_pages: 0,
+            };
+            zone.insert_free_run(base.as_u64(), pages);
+            zone
+        }
+
+        /// Pages currently free.
+        pub fn free_pages(&self) -> u64 {
+            self.free_pages
+        }
+
+        /// Total pages spanned.
+        pub fn total_pages(&self) -> u64 {
+            self.end_ppn - self.base_ppn
+        }
+
+        fn insert_free_run(&mut self, mut start: u64, mut len: u64) {
+            while len > 0 {
+                let align_order = start.trailing_zeros().min(MAX_ORDER as u32) as u8;
+                let len_order = (63 - len.leading_zeros()).min(MAX_ORDER as u32) as u8;
+                let order = align_order.min(len_order);
+                self.free_lists[order as usize].insert(start);
+                let block = 1u64 << order;
+                start += block;
+                len -= block;
+                self.free_pages += block;
+            }
+        }
+
+        /// Allocates a block of `2^order` pages (lowest address across all
+        /// eligible orders).
+        ///
+        /// # Errors
+        /// [`AllocError::OutOfMemory`] when no block can satisfy the request.
+        pub fn alloc(&mut self, order: u8, movable: bool) -> Result<PhysPageNum, AllocError> {
+            assert!(order <= MAX_ORDER);
+            let mut best: Option<(u8, u64)> = None;
+            for o in order..=MAX_ORDER {
+                if let Some(&s) = self.free_lists[o as usize].iter().next() {
+                    if best.is_none_or(|(_, bs)| s < bs) {
+                        best = Some((o, s));
+                    }
+                }
+            }
+            let Some((mut o, start)) = best else {
+                return Err(AllocError::OutOfMemory);
+            };
+            self.free_lists[o as usize].remove(&start);
+            while o > order {
+                o -= 1;
+                let buddy = start + (1u64 << o);
+                self.free_lists[o as usize].insert(buddy);
+            }
+            self.free_pages -= 1u64 << order;
+            self.allocated.insert(start, AllocInfo { order, movable });
+            Ok(PhysPageNum::new(start))
+        }
+
+        /// Frees a previously allocated block, coalescing with free buddies.
+        ///
+        /// # Errors
+        /// [`AllocError::BadFree`] when `ppn` is not an allocated block start.
+        pub fn free(&mut self, ppn: PhysPageNum) -> Result<(), AllocError> {
+            let start = ppn.as_u64();
+            let Some(info) = self.allocated.remove(&start) else {
+                return Err(AllocError::BadFree { ppn });
+            };
+            self.free_pages += 1u64 << info.order;
+            let mut start = start;
+            let mut order = info.order;
+            while order < MAX_ORDER {
+                let buddy = start ^ (1u64 << order);
+                if buddy < self.base_ppn
+                    || buddy + (1u64 << order) > self.end_ppn
+                    || !self.free_lists[order as usize].remove(&buddy)
+                {
+                    break;
+                }
+                start = start.min(buddy);
+                order += 1;
+            }
+            self.free_lists[order as usize].insert(start);
+            Ok(())
+        }
+
+        /// Looks up allocation info of a block start.
+        pub fn alloc_info(&self, ppn: PhysPageNum) -> Option<AllocInfo> {
+            self.allocated.get(&ppn.as_u64()).copied()
+        }
+
+        /// `split_page()`: one allocated block becomes order-0 allocations.
+        ///
+        /// # Errors
+        /// [`AllocError::BadFree`] when `ppn` is not an allocated block start.
+        pub fn split_allocation(&mut self, ppn: PhysPageNum) -> Result<u64, AllocError> {
+            let start = ppn.as_u64();
+            let Some(info) = self.allocated.remove(&start) else {
+                return Err(AllocError::BadFree { ppn });
+            };
+            let pages = 1u64 << info.order;
+            for i in 0..pages {
+                self.allocated.insert(
+                    start + i,
+                    AllocInfo {
+                        order: 0,
+                        movable: info.movable,
+                    },
+                );
+            }
+            Ok(pages)
+        }
+
+        /// `alloc_contig_range`: reserve `[start, start + count)`.
+        ///
+        /// # Errors
+        /// [`AllocError::OutOfZone`] or [`AllocError::Unmovable`].
+        pub fn reserve_range(
+            &mut self,
+            start: PhysPageNum,
+            count: u64,
+        ) -> Result<RangeReservation, AllocError> {
+            let s = start.as_u64();
+            let e = s + count;
+            if s < self.base_ppn || e > self.end_ppn {
+                return Err(AllocError::OutOfZone);
+            }
+            let mut to_migrate: Vec<(PhysPageNum, AllocInfo)> = Vec::new();
+            {
+                let mut p = s;
+                while p < e {
+                    if let Some((block, info)) = self.find_block_containing(p) {
+                        if !info.movable {
+                            return Err(AllocError::Unmovable {
+                                ppn: PhysPageNum::new(p),
+                            });
+                        }
+                        to_migrate.push((PhysPageNum::new(block), info));
+                        p = block + (1u64 << info.order);
+                    } else if let Some((fstart, forder)) = self.find_free_block_containing(p) {
+                        p = fstart + (1u64 << forder);
+                    } else {
+                        unreachable!("page {p:#x} untracked in reference zone");
+                    }
+                }
+            }
+            let mut claimed_free = 0u64;
+            let mut p = s;
+            while p < e {
+                if let Some((block, info)) = self.find_block_containing(p) {
+                    p = block + (1u64 << info.order);
+                    continue;
+                }
+                let (fstart, forder) = self
+                    .find_free_block_containing(p)
+                    .expect("verified in pass 1");
+                self.free_lists[forder as usize].remove(&fstart);
+                let fend = fstart + (1u64 << forder);
+                if fstart < s {
+                    self.insert_free_run_nocount(fstart, s - fstart);
+                }
+                if fend > e {
+                    self.insert_free_run_nocount(e, fend - e);
+                }
+                let inside = fend.min(e) - fstart.max(s);
+                self.free_pages -= inside;
+                claimed_free += inside;
+                p = fend;
+            }
+            Ok(RangeReservation {
+                start,
+                count,
+                to_migrate,
+                claimed_free,
+            })
+        }
+
+        fn insert_free_run_nocount(&mut self, mut start: u64, mut len: u64) {
+            while len > 0 {
+                let align_order = start.trailing_zeros().min(MAX_ORDER as u32) as u8;
+                let len_order = (63 - len.leading_zeros()).min(MAX_ORDER as u32) as u8;
+                let order = align_order.min(len_order);
+                self.free_lists[order as usize].insert(start);
+                let block = 1u64 << order;
+                start += block;
+                len -= block;
+            }
+        }
+
+        /// Marks a migrated block as vacated.
+        ///
+        /// # Errors
+        /// [`AllocError::BadFree`] when `block` was not an allocated block.
+        pub fn complete_migration(&mut self, block: PhysPageNum) -> Result<AllocInfo, AllocError> {
+            self.allocated
+                .remove(&block.as_u64())
+                .ok_or(AllocError::BadFree { ppn: block })
+        }
+
+        /// Shrinks the zone from its top edge.
+        ///
+        /// # Errors
+        /// [`AllocError::OutOfZone`] when the zone is smaller than `count`.
+        pub fn shrink_top(&mut self, count: u64) -> Result<PhysPageNum, AllocError> {
+            if self.total_pages() <= count {
+                return Err(AllocError::OutOfZone);
+            }
+            self.end_ppn -= count;
+            Ok(PhysPageNum::new(self.end_ppn))
+        }
+
+        /// Grows the zone downward by `count` pages.
+        ///
+        /// # Panics
+        /// Panics if the new range is not adjacent below the current base.
+        pub fn grow_bottom(&mut self, count: u64) {
+            assert!(count <= self.base_ppn, "grow_bottom underflow");
+            let new_base = self.base_ppn - count;
+            self.base_ppn = new_base;
+            self.insert_free_run(new_base, count);
+        }
+
+        fn find_block_containing(&self, p: u64) -> Option<(u64, AllocInfo)> {
+            for order in 0..=MAX_ORDER {
+                let cand = p & !((1u64 << order) - 1);
+                if let Some(info) = self.allocated.get(&cand) {
+                    if info.order >= order && p < cand + (1u64 << info.order) {
+                        return Some((cand, *info));
+                    }
+                }
+            }
+            None
+        }
+
+        fn find_free_block_containing(&self, p: u64) -> Option<(u64, u8)> {
+            for order in 0..=MAX_ORDER {
+                let cand = p & !((1u64 << order) - 1);
+                if self.free_lists[order as usize].contains(&cand) {
+                    return Some((cand, order));
+                }
+            }
+            None
+        }
+
+        /// Verifies internal invariants.
+        pub fn check_invariants(&self) -> bool {
+            let mut covered: Vec<(u64, u64)> = Vec::new();
+            for (o, list) in self.free_lists.iter().enumerate() {
+                for &s in list {
+                    covered.push((s, s + (1u64 << o)));
+                }
+            }
+            let free_sum: u64 = covered.iter().map(|(a, b)| b - a).sum();
+            if free_sum != self.free_pages {
+                return false;
+            }
+            for (&s, info) in &self.allocated {
+                covered.push((s, s + (1u64 << info.order)));
+            }
+            covered.sort_unstable();
+            covered.windows(2).all(|w| w[0].1 <= w[1].0)
+                && covered
+                    .iter()
+                    .all(|&(a, b)| a >= self.base_ppn && b <= self.end_ppn)
+        }
     }
 }
 
@@ -635,5 +1068,23 @@ mod tests {
         }
         assert_eq!(got, 37);
         assert!(z.check_invariants());
+    }
+
+    #[test]
+    fn block_set_basics() {
+        let mut s = BlockSet::with_capacity(100_000);
+        assert_eq!(s.first(), None);
+        assert!(s.insert(77_777));
+        assert!(s.insert(3));
+        assert!(!s.insert(3), "duplicate insert is rejected");
+        assert!(s.contains(3) && s.contains(77_777) && !s.contains(4));
+        assert_eq!(s.first(), Some(3));
+        assert!(s.remove(3));
+        assert!(!s.remove(3), "double remove is rejected");
+        assert_eq!(s.first(), Some(77_777));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![77_777]);
+        assert!(s.remove(77_777));
+        assert_eq!(s.first(), None);
+        assert_eq!(s.len, 0);
     }
 }

@@ -1,0 +1,144 @@
+//! Differential property test: the bitmap-backed [`BuddyZone`] must be
+//! behavior-identical to the original `BTreeSet` implementation preserved
+//! in [`reference::BTreeBuddyZone`] — the same alloc/free/coalesce traces
+//! (every returned address), the same `AllocError`s, and the same free-page
+//! accounting after every step of a random workload that also exercises
+//! `split_allocation`, `reserve_range`/`complete_migration`, and the
+//! `shrink_top`/`grow_bottom` boundary moves used by secure-region
+//! adjustment.
+
+use proptest::prelude::*;
+use ptstore_core::PhysPageNum;
+use ptstore_kernel::zones::{reference::BTreeBuddyZone, BuddyZone, MAX_ORDER};
+
+/// One step of the differential workload.
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc {
+        order: u8,
+        movable: bool,
+    },
+    /// Free the i-th live allocation (modulo the live-set size).
+    Free {
+        index: usize,
+    },
+    /// Split the i-th live allocation into order-0 pages.
+    Split {
+        index: usize,
+    },
+    /// Reserve a range near the top of the zone, migrate the movable
+    /// occupants it reports, and shrink the top edge over it.
+    ReserveTop {
+        pages: u64,
+    },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0u8..=MAX_ORDER, any::<bool>())
+            .prop_map(|(order, movable)| Op::Alloc { order, movable }),
+        4 => (0usize..128).prop_map(|index| Op::Free { index }),
+        1 => (0usize..128).prop_map(|index| Op::Split { index }),
+        1 => (1u64..16).prop_map(|pages| Op::ReserveTop { pages }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn bitmap_zone_matches_btree_reference(
+        base in 1u64..10_000,
+        pages in 32u64..512,
+        ops in proptest::collection::vec(arb_op(), 1..250),
+    ) {
+        let mut new = BuddyZone::new("diff", PhysPageNum::new(base), pages);
+        let mut old = BTreeBuddyZone::new(PhysPageNum::new(base), pages);
+        // Live allocation starts, identical for both sides by induction.
+        let mut live: Vec<PhysPageNum> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Alloc { order, movable } => {
+                    let a = new.alloc(order, movable);
+                    let b = old.alloc(order, movable);
+                    prop_assert_eq!(a, b, "alloc(order {}) diverged", order);
+                    if let Ok(start) = a {
+                        live.push(start);
+                    }
+                }
+                Op::Free { index } => {
+                    // Also exercise the BadFree path on an empty live set.
+                    let target = if live.is_empty() {
+                        PhysPageNum::new(base + 1)
+                    } else {
+                        live.swap_remove(index % live.len())
+                    };
+                    prop_assert_eq!(new.free(target), old.free(target));
+                }
+                Op::Split { index } => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let target = live.swap_remove(index % live.len());
+                    let a = new.split_allocation(target);
+                    prop_assert_eq!(a, old.split_allocation(target));
+                    if let Ok(n) = a {
+                        for i in 0..n {
+                            live.push(target + i);
+                        }
+                    }
+                }
+                Op::ReserveTop { pages } => {
+                    if new.total_pages() <= pages + 1 {
+                        continue;
+                    }
+                    let start = PhysPageNum::new(new.end().as_u64() - pages);
+                    // Probe on a clone first: a migrated block straddling the
+                    // range bottom leaves its below-boundary pages untracked
+                    // (in both implementations alike), which a later
+                    // reservation over them rejects as inconsistent state.
+                    // The kernel never reserves over such leftovers; skip.
+                    let probe = new.clone().reserve_range(start, pages);
+                    if matches!(&probe, Ok(r) if r.to_migrate.iter().any(|(b, _)| *b < start)) {
+                        continue;
+                    }
+                    let a = new.reserve_range(start, pages);
+                    let b = old.reserve_range(start, pages);
+                    prop_assert_eq!(&a, &b, "reserve_range diverged");
+                    if let Ok(r) = a {
+                        for (block, _) in &r.to_migrate {
+                            prop_assert_eq!(
+                                new.complete_migration(*block),
+                                old.complete_migration(*block)
+                            );
+                            live.retain(|p| {
+                                // Migrated blocks leave the live set (their
+                                // pages now belong to the reservation).
+                                p != block
+                            });
+                        }
+                        prop_assert_eq!(new.shrink_top(pages), old.shrink_top(pages));
+                        // Pages above the new end are off the table; drop any
+                        // stale live entries (split pages of migrated blocks).
+                        let end = new.end();
+                        live.retain(|p| *p < end);
+                    }
+                }
+            }
+            prop_assert_eq!(new.free_pages(), old.free_pages());
+            prop_assert!(new.check_invariants(), "bitmap invariants broken");
+            prop_assert!(old.check_invariants(), "reference invariants broken");
+        }
+
+        // Drain both sides to empty the same way: every remaining live block
+        // frees identically and the final accounting matches.
+        live.sort_unstable();
+        live.dedup();
+        for p in live {
+            prop_assert_eq!(new.free(p), old.free(p));
+        }
+        prop_assert_eq!(new.free_pages(), old.free_pages());
+        prop_assert_eq!(new.alloc(0, false), old.alloc(0, false));
+    }
+}

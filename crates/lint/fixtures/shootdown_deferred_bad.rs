@@ -1,0 +1,41 @@
+//! BAD: downgrade writes on the *batched* shootdown path that still never
+//! reach any flush API. Queue-adjacent helpers (stats bumps, generation
+//! reads) must not be mistaken for the real `queue_flush_page` /
+//! `drain_deferred_flushes` sinks — each function here must fire
+//! `shootdown-pairing`.
+
+impl Kernel {
+    fn unmap_queues_nothing(&mut self, slot: PhysAddr) -> Result<(), KernelError> {
+        // Bumping the coalescing stats is not an invalidation.
+        self.stats.deferred_pages_coalesced += 1;
+        self.pt_write(slot, Pte::invalid().bits())
+    }
+
+    fn downgrade_reads_generation_only(
+        &mut self,
+        slot: PhysAddr,
+        flags: PteFlags,
+    ) -> Result<(), KernelError> {
+        let ro = flags.without(PteFlags::W);
+        self.pt_write(slot, Pte::leaf(self.ppn, ro).bits())?;
+        // Observing the flush generation does not advance it.
+        let _gen = self.flush_generation;
+        Ok(())
+    }
+
+    fn repoint_pushes_raw_queue(
+        &mut self,
+        slot: PhysAddr,
+        new: PhysPageNum,
+        vpn: u64,
+        asid: u16,
+    ) -> Result<(), KernelError> {
+        // ptstore-lint: hazard(shootdown-pairing) — repoint leaves the old
+        // translation live in remote TLBs.
+        self.pt_write(slot, Pte::leaf(new, self.flags).bits())?;
+        // Raw queue surgery bypasses the eager local sfence that
+        // `queue_flush_page` performs — not a valid pairing.
+        self.pending.push((vpn, asid));
+        Ok(())
+    }
+}

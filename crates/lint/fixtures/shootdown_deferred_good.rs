@@ -1,0 +1,45 @@
+//! GOOD twin of `shootdown_deferred_bad.rs`: every downgrade write pairs
+//! with the batched shootdown API — `queue_flush_page` at the write (the
+//! local invalidation stays eager; the remote broadcast is deferred), or
+//! a forced `drain_deferred_flushes` at the security boundary, directly
+//! or transitively. Must produce zero `shootdown-pairing` findings.
+
+impl Kernel {
+    fn unmap_queues(&mut self, slot: PhysAddr, va: VirtAddr, asid: u16) -> Result<(), KernelError> {
+        self.pt_write(slot, Pte::invalid().bits())?;
+        self.queue_flush_page(va, asid);
+        Ok(())
+    }
+
+    fn downgrade_drains_at_boundary(
+        &mut self,
+        slot: PhysAddr,
+        flags: PteFlags,
+    ) -> Result<(), KernelError> {
+        let ro = flags.without(PteFlags::W);
+        self.pt_write(slot, Pte::leaf(self.ppn, ro).bits())?;
+        // Security boundary: the queued invalidations leave with one IPI
+        // round before the syscall returns.
+        self.drain_deferred_flushes();
+        Ok(())
+    }
+
+    fn repoint_queues_transitively(
+        &mut self,
+        slot: PhysAddr,
+        new: PhysPageNum,
+        va: VirtAddr,
+        asid: u16,
+    ) -> Result<(), KernelError> {
+        // ptstore-lint: hazard(shootdown-pairing) — repoint leaves the old
+        // translation live in remote TLBs.
+        self.pt_write(slot, Pte::leaf(new, self.flags).bits())?;
+        self.finish_batched(va, asid);
+        Ok(())
+    }
+
+    fn finish_batched(&mut self, va: VirtAddr, asid: u16) {
+        self.queue_flush_page(va, asid);
+        self.drain_deferred_flushes();
+    }
+}

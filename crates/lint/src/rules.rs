@@ -70,7 +70,16 @@ impl Default for Config {
             ],
             raw_idents: vec!["mem_unchecked".into(), "pmp_mut".into()],
             pt_write_fn: "pt_write".into(),
-            flush_fns: vec!["tlb_flush_page".into(), "tlb_flush_asid".into()],
+            flush_fns: vec![
+                "tlb_flush_page".into(),
+                "tlb_flush_asid".into(),
+                // Batched-shootdown API: queueing defers only the remote
+                // broadcast (the local invalidation stays eager), and every
+                // security boundary force-drains, so a downgrade reaching
+                // either side of the deferred path is coherent.
+                "queue_flush_page".into(),
+                "drain_deferred_flushes".into(),
+            ],
             exhaustive_enums: vec![
                 ("FaultClass".into(), "ptstore-trace".into()),
                 ("AttackOutcome".into(), "ptstore-attacks".into()),
@@ -233,8 +242,11 @@ fn rule_atomics_confinement(parsed: &[ParsedFile], cfg: &Config) -> Vec<Finding>
 /// A kernel function containing a *permission-reducing or invalidating*
 /// `pt_write` — one whose arguments invoke `Pte::invalid`, whose enclosing
 /// function strips `PteFlags::W` via `without`, or one tagged with a
-/// `ptstore-lint: hazard(shootdown-pairing)` marker — must reach
-/// `tlb_flush_page` or `tlb_flush_asid` on some call-graph path.
+/// `ptstore-lint: hazard(shootdown-pairing)` marker — must reach one of
+/// the configured flush functions on some call-graph path: the eager
+/// `tlb_flush_page`/`tlb_flush_asid`, or the batched `queue_flush_page`/
+/// `drain_deferred_flushes` pair (queueing keeps the local invalidation
+/// eager and defers only the remote broadcast).
 fn rule_shootdown_pairing(parsed: &[ParsedFile], cfg: &Config) -> Vec<Finding> {
     let kernel_files: Vec<&ParsedFile> = parsed
         .iter()

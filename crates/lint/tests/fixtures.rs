@@ -191,6 +191,50 @@ fn shootdown_rule_fires_on_bad_and_passes_good() {
 }
 
 #[test]
+fn shootdown_rule_accepts_the_batched_drain_api() {
+    let cfg = Config::default();
+    let bad = findings_for(
+        RULE_SHOOTDOWN,
+        vec![kernel_file(
+            "src/bad.rs",
+            include_str!("../fixtures/shootdown_deferred_bad.rs"),
+        )],
+        &cfg,
+    );
+    let names: Vec<&str> = bad
+        .iter()
+        .map(|f| {
+            f.message
+                .split('`')
+                .nth(1)
+                .expect("message names the function")
+        })
+        .collect();
+    assert_eq!(
+        names,
+        [
+            "unmap_queues_nothing",
+            "downgrade_reads_generation_only",
+            "repoint_pushes_raw_queue"
+        ],
+        "queue-adjacent bookkeeping is not a flush: {bad:#?}"
+    );
+
+    let good = findings_for(
+        RULE_SHOOTDOWN,
+        vec![kernel_file(
+            "src/good.rs",
+            include_str!("../fixtures/shootdown_deferred_good.rs"),
+        )],
+        &cfg,
+    );
+    assert!(
+        good.is_empty(),
+        "queue_flush_page / drain_deferred_flushes satisfy pairing: {good:#?}"
+    );
+}
+
+#[test]
 fn allow_rule_fires_on_bad_and_passes_good() {
     let cfg = Config::default();
     // Rule 3 is workspace-wide: use a non-kernel crate to prove it.

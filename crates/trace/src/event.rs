@@ -122,6 +122,17 @@ pub enum FlushScope {
         /// The flushed address-space identifier.
         asid: u16,
     },
+    /// A run of consecutive pages of one address space — a deferred-
+    /// shootdown drain coalescing per-page invalidations into one
+    /// broadcast.
+    Range {
+        /// First virtual page number of the run.
+        vpn: u64,
+        /// Number of consecutive pages flushed.
+        pages: u64,
+        /// The owning address-space identifier.
+        asid: u16,
+    },
 }
 
 /// A token-lifecycle operation.
@@ -478,6 +489,12 @@ impl TraceEvent {
             }
             FlushScope::Asid { asid } => {
                 w.str_field("scope", "asid");
+                w.num_field("asid", u64::from(*asid));
+            }
+            FlushScope::Range { vpn, pages, asid } => {
+                w.str_field("scope", "range");
+                w.hex_field("vpn", *vpn);
+                w.num_field("pages", *pages);
                 w.num_field("asid", u64::from(*asid));
             }
         }

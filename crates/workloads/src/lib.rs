@@ -17,6 +17,9 @@
 //!   between kernel configurations (§V-C);
 //! * [`smp`] — hart-distributed variants of the macrobenchmarks: one
 //!   worker per hart, per-hart utilization, and shootdown accounting;
+//! * [`c1m`] — the C1M multi-tenant macro workload: tenant fleets
+//!   fork/serve/exit across the harts, a million connections at paper
+//!   scale, driving the batched-shootdown and magazine fast paths;
 //! * [`report`] — measurement plumbing: run a workload across kernel
 //!   configurations and compute relative overheads.
 //!
@@ -31,6 +34,7 @@
 //! assert!(series.overhead_of("CFI").unwrap() > 0.0);
 //! ```
 
+pub mod c1m;
 pub mod fork_stress;
 pub mod huge;
 pub mod lmbench;
@@ -41,6 +45,7 @@ pub mod report;
 pub mod smp;
 pub mod spec;
 
+pub use c1m::{run_c1m, run_c1m_threads, C1mParams, C1mResult};
 pub use fork_stress::{run_fork_stress, ForkStressResult};
 pub use huge::{run_huge_page, HugePageResult};
 pub use report::{measure, overhead_pct, Measurement, OverheadSeries};

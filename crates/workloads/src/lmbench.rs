@@ -68,12 +68,13 @@ pub fn lat_null(k: &mut Kernel, iters: u64) -> u64 {
     })
 }
 
-/// `lat_syscall read`: 1-byte reads of /dev/zero.
+/// `lat_syscall read`: 1-byte reads of /dev/zero (the byte is never
+/// looked at — length-only on the host, identical modeled charges).
 pub fn lat_read(k: &mut Kernel, iters: u64) -> u64 {
     let fd = k.sys_open("/dev/zero").expect("open");
     let c = timed(k, |k| {
         for _ in 0..iters {
-            k.sys_read(fd, 1).expect("read");
+            k.sys_read_discard(fd, 1).expect("read");
         }
     });
     k.sys_close(fd).expect("close");
@@ -84,7 +85,7 @@ pub fn lat_read(k: &mut Kernel, iters: u64) -> u64 {
 pub fn lat_write(k: &mut Kernel, iters: u64) -> u64 {
     timed(k, |k| {
         for _ in 0..iters {
-            k.sys_write(1, b"x").expect("write");
+            k.sys_write_discard(1, 1).expect("write");
         }
     })
 }
@@ -148,13 +149,14 @@ pub fn lat_sig_catch(k: &mut Kernel, iters: u64) -> u64 {
     })
 }
 
-/// `lat_pipe`: token passed through a pipe (write+read per round trip).
+/// `lat_pipe`: token passed through a pipe (write+read per round trip;
+/// the token is opaque, so both sides run length-only on the host).
 pub fn lat_pipe(k: &mut Kernel, iters: u64) -> u64 {
     let (r, w) = k.sys_pipe().expect("pipe");
     let c = timed(k, |k| {
         for _ in 0..iters {
-            k.sys_write(w, b"t").expect("pipe write");
-            k.sys_read(r, 1).expect("pipe read");
+            k.sys_write_discard(w, 1).expect("pipe write");
+            k.sys_read_discard(r, 1).expect("pipe read");
         }
     });
     k.sys_close(r).expect("close");
@@ -331,14 +333,14 @@ mod tests {
 }
 
 /// `bw_pipe` analogue: stream `total_bytes` through a pipe in 4 KiB chunks,
-/// returning cycles (bandwidth = bytes / cycles).
+/// returning cycles (bandwidth = bytes / cycles). The stream is all
+/// zeros, so neither side materializes a host buffer.
 pub fn bw_pipe(k: &mut Kernel, total_bytes: u64) -> u64 {
     let (r, w) = k.sys_pipe().expect("pipe");
-    let chunk = vec![0u8; 4096];
     let c = timed(k, |k| {
         let mut moved = 0u64;
         while moved < total_bytes {
-            let n = k.sys_write(w, &chunk).expect("write");
+            let n = k.sys_write_discard(w, 4096).expect("write");
             k.sys_read_discard(r, n).expect("read");
             moved += n;
         }

@@ -81,7 +81,7 @@ impl SmpRunReport {
 
 /// Splits `total` into one share per hart; earlier harts absorb the
 /// remainder so every op is served.
-fn partition(total: u64, harts: usize) -> Vec<u64> {
+pub(crate) fn partition(total: u64, harts: usize) -> Vec<u64> {
     let base = total / harts as u64;
     let extra = total % harts as u64;
     (0..harts as u64)
@@ -93,7 +93,7 @@ fn partition(total: u64, harts: usize) -> Vec<u64> {
 /// Worker `h` runs on hart `h` (hart 0 reuses the spawning process's hart).
 /// Returns each worker as a `(pid, handle)` pair; the generational handle
 /// is the only reference drivers keep to the worker.
-fn spawn_workers(k: &mut Kernel) -> Result<Vec<(Pid, ProcHandle)>, KernelError> {
+pub(crate) fn spawn_workers(k: &mut Kernel) -> Result<Vec<(Pid, ProcHandle)>, KernelError> {
     let harts = k.harts.len();
     k.set_active_hart(0);
     let pids: Vec<Pid> = (0..harts).map(|_| k.sys_fork()).collect::<Result<_, _>>()?;
@@ -114,7 +114,7 @@ fn spawn_workers(k: &mut Kernel) -> Result<Vec<(Pid, ProcHandle)>, KernelError> 
 /// logical-time turnstile, preserving the canonical hart order exactly.
 /// After the run every worker handle must still resolve — a driver that
 /// reaped its own worker trips the stale-handle check here.
-fn run_distributed(
+pub(crate) fn run_distributed(
     k: &mut Kernel,
     workload: &str,
     workers: &[(Pid, ProcHandle)],

@@ -66,6 +66,15 @@ echo "== smoke: threaded-hart determinism (2 harts x 2 host threads) =="
 cmp target/thr-1.txt target/thr-2.txt
 rm -f target/thr-1.txt target/thr-2.txt
 
+echo "== smoke: c1m multi-tenant churn (deterministic, batching wins) =="
+# The c1m report is fully modeled — no wall time in the output — so a
+# rerun must be byte-identical, and the batched row must appear.
+./target/release/reproduce --quick c1m > target/c1m-a.txt
+./target/release/reproduce --quick --jobs 4 c1m > target/c1m-b.txt
+cmp target/c1m-a.txt target/c1m-b.txt
+grep -q "CFI+PTStore batched" target/c1m-a.txt
+rm -f target/c1m-a.txt target/c1m-b.txt
+
 echo "== smoke: fixed-seed fuzz campaign (deterministic, contained) =="
 ./target/release/reproduce fuzz --seed 1 --faults 70 > target/fuzz-a.txt
 ./target/release/reproduce fuzz --seed 1 --faults 70 > target/fuzz-b.txt
@@ -73,12 +82,12 @@ cmp target/fuzz-a.txt target/fuzz-b.txt
 grep -q "invariant-violated     : 0" target/fuzz-a.txt
 rm -f target/fuzz-a.txt target/fuzz-b.txt
 
-echo "== host-performance harness (BENCH_PR7.json) =="
+echo "== host-performance harness (BENCH_PR8.json) =="
 # Jobs pinned to 4 so CI regenerates the same configuration the
 # committed artifact records (the pool clamps to the host's cores).
 scripts/bench.sh 4
 if command -v python3 > /dev/null 2>&1; then
-    python3 -m json.tool BENCH_PR7.json > /dev/null
+    python3 -m json.tool BENCH_PR8.json > /dev/null
 fi
 
 echo "All checks passed."
