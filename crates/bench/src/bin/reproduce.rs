@@ -3,6 +3,7 @@
 //! ```text
 //! reproduce [--quick] [--harts N] [--jobs N] [--host-threads N] [--no-fast-path] \
 //!     [--csv <dir>] [--trace <file>] [--scheme sv39|sv48|sv57] \
+//!     [--drain-policy boundary|watermark[:D]|asid-recycle] [--medium] \
 //!     [table1|table2|table3|hwdetail|ltp|fig4|forkstress|fig5|fig6|fig7|security|smp|c1m|all]
 //! reproduce fuzz [--seed S] [--faults N] [--harts H] [--quick] [--scheme sv39|sv48|sv57]
 //! ```
@@ -33,11 +34,19 @@
 //! (minimum 2 — with one hart there is no remote TLB to shoot down).
 //! `c1m` must be named explicitly — `all` is the paper-reproduction
 //! suite and keeps its wall-clock comparable across commits; bench.sh
-//! times c1m in a separate section of BENCH_PR8.json.
+//! times c1m in a separate section of BENCH_PR9.json.
+//! `--drain-policy boundary|watermark[:D]|asid-recycle` (c1m and
+//! forkstress only) pins the batched rows to one deferred-shootdown
+//! drain policy instead of sweeping all three; security-boundary and
+//! ASID-reuse drains stay mandatory under every policy, so the reported
+//! TLB digests must not move with this flag (`check.sh` gates on that).
+//! `--medium` (c1m only, incompatible with `--quick`) selects the
+//! CI-budgeted 150×8×50 C1M trajectory shape bench.sh tracks
+//! connections-per-second on.
 //!
 //! `fuzz` runs the ptstore-fault campaign: `--faults N` seeded runs
 //! (default 70), each injecting one fault drawn round-robin from the
-//! seven fault classes, classified as detected-and-contained / benign /
+//! nine fault classes, classified as detected-and-contained / benign /
 //! invariant-violated. `--seed S` (default 1) fixes the campaign seed —
 //! the report is byte-identical across invocations. `--harts H` defaults
 //! to 2 here so the IPI fault classes have a victim hart. With `--quick`
@@ -82,7 +91,7 @@ const EXPERIMENTS: [&str; 13] = [
 /// Prints the usage synopsis to stderr.
 fn usage() {
     eprintln!(
-        "usage: reproduce [--quick] [--harts N] [--jobs N] [--host-threads N] [--no-fast-path] [--csv <dir>] [--trace <file>] [--scheme sv39|sv48|sv57] [{}|all]",
+        "usage: reproduce [--quick] [--medium] [--harts N] [--jobs N] [--host-threads N] [--no-fast-path] [--csv <dir>] [--trace <file>] [--scheme sv39|sv48|sv57] [--drain-policy boundary|watermark[:D]|asid-recycle] [{}|all]",
         EXPERIMENTS.join("|")
     );
     eprintln!(
@@ -121,6 +130,7 @@ fn take_number<'a, T: std::str::FromStr>(
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
+    let mut medium = false;
     let mut no_fast_path = false;
     let mut csv_dir: Option<std::path::PathBuf> = None;
     let mut trace_file: Option<std::path::PathBuf> = None;
@@ -130,12 +140,14 @@ fn main() {
     let mut seed: Option<u64> = None;
     let mut faults: Option<u64> = None;
     let mut scheme: Option<ptstore_core::PagingScheme> = None;
+    let mut drain_policy: Option<ptstore_kernel::DrainPolicy> = None;
     let mut what: Option<String> = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--medium" => medium = true,
             "--no-fast-path" => no_fast_path = true,
             "--csv" => csv_dir = Some(std::path::PathBuf::from(take_value(&mut it, "--csv"))),
             "--trace" => {
@@ -153,6 +165,13 @@ fn main() {
                     Err(_) => die(&format!(
                         "unknown paging scheme {v:?}: --scheme takes sv39, sv48, or sv57"
                     )),
+                };
+            }
+            "--drain-policy" => {
+                let v = take_value(&mut it, "--drain-policy");
+                drain_policy = match v.parse() {
+                    Ok(p) => Some(p),
+                    Err(e) => die(&format!("{e}")),
                 };
             }
             "--help" | "-h" => {
@@ -228,8 +247,26 @@ fn main() {
             "--csv only applies to the figure experiments (fig4|fig5|fig6|fig7), not {what:?}"
         ));
     }
+    if drain_policy.is_some() && what != "c1m" && what != "forkstress" {
+        die(&format!(
+            "--drain-policy only applies to the c1m and forkstress experiments, not {what:?} \
+             (the other experiments run eager shootdowns, where no drain queue exists)"
+        ));
+    }
+    if medium {
+        if quick {
+            die("--medium and --quick are contradictory: pick one scale");
+        }
+        if what != "c1m" {
+            die(&format!(
+                "--medium is the CI-budgeted c1m trajectory shape; it does not apply to {what:?}"
+            ));
+        }
+    }
 
-    let scale = if quick {
+    let scale = if medium {
+        Scale::medium()
+    } else if quick {
         Scale::quick()
     } else {
         Scale::paper()
@@ -281,13 +318,13 @@ fn main() {
                 "hwdetail" => Box::new(report_hwdetail),
                 "ltp" => Box::new(move || report_ltp(scale, jobs)),
                 "fig4" => Box::new(move || report_fig4(scale, jobs)),
-                "forkstress" => Box::new(move || report_stress(scale, jobs)),
+                "forkstress" => Box::new(move || report_stress(scale, jobs, drain_policy)),
                 "fig5" => Box::new(move || report_fig5(scale, jobs)),
                 "fig6" => Box::new(move || report_fig6(scale, jobs)),
                 "fig7" => Box::new(move || report_fig7(scale, jobs)),
                 "security" => Box::new(move || report_security(trace_file, harts, scheme)),
                 "smp" => Box::new(move || report_smp(scale, harts, jobs)),
-                "c1m" => Box::new(move || report_c1m(scale, harts, jobs)),
+                "c1m" => Box::new(move || report_c1m(scale, harts, jobs, drain_policy)),
                 _ => unreachable!("EXPERIMENTS is exhaustive"),
             };
             (name, task)
@@ -510,29 +547,38 @@ fn report_fig4(scale: &Scale, jobs: usize) -> String {
     out
 }
 
-fn report_stress(scale: &Scale, jobs: usize) -> String {
+fn report_stress(
+    scale: &Scale,
+    jobs: usize,
+    policy: Option<ptstore_kernel::DrainPolicy>,
+) -> String {
     let mut out = String::new();
+    let under = match policy {
+        Some(p) => format!("; deferred shootdowns, drain policy {p}"),
+        None => String::new(),
+    };
     header(
         &mut out,
         &format!(
-            "§V-D1: fork stress — {} simultaneous processes (paper: 30,000; 2.84% / 6.83% / 3.77%)",
+            "§V-D1: fork stress — {} simultaneous processes (paper: 30,000; 2.84% / 6.83% / 3.77%{under})",
             scale.stress_procs
         ),
     );
     w!(
         out,
-        "{:<18} {:>14} {:>10} {:>12} {:>10} {:>14}",
+        "{:<18} {:>14} {:>10} {:>12} {:>10} {:>14} {:>18}",
         "config",
         "cycles",
         "overhead%",
         "adjustments",
         "migrated",
-        "region (MiB)"
+        "region (MiB)",
+        "tlb digest"
     );
-    for row in run_stress_jobs(scale, jobs) {
+    for row in run_stress_policy_jobs(scale, jobs, policy) {
         w!(
             out,
-            "{:<18} {:>14} {:>10.2} {:>12} {:>10} {:>14}",
+            "{:<18} {:>14} {:>10.2} {:>12} {:>10} {:>14} {:>#18x}",
             row.label,
             row.result.cycles,
             row.overhead_pct,
@@ -542,6 +588,14 @@ fn report_stress(scale: &Scale, jobs: usize) -> String {
                 .final_region_size
                 .map(|s| (s / (1 << 20)).to_string())
                 .unwrap_or_else(|| "-".to_string()),
+            row.tlb_digest,
+        );
+    }
+    if policy.is_some() {
+        w!(
+            out,
+            "=> drain policies are pure placement: the tlb digest column must be identical \
+             for every --drain-policy value (check.sh compares boundary vs watermark)"
         );
     }
     out
@@ -774,7 +828,12 @@ fn report_smp(scale: &Scale, harts: usize, jobs: usize) -> String {
     out
 }
 
-fn report_c1m(scale: &Scale, harts: usize, jobs: usize) -> String {
+fn report_c1m(
+    scale: &Scale,
+    harts: usize,
+    jobs: usize,
+    policy: Option<ptstore_kernel::DrainPolicy>,
+) -> String {
     let mut out = String::new();
     let harts = harts.max(2);
     header(
@@ -792,7 +851,7 @@ fn report_c1m(scale: &Scale, harts: usize, jobs: usize) -> String {
     );
     w!(
         out,
-        "{:<20} {:>14} {:>10} {:>9} {:>11} {:>9} {:>7} {:>10} {:>7}",
+        "{:<34} {:>14} {:>10} {:>9} {:>11} {:>9} {:>7} {:>10} {:>6} {:>7} {:>7}",
         "config",
         "wall cycles",
         "overhead%",
@@ -801,12 +860,15 @@ fn report_c1m(scale: &Scale, harts: usize, jobs: usize) -> String {
         "IPIs",
         "drains",
         "coalesced",
+        "maxq",
+        "early",
         "adjust"
     );
-    for row in run_c1m_bench_jobs(scale, harts, jobs) {
+    let rows = run_c1m_sweep_jobs(scale, harts, jobs, policy);
+    for row in &rows {
         w!(
             out,
-            "{:<20} {:>14} {:>10.2} {:>9.3} {:>11} {:>9} {:>7} {:>10} {:>7}",
+            "{:<34} {:>14} {:>10.2} {:>9.3} {:>11} {:>9} {:>7} {:>10} {:>6} {:>7} {:>7}",
             row.label,
             row.result.report.wall_cycles,
             row.overhead_pct,
@@ -815,13 +877,42 @@ fn report_c1m(scale: &Scale, harts: usize, jobs: usize) -> String {
             row.result.report.shootdown_ipis,
             row.result.deferred_drains,
             row.result.deferred_pages_coalesced,
+            row.result.deferred_queue_peak,
+            row.result.watermark_drains + row.result.asid_recycle_drains,
             row.result.adjustments,
         );
     }
+    // The machine-greppable policy trade-off line check.sh and bench.sh
+    // parse: per-policy queue peaks plus the state-identity verdict.
+    let batched: Vec<_> = rows
+        .iter()
+        .filter(|r| r.label.starts_with("CFI+PTStore batched/"))
+        .collect();
+    let mut sweep = String::from("drain-policy sweep:");
+    for r in &batched {
+        let _ = write!(
+            sweep,
+            " {} maxq={} ipis={}",
+            r.label.trim_start_matches("CFI+PTStore batched/"),
+            r.result.deferred_queue_peak,
+            r.result.report.shootdown_ipis
+        );
+    }
+    let identical = batched
+        .windows(2)
+        .all(|w| w[0].result.tlb_digest == w[1].result.tlb_digest);
+    let _ = write!(
+        sweep,
+        " tlb-digest-identical={}",
+        if identical { "yes" } else { "NO" }
+    );
+    w!(out, "{sweep}");
     w!(
         out,
         "=> batching (deferred shootdowns + magazines) must cut IPIs and wall cycles versus \
-         the eager row; all values are modeled — host wall time is measured by scripts/bench.sh"
+         the eager row; policies only move drain placement — watermark must cap maxq below \
+         boundary's with an identical tlb digest. All values are modeled — host wall time \
+         is measured by scripts/bench.sh"
     );
     out
 }

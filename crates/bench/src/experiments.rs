@@ -6,8 +6,8 @@ use ptstore_attacks::{
 };
 use ptstore_core::{GIB, MIB};
 use ptstore_hwcost::{table3, BoomConfig, Table3Row};
-use ptstore_kernel::{Kernel, KernelConfig};
-use ptstore_workloads::c1m::{run_c1m, C1mParams, C1mResult};
+use ptstore_kernel::{DrainPolicy, Kernel, KernelConfig, DEFAULT_WATERMARK_DEPTH};
+use ptstore_workloads::c1m::{run_c1m, tlb_digest, C1mParams, C1mResult};
 use ptstore_workloads::fork_stress::{run_fork_stress, stress_configs, ForkStressResult};
 use ptstore_workloads::nginx::{run_nginx, NginxParams, RESPONSE_SIZES};
 use ptstore_workloads::redis::{run_redis_test, RedisParams, REDIS_TESTS};
@@ -76,6 +76,21 @@ impl Scale {
             c1m_tenants: 30,
             c1m_rounds: 4,
             c1m_requests: 15,
+        }
+    }
+
+    /// The CI-budgeted C1M trajectory shape (`reproduce c1m --medium`):
+    /// 150 tenant slots × 8 churn rounds × 50 connections = 60 000
+    /// connections per configuration — an order of magnitude past `quick`
+    /// while staying minutes-scale, so `bench.sh` can track a
+    /// connections-per-second trajectory toward the paper's one-million
+    /// shape. Non-C1M knobs stay at the quick scale.
+    pub fn medium() -> Self {
+        Self {
+            c1m_tenants: 150,
+            c1m_rounds: 8,
+            c1m_requests: 50,
+            ..Self::quick()
         }
     }
 }
@@ -313,6 +328,10 @@ pub struct StressRow {
     pub result: ForkStressResult,
     /// Overhead versus the no-CFI baseline, percent.
     pub overhead_pct: f64,
+    /// Post-run TLB fingerprint ([`tlb_digest`]): drain policies may only
+    /// move IPI rounds around, never the final translation state, so this
+    /// value must not depend on the `--drain-policy` flag.
+    pub tlb_digest: u64,
 }
 
 /// Runs the §V-D1 stress at the given scale across the four configurations.
@@ -324,29 +343,53 @@ pub fn run_stress(scale: &Scale) -> Vec<StressRow> {
 /// is still the first configuration's result; each point boots a fresh
 /// kernel, so the rows are identical at any job count.
 pub fn run_stress_jobs(scale: &Scale, jobs: usize) -> Vec<StressRow> {
+    run_stress_policy_jobs(scale, jobs, None)
+}
+
+/// [`run_stress_jobs`] with an explicit drain policy: when `policy` is
+/// given, the two PTStore rows run with deferred shootdowns on under that
+/// policy (`reproduce forkstress --drain-policy …`). Early drains are pure
+/// placement, so every row's [`StressRow::tlb_digest`] is identical across
+/// policies — the `check.sh` policy-differential gate compares them.
+pub fn run_stress_policy_jobs(
+    scale: &Scale,
+    jobs: usize,
+    policy: Option<DrainPolicy>,
+) -> Vec<StressRow> {
     // The small-region configuration is sized so adjustments must fire, as
     // the paper's 64 MiB does for 30 000 processes.
     let small_region = (scale.stress_procs * 6 * ptstore_core::PAGE_SIZE / 10)
         .clamp(MIB, scale.mem_size / 8)
         .next_power_of_two()
         / 2;
-    let configs = stress_configs(scale.mem_size, small_region, scale.stress_large_region);
+    let mut configs = stress_configs(scale.mem_size, small_region, scale.stress_large_region);
+    if let Some(p) = policy {
+        // A drain queue only exists with a remote TLB to shoot down, so the
+        // policy run boots 2-hart machines (every row, to keep the overhead
+        // baseline comparable); only the PTStore rows get the deferred
+        // machinery — the knob is meaningless without a secure region.
+        for (i, cfg) in configs.iter_mut().enumerate() {
+            *cfg = cfg.with_harts(2);
+            if i >= 2 {
+                *cfg = cfg.with_deferred_shootdowns(true).with_drain_policy(p);
+            }
+        }
+    }
     let results = par_map(jobs, &configs, |cfg| {
         let mut k = Kernel::boot(*cfg).expect("boot");
-        (
-            cfg.label(),
-            run_fork_stress(&mut k, scale.stress_procs).expect("stress"),
-        )
+        let result = run_fork_stress(&mut k, scale.stress_procs).expect("stress");
+        (cfg.label(), result, tlb_digest(&k))
     });
     let baseline = results[0].1.cycles;
     results
         .into_iter()
-        .map(|(label, result)| {
+        .map(|(label, result, tlb_digest)| {
             let overhead_pct = overhead_pct(result.cycles, baseline);
             StressRow {
                 label,
                 result,
                 overhead_pct,
+                tlb_digest,
             }
         })
         .collect()
@@ -551,18 +594,46 @@ pub struct C1mRow {
     pub overhead_pct: f64,
 }
 
+/// The batched-row drain policies the full C1M sweep walks, in display
+/// order: the PR 8 default, a depth-capped watermark, and the paranoid
+/// ASID-hygiene variant.
+pub fn sweep_policies() -> [DrainPolicy; 3] {
+    [
+        DrainPolicy::Boundary,
+        DrainPolicy::Watermark {
+            depth: DEFAULT_WATERMARK_DEPTH,
+        },
+        DrainPolicy::AsidRecycle,
+    ]
+}
+
 /// Runs the C1M workload on native, eager CFI+PTStore, and batched
 /// (deferred shootdowns + allocation magazines) CFI+PTStore machines —
-/// the batched row is the one the PR 8 fast paths must pull below eager.
+/// the batched rows are the ones the PR 8 fast paths must pull below
+/// eager, swept across every drain policy.
 pub fn run_c1m_bench(scale: &Scale, harts: usize) -> Vec<C1mRow> {
     run_c1m_bench_jobs(scale, harts, 1)
 }
 
-/// [`run_c1m_bench`] with up to `jobs` configurations in flight. Each row
+/// [`run_c1m_bench`] with up to `jobs` configurations in flight; sweeps
+/// the batched row over every [`sweep_policies`] drain policy.
+pub fn run_c1m_bench_jobs(scale: &Scale, harts: usize, jobs: usize) -> Vec<C1mRow> {
+    run_c1m_sweep_jobs(scale, harts, jobs, None)
+}
+
+/// The C1M driver: a native row, an eager CFI+PTStore row, and one
+/// batched (deferred shootdowns + allocation magazines) row per drain
+/// policy — every [`sweep_policies`] policy when `policy` is `None`, or
+/// exactly the requested one (`reproduce c1m --drain-policy …`). Each row
 /// boots a fresh kernel, so rows are identical at any job count. The
 /// machine always has ≥ 2 harts: with one hart there is no remote TLB to
-/// shoot down and batching is (by design) a no-op.
-pub fn run_c1m_bench_jobs(scale: &Scale, harts: usize, jobs: usize) -> Vec<C1mRow> {
+/// shoot down, batching is (by design) a no-op, and every policy is inert.
+pub fn run_c1m_sweep_jobs(
+    scale: &Scale,
+    harts: usize,
+    jobs: usize,
+    policy: Option<DrainPolicy>,
+) -> Vec<C1mRow> {
     let harts = harts.max(2);
     let p = C1mParams {
         tenants: scale.c1m_tenants,
@@ -578,21 +649,28 @@ pub fn run_c1m_bench_jobs(scale: &Scale, harts: usize, jobs: usize) -> Vec<C1mRo
             .build()
             .expect("valid c1m geometry")
     };
-    let configs = [
+    let batched: Vec<DrainPolicy> = match policy {
+        Some(one) => vec![one],
+        None => sweep_policies().to_vec(),
+    };
+    let mut configs = vec![
         ("Native".to_string(), geometry(KernelConfig::baseline())),
         (
             "CFI+PTStore eager".to_string(),
             geometry(KernelConfig::cfi_ptstore()),
         ),
-        (
-            "CFI+PTStore batched".to_string(),
+    ];
+    for pol in batched {
+        configs.push((
+            format!("CFI+PTStore batched/{pol}"),
             geometry(
                 KernelConfig::cfi_ptstore()
                     .with_deferred_shootdowns(true)
-                    .with_alloc_magazines(true),
+                    .with_alloc_magazines(true)
+                    .with_drain_policy(pol),
             ),
-        ),
-    ];
+        ));
+    }
     let results = par_map(jobs, &configs, |(label, cfg)| {
         let mut k = Kernel::boot(*cfg).expect("c1m kernel boots");
         (label.clone(), run_c1m(&mut k, &p))

@@ -18,7 +18,7 @@
 //! bit-for-bit: same seed, same faults, same classification.
 
 use ptstore_core::{VirtAddr, MIB, PAGE_SIZE};
-use ptstore_kernel::{Kernel, KernelConfig, Pid};
+use ptstore_kernel::{DrainPolicy, Kernel, KernelConfig, Pid};
 use ptstore_trace::{FaultClass, TraceCounters, TraceSink};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -227,7 +227,7 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
         let run_seed = master.random::<u64>();
         let class = cfg.classes[(i as usize) % cfg.classes.len().max(1)];
         runs.push(run_one(
-            &kcfg,
+            &class_config(&kcfg, class),
             class,
             run_seed,
             i,
@@ -239,6 +239,21 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
         seed: cfg.seed,
         harts: cfg.harts,
         runs,
+    }
+}
+
+/// The kernel configuration a given fault class boots. Drain-machinery
+/// faults need a site to exist — deferred shootdowns on, and (for the
+/// watermark skip) a watermark drain policy — so those two classes turn
+/// the relevant features on over the campaign's base configuration;
+/// every other class boots it unchanged.
+fn class_config(base: &KernelConfig, class: FaultClass) -> KernelConfig {
+    match class {
+        FaultClass::DrainDrop => base.with_deferred_shootdowns(true),
+        FaultClass::WatermarkSkip => base
+            .with_deferred_shootdowns(true)
+            .with_drain_policy(DrainPolicy::Watermark { depth: 4 }),
+        _ => *base,
     }
 }
 
@@ -441,12 +456,12 @@ mod tests {
 
     #[test]
     fn quick_campaign_is_deterministic_and_clean() {
-        let cfg = CampaignConfig::quick(42, 14, 2);
+        let cfg = CampaignConfig::quick(42, 18, 2);
         let a = run_campaign(&cfg);
         let b = run_campaign(&cfg);
         assert_eq!(a.summary(), b.summary());
         assert_eq!(a.count(RunClass::InvariantViolated), 0, "{}", a.summary());
-        // Every class was exercised (14 runs over 7 classes).
+        // Every class was exercised (18 runs over 9 classes).
         for &fc in &FaultClass::ALL {
             let total = a.count_class(fc, RunClass::DetectedAndContained)
                 + a.count_class(fc, RunClass::Benign);

@@ -8,7 +8,9 @@
 //! which layer (if any) refused it.
 
 use ptstore_core::{AccessContext, AccessError, Channel, PhysAddr, PhysPageNum, PAGE_SIZE};
-use ptstore_kernel::{GfpFlags, IpiFault, Kernel, KernelError, Pid, SbiCall, SbiResult};
+use ptstore_kernel::{
+    DrainFault, GfpFlags, IpiFault, Kernel, KernelError, Pid, SbiCall, SbiResult,
+};
 use ptstore_mmu::{Pte, Satp, TranslateError};
 use ptstore_trace::{FaultClass, RejectingLayer, TraceEvent};
 use rand::rngs::StdRng;
@@ -196,6 +198,7 @@ impl FaultInjector {
             FaultClass::IpiDrop | FaultClass::IpiReorder => self.fire_ipi_fault(k),
             FaultClass::ZoneExhaust => self.fire_zone_exhaust(k),
             FaultClass::TokenForge => self.fire_token_forge(k, rng),
+            FaultClass::DrainDrop | FaultClass::WatermarkSkip => self.fire_drain_fault(k),
         }
     }
 
@@ -356,6 +359,56 @@ impl FaultInjector {
         if let Ok(va) = k.sys_mmap(PAGE_SIZE) {
             let _ = k.sys_touch(va, true);
             let _ = k.sys_munmap(va, PAGE_SIZE);
+        }
+        InjectOutcome::Landed
+    }
+
+    /// Plants a drain-machinery fault, then drives a paging-churn burst on
+    /// the planned hart so the deferred-shootdown queue fills and the next
+    /// drain (or watermark trigger) consumes it. `DrainDrop` discards one
+    /// queued remote invalidation before the broadcast — the missed-drain
+    /// kernel bug the oracle's TLB staleness sweep must flag whenever the
+    /// lost page was cached remotely. `WatermarkSkip` suppresses one
+    /// watermark-triggered early drain, which the next security boundary
+    /// makes up for — benign by design. Both need batching on an SMP
+    /// machine (and the skip needs a watermark policy) to have a site.
+    fn fire_drain_fault(&mut self, k: &mut Kernel) -> InjectOutcome {
+        if k.harts.len() < 2 || !k.cfg.deferred_shootdowns {
+            return InjectOutcome::Skipped;
+        }
+        let depth = match (self.plan.class, k.cfg.drain_policy.watermark_depth()) {
+            // The skip has no site without a watermark to trigger.
+            (FaultClass::WatermarkSkip, None) => return InjectOutcome::Skipped,
+            (_, Some(d)) => u64::from(d),
+            (_, None) => 4,
+        };
+        let fault = if self.plan.class == FaultClass::DrainDrop {
+            DrainFault::DropQueuedNext {
+                index: self.plan.param,
+            }
+        } else {
+            DrainFault::SkipWatermarkNext
+        };
+        k.inject_drain_fault(fault);
+        // Exercise: map, touch, and unmap enough pages to cross any
+        // watermark — the unmap queues the invalidations and its
+        // end-of-operation boundary drain delivers (or loses) them.
+        k.set_active_hart(self.plan.hart);
+        if let Ok(va) = k.sys_mmap((depth + 1) * PAGE_SIZE) {
+            for i in 0..=depth {
+                let _ = k.sys_touch(
+                    ptstore_core::VirtAddr::new(va.as_u64() + i * PAGE_SIZE),
+                    true,
+                );
+            }
+            let _ = k.sys_munmap(va, (depth + 1) * PAGE_SIZE);
+        }
+        if k.drain_fault_pending() {
+            // No drain ran (the churn never queued — e.g. OOM): disarm so
+            // the fault cannot leak into post-run steps, and report the
+            // site as unavailable.
+            let _ = k.take_drain_fault();
+            return InjectOutcome::Skipped;
         }
         InjectOutcome::Landed
     }

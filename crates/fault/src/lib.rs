@@ -12,7 +12,10 @@
 //!   mechanism can be attacked or can mis-operate: PTE bit flips through
 //!   the regular channel, rogue PMP CSR (SBI) requests, corrupted `satp`
 //!   roots, dropped or reordered TLB-shootdown IPIs, PTStore-zone
-//!   exhaustion mid-`fork`, and forged tokens. Faults are addressable by
+//!   exhaustion mid-`fork`, forged tokens, and drain-machinery faults (a
+//!   queued remote invalidation silently discarded before its batched
+//!   drain, or a watermark-triggered early drain skipped whole). Faults
+//!   are addressable by
 //!   site (hart, process, PTE slot) and trigger condition (cycle count,
 //!   Nth bus access, trace-counter predicate) and are injected through
 //!   the same architectural paths an attacker would use, so the modeled
@@ -23,8 +26,10 @@
 //!   reachable page-table page lives inside the secure region and is
 //!   tracked by its owner; each hart's `satp` root matches the address
 //!   space of the process it runs and its token binding holds; the PMP
-//!   mirrors the kernel's view of the region; and no TLB entry grants
-//!   user access to page-table storage.
+//!   mirrors the kernel's view of the region; no TLB entry grants
+//!   user access to page-table storage; and no user TLB entry caches a
+//!   translation the live page tables no longer back (unless its
+//!   invalidation is still queued for a deferred drain).
 //!
 //! * **[`campaign`]** — a seeded randomized campaign driver
 //!   ([`run_campaign`]): N runs, each booting a fresh kernel, running a

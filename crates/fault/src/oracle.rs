@@ -17,7 +17,14 @@
 //!    enforcement mirror the kernel's configuration, and every hart's
 //!    `satp.S` matches the configured PTW origin check.
 //! 4. **TLB hygiene** — no live TLB entry grants user access to a
-//!    page-table page or to secure-region storage.
+//!    page-table page or to secure-region storage; and no user TLB entry
+//!    is *stale* — every cached translation either matches what a live
+//!    address space's page tables say today (permission upgrades in the
+//!    tables are tolerated; the cached entry grants less), belongs to no
+//!    live ASID, or has its invalidation still queued for a deferred
+//!    drain. A translation that fails all three is a remote invalidation
+//!    the drain machinery lost — the missed-drain bug class the
+//!    `DrainDrop` fault injects.
 //! 5. **Table-handle consistency** — the generational process table's
 //!    three views of each live slot agree: the owning-hart payload, the
 //!    lock-free [`TableReader`] metadata, and the pid index all bind the
@@ -104,6 +111,17 @@ pub enum Violation {
         /// The pid whose slot binding broke.
         pid: Pid,
     },
+    /// A TLB entry caches a translation a live address space's page
+    /// tables no longer back, and its invalidation is not queued for any
+    /// deferred drain: a shootdown the drain machinery lost.
+    TlbStaleTranslation {
+        /// The hart owning the TLB.
+        hart: usize,
+        /// The entry's address-space identifier.
+        asid: u16,
+        /// The entry's (base) virtual page number.
+        vpn: u64,
+    },
 }
 
 impl core::fmt::Display for Violation {
@@ -139,6 +157,12 @@ impl core::fmt::Display for Violation {
             }
             Violation::HandleBindingBroken { pid } => {
                 write!(f, "generational handle binding broken for pid {pid}")
+            }
+            Violation::TlbStaleTranslation { hart, asid, vpn } => {
+                write!(
+                    f,
+                    "hart {hart} TLB caches stale translation (asid {asid}, vpn {vpn:#x})"
+                )
             }
         }
     }
@@ -178,6 +202,7 @@ impl Invariants {
                 check_containment(k, &region, &known, &mut rep);
                 check_pmp(k, &region, &mut rep);
                 check_tlbs(k, &region, &known, &mut rep);
+                check_tlb_staleness(k, &mut rep);
             }
         }
         check_satp_binding(k, region.as_ref(), &mut rep);
@@ -445,5 +470,95 @@ fn check_tlbs(
     for hart in &k.harts {
         scan(hart.id, hart.mmu.itlb(), region, known, rep);
         scan(hart.id, hart.mmu.dtlb(), region, known, rep);
+    }
+}
+
+/// Invariant 4 (staleness half): every user TLB entry is *current* — some
+/// live address space with the entry's ASID still backs the cached
+/// translation — unless it is exempt: its invalidation is queued for a
+/// deferred drain (pending, not lost), or no live address space owns the
+/// ASID at all (a dead process's leftovers, unreachable until the ASID is
+/// recycled — and recycling force-drains and flushes first).
+fn check_tlb_staleness(k: &Kernel, rep: &mut InvariantReport) {
+    // Post-rollover ASIDs can collide across live address spaces, so an
+    // entry is judged against *every* live space carrying its ASID and
+    // accepted when any of them backs it.
+    let spaces: Vec<(u16, PhysPageNum)> = k
+        .procs
+        .handles()
+        .filter(|(_, p)| p.mm_owner.is_none() && p.state != ProcState::Zombie)
+        .map(|(_, p)| (p.aspace.asid, p.aspace.root))
+        .collect();
+    let pending = k.queued_flush_pairs();
+    let root_level = k.cfg.scheme.root_level() as u8;
+    for hart in &k.harts {
+        for tlb in [hart.mmu.itlb(), hart.mmu.dtlb()] {
+            for entry in tlb.entries() {
+                if !entry.flags.user() {
+                    continue;
+                }
+                rep.checks += 1;
+                let span = entry.span_pages();
+                let queued = pending
+                    .iter()
+                    .any(|&(a, v)| a == entry.asid && v.wrapping_sub(entry.vpn.as_u64()) < span);
+                if queued {
+                    continue;
+                }
+                let mut owners = spaces.iter().filter(|&&(a, _)| a == entry.asid).peekable();
+                if owners.peek().is_none() {
+                    continue;
+                }
+                if !owners.any(|&(_, root)| entry_backed_by(k, root, entry, root_level)) {
+                    rep.violations.push(Violation::TlbStaleTranslation {
+                        hart: hart.id,
+                        asid: entry.asid,
+                        vpn: entry.vpn.as_u64(),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// True when a raw walk from `root` reaches a valid leaf that still backs
+/// `entry`'s base page: same physical page, and at least the cached
+/// permissions (the tables granting *more* than the TLB caches is the
+/// benign permission-upgrade case; granting less means a tightening whose
+/// shootdown never arrived).
+fn entry_backed_by(
+    k: &Kernel,
+    root: PhysPageNum,
+    entry: &ptstore_mmu::TlbEntry,
+    root_level: u8,
+) -> bool {
+    let vpn = entry.vpn.as_u64();
+    let mut page = root;
+    let mut level = root_level;
+    loop {
+        let idx = (vpn >> (9 * u32::from(level))) & 0x1ff;
+        let Ok(raw) = k.bus.mem().read_u64(page.base_addr() + idx * 8) else {
+            return false;
+        };
+        let pte = Pte::from_bits(raw);
+        if !pte.is_valid() {
+            return false;
+        }
+        if pte.is_leaf() {
+            let offset = vpn & ((1u64 << (9 * u32::from(level))) - 1);
+            if pte.ppn().as_u64() + offset != entry.ppn.as_u64() {
+                return false;
+            }
+            let f = pte.flags();
+            return f.user()
+                && (!entry.flags.readable() || f.readable())
+                && (!entry.flags.writable() || f.writable())
+                && (!entry.flags.executable() || f.executable());
+        }
+        if level == 0 {
+            return false;
+        }
+        page = pte.ppn();
+        level -= 1;
     }
 }

@@ -1,0 +1,153 @@
+//! Drain-machinery fault acceptance tests: the missed-drain bug class.
+//!
+//! A `DrainDrop` discards one queued remote invalidation before its
+//! batched drain. When the victim page was cached by a remote hart, that
+//! hart keeps translating through a mapping the security boundary
+//! (munmap) already destroyed — the oracle's TLB staleness sweep must
+//! classify this as an invariant violation. A `WatermarkSkip` merely
+//! postpones an *early* (watermark-triggered) drain; the next security
+//! boundary delivers everything, so the machine must end byte-identical
+//! to an uninjected twin — benign by construction.
+
+use ptstore_core::{AccessKind, PrivilegeMode, VirtAddr, MIB, PAGE_SIZE};
+use ptstore_fault::{run_campaign, CampaignConfig, FaultClass, Invariants, RunClass, Violation};
+use ptstore_kernel::{DrainFault, DrainPolicy, Kernel, KernelConfig};
+
+fn boot(harts: usize, policy: DrainPolicy) -> Kernel {
+    let cfg = KernelConfig::cfi_ptstore()
+        .with_mem_size(128 * MIB)
+        .with_initial_secure_size(8 * MIB)
+        .with_harts(harts)
+        .with_deferred_shootdowns(true)
+        .with_drain_policy(policy);
+    Kernel::boot(cfg).expect("kernel boots")
+}
+
+/// Warms `hart`'s D-TLB at `va` through init's address space, then puts
+/// the hart's satp back — modelling a hart that ran the process earlier
+/// and still holds its translations cached.
+fn warm_remote_and_park(k: &mut Kernel, hart: usize, va: VirtAddr) {
+    let parked = k.harts[hart].mmu.satp;
+    k.harts[hart].mmu.satp = k.harts[0].mmu.satp;
+    k.harts[hart]
+        .mmu
+        .translate_data(&mut k.bus, va, AccessKind::Read, PrivilegeMode::User)
+        .expect("remote warm resolves");
+    k.harts[hart].mmu.satp = parked;
+}
+
+/// Every TLB entry of every hart, as a sorted canonical listing.
+fn tlb_state(k: &Kernel) -> Vec<String> {
+    let mut v = Vec::new();
+    for h in &k.harts {
+        for e in h.mmu.itlb().entries() {
+            v.push(format!("hart{} itlb {e:?}", h.id));
+        }
+        for e in h.mmu.dtlb().entries() {
+            v.push(format!("hart{} dtlb {e:?}", h.id));
+        }
+    }
+    v.sort();
+    v
+}
+
+/// Grows init's heap by `pages` and write-touches each one.
+fn grow_heap(k: &mut Kernel, pages: u64) -> VirtAddr {
+    let heap_base = k.procs.get(1).expect("init").brk;
+    k.sys_brk(heap_base + pages * PAGE_SIZE).expect("brk");
+    for i in 0..pages {
+        k.sys_touch(VirtAddr::new(heap_base + i * PAGE_SIZE), true)
+            .expect("touch heap");
+    }
+    VirtAddr::new(heap_base)
+}
+
+/// A dropped invalidation whose page a remote hart had cached leaves that
+/// hart translating through a destroyed mapping: the oracle must flag the
+/// stale entry as a TLB-hygiene violation.
+#[test]
+fn drain_drop_across_security_boundary_violates() {
+    let mut k = boot(2, DrainPolicy::Boundary);
+    let heap = grow_heap(&mut k, 4);
+    warm_remote_and_park(&mut k, 1, heap);
+    assert!(Invariants::check(&k).ok(), "healthy before the fault");
+
+    k.inject_drain_fault(DrainFault::DropQueuedNext { index: 0 });
+    k.sys_munmap(heap, PAGE_SIZE).expect("munmap");
+    assert!(!k.drain_fault_pending(), "the boundary drain consumed it");
+
+    let rep = Invariants::check(&k);
+    assert!(
+        rep.violations
+            .iter()
+            .any(|v| matches!(v, Violation::TlbStaleTranslation { hart: 1, .. })),
+        "expected a stale-translation violation on hart 1, got {:?}",
+        rep.violations
+    );
+}
+
+/// The same drop with no remote warming is absorbed: the lost remote
+/// invalidation targeted a translation no remote hart held.
+#[test]
+fn drain_drop_without_remote_caching_is_benign() {
+    let mut k = boot(2, DrainPolicy::Boundary);
+    let heap = grow_heap(&mut k, 4);
+    k.inject_drain_fault(DrainFault::DropQueuedNext { index: 0 });
+    k.sys_munmap(heap, PAGE_SIZE).expect("munmap");
+    assert!(!k.drain_fault_pending());
+    assert!(Invariants::check(&k).ok());
+}
+
+/// A skipped watermark drain is made up for by the munmap's boundary
+/// drain: the injected kernel ends byte-identical to an uninjected twin,
+/// with one fewer early drain on the books.
+#[test]
+fn watermark_skip_is_benign_and_state_identical() {
+    let policy = DrainPolicy::Watermark { depth: 2 };
+    let mut faulted = boot(2, policy);
+    let mut twin = boot(2, policy);
+    let heap = grow_heap(&mut faulted, 6);
+    warm_remote_and_park(&mut faulted, 1, heap);
+    faulted.inject_drain_fault(DrainFault::SkipWatermarkNext);
+    faulted.sys_munmap(heap, 6 * PAGE_SIZE).expect("munmap");
+    let heap = grow_heap(&mut twin, 6);
+    warm_remote_and_park(&mut twin, 1, heap);
+    twin.sys_munmap(heap, 6 * PAGE_SIZE).expect("munmap");
+
+    assert!(!faulted.drain_fault_pending(), "the watermark consumed it");
+    assert_eq!(tlb_state(&faulted), tlb_state(&twin), "state diverged");
+    assert!(Invariants::check(&faulted).ok());
+    assert!(Invariants::check(&twin).ok());
+    assert!(
+        faulted.stats.watermark_drains < twin.stats.watermark_drains,
+        "the skip must cost exactly the early drains it suppressed ({} !< {})",
+        faulted.stats.watermark_drains,
+        twin.stats.watermark_drains
+    );
+    assert_eq!(faulted.pending_deferred_flushes(), 0);
+    assert_eq!(twin.pending_deferred_flushes(), 0);
+}
+
+/// Under the default campaign workload — where no remote hart ever warms
+/// another hart's pages — both drain-fault classes land but stay clean:
+/// drops lose invalidations nobody cached, skips are repaid at the next
+/// boundary.
+#[test]
+fn drain_fault_campaigns_stay_clean_on_default_workload() {
+    for class in [FaultClass::DrainDrop, FaultClass::WatermarkSkip] {
+        let mut cfg = CampaignConfig::quick(0xD7A1 ^ class as u64, 6, 2);
+        cfg.classes = vec![class];
+        let report = run_campaign(&cfg);
+        assert_eq!(
+            report.count(RunClass::InvariantViolated),
+            0,
+            "class {class} violated on the default workload:\n{}",
+            report.summary()
+        );
+        assert!(
+            report.runs.iter().any(|r| r.injected),
+            "class {class} never found an injection site:\n{}",
+            report.summary()
+        );
+    }
+}

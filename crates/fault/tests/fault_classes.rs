@@ -36,6 +36,12 @@ fn expected_layer(class: FaultClass) -> Option<DetectedBy> {
         FaultClass::TokenForge => Some(DetectedBy::Mechanism(RejectingLayer::TokenValidation)),
         FaultClass::ZoneExhaust => Some(DetectedBy::Allocator),
         FaultClass::IpiDrop | FaultClass::IpiReorder => None,
+        // Drain faults on the default campaign workload are absorbed: the
+        // dropped/delayed remote invalidations target pages no remote hart
+        // ever cached (each worker touches only its own hart's pages), so
+        // nothing stale survives. The dedicated drain_faults tests build
+        // the cross-hart warming that makes a drop a real violation.
+        FaultClass::DrainDrop | FaultClass::WatermarkSkip => None,
     }
 }
 

@@ -5,6 +5,8 @@ use core::fmt;
 use ptstore_core::{PagingScheme, GIB, MIB, PAGE_SIZE};
 use serde::{Deserialize, Serialize};
 
+use crate::drain::DrainPolicy;
+
 /// Which page-table defense the kernel deploys. The paper's related-work
 /// taxonomy (§VI) maps onto these baselines; PTStore is the contribution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
@@ -105,6 +107,11 @@ pub struct KernelConfig {
     /// storms stop round-tripping the buddy allocator. Off by default:
     /// magazines reorder address reuse, which the golden traces pin.
     pub alloc_magazines: bool,
+    /// When, beyond the mandatory security boundaries, deferred-shootdown
+    /// queues drain early (see [`crate::drain`] for the policy × event
+    /// matrix). Irrelevant unless `deferred_shootdowns` is on; the default
+    /// [`DrainPolicy::Boundary`] reproduces the PR 8 behaviour exactly.
+    pub drain_policy: DrainPolicy,
 }
 
 /// Why a [`KernelConfigBuilder`] refused to produce a configuration.
@@ -121,6 +128,9 @@ pub enum ConfigError {
     BadTlbCapacity,
     /// A hart count of zero, or beyond the modelled IPI fabric (64).
     BadHartCount,
+    /// A watermark drain policy with a depth of zero (it would drain on
+    /// every queued page, i.e. be the eager path at deferred prices).
+    BadDrainWatermark,
 }
 
 impl fmt::Display for ConfigError {
@@ -133,6 +143,7 @@ impl fmt::Display for ConfigError {
             ConfigError::BadAdjustChunk => "adjust_chunk must be page-aligned and non-empty",
             ConfigError::BadTlbCapacity => "tlb capacities must be non-zero",
             ConfigError::BadHartCount => "harts must be between 1 and 64",
+            ConfigError::BadDrainWatermark => "watermark drain depth must be non-zero",
         })
     }
 }
@@ -256,6 +267,12 @@ impl KernelConfigBuilder {
         self
     }
 
+    /// Selects the deferred-shootdown drain policy.
+    pub fn drain_policy(mut self, policy: DrainPolicy) -> Self {
+        self.cfg.drain_policy = policy;
+        self
+    }
+
     /// Validates the geometry and produces the configuration.
     ///
     /// # Errors
@@ -279,6 +296,9 @@ impl KernelConfigBuilder {
         }
         if c.harts == 0 || c.harts > MAX_HARTS {
             return Err(ConfigError::BadHartCount);
+        }
+        if c.drain_policy.watermark_depth() == Some(0) {
+            return Err(ConfigError::BadDrainWatermark);
         }
         Ok(self.cfg)
     }
@@ -319,6 +339,7 @@ impl KernelConfig {
             scheme: PagingScheme::Sv39,
             deferred_shootdowns: false,
             alloc_magazines: false,
+            drain_policy: DrainPolicy::Boundary,
         }
     }
 
@@ -399,6 +420,12 @@ impl KernelConfig {
     /// Returns a copy with per-hart allocation magazines on or off.
     pub fn with_alloc_magazines(mut self, enabled: bool) -> Self {
         self.alloc_magazines = enabled;
+        self
+    }
+
+    /// Returns a copy with a different deferred-shootdown drain policy.
+    pub fn with_drain_policy(mut self, policy: DrainPolicy) -> Self {
+        self.drain_policy = policy;
         self
     }
 
@@ -489,6 +516,36 @@ mod tests {
             Err(ConfigError::BadHartCount)
         );
         assert!(KernelConfig::builder().harts(4).build().is_ok());
+    }
+
+    #[test]
+    fn drain_policy_validates_and_composes() {
+        assert_eq!(
+            KernelConfig::builder()
+                .drain_policy(DrainPolicy::Watermark { depth: 0 })
+                .build(),
+            Err(ConfigError::BadDrainWatermark)
+        );
+        assert_eq!(
+            KernelConfig::builder()
+                .drain_policy(DrainPolicy::Watermark { depth: 8 })
+                .build()
+                .unwrap()
+                .drain_policy,
+            DrainPolicy::Watermark { depth: 8 }
+        );
+        // Every preset defaults to the PR 8 boundary-only behaviour.
+        assert_eq!(KernelConfig::baseline().drain_policy, DrainPolicy::Boundary);
+        assert_eq!(
+            KernelConfig::cfi_ptstore().drain_policy,
+            DrainPolicy::Boundary
+        );
+        assert_eq!(
+            KernelConfig::cfi_ptstore()
+                .with_drain_policy(DrainPolicy::AsidRecycle)
+                .drain_policy,
+            DrainPolicy::AsidRecycle
+        );
     }
 
     #[test]

@@ -101,6 +101,13 @@ pub struct Kernel {
     /// Fault-injection hook for the IPI fabric: the next shootdown broadcast
     /// is perturbed (an IPI dropped, or acks collected in reverse order).
     pub(crate) ipi_fault: Option<IpiFault>,
+    /// Fault-injection hook for the drain machinery: the next drain loses a
+    /// queued entry, or the next watermark-triggered early drain is skipped.
+    pub(crate) drain_fault: Option<crate::drain::DrainFault>,
+    /// True once the 15-bit ASID allocator has rolled over: every ASID
+    /// handed out from here on is a reuse, and `create_address_space`
+    /// force-drains deferred flushes under **every** drain policy.
+    pub(crate) asid_wrapped: bool,
     /// Pages drained out of the PTStore zone by the zone-exhaustion fault
     /// (held here so they can be refilled after the run).
     pub(crate) drained_pt_pages: Vec<PhysPageNum>,
@@ -255,6 +262,8 @@ impl Kernel {
             pt_rand_offset,
             injected_overlap: None,
             ipi_fault: None,
+            drain_fault: None,
+            asid_wrapped: false,
             drained_pt_pages: Vec::new(),
             security_log: Vec::new(),
             ptw_check_armed: false,
@@ -477,9 +486,43 @@ impl Kernel {
             self.harts[self.active_hart]
                 .flush_queue
                 .push((va.as_u64() >> PAGE_SHIFT, asid));
+            let depth = self.harts[self.active_hart].flush_queue.len() as u64;
+            self.stats.deferred_queue_peak = self.stats.deferred_queue_peak.max(depth);
+            self.maybe_watermark_drain(depth);
         } else {
             self.tlb_flush_page(va, asid);
         }
+    }
+
+    /// The [`DrainPolicy::Watermark`](crate::drain::DrainPolicy) early
+    /// drain: fires when the active hart's queue has just reached the
+    /// configured depth. Purely performance placement — entries it drains
+    /// would otherwise ride the next mandatory boundary drain — so the
+    /// `ptstore-fault` tap may skip it whole
+    /// ([`DrainFault::SkipWatermarkNext`](crate::drain::DrainFault)) and
+    /// the machine must stay invariant-clean.
+    pub(crate) fn maybe_watermark_drain(&mut self, depth: u64) {
+        let Some(limit) = self.cfg.drain_policy.watermark_depth() else {
+            return;
+        };
+        if depth < u64::from(limit) {
+            return;
+        }
+        if matches!(
+            self.drain_fault,
+            Some(crate::drain::DrainFault::SkipWatermarkNext)
+        ) {
+            self.drain_fault = None;
+            if let Some(sink) = &self.trace {
+                sink.emit(TraceEvent::IpiFault {
+                    kind: FaultClass::WatermarkSkip,
+                    victim: self.active_hart as u32,
+                });
+            }
+            return;
+        }
+        self.stats.watermark_drains += 1;
+        self.drain_deferred_flushes();
     }
 
     /// Drains the active hart's deferred-shootdown queue in **one** IPI
@@ -502,6 +545,25 @@ impl Kernel {
         }
         queue.sort_unstable_by_key(|&(vpn, asid)| (asid, vpn));
         queue.dedup();
+        // The ptstore-fault drain tap: one queued entry is silently lost
+        // before the broadcast. The local sfence already happened at queue
+        // time, so only the *remote* invalidation goes missing — the
+        // missed-drain bug the oracle's staleness sweep exists to catch.
+        if let Some(crate::drain::DrainFault::DropQueuedNext { index }) = self.drain_fault {
+            self.drain_fault = None;
+            queue.remove((index % queue.len() as u64) as usize);
+            if let Some(sink) = &self.trace {
+                sink.emit(TraceEvent::IpiFault {
+                    kind: FaultClass::DrainDrop,
+                    victim: from as u32,
+                });
+            }
+            if queue.is_empty() {
+                // The whole batch was the one lost entry: no IPI round
+                // happens at all, and the kernel believes it drained.
+                return;
+            }
+        }
         let n = self.harts.len();
         let remotes = (n - 1) as u64;
         let fault = self.ipi_fault.take();
@@ -1613,6 +1675,66 @@ impl Kernel {
     /// the next TLB-shootdown broadcast per `fault`.
     pub fn inject_ipi_fault(&mut self, fault: IpiFault) {
         self.ipi_fault = Some(fault);
+    }
+
+    /// Fault-injection hook for the drain machinery (`ptstore-fault`):
+    /// perturbs the next deferred-shootdown drain (or watermark trigger)
+    /// per `fault`. See [`crate::drain::DrainFault`].
+    pub fn inject_drain_fault(&mut self, fault: crate::drain::DrainFault) {
+        self.drain_fault = Some(fault);
+    }
+
+    /// True while a planted drain fault has not yet been consumed by a
+    /// drain (or watermark trigger) — the injector uses this to tell a
+    /// fault that actually landed from one whose site never came up.
+    pub fn drain_fault_pending(&self) -> bool {
+        self.drain_fault.is_some()
+    }
+
+    /// Disarms any planted drain fault and returns it, so an injector whose
+    /// exercise never reached a drain site can withdraw the fault instead
+    /// of letting it leak into later, unrelated operations.
+    pub fn take_drain_fault(&mut self) -> Option<crate::drain::DrainFault> {
+        self.drain_fault.take()
+    }
+
+    /// Plants one `(va, asid)` page invalidation in the active hart's
+    /// deferred queue, exactly as an unmap would (local sfence eager,
+    /// remote broadcast deferred; falls through to the eager flush when
+    /// batching is off or the machine has one hart). A `ptstore-fault` /
+    /// regression-test surface: it manufactures the non-empty-queue states
+    /// the drain-fault and ASID-rollover scenarios need without replaying
+    /// a whole workload.
+    pub fn inject_deferred_flush(&mut self, va: VirtAddr, asid: u16) {
+        self.queue_flush_page(va, asid);
+    }
+
+    /// Every `(asid, vpn)` pair currently queued for a deferred shootdown,
+    /// across **all** harts (invariant-oracle accessor: a stale TLB entry
+    /// whose invalidation is still queued is pending, not lost).
+    pub fn queued_flush_pairs(&self) -> Vec<(u16, u64)> {
+        let mut v: Vec<(u16, u64)> = self
+            .harts
+            .iter()
+            .flat_map(|h| h.flush_queue.iter().map(|&(vpn, asid)| (asid, vpn)))
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// True once the 15-bit ASID allocator has wrapped: every ASID handed
+    /// out from here on is a reuse, and allocation force-drains deferred
+    /// flushes under every drain policy.
+    pub fn asid_rollover_happened(&self) -> bool {
+        self.asid_wrapped
+    }
+
+    /// Overrides the next ASID to allocate (test surface: the rollover
+    /// regression tests fast-forward the 15-bit allocator to its wrap
+    /// point instead of creating 32 766 address spaces).
+    pub fn set_next_asid(&mut self, asid: u16) {
+        self.next_asid = asid;
     }
 
     /// The page-table pages of the shared kernel address-space template,

@@ -55,6 +55,7 @@
 pub mod channel;
 pub mod config;
 pub mod cycles;
+pub mod drain;
 pub mod error;
 pub mod exec;
 pub mod fs;
@@ -72,6 +73,7 @@ pub mod zones;
 
 pub use config::{ConfigError, DefenseMode, KernelConfig, KernelConfigBuilder};
 pub use cycles::{cost, CostKind, CycleCounter};
+pub use drain::{DrainFault, DrainPolicy, DrainPolicyParseError, DEFAULT_WATERMARK_DEPTH};
 pub use error::KernelError;
 pub use hart::{Hart, HartMsg, HartMsgKind};
 pub use introspect::AttackerFault;

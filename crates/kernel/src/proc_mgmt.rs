@@ -118,11 +118,13 @@ impl Kernel {
     pub(crate) fn create_address_space(&mut self) -> Result<AddressSpace, KernelError> {
         let root = self.alloc_pt_page()?;
         let asid = self.next_asid;
-        self.next_asid = if self.next_asid >= 0x7fff {
-            1
+        if self.next_asid >= 0x7fff {
+            self.next_asid = 1;
+            self.asid_wrapped = true;
         } else {
-            self.next_asid + 1
-        };
+            self.next_asid += 1;
+        }
+        self.drain_on_asid_recycle();
         // Copy the kernel-half root entries (upper 256 slots).
         let kroot = self.kernel_root;
         for slot_idx in 256..512u64 {
@@ -139,6 +141,25 @@ impl Kernel {
             pt_pages: vec![root],
             user: Default::default(),
         })
+    }
+
+    /// The ASID-lifecycle drain. After the 15-bit allocator has rolled
+    /// over, every ASID handed out is a **reuse**: invalidations still
+    /// queued under that ASID belong to the previous address-space
+    /// generation, and the new space must not go live while they are
+    /// pending — so the drain is mandatory under *every*
+    /// [`DrainPolicy`](crate::drain::DrainPolicy). The
+    /// [`AsidRecycle`](crate::drain::DrainPolicy::AsidRecycle) policy
+    /// additionally refuses to rely on the rollover bookkeeping and drains
+    /// at every allocation. A no-op when nothing is queued.
+    pub(crate) fn drain_on_asid_recycle(&mut self) {
+        if !(self.asid_wrapped || self.cfg.drain_policy.drains_on_asid_alloc()) {
+            return;
+        }
+        if self.pending_deferred_flushes() > 0 {
+            self.stats.asid_recycle_drains += 1;
+            self.drain_deferred_flushes();
+        }
     }
 
     // ------------------------------------------------------------------

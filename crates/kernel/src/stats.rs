@@ -52,6 +52,16 @@ pub struct KernelStats {
     /// Page invalidations coalesced into those drains (each would have been
     /// its own broadcast on the eager path).
     pub deferred_pages_coalesced: u64,
+    /// Of those drains, how many a `Watermark` drain policy triggered early
+    /// (queue depth reached the configured watermark before any boundary).
+    pub watermark_drains: u64,
+    /// Drains forced by the ASID lifecycle: a recycled (or, under the
+    /// `AsidRecycle` policy, any newly allocated) ASID found invalidations
+    /// still queued and flushed them before going live.
+    pub asid_recycle_drains: u64,
+    /// High-water mark of any hart's deferred-shootdown queue depth (the
+    /// statistic watermark policies exist to bound).
+    pub deferred_queue_peak: u64,
     /// Cross-hart mailbox messages merged (in logical-time order) at hart
     /// activation; always 0 on single-hart machines.
     pub hart_msgs_merged: u64,
@@ -73,8 +83,9 @@ impl KernelStats {
 }
 
 impl Snapshot for KernelStats {
-    /// Field-wise difference; the `pt_pages_live`/`pt_pages_peak` gauges keep
-    /// their current (absolute) values rather than subtracting.
+    /// Field-wise difference; the `pt_pages_live`/`pt_pages_peak`/
+    /// `deferred_queue_peak` gauges keep their current (absolute) values
+    /// rather than subtracting.
     fn delta(&self, earlier: &Self) -> Self {
         KernelStats {
             syscalls: self.syscalls - earlier.syscalls,
@@ -97,6 +108,9 @@ impl Snapshot for KernelStats {
             deferred_drains: self.deferred_drains - earlier.deferred_drains,
             deferred_pages_coalesced: self.deferred_pages_coalesced
                 - earlier.deferred_pages_coalesced,
+            watermark_drains: self.watermark_drains - earlier.watermark_drains,
+            asid_recycle_drains: self.asid_recycle_drains - earlier.asid_recycle_drains,
+            deferred_queue_peak: self.deferred_queue_peak,
             hart_msgs_merged: self.hart_msgs_merged - earlier.hart_msgs_merged,
             stale_handle_rejects: self.stale_handle_rejects - earlier.stale_handle_rejects,
             pt_pages_live: self.pt_pages_live,

@@ -79,6 +79,11 @@ impl Default for Config {
                 // either side of the deferred path is coherent.
                 "queue_flush_page".into(),
                 "drain_deferred_flushes".into(),
+                // Drain-policy entry points: a watermark trigger or an
+                // ASID-recycle guard both end in `drain_deferred_flushes`,
+                // so reaching them satisfies the pairing too.
+                "maybe_watermark_drain".into(),
+                "drain_on_asid_recycle".into(),
             ],
             exhaustive_enums: vec![
                 ("FaultClass".into(), "ptstore-trace".into()),
@@ -87,6 +92,7 @@ impl Default for Config {
                 ("Violation".into(), "ptstore-fault".into()),
                 ("PagingScheme".into(), "ptstore-core".into()),
                 ("PageSize".into(), "ptstore-core".into()),
+                ("DrainPolicy".into(), "ptstore-kernel".into()),
             ],
             atomics_modules: vec!["crates/kernel/src/process.rs".into()],
         }

@@ -218,11 +218,21 @@ pub enum FaultClass {
     ZoneExhaust,
     /// A forged page-table pointer written into a PCB (token-forging).
     TokenForge,
+    /// A queued remote invalidation silently discarded before its drain:
+    /// the batched-shootdown queue loses one `(asid, vpn)` entry, so the
+    /// remote TLBs it targeted are never flushed (a missed-drain kernel
+    /// bug; on a security boundary the oracle must flag it).
+    DrainDrop,
+    /// A watermark-triggered *early* drain skipped whole: the queue keeps
+    /// its entries past the configured depth until the next mandatory
+    /// security-boundary drain delivers them (behaviour-preserving — the
+    /// watermark is pure performance placement).
+    WatermarkSkip,
 }
 
 impl FaultClass {
     /// Every fault class, in campaign order.
-    pub const ALL: [FaultClass; 7] = [
+    pub const ALL: [FaultClass; 9] = [
         FaultClass::PteBitFlip,
         FaultClass::PmpCsrCorrupt,
         FaultClass::SatpCorrupt,
@@ -230,6 +240,8 @@ impl FaultClass {
         FaultClass::IpiReorder,
         FaultClass::ZoneExhaust,
         FaultClass::TokenForge,
+        FaultClass::DrainDrop,
+        FaultClass::WatermarkSkip,
     ];
 }
 
@@ -243,6 +255,8 @@ impl fmt::Display for FaultClass {
             FaultClass::IpiReorder => "ipi-reorder",
             FaultClass::ZoneExhaust => "zone-exhaust",
             FaultClass::TokenForge => "token-forge",
+            FaultClass::DrainDrop => "drain-drop",
+            FaultClass::WatermarkSkip => "watermark-skip",
         })
     }
 }

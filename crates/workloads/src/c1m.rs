@@ -93,6 +93,18 @@ pub struct C1mResult {
     pub deferred_drains: u64,
     /// Page invalidations those drains coalesced.
     pub deferred_pages_coalesced: u64,
+    /// Drains a `Watermark` policy triggered early (0 for other policies).
+    pub watermark_drains: u64,
+    /// Drains the ASID lifecycle forced (recycled ASIDs, or every
+    /// allocation under `AsidRecycle`).
+    pub asid_recycle_drains: u64,
+    /// High-water mark of any hart's deferred queue depth over the run —
+    /// the statistic watermark policies exist to bound.
+    pub deferred_queue_peak: u64,
+    /// Deterministic digest of every hart's final TLB state (after the
+    /// run's last drain). Policies only move *when* drains happen, so this
+    /// must be byte-identical across the whole policy sweep.
+    pub tlb_digest: u64,
 }
 
 impl C1mResult {
@@ -150,7 +162,39 @@ pub fn run_c1m_threads(k: &mut Kernel, p: &C1mParams, host_threads: usize) -> C1
         adjustments: d.adjustments,
         deferred_drains: d.deferred_drains,
         deferred_pages_coalesced: d.deferred_pages_coalesced,
+        watermark_drains: d.watermark_drains,
+        asid_recycle_drains: d.asid_recycle_drains,
+        deferred_queue_peak: d.deferred_queue_peak,
+        tlb_digest: tlb_digest(k),
     }
+}
+
+/// FNV-1a over the sorted canonical listing of every hart's TLB entries —
+/// a machine-state fingerprint the drain-policy sweep (and `check.sh`'s
+/// policy-differential gate) compares across policies: early drains may
+/// move IPI rounds around, but the final translation state they leave
+/// behind must be identical.
+pub fn tlb_digest(k: &Kernel) -> u64 {
+    let mut entries = Vec::new();
+    for h in &k.harts {
+        for e in h.mmu.itlb().entries() {
+            entries.push(format!("hart{} itlb {e:?}", h.id));
+        }
+        for e in h.mmu.dtlb().entries() {
+            entries.push(format!("hart{} dtlb {e:?}", h.id));
+        }
+    }
+    entries.sort();
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for s in &entries {
+        for b in s.bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash ^= u64::from(b'\n');
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
 }
 
 /// One tenant generation: build the session arena, serve the connection
@@ -220,15 +264,20 @@ fn serve_tenant(k: &mut Kernel, p: &C1mParams) {
 mod tests {
     use super::*;
     use ptstore_core::MIB;
-    use ptstore_kernel::{Kernel, KernelConfig};
+    use ptstore_kernel::{DrainPolicy, Kernel, KernelConfig};
 
     fn boot(harts: usize, batched: bool) -> Kernel {
+        boot_policy(harts, batched, DrainPolicy::Boundary)
+    }
+
+    fn boot_policy(harts: usize, batched: bool, policy: DrainPolicy) -> Kernel {
         let cfg = KernelConfig::cfi_ptstore()
             .with_mem_size(256 * MIB)
             .with_initial_secure_size(8 * MIB)
             .with_harts(harts)
             .with_deferred_shootdowns(batched)
-            .with_alloc_magazines(batched);
+            .with_alloc_magazines(batched)
+            .with_drain_policy(policy);
         Kernel::boot(cfg).expect("kernel boots")
     }
 
@@ -273,6 +322,36 @@ mod tests {
             rb.report.wall_cycles,
             re.report.wall_cycles
         );
+    }
+
+    #[test]
+    fn policy_sweep_is_state_identical_and_watermark_bounds_depth() {
+        let p = C1mParams::quick();
+        let mut boundary = boot_policy(2, true, DrainPolicy::Boundary);
+        let mut watermark = boot_policy(2, true, DrainPolicy::Watermark { depth: 8 });
+        let mut recycle = boot_policy(2, true, DrainPolicy::AsidRecycle);
+        let rb = run_c1m(&mut boundary, &p);
+        let rw = run_c1m(&mut watermark, &p);
+        let rr = run_c1m(&mut recycle, &p);
+        // Policies move *when* drains happen, never what state they leave:
+        // the final TLB fingerprint and the functional story must match.
+        assert_eq!(rb.tlb_digest, rw.tlb_digest, "watermark diverged");
+        assert_eq!(rb.tlb_digest, rr.tlb_digest, "asid-recycle diverged");
+        assert_eq!(rb.connections, rw.connections);
+        assert_eq!(boundary.stats.page_faults, watermark.stats.page_faults);
+        assert_eq!(boundary.stats.forks, recycle.stats.forks);
+        // The watermark strictly bounds the queue-depth high-water mark...
+        assert!(
+            rw.deferred_queue_peak < rb.deferred_queue_peak,
+            "watermark peak {} !< boundary peak {}",
+            rw.deferred_queue_peak,
+            rb.deferred_queue_peak
+        );
+        assert_eq!(rw.deferred_queue_peak, 8);
+        assert!(rw.watermark_drains > 0);
+        assert_eq!(rb.watermark_drains, 0);
+        // ...at the price of more drain rounds — the documented trade-off.
+        assert!(rw.deferred_drains > rb.deferred_drains);
     }
 
     #[test]

@@ -2,15 +2,19 @@
 # Host-performance harness: times `reproduce --quick all` single-threaded
 # and through the shared worker pool, the SMP experiment at 1/2/4 harts
 # with hart loops on 1 vs 2 real OS threads, and the C1M multi-tenant
-# churn experiment (the PR 8 batched-shootdown + O(1)-allocator macro
-# workload; c1m runs only when named explicitly, so `all` stays the
-# same work as the pre-c1m baseline binary and the suite comparison is
-# like-for-like). Results land in BENCH_PR8.json at the repo root. Modeled
-# cycles are pinned elsewhere (the differential tests and the check.sh
-# cmp gate); this script measures wall-clock only. The c1m report prints
-# no wall time by design (check.sh cmp-gates its reruns), so its
-# throughput in connections per host second is computed here, outside
-# the deterministic output.
+# churn experiment (now a drain-policy sweep: native + eager + one
+# batched row per policy; c1m runs only when named explicitly, so `all`
+# stays the same work as the pre-c1m baseline binary and the suite
+# comparison is like-for-like). The quick shape is timed alongside the
+# CI-budgeted --medium trajectory shape (150x8x50), giving BENCH_PR9.json
+# a connections-per-host-second trajectory toward the paper's
+# one-million-connection run. Results land in BENCH_PR9.json at the repo
+# root. Modeled cycles are pinned elsewhere (the differential tests and
+# the check.sh cmp gate); this script measures wall-clock only. The c1m
+# report prints no wall time by design (check.sh cmp-gates its reruns),
+# so its throughput in connections per host second is computed here,
+# outside the deterministic output; the report's drain-policy sweep line
+# (per-policy queue peaks, digest identity) is lifted into the JSON.
 #
 # The shared CI container jitters by ~10% on multi-second timescales,
 # so baseline-vs-current comparisons alternate the two binaries within
@@ -23,7 +27,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 JOBS="${1:-$( (nproc || sysctl -n hw.ncpu || echo 2) 2>/dev/null )}"
-OUT="BENCH_PR8.json"
+OUT="BENCH_PR9.json"
 BIN="target/release/reproduce"
 # Rounds per timing loop; min-of-N on both binaries. Override with
 # BENCH_ROUNDS when the container is jittery and the minimum needs more
@@ -73,10 +77,10 @@ min_ms() {
 }
 
 # Baseline: the commit just before this PR, built in a throw-away
-# worktree. It carries the BTreeSet buddy free lists and eager per-page
-# shootdowns this PR replaces, so baseline-vs-now at the same --jobs
-# count is the honest measure of this PR's host-side work.
-BASELINE_REF="${BENCH_BASELINE_REF:-7bdc7c9}"
+# worktree. It drains deferred shootdowns at security boundaries only
+# (no policy knob), so baseline-vs-now at the same --jobs count is the
+# honest measure of this PR's host-side work.
+BASELINE_REF="${BENCH_BASELINE_REF:-b867a14}"
 BASE_BIN=""
 WT=".bench-baseline"
 if git rev-parse --verify --quiet "$BASELINE_REF^{commit}" > /dev/null 2>&1; then
@@ -117,17 +121,36 @@ echo "  current:  1 job ${SINGLE_MS} ms, $JOBS jobs ${JOBS_MS} ms" >&2
 
 # C1M throughput: the experiment itself prints only modeled values;
 # host wall time (and hence connections per host second, across the
-# three configuration rows) is measured here. The quick shape serves
-# 1 800 connections per row.
+# five sweep rows: native + eager + three batched policies) is measured
+# here. The quick shape serves 1 800 connections per row, the medium
+# trajectory shape 60 000 — together they chart connections-per-host-
+# second on the road to the paper's one-million-connection run.
 echo "== timing reproduce --quick c1m =="
 C1M_MS=$(time_run "c1m quick" --quick c1m)
-C1M_CONNECTIONS=$((3 * 1800))
+C1M_CONNECTIONS=$((5 * 1800))
 if [ "$C1M_MS" -gt 0 ]; then
     C1M_CONN_PER_SEC=$((C1M_CONNECTIONS * 1000 / C1M_MS))
 else
     C1M_CONN_PER_SEC=null
 fi
 echo "  c1m: ${C1M_CONNECTIONS} connections in ${C1M_MS} ms (${C1M_CONN_PER_SEC}/s)" >&2
+
+# The drain-policy sweep line from the deterministic report, lifted
+# verbatim into the JSON artifact (queue peaks and digest identity are
+# modeled, so one capture run is enough).
+C1M_SWEEP=$("$BIN" --quick c1m | grep "^drain-policy sweep:" || echo "")
+echo "  $C1M_SWEEP" >&2
+
+# Medium trajectory shape: 33x the quick connection count per row.
+echo "== timing reproduce --medium c1m =="
+C1M_MED_MS=$(time_run "c1m medium" --medium c1m)
+C1M_MED_CONNECTIONS=$((5 * 60000))
+if [ "$C1M_MED_MS" -gt 0 ]; then
+    C1M_MED_CONN_PER_SEC=$((C1M_MED_CONNECTIONS * 1000 / C1M_MED_MS))
+else
+    C1M_MED_CONN_PER_SEC=null
+fi
+echo "  c1m medium: ${C1M_MED_CONNECTIONS} connections in ${C1M_MED_MS} ms (${C1M_MED_CONN_PER_SEC}/s)" >&2
 
 echo "== timing reproduce --quick smp: harts x host threads =="
 SMP_JSON=""
@@ -171,6 +194,12 @@ cat > "$OUT" <<EOF
     "connections": $C1M_CONNECTIONS,
     "connections_per_host_sec": $C1M_CONN_PER_SEC
   },
+  "c1m_medium": {
+    "wall_ms": $C1M_MED_MS,
+    "connections": $C1M_MED_CONNECTIONS,
+    "connections_per_host_sec": $C1M_MED_CONN_PER_SEC
+  },
+  "drain_policy_sweep": "$C1M_SWEEP",
   "speedup": {
     "threaded_quick_suite": $THREADED_SPEEDUP,
     "single_vs_baseline": $SINGLE_SPEEDUP,

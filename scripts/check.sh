@@ -68,26 +68,44 @@ rm -f target/thr-1.txt target/thr-2.txt
 
 echo "== smoke: c1m multi-tenant churn (deterministic, batching wins) =="
 # The c1m report is fully modeled — no wall time in the output — so a
-# rerun must be byte-identical, and the batched row must appear.
+# rerun must be byte-identical, the batched rows must appear, and the
+# in-process drain-policy sweep must report identical TLB digests.
 ./target/release/reproduce --quick c1m > target/c1m-a.txt
 ./target/release/reproduce --quick --jobs 4 c1m > target/c1m-b.txt
 cmp target/c1m-a.txt target/c1m-b.txt
 grep -q "CFI+PTStore batched" target/c1m-a.txt
+grep -q "tlb-digest-identical=yes" target/c1m-a.txt
 rm -f target/c1m-a.txt target/c1m-b.txt
 
+echo "== policy differential: boundary vs watermark (state byte-identical) =="
+# Drain policies are pure placement: a boundary run and a watermark run
+# may move IPI rounds around, but every fork-stress row's post-run TLB
+# digest — and the whole table below the headers — must be identical.
+./target/release/reproduce --quick forkstress --drain-policy boundary \
+    | grep "0x" > target/pol-boundary.txt
+./target/release/reproduce --quick forkstress --drain-policy watermark:4 \
+    | grep "0x" > target/pol-watermark.txt
+cmp target/pol-boundary.txt target/pol-watermark.txt
+rm -f target/pol-boundary.txt target/pol-watermark.txt
+
 echo "== smoke: fixed-seed fuzz campaign (deterministic, contained) =="
+# The 70-fault round-robin covers all nine classes, including the PR 9
+# drain-machinery pair; drain-drop must land (and stay contained) on
+# every rerun byte-for-byte.
 ./target/release/reproduce fuzz --seed 1 --faults 70 > target/fuzz-a.txt
 ./target/release/reproduce fuzz --seed 1 --faults 70 > target/fuzz-b.txt
 cmp target/fuzz-a.txt target/fuzz-b.txt
 grep -q "invariant-violated     : 0" target/fuzz-a.txt
+grep -q "drain-drop" target/fuzz-a.txt
+grep -q "watermark-skip" target/fuzz-a.txt
 rm -f target/fuzz-a.txt target/fuzz-b.txt
 
-echo "== host-performance harness (BENCH_PR8.json) =="
+echo "== host-performance harness (BENCH_PR9.json) =="
 # Jobs pinned to 4 so CI regenerates the same configuration the
 # committed artifact records (the pool clamps to the host's cores).
 scripts/bench.sh 4
 if command -v python3 > /dev/null 2>&1; then
-    python3 -m json.tool BENCH_PR8.json > /dev/null
+    python3 -m json.tool BENCH_PR9.json > /dev/null
 fi
 
 echo "All checks passed."
