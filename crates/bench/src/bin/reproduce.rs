@@ -6,6 +6,9 @@
 //!     [--drain-policy boundary|watermark[:D]|asid-recycle] [--medium] \
 //!     [table1|table2|table3|hwdetail|ltp|fig4|forkstress|fig5|fig6|fig7|security|smp|c1m|all]
 //! reproduce fuzz [--seed S] [--faults N] [--harts H] [--quick] [--scheme sv39|sv48|sv57]
+//! reproduce modelcheck [--depth N] [--ops k1,k2,...] [--ablate <check>] [--harts H] \
+//!     [--jobs N] [--quick] [--scheme sv39|sv48|sv57] \
+//!     [--drain-policy boundary|watermark[:D]|asid-recycle]
 //! ```
 //!
 //! `--quick` runs scaled-down workloads (seconds); the default uses the
@@ -52,11 +55,24 @@
 //! to 2 here so the IPI fault classes have a victim hart. With `--quick`
 //! the campaign runs the invariant oracle after every workload operation
 //! (paranoid mode). `fuzz` is not part of `all`; run it explicitly.
-//! `--scheme sv39|sv48|sv57` boots every kernel of the `security` battery
-//! or `fuzz` campaign under that RISC-V paging scheme (default sv39). The
-//! verdicts are scheme-independent — PTStore's checks fire on physical
-//! addresses and credentials, not on walk depth — which the
-//! scheme-differential test suite asserts.
+//! `--scheme sv39|sv48|sv57` boots every kernel of the `security` battery,
+//! `fuzz` campaign, or `modelcheck` search under that RISC-V paging scheme
+//! (default sv39). The verdicts are scheme-independent — PTStore's checks
+//! fire on physical addresses and credentials, not on walk depth — which
+//! the scheme-differential test suite asserts.
+//!
+//! `modelcheck` runs the ptstore-modelcheck bounded exhaustive search: BFS
+//! over every interleaving of the deterministic op alphabet up to `--depth`
+//! ops (default 5), deduping states by canonical hash and running the
+//! invariant oracle on each. With all defenses on the verdict must be
+//! VERIFIED (0 violations in every reachable state); `--ablate
+//! pmp_s_bit_check|ptw_origin_check|token_checks` disables one check and
+//! must print FALSIFIED with a minimal replayable counterexample trace.
+//! `--ops` restricts the alphabet to a comma-separated list of op families,
+//! `--harts` sizes the miniature machine (default 2), `--quick` lowers the
+//! default depth to 3, and `--jobs` fans frontier expansion out across host
+//! threads — the report is byte-identical at any job count (check.sh `cmp`s
+//! two runs). Like `fuzz` and `c1m`, `modelcheck` is not part of `all`.
 //! Flags that cannot apply to the selected experiment (for example
 //! `--seed` without `fuzz`, or `--jobs`/`--trace`/`--csv` with `fuzz`)
 //! are rejected rather than silently ignored.
@@ -96,6 +112,9 @@ fn usage() {
     );
     eprintln!(
         "       reproduce fuzz [--seed S] [--faults N] [--harts H] [--quick] [--scheme sv39|sv48|sv57]"
+    );
+    eprintln!(
+        "       reproduce modelcheck [--depth N] [--ops k1,k2,...] [--ablate pmp_s_bit_check|ptw_origin_check|token_checks] [--harts H] [--jobs N] [--quick] [--scheme sv39|sv48|sv57] [--drain-policy boundary|watermark[:D]|asid-recycle]"
     );
     eprintln!("run `reproduce --help` for what each flag does");
 }
@@ -141,6 +160,9 @@ fn main() {
     let mut faults: Option<u64> = None;
     let mut scheme: Option<ptstore_core::PagingScheme> = None;
     let mut drain_policy: Option<ptstore_kernel::DrainPolicy> = None;
+    let mut depth: Option<u32> = None;
+    let mut ops: Option<Vec<ptstore_modelcheck::OpKind>> = None;
+    let mut ablate: Option<ptstore_modelcheck::Ablation> = None;
     let mut what: Option<String> = None;
 
     let mut it = args.iter();
@@ -174,6 +196,22 @@ fn main() {
                     Err(e) => die(&format!("{e}")),
                 };
             }
+            "--depth" => depth = Some(take_number(&mut it, "--depth")),
+            "--ops" => {
+                let v = take_value(&mut it, "--ops");
+                ops = match ptstore_modelcheck::parse_op_kinds(v) {
+                    Ok(kinds) if !kinds.is_empty() => Some(kinds),
+                    Ok(_) => die("--ops takes a non-empty comma-separated op list"),
+                    Err(e) => die(&e),
+                };
+            }
+            "--ablate" => {
+                let v = take_value(&mut it, "--ablate");
+                ablate = match v.parse() {
+                    Ok(a) => Some(a),
+                    Err(e) => die(&e),
+                };
+            }
             "--help" | "-h" => {
                 usage();
                 std::process::exit(0);
@@ -191,7 +229,11 @@ fn main() {
     }
 
     let what = what.unwrap_or_else(|| "all".to_string());
-    if what != "all" && what != "fuzz" && !EXPERIMENTS.contains(&what.as_str()) {
+    if what != "all"
+        && what != "fuzz"
+        && what != "modelcheck"
+        && !EXPERIMENTS.contains(&what.as_str())
+    {
         die(&format!("unknown experiment {what:?}"));
     }
     if harts == Some(0) {
@@ -202,6 +244,9 @@ fn main() {
     }
     if host_threads == Some(0) {
         die("--host-threads takes a positive integer");
+    }
+    if depth == Some(0) {
+        die("--depth takes a positive integer");
     }
     if let Some(n) = host_threads {
         ptstore_kernel::exec::set_host_threads(n);
@@ -230,14 +275,42 @@ fn main() {
             die("--csv only applies to the figure experiments, not fuzz");
         }
     }
+    if what != "modelcheck" {
+        if depth.is_some() {
+            die(&format!(
+                "--depth only applies to the modelcheck experiment, not {what:?}"
+            ));
+        }
+        if ops.is_some() {
+            die(&format!(
+                "--ops only applies to the modelcheck experiment, not {what:?}"
+            ));
+        }
+        if ablate.is_some() {
+            die(&format!(
+                "--ablate only applies to the modelcheck experiment, not {what:?} \
+                 (the fuzz campaign's ablations are part of its fault classes)"
+            ));
+        }
+    } else {
+        if trace_file.is_some() {
+            die("--trace only applies to the security experiment, not modelcheck");
+        }
+        if csv_dir.is_some() {
+            die("--csv only applies to the figure experiments, not modelcheck");
+        }
+        if medium {
+            die("--medium is the CI-budgeted c1m trajectory shape; it does not apply to modelcheck (use --depth)");
+        }
+    }
     if trace_file.is_some() && what != "all" && what != "security" {
         die(&format!(
             "--trace only applies to the security experiment, not {what:?}"
         ));
     }
-    if scheme.is_some() && what != "security" && what != "fuzz" {
+    if scheme.is_some() && what != "security" && what != "fuzz" && what != "modelcheck" {
         die(&format!(
-            "--scheme only applies to the security and fuzz experiments, not {what:?} \
+            "--scheme only applies to the security, fuzz, and modelcheck experiments, not {what:?} \
              (the performance figures are calibrated against the sv39 goldens)"
         ));
     }
@@ -247,9 +320,10 @@ fn main() {
             "--csv only applies to the figure experiments (fig4|fig5|fig6|fig7), not {what:?}"
         ));
     }
-    if drain_policy.is_some() && what != "c1m" && what != "forkstress" {
+    if drain_policy.is_some() && what != "c1m" && what != "forkstress" && what != "modelcheck" {
         die(&format!(
-            "--drain-policy only applies to the c1m and forkstress experiments, not {what:?} \
+            "--drain-policy only applies to the c1m, forkstress, and modelcheck experiments, \
+             not {what:?} \
              (the other experiments run eager shootdowns, where no drain queue exists)"
         ));
     }
@@ -292,6 +366,28 @@ fn main() {
                 scheme
             )
         );
+        return;
+    }
+    if what == "modelcheck" {
+        let base = ptstore_modelcheck::McConfig::default();
+        let mc = ptstore_modelcheck::McConfig {
+            // The default bound (depth 5, full alphabet, 2 harts) explores
+            // well over 10^4 deduped states — the coverage floor check.sh
+            // gates on; --quick trades coverage for a seconds-scale smoke
+            // run.
+            depth: depth.unwrap_or(if quick { 3 } else { base.depth }),
+            kinds: ops.unwrap_or(base.kinds),
+            ablate,
+            harts: harts.unwrap_or(2),
+            scheme: scheme.unwrap_or(base.scheme),
+            drain_policy: match drain_policy {
+                Some(p) => Some(p),
+                None => base.drain_policy,
+            },
+            jobs: jobs.unwrap_or(1),
+            max_states: base.max_states,
+        };
+        print!("{}", ptstore_modelcheck::explore(&mc).summary());
         return;
     }
     let harts = harts.unwrap_or(1);

@@ -45,6 +45,7 @@
 
 pub mod addr;
 pub mod channel;
+pub mod digest;
 pub mod error;
 pub mod fastpath;
 pub mod paging;
@@ -58,6 +59,7 @@ pub use addr::{
     PhysAddr, PhysPageNum, VirtAddr, VirtPageNum, GIB, KIB, MIB, PAGE_SHIFT, PAGE_SIZE,
 };
 pub use channel::{AccessKind, Channel};
+pub use digest::Fnv1a;
 pub use error::{AccessError, RegionError, TokenError};
 pub use paging::{PageSize, PagingMetaData, PagingScheme, Sv39, Sv48, Sv57};
 pub use pmp::{AccessContext, PmpAddressMode, PmpEntry, PmpPermissions, PmpUnit, PMP_ENTRY_COUNT};

@@ -40,6 +40,13 @@
 //!   [`KernelConfig`](ptstore_kernel::KernelConfig) ablation switches
 //!   flips its fault class to *invariant-violated*.
 //!
+//! * **[`mod@replay`]** — a deterministic op-sequence replay layer: the
+//!   model checker's operation alphabet ([`ModelOp`]) pairing the kernel
+//!   ops above with de-randomized versions of the injector's attacker
+//!   primitives, plus [`replay_trace`], which re-executes a printed
+//!   counterexample on a fresh machine and re-asserts the oracle verdict.
+//!   `ptstore-modelcheck` builds its bounded exhaustive search on top.
+//!
 //! ```
 //! use ptstore_fault::{run_campaign, CampaignConfig, RunClass};
 //!
@@ -52,8 +59,10 @@
 pub mod campaign;
 pub mod inject;
 pub mod oracle;
+pub mod replay;
 
 pub use campaign::{run_campaign, run_one, CampaignConfig, CampaignReport, RunClass, RunResult};
 pub use inject::{DetectedBy, FaultInjector, FaultPlan, InjectOutcome, Trigger};
 pub use oracle::{InvariantReport, Invariants, Violation};
 pub use ptstore_trace::FaultClass;
+pub use replay::{apply, boot_model, format_trace, replay, replay_trace, ModelOp, OpOutcome};

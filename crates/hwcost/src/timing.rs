@@ -17,12 +17,7 @@ pub const F_TARGET_MHZ: f64 = 90.0;
 /// A deterministic stand-in for place-and-route variance: hash the design
 /// name into a small slack perturbation (0–0.15 ns).
 fn pnr_jitter_ns(design: &str) -> f64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in design.bytes() {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    (h % 150) as f64 / 1000.0
+    (ptstore_core::Fnv1a::hash_bytes(design.as_bytes()) % 150) as f64 / 1000.0
 }
 
 /// Timing results of one implementation run.

@@ -1654,6 +1654,56 @@ impl Kernel {
         self.harts[self.active_hart].current
     }
 
+    /// The pid the next `fork` will hand out (canonical-state accessor: two
+    /// machine states that differ only in the allocation cursor behave
+    /// differently on the next fork, so state dedup must see it).
+    pub fn next_pid(&self) -> Pid {
+        self.next_pid
+    }
+
+    /// The ASID the next address-space creation will try (canonical-state
+    /// accessor, same rationale as [`Self::next_pid`]).
+    pub fn next_asid(&self) -> u16 {
+        self.next_asid
+    }
+
+    /// The allocation-steering words of both slab caches (PCB, then the
+    /// token cache when present), length-prefixed per
+    /// [`SlabCache::canon_words`]. Canonical-state accessor: slab freelist
+    /// shape and magazine order decide which addresses future PCB/token
+    /// allocations return, so the model checker folds these into its state
+    /// digest alongside [`Self::zone_free_blocks`].
+    pub fn slab_canon_words(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.pcb_slab.canon_words(&mut out);
+        match self.token_slab.as_ref() {
+            Some(slab) => {
+                out.push(1);
+                slab.canon_words(&mut out);
+            }
+            None => out.push(0),
+        }
+        out
+    }
+
+    /// Every free buddy block of every zone as `(zone name, order, start)`,
+    /// in deterministic order (normal zone first, then the PTStore zone;
+    /// ascending order/address within each). Canonical-state accessor: op
+    /// interleavings that leave different free-list shapes behind allocate
+    /// differently afterwards, so the model checker folds this into its
+    /// state digest.
+    pub fn zone_free_blocks(&self) -> Vec<(&'static str, u8, PhysPageNum)> {
+        let mut v: Vec<(&'static str, u8, PhysPageNum)> = self
+            .normal_zone
+            .free_blocks()
+            .map(|(o, p)| (self.normal_zone.name(), o, p))
+            .collect();
+        if let Some(z) = self.pt_zone.as_ref() {
+            v.extend(z.free_blocks().map(|(o, p)| (z.name(), o, p)));
+        }
+        v
+    }
+
     /// The kernel root page table (the template for process kernel halves).
     pub fn kernel_root(&self) -> PhysPageNum {
         self.kernel_root

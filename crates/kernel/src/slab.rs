@@ -190,6 +190,39 @@ impl SlabCache {
         self.magazines.iter().map(Vec::len).sum()
     }
 
+    /// Appends the cache's full allocation-steering state to `out` in
+    /// deterministic order: each backing page's ppn followed by its packed
+    /// occupancy bitmap (slot order), then each hart magazine's cached
+    /// addresses in LIFO order. Two caches that emit the same words hand
+    /// out the same addresses for every future alloc/free sequence —
+    /// the property the model checker's canonical state digest needs.
+    pub fn canon_words(&self, out: &mut Vec<u64>) {
+        // Length prefixes make the flat word stream unambiguous: equal
+        // streams imply equal structure, not just equal concatenation.
+        out.push(self.pages.len() as u64);
+        for page in &self.pages {
+            out.push(page.ppn.as_u64());
+            let mut word = 0u64;
+            for (slot, &used) in page.used.iter().enumerate() {
+                if used {
+                    word |= 1 << (slot % 64);
+                }
+                if slot % 64 == 63 {
+                    out.push(word);
+                    word = 0;
+                }
+            }
+            if !page.used.len().is_multiple_of(64) {
+                out.push(word);
+            }
+        }
+        out.push(self.magazines.len() as u64);
+        for mag in &self.magazines {
+            out.push(mag.len() as u64);
+            out.extend(mag.iter().copied());
+        }
+    }
+
     /// Returns every magazine-cached object to the shared bookkeeping (a
     /// real free each). Must run before [`Self::shrink`], which otherwise
     /// sees magazine-held objects as live and retains their pages.

@@ -207,13 +207,19 @@ impl BlockSet {
         Some(bit)
     }
 
-    /// Every present index in ascending order (invariant checking).
+    /// Every present index in ascending order (invariant checking and
+    /// canonical-state digests). Zero words — the overwhelming majority in
+    /// a mostly-coalesced zone — are skipped wholesale.
     fn iter(&self) -> impl Iterator<Item = u64> + '_ {
-        self.levels[0].iter().enumerate().flat_map(|(w, &word)| {
-            (0..64)
-                .filter(move |b| word >> b & 1 == 1)
-                .map(move |b| w as u64 * 64 + b)
-        })
+        self.levels[0]
+            .iter()
+            .enumerate()
+            .filter(|&(_, &word)| word != 0)
+            .flat_map(|(w, &word)| {
+                (0..64)
+                    .filter(move |b| word >> b & 1 == 1)
+                    .map(move |b| w as u64 * 64 + b)
+            })
     }
 }
 
@@ -544,6 +550,18 @@ impl BuddyZone {
             }
         }
         None
+    }
+
+    /// Every free block as `(order, start page)`, ascending by order then
+    /// start. Deterministic (the bitmap iterates in address order), so
+    /// callers may fold it into canonical state digests — the bounded model
+    /// checker fingerprints allocator state this way to keep dedup sound
+    /// when op interleavings leave different free-list shapes behind.
+    pub fn free_blocks(&self) -> impl Iterator<Item = (u8, PhysPageNum)> + '_ {
+        self.free.iter().enumerate().flat_map(|(o, set)| {
+            set.iter()
+                .map(move |idx| (o as u8, PhysPageNum::new(idx << o)))
+        })
     }
 
     /// Verifies internal invariants (used by property tests): free + allocated

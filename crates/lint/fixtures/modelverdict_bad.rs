@@ -1,0 +1,26 @@
+//! BAD: a model-checker verdict enum whose failure modes are untested.
+//! Only the happy path is exercised — `ModelVerdict::Falsified` and
+//! `ModelVerdict::Truncated` must each fire `test-exhaustiveness`, because
+//! a search outcome nobody tests for is a security result nobody would
+//! notice regressing.
+
+/// The outcome of one bounded model-checking run.
+pub enum ModelVerdict {
+    /// Every reachable state satisfies every invariant.
+    Verified,
+    /// A reachable state violates an invariant.
+    Falsified,
+    /// The state cap was hit before the bound was exhausted.
+    Truncated,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_the_happy_path_is_tested() {
+        let v = ModelVerdict::Verified;
+        assert!(matches!(v, ModelVerdict::Verified));
+    }
+}

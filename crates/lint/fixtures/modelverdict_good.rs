@@ -1,0 +1,33 @@
+//! GOOD twin of `modelverdict_bad.rs`: the verified, falsified, and
+//! truncated outcomes each have a test referencing them. Must produce zero
+//! `test-exhaustiveness` findings.
+
+/// The outcome of one bounded model-checking run.
+pub enum ModelVerdict {
+    /// Every reachable state satisfies every invariant.
+    Verified,
+    /// A reachable state violates an invariant.
+    Falsified,
+    /// The state cap was hit before the bound was exhausted.
+    Truncated,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defended_search_verifies() {
+        assert!(matches!(ModelVerdict::Verified, ModelVerdict::Verified));
+    }
+
+    #[test]
+    fn ablated_search_falsifies() {
+        assert!(matches!(ModelVerdict::Falsified, ModelVerdict::Falsified));
+    }
+
+    #[test]
+    fn state_cap_truncates() {
+        assert!(matches!(ModelVerdict::Truncated, ModelVerdict::Truncated));
+    }
+}

@@ -16,7 +16,7 @@
 //! | `channel-confinement` | raw `Bus`/`PhysMem` access in `ptstore-kernel` confined to `src/channel.rs` (§IV-C2 channel discipline) |
 //! | `shootdown-pairing`   | downgrade/invalidate `pt_write`s must reach `tlb_flush_page`/`tlb_flush_asid` or the batched `queue_flush_page`/`drain_deferred_flushes` API (SMP TLB coherence) |
 //! | `allow-justification` | every `#[allow(...)]` carries a justification comment |
-//! | `test-exhaustiveness` | every injector fault class / attack verdict / reject reason / oracle violation variant is exercised by a test |
+//! | `test-exhaustiveness` | every injector fault class / attack verdict / reject reason / oracle violation / model-check verdict variant is exercised by a test |
 //! | `atomics-confinement` | raw `Ordering::*` atomics confined to the generational process table (deterministic threaded execution) |
 //!
 //! Suppressions are explicit and audited:

@@ -93,6 +93,10 @@ impl Default for Config {
                 ("PagingScheme".into(), "ptstore-core".into()),
                 ("PageSize".into(), "ptstore-core".into()),
                 ("DrainPolicy".into(), "ptstore-kernel".into()),
+                // The model checker's verdict: a search outcome nobody
+                // tests for (e.g. the Truncated state-cap path) is a
+                // security result nobody would notice regressing.
+                ("ModelVerdict".into(), "ptstore-modelcheck".into()),
             ],
             atomics_modules: vec!["crates/kernel/src/process.rs".into()],
         }

@@ -299,6 +299,49 @@ fn exhaustive_rule_fires_on_bad_and_passes_good() {
 }
 
 #[test]
+fn exhaustive_rule_covers_the_modelcheck_verdict() {
+    // The default config targets `ModelVerdict` in ptstore-modelcheck; the
+    // fixture twins stand in for that crate so the rule's behavior on the
+    // verdict enum is pinned independently of the real workspace.
+    let cfg = Config {
+        exhaustive_enums: vec![("ModelVerdict".into(), "fixture-crate".into())],
+        ..Config::default()
+    };
+    let wrap = |text: &str| SourceFile {
+        crate_name: "fixture-crate".into(),
+        path: "src/verdict.rs".into(),
+        is_test: false,
+        text: text.into(),
+    };
+
+    let bad = findings_for(
+        RULE_EXHAUSTIVE,
+        vec![wrap(include_str!("../fixtures/modelverdict_bad.rs"))],
+        &cfg,
+    );
+    assert_eq!(bad.len(), 2, "{bad:#?}");
+    assert!(bad
+        .iter()
+        .any(|f| f.message.contains("ModelVerdict::Falsified")));
+    assert!(bad
+        .iter()
+        .any(|f| f.message.contains("ModelVerdict::Truncated")));
+
+    let good = findings_for(
+        RULE_EXHAUSTIVE,
+        vec![wrap(include_str!("../fixtures/modelverdict_good.rs"))],
+        &cfg,
+    );
+    assert!(good.is_empty(), "{good:#?}");
+
+    // And the real default config does target the real crate.
+    assert!(Config::default()
+        .exhaustive_enums
+        .iter()
+        .any(|(e, k)| e == "ModelVerdict" && k == "ptstore-modelcheck"));
+}
+
+#[test]
 fn exhaustive_rule_reports_missing_target_enum() {
     let cfg = Config {
         exhaustive_enums: vec![("Vanished".into(), "fixture-crate".into())],

@@ -11,7 +11,7 @@
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 
-use ptstore_core::PAGE_SIZE;
+use ptstore_core::{Fnv1a, PAGE_SIZE};
 
 /// Number of distinct 8-byte words after which a sparse frame is promoted to
 /// dense backing.
@@ -167,6 +167,43 @@ impl Frame {
         *self = Frame::Zero;
     }
 
+    /// FNV-1a digest of the frame's contents: the `(index, value)` pairs of
+    /// every **non-zero** word, folded in ascending index order — therefore
+    /// identical for equal contents regardless of which backing
+    /// representation (zero / sparse / dense) holds them, and proportional
+    /// to the live words rather than the page size for sparse frames. The
+    /// model checker's canonical state hash folds every reachable
+    /// page-table page through this instead of 512 bounds-checked bus
+    /// reads.
+    pub fn content_digest(&self) -> u64 {
+        let mut f = Fnv1a::new();
+        match self {
+            Frame::Zero => {}
+            Frame::Words(map) => {
+                let mut words: Vec<(u16, u64)> = map
+                    .iter()
+                    .filter(|&(_, &v)| v != 0)
+                    .map(|(&i, &v)| (i, v))
+                    .collect();
+                words.sort_unstable();
+                for (i, v) in words {
+                    f.write_u64(u64::from(i));
+                    f.write_u64(v);
+                }
+            }
+            Frame::Dense(bytes) => {
+                for (i, chunk) in bytes.chunks_exact(8).enumerate() {
+                    let v = u64::from_le_bytes(chunk.try_into().expect("8 bytes"));
+                    if v != 0 {
+                        f.write_u64(i as u64);
+                        f.write_u64(v);
+                    }
+                }
+            }
+        }
+        f.finish()
+    }
+
     /// Approximate host-memory footprint of the backing, for diagnostics.
     pub fn backing_bytes(&self) -> usize {
         match self {
@@ -186,6 +223,12 @@ impl Frame {
             *self = Frame::Dense(bytes);
         }
     }
+}
+
+/// The digest of an all-zero page (the empty fold — the FNV offset basis):
+/// untouched frames are the common case for sparse physical memory.
+pub fn zero_page_digest() -> u64 {
+    Fnv1a::new().finish()
 }
 
 #[cfg(test)]
@@ -270,5 +313,41 @@ mod tests {
     #[should_panic]
     fn out_of_range_word_panics() {
         Frame::new().read_word(512);
+    }
+
+    #[test]
+    fn content_digest_is_representation_independent() {
+        // Zero vs never-written sparse vs zero-filled dense: same digest.
+        assert_eq!(Frame::Zero.content_digest(), zero_page_digest());
+        let mut sparse = Frame::new();
+        sparse.write_word(9, 1);
+        sparse.write_word(9, 0);
+        assert_eq!(sparse.content_digest(), zero_page_digest());
+
+        // Sparse vs dense with identical contents: same digest.
+        let mut a = Frame::new();
+        a.write_word(3, 0xdead_beef);
+        let mut b = Frame::new();
+        for i in 0..(DENSE_PROMOTION_WORDS as u16 + 8) {
+            b.write_word(i, 7);
+        }
+        assert!(matches!(b, Frame::Dense(_)));
+        for i in 0..(DENSE_PROMOTION_WORDS as u16 + 8) {
+            b.write_word(i, 0);
+        }
+        b.write_word(3, 0xdead_beef);
+        assert!(matches!(b, Frame::Dense(_)));
+        assert_eq!(a.content_digest(), b.content_digest());
+
+        // And it matches the definitional fold over non-zero words.
+        let mut f = Fnv1a::new();
+        for i in 0..512u16 {
+            let v = a.read_word(i);
+            if v != 0 {
+                f.write_u64(u64::from(i));
+                f.write_u64(v);
+            }
+        }
+        assert_eq!(a.content_digest(), f.finish());
     }
 }

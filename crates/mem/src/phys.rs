@@ -259,6 +259,23 @@ impl PhysMem {
         Ok(())
     }
 
+    /// Canonical FNV-1a content digest of page `ppn` (DRAM's-eye view),
+    /// per [`Frame::content_digest`]: the non-zero `(index, word)` pairs in
+    /// ascending index order, one frame lookup instead of 512
+    /// bounds-checked reads. The model checker hashes every reachable
+    /// page-table page per explored state through this.
+    ///
+    /// # Errors
+    /// [`AccessError::OutOfRange`] when `ppn` is outside physical memory.
+    #[inline]
+    pub fn page_digest(&self, ppn: PhysPageNum) -> Result<u64, AccessError> {
+        self.check_range(ppn.base_addr(), PAGE_SIZE)?;
+        Ok(self
+            .frame(ppn.as_u64())
+            .map(Frame::content_digest)
+            .unwrap_or_else(crate::frame::zero_page_digest))
+    }
+
     /// True when the whole page is zero — the kernel's allocator-metadata
     /// defense checks this before using a page as a page table (paper §V-E3).
     #[inline]

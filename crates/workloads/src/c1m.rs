@@ -18,7 +18,7 @@
 //! byte-identical across reruns at any host thread count, so the harness
 //! can diff it. Host wall time is measured outside, by `scripts/bench.sh`.
 
-use ptstore_core::{VirtAddr, PAGE_SIZE};
+use ptstore_core::{Fnv1a, VirtAddr, PAGE_SIZE};
 use ptstore_kernel::process::VmPerms;
 use ptstore_kernel::{exec, CostKind, Kernel, Snapshot};
 use serde::{Deserialize, Serialize};
@@ -185,16 +185,7 @@ pub fn tlb_digest(k: &Kernel) -> u64 {
         }
     }
     entries.sort();
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for s in &entries {
-        for b in s.bytes() {
-            hash ^= u64::from(b);
-            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        hash ^= u64::from(b'\n');
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
+    Fnv1a::hash_lines(&entries)
 }
 
 /// One tenant generation: build the session arena, serve the connection

@@ -1,0 +1,14 @@
+#!/usr/bin/env sh
+# Collates every committed BENCH_PR*.json host-performance artifact into
+# the cross-PR trajectory table (pass --json for the collated JSON form).
+# scripts/bench.sh writes one artifact per PR; this charts them — together
+# they close ROADMAP's "host performance tracked across PRs" item. The
+# output depends only on the committed artifacts, so reruns are
+# byte-identical and check.sh smoke-tests one.
+#
+# Usage: scripts/bench_history.sh [--json]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cargo run --offline --quiet --release -p ptstore-bench --bin bench_history -- "$@"

@@ -18,7 +18,7 @@ RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --quiet \
     -p ptstore-core -p ptstore-mem -p ptstore-mmu -p ptstore-isa \
     -p ptstore-kernel -p ptstore-trace -p ptstore-workloads \
     -p ptstore-attacks -p ptstore-fault -p ptstore-hwcost \
-    -p ptstore-bench -p ptstore -p ptstore-lint
+    -p ptstore-bench -p ptstore -p ptstore-lint -p ptstore-modelcheck
 
 echo "== ptstore-lint: secure-access discipline =="
 cargo run --offline --quiet -p ptstore-lint -- --format human
@@ -99,6 +99,49 @@ grep -q "invariant-violated     : 0" target/fuzz-a.txt
 grep -q "drain-drop" target/fuzz-a.txt
 grep -q "watermark-skip" target/fuzz-a.txt
 rm -f target/fuzz-a.txt target/fuzz-b.txt
+
+echo "== modelcheck: jobs determinism at a mid bound (byte-identical) =="
+# The bounded search report prints no timing, host, or thread-count
+# information, so a sequential run and a 4-job run of the same search must
+# compare byte-for-byte — the same `cmp` discipline as the parallel runner.
+./target/release/reproduce modelcheck --depth 4 > target/mc-a.txt
+./target/release/reproduce modelcheck --depth 4 --jobs 4 > target/mc-b.txt
+cmp target/mc-a.txt target/mc-b.txt
+grep -q ": VERIFIED" target/mc-a.txt
+rm -f target/mc-a.txt target/mc-b.txt
+
+echo "== modelcheck: default bound (>= 10^4 deduped states, 0 violations) =="
+# The acceptance floor: the default depth-5 search over the full op
+# alphabet explores at least ten thousand deduped states and every one of
+# them satisfies every invariant.
+./target/release/reproduce modelcheck --jobs 4 > target/mc-full.txt
+grep -q ": VERIFIED" target/mc-full.txt
+STATES=$(sed -n 's/^  states explored  : \([0-9]*\) .*/\1/p' target/mc-full.txt)
+[ "$STATES" -ge 10000 ]
+rm -f target/mc-full.txt
+
+echo "== modelcheck: ablation counterexample (minimal, replayable) =="
+# Removing the PMP S-bit check must flip the verdict and print the shrunk
+# one-op attack trace with the containment violation it lands.
+./target/release/reproduce modelcheck --depth 2 --ops mmap,fork,pte-flip \
+    --ablate pmp_s_bit_check > target/mc-abl.txt
+grep -q ": FALSIFIED" target/mc-abl.txt
+grep -q "counterexample (1 ops" target/mc-abl.txt
+grep -q "attack:pte-flip" target/mc-abl.txt
+grep -q "PtPageOutsideRegion" target/mc-abl.txt
+rm -f target/mc-abl.txt
+
+echo "== bench_history: BENCH_PR*.json trajectory collation =="
+# The collator depends only on the committed artifacts, so two runs are
+# byte-identical and the table must reach the newest artifact.
+scripts/bench_history.sh > target/hist-a.txt
+scripts/bench_history.sh > target/hist-b.txt
+cmp target/hist-a.txt target/hist-b.txt
+grep -q "PR9" target/hist-a.txt
+rm -f target/hist-a.txt target/hist-b.txt
+if command -v python3 > /dev/null 2>&1; then
+    scripts/bench_history.sh --json | python3 -m json.tool > /dev/null
+fi
 
 echo "== host-performance harness (BENCH_PR9.json) =="
 # Jobs pinned to 4 so CI regenerates the same configuration the
